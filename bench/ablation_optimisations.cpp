@@ -1,0 +1,82 @@
+// Ablation: how much each instrumentation optimisation contributes
+// (DESIGN.md §5 "Key design decisions").
+//
+// For every PolyBench kernel and use case, reports the number of counter
+// increments executed dynamically under each pass level and the number of
+// loops the loop-based pass hoisted. This quantifies the mechanism behind
+// the Fig. 6/10 overhead numbers: flow-based removes join/dominator
+// increments, loop-based removes the per-iteration increments entirely.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workloads/polybench.hpp"
+#include "workloads/usecases.hpp"
+
+using namespace acctee;
+using instrument::InstrumentOptions;
+using instrument::PassKind;
+
+namespace {
+
+struct Sample {
+  uint64_t base_instr;
+  uint64_t dyn_increments[3];  // extra instructions executed per pass
+  uint64_t static_sites[3];
+  uint64_t hoisted;
+};
+
+Sample measure(const wasm::Module& module, const interp::Values& args) {
+  Sample s{};
+  {
+    auto outcome = bench::run_module(module, interp::Platform::Wasm, args);
+    s.base_instr = outcome.stats.instructions;
+  }
+  int pi = 0;
+  for (PassKind pass :
+       {PassKind::Naive, PassKind::FlowBased, PassKind::LoopBased}) {
+    auto result = instrument::instrument(module, InstrumentOptions{pass, {}});
+    auto outcome =
+        bench::run_module(result.module, interp::Platform::Wasm, args);
+    s.dyn_increments[pi] = outcome.stats.instructions - s.base_instr;
+    s.static_sites[pi] = result.stats.increments_inserted;
+    if (pass == PassKind::LoopBased) s.hoisted = result.stats.loops_hoisted;
+    ++pi;
+  }
+  return s;
+}
+
+void print_row(const std::string& name, const Sample& s) {
+  auto pct = [&](uint64_t extra) {
+    return 100.0 * static_cast<double>(extra) /
+           static_cast<double>(s.base_instr);
+  };
+  std::printf("%-14s %10llu %7.1f%% %7.1f%% %7.1f%% %6llu %6llu %6llu %5llu\n",
+              name.c_str(), static_cast<unsigned long long>(s.base_instr),
+              pct(s.dyn_increments[0]), pct(s.dyn_increments[1]),
+              pct(s.dyn_increments[2]),
+              static_cast<unsigned long long>(s.static_sites[0]),
+              static_cast<unsigned long long>(s.static_sites[1]),
+              static_cast<unsigned long long>(s.static_sites[2]),
+              static_cast<unsigned long long>(s.hoisted));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: dynamic instruction overhead (%% of uninstrumented) "
+              "and static increment sites per pass\n\n");
+  std::printf("%-14s %10s %8s %8s %8s %6s %6s %6s %5s\n", "workload",
+              "base", "naive", "flow", "loop", "sN", "sF", "sL", "hoist");
+  std::printf("%s\n", std::string(80, '-').c_str());
+
+  for (const auto& kernel : workloads::polybench()) {
+    // Smaller sizes: the ablation is about counts, not cache behaviour.
+    uint32_t n = kernel.name == "jacobi-1d" ? 4096 : 24;
+    print_row(kernel.name, measure(kernel.build(n), {}));
+  }
+  for (const auto& uc : workloads::usecases()) {
+    print_row(uc.name,
+              measure(uc.build(), {interp::TypedValue::make_i32(4)}));
+  }
+  return 0;
+}

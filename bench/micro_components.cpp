@@ -1,0 +1,100 @@
+// google-benchmark microbenchmarks of AccTEE's own components: interpreter
+// dispatch rate, instrumentation pass latency, SHA-256 / Lamport signing
+// throughput, and attestation round trips. These are engineering
+// benchmarks (regression tracking), not paper-figure reproductions.
+#include <benchmark/benchmark.h>
+
+#include "core/accounting_enclave.hpp"
+#include "core/instrumentation_enclave.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signer.hpp"
+#include "instrument/passes.hpp"
+#include "interp/instance.hpp"
+#include "wasm/binary.hpp"
+#include "workloads/polybench.hpp"
+
+using namespace acctee;
+
+namespace {
+
+void BM_InterpreterDispatch(benchmark::State& state) {
+  wasm::Module module = workloads::build_polybench("gemm", 32);
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    interp::Instance::Options opts;
+    opts.cache_model = state.range(0) != 0;
+    interp::Instance inst(module, {}, opts);
+    inst.invoke("run");
+    instructions += inst.stats().instructions;
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterDispatch)->Arg(0)->Arg(1);
+
+void BM_InstrumentationPass(benchmark::State& state) {
+  wasm::Module module = workloads::build_polybench("gemm", 32);
+  auto pass = static_cast<instrument::PassKind>(state.range(0));
+  for (auto _ : state) {
+    auto result =
+        instrument::instrument(module, instrument::InstrumentOptions{pass, {}});
+    benchmark::DoNotOptimize(result.counter_global);
+  }
+}
+BENCHMARK(BM_InstrumentationPass)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_BinaryCodecRoundTrip(benchmark::State& state) {
+  wasm::Module module = workloads::build_polybench("3mm", 32);
+  for (auto _ : state) {
+    Bytes bin = wasm::encode(module);
+    wasm::Module decoded = wasm::decode(bin);
+    benchmark::DoNotOptimize(decoded.functions.size());
+  }
+}
+BENCHMARK(BM_BinaryCodecRoundTrip);
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    auto digest = crypto::sha256(data);
+    benchmark::DoNotOptimize(digest[0]);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1024)->Arg(1 << 20);
+
+void BM_LamportSignVerify(benchmark::State& state) {
+  crypto::Signer signer(to_bytes("bench"), 4096);
+  Bytes message = to_bytes("resource log");
+  crypto::Digest id = signer.identity();
+  for (auto _ : state) {
+    crypto::Signature sig = signer.sign(message);
+    benchmark::DoNotOptimize(crypto::signature_verify(id, message, sig));
+  }
+}
+BENCHMARK(BM_LamportSignVerify)->Iterations(256);
+
+void BM_EndToEndAccountedExecution(benchmark::State& state) {
+  sgx::Platform platform("bench", to_bytes("seed"));
+  instrument::InstrumentOptions options;
+  core::InstrumentationEnclave ie(platform, options, 4);
+  wasm::Module module = workloads::build_polybench("atax", 48);
+  auto output = ie.instrument_binary(wasm::encode(module));
+
+  core::AccountingEnclave::Config config;
+  config.trusted_ie_identity = ie.identity();
+  config.instrumentation = options;
+  config.platform = interp::Platform::WasmSgxSim;
+  config.signing_capacity = 4096;
+  core::AccountingEnclave ae(platform, config);
+  for (auto _ : state) {
+    auto outcome = ae.execute(output.instrumented_binary, output.evidence,
+                              "run", {});
+    benchmark::DoNotOptimize(outcome.signed_log.log.weighted_instructions);
+  }
+}
+BENCHMARK(BM_EndToEndAccountedExecution)->Iterations(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Pay-by-computation for the web (paper §2.1, fourth scenario).
+//
+// Instead of showing ads, a news site asks the reader's browser to run
+// short machine-learning inference tasks (Darknet-style classification) in
+// an accountable sandbox. The site streams periodic signed resource logs;
+// once the reader has contributed enough weighted instructions, the
+// article unlocks. A reader who fakes logs earns nothing.
+//
+// Build & run:  ./build/examples/pay_by_computation
+#include <cstdio>
+
+#include "core/session.hpp"
+#include "wasm/binary.hpp"
+#include "workloads/usecases.hpp"
+
+using namespace acctee;
+using interp::TypedValue;
+
+int main() {
+  sgx::AttestationService ias(to_bytes("web-attestation-root"), 64);
+  sgx::Platform publisher_host("publisher", to_bytes("seed-pub"));
+  sgx::Platform reader_device("reader-laptop", to_bytes("seed-reader"));
+  ias.provision_platform(publisher_host);
+  ias.provision_platform(reader_device);
+
+  core::SessionPolicy policy;
+  policy.platform = interp::Platform::WasmSgxSim;
+  policy.max_instructions = 100'000'000;
+
+  // The publisher prepares the task (classification batches).
+  core::InstrumentationEnclave ie(publisher_host, policy.instrumentation);
+  core::WorkloadProvider publisher(wasm::encode(workloads::usecase_darknet()),
+                                   policy, ias.identity());
+  publisher.instrument_with(ie, ias);
+
+  // The reader's browser hosts the accounting enclave.
+  core::PriceSchedule rate;
+  rate.provider = "reader-contribution";
+  rate.nanocredits_per_mega_instruction = 1000;
+  core::InfrastructureProvider reader(reader_device, policy, ias.identity(),
+                                      rate);
+  reader.trust_instrumentation_enclave(ie.identity_quote(), ias);
+  publisher.attest_accounting_enclave(reader.accounting_enclave_quote(), ias);
+
+  const uint64_t kArticlePrice = 30000;  // nanocredits
+  uint64_t earned = 0;
+  int batch = 0;
+  std::printf("article paywall: %llu nanocredits of compute\n\n",
+              static_cast<unsigned long long>(kArticlePrice));
+  while (earned < kArticlePrice && batch < 20) {
+    auto billed = reader.run(publisher.instrumented_binary(),
+                             publisher.evidence(), "run",
+                             {TypedValue::make_i32(1)});
+    if (!publisher.verify_log(billed.outcome.signed_log)) {
+      std::printf("batch %d: log rejected, no credit\n", batch);
+      continue;
+    }
+    earned += billed.bill.total();
+    std::printf("batch %2d: %8llu weighted instr -> +%llun (total %llun)\n",
+                batch,
+                static_cast<unsigned long long>(
+                    billed.outcome.signed_log.log.weighted_instructions),
+                static_cast<unsigned long long>(billed.bill.total()),
+                static_cast<unsigned long long>(earned));
+    ++batch;
+  }
+  std::printf("\n%s\n", earned >= kArticlePrice
+                            ? "article unlocked — no ads shown."
+                            : "quota not reached.");
+
+  // A reader faking contribution: signs a log with a browser-local key.
+  crypto::Signer fake_key(to_bytes("devtools"), 2);
+  core::SignedResourceLog forged;
+  forged.log.weighted_instructions = 1'000'000'000;
+  forged.log.module_hash = crypto::sha256(publisher.instrumented_binary());
+  forged.signature = fake_key.sign(forged.log.serialize());
+  std::printf("forged log from devtools: %s\n",
+              publisher.verify_log(forged)
+                  ? "ACCEPTED (BUG!)"
+                  : "rejected — not signed by the attested enclave");
+  return 0;
+}

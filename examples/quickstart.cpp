@@ -1,0 +1,100 @@
+// Quickstart: the smallest useful AccTEE pipeline.
+//
+// Takes a WebAssembly module (in text format), instruments it for trusted
+// accounting, runs it in the sandbox, and prints the resource usage log and
+// a bill. No attestation in this example — see examples/volunteer_computing
+// for the full two-party trust workflow.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/pricing.hpp"
+#include "core/resource_log.hpp"
+#include "instrument/passes.hpp"
+#include "interp/instance.hpp"
+#include "wasm/binary.hpp"
+#include "wasm/validator.hpp"
+#include "wasm/wat_parser.hpp"
+
+using namespace acctee;
+
+// A workload: numerically integrate sin-ish polynomial via the midpoint
+// rule — a compute-only function of one parameter.
+static const char* kWat = R"((module
+  (func (export "integrate") (param $steps i32) (result f64)
+    (local $i i32) (local $x f64) (local $acc f64) (local $h f64)
+    f64.const 1
+    local.get $steps
+    f64.convert_i32_s
+    f64.div
+    local.set $h
+    loop $l
+      ;; x = (i + 0.5) * h
+      local.get $i
+      f64.convert_i32_s
+      f64.const 0.5
+      f64.add
+      local.get $h
+      f64.mul
+      local.set $x
+      ;; acc += x * (1 - x) * h   (integral of x(1-x) on [0,1] = 1/6)
+      local.get $acc
+      local.get $x
+      f64.const 1
+      local.get $x
+      f64.sub
+      f64.mul
+      local.get $h
+      f64.mul
+      f64.add
+      local.set $acc
+      local.get $i
+      i32.const 1
+      i32.add
+      local.tee $i
+      local.get $steps
+      i32.lt_s
+      br_if $l
+    end
+    local.get $acc
+  )
+))";
+
+int main() {
+  // 1. Compile (parse + validate) the workload.
+  wasm::Module module = wasm::parse_wat(kWat);
+  wasm::validate(module);
+  std::printf("workload: %llu static instructions, %zu bytes as binary\n",
+              static_cast<unsigned long long>(wasm::count_instructions(module)),
+              wasm::encode(module).size());
+
+  // 2. Instrument it with the loop-based accounting pass.
+  instrument::InstrumentOptions options;
+  options.pass = instrument::PassKind::LoopBased;
+  auto result = instrument::instrument(module, options);
+  std::printf("instrumented: %llu counter-update sites, %llu loops hoisted\n",
+              static_cast<unsigned long long>(result.stats.increments_inserted),
+              static_cast<unsigned long long>(result.stats.loops_hoisted));
+
+  // 3. Execute in the sandbox and read the trusted counter.
+  interp::Instance instance(result.module, {});
+  auto value =
+      instance.invoke("integrate", {interp::TypedValue::make_i32(1000000)});
+  uint64_t counter = static_cast<uint64_t>(
+      instance.read_global(instrument::kCounterExport).i64());
+  std::printf("result: integral = %.9f (exact: %.9f)\n", value[0].f64(),
+              1.0 / 6.0);
+  std::printf("accounting: %llu weighted instructions executed\n",
+              static_cast<unsigned long long>(counter));
+
+  // 4. Price the execution.
+  core::ResourceUsageLog log;
+  log.weighted_instructions = counter;
+  log.peak_memory_bytes = instance.stats().peak_memory_bytes;
+  core::PriceSchedule schedule;
+  schedule.provider = "example-provider";
+  schedule.nanocredits_per_mega_instruction = 1200;
+  core::Bill bill = core::price(log, schedule);
+  std::printf("bill: %s\n", bill.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Volunteer / reimbursed computing (paper §2.1, first two scenarios).
+//
+// A research project (workload provider) farms out integer-factorisation
+// tasks to volunteers (infrastructure providers). The full trust workflow
+// runs end to end:
+//
+//   1. both parties attest the Instrumentation Enclave,
+//   2. the project has its MSieve-like workload instrumented and receives
+//      signed evidence,
+//   3. each volunteer operates an attested Accounting Enclave,
+//   4. every completed task returns a signed resource log that the project
+//      verifies before crediting the volunteer,
+//   5. a cheating volunteer who inflates the log is caught, and a cheating
+//      workload that tries to manipulate its own counter never validates.
+//
+// Build & run:  ./build/examples/volunteer_computing
+#include <cstdio>
+
+#include "core/session.hpp"
+#include "wasm/binary.hpp"
+#include "workloads/usecases.hpp"
+
+using namespace acctee;
+using interp::TypedValue;
+
+int main() {
+  // --- Infrastructure of the simulated world -----------------------------
+  sgx::AttestationService ias(to_bytes("attestation-root"), 64);
+  sgx::Platform ie_host("project-build-server", to_bytes("seed-ie"));
+  sgx::Platform volunteer1("volunteer-alice", to_bytes("seed-alice"));
+  sgx::Platform volunteer2("volunteer-bob", to_bytes("seed-bob"));
+  ias.provision_platform(ie_host);
+  ias.provision_platform(volunteer1);
+  ias.provision_platform(volunteer2);
+
+  core::SessionPolicy policy;
+  policy.instrumentation.pass = instrument::PassKind::LoopBased;
+  policy.platform = interp::Platform::WasmSgxSim;
+  policy.max_instructions = 500'000'000;  // sandbox resource limit
+
+  // --- Step 1+2: instrument the workload once, reuse everywhere ----------
+  core::InstrumentationEnclave ie(ie_host, policy.instrumentation);
+  core::WorkloadProvider project(wasm::encode(workloads::usecase_msieve()),
+                                 policy, ias.identity());
+  project.instrument_with(ie, ias);
+  std::printf("project: workload instrumented, evidence hash bound to IE "
+              "identity %s...\n",
+              crypto::digest_hex(ie.identity()).substr(0, 16).c_str());
+
+  // --- Step 3: volunteers come online -------------------------------------
+  core::PriceSchedule credit_rate;
+  credit_rate.provider = "credit-scheme";
+  credit_rate.nanocredits_per_mega_instruction = 100;
+
+  auto make_volunteer = [&](sgx::Platform& platform) {
+    auto provider = std::make_unique<core::InfrastructureProvider>(
+        platform, policy, ias.identity(), credit_rate);
+    provider->trust_instrumentation_enclave(ie.identity_quote(), ias);
+    return provider;
+  };
+  auto alice = make_volunteer(volunteer1);
+  auto bob = make_volunteer(volunteer2);
+
+  // --- Step 4: dispatch tasks, verify logs, award credits ----------------
+  uint64_t credited[2] = {0, 0};
+  const char* names[2] = {"alice", "bob"};
+  core::InfrastructureProvider* volunteers[2] = {alice.get(), bob.get()};
+  for (int task = 0; task < 4; ++task) {
+    int who = task % 2;
+    core::InfrastructureProvider& v = *volunteers[who];
+    project.attest_accounting_enclave(v.accounting_enclave_quote(), ias);
+    auto billed = v.run(project.instrumented_binary(), project.evidence(),
+                        "run", {TypedValue::make_i32(4 + 2 * task)});
+    bool accepted = project.verify_log(billed.outcome.signed_log);
+    if (accepted) credited[who] += billed.bill.total();
+    std::printf("task %d -> %s: %s | log %s\n", task, names[who],
+                billed.outcome.signed_log.log.to_string().c_str(),
+                accepted ? "VERIFIED, credited" : "REJECTED");
+  }
+  std::printf("credit board: alice=%llun bob=%llun\n",
+              static_cast<unsigned long long>(credited[0]),
+              static_cast<unsigned long long>(credited[1]));
+
+  // --- Step 5a: a volunteer inflates a log after the fact ----------------
+  project.attest_accounting_enclave(alice->accounting_enclave_quote(), ias);
+  auto honest = alice->run(project.instrumented_binary(), project.evidence(),
+                           "run", {TypedValue::make_i32(2)});
+  core::SignedResourceLog tampered = honest.outcome.signed_log;
+  tampered.log.weighted_instructions *= 1000;  // claim 1000x the work
+  std::printf("tampered log (1000x instructions): %s\n",
+              project.verify_log(tampered)
+                  ? "ACCEPTED (BUG!)"
+                  : "rejected — signature does not cover the inflated log");
+
+  // --- Step 5b: a cheating task tries to write the counter itself --------
+  // Any module addressing a global index beyond its own globals fails
+  // validation before instrumentation even starts.
+  wasm::Module cheat = workloads::usecase_msieve();
+  cheat.functions[0].body.insert(cheat.functions[0].body.begin(),
+                                 {wasm::Instr::i64c(0),
+                                  wasm::Instr::global_set(0)});
+  try {
+    core::InstrumentationEnclave ie2(ie_host, policy.instrumentation);
+    ie2.instrument_binary(wasm::encode(cheat));
+    std::printf("counter-writing workload: ACCEPTED (BUG!)\n");
+  } catch (const Error& e) {
+    std::printf("counter-writing workload: rejected (%s)\n", e.what());
+  }
+  return 0;
+}

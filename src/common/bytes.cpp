@@ -1,0 +1,82 @@
+#include "common/bytes.hpp"
+
+#include <stdexcept>
+
+namespace acctee {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = hex_value(hex[i]);
+    int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw std::invalid_argument("from_hex: non-hex character");
+    }
+    out.push_back(static_cast<uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+void append_u32le(Bytes& dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) dst.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void append_u64le(Bytes& dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) dst.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t read_u32le(BytesView data, size_t offset) {
+  if (offset + 4 > data.size()) throw std::out_of_range("read_u32le");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data[offset + i]) << (8 * i);
+  return v;
+}
+
+uint64_t read_u64le(BytesView data, size_t offset) {
+  if (offset + 8 > data.size()) throw std::out_of_range("read_u64le");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data[offset + i]) << (8 * i);
+  return v;
+}
+
+}  // namespace acctee

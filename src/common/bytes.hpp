@@ -1,0 +1,45 @@
+// Byte-buffer primitives shared across all AccTEE modules.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace acctee {
+
+/// Owned byte buffer. All wire formats (Wasm binaries, quotes, evidence,
+/// resource logs) are represented as Bytes.
+using Bytes = std::vector<uint8_t>;
+
+/// Non-owning view over bytes.
+using BytesView = std::span<const uint8_t>;
+
+/// Encodes `data` as lowercase hex.
+std::string to_hex(BytesView data);
+
+/// Decodes a hex string (case-insensitive). Throws std::invalid_argument on
+/// malformed input (odd length or non-hex characters).
+Bytes from_hex(std::string_view hex);
+
+/// Converts an ASCII string to bytes (no terminator).
+Bytes to_bytes(std::string_view s);
+
+/// Constant-time equality; avoids early-exit timing leaks when comparing
+/// MACs or signatures.
+bool ct_equal(BytesView a, BytesView b);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Appends a little-endian fixed-width integer.
+void append_u32le(Bytes& dst, uint32_t v);
+void append_u64le(Bytes& dst, uint64_t v);
+
+/// Reads a little-endian integer at `offset`; throws std::out_of_range if the
+/// buffer is too short.
+uint32_t read_u32le(BytesView data, size_t offset);
+uint64_t read_u64le(BytesView data, size_t offset);
+
+}  // namespace acctee

@@ -1,0 +1,63 @@
+// Error taxonomy for the AccTEE library.
+//
+// Library errors are reported via exceptions rooted at acctee::Error; each
+// subsystem has a distinct subclass so callers can handle (say) a workload
+// trap differently from an attestation failure. Wasm *traps* are semantically
+// part of the execution model (a trapped workload still produces a valid
+// resource log), so TrapError carries the accounting state observed so far.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace acctee {
+
+/// Root of all AccTEE exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed WAT text or Wasm binary.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Module failed validation (type errors, bad indices, counter-protection
+/// violations, ...).
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what)
+      : Error("validation error: " + what) {}
+};
+
+/// Wasm execution trap (out-of-bounds access, unreachable, div by zero,
+/// stack exhaustion, ...). Traps are recoverable at the embedder level.
+class TrapError : public Error {
+ public:
+  explicit TrapError(const std::string& what) : Error("trap: " + what) {}
+};
+
+/// Host/embedding failure while linking or calling imports.
+class LinkError : public Error {
+ public:
+  explicit LinkError(const std::string& what) : Error("link error: " + what) {}
+};
+
+/// Attestation/quote/evidence verification failure. Security-relevant:
+/// callers must treat the peer as untrusted.
+class AttestationError : public Error {
+ public:
+  explicit AttestationError(const std::string& what)
+      : Error("attestation error: " + what) {}
+};
+
+/// Instrumentation pass failure (unexpected IR shape, protection violation).
+class InstrumentError : public Error {
+ public:
+  explicit InstrumentError(const std::string& what)
+      : Error("instrumentation error: " + what) {}
+};
+
+}  // namespace acctee

@@ -1,0 +1,67 @@
+#include "common/leb128.hpp"
+
+#include <stdexcept>
+
+namespace acctee {
+
+void write_uleb128(Bytes& out, uint64_t v) {
+  do {
+    uint8_t byte = v & 0x7f;
+    v >>= 7;
+    if (v != 0) byte |= 0x80;
+    out.push_back(byte);
+  } while (v != 0);
+}
+
+void write_sleb128(Bytes& out, int64_t v) {
+  bool more = true;
+  while (more) {
+    uint8_t byte = v & 0x7f;
+    v >>= 7;  // arithmetic shift keeps the sign
+    if ((v == 0 && (byte & 0x40) == 0) || (v == -1 && (byte & 0x40) != 0)) {
+      more = false;
+    } else {
+      byte |= 0x80;
+    }
+    out.push_back(byte);
+  }
+}
+
+uint64_t read_uleb128(BytesView data, size_t* offset) {
+  uint64_t result = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (*offset >= data.size()) throw std::out_of_range("read_uleb128: truncated");
+    uint8_t byte = data[(*offset)++];
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return result;
+    shift += 7;
+  }
+  throw std::invalid_argument("read_uleb128: over-long encoding");
+}
+
+int64_t read_sleb128(BytesView data, size_t* offset) {
+  int64_t result = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (*offset >= data.size()) throw std::out_of_range("read_sleb128: truncated");
+    uint8_t byte = data[(*offset)++];
+    result |= static_cast<int64_t>(byte & 0x7f) << shift;
+    shift += 7;
+    if ((byte & 0x80) == 0) {
+      if (shift < 64 && (byte & 0x40) != 0) {
+        result |= -(static_cast<int64_t>(1) << shift);
+      }
+      return result;
+    }
+  }
+  throw std::invalid_argument("read_sleb128: over-long encoding");
+}
+
+size_t uleb128_size(uint64_t v) {
+  size_t n = 1;
+  while (v >>= 7) ++n;
+  return n;
+}
+
+}  // namespace acctee

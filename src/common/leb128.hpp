@@ -1,0 +1,28 @@
+// LEB128 variable-length integer encoding, as used by the WebAssembly binary
+// format (unsigned for sizes/indices, signed for i32/i64 constants).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace acctee {
+
+/// Appends an unsigned LEB128 encoding of `v` to `out`.
+void write_uleb128(Bytes& out, uint64_t v);
+
+/// Appends a signed LEB128 encoding of `v` to `out`.
+void write_sleb128(Bytes& out, int64_t v);
+
+/// Reads an unsigned LEB128 value starting at *offset; advances *offset past
+/// the encoding. Throws std::out_of_range on truncated input and
+/// std::invalid_argument on over-long encodings (> 10 bytes).
+uint64_t read_uleb128(BytesView data, size_t* offset);
+
+/// Signed counterpart of read_uleb128.
+int64_t read_sleb128(BytesView data, size_t* offset);
+
+/// Number of bytes write_uleb128 would emit for `v`.
+size_t uleb128_size(uint64_t v);
+
+}  // namespace acctee

@@ -1,0 +1,114 @@
+#include "core/accounting_enclave.hpp"
+
+#include "common/error.hpp"
+#include "wasm/binary.hpp"
+#include "wasm/validator.hpp"
+
+namespace acctee::core {
+
+const char* const kAccountingEnclaveCode =
+    "AccTEE Accounting Enclave v1.0 — WebAssembly execution sandbox with "
+    "trusted weighted-instruction, memory and I/O accounting, publicly "
+    "auditable.";
+
+AccountingEnclave::AccountingEnclave(sgx::Platform& platform, Config config)
+    : enclave_(platform.create_enclave(to_bytes(kAccountingEnclaveCode))),
+      config_(std::move(config)),
+      signer_(platform.seal_key(enclave_->measurement()),
+              config_.signing_capacity) {}
+
+sgx::Measurement AccountingEnclave::expected_measurement() {
+  return crypto::sha256(to_bytes(kAccountingEnclaveCode));
+}
+
+sgx::Quote AccountingEnclave::identity_quote() const {
+  crypto::Digest id = signer_.identity();
+  return enclave_->quoted_report(BytesView(id.data(), id.size()));
+}
+
+AccountingEnclave::Outcome AccountingEnclave::execute(
+    BytesView instrumented_binary, const InstrumentationEvidence& evidence,
+    const std::string& entry, const interp::Values& args, Bytes input) {
+  // --- 1. Verify the instrumentation evidence (paper Fig. 3). ---
+  if (!evidence.verify(config_.trusted_ie_identity)) {
+    throw AttestationError("evidence signature does not verify against the "
+                           "trusted instrumentation enclave");
+  }
+  crypto::Digest binary_hash = crypto::sha256(instrumented_binary);
+  if (binary_hash != evidence.output_hash) {
+    throw AttestationError("binary does not match instrumentation evidence");
+  }
+  if (evidence.pass != config_.instrumentation.pass) {
+    throw AttestationError("evidence pass level differs from agreed policy");
+  }
+  if (evidence.weight_table_hash != config_.instrumentation.weights.hash()) {
+    throw AttestationError("evidence weight table differs from agreed table");
+  }
+
+  // --- 2. Load and re-validate inside the enclave. ---
+  wasm::Module module = wasm::decode(instrumented_binary);
+  wasm::validate(module);
+  auto counter_export =
+      module.find_export(instrument::kCounterExport, wasm::ExternKind::Global);
+  if (!counter_export || *counter_export != evidence.counter_global) {
+    throw AttestationError("counter global missing or mismatched");
+  }
+
+  // --- 3. Execute in the two-way sandbox. ---
+  IoChannel channel;
+  channel.input = std::move(input);
+  interp::ImportMap env = make_runtime_env(&channel);
+
+  interp::Instance::Options options;
+  options.platform = config_.platform;
+  options.max_instructions = config_.max_instructions;
+  interp::Instance instance(std::move(module), std::move(env), options);
+
+  Outcome outcome;
+
+  auto make_signed_log = [&](interp::Instance& inst, bool trapped,
+                             bool is_final) {
+    const interp::ExecStats& stats = inst.stats();
+    ResourceUsageLog log;
+    log.module_hash = binary_hash;
+    log.weight_table_hash = evidence.weight_table_hash;
+    log.pass = evidence.pass;
+    log.sequence = next_sequence_++;
+    log.weighted_instructions = static_cast<uint64_t>(
+        inst.read_global(instrument::kCounterExport).i64());
+    log.peak_memory_bytes = stats.peak_memory_bytes;
+    log.memory_integral = stats.memory_integral;
+    log.io_bytes_in = stats.io_bytes_in;
+    log.io_bytes_out = stats.io_bytes_out;
+    log.trapped = trapped;
+    log.is_final = is_final;
+    SignedResourceLog signed_log;
+    signed_log.log = log;
+    signed_log.signature = signer_.sign(log.serialize());
+    return signed_log;
+  };
+
+  if (config_.checkpoint_interval != 0) {
+    instance.set_checkpoint(
+        config_.checkpoint_interval, [&](interp::Instance& inst) {
+          outcome.interim_logs.push_back(
+              make_signed_log(inst, /*trapped=*/false, /*is_final=*/false));
+        });
+  }
+
+  bool trapped = false;
+  try {
+    outcome.results = instance.invoke(entry, args);
+  } catch (const TrapError& trap) {
+    trapped = true;
+    outcome.trap_message = trap.what();
+  }
+
+  // --- 4. Assemble and sign the final resource usage log. ---
+  outcome.signed_log = make_signed_log(instance, trapped, /*is_final=*/true);
+  outcome.output = std::move(channel.output);
+  outcome.stats = instance.stats();
+  return outcome;
+}
+
+}  // namespace acctee::core

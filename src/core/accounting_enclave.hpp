@@ -1,0 +1,86 @@
+// The Accounting Enclave (AE, paper Fig. 2/3): AccTEE's two-way sandbox.
+//
+// The AE runs at the infrastructure provider. It (1) verifies that the
+// workload binary carries genuine instrumentation evidence from a trusted
+// instrumentation enclave, (2) executes it in the WebAssembly execution
+// sandbox under the platform's SGX cost model, (3) reads the protected
+// weighted instruction counter and the runtime's memory/I/O accounting, and
+// (4) emits a signed resource usage log that both parties trust.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/evidence.hpp"
+#include "core/resource_log.hpp"
+#include "core/runtime_env.hpp"
+#include "interp/instance.hpp"
+#include "sgx/platform.hpp"
+
+namespace acctee::core {
+
+/// Publicly auditable enclave code.
+extern const char* const kAccountingEnclaveCode;
+
+class AccountingEnclave {
+ public:
+  struct Config {
+    /// Identity root of the instrumentation enclave whose evidence the AE
+    /// accepts (obtained by the infrastructure provider via attestation of
+    /// the IE; see session.hpp for the full handshake).
+    crypto::Digest trusted_ie_identity{};
+    /// Accounting parameters both parties agreed on.
+    instrument::InstrumentOptions instrumentation;
+    MemoryPolicy memory_policy = MemoryPolicy::Peak;
+    /// Platform the workload executes under (drives the SGX cost model).
+    interp::Platform platform = interp::Platform::WasmSgxHw;
+    /// Resource limit: abort workloads beyond this many instructions.
+    uint64_t max_instructions = UINT64_MAX;
+    uint32_t signing_capacity = 512;
+    /// When non-zero, the AE additionally emits a signed *interim* log
+    /// every this many executed instructions (paper §3.3: periodic
+    /// progress feedback to the content/workload provider).
+    uint64_t checkpoint_interval = 0;
+  };
+
+  AccountingEnclave(sgx::Platform& platform, Config config);
+
+  static sgx::Measurement expected_measurement();
+
+  /// The AE's signer identity root (bound to its quote report data).
+  crypto::Digest identity() const { return signer_.identity(); }
+  sgx::Quote identity_quote() const;
+
+  struct Outcome {
+    interp::Values results;       // entry function results (empty on trap)
+    Bytes output;                 // bytes the workload wrote via io_write
+    SignedResourceLog signed_log;
+    /// Periodic in-flight logs (is_final = false), oldest first; empty
+    /// unless Config::checkpoint_interval is set.
+    std::vector<SignedResourceLog> interim_logs;
+    std::string trap_message;     // non-empty iff log.trapped
+    interp::ExecStats stats;      // raw runtime statistics (diagnostics)
+  };
+
+  /// Verifies evidence and executes `entry(args)` with `input` on the I/O
+  /// channel. Throws AttestationError if the evidence does not check out —
+  /// execution never starts on an unverified binary. Workload traps do NOT
+  /// throw: a trapped workload still consumed resources, so the outcome
+  /// carries a signed log with trapped=true (the infrastructure provider
+  /// must be paid either way).
+  Outcome execute(BytesView instrumented_binary,
+                  const InstrumentationEvidence& evidence,
+                  const std::string& entry, const interp::Values& args,
+                  Bytes input = {});
+
+  const Config& config() const { return config_; }
+
+ private:
+  std::unique_ptr<sgx::Enclave> enclave_;
+  Config config_;
+  crypto::Signer signer_;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace acctee::core

@@ -1,0 +1,19 @@
+#include "core/evidence.hpp"
+
+namespace acctee::core {
+
+Bytes InstrumentationEvidence::signed_payload() const {
+  Bytes out = to_bytes("acctee-instrumentation-evidence-v1");
+  append(out, BytesView(input_hash.data(), input_hash.size()));
+  append(out, BytesView(output_hash.data(), output_hash.size()));
+  append(out, BytesView(weight_table_hash.data(), weight_table_hash.size()));
+  out.push_back(static_cast<uint8_t>(pass));
+  append_u32le(out, counter_global);
+  return out;
+}
+
+bool InstrumentationEvidence::verify(const crypto::Digest& ie_identity) const {
+  return crypto::signature_verify(ie_identity, signed_payload(), signature);
+}
+
+}  // namespace acctee::core

@@ -1,0 +1,27 @@
+// Instrumentation evidence (paper Fig. 3): the instrumentation enclave's
+// signed statement that a given instrumented binary was produced from a
+// given input module, under a given pass level and weight table.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/signer.hpp"
+#include "instrument/passes.hpp"
+
+namespace acctee::core {
+
+struct InstrumentationEvidence {
+  crypto::Digest input_hash{};        // sha256 of the original binary
+  crypto::Digest output_hash{};       // sha256 of the instrumented binary
+  crypto::Digest weight_table_hash{};
+  instrument::PassKind pass = instrument::PassKind::LoopBased;
+  uint32_t counter_global = 0;        // index of the injected counter
+  crypto::Signature signature;        // by the instrumentation enclave
+
+  /// Canonical bytes covered by the signature.
+  Bytes signed_payload() const;
+
+  /// Checks the IE signature against a trusted IE identity.
+  bool verify(const crypto::Digest& ie_identity) const;
+};
+
+}  // namespace acctee::core

@@ -1,0 +1,31 @@
+#include "core/instrumentation_cache.hpp"
+
+namespace acctee::core {
+
+InstrumentationCache::Key InstrumentationCache::make_key(
+    const InstrumentationEnclave& ie, BytesView binary) {
+  return Key{crypto::sha256(binary), ie.options().pass,
+             ie.options().weights.hash()};
+}
+
+const InstrumentationEnclave::Output& InstrumentationCache::instrument(
+    InstrumentationEnclave& ie, BytesView wasm_binary) {
+  Key key = make_key(ie, wasm_binary);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto [inserted, _] =
+      entries_.emplace(std::move(key), ie.instrument_binary(wasm_binary));
+  return inserted->second;
+}
+
+const InstrumentationEnclave::Output* InstrumentationCache::find(
+    const InstrumentationEnclave& ie, BytesView wasm_binary) const {
+  auto it = entries_.find(make_key(ie, wasm_binary));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace acctee::core

@@ -1,0 +1,47 @@
+// Cache of instrumented binaries (paper §3.3: "the code only needs to be
+// instrumented once; a cached copy of the instrumented code can be re-used
+// across many invocations").
+//
+// Keyed by (input-binary hash, pass, weight-table hash); evidence is cached
+// alongside the binary, so repeat deployments skip both the pass and the
+// one-time-signature expenditure.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "core/instrumentation_enclave.hpp"
+
+namespace acctee::core {
+
+class InstrumentationCache {
+ public:
+  /// Returns the cached output for this IE's (pass, weights) policy, or
+  /// runs the IE and caches the result. The cache is policy-aware: the same
+  /// input instrumented under a different pass is a different entry.
+  const InstrumentationEnclave::Output& instrument(
+      InstrumentationEnclave& ie, BytesView wasm_binary);
+
+  /// Pure lookup (no instrumentation).
+  const InstrumentationEnclave::Output* find(
+      const InstrumentationEnclave& ie, BytesView wasm_binary) const;
+
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Key {
+    crypto::Digest input_hash;
+    instrument::PassKind pass;
+    crypto::Digest weights_hash;
+    auto operator<=>(const Key&) const = default;
+  };
+  static Key make_key(const InstrumentationEnclave& ie, BytesView binary);
+
+  std::map<Key, InstrumentationEnclave::Output> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace acctee::core

@@ -1,0 +1,57 @@
+#include "core/instrumentation_enclave.hpp"
+
+#include "crypto/hmac.hpp"
+#include "wasm/binary.hpp"
+#include "wasm/validator.hpp"
+
+namespace acctee::core {
+
+const char* const kInstrumentationEnclaveCode =
+    "AccTEE Instrumentation Enclave v1.0 — deterministic accounting "
+    "instrumentation of WebAssembly modules (naive/flow-based/loop-based), "
+    "publicly auditable.";
+
+namespace {
+Bytes ie_signer_seed(const sgx::Enclave& enclave) {
+  // The signing seed is derived from sealed enclave key material, so the
+  // identity is stable per (platform, enclave code).
+  return enclave.platform().seal_key(enclave.measurement());
+}
+}  // namespace
+
+InstrumentationEnclave::InstrumentationEnclave(
+    sgx::Platform& platform, instrument::InstrumentOptions options,
+    uint32_t signing_capacity)
+    : enclave_(platform.create_enclave(to_bytes(kInstrumentationEnclaveCode))),
+      options_(std::move(options)),
+      signer_(ie_signer_seed(*enclave_), signing_capacity) {}
+
+sgx::Measurement InstrumentationEnclave::expected_measurement() {
+  return crypto::sha256(to_bytes(kInstrumentationEnclaveCode));
+}
+
+sgx::Quote InstrumentationEnclave::identity_quote() const {
+  crypto::Digest id = signer_.identity();
+  return enclave_->quoted_report(BytesView(id.data(), id.size()));
+}
+
+InstrumentationEnclave::Output InstrumentationEnclave::instrument_binary(
+    BytesView wasm_binary) {
+  wasm::Module module = wasm::decode(wasm_binary);
+  wasm::validate(module);
+
+  instrument::InstrumentResult result = instrument::instrument(module, options_);
+
+  Output out;
+  out.instrumented_binary = wasm::encode(result.module);
+  out.stats = result.stats;
+  out.evidence.input_hash = crypto::sha256(wasm_binary);
+  out.evidence.output_hash = crypto::sha256(out.instrumented_binary);
+  out.evidence.weight_table_hash = options_.weights.hash();
+  out.evidence.pass = options_.pass;
+  out.evidence.counter_global = result.counter_global;
+  out.evidence.signature = signer_.sign(out.evidence.signed_payload());
+  return out;
+}
+
+}  // namespace acctee::core

@@ -1,0 +1,62 @@
+// The Instrumentation Enclave (IE, paper Fig. 3).
+//
+// Runs the accounting instrumentation pass inside an attested enclave and
+// emits signed evidence binding input hash -> output hash under a pass
+// level and weight table. Disaggregating instrumentation from execution
+// means a module is instrumented once and the cached instrumented binary is
+// reused across many executions (paper §3.3).
+#pragma once
+
+#include <memory>
+
+#include "core/evidence.hpp"
+#include "instrument/passes.hpp"
+#include "sgx/platform.hpp"
+
+namespace acctee::core {
+
+/// Publicly auditable enclave code (both parties recompute the measurement
+/// from this, per paper §3.3).
+extern const char* const kInstrumentationEnclaveCode;
+
+class InstrumentationEnclave {
+ public:
+  /// Loads the IE onto `platform`; `signing_capacity` bounds the number of
+  /// evidence records it can sign (hash-based one-time keys).
+  InstrumentationEnclave(sgx::Platform& platform,
+                         instrument::InstrumentOptions options,
+                         uint32_t signing_capacity = 64);
+
+  /// The enclave identity both parties expect.
+  static sgx::Measurement expected_measurement();
+
+  /// The IE's signer identity root (bound to its quote report data).
+  crypto::Digest identity() const { return signer_.identity(); }
+
+  /// Quote binding identity() to the enclave measurement; the challenger
+  /// submits this to the attestation service.
+  sgx::Quote identity_quote() const;
+
+  const instrument::InstrumentOptions& options() const { return options_; }
+
+  struct Output {
+    Bytes instrumented_binary;
+    InstrumentationEvidence evidence;
+    instrument::InstrumentStats stats;
+  };
+
+  /// Instruments a Wasm binary. Validates the input first (a module that
+  /// does not validate is rejected before any accounting is attempted).
+  /// Throws ParseError/ValidationError/InstrumentError accordingly.
+  Output instrument_binary(BytesView wasm_binary);
+
+  /// Remaining one-time signing keys (observability / tests).
+  uint32_t keys_remaining_for_test() const { return signer_.keys_remaining(); }
+
+ private:
+  std::unique_ptr<sgx::Enclave> enclave_;
+  instrument::InstrumentOptions options_;
+  crypto::Signer signer_;
+};
+
+}  // namespace acctee::core

@@ -1,0 +1,59 @@
+#include "core/pricing.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace acctee::core {
+
+namespace {
+/// ceil(a * rate / unit) without intermediate overflow for realistic logs.
+uint64_t scaled(uint64_t amount, uint64_t rate, uint64_t unit) {
+  // amount/unit * rate + (amount%unit) * rate / unit, rounded up.
+  uint64_t whole = amount / unit;
+  uint64_t rem = amount % unit;
+  uint64_t cost = whole * rate + (rem * rate + unit - 1) / unit;
+  return cost;
+}
+}  // namespace
+
+Bill price(const ResourceUsageLog& log, const PriceSchedule& schedule) {
+  Bill bill;
+  bill.provider = schedule.provider;
+  bill.compute_nanocredits =
+      scaled(log.weighted_instructions,
+             schedule.nanocredits_per_mega_instruction, 1'000'000);
+  if (schedule.memory_policy == MemoryPolicy::Peak) {
+    bill.memory_nanocredits = scaled(log.peak_memory_bytes,
+                                     schedule.nanocredits_per_mib_peak,
+                                     1024 * 1024);
+  } else {
+    // memory_integral is bytes * instructions; the unit is MiB * 1e6 instrs.
+    bill.memory_nanocredits =
+        scaled(log.memory_integral, schedule.nanocredits_per_mib_megainstr,
+               uint64_t{1024} * 1024 * 1'000'000);
+  }
+  bill.io_nanocredits = scaled(log.io_bytes_in + log.io_bytes_out,
+                               schedule.nanocredits_per_kib_io, 1024);
+  return bill;
+}
+
+std::vector<Bill> compare_providers(const ResourceUsageLog& log,
+                                    const std::vector<PriceSchedule>& offers) {
+  std::vector<Bill> bills;
+  bills.reserve(offers.size());
+  for (const auto& offer : offers) bills.push_back(price(log, offer));
+  std::sort(bills.begin(), bills.end(), [](const Bill& a, const Bill& b) {
+    return a.total() < b.total();
+  });
+  return bills;
+}
+
+std::string Bill::to_string() const {
+  std::ostringstream out;
+  out << provider << ": compute=" << compute_nanocredits
+      << "n memory=" << memory_nanocredits << "n io=" << io_nanocredits
+      << "n total=" << total() << "n";
+  return out.str();
+}
+
+}  // namespace acctee::core

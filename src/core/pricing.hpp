@@ -1,0 +1,52 @@
+// Pricing models on top of resource usage logs (paper §3.2).
+//
+// Counting weighted WebAssembly instructions gives a platform-independent
+// metric: the same deterministic task and input yield the same count on
+// every machine and runtime, so a per-instruction pricing model lets
+// customers compare infrastructure providers fairly — while providers keep
+// the freedom to set their own rates reflecting management, energy and
+// hardware costs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/resource_log.hpp"
+
+namespace acctee::core {
+
+/// A provider's advertised rates. Prices are in nano-credits to keep the
+/// arithmetic exact and overflow-safe for realistic workloads.
+struct PriceSchedule {
+  std::string provider;
+  uint64_t nanocredits_per_mega_instruction = 0;  // per 1e6 weighted instrs
+  uint64_t nanocredits_per_mib_peak = 0;          // per MiB peak memory
+  // Per MiB * mega-instruction of the memory-size integral.
+  uint64_t nanocredits_per_mib_megainstr = 0;
+  uint64_t nanocredits_per_kib_io = 0;            // per KiB transferred
+  MemoryPolicy memory_policy = MemoryPolicy::Peak;
+};
+
+/// An itemised bill computed from a log under a schedule.
+struct Bill {
+  std::string provider;
+  uint64_t compute_nanocredits = 0;
+  uint64_t memory_nanocredits = 0;
+  uint64_t io_nanocredits = 0;
+
+  uint64_t total() const {
+    return compute_nanocredits + memory_nanocredits + io_nanocredits;
+  }
+  std::string to_string() const;
+};
+
+/// Prices a log under a schedule. Pure function of (log, schedule): both
+/// parties compute the same bill from the same signed log.
+Bill price(const ResourceUsageLog& log, const PriceSchedule& schedule);
+
+/// Ranks providers by total cost for a given (already observed) log —
+/// the "fair comparison of offerings" the paper motivates.
+std::vector<Bill> compare_providers(const ResourceUsageLog& log,
+                                    const std::vector<PriceSchedule>& offers);
+
+}  // namespace acctee::core

@@ -1,0 +1,82 @@
+#include "core/resource_log.hpp"
+#include <algorithm>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace acctee::core {
+
+const char* to_string(MemoryPolicy policy) {
+  switch (policy) {
+    case MemoryPolicy::Peak: return "peak";
+    case MemoryPolicy::Integral: return "integral";
+  }
+  return "?";
+}
+
+Bytes ResourceUsageLog::serialize() const {
+  Bytes out = to_bytes("acctee-resource-log-v1");
+  append(out, BytesView(module_hash.data(), module_hash.size()));
+  append(out, BytesView(weight_table_hash.data(), weight_table_hash.size()));
+  out.push_back(static_cast<uint8_t>(pass));
+  append_u64le(out, sequence);
+  append_u64le(out, weighted_instructions);
+  append_u64le(out, peak_memory_bytes);
+  append_u64le(out, memory_integral);
+  append_u64le(out, io_bytes_in);
+  append_u64le(out, io_bytes_out);
+  out.push_back(trapped ? 1 : 0);
+  out.push_back(is_final ? 1 : 0);
+  return out;
+}
+
+ResourceUsageLog ResourceUsageLog::deserialize(BytesView data) {
+  const Bytes header = to_bytes("acctee-resource-log-v1");
+  if (data.size() != header.size() + 32 + 32 + 1 + 6 * 8 + 2 ||
+      !ct_equal(data.subspan(0, header.size()), header)) {
+    throw std::invalid_argument("ResourceUsageLog: bad serialization");
+  }
+  ResourceUsageLog log;
+  size_t off = header.size();
+  std::copy_n(data.begin() + off, 32, log.module_hash.begin());
+  off += 32;
+  std::copy_n(data.begin() + off, 32, log.weight_table_hash.begin());
+  off += 32;
+  uint8_t pass = data[off++];
+  if (pass > 2) throw std::invalid_argument("ResourceUsageLog: bad pass");
+  log.pass = static_cast<instrument::PassKind>(pass);
+  log.sequence = read_u64le(data, off);
+  off += 8;
+  log.weighted_instructions = read_u64le(data, off);
+  off += 8;
+  log.peak_memory_bytes = read_u64le(data, off);
+  off += 8;
+  log.memory_integral = read_u64le(data, off);
+  off += 8;
+  log.io_bytes_in = read_u64le(data, off);
+  off += 8;
+  log.io_bytes_out = read_u64le(data, off);
+  off += 8;
+  log.trapped = data[off++] != 0;
+  log.is_final = data[off] != 0;
+  return log;
+}
+
+std::string ResourceUsageLog::to_string() const {
+  std::ostringstream out;
+  out << "ResourceUsageLog{seq=" << sequence
+      << ", weighted_instructions=" << weighted_instructions
+      << ", peak_memory=" << peak_memory_bytes
+      << ", memory_integral=" << memory_integral
+      << ", io_in=" << io_bytes_in << ", io_out=" << io_bytes_out
+      << ", pass=" << instrument::to_string(pass)
+      << ", trapped=" << (trapped ? "yes" : "no")
+      << (is_final ? "" : ", interim") << "}";
+  return out.str();
+}
+
+bool SignedResourceLog::verify(const crypto::Digest& ae_identity) const {
+  return crypto::signature_verify(ae_identity, log.serialize(), signature);
+}
+
+}  // namespace acctee::core

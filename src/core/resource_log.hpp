@@ -1,0 +1,65 @@
+// Resource usage logs (paper Fig. 1 / §3.5): the artefact both mutually
+// distrusting parties trust.
+//
+// A log binds together *what* ran (hash of the instrumented module), *how*
+// it was accounted (pass level + weight-table hash), and *what it consumed*
+// (weighted instruction counter, memory, I/O). The accounting enclave signs
+// the log with its attested identity, so either party can verify it offline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/signer.hpp"
+#include "instrument/passes.hpp"
+
+namespace acctee::core {
+
+/// Memory accounting policies the parties can agree on (paper §3.5):
+/// peak linear-memory size, or the instruction-counter-approximated
+/// time integral of the linear-memory size.
+enum class MemoryPolicy : uint8_t { Peak = 0, Integral = 1 };
+
+const char* to_string(MemoryPolicy policy);
+
+struct ResourceUsageLog {
+  // Identity of the execution.
+  crypto::Digest module_hash{};        // sha256 of the instrumented binary
+  crypto::Digest weight_table_hash{};  // table used by the counter
+  instrument::PassKind pass = instrument::PassKind::LoopBased;
+  uint64_t sequence = 0;  // log sequence number (periodic logs, §3.3)
+
+  // Resources (paper §3.5).
+  uint64_t weighted_instructions = 0;  // the weighted instruction counter
+  uint64_t peak_memory_bytes = 0;
+  uint64_t memory_integral = 0;        // bytes * instructions
+  uint64_t io_bytes_in = 0;
+  uint64_t io_bytes_out = 0;
+
+  // Outcome.
+  bool trapped = false;
+  // False for the periodic in-flight logs the AE emits during long
+  // executions (paper §3.3); true for the log covering the whole run.
+  bool is_final = true;
+
+  /// Canonical bytes the accounting enclave signs.
+  Bytes serialize() const;
+  static ResourceUsageLog deserialize(BytesView data);
+
+  bool operator==(const ResourceUsageLog&) const = default;
+
+  /// Human-readable rendering for logs/examples.
+  std::string to_string() const;
+};
+
+/// A log plus the accounting enclave's signature over it.
+struct SignedResourceLog {
+  ResourceUsageLog log;
+  crypto::Signature signature;
+
+  /// Verifies against the AE's signer identity (obtained via attestation).
+  bool verify(const crypto::Digest& ae_identity) const;
+};
+
+}  // namespace acctee::core

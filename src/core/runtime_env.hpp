@@ -1,0 +1,44 @@
+// The AccTEE runtime environment: the host-function ABI exposed to
+// sandboxed workloads, with I/O byte accounting (paper §3.4/§3.5).
+//
+// WebAssembly has no I/O of its own; the runtime (inside the trust
+// boundary) exposes primitives under the "env" import namespace:
+//
+//   env.input_size() -> i32               size of the request input
+//   env.io_read(ptr, len) -> i32          copy input into linear memory,
+//                                         returns bytes copied (cursor-based)
+//   env.io_write(ptr, len) -> i32         append linear memory to the output
+//   env.debug_i64(v i64)                  debugging aid (not accounted)
+//
+// io_read / io_write accumulate ExecStats::io_bytes_in / io_bytes_out —
+// the runtime-side half of AccTEE's accounting (the Wasm instrumentation
+// cannot see I/O, and the workload cannot fake bytes it never moved).
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "interp/host.hpp"
+
+namespace acctee::core {
+
+/// The I/O channel a workload reads its input from and writes results to.
+/// One channel per execution (FaaS request, volunteer-computing task, ...).
+struct IoChannel {
+  Bytes input;
+  size_t cursor = 0;  // read position in `input`
+  Bytes output;
+};
+
+/// Builds the "env" import map bound to `channel`. The channel must outlive
+/// the instance. `debug_sink`, if non-null, receives env.debug_i64 values.
+interp::ImportMap make_runtime_env(IoChannel* channel,
+                                   std::vector<int64_t>* debug_sink = nullptr);
+
+/// The function types of the ABI (used by workload builders).
+wasm::FuncType io_read_type();
+wasm::FuncType io_write_type();
+wasm::FuncType input_size_type();
+wasm::FuncType debug_i64_type();
+
+}  // namespace acctee::core

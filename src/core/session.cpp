@@ -1,0 +1,119 @@
+#include "core/session.hpp"
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace acctee::core {
+
+crypto::Digest attest_enclave_identity(sgx::AttestationService& service,
+                                       const crypto::Digest& service_identity,
+                                       const sgx::Quote& quote,
+                                       const sgx::Measurement& expected) {
+  sgx::AttestationVerdict verdict = service.verify_quote(quote);
+  if (!sgx::check_verdict(verdict, service_identity, expected)) {
+    throw AttestationError("enclave attestation failed");
+  }
+  crypto::Digest identity;
+  std::copy_n(verdict.report_data.begin(), identity.size(), identity.begin());
+  return identity;
+}
+
+WorkloadProvider::WorkloadProvider(Bytes wasm_binary, SessionPolicy policy,
+                                   crypto::Digest attestation_service_identity)
+    : original_binary_(std::move(wasm_binary)),
+      policy_(std::move(policy)),
+      service_identity_(attestation_service_identity) {}
+
+void WorkloadProvider::instrument_with(InstrumentationEnclave& ie,
+                                       sgx::AttestationService& service) {
+  // Attest the IE: correct measurement + signer identity bound in-quote.
+  crypto::Digest ie_identity = attest_enclave_identity(
+      service, service_identity_, ie.identity_quote(),
+      InstrumentationEnclave::expected_measurement());
+
+  InstrumentationEnclave::Output output =
+      ie.instrument_binary(original_binary_);
+
+  // Verify the evidence before accepting the instrumented binary.
+  if (!output.evidence.verify(ie_identity)) {
+    throw AttestationError("instrumentation evidence signature invalid");
+  }
+  if (output.evidence.input_hash != crypto::sha256(original_binary_)) {
+    throw AttestationError("evidence does not cover the submitted module");
+  }
+  if (output.evidence.pass != policy_.instrumentation.pass ||
+      output.evidence.weight_table_hash !=
+          policy_.instrumentation.weights.hash()) {
+    throw AttestationError("IE used a different accounting policy");
+  }
+  instrumented_binary_ = std::move(output.instrumented_binary);
+  evidence_ = output.evidence;
+}
+
+void WorkloadProvider::attest_accounting_enclave(
+    const sgx::Quote& ae_quote, sgx::AttestationService& service) {
+  ae_identity_ = attest_enclave_identity(
+      service, service_identity_, ae_quote,
+      AccountingEnclave::expected_measurement());
+  ae_attested_ = true;
+}
+
+bool WorkloadProvider::verify_log(const SignedResourceLog& signed_log) const {
+  if (!ae_attested_) return false;
+  if (!signed_log.verify(ae_identity_)) return false;
+  const ResourceUsageLog& log = signed_log.log;
+  return log.module_hash == evidence_.output_hash &&
+         log.weight_table_hash == evidence_.weight_table_hash &&
+         log.pass == evidence_.pass;
+}
+
+bool WorkloadProvider::accept_log(const SignedResourceLog& signed_log) {
+  if (!verify_log(signed_log)) return false;
+  if (last_accepted_sequence_ &&
+      signed_log.log.sequence <= *last_accepted_sequence_) {
+    return false;  // replayed or reordered log
+  }
+  last_accepted_sequence_ = signed_log.log.sequence;
+  return true;
+}
+
+InfrastructureProvider::InfrastructureProvider(
+    sgx::Platform& platform, SessionPolicy policy,
+    crypto::Digest attestation_service_identity, PriceSchedule prices)
+    : platform_(platform),
+      policy_(std::move(policy)),
+      service_identity_(attestation_service_identity),
+      prices_(std::move(prices)) {}
+
+void InfrastructureProvider::trust_instrumentation_enclave(
+    const sgx::Quote& ie_quote, sgx::AttestationService& service) {
+  crypto::Digest ie_identity = attest_enclave_identity(
+      service, service_identity_, ie_quote,
+      InstrumentationEnclave::expected_measurement());
+
+  AccountingEnclave::Config config;
+  config.trusted_ie_identity = ie_identity;
+  config.instrumentation = policy_.instrumentation;
+  config.memory_policy = policy_.memory_policy;
+  config.platform = policy_.platform;
+  config.max_instructions = policy_.max_instructions;
+  ae_ = std::make_unique<AccountingEnclave>(platform_, std::move(config));
+}
+
+sgx::Quote InfrastructureProvider::accounting_enclave_quote() const {
+  if (!ae_) throw Error("accounting enclave not initialised");
+  return ae_->identity_quote();
+}
+
+InfrastructureProvider::BilledOutcome InfrastructureProvider::run(
+    BytesView instrumented_binary, const InstrumentationEvidence& evidence,
+    const std::string& entry, const interp::Values& args, Bytes input) {
+  if (!ae_) throw Error("accounting enclave not initialised");
+  BilledOutcome billed;
+  billed.outcome = ae_->execute(instrumented_binary, evidence, entry, args,
+                                std::move(input));
+  billed.bill = price(billed.outcome.signed_log.log, prices_);
+  return billed;
+}
+
+}  // namespace acctee::core

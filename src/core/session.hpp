@@ -1,0 +1,118 @@
+// The full two-party workflow (paper Fig. 1 + Fig. 3), wired end to end.
+//
+// Roles:
+//   * WorkloadProvider — owns the Wasm module; distrusts the infrastructure.
+//     Attests the IE, submits the module for instrumentation, attests the
+//     AE at the infrastructure provider, and verifies every signed log.
+//   * InfrastructureProvider — owns the machine; distrusts the workload.
+//     Operates the AE, attests the IE before accepting its evidence, and
+//     relies on the same signed logs for billing.
+//
+// Both parties pin the attestation service identity and the expected
+// enclave measurements (the enclave code is public and auditable, §3.3).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/accounting_enclave.hpp"
+#include "core/instrumentation_enclave.hpp"
+#include "core/pricing.hpp"
+#include "sgx/attestation.hpp"
+
+namespace acctee::core {
+
+/// What the two parties agreed on out of band.
+struct SessionPolicy {
+  instrument::InstrumentOptions instrumentation;
+  MemoryPolicy memory_policy = MemoryPolicy::Peak;
+  interp::Platform platform = interp::Platform::WasmSgxHw;
+  uint64_t max_instructions = UINT64_MAX;
+};
+
+/// Attests an enclave's quote via the service and extracts the signer
+/// identity bound in its report data. Throws AttestationError unless the
+/// verdict is valid and the measurement matches `expected`.
+crypto::Digest attest_enclave_identity(sgx::AttestationService& service,
+                                       const crypto::Digest& service_identity,
+                                       const sgx::Quote& quote,
+                                       const sgx::Measurement& expected);
+
+/// The workload provider's view of a session.
+class WorkloadProvider {
+ public:
+  WorkloadProvider(Bytes wasm_binary, SessionPolicy policy,
+                   crypto::Digest attestation_service_identity);
+
+  /// Step 1: attest the IE and submit the module for instrumentation.
+  /// Keeps the instrumented binary + evidence for later verification.
+  void instrument_with(InstrumentationEnclave& ie,
+                       sgx::AttestationService& service);
+
+  /// Step 2: attest the AE operated by the infrastructure provider and pin
+  /// its identity.
+  void attest_accounting_enclave(const sgx::Quote& ae_quote,
+                                 sgx::AttestationService& service);
+
+  /// Step 3 (per execution): verify a signed log received from the
+  /// provider. Returns false if the signature, module hash, pass or weight
+  /// table do not match what this provider expects to pay for.
+  bool verify_log(const SignedResourceLog& signed_log) const;
+
+  /// verify_log plus replay protection: a log whose sequence number is not
+  /// strictly greater than every previously accepted one is rejected (a
+  /// provider replaying old signed logs must not be paid twice).
+  bool accept_log(const SignedResourceLog& signed_log);
+
+  const Bytes& instrumented_binary() const { return instrumented_binary_; }
+  const InstrumentationEvidence& evidence() const { return evidence_; }
+  const SessionPolicy& policy() const { return policy_; }
+
+ private:
+  Bytes original_binary_;
+  SessionPolicy policy_;
+  crypto::Digest service_identity_;
+  Bytes instrumented_binary_;
+  InstrumentationEvidence evidence_;
+  crypto::Digest ae_identity_{};
+  bool ae_attested_ = false;
+  std::optional<uint64_t> last_accepted_sequence_;
+};
+
+/// The infrastructure provider's view: operates the AE on its platform.
+class InfrastructureProvider {
+ public:
+  InfrastructureProvider(sgx::Platform& platform, SessionPolicy policy,
+                         crypto::Digest attestation_service_identity,
+                         PriceSchedule prices);
+
+  /// Accepts an IE identity after attesting it (the provider must also
+  /// trust the instrumentation, §3.3: both parties verify both enclaves).
+  void trust_instrumentation_enclave(const sgx::Quote& ie_quote,
+                                     sgx::AttestationService& service);
+
+  /// Quote of the operated AE, for the workload provider to attest.
+  sgx::Quote accounting_enclave_quote() const;
+
+  /// Runs a workload execution and returns the outcome with the signed log
+  /// plus this provider's bill for it.
+  struct BilledOutcome {
+    AccountingEnclave::Outcome outcome;
+    Bill bill;
+  };
+  BilledOutcome run(BytesView instrumented_binary,
+                    const InstrumentationEvidence& evidence,
+                    const std::string& entry, const interp::Values& args,
+                    Bytes input = {});
+
+  const PriceSchedule& prices() const { return prices_; }
+
+ private:
+  sgx::Platform& platform_;
+  SessionPolicy policy_;
+  crypto::Digest service_identity_;
+  PriceSchedule prices_;
+  std::unique_ptr<AccountingEnclave> ae_;
+};
+
+}  // namespace acctee::core

@@ -1,0 +1,42 @@
+#include "crypto/hmac.hpp"
+
+namespace acctee::crypto {
+
+Digest hmac_sha256(BytesView key, BytesView message) {
+  constexpr size_t kBlock = 64;
+  Bytes k(kBlock, 0);
+  if (key.size() > kBlock) {
+    Digest kd = sha256(key);
+    std::copy(kd.begin(), kd.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+bool hmac_verify(BytesView key, BytesView message, BytesView mac) {
+  Digest expected = hmac_sha256(key, message);
+  return ct_equal(BytesView(expected.data(), expected.size()), mac);
+}
+
+Bytes derive_key(BytesView root_key, std::string_view label) {
+  Digest d = hmac_sha256(root_key, to_bytes(label));
+  return digest_bytes(d);
+}
+
+}  // namespace acctee::crypto

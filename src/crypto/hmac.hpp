@@ -1,0 +1,21 @@
+// HMAC-SHA-256 (RFC 2104), used for SGX quote MACs (the quoting enclave and
+// the simulated attestation service share platform keys, mirroring how real
+// EPID quotes are only verifiable through Intel's attestation service).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace acctee::crypto {
+
+/// Computes HMAC-SHA-256(key, message).
+Digest hmac_sha256(BytesView key, BytesView message);
+
+/// Verifies a MAC in constant time.
+bool hmac_verify(BytesView key, BytesView message, BytesView mac);
+
+/// HKDF-style key derivation: derive a subkey for `label` from a root key.
+/// Used to give each simulated platform / enclave its own key material.
+Bytes derive_key(BytesView root_key, std::string_view label);
+
+}  // namespace acctee::crypto

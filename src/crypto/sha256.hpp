@@ -1,0 +1,51 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for enclave measurements, module hashes, evidence binding and as the
+// hash underlying HMAC and Lamport signatures. Verified against NIST test
+// vectors in tests/crypto_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace acctee::crypto {
+
+/// A 32-byte SHA-256 digest.
+using Digest = std::array<uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs more input. May be called repeatedly.
+  void update(BytesView data);
+
+  /// Finalises and returns the digest. The context must not be reused
+  /// afterwards except via reset().
+  Digest finish();
+
+  /// Resets to the initial state.
+  void reset();
+
+ private:
+  void process_block(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, 64> buffer_;
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience.
+Digest sha256(BytesView data);
+
+/// Digest as owned bytes (for wire formats).
+Bytes digest_bytes(const Digest& d);
+
+/// Digest as lowercase hex.
+std::string digest_hex(const Digest& d);
+
+}  // namespace acctee::crypto

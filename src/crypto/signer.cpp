@@ -1,0 +1,92 @@
+#include "crypto/signer.hpp"
+
+#include "common/error.hpp"
+#include "crypto/hmac.hpp"
+
+namespace acctee::crypto {
+
+Bytes Signature::serialize() const {
+  Bytes out;
+  append_u32le(out, key_index);
+  Bytes pub = one_time_key.serialize();
+  append_u32le(out, static_cast<uint32_t>(pub.size()));
+  append(out, pub);
+  Bytes proof = inclusion.serialize();
+  append_u32le(out, static_cast<uint32_t>(proof.size()));
+  append(out, proof);
+  Bytes sig = lamport.serialize();
+  append_u32le(out, static_cast<uint32_t>(sig.size()));
+  append(out, sig);
+  return out;
+}
+
+Signature Signature::deserialize(BytesView data) {
+  Signature out;
+  size_t off = 0;
+  out.key_index = read_u32le(data, off);
+  off += 4;
+  auto take = [&](const char* what) {
+    uint32_t len = read_u32le(data, off);
+    off += 4;
+    if (off + len > data.size()) {
+      throw std::invalid_argument(std::string("Signature: truncated ") + what);
+    }
+    BytesView view = data.subspan(off, len);
+    off += len;
+    return view;
+  };
+  out.one_time_key = LamportPublicKey::deserialize(take("public key"));
+  out.inclusion = MerkleProof::deserialize(take("proof"));
+  out.lamport = LamportSignature::deserialize(take("lamport"));
+  return out;
+}
+
+MerkleTree Signer::build_tree(const std::vector<LamportKeyPair>& keys) {
+  std::vector<Bytes> leaves;
+  leaves.reserve(keys.size());
+  for (const auto& kp : keys) {
+    Digest fp = kp.pub.fingerprint();
+    leaves.push_back(digest_bytes(fp));
+  }
+  return MerkleTree(leaves);
+}
+
+Signer::Signer(BytesView seed, uint32_t num_keys)
+    : keys_([&] {
+        std::vector<LamportKeyPair> keys;
+        keys.reserve(num_keys);
+        for (uint32_t i = 0; i < num_keys; ++i) {
+          Bytes label = to_bytes("signer-key");
+          append_u32le(label, i);
+          Digest key_seed = hmac_sha256(seed, label);
+          keys.push_back(
+              LamportKeyPair::from_seed(BytesView(key_seed.data(), 32)));
+        }
+        return keys;
+      }()),
+      tree_(build_tree(keys_)) {
+  if (num_keys == 0) throw Error("Signer: num_keys must be > 0");
+}
+
+Signature Signer::sign(BytesView message) {
+  if (next_key_ >= keys_.size()) {
+    throw Error("Signer: one-time keys exhausted");
+  }
+  uint32_t idx = next_key_++;
+  Signature sig;
+  sig.key_index = idx;
+  sig.one_time_key = keys_[idx].pub;
+  sig.inclusion = tree_.prove(idx);
+  sig.lamport = lamport_sign(keys_[idx].priv, message);
+  return sig;
+}
+
+bool signature_verify(const Digest& identity, BytesView message,
+                      const Signature& sig) {
+  if (sig.inclusion.leaf_index != sig.key_index) return false;
+  Digest fp = sig.one_time_key.fingerprint();
+  if (!merkle_verify(identity, digest_bytes(fp), sig.inclusion)) return false;
+  return lamport_verify(sig.one_time_key, message, sig.lamport);
+}
+
+}  // namespace acctee::crypto

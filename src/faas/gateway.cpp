@@ -1,0 +1,114 @@
+#include "faas/gateway.hpp"
+
+#include <cmath>
+
+#include "wasm/validator.hpp"
+
+namespace acctee::faas {
+
+const char* to_string(Setup setup) {
+  switch (setup) {
+    case Setup::Wasm: return "WASM";
+    case Setup::WasmSgxSim: return "WASM-SGX SIM";
+    case Setup::WasmSgxHw: return "WASM-SGX HW";
+    case Setup::WasmSgxHwInstr: return "WASM-SGX HW instr.";
+    case Setup::WasmSgxHwIo: return "WASM-SGX HW I/O";
+    case Setup::JsOpenFaas: return "JS";
+  }
+  return "?";
+}
+
+namespace {
+interp::Platform platform_for(Setup setup) {
+  switch (setup) {
+    case Setup::Wasm: return interp::Platform::Wasm;
+    case Setup::WasmSgxSim: return interp::Platform::WasmSgxSim;
+    case Setup::WasmSgxHw:
+    case Setup::WasmSgxHwInstr:
+    case Setup::WasmSgxHwIo: return interp::Platform::WasmSgxHw;
+    case Setup::JsOpenFaas: return interp::Platform::Native;  // JS engine
+  }
+  return interp::Platform::Wasm;
+}
+}  // namespace
+
+Gateway::Gateway(wasm::Module module, std::string entry, GatewayConfig config)
+    : module_(std::move(module)), entry_(std::move(entry)), config_(config) {
+  wasm::validate(module_);
+}
+
+uint64_t Gateway::request_cycles(uint64_t exec_cycles,
+                                 uint64_t io_bytes) const {
+  double instantiate = static_cast<double>(config_.instantiate_overhead);
+  double io_cost = static_cast<double>(io_bytes) * config_.per_io_byte;
+  double exec = static_cast<double>(exec_cycles);
+
+  switch (config_.setup) {
+    case Setup::Wasm:
+      break;
+    case Setup::WasmSgxSim:
+      instantiate *= config_.sgx_sim_instantiate_factor;
+      io_cost *= config_.sgx_io_factor;
+      break;
+    case Setup::WasmSgxHw:
+    case Setup::WasmSgxHwInstr:
+      instantiate *= config_.sgx_hw_instantiate_factor;
+      io_cost *= config_.sgx_io_factor;
+      break;
+    case Setup::WasmSgxHwIo:
+      instantiate *= config_.sgx_hw_instantiate_factor;
+      io_cost *= config_.sgx_io_factor;
+      io_cost += static_cast<double>(io_bytes) * config_.io_accounting_per_byte;
+      break;
+    case Setup::JsOpenFaas:
+      instantiate = static_cast<double>(config_.openfaas_dispatch);
+      exec *= config_.js_slowdown;
+      break;
+  }
+  return config_.http_overhead + static_cast<uint64_t>(instantiate) +
+         static_cast<uint64_t>(io_cost) + static_cast<uint64_t>(exec);
+}
+
+Bytes Gateway::handle(const Bytes& input) {
+  // Per-request isolation: a fresh instance for every request (§5.3).
+  core::IoChannel channel;
+  channel.input = input;
+  interp::Instance::Options options;
+  options.platform = platform_for(config_.setup);
+  interp::Instance instance(module_, core::make_runtime_env(&channel),
+                            options);
+  instance.invoke(entry_);
+
+  uint64_t io = instance.stats().io_bytes_in + instance.stats().io_bytes_out;
+  uint64_t exec = instance.stats().cycles;
+  total_cycles_ += request_cycles(exec, io);
+  execution_cycles_ += exec;
+  io_bytes_ += io;
+  ++requests_;
+  return channel.output;
+}
+
+LoadResult Gateway::run_load(const std::vector<Bytes>& inputs) {
+  total_cycles_ = 0;
+  execution_cycles_ = 0;
+  io_bytes_ = 0;
+  requests_ = 0;
+  for (const Bytes& input : inputs) handle(input);
+
+  LoadResult result;
+  result.setup = config_.setup;
+  result.requests = requests_;
+  result.total_cycles = total_cycles_;
+  result.execution_cycles = execution_cycles_;
+  result.io_bytes = io_bytes_;
+  // `workers` requests proceed in parallel; the wall time is the serial
+  // cycle count divided across the pool.
+  double hz = config_.cpu_ghz * 1e9;
+  result.seconds =
+      static_cast<double>(total_cycles_) / (hz * config_.workers);
+  result.requests_per_second =
+      result.seconds > 0 ? static_cast<double>(requests_) / result.seconds : 0;
+  return result;
+}
+
+}  // namespace acctee::faas

@@ -1,0 +1,99 @@
+// FaaS gateway simulation (paper §5.3, Fig. 9).
+//
+// Models the evaluation deployment: an HTTP server that instantiates a
+// fresh Wasm module per incoming request (isolation between function
+// invocations), executes it against the request body, and returns the
+// response. "Time" is simulated cycles: per-request platform overheads
+// (HTTP handling, module instantiation, enclave transitions) plus the
+// workload's own execution cycles plus per-byte transfer costs. Throughput
+// is requests / simulated seconds across a fixed worker pool, mirroring the
+// paper's h2load setup with 10 concurrent clients.
+//
+// The JS/OpenFaaS baseline (the paper's `JS` bars) is modelled as the same
+// computation at a JS-engine slowdown plus OpenFaaS's hefty per-request
+// container dispatch overhead.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/runtime_env.hpp"
+#include "interp/instance.hpp"
+#include "wasm/ast.hpp"
+
+namespace acctee::faas {
+
+/// The six Fig. 9 deployment setups.
+enum class Setup {
+  Wasm,            // Node.js-style host, no SGX
+  WasmSgxSim,      // + SGX-LKL simulation mode
+  WasmSgxHw,       // + SGX hardware mode
+  WasmSgxHwInstr,  // + accounting instrumentation (loop-based)
+  WasmSgxHwIo,     // + I/O accounting
+  JsOpenFaas,      // pure-JS implementation on OpenFaaS (baseline)
+};
+
+const char* to_string(Setup setup);
+
+struct GatewayConfig {
+  Setup setup = Setup::Wasm;
+  uint32_t workers = 10;     // matches the 10 concurrent h2load clients
+  double cpu_ghz = 3.4;      // Xeon E3-1230 v5
+
+  // Per-request overheads in cycles (see DESIGN.md for the calibration).
+  uint64_t http_overhead = 2'000'000;
+  uint64_t instantiate_overhead = 15'000'000;  // compile + instantiate
+  uint64_t per_io_byte = 40;                   // network + buffer copies
+
+  // SGX multipliers.
+  double sgx_sim_instantiate_factor = 2.0;
+  double sgx_hw_instantiate_factor = 3.5;
+  double sgx_io_factor = 2.5;  // I/O path through SGX-LKL
+
+  // I/O-accounting cost (negligible by design, §5.3).
+  double io_accounting_per_byte = 0.5;
+
+  // JS/OpenFaaS baseline.
+  double js_slowdown = 2.5;               // JS vs Wasm execution
+  uint64_t openfaas_dispatch = 500'000'000;  // per-request container path
+};
+
+struct LoadResult {
+  Setup setup;
+  uint64_t requests = 0;
+  uint64_t total_cycles = 0;
+  uint64_t execution_cycles = 0;  // workload cycles only
+  uint64_t io_bytes = 0;
+  double seconds = 0;
+  double requests_per_second = 0;
+};
+
+/// A deployed function: a validated module (instrumented or not) + entry.
+class Gateway {
+ public:
+  /// `module` must validate; when `setup` is WasmSgxHwInstr/...HwIo the
+  /// caller deploys the instrumented binary (as the AE would).
+  Gateway(wasm::Module module, std::string entry, GatewayConfig config);
+
+  /// Handles one request; returns the response body and adds the consumed
+  /// cycles to the running totals.
+  Bytes handle(const Bytes& input);
+
+  /// Drives `inputs` through the gateway and computes throughput.
+  LoadResult run_load(const std::vector<Bytes>& inputs);
+
+  const GatewayConfig& config() const { return config_; }
+
+ private:
+  uint64_t request_cycles(uint64_t exec_cycles, uint64_t io_bytes) const;
+
+  wasm::Module module_;
+  std::string entry_;
+  GatewayConfig config_;
+  uint64_t total_cycles_ = 0;
+  uint64_t execution_cycles_ = 0;
+  uint64_t io_bytes_ = 0;
+  uint64_t requests_ = 0;
+};
+
+}  // namespace acctee::faas

@@ -1,0 +1,460 @@
+#include "instrument/passes.hpp"
+
+#include <optional>
+
+#include "common/error.hpp"
+#include "wasm/binary.hpp"
+#include "wasm/validator.hpp"
+
+namespace acctee::instrument {
+
+namespace {
+
+using wasm::Instr;
+using wasm::Op;
+
+/// Does `body` contain a branch that targets the label `depth` levels above
+/// the body's own scope? (depth counts from the body's enclosing construct:
+/// targets_label(body, 0) asks whether the construct that owns `body` is
+/// branched to from inside.)
+bool targets_label(const std::vector<Instr>& body, uint32_t depth) {
+  for (const Instr& instr : body) {
+    switch (instr.op) {
+      case Op::Br:
+      case Op::BrIf:
+        if (instr.index == depth) return true;
+        break;
+      case Op::BrTable: {
+        if (instr.index == depth) return true;
+        for (uint32_t t : instr.br_targets) {
+          if (t == depth) return true;
+        }
+        break;
+      }
+      case Op::Block:
+      case Op::Loop:
+        if (targets_label(instr.body, depth + 1)) return true;
+        break;
+      case Op::If:
+        if (targets_label(instr.body, depth + 1)) return true;
+        if (targets_label(instr.else_body, depth + 1)) return true;
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+/// Detected counted-loop shape for the LoopBased pass.
+struct CountedLoop {
+  uint32_t loop_var = 0;      // local index of the induction variable
+  int32_t step = 0;           // constant per-iteration delta (non-zero)
+  uint64_t body_weight = 0;   // weighted cost of one full iteration
+  // Set when the trip count is a compile-time constant: the loop ends with
+  // `... tee var / i32.const LIMIT / lt_s|gt_s / br_if 0` and the preceding
+  // code sets var to a constant. Then the whole loop accounts as one
+  // constant (body_weight * trip_count) that simply joins the surrounding
+  // pending count — zero instructions of overhead.
+  std::optional<uint64_t> const_trip_count;
+};
+
+class FunctionInstrumenter {
+ public:
+  FunctionInstrumenter(const InstrumentOptions& options, uint32_t counter,
+                       uint32_t first_fresh_local, InstrumentStats* stats)
+      : options_(options),
+        counter_(counter),
+        next_local_(first_fresh_local),
+        stats_(stats) {}
+
+  std::vector<Instr> run(const std::vector<Instr>& body,
+                         std::vector<wasm::ValType>* extra_locals) {
+    extra_locals_ = extra_locals;
+    WalkResult result = walk(body, 0);
+    if (result.pending) flush(result.body, *result.pending);
+    return std::move(result.body);
+  }
+
+ private:
+  /// `pending`: weighted count accumulated since the last counter update on
+  /// the fall-through path; nullopt when the body end is unreachable.
+  struct WalkResult {
+    std::vector<Instr> body;
+    std::optional<uint64_t> pending;
+  };
+
+  const InstrumentOptions& options_;
+  uint32_t counter_;
+  uint32_t next_local_;
+  InstrumentStats* stats_;
+  std::vector<wasm::ValType>* extra_locals_ = nullptr;
+
+  uint64_t w(const Instr& instr) const {
+    return options_.weights.weight(instr.op);
+  }
+
+  bool folding() const { return options_.pass != PassKind::Naive; }
+
+  /// Appends `counter += n` (4 instructions) if n > 0.
+  void flush(std::vector<Instr>& out, uint64_t n) {
+    if (n == 0) return;
+    out.push_back(Instr::global_get(counter_));
+    out.push_back(Instr::i64c(static_cast<int64_t>(n)));
+    out.push_back(Instr::simple(Op::I64Add));
+    out.push_back(Instr::global_set(counter_));
+    ++stats_->increments_inserted;
+  }
+
+  WalkResult walk(const std::vector<Instr>& body, uint64_t carry_in) {
+    WalkResult result;
+    uint64_t pending = carry_in;
+    bool dead = false;
+    for (const Instr& instr : body) {
+      if (dead) {
+        // Statically unreachable code: copy verbatim, never executes.
+        result.body.push_back(instr);
+        continue;
+      }
+      switch (instr.op) {
+        case Op::Br:
+        case Op::Return:
+        case Op::Unreachable:
+        case Op::BrTable:
+          pending += w(instr);
+          flush(result.body, pending);
+          pending = 0;
+          result.body.push_back(instr);
+          dead = true;
+          break;
+        case Op::BrIf:
+          // The taken path leaves this block, so everything accumulated so
+          // far (including the br_if itself, which executes either way) must
+          // be counted before it.
+          pending += w(instr);
+          flush(result.body, pending);
+          pending = 0;
+          result.body.push_back(instr);
+          break;
+        case Op::Block:
+          pending = handle_block(result.body, instr, pending);
+          break;
+        case Op::Loop:
+          pending = handle_loop(result.body, instr, pending);
+          break;
+        case Op::If:
+          pending = handle_if(result.body, instr, pending);
+          break;
+        default:
+          pending += w(instr);
+          result.body.push_back(instr);
+          break;
+      }
+    }
+    if (!dead) result.pending = pending;
+    return result;
+  }
+
+  /// Block: with folding, the preceding straight-line count is carried into
+  /// the block body (the block dominates it) and — when no branch targets
+  /// the block's end — carried out again across the exit.
+  uint64_t handle_block(std::vector<Instr>& out, const Instr& instr,
+                        uint64_t pending) {
+    pending += w(instr);
+    if (!folding()) {
+      flush(out, pending);
+      pending = 0;
+    }
+    bool is_join_target = targets_label(instr.body, 0);
+    uint64_t carry_in = folding() ? pending : 0;
+    WalkResult inner = walk(instr.body, carry_in);
+    bool can_carry_out = folding() && !is_join_target;
+    uint64_t carry_out = 0;
+    if (inner.pending) {
+      if (can_carry_out) {
+        carry_out = *inner.pending;
+      } else {
+        flush(inner.body, *inner.pending);
+      }
+    }
+    Instr copy = instr;
+    copy.body = std::move(inner.body);
+    out.push_back(std::move(copy));
+    return carry_out;
+  }
+
+  /// Loop: the loop header is a back-edge target, so nothing can be folded
+  /// across the entry — flush first. The body end is *not* a branch target
+  /// (loop labels point at the start), so its tail count carries out.
+  uint64_t handle_loop(std::vector<Instr>& out, const Instr& instr,
+                       uint64_t pending) {
+    pending += w(instr);
+
+    if (options_.pass == PassKind::LoopBased) {
+      if (auto counted = match_counted_loop(instr.body, out)) {
+        if (counted->const_trip_count) {
+          // Constant trip count: the whole loop joins the straight-line
+          // accounting as pending + W * trips. No injected code at all.
+          flush(out, pending);
+          out.push_back(instr);
+          return counted->body_weight * *counted->const_trip_count;
+        }
+        // Dynamic trip count: hoisting pays off only if the injected
+        // post-loop computation (and start save) is cheaper than the naive
+        // per-iteration increments; with unknown trip counts we assume many
+        // iterations, as the paper does.
+        flush(out, pending);
+        emit_hoisted_loop(out, instr, *counted);
+        return 0;
+      }
+    }
+    flush(out, pending);
+
+    WalkResult inner = walk(instr.body, 0);
+    uint64_t carry_out = inner.pending.value_or(0);
+    if (!folding() && inner.pending) {
+      flush(inner.body, carry_out);
+      carry_out = 0;
+    }
+    Instr copy = instr;
+    copy.body = std::move(inner.body);
+    out.push_back(std::move(copy));
+    return carry_out;
+  }
+
+  /// If: fold the preceding count (plus the if itself) into both arms —
+  /// the condition block dominates them (Fig. 4 left). When both arms fall
+  /// through to the join and the join is not reachable by a branch to the
+  /// if's own label, apply the predecessor-minimum rule (Fig. 4 right):
+  /// each arm keeps only its excess over the cheaper arm, and the join
+  /// inherits the minimum.
+  uint64_t handle_if(std::vector<Instr>& out, const Instr& instr,
+                     uint64_t pending) {
+    pending += w(instr);
+    if (!folding()) {
+      flush(out, pending);
+      pending = 0;
+    }
+    uint64_t carry_in = folding() ? pending : 0;
+
+    WalkResult then_arm = walk(instr.body, carry_in);
+    WalkResult else_arm = walk(instr.else_body, carry_in);
+
+    bool join_is_branch_target =
+        targets_label(instr.body, 0) || targets_label(instr.else_body, 0);
+
+    uint64_t m = 0;
+    if (folding() && !join_is_branch_target && then_arm.pending &&
+        else_arm.pending) {
+      m = std::min(*then_arm.pending, *else_arm.pending);
+    }
+    if (then_arm.pending) flush(then_arm.body, *then_arm.pending - m);
+    if (else_arm.pending) flush(else_arm.body, *else_arm.pending - m);
+
+    Instr copy = instr;
+    copy.body = std::move(then_arm.body);
+    copy.else_body = std::move(else_arm.body);
+    // An if without else whose carry must be flushed materialises an else
+    // arm holding only the increment (the min-rule usually avoids this:
+    // an empty else arm has pending == carry_in <= then-arm pending, so
+    // m == carry_in and the else increment is zero).
+    out.push_back(std::move(copy));
+    return m;
+  }
+
+  // -- LoopBased: counted-loop detection and hoisting --
+
+  /// Matches a straight-line body `simple* br_if 0` whose induction
+  /// variable is written exactly once by `local.get $i / i32.const k /
+  /// i32.add|sub / local.tee|set $i` (or the commuted add). Enforces the
+  /// paper's anti-cheat rule: exactly one write per iteration, guaranteed
+  /// structurally because every instruction executes every iteration.
+  ///
+  /// `preceding` is the instruction stream already emitted before the loop:
+  /// when it ends with `i32.const START / local.set $i` and the loop tail is
+  /// `... local.tee $i / i32.const LIMIT / lt_s|gt_s / br_if 0`, the trip
+  /// count is a compile-time constant.
+  std::optional<CountedLoop> match_counted_loop(
+      const std::vector<Instr>& body, const std::vector<Instr>& preceding) {
+    if (body.size() < 2) return std::nullopt;
+    for (size_t i = 0; i + 1 < body.size(); ++i) {
+      const Instr& instr = body[i];
+      if (wasm::is_structured(instr.op) || wasm::is_branch(instr.op)) {
+        return std::nullopt;
+      }
+    }
+    const Instr& back_edge = body.back();
+    if (back_edge.op != Op::BrIf || back_edge.index != 0) return std::nullopt;
+
+    // Candidate induction variables: written exactly once, by constant step.
+    std::optional<CountedLoop> found;
+    size_t update_pos = 0;
+    for (size_t i = 0; i + 3 < body.size(); ++i) {
+      int32_t step = 0;
+      uint32_t var = 0;
+      // Pattern A: local.get $i / i32.const k / i32.add|sub / write $i
+      if (body[i].op == Op::LocalGet && body[i + 1].op == Op::I32Const &&
+          (body[i + 2].op == Op::I32Add || body[i + 2].op == Op::I32Sub)) {
+        var = body[i].index;
+        step = body[i + 2].op == Op::I32Add ? body[i + 1].as_i32()
+                                            : -body[i + 1].as_i32();
+      } else if (body[i].op == Op::I32Const &&
+                 body[i + 1].op == Op::LocalGet &&
+                 body[i + 2].op == Op::I32Add) {
+        // Pattern B (commuted add only; k - i is not an induction).
+        var = body[i + 1].index;
+        step = body[i].as_i32();
+      } else {
+        continue;
+      }
+      const Instr& write = body[i + 3];
+      if ((write.op != Op::LocalTee && write.op != Op::LocalSet) ||
+          write.index != var || step == 0) {
+        continue;
+      }
+      if (count_writes(body, var) != 1) continue;
+      CountedLoop loop;
+      loop.loop_var = var;
+      loop.step = step;
+      for (const Instr& instr : body) loop.body_weight += w(instr);
+      found = loop;
+      update_pos = i;
+      break;
+    }
+    if (!found) return found;
+
+    // Constant-trip detection: the canonical compiler emission is
+    //   [const START / set $i]  loop {  body'  get $i / const k / add /
+    //   tee $i / const LIMIT / lt_s|gt_s / br_if 0 }
+    size_t n = body.size();
+    bool tail_shape = update_pos + 7 == n &&
+                      body[n - 4].op == Op::LocalTee &&
+                      body[n - 4].index == found->loop_var &&
+                      body[n - 3].op == Op::I32Const &&
+                      (body[n - 2].op == Op::I32LtS ||
+                       body[n - 2].op == Op::I32GtS);
+    bool start_known = preceding.size() >= 2 &&
+                       preceding[preceding.size() - 2].op == Op::I32Const &&
+                       preceding.back().op == Op::LocalSet &&
+                       preceding.back().index == found->loop_var;
+    if (tail_shape && start_known) {
+      int64_t start = preceding[preceding.size() - 2].as_i32();
+      int64_t limit = body[n - 3].as_i32();
+      int64_t step = found->step;
+      bool upward = body[n - 2].op == Op::I32LtS;
+      if ((upward && step > 0) || (!upward && step < 0)) {
+        // do-while: body runs k times, k = smallest k>=1 with the exit
+        // condition satisfied after the k-th update.
+        int64_t distance = upward ? limit - start : start - limit;
+        int64_t magnitude = upward ? step : -step;
+        int64_t trips = distance <= 0
+                            ? 1
+                            : (distance + magnitude - 1) / magnitude;
+        found->const_trip_count = static_cast<uint64_t>(trips);
+      }
+    }
+    return found;
+  }
+
+  static uint64_t count_writes(const std::vector<Instr>& body, uint32_t var) {
+    uint64_t n = 0;
+    for (const Instr& instr : body) {
+      if ((instr.op == Op::LocalSet || instr.op == Op::LocalTee) &&
+          instr.index == var) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  /// Emits: save start value; the loop verbatim (no per-iteration
+  /// increments); then `counter += body_weight * (i - start) / step`.
+  void emit_hoisted_loop(std::vector<Instr>& out, const Instr& loop,
+                         const CountedLoop& counted) {
+    uint32_t start_local = next_local_++;
+    extra_locals_->push_back(wasm::ValType::I32);
+
+    out.push_back(Instr::local_get(counted.loop_var));
+    out.push_back(Instr::local_set(start_local));
+    out.push_back(loop);  // body unchanged: zero accounting overhead inside
+    out.push_back(Instr::global_get(counter_));
+    out.push_back(Instr::local_get(counted.loop_var));
+    out.push_back(Instr::local_get(start_local));
+    out.push_back(Instr::simple(Op::I32Sub));
+    out.push_back(Instr::i32c(counted.step));
+    out.push_back(Instr::simple(Op::I32DivS));
+    out.push_back(Instr::simple(Op::I64ExtendI32S));
+    out.push_back(Instr::i64c(static_cast<int64_t>(counted.body_weight)));
+    out.push_back(Instr::simple(Op::I64Mul));
+    out.push_back(Instr::simple(Op::I64Add));
+    out.push_back(Instr::global_set(counter_));
+    ++stats_->increments_inserted;
+    ++stats_->loops_hoisted;
+  }
+};
+
+}  // namespace
+
+const char* to_string(PassKind pass) {
+  switch (pass) {
+    case PassKind::Naive: return "naive";
+    case PassKind::FlowBased: return "flow-based";
+    case PassKind::LoopBased: return "loop-based";
+  }
+  return "?";
+}
+
+InstrumentResult instrument(const wasm::Module& original,
+                            const InstrumentOptions& options) {
+  if (original.find_export(kCounterExport, wasm::ExternKind::Global)) {
+    throw InstrumentError("module already exports " +
+                          std::string(kCounterExport));
+  }
+
+  InstrumentResult result;
+  result.module = original;
+  wasm::Module& m = result.module;
+
+  // The counter global is appended, so a validated input cannot reference
+  // it: global indices beyond the original count would have failed
+  // validation (the paper's "previously unused variable name", §3.5).
+  result.counter_global = static_cast<uint32_t>(m.globals.size());
+  wasm::Global counter;
+  counter.type = wasm::ValType::I64;
+  counter.mutable_ = true;
+  counter.init = Instr::i64c(0);
+  counter.name = "acctee_counter";
+  m.globals.push_back(counter);
+  m.exports.push_back(wasm::Export{kCounterExport, wasm::ExternKind::Global,
+                                   result.counter_global});
+
+  for (wasm::Function& func : m.functions) {
+    const wasm::FuncType& type = m.types.at(func.type_index);
+    uint32_t first_fresh =
+        static_cast<uint32_t>(type.params.size() + func.locals.size());
+    FunctionInstrumenter fi(options, result.counter_global, first_fresh,
+                            &result.stats);
+    std::vector<wasm::ValType> extra_locals;
+    func.body = fi.run(func.body, &extra_locals);
+    func.locals.insert(func.locals.end(), extra_locals.begin(),
+                       extra_locals.end());
+    ++result.stats.functions_instrumented;
+  }
+
+  // The instrumented module must still be a valid sandboxed program.
+  wasm::validate(m);
+  return result;
+}
+
+bool verify_instrumentation(const wasm::Module& original,
+                            const wasm::Module& instrumented,
+                            const InstrumentOptions& options) {
+  try {
+    InstrumentResult redo = instrument(original, options);
+    return wasm::encode(redo.module) == wasm::encode(instrumented);
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace acctee::instrument

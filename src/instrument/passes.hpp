@@ -1,0 +1,64 @@
+// Accounting instrumentation passes (paper §3.5 / §3.6).
+//
+// instrument() rewrites a validated module so that a fresh, mutable i64
+// global — the *weighted instruction counter* — accumulates the weighted
+// number of executed instructions. Three pass levels are supported:
+//
+//   * Naive: an increment at the end of every basic block (the REM-style
+//     baseline the paper compares against).
+//   * FlowBased: the paper's two control-flow transformations — dominator
+//     folding (a block that dominates its successors delegates its count to
+//     them) and the predecessor-minimum rule at join points (Fig. 4).
+//   * LoopBased: FlowBased + hoisting of increments out of counted loops:
+//     for a straight-line loop body whose induction variable is written
+//     exactly once per iteration by a constant step (the paper's anti-cheat
+//     rule), the per-iteration increment is replaced by one post-loop
+//     computation `counter += body_weight * (end - start) / step`.
+//
+// All passes are semantically equivalent: the counter's final value is the
+// exact weighted count of executed original instructions, for every control
+// flow — property-tested against the interpreter's ground truth.
+#pragma once
+
+#include "instrument/weights.hpp"
+#include "wasm/ast.hpp"
+
+namespace acctee::instrument {
+
+enum class PassKind : uint8_t { Naive = 0, FlowBased = 1, LoopBased = 2 };
+
+const char* to_string(PassKind pass);
+
+struct InstrumentOptions {
+  PassKind pass = PassKind::LoopBased;
+  WeightTable weights = WeightTable::unit();
+};
+
+struct InstrumentStats {
+  uint64_t increments_inserted = 0;  // counter-update sites in the output
+  uint64_t loops_hoisted = 0;        // loops converted by LoopBased
+  uint64_t functions_instrumented = 0;
+};
+
+struct InstrumentResult {
+  wasm::Module module;        // instrumented copy
+  uint32_t counter_global = 0;  // index of the injected counter global
+  InstrumentStats stats;
+};
+
+/// Name under which the counter global is exported.
+inline constexpr const char* kCounterExport = "__acctee_counter";
+
+/// Instruments `original` (which must validate). Throws InstrumentError if
+/// the module already uses the reserved export name.
+InstrumentResult instrument(const wasm::Module& original,
+                            const InstrumentOptions& options);
+
+/// Deterministic-verification check used by the accounting enclave: re-runs
+/// the pass on `original` and compares canonical encodings. Returns true iff
+/// `instrumented` is exactly what instrument(original, options) produces.
+bool verify_instrumentation(const wasm::Module& original,
+                            const wasm::Module& instrumented,
+                            const InstrumentOptions& options);
+
+}  // namespace acctee::instrument

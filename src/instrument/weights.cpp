@@ -1,0 +1,63 @@
+#include "instrument/weights.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace acctee::instrument {
+
+WeightTable WeightTable::unit() {
+  WeightTable t;
+  t.weights_.fill(1);
+  return t;
+}
+
+WeightTable WeightTable::from_base_costs() {
+  WeightTable t;
+  for (size_t i = 0; i < wasm::kNumOps; ++i) {
+    t.weights_[i] = wasm::op_info(static_cast<wasm::Op>(i)).base_cost;
+  }
+  return t;
+}
+
+WeightTable WeightTable::from_measurements(
+    const std::array<double, wasm::kNumOps>& cycles) {
+  WeightTable t;
+  for (size_t i = 0; i < wasm::kNumOps; ++i) {
+    double c = cycles[i];
+    t.weights_[i] =
+        (c > 0.5 && std::isfinite(c)) ? static_cast<uint64_t>(std::llround(c))
+                                      : 1;
+    if (t.weights_[i] == 0) t.weights_[i] = 1;
+  }
+  return t;
+}
+
+Bytes WeightTable::serialize() const {
+  Bytes out = to_bytes("acctee-weights-v1");
+  append_u32le(out, static_cast<uint32_t>(wasm::kNumOps));
+  for (uint64_t w : weights_) append_u64le(out, w);
+  return out;
+}
+
+WeightTable WeightTable::deserialize(BytesView data) {
+  const Bytes header = to_bytes("acctee-weights-v1");
+  if (data.size() != header.size() + 4 + 8 * wasm::kNumOps ||
+      !ct_equal(data.subspan(0, header.size()), header)) {
+    throw std::invalid_argument("WeightTable: bad serialization");
+  }
+  size_t off = header.size();
+  if (read_u32le(data, off) != wasm::kNumOps) {
+    throw std::invalid_argument("WeightTable: opcode count mismatch");
+  }
+  off += 4;
+  WeightTable t;
+  for (size_t i = 0; i < wasm::kNumOps; ++i) {
+    t.weights_[i] = read_u64le(data, off);
+    off += 8;
+  }
+  return t;
+}
+
+crypto::Digest WeightTable::hash() const { return crypto::sha256(serialize()); }
+
+}  // namespace acctee::instrument

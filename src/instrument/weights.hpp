@@ -1,0 +1,59 @@
+// WebAssembly instruction weights (paper §3.7).
+//
+// The weighted instruction counter multiplies each executed instruction by a
+// per-opcode weight so that expensive instructions (div, sqrt, floor) cost
+// proportionally more than cheap ones. Weights are part of the mutually
+// trusted, attested execution environment: both parties must accept the
+// table, so its hash is bound into instrumentation evidence and resource
+// logs. AccTEE supports runtime adjustment of weights without releasing new
+// enclaves (the table is data, not code).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+#include "wasm/opcode.hpp"
+
+namespace acctee::instrument {
+
+class WeightTable {
+ public:
+  /// Default-constructed tables are unit tables (a zero-weight table would
+  /// silently disable accounting, so it is not constructible by accident).
+  WeightTable() { weights_.fill(1); }
+
+  /// Unit weights: the counter counts plain executed instructions.
+  static WeightTable unit();
+
+  /// Weights taken from the simulated hardware's base cycle costs — the
+  /// table the Fig. 7 calibration benchmark reproduces.
+  static WeightTable from_base_costs();
+
+  /// Builds a table from measured cycles-per-instruction (Fig. 7 workflow):
+  /// any opcode without a measurement falls back to weight 1.
+  static WeightTable from_measurements(
+      const std::array<double, wasm::kNumOps>& cycles);
+
+  uint64_t weight(wasm::Op op) const {
+    return weights_[static_cast<size_t>(op)];
+  }
+  void set_weight(wasm::Op op, uint64_t w) {
+    weights_[static_cast<size_t>(op)] = w;
+  }
+
+  const std::array<uint64_t, wasm::kNumOps>& raw() const { return weights_; }
+
+  /// Canonical serialization; hash() binds the table into evidence/logs.
+  Bytes serialize() const;
+  static WeightTable deserialize(BytesView data);
+  crypto::Digest hash() const;
+
+  bool operator==(const WeightTable&) const = default;
+
+ private:
+  std::array<uint64_t, wasm::kNumOps> weights_{};
+};
+
+}  // namespace acctee::instrument

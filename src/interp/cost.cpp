@@ -1,0 +1,40 @@
+#include "interp/cost.hpp"
+
+namespace acctee::interp {
+
+const char* to_string(Platform p) {
+  switch (p) {
+    case Platform::Native: return "native";
+    case Platform::Wasm: return "WASM";
+    case Platform::WasmSgxSim: return "WASM-SGX SIM";
+    case Platform::WasmSgxHw: return "WASM-SGX HW";
+  }
+  return "?";
+}
+
+CostConfig CostConfig::for_platform(Platform p) {
+  CostConfig c;
+  switch (p) {
+    case Platform::Native:
+      c.bounds_check_cycles = 0;
+      c.call_overhead_cycles = 0;
+      c.host_call_cycles = 50;
+      break;
+    case Platform::Wasm:
+    case Platform::WasmSgxSim:
+      // SGX-LKL in simulation mode adds no measurable overhead (§5.1);
+      // host calls get slightly more expensive through the LKL layers.
+      c.host_call_cycles = p == Platform::WasmSgxSim ? 600 : 150;
+      break;
+    case Platform::WasmSgxHw:
+      c.mee_cycles_per_llc_miss = 30;
+      c.epc_limit_bytes = 93ull * 1024 * 1024;  // usable EPC (§2.2)
+      c.epc_fault_cycles = 40000;               // page-in + page-out
+      c.enclave_base_footprint = 48ull * 1024 * 1024;  // SGX-LKL + V8 + heap
+      c.host_call_cycles = 8000;                // enclave transition (OCALL)
+      break;
+  }
+  return c;
+}
+
+}  // namespace acctee::interp

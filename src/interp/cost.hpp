@@ -1,0 +1,82 @@
+// Simulated-hardware cost model and execution statistics.
+//
+// The interpreter charges *simulated cycles* for every executed instruction:
+// a per-opcode base cost (wasm/opcodes.def), plus the cache-hierarchy cost
+// for loads/stores, plus platform overheads configured here. "Runtime" in
+// every AccTEE benchmark means simulated cycles, which is what lets the
+// paper's relative results (native vs WASM vs SGX-sim vs SGX-hw) be
+// reproduced deterministically without the authors' hardware:
+//
+//   * Native:       no sandbox overheads.
+//   * WASM:         per-access bounds-check cycles + call overhead (SFI).
+//   * WASM-SGX SIM: same as WASM (paper §5.1: simulation adds no overhead).
+//   * WASM-SGX HW:  + MEE cycles per LLC miss; + EPC paging penalty once the
+//                   enclave footprint exceeds the usable EPC (93 MB), which
+//                   produces the Fig. 6 blow-ups for large kernels.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cachesim/cache.hpp"
+#include "wasm/opcode.hpp"
+
+namespace acctee::interp {
+
+/// Platform configurations compared throughout the paper's evaluation.
+enum class Platform {
+  Native,      // baseline: kernel as if compiled natively
+  Wasm,        // WebAssembly sandbox (Node.js in the paper)
+  WasmSgxSim,  // + SGX-LKL in simulation mode
+  WasmSgxHw,   // + SGX hardware mode (MEE + EPC paging)
+};
+
+const char* to_string(Platform p);
+
+/// Tunable cost parameters; defaults model the paper's Xeon E3-1230 v5.
+struct CostConfig {
+  // SFI overheads (Wasm platforms only).
+  uint32_t bounds_check_cycles = 1;
+  uint32_t call_overhead_cycles = 4;
+
+  // SGX hardware-mode overheads.
+  uint32_t mee_cycles_per_llc_miss = 0;   // memory-encryption engine
+  uint64_t epc_limit_bytes = 0;           // 0 = no EPC limit
+  uint32_t epc_fault_cycles = 0;          // cost of one EPC page-in/out pair
+  uint64_t enclave_base_footprint = 0;    // runtime+code resident in EPC
+
+  // Host-call (OCALL-like) transition cost.
+  uint32_t host_call_cycles = 150;
+
+  /// Preset for one of the four platforms. `hierarchy_config` is shared so
+  /// the cache geometry stays identical across platforms.
+  static CostConfig for_platform(Platform p);
+};
+
+/// Execution statistics: both the ground truth for accounting tests and the
+/// "runtime" measurements for every benchmark figure.
+struct ExecStats {
+  uint64_t instructions = 0;       // dynamically executed Wasm instructions
+  uint64_t cycles = 0;             // simulated cycles (the time metric)
+  uint64_t mem_loads = 0;
+  uint64_t mem_stores = 0;
+  uint64_t llc_misses = 0;
+  uint64_t epc_faults = 0;
+  uint64_t host_calls = 0;
+  uint64_t peak_memory_bytes = 0;  // peak linear-memory size
+  // Time integral of linear-memory size, approximated by the instruction
+  // counter as in paper §3.5 (units: byte * instructions).
+  uint64_t memory_integral = 0;
+  uint64_t io_bytes_in = 0;        // accumulated by I/O host functions
+  uint64_t io_bytes_out = 0;
+  std::array<uint64_t, wasm::kNumOps> per_op{};  // per-opcode dynamic counts
+
+  /// Dynamic instruction count weighted by a table (e.g. base costs).
+  uint64_t weighted(const std::array<uint64_t, wasm::kNumOps>& weights) const {
+    uint64_t sum = 0;
+    for (size_t i = 0; i < wasm::kNumOps; ++i) sum += per_op[i] * weights[i];
+    return sum;
+  }
+};
+
+}  // namespace acctee::interp

@@ -1,0 +1,270 @@
+#include "interp/flatten.hpp"
+
+#include "common/error.hpp"
+
+namespace acctee::interp {
+
+namespace {
+
+using wasm::Function;
+using wasm::ImmKind;
+using wasm::Instr;
+using wasm::Module;
+using wasm::Op;
+using wasm::op_info;
+
+class Flattener {
+ public:
+  Flattener(const Module& module, const Function& func)
+      : module_(module), func_(func) {
+    const wasm::FuncType& type = module.types.at(func.type_index);
+    out_.type_index = func.type_index;
+    out_.num_params = static_cast<uint32_t>(type.params.size());
+    out_.local_types = type.params;
+    out_.local_types.insert(out_.local_types.end(), func.locals.begin(),
+                            func.locals.end());
+  }
+
+  FlatFunc run() {
+    const wasm::FuncType& type = module_.types.at(func_.type_index);
+    uint8_t result_arity = static_cast<uint8_t>(type.results.size());
+    labels_.push_back(Label{false, result_arity, 0, pc()});
+    flatten_body(func_.body);
+    // Implicit return; function-level branches also land here.
+    patch(labels_.back(), pc());
+    labels_.pop_back();
+    emit_synthetic_return(result_arity);
+    return std::move(out_);
+  }
+
+ private:
+  struct Label {
+    bool is_loop = false;
+    uint8_t arity = 0;    // branch arity (0 for loops)
+    uint32_t height = 0;  // operand height at entry
+    uint32_t loop_pc = 0; // branch destination for loops
+    std::vector<size_t> op_sites;  // FlatOps whose target_pc needs the end pc
+    std::vector<std::pair<uint32_t, uint32_t>> table_sites;  // (table, slot)
+  };
+
+  const Module& module_;
+  const Function& func_;
+  FlatFunc out_;
+  std::vector<Label> labels_;
+  uint32_t height_ = 0;
+  bool dead_ = false;
+
+  uint32_t pc() const { return static_cast<uint32_t>(out_.code.size()); }
+
+  void patch(const Label& label, uint32_t end_pc) {
+    for (size_t site : label.op_sites) out_.code[site].target_pc = end_pc;
+    for (auto [table, slot] : label.table_sites) {
+      out_.br_tables[table][slot].pc = end_pc;
+    }
+  }
+
+  void emit_synthetic_return(uint8_t arity) {
+    FlatOp op;
+    op.op = Op::Return;
+    op.synthetic = true;
+    op.arity = arity;
+    out_.code.push_back(op);
+  }
+
+  Label& label_at(uint32_t depth) {
+    if (depth >= labels_.size()) {
+      throw ValidationError("flatten: branch depth out of range");
+    }
+    return labels_[labels_.size() - 1 - depth];
+  }
+
+  void apply_sig(std::string_view sig) {
+    size_t colon = sig.find(':');
+    height_ -= static_cast<uint32_t>(colon);
+    height_ += static_cast<uint32_t>(sig.size() - colon - 1);
+  }
+
+  void flatten_body(const std::vector<Instr>& body) {
+    for (const auto& instr : body) {
+      if (dead_) return;  // statically unreachable: never executes
+      flatten_instr(instr);
+    }
+  }
+
+  void flatten_instr(const Instr& instr) {
+    const wasm::OpInfo& info = op_info(instr.op);
+    switch (instr.op) {
+      case Op::Block:
+      case Op::Loop: {
+        uint8_t arity = instr.block_type.result ? 1 : 0;
+        // The instruction itself executes (and is counted by the
+        // instrumenter) but needs no runtime work beyond the cycle charge.
+        out_.code.push_back(FlatOp{.op = instr.op});
+        labels_.push_back(
+            Label{instr.op == Op::Loop, arity, height_, pc()});
+        flatten_body(instr.body);
+        Label label = std::move(labels_.back());
+        labels_.pop_back();
+        patch(label, pc());
+        dead_ = false;
+        height_ = label.height + arity;
+        return;
+      }
+      case Op::If: {
+        uint8_t arity = instr.block_type.result ? 1 : 0;
+        height_ -= 1;  // condition
+        size_t if_site = out_.code.size();
+        out_.code.push_back(FlatOp{.op = Op::If});
+        labels_.push_back(Label{false, arity, height_, 0});
+        flatten_body(instr.body);
+        if (!instr.else_body.empty()) {
+          if (!dead_) {
+            // Jump over the else branch from the end of the then branch.
+            size_t jump_site = out_.code.size();
+            FlatOp jump;
+            jump.op = Op::Br;
+            jump.synthetic = true;
+            jump.arity = arity;
+            jump.unwind = labels_.back().height;
+            out_.code.push_back(jump);
+            labels_.back().op_sites.push_back(jump_site);
+          }
+          out_.code[if_site].target_pc = pc();  // else branch starts here
+          dead_ = false;
+          height_ = labels_.back().height;
+          flatten_body(instr.else_body);
+        } else {
+          labels_.back().op_sites.push_back(if_site);
+        }
+        Label label = std::move(labels_.back());
+        labels_.pop_back();
+        patch(label, pc());
+        dead_ = false;
+        height_ = label.height + arity;
+        return;
+      }
+      case Op::Br:
+      case Op::BrIf: {
+        if (instr.op == Op::BrIf) height_ -= 1;  // condition
+        size_t site = out_.code.size();
+        FlatOp op;
+        op.op = instr.op;
+        out_.code.push_back(op);
+        Label& label = label_at(instr.index);
+        out_.code[site].unwind = label.height;
+        out_.code[site].arity = label.is_loop ? 0 : label.arity;
+        if (label.is_loop) {
+          out_.code[site].target_pc = label.loop_pc;
+        } else {
+          label.op_sites.push_back(site);
+        }
+        if (instr.op == Op::Br) dead_ = true;
+        return;
+      }
+      case Op::BrTable: {
+        height_ -= 1;  // selector
+        uint32_t table_id = static_cast<uint32_t>(out_.br_tables.size());
+        FlatOp op;
+        op.op = Op::BrTable;
+        op.a = table_id;
+        out_.code.push_back(op);
+        out_.br_tables.emplace_back();
+        auto& targets = out_.br_tables.back();
+        for (size_t i = 0; i <= instr.br_targets.size(); ++i) {
+          uint32_t depth = i < instr.br_targets.size() ? instr.br_targets[i]
+                                                       : instr.index;
+          Label& label = label_at(depth);
+          BrTarget t;
+          t.unwind = label.height;
+          t.arity = label.is_loop ? 0 : label.arity;
+          if (label.is_loop) {
+            t.pc = label.loop_pc;
+          } else {
+            label.table_sites.emplace_back(table_id,
+                                           static_cast<uint32_t>(i));
+          }
+          targets.push_back(t);
+        }
+        dead_ = true;
+        return;
+      }
+      case Op::Return: {
+        FlatOp op;
+        op.op = Op::Return;
+        op.arity = static_cast<uint8_t>(
+            module_.types[func_.type_index].results.size());
+        out_.code.push_back(op);
+        dead_ = true;
+        return;
+      }
+      case Op::Unreachable: {
+        out_.code.push_back(FlatOp{.op = Op::Unreachable});
+        dead_ = true;
+        return;
+      }
+      case Op::Call: {
+        const wasm::FuncType& ft = module_.func_type(instr.index);
+        FlatOp op;
+        op.op = Op::Call;
+        op.a = instr.index;
+        out_.code.push_back(op);
+        height_ -= static_cast<uint32_t>(ft.params.size());
+        height_ += static_cast<uint32_t>(ft.results.size());
+        return;
+      }
+      case Op::CallIndirect: {
+        const wasm::FuncType& ft = module_.types.at(instr.index);
+        FlatOp op;
+        op.op = Op::CallIndirect;
+        op.a = instr.index;
+        out_.code.push_back(op);
+        height_ -= 1 + static_cast<uint32_t>(ft.params.size());
+        height_ += static_cast<uint32_t>(ft.results.size());
+        return;
+      }
+      case Op::Drop:
+        out_.code.push_back(FlatOp{.op = Op::Drop});
+        height_ -= 1;
+        return;
+      case Op::Select:
+        out_.code.push_back(FlatOp{.op = Op::Select});
+        height_ -= 2;
+        return;
+      case Op::LocalGet:
+      case Op::LocalSet:
+      case Op::LocalTee:
+      case Op::GlobalGet:
+      case Op::GlobalSet: {
+        FlatOp op;
+        op.op = instr.op;
+        op.a = instr.index;
+        out_.code.push_back(op);
+        if (instr.op == Op::LocalGet || instr.op == Op::GlobalGet) {
+          height_ += 1;
+        } else if (instr.op == Op::LocalSet || instr.op == Op::GlobalSet) {
+          height_ -= 1;
+        }
+        return;
+      }
+      default: {
+        // Uniform ops (numeric, memory, consts, memory.size/grow, nop).
+        FlatOp op;
+        op.op = instr.op;
+        op.a = instr.mem_align;
+        op.b = info.imm == ImmKind::Mem ? instr.mem_offset : instr.imm;
+        out_.code.push_back(op);
+        apply_sig(info.sig);
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+FlatFunc flatten(const wasm::Module& module, const wasm::Function& func) {
+  Flattener flattener(module, func);
+  return flattener.run();
+}
+
+}  // namespace acctee::interp

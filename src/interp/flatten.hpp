@@ -1,0 +1,52 @@
+// Flattening: compiles the structured tree IR into a compact, directly
+// executable instruction array with pre-resolved branch targets and stack
+// unwind depths. This happens once per function at instantiation time, so
+// the hot interpreter loop never walks the tree or searches for labels.
+#pragma once
+
+#include <vector>
+
+#include "wasm/ast.hpp"
+
+namespace acctee::interp {
+
+/// A pre-resolved branch destination.
+struct BrTarget {
+  uint32_t pc = 0;      // absolute index into FlatFunc::code
+  uint32_t unwind = 0;  // operand-stack height (within frame) to unwind to
+  uint8_t arity = 0;    // number of values the branch carries
+};
+
+/// One executable instruction.
+///
+/// Field use by op kind:
+///  * br / br_if:        `target` (pc/unwind/arity inline)
+///  * if:                `target` = else-branch (or end) destination
+///  * br_table:          `a` = index into FlatFunc::br_tables
+///  * call/local/global: `a` = index
+///  * memory ops:        `b` = static offset
+///  * consts:            `b` = raw bits
+///  * return:            `arity` = function result count
+struct FlatOp {
+  wasm::Op op = wasm::Op::Nop;
+  bool synthetic = false;  // internal jump/halt: excluded from accounting
+  uint8_t arity = 0;
+  uint32_t a = 0;
+  uint32_t target_pc = 0;
+  uint32_t unwind = 0;
+  uint64_t b = 0;
+};
+
+/// A flattened function body.
+struct FlatFunc {
+  uint32_t type_index = 0;
+  std::vector<wasm::ValType> local_types;  // params then locals
+  uint32_t num_params = 0;
+  std::vector<FlatOp> code;  // terminated by a synthetic return
+  std::vector<std::vector<BrTarget>> br_tables;
+};
+
+/// Flattens one defined function of a *validated* module.
+FlatFunc flatten(const wasm::Module& module, const wasm::Function& func);
+
+}  // namespace acctee::interp

@@ -1,0 +1,61 @@
+// Host-function linking: how the embedder exposes primitives (I/O, logging)
+// to sandboxed Wasm code.
+//
+// WebAssembly has no I/O of its own (paper §3.4); the runtime exposes
+// imports. In AccTEE the runtime is inside the trust boundary, so the
+// accounting of I/O bytes happens here, in the host-function layer, not in
+// instrumented Wasm code.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "interp/memory.hpp"
+#include "interp/value.hpp"
+
+namespace acctee::interp {
+
+struct ExecStats;
+
+/// Context passed to host functions: the caller's linear memory plus the
+/// stats block, so I/O wrappers can account transferred bytes.
+struct HostContext {
+  LinearMemory* memory = nullptr;  // null if the module has no memory
+  ExecStats* stats = nullptr;
+};
+
+/// A host function: receives typed arguments, returns typed results.
+/// Must return exactly the declared result count/types (checked at call).
+using HostFunc = std::function<Values(std::span<const TypedValue>, HostContext&)>;
+
+/// One importable entry.
+struct HostEntry {
+  wasm::FuncType type;
+  HostFunc func;
+};
+
+/// Import namespace: (module, name) -> host function.
+class ImportMap {
+ public:
+  void add(const std::string& module, const std::string& name,
+           wasm::FuncType type, HostFunc func) {
+    entries_[key(module, name)] = HostEntry{std::move(type), std::move(func)};
+  }
+
+  const HostEntry* find(const std::string& module,
+                        const std::string& name) const {
+    auto it = entries_.find(key(module, name));
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  static std::string key(const std::string& module, const std::string& name) {
+    return module + "\x1f" + name;
+  }
+  std::map<std::string, HostEntry> entries_;
+};
+
+}  // namespace acctee::interp

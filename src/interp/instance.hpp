@@ -1,0 +1,122 @@
+// A Wasm module instance: the execution half of AccTEE's two-way sandbox.
+//
+// Instantiation validates nothing by itself — callers must run the validator
+// first (the accounting enclave in src/core always does). Execution is a
+// flat-code interpreter with:
+//   * full MVP numeric/trap semantics,
+//   * bounds-checked linear memory (SFI),
+//   * a deterministic simulated-cycle cost model (interp/cost.hpp) with a
+//     cache hierarchy behind loads/stores and optional SGX EPC/MEE costs,
+//   * complete execution statistics (the ground truth that AccTEE's
+//     instrumented counters are tested against).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "cachesim/cache.hpp"
+#include "interp/cost.hpp"
+#include "interp/flatten.hpp"
+#include "interp/host.hpp"
+#include "interp/memory.hpp"
+#include "interp/value.hpp"
+#include "wasm/ast.hpp"
+
+namespace acctee::interp {
+
+class Instance {
+ public:
+  struct Options {
+    Platform platform = Platform::Wasm;
+    /// Cost parameters; defaults are derived from `platform`.
+    std::optional<CostConfig> cost;
+    /// Simulate the cache hierarchy behind loads/stores. Disabling makes
+    /// memory accesses cost only their base cycles (used by unit tests that
+    /// assert exact cycle counts).
+    bool cache_model = true;
+    cachesim::Hierarchy::Config cache_config;
+    /// Abort execution after this many instructions (resource limiting —
+    /// the sandbox must be able to stop runaway workloads).
+    uint64_t max_instructions = UINT64_MAX;
+    /// Maximum call depth.
+    uint32_t max_call_depth = 10000;
+  };
+
+  /// Checkpoint hook: called from inside the execution loop every
+  /// `interval` executed instructions (paper §3.3 — the accounting enclave
+  /// emits periodic resource logs during long executions). The handler may
+  /// read stats() and exported globals but must not re-enter invoke().
+  using CheckpointHandler = std::function<void(Instance&)>;
+  void set_checkpoint(uint64_t interval, CheckpointHandler handler);
+
+  /// Instantiates a validated module: allocates memory/table/globals,
+  /// applies data/elem segments, links imports, and runs the start function.
+  /// Throws LinkError on unresolved imports, TrapError if the start traps.
+  Instance(wasm::Module module, ImportMap imports, Options options);
+  Instance(wasm::Module module, ImportMap imports = {})
+      : Instance(std::move(module), std::move(imports), Options{}) {}
+
+  /// Calls an exported function. Throws LinkError on unknown export or
+  /// argument mismatch, TrapError if execution traps.
+  Values invoke(std::string_view export_name, const Values& args = {});
+
+  /// Calls a function by index-space index.
+  Values invoke_index(uint32_t func_index, const Values& args);
+
+  /// Reads an exported global (e.g. AccTEE's "__acctee_counter").
+  TypedValue read_global(std::string_view export_name) const;
+  TypedValue read_global_index(uint32_t global_index) const;
+
+  LinearMemory* memory() { return memory_ ? memory_.get() : nullptr; }
+  const ExecStats& stats() const { return stats_; }
+  ExecStats& stats() { return stats_; }
+  const wasm::Module& module() const { return module_; }
+
+  /// Flushes simulated caches (between benchmark configurations).
+  void flush_cache() { cache_.flush(); }
+
+ private:
+  struct Frame {
+    uint32_t func = 0;          // defined-function index
+    uint32_t pc = 0;
+    uint32_t locals_base = 0;   // index into stack_
+    uint32_t operand_base = 0;
+  };
+
+  void run(size_t stop_depth);
+  void enter_frame(uint32_t defined_index);
+  void call_host(uint32_t import_index);
+  void do_branch(Frame& frame, uint32_t target_pc, uint32_t unwind,
+                 uint8_t arity);
+  void charge_memory(uint64_t effective_addr, uint32_t size, bool is_write);
+  void note_memory_growth();
+  void account_instruction(const FlatOp& op);
+
+  // -- operand stack helpers --
+  void push_raw(uint64_t v) { stack_.push_back(v); }
+  uint64_t pop_raw() {
+    uint64_t v = stack_.back();
+    stack_.pop_back();
+    return v;
+  }
+
+  wasm::Module module_;
+  ImportMap imports_;
+  Options options_;
+  CostConfig cost_;
+  std::vector<FlatFunc> flat_;
+  std::unique_ptr<LinearMemory> memory_;
+  std::vector<uint64_t> globals_;
+  std::vector<int64_t> table_;  // function indices; -1 = null entry
+  std::vector<uint64_t> stack_;
+  std::vector<Frame> frames_;
+  cachesim::Hierarchy cache_;
+  ExecStats stats_;
+  double epc_fault_accum_ = 0;  // deterministic fractional paging model
+  uint64_t integral_mark_ = 0;  // instruction count at last memory resize
+  uint64_t checkpoint_interval_ = 0;
+  uint64_t next_checkpoint_ = UINT64_MAX;
+  CheckpointHandler checkpoint_;
+};
+
+}  // namespace acctee::interp

@@ -1,0 +1,85 @@
+// Linear memory: the contiguous, bounds-checked heap of a Wasm instance.
+//
+// Bounds checks on every access are the software-fault-isolation half of
+// AccTEE's two-way sandbox (paper §2.3): the workload cannot read or write
+// anything outside its own linear memory.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "wasm/types.hpp"
+
+namespace acctee::interp {
+
+class LinearMemory {
+ public:
+  LinearMemory(uint32_t min_pages, std::optional<uint32_t> max_pages)
+      : max_pages_(max_pages.value_or(65536)), data_(min_pages * wasm::kPageSize) {
+    if (min_pages > max_pages_) {
+      throw LinkError("memory min exceeds max");
+    }
+  }
+
+  uint32_t pages() const {
+    return static_cast<uint32_t>(data_.size() / wasm::kPageSize);
+  }
+  uint64_t size_bytes() const { return data_.size(); }
+  uint32_t max_pages() const { return max_pages_; }
+
+  /// memory.grow semantics: returns the previous page count, or -1 (as u32)
+  /// if the request exceeds the maximum.
+  int32_t grow(uint32_t delta_pages) {
+    uint64_t old_pages = pages();
+    uint64_t new_pages = old_pages + delta_pages;
+    if (new_pages > max_pages_) return -1;
+    data_.resize(new_pages * wasm::kPageSize);
+    return static_cast<int32_t>(old_pages);
+  }
+
+  /// Bounds check for an access of `size` bytes at effective address
+  /// `addr` + `offset`; traps on overflow or out-of-bounds.
+  uint64_t check(uint64_t addr, uint64_t offset, uint64_t size) const {
+    uint64_t effective = addr + offset;
+    if (effective + size > data_.size() || effective + size < effective) {
+      throw TrapError("out-of-bounds memory access at " +
+                      std::to_string(effective));
+    }
+    return effective;
+  }
+
+  template <typename T>
+  T load(uint64_t addr, uint64_t offset) const {
+    uint64_t ea = check(addr, offset, sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + ea, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void store(uint64_t addr, uint64_t offset, T value) {
+    uint64_t ea = check(addr, offset, sizeof(T));
+    std::memcpy(data_.data() + ea, &value, sizeof(T));
+  }
+
+  /// Raw byte access for host functions and data-segment initialisation.
+  void write_bytes(uint64_t addr, BytesView bytes) {
+    uint64_t ea = check(addr, 0, bytes.size());
+    std::memcpy(data_.data() + ea, bytes.data(), bytes.size());
+  }
+  Bytes read_bytes(uint64_t addr, uint64_t len) const {
+    uint64_t ea = check(addr, 0, len);
+    return Bytes(data_.begin() + ea, data_.begin() + ea + len);
+  }
+
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+
+ private:
+  uint32_t max_pages_;
+  Bytes data_;
+};
+
+}  // namespace acctee::interp

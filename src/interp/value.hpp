@@ -1,0 +1,52 @@
+// Typed values crossing the embedder <-> Wasm boundary.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wasm/types.hpp"
+
+namespace acctee::interp {
+
+/// A Wasm value with its type. Internally the interpreter works on raw
+/// 64-bit slots; TypedValue is the public-API view.
+struct TypedValue {
+  wasm::ValType type = wasm::ValType::I32;
+  uint64_t bits = 0;
+
+  static TypedValue make_i32(int32_t v) {
+    return {wasm::ValType::I32, static_cast<uint32_t>(v)};
+  }
+  static TypedValue make_i64(int64_t v) {
+    return {wasm::ValType::I64, static_cast<uint64_t>(v)};
+  }
+  static TypedValue make_f32(float v) {
+    return {wasm::ValType::F32, std::bit_cast<uint32_t>(v)};
+  }
+  static TypedValue make_f64(double v) {
+    return {wasm::ValType::F64, std::bit_cast<uint64_t>(v)};
+  }
+
+  int32_t i32() const { return static_cast<int32_t>(bits); }
+  uint32_t u32() const { return static_cast<uint32_t>(bits); }
+  int64_t i64() const { return static_cast<int64_t>(bits); }
+  uint64_t u64() const { return bits; }
+  float f32() const { return std::bit_cast<float>(static_cast<uint32_t>(bits)); }
+  double f64() const { return std::bit_cast<double>(bits); }
+
+  std::string to_string() const {
+    switch (type) {
+      case wasm::ValType::I32: return std::to_string(i32());
+      case wasm::ValType::I64: return std::to_string(i64());
+      case wasm::ValType::F32: return std::to_string(f32());
+      case wasm::ValType::F64: return std::to_string(f64());
+    }
+    return "?";
+  }
+};
+
+using Values = std::vector<TypedValue>;
+
+}  // namespace acctee::interp

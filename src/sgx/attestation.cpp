@@ -1,0 +1,44 @@
+#include "sgx/attestation.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace acctee::sgx {
+
+AttestationService::AttestationService(BytesView seed, uint32_t capacity)
+    : signer_(seed, capacity) {}
+
+void AttestationService::provision_platform(const Platform& platform) {
+  platform_keys_[platform.id()] = platform.attestation_key();
+}
+
+void AttestationService::revoke_platform(const std::string& platform_id) {
+  platform_keys_.erase(platform_id);
+}
+
+AttestationVerdict AttestationService::verify_quote(const Quote& quote) {
+  AttestationVerdict verdict;
+  verdict.measurement = quote.report.measurement;
+  verdict.report_data = quote.report.report_data;
+  verdict.quote_hash = crypto::sha256(quote.serialize());
+
+  auto it = platform_keys_.find(quote.platform_id);
+  if (it != platform_keys_.end()) {
+    crypto::Digest expected =
+        crypto::hmac_sha256(it->second, quote.mac_payload());
+    verdict.valid = ct_equal(BytesView(expected.data(), 32),
+                             BytesView(quote.qe_mac.data(), 32));
+  }
+  verdict.signature = signer_.sign(verdict.signed_payload());
+  return verdict;
+}
+
+bool check_verdict(const AttestationVerdict& verdict,
+                   const crypto::Digest& service_identity,
+                   const Measurement& expected_measurement) {
+  if (!verdict.valid) return false;
+  if (verdict.measurement != expected_measurement) return false;
+  return crypto::signature_verify(service_identity, verdict.signed_payload(),
+                                  verdict.signature);
+}
+
+}  // namespace acctee::sgx

@@ -1,0 +1,54 @@
+// Simulated remote-attestation service (the IAS analogue, paper §2.2).
+//
+// Platforms are provisioned with the service (it learns their derived
+// attestation keys, as with EPID provisioning). A remote challenger submits
+// a quote; the service checks the quote MAC against its registry and answers
+// with a signed AttestationVerdict that anyone can verify offline against
+// the service's well-known identity root — the analogue of pinning Intel's
+// report-signing certificate.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "crypto/signer.hpp"
+#include "sgx/platform.hpp"
+#include "sgx/types.hpp"
+
+namespace acctee::sgx {
+
+class AttestationService {
+ public:
+  /// `seed` keys the service's signing identity; `capacity` bounds how many
+  /// verdicts it can sign (hash-based one-time keys).
+  explicit AttestationService(BytesView seed, uint32_t capacity = 64);
+
+  /// The well-known identity root challengers pin.
+  crypto::Digest identity() const { return signer_.identity(); }
+
+  /// EPID-provisioning analogue: the service learns the platform's derived
+  /// attestation key. Only provisioned platforms can produce valid quotes.
+  void provision_platform(const Platform& platform);
+
+  /// Revokes a platform (e.g. compromised microcode): subsequent quotes
+  /// from it are answered with valid=false verdicts.
+  void revoke_platform(const std::string& platform_id);
+
+  /// Verifies a quote and returns a signed verdict. Unknown platforms or
+  /// bad MACs yield valid=false (still signed, so the challenger has an
+  /// authenticated denial).
+  AttestationVerdict verify_quote(const Quote& quote);
+
+ private:
+  crypto::Signer signer_;
+  std::map<std::string, Bytes> platform_keys_;
+};
+
+/// Challenger-side check of a verdict, given the pinned service identity.
+/// Returns true only for an authentic verdict with valid=true that matches
+/// `expected_measurement`.
+bool check_verdict(const AttestationVerdict& verdict,
+                   const crypto::Digest& service_identity,
+                   const Measurement& expected_measurement);
+
+}  // namespace acctee::sgx

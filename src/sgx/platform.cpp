@@ -1,0 +1,126 @@
+#include "sgx/platform.hpp"
+
+#include "common/error.hpp"
+#include "crypto/hmac.hpp"
+
+namespace acctee::sgx {
+
+Platform::Platform(std::string platform_id, BytesView platform_seed,
+                   SgxMode mode)
+    : id_(std::move(platform_id)),
+      root_key_(crypto::derive_key(platform_seed, "platform-root")),
+      mode_(mode) {}
+
+std::unique_ptr<Enclave> Platform::create_enclave(BytesView enclave_code) {
+  return std::make_unique<Enclave>(this,
+                                   Bytes(enclave_code.begin(), enclave_code.end()));
+}
+
+Bytes Platform::report_key() const {
+  return crypto::derive_key(root_key_, "report-key");
+}
+
+Bytes Platform::attestation_key() const {
+  return crypto::derive_key(root_key_, "attestation-key");
+}
+
+Bytes Platform::seal_key(const Measurement& measurement) const {
+  Bytes label = to_bytes("seal-key:");
+  append(label, BytesView(measurement.data(), measurement.size()));
+  crypto::Digest d = crypto::hmac_sha256(root_key_, label);
+  return crypto::digest_bytes(d);
+}
+
+Quote Platform::quote(const Report& report) const {
+  // The quoting enclave first verifies the report's platform-local MAC.
+  crypto::Digest expected = crypto::hmac_sha256(report_key(),
+                                                report.mac_payload());
+  if (!ct_equal(BytesView(expected.data(), 32),
+                BytesView(report.mac.data(), 32))) {
+    throw AttestationError("quoting enclave: report MAC invalid");
+  }
+  Quote q;
+  q.report = report;
+  q.platform_id = id_;
+  q.qe_mac = crypto::hmac_sha256(attestation_key(), q.mac_payload());
+  return q;
+}
+
+Enclave::Enclave(const Platform* platform, Bytes code)
+    : platform_(platform),
+      code_(std::move(code)),
+      measurement_(crypto::sha256(code_)) {}
+
+Report Enclave::report(
+    const std::array<uint8_t, kReportDataSize>& report_data) const {
+  Report r;
+  r.measurement = measurement_;
+  r.report_data = report_data;
+  r.mac = crypto::hmac_sha256(platform_->report_key(), r.mac_payload());
+  return r;
+}
+
+Quote Enclave::quoted_report(BytesView report_data) const {
+  return platform_->quote(report(make_report_data(report_data)));
+}
+
+namespace {
+
+/// HMAC-counter-mode keystream.
+Bytes keystream(BytesView key, BytesView nonce, size_t len) {
+  Bytes out;
+  out.reserve(len + 32);
+  uint32_t counter = 0;
+  while (out.size() < len) {
+    Bytes block_input(nonce.begin(), nonce.end());
+    append_u32le(block_input, counter++);
+    crypto::Digest block = crypto::hmac_sha256(key, block_input);
+    append(out, BytesView(block.data(), block.size()));
+  }
+  out.resize(len);
+  return out;
+}
+
+}  // namespace
+
+Bytes Enclave::seal(BytesView plaintext) const {
+  Bytes key = platform_->seal_key(measurement_);
+  // Deterministic nonce from the plaintext (fine for a simulation: sealing
+  // is identity binding, not semantic security against the enclave itself).
+  crypto::Digest nonce = crypto::hmac_sha256(key, plaintext);
+  Bytes enc_key = crypto::derive_key(key, "seal-enc");
+  Bytes mac_key = crypto::derive_key(key, "seal-mac");
+
+  Bytes out(nonce.begin(), nonce.end());
+  Bytes ks = keystream(enc_key, BytesView(nonce.data(), 32), plaintext.size());
+  for (size_t i = 0; i < plaintext.size(); ++i) {
+    out.push_back(plaintext[i] ^ ks[i]);
+  }
+  crypto::Digest mac = crypto::hmac_sha256(mac_key, out);
+  append(out, BytesView(mac.data(), mac.size()));
+  return out;
+}
+
+Bytes Enclave::unseal(BytesView sealed) const {
+  if (sealed.size() < 64) throw AttestationError("sealed blob too short");
+  Bytes key = platform_->seal_key(measurement_);
+  Bytes enc_key = crypto::derive_key(key, "seal-enc");
+  Bytes mac_key = crypto::derive_key(key, "seal-mac");
+
+  BytesView body = sealed.subspan(0, sealed.size() - 32);
+  BytesView mac = sealed.subspan(sealed.size() - 32);
+  crypto::Digest expected = crypto::hmac_sha256(mac_key, body);
+  if (!ct_equal(BytesView(expected.data(), 32), mac)) {
+    throw AttestationError("sealed blob failed authentication");
+  }
+  BytesView nonce = body.subspan(0, 32);
+  BytesView ciphertext = body.subspan(32);
+  Bytes ks = keystream(enc_key, nonce, ciphertext.size());
+  Bytes plaintext(ciphertext.size());
+  for (size_t i = 0; i < ciphertext.size(); ++i) {
+    plaintext[i] = ciphertext[i] ^ ks[i];
+  }
+  return plaintext;
+}
+
+}  // namespace acctee::sgx

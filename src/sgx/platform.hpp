@@ -1,0 +1,89 @@
+// A simulated SGX-capable platform: enclave creation, per-platform key
+// material, a quoting enclave, and platform registration with the
+// attestation service.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "sgx/types.hpp"
+
+namespace acctee::sgx {
+
+class Enclave;
+
+/// Execution mode of the simulated SGX hardware.
+enum class SgxMode {
+  Simulation,  // no memory protection costs (SGX-LKL "sim" mode)
+  Hardware,    // MEE + EPC paging costs apply
+};
+
+/// One machine with SGX support. Holds the platform root key from which the
+/// report key and the attestation (EPID-analogue) key are derived. The root
+/// key never leaves the platform object; the attestation service receives
+/// only the derived attestation key at provisioning time (mirroring EPID
+/// provisioning, paper §2.2).
+class Platform {
+ public:
+  /// `platform_seed` models the fused hardware secret.
+  Platform(std::string platform_id, BytesView platform_seed,
+           SgxMode mode = SgxMode::Hardware);
+
+  const std::string& id() const { return id_; }
+  SgxMode mode() const { return mode_; }
+
+  /// Loads an enclave from its code bytes. The measurement is the SHA-256
+  /// of the code, so identical code yields identical identity everywhere.
+  std::unique_ptr<Enclave> create_enclave(BytesView enclave_code);
+
+  /// Quoting enclave functionality: verifies that `report` was produced by
+  /// an enclave on *this* platform and countersigns it into a Quote.
+  /// Throws AttestationError on MAC mismatch.
+  Quote quote(const Report& report) const;
+
+  /// Key the attestation service receives when this platform is provisioned.
+  Bytes attestation_key() const;
+
+  // Used by Enclave (same translation unit boundary as real hardware —
+  // reports are MAC'd with a platform-wide key).
+  Bytes report_key() const;
+  Bytes seal_key(const Measurement& measurement) const;
+
+ private:
+  std::string id_;
+  Bytes root_key_;
+  SgxMode mode_;
+};
+
+/// An enclave instance on a platform. The base class provides identity and
+/// attestation primitives; AccTEE's instrumentation/accounting enclaves
+/// (src/core) layer application logic on top.
+class Enclave {
+ public:
+  Enclave(const Platform* platform, Bytes code);
+  virtual ~Enclave() = default;
+
+  const Measurement& measurement() const { return measurement_; }
+  const Bytes& code() const { return code_; }
+  const Platform& platform() const { return *platform_; }
+
+  /// Produces a local-attestation report over caller-chosen data.
+  Report report(const std::array<uint8_t, kReportDataSize>& report_data) const;
+
+  /// Convenience: report + quote in one step (EREPORT + QE round trip).
+  Quote quoted_report(BytesView report_data) const;
+
+  /// Sealing: authenticated encryption bound to (platform, measurement) —
+  /// data sealed by this enclave can only be unsealed by the same enclave
+  /// identity on the same platform. Throws AttestationError on tampering.
+  Bytes seal(BytesView plaintext) const;
+  Bytes unseal(BytesView sealed) const;
+
+ private:
+  const Platform* platform_;
+  Bytes code_;
+  Measurement measurement_;
+};
+
+}  // namespace acctee::sgx

@@ -1,0 +1,104 @@
+#include "sgx/types.hpp"
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace acctee::sgx {
+
+namespace {
+void read_array(BytesView data, size_t& off, uint8_t* out, size_t n,
+                const char* what) {
+  if (off + n > data.size()) {
+    throw std::invalid_argument(std::string("truncated ") + what);
+  }
+  std::copy_n(data.begin() + off, n, out);
+  off += n;
+}
+}  // namespace
+
+Bytes Report::mac_payload() const {
+  Bytes out = to_bytes("acctee-sgx-report-v1");
+  append(out, BytesView(measurement.data(), measurement.size()));
+  append(out, BytesView(report_data.data(), report_data.size()));
+  return out;
+}
+
+Bytes Report::serialize() const {
+  Bytes out;
+  append(out, BytesView(measurement.data(), measurement.size()));
+  append(out, BytesView(report_data.data(), report_data.size()));
+  append(out, BytesView(mac.data(), mac.size()));
+  return out;
+}
+
+Report Report::deserialize(BytesView data) {
+  Report r;
+  size_t off = 0;
+  read_array(data, off, r.measurement.data(), 32, "report measurement");
+  read_array(data, off, r.report_data.data(), kReportDataSize, "report data");
+  read_array(data, off, r.mac.data(), 32, "report mac");
+  if (off != data.size()) throw std::invalid_argument("report: trailing bytes");
+  return r;
+}
+
+Bytes Quote::mac_payload() const {
+  Bytes out = to_bytes("acctee-sgx-quote-v1");
+  append(out, report.serialize());
+  append_u32le(out, static_cast<uint32_t>(platform_id.size()));
+  append(out, to_bytes(platform_id));
+  return out;
+}
+
+Bytes Quote::serialize() const {
+  Bytes out;
+  Bytes rep = report.serialize();
+  append_u32le(out, static_cast<uint32_t>(rep.size()));
+  append(out, rep);
+  append_u32le(out, static_cast<uint32_t>(platform_id.size()));
+  append(out, to_bytes(platform_id));
+  append(out, BytesView(qe_mac.data(), qe_mac.size()));
+  return out;
+}
+
+Quote Quote::deserialize(BytesView data) {
+  Quote q;
+  size_t off = 0;
+  uint32_t rep_len = read_u32le(data, off);
+  off += 4;
+  if (off + rep_len > data.size()) {
+    throw std::invalid_argument("quote: truncated report");
+  }
+  q.report = Report::deserialize(data.subspan(off, rep_len));
+  off += rep_len;
+  uint32_t id_len = read_u32le(data, off);
+  off += 4;
+  if (off + id_len > data.size()) {
+    throw std::invalid_argument("quote: truncated platform id");
+  }
+  q.platform_id.assign(reinterpret_cast<const char*>(data.data() + off),
+                       id_len);
+  off += id_len;
+  read_array(data, off, q.qe_mac.data(), 32, "quote mac");
+  if (off != data.size()) throw std::invalid_argument("quote: trailing bytes");
+  return q;
+}
+
+Bytes AttestationVerdict::signed_payload() const {
+  Bytes out = to_bytes("acctee-ias-verdict-v1");
+  out.push_back(valid ? 1 : 0);
+  append(out, BytesView(measurement.data(), measurement.size()));
+  append(out, BytesView(report_data.data(), report_data.size()));
+  append(out, BytesView(quote_hash.data(), quote_hash.size()));
+  return out;
+}
+
+std::array<uint8_t, kReportDataSize> make_report_data(BytesView data) {
+  if (data.size() > kReportDataSize) {
+    throw Error("report data exceeds 64 bytes");
+  }
+  std::array<uint8_t, kReportDataSize> out{};
+  std::copy(data.begin(), data.end(), out.begin());
+  return out;
+}
+
+}  // namespace acctee::sgx

@@ -1,0 +1,69 @@
+// Core data types of the simulated SGX substrate.
+//
+// The simulation reproduces the *trust workflow* the paper depends on
+// (§2.2): enclaves are identified by a measurement (hash of their code),
+// enclaves on one platform can authenticate each other via MAC'd reports
+// (local attestation), a quoting enclave converts reports into quotes, and a
+// remote party gains trust in a quote through an attestation service, which
+// returns an offline-verifiable signed verdict (the analogue of an IAS
+// attestation verification report).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signer.hpp"
+
+namespace acctee::sgx {
+
+/// Enclave identity: SHA-256 over the enclave's code (MRENCLAVE analogue).
+using Measurement = crypto::Digest;
+
+/// Fixed size of user-defined report data (as in real SGX).
+constexpr size_t kReportDataSize = 64;
+
+/// A local-attestation report: proves, to enclaves on the same platform,
+/// that `report_data` was produced by an enclave with `measurement`.
+struct Report {
+  Measurement measurement{};
+  std::array<uint8_t, kReportDataSize> report_data{};
+  crypto::Digest mac{};  // HMAC over (measurement, report_data), platform key
+
+  /// Bytes covered by the MAC.
+  Bytes mac_payload() const;
+  Bytes serialize() const;
+  static Report deserialize(BytesView data);
+};
+
+/// A quote: a report countersigned by the platform's quoting enclave, bound
+/// to the platform identity. Only the attestation service can check it.
+struct Quote {
+  Report report;
+  std::string platform_id;
+  crypto::Digest qe_mac{};  // HMAC over (report, platform_id), attn key
+
+  Bytes mac_payload() const;
+  Bytes serialize() const;
+  static Quote deserialize(BytesView data);
+};
+
+/// The attestation service's signed answer to "is this quote genuine?".
+/// Offline-verifiable by anyone holding the service's identity root.
+struct AttestationVerdict {
+  bool valid = false;
+  Measurement measurement{};
+  std::array<uint8_t, kReportDataSize> report_data{};
+  crypto::Digest quote_hash{};
+  crypto::Signature signature;  // by the attestation service
+
+  /// Bytes covered by the service signature.
+  Bytes signed_payload() const;
+};
+
+/// Packs arbitrary bytes (e.g. a signer identity root) into report data;
+/// throws Error if data exceeds kReportDataSize.
+std::array<uint8_t, kReportDataSize> make_report_data(BytesView data);
+
+}  // namespace acctee::sgx

@@ -1,0 +1,87 @@
+#include "wasm/ast.hpp"
+
+#include "common/error.hpp"
+
+namespace acctee::wasm {
+
+const FuncType& Module::func_type(uint32_t func_index) const {
+  uint32_t type_index;
+  if (func_index < imports.size()) {
+    type_index = imports[func_index].type_index;
+  } else if (func_index < num_funcs()) {
+    type_index = functions[func_index - imports.size()].type_index;
+  } else {
+    throw ValidationError("function index out of range: " +
+                          std::to_string(func_index));
+  }
+  if (type_index >= types.size()) {
+    throw ValidationError("type index out of range: " +
+                          std::to_string(type_index));
+  }
+  return types[type_index];
+}
+
+uint32_t Module::intern_type(const FuncType& type) {
+  for (size_t i = 0; i < types.size(); ++i) {
+    if (types[i] == type) return static_cast<uint32_t>(i);
+  }
+  types.push_back(type);
+  return static_cast<uint32_t>(types.size() - 1);
+}
+
+std::optional<uint32_t> Module::find_export(std::string_view name,
+                                            ExternKind kind) const {
+  for (const auto& e : exports) {
+    if (e.kind == kind && e.name == name) return e.index;
+  }
+  return std::nullopt;
+}
+
+uint64_t count_instructions(const std::vector<Instr>& body) {
+  uint64_t n = 0;
+  for (const auto& instr : body) {
+    n += 1;
+    n += count_instructions(instr.body);
+    n += count_instructions(instr.else_body);
+  }
+  return n;
+}
+
+uint64_t count_instructions(const Module& module) {
+  uint64_t n = 0;
+  for (const auto& f : module.functions) n += count_instructions(f.body);
+  return n;
+}
+
+namespace {
+void accumulate(const std::vector<Instr>& body, std::vector<uint64_t>& hist) {
+  for (const auto& instr : body) {
+    hist[static_cast<size_t>(instr.op)] += 1;
+    accumulate(instr.body, hist);
+    accumulate(instr.else_body, hist);
+  }
+}
+}  // namespace
+
+std::vector<uint64_t> opcode_histogram(const Module& module) {
+  std::vector<uint64_t> hist(kNumOps, 0);
+  for (const auto& f : module.functions) accumulate(f.body, hist);
+  return hist;
+}
+
+bool instr_equal(const Instr& a, const Instr& b) {
+  return a.op == b.op && a.index == b.index && a.imm == b.imm &&
+         a.mem_align == b.mem_align && a.mem_offset == b.mem_offset &&
+         a.block_type == b.block_type && a.br_targets == b.br_targets &&
+         body_equal(a.body, b.body) && body_equal(a.else_body, b.else_body);
+}
+
+bool body_equal(const std::vector<Instr>& a, const std::vector<Instr>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!instr_equal(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace acctee::wasm

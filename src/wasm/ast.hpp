@@ -1,0 +1,179 @@
+// Tree IR for WebAssembly modules.
+//
+// Unlike the flat binary format, structured instructions (block/loop/if)
+// carry their bodies as nested vectors. This makes the accounting
+// instrumentation passes (src/instrument) natural tree transformations and
+// keeps the text/binary codecs simple recursive walks. The interpreter
+// flattens the tree into a compact executable form at instantiation time.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "wasm/opcode.hpp"
+#include "wasm/types.hpp"
+
+namespace acctee::wasm {
+
+/// A single instruction. Immediate fields are interpreted per op_info(op).imm:
+///  - Label/Local/Global/Func/CallIndirect: `index`
+///  - Mem: `mem_align` (log2) and `mem_offset`
+///  - I32/I64/F32/F64 const: raw bits in `imm`
+///  - Block/Loop/If: `block_type`, `body` (and `else_body` for If)
+///  - LabelTable: `br_targets` + `index` as the default target
+struct Instr {
+  Op op = Op::Nop;
+  uint32_t index = 0;
+  uint64_t imm = 0;
+  uint32_t mem_align = 0;
+  uint32_t mem_offset = 0;
+  BlockType block_type;
+  std::vector<uint32_t> br_targets;
+  std::vector<Instr> body;
+  std::vector<Instr> else_body;
+
+  // -- typed views of the constant immediate --
+  int32_t as_i32() const { return static_cast<int32_t>(imm); }
+  int64_t as_i64() const { return static_cast<int64_t>(imm); }
+  float as_f32() const { return std::bit_cast<float>(static_cast<uint32_t>(imm)); }
+  double as_f64() const { return std::bit_cast<double>(imm); }
+
+  // -- factory helpers (heavily used by the workload builder DSL) --
+  static Instr simple(Op op) { return Instr{.op = op}; }
+  static Instr i32c(int32_t v) {
+    return Instr{.op = Op::I32Const,
+                 .imm = static_cast<uint32_t>(v)};
+  }
+  static Instr i64c(int64_t v) {
+    return Instr{.op = Op::I64Const, .imm = static_cast<uint64_t>(v)};
+  }
+  static Instr f32c(float v) {
+    return Instr{.op = Op::F32Const, .imm = std::bit_cast<uint32_t>(v)};
+  }
+  static Instr f64c(double v) {
+    return Instr{.op = Op::F64Const, .imm = std::bit_cast<uint64_t>(v)};
+  }
+  static Instr local_get(uint32_t i) { return Instr{.op = Op::LocalGet, .index = i}; }
+  static Instr local_set(uint32_t i) { return Instr{.op = Op::LocalSet, .index = i}; }
+  static Instr local_tee(uint32_t i) { return Instr{.op = Op::LocalTee, .index = i}; }
+  static Instr global_get(uint32_t i) { return Instr{.op = Op::GlobalGet, .index = i}; }
+  static Instr global_set(uint32_t i) { return Instr{.op = Op::GlobalSet, .index = i}; }
+  static Instr call(uint32_t f) { return Instr{.op = Op::Call, .index = f}; }
+  static Instr br(uint32_t depth) { return Instr{.op = Op::Br, .index = depth}; }
+  static Instr br_if(uint32_t depth) { return Instr{.op = Op::BrIf, .index = depth}; }
+  static Instr load(Op op, uint32_t offset = 0, uint32_t align = 0) {
+    return Instr{.op = op, .mem_align = align, .mem_offset = offset};
+  }
+  static Instr store(Op op, uint32_t offset = 0, uint32_t align = 0) {
+    return Instr{.op = op, .mem_align = align, .mem_offset = offset};
+  }
+  static Instr block(BlockType bt, std::vector<Instr> b) {
+    return Instr{.op = Op::Block, .block_type = bt, .body = std::move(b)};
+  }
+  static Instr loop(BlockType bt, std::vector<Instr> b) {
+    return Instr{.op = Op::Loop, .block_type = bt, .body = std::move(b)};
+  }
+  static Instr if_else(BlockType bt, std::vector<Instr> then_b,
+                       std::vector<Instr> else_b = {}) {
+    return Instr{.op = Op::If,
+                 .block_type = bt,
+                 .body = std::move(then_b),
+                 .else_body = std::move(else_b)};
+  }
+};
+
+/// Kinds of importable/exportable entities.
+enum class ExternKind : uint8_t { Func = 0, Table = 1, Memory = 2, Global = 3 };
+
+/// A function import. AccTEE only imports functions (I/O primitives exposed
+/// by the runtime, per paper §3.4); memories/tables/globals are module-local.
+struct Import {
+  std::string module;
+  std::string name;
+  uint32_t type_index = 0;  // index into Module::types
+};
+
+/// A defined function. The function *index space* is imports first, then
+/// defined functions.
+struct Function {
+  uint32_t type_index = 0;
+  std::vector<ValType> locals;  // excluding params
+  std::vector<Instr> body;
+  std::string name;  // optional; used by WAT round-trips and diagnostics
+};
+
+struct Global {
+  ValType type = ValType::I32;
+  bool mutable_ = false;
+  Instr init;  // a single const instruction (MVP const expression)
+  std::string name;
+};
+
+struct Export {
+  std::string name;
+  ExternKind kind = ExternKind::Func;
+  uint32_t index = 0;
+};
+
+struct ElemSegment {
+  uint32_t offset = 0;  // constant offset into the table
+  std::vector<uint32_t> func_indices;
+};
+
+struct DataSegment {
+  uint32_t offset = 0;  // constant offset into linear memory
+  Bytes bytes;
+};
+
+struct Module {
+  std::vector<FuncType> types;
+  std::vector<Import> imports;
+  std::vector<Function> functions;
+  std::optional<Limits> memory;
+  std::optional<Limits> table;
+  std::vector<Global> globals;
+  std::vector<Export> exports;
+  std::vector<ElemSegment> elems;
+  std::vector<DataSegment> data;
+  std::optional<uint32_t> start;
+
+  /// Total size of the function index space (imports + defined).
+  uint32_t num_funcs() const {
+    return static_cast<uint32_t>(imports.size() + functions.size());
+  }
+
+  /// True if `func_index` refers to an import.
+  bool is_import(uint32_t func_index) const {
+    return func_index < imports.size();
+  }
+
+  /// Signature of any function in the index space. Throws ValidationError on
+  /// a bad index.
+  const FuncType& func_type(uint32_t func_index) const;
+
+  /// Returns the index of an existing identical type, or adds it.
+  uint32_t intern_type(const FuncType& type);
+
+  /// Finds an export by name and kind; nullopt if absent.
+  std::optional<uint32_t> find_export(std::string_view name,
+                                      ExternKind kind) const;
+};
+
+/// Number of instructions in a body, counting nested bodies recursively.
+uint64_t count_instructions(const std::vector<Instr>& body);
+
+/// Total static instruction count across all functions.
+uint64_t count_instructions(const Module& module);
+
+/// Per-opcode static histogram (indexed by static_cast<size_t>(Op)).
+std::vector<uint64_t> opcode_histogram(const Module& module);
+
+/// Structural deep equality of instruction trees (for round-trip tests).
+bool instr_equal(const Instr& a, const Instr& b);
+bool body_equal(const std::vector<Instr>& a, const std::vector<Instr>& b);
+
+}  // namespace acctee::wasm

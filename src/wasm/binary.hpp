@@ -1,0 +1,23 @@
+// WebAssembly binary format encoder/decoder (MVP).
+//
+// Emits standard section layout (magic/version, sections 1-11, LEB128
+// immediates), so encoded modules are byte-compatible with the real format
+// for the constructs we support. The encoder/decoder pair round-trips every
+// module (property-tested), and encode() defines the canonical bytes that
+// instrumentation evidence and enclave measurements hash over. Binary sizes
+// before/after instrumentation reproduce the paper's §5.4 experiment.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "wasm/ast.hpp"
+
+namespace acctee::wasm {
+
+/// Encodes a module to the Wasm binary format.
+Bytes encode(const Module& module);
+
+/// Decodes a Wasm binary. Throws ParseError on malformed input. The result
+/// is not validated; run the validator before executing.
+Module decode(BytesView binary);
+
+}  // namespace acctee::wasm

@@ -1,0 +1,352 @@
+#include "common/error.hpp"
+#include "common/leb128.hpp"
+#include "wasm/binary.hpp"
+
+namespace acctee::wasm {
+
+namespace {
+
+constexpr uint8_t kEnd = 0x0b;
+constexpr uint8_t kElse = 0x05;
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  Module read_module() {
+    expect_magic();
+    Module module;
+    int last_section = 0;
+    while (pos_ < data_.size()) {
+      uint8_t id = read_byte();
+      uint64_t size = read_uleb128(data_, &pos_);
+      size_t section_end = pos_ + size;
+      if (section_end > data_.size()) {
+        throw ParseError("section extends past end of binary");
+      }
+      if (id != 0) {  // custom sections may appear anywhere
+        if (id <= last_section) throw ParseError("out-of-order section");
+        last_section = id;
+      }
+      switch (id) {
+        case 0: pos_ = section_end; break;  // skip custom sections
+        case 1: read_types(module); break;
+        case 2: read_imports(module); break;
+        case 3: read_func_decls(module); break;
+        case 4: read_table(module); break;
+        case 5: read_memory(module); break;
+        case 6: read_globals(module); break;
+        case 7: read_exports(module); break;
+        case 8: module.start = read_u32(); break;
+        case 9: read_elems(module); break;
+        case 10: read_code(module); break;
+        case 11: read_data(module); break;
+        default: throw ParseError("unknown section id");
+      }
+      if (pos_ != section_end) {
+        throw ParseError("section size mismatch (id " + std::to_string(id) + ")");
+      }
+    }
+    if (!func_types_.empty() && module.functions.size() != func_types_.size()) {
+      throw ParseError("function and code section counts differ");
+    }
+    return module;
+  }
+
+ private:
+  BytesView data_;
+  size_t pos_ = 0;
+  std::vector<uint32_t> func_types_;
+
+  uint8_t read_byte() {
+    if (pos_ >= data_.size()) throw ParseError("unexpected end of binary");
+    return data_[pos_++];
+  }
+
+  uint32_t read_u32() {
+    uint64_t v = read_uleb128(data_, &pos_);
+    if (v > UINT32_MAX) throw ParseError("u32 out of range");
+    return static_cast<uint32_t>(v);
+  }
+
+  void expect_magic() {
+    static constexpr uint8_t kMagic[8] = {0x00, 'a', 's', 'm', 1, 0, 0, 0};
+    for (uint8_t expected : kMagic) {
+      if (read_byte() != expected) throw ParseError("bad magic/version");
+    }
+  }
+
+  ValType read_valtype() {
+    uint8_t b = read_byte();
+    switch (b) {
+      case 0x7f: return ValType::I32;
+      case 0x7e: return ValType::I64;
+      case 0x7d: return ValType::F32;
+      case 0x7c: return ValType::F64;
+      default: throw ParseError("bad value type");
+    }
+  }
+
+  std::string read_name() {
+    uint64_t len = read_uleb128(data_, &pos_);
+    if (pos_ + len > data_.size()) throw ParseError("name extends past end");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  Limits read_limits() {
+    uint8_t flag = read_byte();
+    Limits limits;
+    limits.min = read_u32();
+    if (flag == 0x01) {
+      limits.max = read_u32();
+    } else if (flag != 0x00) {
+      throw ParseError("bad limits flag");
+    }
+    return limits;
+  }
+
+  void read_types(Module& module) {
+    uint32_t count = read_u32();
+    for (uint32_t i = 0; i < count; ++i) {
+      if (read_byte() != 0x60) throw ParseError("expected functype 0x60");
+      FuncType type;
+      uint32_t np = read_u32();
+      for (uint32_t j = 0; j < np; ++j) type.params.push_back(read_valtype());
+      uint32_t nr = read_u32();
+      for (uint32_t j = 0; j < nr; ++j) type.results.push_back(read_valtype());
+      module.types.push_back(std::move(type));
+    }
+  }
+
+  void read_imports(Module& module) {
+    uint32_t count = read_u32();
+    for (uint32_t i = 0; i < count; ++i) {
+      Import imp;
+      imp.module = read_name();
+      imp.name = read_name();
+      uint8_t kind = read_byte();
+      if (kind != 0x00) {
+        throw ParseError("only function imports are supported");
+      }
+      imp.type_index = read_u32();
+      module.imports.push_back(std::move(imp));
+    }
+  }
+
+  void read_func_decls(Module& module) {
+    uint32_t count = read_u32();
+    for (uint32_t i = 0; i < count; ++i) func_types_.push_back(read_u32());
+    (void)module;
+  }
+
+  void read_table(Module& module) {
+    uint32_t count = read_u32();
+    if (count > 1) throw ParseError("multiple tables");
+    if (count == 1) {
+      if (read_byte() != 0x70) throw ParseError("expected funcref table");
+      module.table = read_limits();
+    }
+  }
+
+  void read_memory(Module& module) {
+    uint32_t count = read_u32();
+    if (count > 1) throw ParseError("multiple memories");
+    if (count == 1) module.memory = read_limits();
+  }
+
+  Instr read_const_expr() {
+    Instr instr = read_instr();
+    if (read_byte() != kEnd) throw ParseError("const expression too long");
+    return instr;
+  }
+
+  void read_globals(Module& module) {
+    uint32_t count = read_u32();
+    for (uint32_t i = 0; i < count; ++i) {
+      Global g;
+      g.type = read_valtype();
+      uint8_t mut = read_byte();
+      if (mut > 1) throw ParseError("bad global mutability");
+      g.mutable_ = mut == 1;
+      g.init = read_const_expr();
+      module.globals.push_back(std::move(g));
+    }
+  }
+
+  void read_exports(Module& module) {
+    uint32_t count = read_u32();
+    for (uint32_t i = 0; i < count; ++i) {
+      Export e;
+      e.name = read_name();
+      uint8_t kind = read_byte();
+      if (kind > 3) throw ParseError("bad export kind");
+      e.kind = static_cast<ExternKind>(kind);
+      e.index = read_u32();
+      module.exports.push_back(std::move(e));
+    }
+  }
+
+  void read_elems(Module& module) {
+    uint32_t count = read_u32();
+    for (uint32_t i = 0; i < count; ++i) {
+      if (read_u32() != 0) throw ParseError("bad elem table index");
+      Instr offset = read_const_expr();
+      if (offset.op != Op::I32Const) throw ParseError("bad elem offset expr");
+      ElemSegment seg;
+      seg.offset = static_cast<uint32_t>(offset.as_i32());
+      uint32_t n = read_u32();
+      for (uint32_t j = 0; j < n; ++j) seg.func_indices.push_back(read_u32());
+      module.elems.push_back(std::move(seg));
+    }
+  }
+
+  void read_data(Module& module) {
+    uint32_t count = read_u32();
+    for (uint32_t i = 0; i < count; ++i) {
+      if (read_u32() != 0) throw ParseError("bad data memory index");
+      Instr offset = read_const_expr();
+      if (offset.op != Op::I32Const) throw ParseError("bad data offset expr");
+      DataSegment seg;
+      seg.offset = static_cast<uint32_t>(offset.as_i32());
+      uint32_t n = read_u32();
+      if (pos_ + n > data_.size()) throw ParseError("data extends past end");
+      seg.bytes.assign(data_.begin() + pos_, data_.begin() + pos_ + n);
+      pos_ += n;
+      module.data.push_back(std::move(seg));
+    }
+  }
+
+  BlockType read_block_type() {
+    uint8_t b = read_byte();
+    BlockType bt;
+    switch (b) {
+      case 0x40: break;
+      case 0x7f: bt.result = ValType::I32; break;
+      case 0x7e: bt.result = ValType::I64; break;
+      case 0x7d: bt.result = ValType::F32; break;
+      case 0x7c: bt.result = ValType::F64; break;
+      default: throw ParseError("bad block type");
+    }
+    return bt;
+  }
+
+  /// Reads one instruction (recursively reading nested bodies).
+  Instr read_instr() {
+    uint8_t opcode = read_byte();
+    auto op = op_by_binary(opcode);
+    if (!op) {
+      throw ParseError("unknown opcode 0x" +
+                       to_hex(BytesView(&opcode, 1)));
+    }
+    Instr instr;
+    instr.op = *op;
+    const OpInfo& info = op_info(*op);
+    switch (info.imm) {
+      case ImmKind::None:
+        break;
+      case ImmKind::MemIdx:
+        if (read_byte() != 0x00) throw ParseError("bad memory index");
+        break;
+      case ImmKind::Block: {
+        instr.block_type = read_block_type();
+        bool in_else = false;
+        for (;;) {
+          if (pos_ >= data_.size()) throw ParseError("unterminated block");
+          uint8_t next = data_[pos_];
+          if (next == kEnd) {
+            ++pos_;
+            break;
+          }
+          if (next == kElse) {
+            if (instr.op != Op::If || in_else) throw ParseError("stray else");
+            in_else = true;
+            ++pos_;
+            continue;
+          }
+          (in_else ? instr.else_body : instr.body).push_back(read_instr());
+        }
+        break;
+      }
+      case ImmKind::Label:
+      case ImmKind::Func:
+      case ImmKind::Local:
+      case ImmKind::Global:
+        instr.index = read_u32();
+        break;
+      case ImmKind::CallIndirect:
+        instr.index = read_u32();
+        if (read_byte() != 0x00) throw ParseError("bad call_indirect table");
+        break;
+      case ImmKind::LabelTable: {
+        uint32_t n = read_u32();
+        for (uint32_t i = 0; i < n; ++i) instr.br_targets.push_back(read_u32());
+        instr.index = read_u32();
+        break;
+      }
+      case ImmKind::Mem:
+        instr.mem_align = read_u32();
+        instr.mem_offset = read_u32();
+        break;
+      case ImmKind::I32ConstImm:
+        instr.imm = static_cast<uint32_t>(
+            static_cast<int32_t>(read_sleb128(data_, &pos_)));
+        break;
+      case ImmKind::I64ConstImm:
+        instr.imm = static_cast<uint64_t>(read_sleb128(data_, &pos_));
+        break;
+      case ImmKind::F32ConstImm:
+        instr.imm = read_u32le(data_, pos_);
+        pos_ += 4;
+        break;
+      case ImmKind::F64ConstImm:
+        instr.imm = read_u64le(data_, pos_);
+        pos_ += 8;
+        break;
+    }
+    return instr;
+  }
+
+  void read_code(Module& module) {
+    uint32_t count = read_u32();
+    if (count != func_types_.size()) {
+      throw ParseError("code/function section count mismatch");
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      uint64_t size = read_uleb128(data_, &pos_);
+      size_t end = pos_ + size;
+      Function func;
+      func.type_index = func_types_[i];
+      uint32_t groups = read_u32();
+      for (uint32_t g = 0; g < groups; ++g) {
+        uint32_t n = read_u32();
+        if (func.locals.size() + n > 1'000'000) {
+          throw ParseError("too many locals");
+        }
+        ValType t = read_valtype();
+        func.locals.insert(func.locals.end(), n, t);
+      }
+      // Body: instructions until the terminating end.
+      for (;;) {
+        if (pos_ >= data_.size()) throw ParseError("unterminated function body");
+        if (data_[pos_] == kEnd) {
+          ++pos_;
+          break;
+        }
+        func.body.push_back(read_instr());
+      }
+      if (pos_ != end) throw ParseError("code entry size mismatch");
+      module.functions.push_back(std::move(func));
+    }
+  }
+};
+
+}  // namespace
+
+Module decode(BytesView binary) {
+  Reader reader(binary);
+  return reader.read_module();
+}
+
+}  // namespace acctee::wasm

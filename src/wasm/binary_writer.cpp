@@ -1,0 +1,255 @@
+#include "common/leb128.hpp"
+#include "wasm/binary.hpp"
+
+namespace acctee::wasm {
+
+namespace {
+
+constexpr uint8_t kEnd = 0x0b;
+constexpr uint8_t kElse = 0x05;
+
+void write_name(Bytes& out, const std::string& name) {
+  write_uleb128(out, name.size());
+  append(out, to_bytes(name));
+}
+
+void write_limits(Bytes& out, const Limits& limits) {
+  if (limits.max) {
+    out.push_back(0x01);
+    write_uleb128(out, limits.min);
+    write_uleb128(out, *limits.max);
+  } else {
+    out.push_back(0x00);
+    write_uleb128(out, limits.min);
+  }
+}
+
+void write_block_type(Bytes& out, const BlockType& bt) {
+  if (bt.result) {
+    out.push_back(static_cast<uint8_t>(*bt.result));
+  } else {
+    out.push_back(0x40);
+  }
+}
+
+void write_instr(Bytes& out, const Instr& instr);
+
+void write_body(Bytes& out, const std::vector<Instr>& body) {
+  for (const auto& instr : body) write_instr(out, instr);
+}
+
+void write_instr(Bytes& out, const Instr& instr) {
+  const OpInfo& info = op_info(instr.op);
+  out.push_back(info.binary);
+  switch (info.imm) {
+    case ImmKind::None:
+      break;
+    case ImmKind::MemIdx:
+      out.push_back(0x00);
+      break;
+    case ImmKind::Block:
+      write_block_type(out, instr.block_type);
+      write_body(out, instr.body);
+      if (instr.op == Op::If && !instr.else_body.empty()) {
+        out.push_back(kElse);
+        write_body(out, instr.else_body);
+      }
+      out.push_back(kEnd);
+      break;
+    case ImmKind::Label:
+    case ImmKind::Func:
+    case ImmKind::Local:
+    case ImmKind::Global:
+      write_uleb128(out, instr.index);
+      break;
+    case ImmKind::CallIndirect:
+      write_uleb128(out, instr.index);
+      out.push_back(0x00);  // reserved table index
+      break;
+    case ImmKind::LabelTable:
+      write_uleb128(out, instr.br_targets.size());
+      for (uint32_t t : instr.br_targets) write_uleb128(out, t);
+      write_uleb128(out, instr.index);
+      break;
+    case ImmKind::Mem:
+      write_uleb128(out, instr.mem_align);
+      write_uleb128(out, instr.mem_offset);
+      break;
+    case ImmKind::I32ConstImm:
+      write_sleb128(out, instr.as_i32());
+      break;
+    case ImmKind::I64ConstImm:
+      write_sleb128(out, instr.as_i64());
+      break;
+    case ImmKind::F32ConstImm:
+      append_u32le(out, static_cast<uint32_t>(instr.imm));
+      break;
+    case ImmKind::F64ConstImm:
+      append_u64le(out, instr.imm);
+      break;
+  }
+}
+
+void write_const_expr(Bytes& out, const Instr& init) {
+  write_instr(out, init);
+  out.push_back(kEnd);
+}
+
+void write_section(Bytes& out, uint8_t id, const Bytes& contents) {
+  if (contents.empty()) return;
+  out.push_back(id);
+  write_uleb128(out, contents.size());
+  append(out, contents);
+}
+
+}  // namespace
+
+Bytes encode(const Module& module) {
+  Bytes out;
+  out.push_back(0x00);
+  out.push_back('a');
+  out.push_back('s');
+  out.push_back('m');
+  append_u32le(out, 1);
+
+  // Type section (1)
+  if (!module.types.empty()) {
+    Bytes sec;
+    write_uleb128(sec, module.types.size());
+    for (const auto& type : module.types) {
+      sec.push_back(0x60);
+      write_uleb128(sec, type.params.size());
+      for (auto p : type.params) sec.push_back(static_cast<uint8_t>(p));
+      write_uleb128(sec, type.results.size());
+      for (auto r : type.results) sec.push_back(static_cast<uint8_t>(r));
+    }
+    write_section(out, 1, sec);
+  }
+
+  // Import section (2)
+  if (!module.imports.empty()) {
+    Bytes sec;
+    write_uleb128(sec, module.imports.size());
+    for (const auto& imp : module.imports) {
+      write_name(sec, imp.module);
+      write_name(sec, imp.name);
+      sec.push_back(0x00);  // func import
+      write_uleb128(sec, imp.type_index);
+    }
+    write_section(out, 2, sec);
+  }
+
+  // Function section (3)
+  if (!module.functions.empty()) {
+    Bytes sec;
+    write_uleb128(sec, module.functions.size());
+    for (const auto& f : module.functions) write_uleb128(sec, f.type_index);
+    write_section(out, 3, sec);
+  }
+
+  // Table section (4)
+  if (module.table) {
+    Bytes sec;
+    write_uleb128(sec, 1);
+    sec.push_back(0x70);  // funcref
+    write_limits(sec, *module.table);
+    write_section(out, 4, sec);
+  }
+
+  // Memory section (5)
+  if (module.memory) {
+    Bytes sec;
+    write_uleb128(sec, 1);
+    write_limits(sec, *module.memory);
+    write_section(out, 5, sec);
+  }
+
+  // Global section (6)
+  if (!module.globals.empty()) {
+    Bytes sec;
+    write_uleb128(sec, module.globals.size());
+    for (const auto& g : module.globals) {
+      sec.push_back(static_cast<uint8_t>(g.type));
+      sec.push_back(g.mutable_ ? 0x01 : 0x00);
+      write_const_expr(sec, g.init);
+    }
+    write_section(out, 6, sec);
+  }
+
+  // Export section (7)
+  if (!module.exports.empty()) {
+    Bytes sec;
+    write_uleb128(sec, module.exports.size());
+    for (const auto& e : module.exports) {
+      write_name(sec, e.name);
+      sec.push_back(static_cast<uint8_t>(e.kind));
+      write_uleb128(sec, e.index);
+    }
+    write_section(out, 7, sec);
+  }
+
+  // Start section (8)
+  if (module.start) {
+    Bytes sec;
+    write_uleb128(sec, *module.start);
+    write_section(out, 8, sec);
+  }
+
+  // Element section (9)
+  if (!module.elems.empty()) {
+    Bytes sec;
+    write_uleb128(sec, module.elems.size());
+    for (const auto& elem : module.elems) {
+      write_uleb128(sec, 0);  // table index
+      write_const_expr(sec, Instr::i32c(static_cast<int32_t>(elem.offset)));
+      write_uleb128(sec, elem.func_indices.size());
+      for (uint32_t f : elem.func_indices) write_uleb128(sec, f);
+    }
+    write_section(out, 9, sec);
+  }
+
+  // Code section (10)
+  if (!module.functions.empty()) {
+    Bytes sec;
+    write_uleb128(sec, module.functions.size());
+    for (const auto& f : module.functions) {
+      Bytes code;
+      // Compress consecutive identical local types.
+      std::vector<std::pair<uint32_t, ValType>> groups;
+      for (ValType t : f.locals) {
+        if (!groups.empty() && groups.back().second == t) {
+          ++groups.back().first;
+        } else {
+          groups.emplace_back(1, t);
+        }
+      }
+      write_uleb128(code, groups.size());
+      for (const auto& [n, t] : groups) {
+        write_uleb128(code, n);
+        code.push_back(static_cast<uint8_t>(t));
+      }
+      write_body(code, f.body);
+      code.push_back(kEnd);
+      write_uleb128(sec, code.size());
+      append(sec, code);
+    }
+    write_section(out, 10, sec);
+  }
+
+  // Data section (11)
+  if (!module.data.empty()) {
+    Bytes sec;
+    write_uleb128(sec, module.data.size());
+    for (const auto& d : module.data) {
+      write_uleb128(sec, 0);  // memory index
+      write_const_expr(sec, Instr::i32c(static_cast<int32_t>(d.offset)));
+      write_uleb128(sec, d.bytes.size());
+      append(sec, d.bytes);
+    }
+    write_section(out, 11, sec);
+  }
+
+  return out;
+}
+
+}  // namespace acctee::wasm

@@ -1,0 +1,110 @@
+#include "wasm/opcode.hpp"
+
+#include <array>
+#include <unordered_map>
+
+namespace acctee::wasm {
+
+namespace {
+
+constexpr std::array<OpInfo, kNumOps> kOpTable = {{
+#define ACCTEE_OP(name, text, binary, imm, sig, cost) \
+  {Op::name, text, binary, ImmKind::imm, sig, cost},
+#include "wasm/opcodes.def"
+#undef ACCTEE_OP
+}};
+
+const std::unordered_map<std::string_view, Op>& name_map() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string_view, Op>();
+    for (const auto& info : kOpTable) m->emplace(info.name, info.op);
+    return m;
+  }();
+  return *map;
+}
+
+const std::array<std::optional<Op>, 256>& binary_map() {
+  static const auto* map = [] {
+    auto* m = new std::array<std::optional<Op>, 256>();
+    for (const auto& info : kOpTable) (*m)[info.binary] = info.op;
+    return m;
+  }();
+  return *map;
+}
+
+}  // namespace
+
+const OpInfo& op_info(Op op) { return kOpTable[static_cast<size_t>(op)]; }
+
+std::optional<Op> op_by_name(std::string_view name) {
+  auto it = name_map().find(name);
+  if (it == name_map().end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Op> op_by_binary(uint8_t byte) { return binary_map()[byte]; }
+
+bool is_branch(Op op) {
+  switch (op) {
+    case Op::Br:
+    case Op::BrIf:
+    case Op::BrTable:
+    case Op::Return:
+    case Op::Unreachable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_structured(Op op) {
+  return op == Op::Block || op == Op::Loop || op == Op::If;
+}
+
+bool is_load(Op op) {
+  uint8_t b = op_info(op).binary;
+  return b >= 0x28 && b <= 0x35;
+}
+
+bool is_store(Op op) {
+  uint8_t b = op_info(op).binary;
+  return b >= 0x36 && b <= 0x3e;
+}
+
+bool is_memory_access(Op op) { return is_load(op) || is_store(op); }
+
+uint32_t memory_access_width(Op op) {
+  switch (op) {
+    case Op::I32Load8S:
+    case Op::I32Load8U:
+    case Op::I64Load8S:
+    case Op::I64Load8U:
+    case Op::I32Store8:
+    case Op::I64Store8:
+      return 1;
+    case Op::I32Load16S:
+    case Op::I32Load16U:
+    case Op::I64Load16S:
+    case Op::I64Load16U:
+    case Op::I32Store16:
+    case Op::I64Store16:
+      return 2;
+    case Op::I32Load:
+    case Op::F32Load:
+    case Op::I64Load32S:
+    case Op::I64Load32U:
+    case Op::I32Store:
+    case Op::F32Store:
+    case Op::I64Store32:
+      return 4;
+    case Op::I64Load:
+    case Op::F64Load:
+    case Op::I64Store:
+    case Op::F64Store:
+      return 8;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace acctee::wasm

@@ -1,0 +1,76 @@
+// Opcode enumeration and static metadata (names, binary encodings,
+// immediate kinds, value signatures, simulated base cycle costs).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace acctee::wasm {
+
+/// Kind of immediate operand an instruction carries.
+enum class ImmKind : uint8_t {
+  None,
+  Block,         // block type (and nested body in the tree IR)
+  Label,         // branch depth
+  LabelTable,    // br_table target list + default
+  Func,          // function index
+  CallIndirect,  // type index (+ reserved table byte in binary)
+  Local,         // local index
+  Global,        // global index
+  Mem,           // memarg {align, offset}
+  MemIdx,        // reserved 0x00 memory index (memory.size/grow)
+  I32ConstImm,
+  I64ConstImm,
+  F32ConstImm,
+  F64ConstImm,
+};
+
+enum class Op : uint8_t {
+#define ACCTEE_OP(name, text, binary, imm, sig, cost) name,
+#include "wasm/opcodes.def"
+#undef ACCTEE_OP
+};
+
+constexpr size_t kNumOps = 0
+#define ACCTEE_OP(name, text, binary, imm, sig, cost) +1
+#include "wasm/opcodes.def"
+#undef ACCTEE_OP
+    ;
+
+/// Static per-opcode metadata.
+struct OpInfo {
+  Op op;
+  std::string_view name;    // WAT mnemonic
+  uint8_t binary;           // binary-format opcode byte
+  ImmKind imm;
+  std::string_view sig;     // "params:results" (i/l/f/d), "*" = special
+  uint32_t base_cost;       // simulated cycles (memory ops add cache cost)
+};
+
+/// Metadata for `op` (O(1) table lookup).
+const OpInfo& op_info(Op op);
+
+/// Looks up an opcode by WAT mnemonic; nullopt if unknown.
+std::optional<Op> op_by_name(std::string_view name);
+
+/// Looks up an opcode by binary encoding; nullopt if unknown/unsupported.
+std::optional<Op> op_by_binary(uint8_t byte);
+
+/// True for instructions that unconditionally or conditionally transfer
+/// control away from the fall-through path (br, br_if, br_table, return,
+/// unreachable). These terminate basic blocks for the instrumenter.
+bool is_branch(Op op);
+
+/// True for block/loop/if (instructions with nested bodies in the tree IR).
+bool is_structured(Op op);
+
+/// True for load/store instructions (operands of the memory-cost model).
+bool is_memory_access(Op op);
+bool is_load(Op op);
+bool is_store(Op op);
+
+/// Natural access width in bytes for a load/store op (1, 2, 4 or 8).
+uint32_t memory_access_width(Op op);
+
+}  // namespace acctee::wasm

@@ -1,0 +1,81 @@
+// Core WebAssembly type definitions (value types, function types, limits).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace acctee::wasm {
+
+/// Wasm page size: 64 KiB.
+constexpr uint64_t kPageSize = 64 * 1024;
+
+/// MVP value types, with their binary encodings.
+enum class ValType : uint8_t {
+  I32 = 0x7f,
+  I64 = 0x7e,
+  F32 = 0x7d,
+  F64 = 0x7c,
+};
+
+inline const char* to_string(ValType t) {
+  switch (t) {
+    case ValType::I32: return "i32";
+    case ValType::I64: return "i64";
+    case ValType::F32: return "f32";
+    case ValType::F64: return "f64";
+  }
+  return "?";
+}
+
+/// Parses "i32"/"i64"/"f32"/"f64"; returns nullopt otherwise.
+inline std::optional<ValType> parse_valtype(std::string_view s) {
+  if (s == "i32") return ValType::I32;
+  if (s == "i64") return ValType::I64;
+  if (s == "f32") return ValType::F32;
+  if (s == "f64") return ValType::F64;
+  return std::nullopt;
+}
+
+/// Result type of a block/loop/if: either empty or a single value (MVP).
+struct BlockType {
+  std::optional<ValType> result;
+
+  bool operator==(const BlockType&) const = default;
+};
+
+/// A function signature.
+struct FuncType {
+  std::vector<ValType> params;
+  std::vector<ValType> results;
+
+  bool operator==(const FuncType&) const = default;
+
+  std::string to_string() const {
+    std::string s = "(";
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i) s += ' ';
+      s += wasm::to_string(params[i]);
+    }
+    s += ") -> (";
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (i) s += ' ';
+      s += wasm::to_string(results[i]);
+    }
+    s += ')';
+    return s;
+  }
+};
+
+/// Memory/table limits in units of pages (memory) or elements (table).
+struct Limits {
+  uint32_t min = 0;
+  std::optional<uint32_t> max;
+
+  bool operator==(const Limits&) const = default;
+};
+
+}  // namespace acctee::wasm

@@ -1,0 +1,388 @@
+#include "wasm/validator.hpp"
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace acctee::wasm {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& msg) { throw ValidationError(msg); }
+
+ValType sig_char_type(char c) {
+  switch (c) {
+    case 'i': return ValType::I32;
+    case 'l': return ValType::I64;
+    case 'f': return ValType::F32;
+    case 'd': return ValType::F64;
+  }
+  bad("internal: bad sig char");
+}
+
+/// Type-checks one function body.
+class BodyChecker {
+ public:
+  BodyChecker(const Module& module, const Function& func)
+      : module_(module), func_type_(module.types.at(func.type_index)) {
+    locals_ = func_type_.params;
+    locals_.insert(locals_.end(), func.locals.begin(), func.locals.end());
+  }
+
+  void check(const std::vector<Instr>& body) {
+    std::optional<ValType> result;
+    if (func_type_.results.size() == 1) result = func_type_.results[0];
+    frames_.push_back(Frame{result, /*is_loop=*/false, 0, false});
+    check_body(body);
+    finish_frame(result);
+  }
+
+ private:
+  struct Frame {
+    std::optional<ValType> result;
+    bool is_loop;
+    size_t base;        // value-stack height at entry
+    bool unreachable;   // remainder of this frame is dead code
+  };
+
+  const Module& module_;
+  const FuncType& func_type_;
+  std::vector<ValType> locals_;
+  std::vector<std::optional<ValType>> stack_;  // nullopt = polymorphic
+  std::vector<Frame> frames_;
+
+  Frame& frame() { return frames_.back(); }
+
+  void push(std::optional<ValType> t) { stack_.push_back(t); }
+
+  std::optional<ValType> pop() {
+    if (stack_.size() <= frame().base) {
+      if (frame().unreachable) return std::nullopt;
+      bad("value stack underflow");
+    }
+    auto t = stack_.back();
+    stack_.pop_back();
+    return t;
+  }
+
+  void pop_expect(ValType expected) {
+    auto t = pop();
+    if (t && *t != expected) {
+      bad(std::string("type mismatch: expected ") + to_string(expected) +
+          ", got " + to_string(*t));
+    }
+  }
+
+  void mark_unreachable() {
+    frame().unreachable = true;
+    stack_.resize(frame().base);
+  }
+
+  /// Validates stack state at the end of a frame and pops the frame,
+  /// leaving the frame's result pushed in the enclosing context.
+  void finish_frame(std::optional<ValType> result) {
+    Frame f = frame();
+    if (!f.unreachable) {
+      size_t expected = f.base + (result ? 1 : 0);
+      if (stack_.size() != expected) {
+        bad("block leaves wrong number of values on stack");
+      }
+      if (result && stack_.back() && *stack_.back() != *result) {
+        bad("block result type mismatch");
+      }
+    }
+    stack_.resize(f.base);
+    frames_.pop_back();
+    if (result) push(*result);
+  }
+
+  const Frame& label(uint32_t depth) {
+    if (depth >= frames_.size()) bad("branch depth out of range");
+    return frames_[frames_.size() - 1 - depth];
+  }
+
+  /// Branch arity of a label: loops take no values (MVP), blocks/ifs take
+  /// their result.
+  std::optional<ValType> branch_type(uint32_t depth) {
+    const Frame& f = label(depth);
+    return f.is_loop ? std::nullopt : f.result;
+  }
+
+  void check_mem_access(const Instr& instr) {
+    if (!module_.memory) bad("memory access without memory");
+    uint32_t width = memory_access_width(instr.op);
+    uint32_t max_align = 0;
+    while ((1u << max_align) < width) ++max_align;
+    if (instr.mem_align > max_align) bad("alignment exceeds natural alignment");
+  }
+
+  void check_body(const std::vector<Instr>& body) {
+    for (const auto& instr : body) check_instr(instr);
+  }
+
+  void check_instr(const Instr& instr) {
+    const OpInfo& info = op_info(instr.op);
+    if (info.sig != "*") {
+      // Uniform signature from metadata.
+      if (is_memory_access(instr.op)) check_mem_access(instr);
+      if (instr.op == Op::MemorySize || instr.op == Op::MemoryGrow) {
+        if (!module_.memory) bad("memory.size/grow without memory");
+      }
+      size_t colon = info.sig.find(':');
+      // Pop params right-to-left.
+      for (size_t i = colon; i-- > 0;) {
+        pop_expect(sig_char_type(info.sig[i]));
+      }
+      for (size_t i = colon + 1; i < info.sig.size(); ++i) {
+        push(sig_char_type(info.sig[i]));
+      }
+      return;
+    }
+    switch (instr.op) {
+      case Op::Nop:
+        break;
+      case Op::Unreachable:
+        mark_unreachable();
+        break;
+      case Op::Block:
+      case Op::Loop: {
+        frames_.push_back(Frame{instr.block_type.result,
+                                instr.op == Op::Loop, stack_.size(), false});
+        check_body(instr.body);
+        finish_frame(instr.block_type.result);
+        break;
+      }
+      case Op::If: {
+        pop_expect(ValType::I32);
+        if (instr.block_type.result && instr.else_body.empty()) {
+          bad("if with result requires an else branch");
+        }
+        frames_.push_back(
+            Frame{instr.block_type.result, false, stack_.size(), false});
+        check_body(instr.body);
+        // Validate then-arm, then reuse the frame for the else-arm.
+        {
+          Frame f = frame();
+          if (!f.unreachable) {
+            size_t expected = f.base + (instr.block_type.result ? 1 : 0);
+            if (stack_.size() != expected) bad("then-branch stack mismatch");
+            if (instr.block_type.result && stack_.back() &&
+                *stack_.back() != *instr.block_type.result) {
+              bad("then-branch result type mismatch");
+            }
+          }
+          stack_.resize(f.base);
+          frames_.pop_back();
+        }
+        frames_.push_back(
+            Frame{instr.block_type.result, false, stack_.size(), false});
+        check_body(instr.else_body);
+        finish_frame(instr.block_type.result);
+        break;
+      }
+      case Op::Br: {
+        auto bt = branch_type(instr.index);
+        if (bt) pop_expect(*bt);
+        mark_unreachable();
+        break;
+      }
+      case Op::BrIf: {
+        pop_expect(ValType::I32);
+        auto bt = branch_type(instr.index);
+        if (bt) {
+          pop_expect(*bt);
+          push(*bt);
+        }
+        break;
+      }
+      case Op::BrTable: {
+        pop_expect(ValType::I32);
+        auto def = branch_type(instr.index);
+        for (uint32_t t : instr.br_targets) {
+          auto bt = branch_type(t);
+          if (bt.has_value() != def.has_value() ||
+              (bt && def && *bt != *def)) {
+            bad("br_table targets have mismatched types");
+          }
+        }
+        if (def) pop_expect(*def);
+        mark_unreachable();
+        break;
+      }
+      case Op::Return: {
+        for (size_t i = func_type_.results.size(); i-- > 0;) {
+          pop_expect(func_type_.results[i]);
+        }
+        mark_unreachable();
+        break;
+      }
+      case Op::Call: {
+        const FuncType& ft = module_.func_type(instr.index);
+        for (size_t i = ft.params.size(); i-- > 0;) pop_expect(ft.params[i]);
+        for (ValType r : ft.results) push(r);
+        break;
+      }
+      case Op::CallIndirect: {
+        if (!module_.table) bad("call_indirect without table");
+        if (instr.index >= module_.types.size()) bad("bad type index");
+        pop_expect(ValType::I32);
+        const FuncType& ft = module_.types[instr.index];
+        for (size_t i = ft.params.size(); i-- > 0;) pop_expect(ft.params[i]);
+        for (ValType r : ft.results) push(r);
+        break;
+      }
+      case Op::Drop:
+        pop();
+        break;
+      case Op::Select: {
+        pop_expect(ValType::I32);
+        auto t1 = pop();
+        auto t2 = pop();
+        if (t1 && t2 && *t1 != *t2) bad("select operand types differ");
+        push(t1 ? t1 : t2);
+        break;
+      }
+      case Op::LocalGet: {
+        if (instr.index >= locals_.size()) bad("local index out of range");
+        push(locals_[instr.index]);
+        break;
+      }
+      case Op::LocalSet: {
+        if (instr.index >= locals_.size()) bad("local index out of range");
+        pop_expect(locals_[instr.index]);
+        break;
+      }
+      case Op::LocalTee: {
+        if (instr.index >= locals_.size()) bad("local index out of range");
+        pop_expect(locals_[instr.index]);
+        push(locals_[instr.index]);
+        break;
+      }
+      case Op::GlobalGet: {
+        if (instr.index >= module_.globals.size()) {
+          bad("global index out of range");
+        }
+        push(module_.globals[instr.index].type);
+        break;
+      }
+      case Op::GlobalSet: {
+        if (instr.index >= module_.globals.size()) {
+          bad("global index out of range");
+        }
+        if (!module_.globals[instr.index].mutable_) {
+          bad("global.set on immutable global");
+        }
+        pop_expect(module_.globals[instr.index].type);
+        break;
+      }
+      default:
+        bad("internal: unhandled special op");
+    }
+  }
+};
+
+void check_const_expr(const Instr& init, ValType expected) {
+  ValType actual;
+  switch (init.op) {
+    case Op::I32Const: actual = ValType::I32; break;
+    case Op::I64Const: actual = ValType::I64; break;
+    case Op::F32Const: actual = ValType::F32; break;
+    case Op::F64Const: actual = ValType::F64; break;
+    default: bad("global init must be a constant");
+  }
+  if (actual != expected) bad("global init type mismatch");
+}
+
+}  // namespace
+
+void validate(const Module& module) {
+  // Types referenced by imports/functions exist.
+  for (const auto& imp : module.imports) {
+    if (imp.type_index >= module.types.size()) bad("import type out of range");
+  }
+  for (const auto& func : module.functions) {
+    if (func.type_index >= module.types.size()) bad("func type out of range");
+    if (module.types[func.type_index].results.size() > 1) {
+      bad("multi-value results are not supported (MVP)");
+    }
+  }
+
+  if (module.memory) {
+    if (module.memory->max && *module.memory->max < module.memory->min) {
+      bad("memory max < min");
+    }
+    if (module.memory->min > 65536 ||
+        (module.memory->max && *module.memory->max > 65536)) {
+      bad("memory limits exceed 4 GiB");
+    }
+  }
+  if (module.table && module.table->max &&
+      *module.table->max < module.table->min) {
+    bad("table max < min");
+  }
+
+  for (const auto& global : module.globals) {
+    check_const_expr(global.init, global.type);
+  }
+
+  std::set<std::string> export_names;
+  for (const auto& e : module.exports) {
+    if (!export_names.insert(e.name).second) {
+      bad("duplicate export name: " + e.name);
+    }
+    switch (e.kind) {
+      case ExternKind::Func:
+        if (e.index >= module.num_funcs()) bad("export func out of range");
+        break;
+      case ExternKind::Memory:
+        if (!module.memory || e.index != 0) bad("export memory out of range");
+        break;
+      case ExternKind::Global:
+        if (e.index >= module.globals.size()) bad("export global out of range");
+        break;
+      case ExternKind::Table:
+        if (!module.table || e.index != 0) bad("export table out of range");
+        break;
+    }
+  }
+
+  for (const auto& elem : module.elems) {
+    if (!module.table) bad("elem segment without table");
+    for (uint32_t f : elem.func_indices) {
+      if (f >= module.num_funcs()) bad("elem func index out of range");
+    }
+  }
+  for (const auto& data : module.data) {
+    if (!module.memory) bad("data segment without memory");
+    (void)data;
+  }
+
+  if (module.start) {
+    const FuncType& ft = module.func_type(*module.start);
+    if (!ft.params.empty() || !ft.results.empty()) {
+      bad("start function must have type () -> ()");
+    }
+  }
+
+  for (const auto& func : module.functions) {
+    try {
+      BodyChecker checker(module, func);
+      checker.check(func.body);
+    } catch (const ValidationError& e) {
+      std::string name = func.name.empty() ? "<anon>" : func.name;
+      throw ValidationError("in function '" + name + "': " + e.what());
+    }
+  }
+}
+
+bool validate(const Module& module, std::string* error) {
+  try {
+    validate(module);
+    return true;
+  } catch (const ValidationError& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
+}  // namespace acctee::wasm

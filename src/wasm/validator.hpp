@@ -1,0 +1,22 @@
+// WebAssembly module validation (type checking).
+//
+// Implements the MVP validation algorithm: a typed value stack with control
+// frames and unreachable polymorphism. Validation is the security foundation
+// of AccTEE's execution sandbox: it guarantees memory/table accesses are
+// bounds-checked operations on module-local state, that globals can only be
+// addressed by compile-time indices (the property that protects the injected
+// instruction counter, paper §3.5), and that control flow cannot escape the
+// structured label discipline.
+#pragma once
+
+#include "wasm/ast.hpp"
+
+namespace acctee::wasm {
+
+/// Validates `module`; throws ValidationError describing the first problem.
+void validate(const Module& module);
+
+/// Convenience: returns false instead of throwing, storing the message.
+bool validate(const Module& module, std::string* error);
+
+}  // namespace acctee::wasm

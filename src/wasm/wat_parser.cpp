@@ -1,0 +1,995 @@
+#include "wasm/wat_parser.hpp"
+#include <cmath>
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace acctee::wasm {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// S-expression layer
+// ---------------------------------------------------------------------------
+
+struct SExpr {
+  enum class Kind { Atom, List, Str };
+  Kind kind = Kind::Atom;
+  std::string text;          // atom text, or decoded string contents
+  std::vector<SExpr> items;  // list children
+  size_t line = 0;
+
+  bool is_atom(std::string_view s) const {
+    return kind == Kind::Atom && text == s;
+  }
+  bool is_list(std::string_view head) const {
+    return kind == Kind::List && !items.empty() && items[0].is_atom(head);
+  }
+};
+
+[[noreturn]] void fail(size_t line, const std::string& msg) {
+  throw ParseError("line " + std::to_string(line) + ": " + msg);
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  /// Parses the whole input into a single top-level list of s-expressions.
+  std::vector<SExpr> parse_all() {
+    std::vector<SExpr> out;
+    for (;;) {
+      skip_space();
+      if (pos_ >= src_.size()) break;
+      out.push_back(parse_one());
+    }
+    return out;
+  }
+
+ private:
+  SExpr parse_one() {
+    skip_space();
+    if (pos_ >= src_.size()) fail(line_, "unexpected end of input");
+    char c = src_[pos_];
+    if (c == '(') {
+      SExpr list;
+      list.kind = SExpr::Kind::List;
+      list.line = line_;
+      ++pos_;
+      for (;;) {
+        skip_space();
+        if (pos_ >= src_.size()) fail(list.line, "unterminated list");
+        if (src_[pos_] == ')') {
+          ++pos_;
+          return list;
+        }
+        list.items.push_back(parse_one());
+      }
+    }
+    if (c == ')') fail(line_, "unexpected ')'");
+    if (c == '"') return parse_string();
+    return parse_atom();
+  }
+
+  SExpr parse_atom() {
+    SExpr atom;
+    atom.kind = SExpr::Kind::Atom;
+    atom.line = line_;
+    size_t start = pos_;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+          c == ')' || c == '"' || c == ';') {
+        break;
+      }
+      ++pos_;
+    }
+    if (pos_ == start) fail(line_, "empty atom");
+    atom.text = std::string(src_.substr(start, pos_ - start));
+    return atom;
+  }
+
+  SExpr parse_string() {
+    SExpr str;
+    str.kind = SExpr::Kind::Str;
+    str.line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      char c = src_[pos_];
+      if (c == '\n') fail(str.line, "newline in string literal");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= src_.size()) fail(str.line, "truncated escape");
+        char e = src_[pos_++];
+        switch (e) {
+          case 'n': str.text.push_back('\n'); break;
+          case 't': str.text.push_back('\t'); break;
+          case 'r': str.text.push_back('\r'); break;
+          case '\\': str.text.push_back('\\'); break;
+          case '"': str.text.push_back('"'); break;
+          case '\'': str.text.push_back('\''); break;
+          default: {
+            // two-digit hex escape
+            if (!std::isxdigit(static_cast<unsigned char>(e)) ||
+                pos_ >= src_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(src_[pos_]))) {
+              fail(str.line, "bad string escape");
+            }
+            auto hexv = [](char h) {
+              if (h >= '0' && h <= '9') return h - '0';
+              if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+              return h - 'A' + 10;
+            };
+            str.text.push_back(
+                static_cast<char>(hexv(e) * 16 + hexv(src_[pos_++])));
+          }
+        }
+      } else {
+        str.text.push_back(c);
+        ++pos_;
+      }
+    }
+    if (pos_ >= src_.size()) fail(str.line, "unterminated string");
+    ++pos_;  // closing quote
+    return str;
+  }
+
+  void skip_space() {
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == ';' && src_[pos_ + 1] == ';') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '(' && src_[pos_ + 1] == ';') {
+        size_t depth = 1;
+        size_t open_line = line_;
+        pos_ += 2;
+        while (pos_ + 1 < src_.size() && depth > 0) {
+          if (src_[pos_] == '(' && src_[pos_ + 1] == ';') {
+            ++depth;
+            pos_ += 2;
+          } else if (src_[pos_] == ';' && src_[pos_ + 1] == ')') {
+            --depth;
+            pos_ += 2;
+          } else {
+            if (src_[pos_] == '\n') ++line_;
+            ++pos_;
+          }
+        }
+        if (depth > 0) fail(open_line, "unterminated block comment");
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Literal parsing
+// ---------------------------------------------------------------------------
+
+uint64_t parse_uint(const SExpr& atom, uint64_t max_value) {
+  std::string digits;
+  for (char c : atom.text) {
+    if (c != '_') digits.push_back(c);
+  }
+  int base = 10;
+  std::string_view sv = digits;
+  if (sv.starts_with("0x") || sv.starts_with("0X")) {
+    base = 16;
+    sv.remove_prefix(2);
+  }
+  uint64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(sv.data(), sv.data() + sv.size(), value, base);
+  if (ec != std::errc() || ptr != sv.data() + sv.size()) {
+    fail(atom.line, "bad unsigned integer: " + atom.text);
+  }
+  if (value > max_value) fail(atom.line, "integer out of range: " + atom.text);
+  return value;
+}
+
+int64_t parse_int(const SExpr& atom, int64_t min_value, int64_t max_value,
+                  uint64_t unsigned_max) {
+  std::string digits;
+  for (char c : atom.text) {
+    if (c != '_') digits.push_back(c);
+  }
+  std::string_view sv = digits;
+  bool neg = false;
+  if (sv.starts_with('-')) {
+    neg = true;
+    sv.remove_prefix(1);
+  } else if (sv.starts_with('+')) {
+    sv.remove_prefix(1);
+  }
+  int base = 10;
+  if (sv.starts_with("0x") || sv.starts_with("0X")) {
+    base = 16;
+    sv.remove_prefix(2);
+  }
+  uint64_t mag = 0;
+  auto [ptr, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), mag, base);
+  if (ec != std::errc() || ptr != sv.data() + sv.size()) {
+    fail(atom.line, "bad integer: " + atom.text);
+  }
+  if (neg) {
+    if (mag > static_cast<uint64_t>(max_value) + 1) {
+      fail(atom.line, "integer out of range: " + atom.text);
+    }
+    (void)min_value;
+    return -static_cast<int64_t>(mag);
+  }
+  // Positive literals may use the full unsigned range (wasm convention:
+  // i32.const 0xffffffff is allowed and wraps).
+  if (mag > unsigned_max) fail(atom.line, "integer out of range: " + atom.text);
+  return static_cast<int64_t>(mag);
+}
+
+double parse_float(const SExpr& atom) {
+  std::string text;
+  for (char c : atom.text) {
+    if (c != '_') text.push_back(c);
+  }
+  if (text == "inf" || text == "+inf") return HUGE_VAL;
+  if (text == "-inf") return -HUGE_VAL;
+  if (text == "nan" || text == "+nan") return NAN;
+  if (text == "-nan") return -NAN;
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    fail(atom.line, "bad float: " + atom.text);
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Module parsing
+// ---------------------------------------------------------------------------
+
+class ModuleParser {
+ public:
+  Module parse(const SExpr& module_expr) {
+    if (!module_expr.is_list("module")) {
+      fail(module_expr.line, "expected (module ...)");
+    }
+    // Pass 1: declarations, so names and signatures resolve forward refs.
+    std::vector<const SExpr*> func_fields;
+    for (size_t i = 1; i < module_expr.items.size(); ++i) {
+      const SExpr& field = module_expr.items[i];
+      if (field.kind != SExpr::Kind::List || field.items.empty()) {
+        fail(field.line, "expected module field list");
+      }
+      const std::string& head = field.items[0].text;
+      if (head == "type") {
+        parse_type_field(field);
+      } else if (head == "import") {
+        parse_import_field(field);
+      } else if (head == "func") {
+        declare_func(field);
+        func_fields.push_back(&field);
+      } else if (head == "memory") {
+        parse_memory_field(field);
+      } else if (head == "table") {
+        parse_table_field(field);
+      } else if (head == "global") {
+        parse_global_field(field);
+      } else if (head == "export") {
+        export_fields_.push_back(&field);
+      } else if (head == "elem") {
+        elem_fields_.push_back(&field);
+      } else if (head == "data") {
+        parse_data_field(field);
+      } else if (head == "start") {
+        start_field_ = &field;
+      } else {
+        fail(field.line, "unknown module field: " + head);
+      }
+    }
+
+    // Pass 2: bodies and index-space-dependent fields.
+    size_t defined = 0;
+    for (const SExpr* field : func_fields) {
+      parse_func_body(*field, module_.functions[defined++]);
+    }
+    for (const SExpr* field : export_fields_) parse_export_field(*field);
+    for (const SExpr* field : elem_fields_) parse_elem_field(*field);
+    if (start_field_ != nullptr) {
+      module_.start = resolve_func((*start_field_).items.at(1));
+    }
+    return std::move(module_);
+  }
+
+ private:
+  Module module_;
+  std::unordered_map<std::string, uint32_t> type_names_;
+  std::unordered_map<std::string, uint32_t> func_names_;
+  std::unordered_map<std::string, uint32_t> global_names_;
+  std::vector<const SExpr*> export_fields_;
+  std::vector<const SExpr*> elem_fields_;
+  const SExpr* start_field_ = nullptr;
+
+  // -- small helpers --
+
+  static bool is_name(const SExpr& e) {
+    return e.kind == SExpr::Kind::Atom && !e.text.empty() && e.text[0] == '$';
+  }
+
+  uint32_t resolve(const SExpr& e,
+                   const std::unordered_map<std::string, uint32_t>& names,
+                   const char* what) {
+    if (is_name(e)) {
+      auto it = names.find(e.text);
+      if (it == names.end()) {
+        fail(e.line, std::string("unknown ") + what + ": " + e.text);
+      }
+      return it->second;
+    }
+    if (e.kind != SExpr::Kind::Atom) fail(e.line, std::string("expected ") + what);
+    return static_cast<uint32_t>(parse_uint(e, UINT32_MAX));
+  }
+
+  uint32_t resolve_func(const SExpr& e) { return resolve(e, func_names_, "func"); }
+  uint32_t resolve_global(const SExpr& e) {
+    return resolve(e, global_names_, "global");
+  }
+
+  ValType parse_valtype_atom(const SExpr& e) {
+    if (e.kind == SExpr::Kind::Atom) {
+      if (auto t = parse_valtype(e.text)) return *t;
+    }
+    fail(e.line, "expected value type");
+  }
+
+  /// Parses (param ...) / (result ...) / (local ...) lists, returning types
+  /// and registering $names into `names` (indexed from `base`).
+  void parse_typed_vars(const SExpr& list, std::vector<ValType>& out,
+                        std::unordered_map<std::string, uint32_t>* names,
+                        uint32_t base) {
+    // Either (param $x i32) [single named] or (param i32 i64 ...) [anonymous].
+    if (list.items.size() >= 2 && is_name(list.items[1])) {
+      if (list.items.size() != 3) {
+        fail(list.line, "named param/local takes exactly one type");
+      }
+      if (names != nullptr) {
+        names->emplace(list.items[1].text,
+                       base + static_cast<uint32_t>(out.size()));
+      }
+      out.push_back(parse_valtype_atom(list.items[2]));
+      return;
+    }
+    for (size_t i = 1; i < list.items.size(); ++i) {
+      out.push_back(parse_valtype_atom(list.items[i]));
+    }
+  }
+
+  /// Parses a (func (param...) (result...)) type-use inside `items[from..]`
+  /// (either inline params/results or a (type $t) reference).
+  uint32_t parse_type_use(const std::vector<SExpr>& items, size_t& pos,
+                          std::unordered_map<std::string, uint32_t>* param_names) {
+    // (type $t) reference takes precedence.
+    if (pos < items.size() && items[pos].is_list("type")) {
+      uint32_t idx = resolve(items[pos].items.at(1), type_names_, "type");
+      ++pos;
+      // Allow redundant inline params/results after a type use; skip them.
+      FuncType inline_type;
+      bool has_inline = false;
+      while (pos < items.size() && (items[pos].is_list("param") ||
+                                    items[pos].is_list("result"))) {
+        has_inline = true;
+        if (items[pos].is_list("param")) {
+          parse_typed_vars(items[pos], inline_type.params, param_names, 0);
+        } else {
+          parse_typed_vars(items[pos], inline_type.results, nullptr, 0);
+        }
+        ++pos;
+      }
+      if (has_inline && idx < module_.types.size() &&
+          !(module_.types[idx] == inline_type)) {
+        fail(items[pos - 1].line, "inline type does not match (type ...) use");
+      }
+      return idx;
+    }
+    FuncType type;
+    while (pos < items.size() &&
+           (items[pos].is_list("param") || items[pos].is_list("result"))) {
+      if (items[pos].is_list("param")) {
+        parse_typed_vars(items[pos], type.params, param_names, 0);
+      } else {
+        parse_typed_vars(items[pos], type.results, nullptr, 0);
+      }
+      ++pos;
+    }
+    return module_.intern_type(type);
+  }
+
+  // -- module fields --
+
+  void parse_type_field(const SExpr& field) {
+    size_t pos = 1;
+    std::string name;
+    if (pos < field.items.size() && is_name(field.items[pos])) {
+      name = field.items[pos].text;
+      ++pos;
+    }
+    if (pos >= field.items.size() || !field.items[pos].is_list("func")) {
+      fail(field.line, "expected (func ...) in type field");
+    }
+    const SExpr& func = field.items[pos];
+    FuncType type;
+    for (size_t i = 1; i < func.items.size(); ++i) {
+      if (func.items[i].is_list("param")) {
+        parse_typed_vars(func.items[i], type.params, nullptr, 0);
+      } else if (func.items[i].is_list("result")) {
+        parse_typed_vars(func.items[i], type.results, nullptr, 0);
+      } else {
+        fail(func.items[i].line, "unexpected item in func type");
+      }
+    }
+    module_.types.push_back(type);
+    if (!name.empty()) {
+      type_names_.emplace(name, static_cast<uint32_t>(module_.types.size() - 1));
+    }
+  }
+
+  void parse_import_field(const SExpr& field) {
+    if (field.items.size() < 4 || field.items[1].kind != SExpr::Kind::Str ||
+        field.items[2].kind != SExpr::Kind::Str) {
+      fail(field.line, "expected (import \"mod\" \"name\" (func ...))");
+    }
+    const SExpr& desc = field.items[3];
+    if (!desc.is_list("func")) {
+      fail(desc.line, "only function imports are supported");
+    }
+    if (!module_.functions.empty()) {
+      fail(field.line, "imports must precede function definitions");
+    }
+    Import imp;
+    imp.module = field.items[1].text;
+    imp.name = field.items[2].text;
+    size_t pos = 1;
+    std::string name;
+    if (pos < desc.items.size() && is_name(desc.items[pos])) {
+      name = desc.items[pos].text;
+      ++pos;
+    }
+    imp.type_index = parse_type_use(desc.items, pos, nullptr);
+    module_.imports.push_back(std::move(imp));
+    uint32_t index = static_cast<uint32_t>(module_.imports.size() - 1);
+    if (!name.empty()) func_names_.emplace(name, index);
+  }
+
+  void declare_func(const SExpr& field) {
+    Function func;
+    size_t pos = 1;
+    if (pos < field.items.size() && is_name(field.items[pos])) {
+      func.name = field.items[pos].text.substr(1);
+      func_names_.emplace(field.items[pos].text,
+                          module_.num_funcs());
+      ++pos;
+    } else {
+      func_names_.emplace("$__anon" + std::to_string(module_.num_funcs()),
+                          module_.num_funcs());
+    }
+    // Inline exports.
+    while (pos < field.items.size() && field.items[pos].is_list("export")) {
+      Export exp;
+      exp.name = field.items[pos].items.at(1).text;
+      exp.kind = ExternKind::Func;
+      exp.index = module_.num_funcs();
+      module_.exports.push_back(std::move(exp));
+      ++pos;
+    }
+    func.type_index = parse_type_use(field.items, pos, nullptr);
+    module_.functions.push_back(std::move(func));
+  }
+
+  void parse_memory_field(const SExpr& field) {
+    if (module_.memory) fail(field.line, "multiple memories");
+    size_t pos = 1;
+    if (pos < field.items.size() && is_name(field.items[pos])) ++pos;
+    while (pos < field.items.size() && field.items[pos].is_list("export")) {
+      Export exp;
+      exp.name = field.items[pos].items.at(1).text;
+      exp.kind = ExternKind::Memory;
+      exp.index = 0;
+      module_.exports.push_back(std::move(exp));
+      ++pos;
+    }
+    Limits limits;
+    if (pos >= field.items.size()) fail(field.line, "memory needs min pages");
+    limits.min = static_cast<uint32_t>(parse_uint(field.items[pos++], 65536));
+    if (pos < field.items.size()) {
+      limits.max = static_cast<uint32_t>(parse_uint(field.items[pos++], 65536));
+    }
+    module_.memory = limits;
+  }
+
+  void parse_table_field(const SExpr& field) {
+    if (module_.table) fail(field.line, "multiple tables");
+    size_t pos = 1;
+    if (pos < field.items.size() && is_name(field.items[pos])) ++pos;
+    Limits limits;
+    if (pos >= field.items.size()) fail(field.line, "table needs min size");
+    limits.min = static_cast<uint32_t>(parse_uint(field.items[pos++], UINT32_MAX));
+    if (pos < field.items.size() && field.items[pos].kind == SExpr::Kind::Atom &&
+        field.items[pos].text != "funcref" && field.items[pos].text != "anyfunc") {
+      limits.max = static_cast<uint32_t>(parse_uint(field.items[pos++], UINT32_MAX));
+    }
+    // optional trailing element type
+    if (pos < field.items.size() &&
+        (field.items[pos].is_atom("funcref") || field.items[pos].is_atom("anyfunc"))) {
+      ++pos;
+    }
+    module_.table = limits;
+  }
+
+  void parse_global_field(const SExpr& field) {
+    Global global;
+    size_t pos = 1;
+    std::string name;
+    if (pos < field.items.size() && is_name(field.items[pos])) {
+      name = field.items[pos].text;
+      ++pos;
+    }
+    while (pos < field.items.size() && field.items[pos].is_list("export")) {
+      Export exp;
+      exp.name = field.items[pos].items.at(1).text;
+      exp.kind = ExternKind::Global;
+      exp.index = static_cast<uint32_t>(module_.globals.size());
+      module_.exports.push_back(std::move(exp));
+      ++pos;
+    }
+    if (pos >= field.items.size()) fail(field.line, "global needs a type");
+    if (field.items[pos].is_list("mut")) {
+      global.mutable_ = true;
+      global.type = parse_valtype_atom(field.items[pos].items.at(1));
+    } else {
+      global.type = parse_valtype_atom(field.items[pos]);
+    }
+    ++pos;
+    if (pos >= field.items.size() || field.items[pos].kind != SExpr::Kind::List) {
+      fail(field.line, "global needs a const init expression");
+    }
+    global.init = parse_const_expr(field.items[pos]);
+    if (!name.empty()) global.name = name.substr(1);
+    module_.globals.push_back(std::move(global));
+    if (!name.empty()) {
+      global_names_.emplace(name,
+                            static_cast<uint32_t>(module_.globals.size() - 1));
+    }
+  }
+
+  Instr parse_const_expr(const SExpr& list) {
+    if (list.kind != SExpr::Kind::List || list.items.empty()) {
+      fail(list.line, "expected const expression");
+    }
+    const std::string& head = list.items[0].text;
+    auto op = op_by_name(head);
+    if (!op) fail(list.line, "unknown const op: " + head);
+    Instr instr;
+    instr.op = *op;
+    switch (op_info(*op).imm) {
+      case ImmKind::I32ConstImm:
+        instr.imm = static_cast<uint32_t>(static_cast<int32_t>(
+            parse_int(list.items.at(1), INT32_MIN, INT32_MAX, UINT32_MAX)));
+        break;
+      case ImmKind::I64ConstImm:
+        instr.imm = static_cast<uint64_t>(
+            parse_int(list.items.at(1), INT64_MIN, INT64_MAX, UINT64_MAX));
+        break;
+      case ImmKind::F32ConstImm:
+        instr.imm = std::bit_cast<uint32_t>(
+            static_cast<float>(parse_float(list.items.at(1))));
+        break;
+      case ImmKind::F64ConstImm:
+        instr.imm = std::bit_cast<uint64_t>(parse_float(list.items.at(1)));
+        break;
+      default:
+        fail(list.line, "unsupported const expression: " + head);
+    }
+    return instr;
+  }
+
+  void parse_export_field(const SExpr& field) {
+    if (field.items.size() != 3 || field.items[1].kind != SExpr::Kind::Str ||
+        field.items[2].kind != SExpr::Kind::List) {
+      fail(field.line, "expected (export \"name\" (kind idx))");
+    }
+    Export exp;
+    exp.name = field.items[1].text;
+    const SExpr& desc = field.items[2];
+    const std::string& kind = desc.items.at(0).text;
+    if (kind == "func") {
+      exp.kind = ExternKind::Func;
+      exp.index = resolve_func(desc.items.at(1));
+    } else if (kind == "memory") {
+      exp.kind = ExternKind::Memory;
+      exp.index = 0;
+    } else if (kind == "global") {
+      exp.kind = ExternKind::Global;
+      exp.index = resolve_global(desc.items.at(1));
+    } else if (kind == "table") {
+      exp.kind = ExternKind::Table;
+      exp.index = 0;
+    } else {
+      fail(desc.line, "unknown export kind: " + kind);
+    }
+    module_.exports.push_back(std::move(exp));
+  }
+
+  void parse_elem_field(const SExpr& field) {
+    ElemSegment seg;
+    size_t pos = 1;
+    if (pos >= field.items.size() || field.items[pos].kind != SExpr::Kind::List) {
+      fail(field.line, "elem needs an offset expression");
+    }
+    Instr offset = parse_const_expr(field.items[pos++]);
+    if (offset.op != Op::I32Const) fail(field.line, "elem offset must be i32.const");
+    seg.offset = static_cast<uint32_t>(offset.as_i32());
+    for (; pos < field.items.size(); ++pos) {
+      seg.func_indices.push_back(resolve_func(field.items[pos]));
+    }
+    module_.elems.push_back(std::move(seg));
+  }
+
+  void parse_data_field(const SExpr& field) {
+    DataSegment seg;
+    size_t pos = 1;
+    if (pos >= field.items.size() || field.items[pos].kind != SExpr::Kind::List) {
+      fail(field.line, "data needs an offset expression");
+    }
+    Instr offset = parse_const_expr(field.items[pos++]);
+    if (offset.op != Op::I32Const) fail(field.line, "data offset must be i32.const");
+    seg.offset = static_cast<uint32_t>(offset.as_i32());
+    for (; pos < field.items.size(); ++pos) {
+      if (field.items[pos].kind != SExpr::Kind::Str) {
+        fail(field.items[pos].line, "data segment expects string literals");
+      }
+      append(seg.bytes, to_bytes(field.items[pos].text));
+    }
+    module_.data.push_back(std::move(seg));
+  }
+
+  // -- function bodies --
+
+  struct BodyContext {
+    std::unordered_map<std::string, uint32_t> local_names;
+    std::vector<std::string> label_stack;  // innermost last; "" = unnamed
+  };
+
+  void parse_func_body(const SExpr& field, Function& func) {
+    BodyContext ctx;
+    size_t pos = 1;
+    if (pos < field.items.size() && is_name(field.items[pos])) ++pos;
+    while (pos < field.items.size() && field.items[pos].is_list("export")) ++pos;
+    // Re-parse the type use, this time capturing param names.
+    std::vector<ValType> param_types;
+    {
+      // type use: (type $t) and/or (param...)/(result...) lists
+      if (pos < field.items.size() && field.items[pos].is_list("type")) ++pos;
+      while (pos < field.items.size() && (field.items[pos].is_list("param") ||
+                                          field.items[pos].is_list("result"))) {
+        if (field.items[pos].is_list("param")) {
+          parse_typed_vars(field.items[pos], param_types, &ctx.local_names, 0);
+        }
+        ++pos;
+      }
+    }
+    uint32_t num_params =
+        static_cast<uint32_t>(module_.types[func.type_index].params.size());
+    while (pos < field.items.size() && field.items[pos].is_list("local")) {
+      parse_typed_vars(field.items[pos], func.locals, &ctx.local_names,
+                       num_params);
+      ++pos;
+    }
+    std::vector<SExpr> rest(field.items.begin() + pos, field.items.end());
+    size_t cursor = 0;
+    func.body = parse_instr_seq(rest, cursor, ctx, /*stop_at=*/{});
+    if (cursor != rest.size()) {
+      fail(rest[cursor].line, "unexpected token in function body");
+    }
+  }
+
+  /// Parses a sequence of instructions in *flat* syntax until one of the
+  /// `stop_at` keywords ("end", "else") or the end of the token list.
+  /// Folded lists inside the stream are handled recursively.
+  std::vector<Instr> parse_instr_seq(const std::vector<SExpr>& items,
+                                     size_t& pos, BodyContext& ctx,
+                                     std::vector<std::string_view> stop_at) {
+    std::vector<Instr> out;
+    while (pos < items.size()) {
+      const SExpr& tok = items[pos];
+      if (tok.kind == SExpr::Kind::Atom) {
+        bool stop = false;
+        for (auto s : stop_at) {
+          if (tok.text == s) stop = true;
+        }
+        if (stop) return out;
+        parse_flat_instr(items, pos, ctx, out);
+      } else if (tok.kind == SExpr::Kind::List) {
+        parse_folded_instr(tok, ctx, out);
+        ++pos;
+      } else {
+        fail(tok.line, "unexpected string in instruction sequence");
+      }
+    }
+    if (!stop_at.empty()) {
+      fail(items.empty() ? 0 : items.back().line, "missing 'end'");
+    }
+    return out;
+  }
+
+  uint32_t resolve_label(const SExpr& e, const BodyContext& ctx) {
+    if (is_name(e)) {
+      for (size_t i = 0; i < ctx.label_stack.size(); ++i) {
+        size_t depth = ctx.label_stack.size() - 1 - i;
+        if (ctx.label_stack[depth] == e.text) {
+          return static_cast<uint32_t>(i);
+        }
+      }
+      fail(e.line, "unknown label: " + e.text);
+    }
+    return static_cast<uint32_t>(parse_uint(e, UINT32_MAX));
+  }
+
+  BlockType parse_block_type(const std::vector<SExpr>& items, size_t& pos) {
+    BlockType bt;
+    if (pos < items.size() && items[pos].is_list("result")) {
+      std::vector<ValType> results;
+      parse_typed_vars(items[pos], results, nullptr, 0);
+      if (results.size() > 1) {
+        fail(items[pos].line, "multi-value blocks are not supported (MVP)");
+      }
+      if (!results.empty()) bt.result = results[0];
+      ++pos;
+    }
+    return bt;
+  }
+
+  /// Consumes immediates for a non-structured instruction from flat tokens.
+  Instr parse_plain_instr(Op op, const std::vector<SExpr>& items, size_t& pos,
+                          BodyContext& ctx, size_t line) {
+    Instr instr;
+    instr.op = op;
+    switch (op_info(op).imm) {
+      case ImmKind::None:
+      case ImmKind::MemIdx:
+        break;
+      case ImmKind::Label:
+        if (pos >= items.size()) fail(line, "missing label");
+        instr.index = resolve_label(items[pos++], ctx);
+        break;
+      case ImmKind::LabelTable: {
+        // one or more labels; last is the default
+        std::vector<uint32_t> targets;
+        while (pos < items.size() && items[pos].kind == SExpr::Kind::Atom &&
+               (is_name(items[pos]) ||
+                std::isdigit(static_cast<unsigned char>(items[pos].text[0])))) {
+          targets.push_back(resolve_label(items[pos++], ctx));
+        }
+        if (targets.empty()) fail(line, "br_table needs targets");
+        instr.index = targets.back();
+        targets.pop_back();
+        instr.br_targets = std::move(targets);
+        break;
+      }
+      case ImmKind::Func:
+        if (pos >= items.size()) fail(line, "missing function index");
+        instr.index = resolve_func(items[pos++]);
+        break;
+      case ImmKind::CallIndirect: {
+        // (type $t) or inline params/results
+        instr.index = parse_type_use(items, pos, nullptr);
+        break;
+      }
+      case ImmKind::Local: {
+        if (pos >= items.size()) fail(line, "missing local index");
+        instr.index = resolve(items[pos++], ctx.local_names, "local");
+        break;
+      }
+      case ImmKind::Global:
+        if (pos >= items.size()) fail(line, "missing global index");
+        instr.index = resolve_global(items[pos++]);
+        break;
+      case ImmKind::Mem: {
+        // optional offset=N align=N
+        while (pos < items.size() && items[pos].kind == SExpr::Kind::Atom) {
+          const std::string& t = items[pos].text;
+          if (t.starts_with("offset=")) {
+            SExpr tmp = items[pos];
+            tmp.text = t.substr(7);
+            instr.mem_offset = static_cast<uint32_t>(parse_uint(tmp, UINT32_MAX));
+            ++pos;
+          } else if (t.starts_with("align=")) {
+            SExpr tmp = items[pos];
+            tmp.text = t.substr(6);
+            uint32_t align = static_cast<uint32_t>(parse_uint(tmp, UINT32_MAX));
+            // store log2
+            uint32_t log2 = 0;
+            while ((1u << log2) < align) ++log2;
+            instr.mem_align = log2;
+            ++pos;
+          } else {
+            break;
+          }
+        }
+        break;
+      }
+      case ImmKind::I32ConstImm:
+        if (pos >= items.size()) fail(line, "missing i32 immediate");
+        instr.imm = static_cast<uint32_t>(static_cast<int32_t>(
+            parse_int(items[pos++], INT32_MIN, INT32_MAX, UINT32_MAX)));
+        break;
+      case ImmKind::I64ConstImm:
+        if (pos >= items.size()) fail(line, "missing i64 immediate");
+        instr.imm = static_cast<uint64_t>(
+            parse_int(items[pos++], INT64_MIN, INT64_MAX, UINT64_MAX));
+        break;
+      case ImmKind::F32ConstImm:
+        if (pos >= items.size()) fail(line, "missing f32 immediate");
+        instr.imm = std::bit_cast<uint32_t>(
+            static_cast<float>(parse_float(items[pos++])));
+        break;
+      case ImmKind::F64ConstImm:
+        if (pos >= items.size()) fail(line, "missing f64 immediate");
+        instr.imm = std::bit_cast<uint64_t>(parse_float(items[pos++]));
+        break;
+      case ImmKind::Block:
+        fail(line, "internal: structured op in parse_plain_instr");
+    }
+    return instr;
+  }
+
+  /// Parses one instruction in flat syntax starting at items[pos] (an atom).
+  void parse_flat_instr(const std::vector<SExpr>& items, size_t& pos,
+                        BodyContext& ctx, std::vector<Instr>& out) {
+    const SExpr& head = items[pos];
+    auto op = op_by_name(head.text);
+    if (!op) fail(head.line, "unknown instruction: " + head.text);
+    ++pos;
+    if (!is_structured(*op)) {
+      out.push_back(parse_plain_instr(*op, items, pos, ctx, head.line));
+      return;
+    }
+    // block/loop/if label? blocktype? ... [else ...] end
+    std::string label;
+    if (pos < items.size() && is_name(items[pos])) {
+      label = items[pos].text;
+      ++pos;
+    }
+    Instr instr;
+    instr.op = *op;
+    instr.block_type = parse_block_type(items, pos);
+    ctx.label_stack.push_back(label);
+    if (*op == Op::If) {
+      instr.body = parse_instr_seq(items, pos, ctx, {"else", "end"});
+      if (pos < items.size() && items[pos].is_atom("else")) {
+        ++pos;
+        instr.else_body = parse_instr_seq(items, pos, ctx, {"end"});
+      }
+    } else {
+      instr.body = parse_instr_seq(items, pos, ctx, {"end"});
+    }
+    if (pos >= items.size() || !items[pos].is_atom("end")) {
+      fail(head.line, "missing 'end'");
+    }
+    ++pos;
+    ctx.label_stack.pop_back();
+    out.push_back(std::move(instr));
+  }
+
+  /// Parses one folded instruction list, e.g.
+  /// (i32.add (local.get 0) (i32.const 1)) or (block ...) / (if ...).
+  void parse_folded_instr(const SExpr& list, BodyContext& ctx,
+                          std::vector<Instr>& out) {
+    if (list.items.empty() || list.items[0].kind != SExpr::Kind::Atom) {
+      fail(list.line, "expected instruction list");
+    }
+    const std::string& name = list.items[0].text;
+    auto op = op_by_name(name);
+    if (!op) fail(list.line, "unknown instruction: " + name);
+
+    if (*op == Op::Block || *op == Op::Loop) {
+      size_t pos = 1;
+      std::string label;
+      if (pos < list.items.size() && is_name(list.items[pos])) {
+        label = list.items[pos].text;
+        ++pos;
+      }
+      Instr instr;
+      instr.op = *op;
+      instr.block_type = parse_block_type(list.items, pos);
+      ctx.label_stack.push_back(label);
+      std::vector<SExpr> rest(list.items.begin() + pos, list.items.end());
+      size_t cursor = 0;
+      instr.body = parse_instr_seq(rest, cursor, ctx, {});
+      ctx.label_stack.pop_back();
+      out.push_back(std::move(instr));
+      return;
+    }
+    if (*op == Op::If) {
+      size_t pos = 1;
+      std::string label;
+      if (pos < list.items.size() && is_name(list.items[pos])) {
+        label = list.items[pos].text;
+        ++pos;
+      }
+      Instr instr;
+      instr.op = Op::If;
+      instr.block_type = parse_block_type(list.items, pos);
+      // Condition expressions: any folded lists before (then ...).
+      while (pos < list.items.size() && !list.items[pos].is_list("then") &&
+             !list.items[pos].is_list("else")) {
+        parse_folded_instr(list.items[pos], ctx, out);
+        ++pos;
+      }
+      ctx.label_stack.push_back(label);
+      if (pos < list.items.size() && list.items[pos].is_list("then")) {
+        const SExpr& then_list = list.items[pos];
+        std::vector<SExpr> rest(then_list.items.begin() + 1,
+                                then_list.items.end());
+        size_t cursor = 0;
+        instr.body = parse_instr_seq(rest, cursor, ctx, {});
+        ++pos;
+      } else {
+        fail(list.line, "folded if needs (then ...)");
+      }
+      if (pos < list.items.size() && list.items[pos].is_list("else")) {
+        const SExpr& else_list = list.items[pos];
+        std::vector<SExpr> rest(else_list.items.begin() + 1,
+                                else_list.items.end());
+        size_t cursor = 0;
+        instr.else_body = parse_instr_seq(rest, cursor, ctx, {});
+        ++pos;
+      }
+      ctx.label_stack.pop_back();
+      if (pos != list.items.size()) {
+        fail(list.items[pos].line, "unexpected token in folded if");
+      }
+      out.push_back(std::move(instr));
+      return;
+    }
+
+    // Plain op in folded form: immediates first (atoms), then operand
+    // expressions (lists) that are emitted before the op itself.
+    std::vector<SExpr> toks(list.items.begin() + 1, list.items.end());
+    size_t pos = 0;
+    Instr instr = parse_plain_instr(*op, toks, pos, ctx, list.line);
+    for (; pos < toks.size(); ++pos) {
+      if (toks[pos].kind != SExpr::Kind::List) {
+        fail(toks[pos].line, "unexpected atom in folded instruction");
+      }
+      parse_folded_instr(toks[pos], ctx, out);
+    }
+    out.push_back(std::move(instr));
+  }
+};
+
+}  // namespace
+
+Module parse_wat(std::string_view source) {
+  Lexer lexer(source);
+  std::vector<SExpr> top = lexer.parse_all();
+  if (top.size() != 1) {
+    throw ParseError("expected exactly one (module ...) form");
+  }
+  ModuleParser parser;
+  return parser.parse(top[0]);
+}
+
+}  // namespace acctee::wasm

@@ -1,0 +1,25 @@
+// Parser for the WebAssembly text format (WAT).
+//
+// Supports the practical subset used throughout AccTEE's workloads, tests
+// and examples:
+//   * module fields: type, import (func), func, memory, table, global,
+//     export, elem, data, start
+//   * flat instruction syntax (block/loop/if ... else ... end)
+//   * folded instruction syntax ((i32.add (local.get $x) (i32.const 1)))
+//   * symbolic names ($f) for functions, locals, globals, types and labels
+//   * inline exports on func/memory/global
+//
+// Throws ParseError with line information on malformed input.
+#pragma once
+
+#include <string_view>
+
+#include "wasm/ast.hpp"
+
+namespace acctee::wasm {
+
+/// Parses WAT source text into a Module. The module is *not* validated;
+/// run the validator (wasm/validator.hpp) before executing it.
+Module parse_wat(std::string_view source);
+
+}  // namespace acctee::wasm

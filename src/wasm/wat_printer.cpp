@@ -1,0 +1,228 @@
+#include "wasm/wat_printer.hpp"
+#include <cmath>
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace acctee::wasm {
+
+namespace {
+
+void print_indent(std::ostringstream& out, int indent) {
+  for (int i = 0; i < indent; ++i) out << "  ";
+}
+
+std::string float_repr(double v) {
+  if (std::isnan(v)) return std::signbit(v) ? "-nan" : "nan";
+  if (std::isinf(v)) return v < 0 ? "-inf" : "inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string block_type_suffix(const BlockType& bt) {
+  if (!bt.result) return "";
+  return std::string(" (result ") + to_string(*bt.result) + ")";
+}
+
+void print_instr(std::ostringstream& out, const Instr& instr, int indent) {
+  const OpInfo& info = op_info(instr.op);
+  if (is_structured(instr.op)) {
+    print_indent(out, indent);
+    out << info.name << block_type_suffix(instr.block_type) << '\n';
+    for (const auto& i : instr.body) print_instr(out, i, indent + 1);
+    if (instr.op == Op::If && !instr.else_body.empty()) {
+      print_indent(out, indent);
+      out << "else\n";
+      for (const auto& i : instr.else_body) print_instr(out, i, indent + 1);
+    }
+    print_indent(out, indent);
+    out << "end\n";
+    return;
+  }
+  print_indent(out, indent);
+  out << info.name;
+  switch (info.imm) {
+    case ImmKind::None:
+    case ImmKind::MemIdx:
+      break;
+    case ImmKind::Label:
+    case ImmKind::Func:
+    case ImmKind::Local:
+    case ImmKind::Global:
+      out << ' ' << instr.index;
+      break;
+    case ImmKind::CallIndirect:
+      out << " (type " << instr.index << ")";
+      break;
+    case ImmKind::LabelTable:
+      for (uint32_t t : instr.br_targets) out << ' ' << t;
+      out << ' ' << instr.index;
+      break;
+    case ImmKind::Mem:
+      if (instr.mem_offset != 0) out << " offset=" << instr.mem_offset;
+      if (instr.mem_align != 0) out << " align=" << (1u << instr.mem_align);
+      break;
+    case ImmKind::I32ConstImm:
+      out << ' ' << instr.as_i32();
+      break;
+    case ImmKind::I64ConstImm:
+      out << ' ' << instr.as_i64();
+      break;
+    case ImmKind::F32ConstImm:
+      out << ' ' << float_repr(instr.as_f32());
+      break;
+    case ImmKind::F64ConstImm:
+      out << ' ' << float_repr(instr.as_f64());
+      break;
+    case ImmKind::Block:
+      break;  // unreachable: handled above
+  }
+  out << '\n';
+}
+
+void print_const_expr(std::ostringstream& out, const Instr& instr) {
+  const OpInfo& info = op_info(instr.op);
+  out << '(' << info.name << ' ';
+  switch (info.imm) {
+    case ImmKind::I32ConstImm: out << instr.as_i32(); break;
+    case ImmKind::I64ConstImm: out << instr.as_i64(); break;
+    case ImmKind::F32ConstImm: out << float_repr(instr.as_f32()); break;
+    case ImmKind::F64ConstImm: out << float_repr(instr.as_f64()); break;
+    default: out << "?"; break;
+  }
+  out << ')';
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (u >= 0x20 && u < 0x7f) {
+      out.push_back(c);
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\%02x", u);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+const char* kind_name(ExternKind kind) {
+  switch (kind) {
+    case ExternKind::Func: return "func";
+    case ExternKind::Table: return "table";
+    case ExternKind::Memory: return "memory";
+    case ExternKind::Global: return "global";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string print_body(const std::vector<Instr>& body, int indent) {
+  std::ostringstream out;
+  for (const auto& i : body) print_instr(out, i, indent);
+  return out.str();
+}
+
+std::string print_wat(const Module& module) {
+  std::ostringstream out;
+  out << "(module\n";
+
+  for (const auto& type : module.types) {
+    out << "  (type (func";
+    if (!type.params.empty()) {
+      out << " (param";
+      for (auto p : type.params) out << ' ' << to_string(p);
+      out << ')';
+    }
+    if (!type.results.empty()) {
+      out << " (result";
+      for (auto r : type.results) out << ' ' << to_string(r);
+      out << ')';
+    }
+    out << "))\n";
+  }
+
+  for (const auto& imp : module.imports) {
+    out << "  (import \"" << escape(imp.module) << "\" \"" << escape(imp.name)
+        << "\" (func (type " << imp.type_index << ")))\n";
+  }
+
+  if (module.memory) {
+    out << "  (memory " << module.memory->min;
+    if (module.memory->max) out << ' ' << *module.memory->max;
+    out << ")\n";
+  }
+  if (module.table) {
+    out << "  (table " << module.table->min;
+    if (module.table->max) out << ' ' << *module.table->max;
+    out << " funcref)\n";
+  }
+
+  for (const auto& global : module.globals) {
+    out << "  (global ";
+    if (global.mutable_) {
+      out << "(mut " << to_string(global.type) << ") ";
+    } else {
+      out << to_string(global.type) << ' ';
+    }
+    print_const_expr(out, global.init);
+    out << ")\n";
+  }
+
+  for (size_t fi = 0; fi < module.functions.size(); ++fi) {
+    const Function& func = module.functions[fi];
+    out << "  (func (type " << func.type_index << ")";
+    const FuncType& type = module.types[func.type_index];
+    if (!type.params.empty()) {
+      out << " (param";
+      for (auto p : type.params) out << ' ' << to_string(p);
+      out << ')';
+    }
+    if (!type.results.empty()) {
+      out << " (result";
+      for (auto r : type.results) out << ' ' << to_string(r);
+      out << ')';
+    }
+    out << '\n';
+    if (!func.locals.empty()) {
+      out << "    (local";
+      for (auto l : func.locals) out << ' ' << to_string(l);
+      out << ")\n";
+    }
+    out << print_body(func.body, 2);
+    out << "  )\n";
+  }
+
+  for (const auto& exp : module.exports) {
+    out << "  (export \"" << escape(exp.name) << "\" (" << kind_name(exp.kind)
+        << ' ' << exp.index << "))\n";
+  }
+
+  for (const auto& elem : module.elems) {
+    out << "  (elem (i32.const " << elem.offset << ")";
+    for (uint32_t f : elem.func_indices) out << ' ' << f;
+    out << ")\n";
+  }
+
+  for (const auto& data : module.data) {
+    out << "  (data (i32.const " << data.offset << ") \"";
+    out << escape(std::string(data.bytes.begin(), data.bytes.end()));
+    out << "\")\n";
+  }
+
+  if (module.start) {
+    out << "  (start " << *module.start << ")\n";
+  }
+  out << ")\n";
+  return out.str();
+}
+
+}  // namespace acctee::wasm

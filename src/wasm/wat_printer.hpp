@@ -1,0 +1,19 @@
+// Prints a Module back to WebAssembly text format (flat instruction syntax).
+//
+// Output parses back through parse_wat to a structurally identical module
+// (verified by round-trip tests), which makes the printer a convenient
+// inspection tool for instrumented modules.
+#pragma once
+
+#include <string>
+
+#include "wasm/ast.hpp"
+
+namespace acctee::wasm {
+
+std::string print_wat(const Module& module);
+
+/// Prints just a body (for diagnostics in tests/instrumenter debugging).
+std::string print_body(const std::vector<Instr>& body, int indent = 0);
+
+}  // namespace acctee::wasm

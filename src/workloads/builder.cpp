@@ -1,0 +1,563 @@
+#include "workloads/builder.hpp"
+
+#include "common/error.hpp"
+#include "wasm/validator.hpp"
+
+namespace acctee::workloads {
+
+using wasm::Instr;
+using wasm::Op;
+using wasm::ValType;
+
+namespace {
+
+[[noreturn]] void dsl_error(const std::string& msg) {
+  throw Error("workload DSL: " + msg);
+}
+
+Ex binary(Ex a, Ex b, Op i32_op, Op i64_op, Op f32_op, Op f64_op,
+          const char* what) {
+  if (a.type != b.type) dsl_error(std::string("operand type mismatch in ") + what);
+  Op op;
+  switch (a.type) {
+    case ValType::I32: op = i32_op; break;
+    case ValType::I64: op = i64_op; break;
+    case ValType::F32: op = f32_op; break;
+    case ValType::F64: op = f64_op; break;
+    default: dsl_error("bad type");
+  }
+  if (op == Op::Unreachable) dsl_error(std::string("op unsupported for type in ") + what);
+  Ex out;
+  out.type = a.type;
+  out.code = std::move(a.code);
+  out.code.insert(out.code.end(), b.code.begin(), b.code.end());
+  out.code.push_back(Instr::simple(op));
+  return out;
+}
+
+Ex compare(Ex a, Ex b, Op i32_op, Op i64_op, Op f32_op, Op f64_op,
+           const char* what) {
+  Ex out = binary(std::move(a), std::move(b), i32_op, i64_op, f32_op, f64_op,
+                  what);
+  out.type = ValType::I32;
+  return out;
+}
+
+Ex unary(Ex a, Op op, ValType result) {
+  Ex out;
+  out.type = result;
+  out.code = std::move(a.code);
+  out.code.push_back(Instr::simple(op));
+  return out;
+}
+
+constexpr Op kNone = Op::Unreachable;
+
+}  // namespace
+
+Ex ic(int32_t v) { return Ex(ValType::I32, {Instr::i32c(v)}); }
+Ex lc(int64_t v) { return Ex(ValType::I64, {Instr::i64c(v)}); }
+Ex fc(double v) { return Ex(ValType::F64, {Instr::f64c(v)}); }
+Ex fc32(float v) { return Ex(ValType::F32, {Instr::f32c(v)}); }
+
+Ex operator+(Ex a, Ex b) {
+  return binary(std::move(a), std::move(b), Op::I32Add, Op::I64Add,
+                Op::F32Add, Op::F64Add, "+");
+}
+Ex operator-(Ex a, Ex b) {
+  return binary(std::move(a), std::move(b), Op::I32Sub, Op::I64Sub,
+                Op::F32Sub, Op::F64Sub, "-");
+}
+Ex operator*(Ex a, Ex b) {
+  return binary(std::move(a), std::move(b), Op::I32Mul, Op::I64Mul,
+                Op::F32Mul, Op::F64Mul, "*");
+}
+Ex operator/(Ex a, Ex b) {
+  return binary(std::move(a), std::move(b), Op::I32DivS, Op::I64DivS,
+                Op::F32Div, Op::F64Div, "/");
+}
+Ex operator%(Ex a, Ex b) {
+  return binary(std::move(a), std::move(b), Op::I32RemS, Op::I64RemS, kNone,
+                kNone, "%");
+}
+Ex operator&(Ex a, Ex b) {
+  return binary(std::move(a), std::move(b), Op::I32And, Op::I64And, kNone,
+                kNone, "&");
+}
+Ex operator|(Ex a, Ex b) {
+  return binary(std::move(a), std::move(b), Op::I32Or, Op::I64Or, kNone,
+                kNone, "|");
+}
+Ex operator^(Ex a, Ex b) {
+  return binary(std::move(a), std::move(b), Op::I32Xor, Op::I64Xor, kNone,
+                kNone, "^");
+}
+Ex shl(Ex a, Ex b) {
+  return binary(std::move(a), std::move(b), Op::I32Shl, Op::I64Shl, kNone,
+                kNone, "shl");
+}
+Ex shr_s(Ex a, Ex b) {
+  return binary(std::move(a), std::move(b), Op::I32ShrS, Op::I64ShrS, kNone,
+                kNone, "shr_s");
+}
+Ex shr_u(Ex a, Ex b) {
+  return binary(std::move(a), std::move(b), Op::I32ShrU, Op::I64ShrU, kNone,
+                kNone, "shr_u");
+}
+
+Ex lt(Ex a, Ex b) {
+  return compare(std::move(a), std::move(b), Op::I32LtS, Op::I64LtS,
+                 Op::F32Lt, Op::F64Lt, "lt");
+}
+Ex le(Ex a, Ex b) {
+  return compare(std::move(a), std::move(b), Op::I32LeS, Op::I64LeS,
+                 Op::F32Le, Op::F64Le, "le");
+}
+Ex gt(Ex a, Ex b) {
+  return compare(std::move(a), std::move(b), Op::I32GtS, Op::I64GtS,
+                 Op::F32Gt, Op::F64Gt, "gt");
+}
+Ex ge(Ex a, Ex b) {
+  return compare(std::move(a), std::move(b), Op::I32GeS, Op::I64GeS,
+                 Op::F32Ge, Op::F64Ge, "ge");
+}
+Ex eq(Ex a, Ex b) {
+  return compare(std::move(a), std::move(b), Op::I32Eq, Op::I64Eq, Op::F32Eq,
+                 Op::F64Eq, "eq");
+}
+Ex ne(Ex a, Ex b) {
+  return compare(std::move(a), std::move(b), Op::I32Ne, Op::I64Ne, Op::F32Ne,
+                 Op::F64Ne, "ne");
+}
+Ex eqz(Ex a) {
+  if (a.type == ValType::I32) return unary(std::move(a), Op::I32Eqz, ValType::I32);
+  if (a.type == ValType::I64) return unary(std::move(a), Op::I64Eqz, ValType::I32);
+  dsl_error("eqz needs an integer");
+}
+
+Ex neg(Ex a) {
+  if (a.type == ValType::F64) return unary(std::move(a), Op::F64Neg, ValType::F64);
+  if (a.type == ValType::F32) return unary(std::move(a), Op::F32Neg, ValType::F32);
+  dsl_error("neg needs a float");
+}
+Ex f64_sqrt(Ex a) { return unary(std::move(a), Op::F64Sqrt, ValType::F64); }
+Ex f64_abs(Ex a) { return unary(std::move(a), Op::F64Abs, ValType::F64); }
+Ex f32_sqrt(Ex a) { return unary(std::move(a), Op::F32Sqrt, ValType::F32); }
+
+Ex select_ex(Ex a, Ex b, Ex cond) {
+  if (a.type != b.type) dsl_error("select arms differ");
+  if (cond.type != ValType::I32) dsl_error("select cond must be i32");
+  Ex out;
+  out.type = a.type;
+  out.code = std::move(a.code);
+  out.code.insert(out.code.end(), b.code.begin(), b.code.end());
+  out.code.insert(out.code.end(), cond.code.begin(), cond.code.end());
+  out.code.push_back(Instr::simple(Op::Select));
+  return out;
+}
+
+Ex to_f64(Ex a) {
+  switch (a.type) {
+    case ValType::I32: return unary(std::move(a), Op::F64ConvertI32S, ValType::F64);
+    case ValType::I64: return unary(std::move(a), Op::F64ConvertI64S, ValType::F64);
+    case ValType::F32: return unary(std::move(a), Op::F64PromoteF32, ValType::F64);
+    case ValType::F64: return a;
+  }
+  dsl_error("to_f64");
+}
+Ex to_f32(Ex a) {
+  switch (a.type) {
+    case ValType::I32: return unary(std::move(a), Op::F32ConvertI32S, ValType::F32);
+    case ValType::F64: return unary(std::move(a), Op::F32DemoteF64, ValType::F32);
+    case ValType::F32: return a;
+    default: dsl_error("to_f32");
+  }
+}
+Ex to_i32(Ex a) {
+  switch (a.type) {
+    case ValType::F64: return unary(std::move(a), Op::I32TruncF64S, ValType::I32);
+    case ValType::F32: return unary(std::move(a), Op::I32TruncF32S, ValType::I32);
+    case ValType::I64: return unary(std::move(a), Op::I32WrapI64, ValType::I32);
+    case ValType::I32: return a;
+  }
+  dsl_error("to_i32");
+}
+Ex to_i64(Ex a) {
+  if (a.type == ValType::I32) {
+    return unary(std::move(a), Op::I64ExtendI32S, ValType::I64);
+  }
+  if (a.type == ValType::I64) return a;
+  dsl_error("to_i64");
+}
+Ex to_i64_u(Ex a) {
+  if (a.type == ValType::I32) {
+    return unary(std::move(a), Op::I64ExtendI32U, ValType::I64);
+  }
+  dsl_error("to_i64_u");
+}
+
+namespace {
+Ex load(Ex addr, Op op, ValType result, uint32_t offset) {
+  if (addr.type != ValType::I32) dsl_error("address must be i32");
+  Ex out;
+  out.type = result;
+  out.code = std::move(addr.code);
+  out.code.push_back(Instr::load(op, offset));
+  return out;
+}
+}  // namespace
+
+Ex load_i32(Ex addr, uint32_t offset) {
+  return load(std::move(addr), Op::I32Load, ValType::I32, offset);
+}
+Ex load_i64(Ex addr, uint32_t offset) {
+  return load(std::move(addr), Op::I64Load, ValType::I64, offset);
+}
+Ex load_f64(Ex addr, uint32_t offset) {
+  return load(std::move(addr), Op::F64Load, ValType::F64, offset);
+}
+Ex load_f32(Ex addr, uint32_t offset) {
+  return load(std::move(addr), Op::F32Load, ValType::F32, offset);
+}
+Ex load_u8(Ex addr, uint32_t offset) {
+  return load(std::move(addr), Op::I32Load8U, ValType::I32, offset);
+}
+
+// ---------------------------------------------------------------------------
+// FuncBuilder
+// ---------------------------------------------------------------------------
+
+uint32_t FuncBuilder::local(ValType type) {
+  locals_.push_back(type);
+  return static_cast<uint32_t>(param_types_.size() + locals_.size() - 1);
+}
+
+Ex FuncBuilder::get(uint32_t index) const {
+  ValType type = index < param_types_.size()
+                     ? param_types_[index]
+                     : locals_.at(index - param_types_.size());
+  return Ex(type, {Instr::local_get(index)});
+}
+
+void FuncBuilder::append(Ex e) {
+  current_.insert(current_.end(), e.code.begin(), e.code.end());
+}
+
+void FuncBuilder::set(uint32_t index, Ex value) {
+  append(std::move(value));
+  current_.push_back(Instr::local_set(index));
+}
+
+void FuncBuilder::store_i32(Ex addr, Ex value, uint32_t offset) {
+  append(std::move(addr));
+  append(std::move(value));
+  current_.push_back(Instr::store(Op::I32Store, offset));
+}
+void FuncBuilder::store_i64(Ex addr, Ex value, uint32_t offset) {
+  append(std::move(addr));
+  append(std::move(value));
+  current_.push_back(Instr::store(Op::I64Store, offset));
+}
+void FuncBuilder::store_f64(Ex addr, Ex value, uint32_t offset) {
+  append(std::move(addr));
+  append(std::move(value));
+  current_.push_back(Instr::store(Op::F64Store, offset));
+}
+void FuncBuilder::store_f32(Ex addr, Ex value, uint32_t offset) {
+  append(std::move(addr));
+  append(std::move(value));
+  current_.push_back(Instr::store(Op::F32Store, offset));
+}
+void FuncBuilder::store_u8(Ex addr, Ex value, uint32_t offset) {
+  append(std::move(addr));
+  append(std::move(value));
+  current_.push_back(Instr::store(Op::I32Store8, offset));
+}
+
+void FuncBuilder::call(uint32_t func_index, std::initializer_list<Ex> args,
+                       bool drop_result) {
+  for (const Ex& a : args) append(a);
+  current_.push_back(Instr::call(func_index));
+  if (drop_result) current_.push_back(Instr::simple(Op::Drop));
+}
+
+Ex FuncBuilder::call_ex(uint32_t func_index, std::initializer_list<Ex> args,
+                        ValType result_type) {
+  Ex out;
+  out.type = result_type;
+  for (const Ex& a : args) {
+    out.code.insert(out.code.end(), a.code.begin(), a.code.end());
+  }
+  out.code.push_back(Instr::call(func_index));
+  return out;
+}
+
+void FuncBuilder::drop(Ex value) {
+  append(std::move(value));
+  current_.push_back(Instr::simple(Op::Drop));
+}
+
+void FuncBuilder::ret(Ex value) {
+  append(std::move(value));
+  current_.push_back(Instr::simple(Op::Return));
+}
+
+void FuncBuilder::emit(Ex statement) { append(std::move(statement)); }
+
+void FuncBuilder::raw(Instr instr) { current_.push_back(std::move(instr)); }
+
+void FuncBuilder::for_i32(uint32_t var, Ex start, Ex end, int32_t step,
+                          const std::function<void()>& body) {
+  if (step == 0) dsl_error("for_i32: step must be non-zero");
+  // Constant bounds: resolve the guard at compile time (what a real
+  // compiler does) — either the loop is provably empty, or the do-while
+  // needs no guard, which also exposes the constant trip count to the
+  // instrumentation's loop-based optimisation.
+  if (start.code.size() == 1 && start.code[0].op == wasm::Op::I32Const &&
+      end.code.size() == 1 && end.code[0].op == wasm::Op::I32Const) {
+    int32_t s = start.code[0].as_i32();
+    int32_t e = end.code[0].as_i32();
+    bool runs = step > 0 ? s < e : s > e;
+    if (!runs) {
+      set(var, std::move(start));  // loop variable still gets initialised
+      return;
+    }
+    do_while_i32(var, std::move(start), std::move(end), step, body);
+    return;
+  }
+  set(var, std::move(start));
+  // Guard: enter the do-while only if at least one iteration runs.
+  Ex guard = step > 0 ? lt(get(var), end) : gt(get(var), end);
+  append(std::move(guard));
+  std::vector<Instr> saved = std::move(current_);
+  current_.clear();
+  {
+    // loop body in canonical hoistable form
+    std::vector<Instr> outer = std::move(current_);
+    current_.clear();
+    body();
+    // induction update: get var / const step / add / tee var
+    current_.push_back(Instr::local_get(var));
+    current_.push_back(Instr::i32c(step));
+    current_.push_back(Instr::simple(Op::I32Add));
+    current_.push_back(Instr::local_tee(var));
+    // condition: (var < end) or (var > end)
+    Ex limit = end;
+    current_.insert(current_.end(), limit.code.begin(), limit.code.end());
+    current_.push_back(
+        Instr::simple(step > 0 ? Op::I32LtS : Op::I32GtS));
+    current_.push_back(Instr::br_if(0));
+    std::vector<Instr> loop_body = std::move(current_);
+    current_ = std::move(outer);
+    current_.push_back(Instr::loop(wasm::BlockType{}, std::move(loop_body)));
+  }
+  std::vector<Instr> if_body = std::move(current_);
+  current_ = std::move(saved);
+  current_.push_back(Instr::if_else(wasm::BlockType{}, std::move(if_body)));
+}
+
+void FuncBuilder::do_while_i32(uint32_t var, Ex start, Ex end, int32_t step,
+                               const std::function<void()>& body) {
+  if (step == 0) dsl_error("do_while_i32: step must be non-zero");
+  set(var, std::move(start));
+  std::vector<Instr> saved = std::move(current_);
+  current_.clear();
+  body();
+  current_.push_back(Instr::local_get(var));
+  current_.push_back(Instr::i32c(step));
+  current_.push_back(Instr::simple(Op::I32Add));
+  current_.push_back(Instr::local_tee(var));
+  Ex limit = std::move(end);
+  current_.insert(current_.end(), limit.code.begin(), limit.code.end());
+  current_.push_back(Instr::simple(step > 0 ? Op::I32LtS : Op::I32GtS));
+  current_.push_back(Instr::br_if(0));
+  std::vector<Instr> loop_body = std::move(current_);
+  current_ = std::move(saved);
+  current_.push_back(Instr::loop(wasm::BlockType{}, std::move(loop_body)));
+}
+
+void FuncBuilder::while_loop(const std::function<Ex()>& cond,
+                             const std::function<void()>& body) {
+  // block { loop { br_if-not cond -> exit; body; br loop } }
+  std::vector<Instr> saved = std::move(current_);
+  current_.clear();
+  Ex c = cond();
+  append(std::move(c));
+  current_.push_back(Instr::simple(Op::I32Eqz));
+  current_.push_back(Instr::br_if(1));  // exit the enclosing block
+  body();
+  current_.push_back(Instr::br(0));
+  std::vector<Instr> loop_body = std::move(current_);
+  std::vector<Instr> block_body;
+  block_body.push_back(Instr::loop(wasm::BlockType{}, std::move(loop_body)));
+  current_ = std::move(saved);
+  current_.push_back(Instr::block(wasm::BlockType{}, std::move(block_body)));
+}
+
+void FuncBuilder::if_then(Ex cond, const std::function<void()>& then_body) {
+  append(std::move(cond));
+  std::vector<Instr> saved = std::move(current_);
+  current_.clear();
+  then_body();
+  std::vector<Instr> then_code = std::move(current_);
+  current_ = std::move(saved);
+  current_.push_back(Instr::if_else(wasm::BlockType{}, std::move(then_code)));
+}
+
+void FuncBuilder::if_then_else(Ex cond, const std::function<void()>& then_body,
+                               const std::function<void()>& else_body) {
+  append(std::move(cond));
+  std::vector<Instr> saved = std::move(current_);
+  current_.clear();
+  then_body();
+  std::vector<Instr> then_code = std::move(current_);
+  current_.clear();
+  else_body();
+  std::vector<Instr> else_code = std::move(current_);
+  current_ = std::move(saved);
+  current_.push_back(Instr::if_else(wasm::BlockType{}, std::move(then_code),
+                                    std::move(else_code)));
+}
+
+// ---------------------------------------------------------------------------
+// ModuleBuilder
+// ---------------------------------------------------------------------------
+
+ModuleBuilder& ModuleBuilder::memory(uint32_t min_pages, uint32_t max_pages) {
+  module_.memory = wasm::Limits{min_pages, max_pages};
+  return *this;
+}
+
+uint32_t ModuleBuilder::import_func(const std::string& module,
+                                    const std::string& name,
+                                    wasm::FuncType type) {
+  if (!module_.functions.empty()) {
+    dsl_error("imports must precede function definitions");
+  }
+  wasm::Import imp;
+  imp.module = module;
+  imp.name = name;
+  imp.type_index = module_.intern_type(type);
+  module_.imports.push_back(std::move(imp));
+  return static_cast<uint32_t>(module_.imports.size() - 1);
+}
+
+ModuleBuilder::EnvImports ModuleBuilder::import_env() {
+  using wasm::FuncType;
+  EnvImports env;
+  env.input_size =
+      import_func("env", "input_size", FuncType{{}, {ValType::I32}});
+  env.io_read = import_func(
+      "env", "io_read",
+      FuncType{{ValType::I32, ValType::I32}, {ValType::I32}});
+  env.io_write = import_func(
+      "env", "io_write",
+      FuncType{{ValType::I32, ValType::I32}, {ValType::I32}});
+  return env;
+}
+
+uint32_t ModuleBuilder::func(const std::string& export_name,
+                             std::vector<ValType> params,
+                             std::vector<ValType> results,
+                             const std::function<void(FuncBuilder&)>& build) {
+  wasm::Function function;
+  function.type_index =
+      module_.intern_type(wasm::FuncType{params, std::move(results)});
+  function.name = export_name;
+  FuncBuilder fb(std::move(params));
+  build(fb);
+  function.locals = fb.locals();
+  function.body = fb.take_body();
+  module_.functions.push_back(std::move(function));
+  uint32_t index = module_.num_funcs() - 1;
+  if (!export_name.empty()) {
+    module_.exports.push_back(
+        wasm::Export{export_name, wasm::ExternKind::Func, index});
+  }
+  return index;
+}
+
+ModuleBuilder& ModuleBuilder::data(uint32_t offset, Bytes bytes) {
+  module_.data.push_back(wasm::DataSegment{offset, std::move(bytes)});
+  return *this;
+}
+
+ModuleBuilder& ModuleBuilder::global_i64(bool mutable_, int64_t init,
+                                         const std::string& export_name) {
+  wasm::Global g;
+  g.type = ValType::I64;
+  g.mutable_ = mutable_;
+  g.init = Instr::i64c(init);
+  module_.globals.push_back(g);
+  if (!export_name.empty()) {
+    module_.exports.push_back(
+        wasm::Export{export_name, wasm::ExternKind::Global,
+                     static_cast<uint32_t>(module_.globals.size() - 1)});
+  }
+  return *this;
+}
+
+wasm::Module ModuleBuilder::build() {
+  wasm::validate(module_);
+  return std::move(module_);
+}
+
+// ---------------------------------------------------------------------------
+// Arrays
+// ---------------------------------------------------------------------------
+
+Ex Arr::at(Ex i, Ex j) const {
+  Ex index = i * ic(static_cast<int32_t>(cols)) + std::move(j);
+  return ic(static_cast<int32_t>(base)) +
+         std::move(index) * ic(static_cast<int32_t>(elem_size));
+}
+
+Ex Arr::at(Ex i) const {
+  return ic(static_cast<int32_t>(base)) +
+         std::move(i) * ic(static_cast<int32_t>(elem_size));
+}
+
+Ex Arr::ld(Ex i, Ex j) const {
+  Ex addr = at(std::move(i), std::move(j));
+  switch (elem) {
+    case ValType::F64: return load_f64(std::move(addr));
+    case ValType::F32: return load_f32(std::move(addr));
+    case ValType::I32:
+      return elem_size == 1 ? load_u8(std::move(addr))
+                            : load_i32(std::move(addr));
+    case ValType::I64: return load_i64(std::move(addr));
+  }
+  dsl_error("Arr::ld");
+}
+
+Ex Arr::ld(Ex i) const { return ld(ic(0), std::move(i)); }
+
+Arr Layout::alloc(uint32_t rows, uint32_t cols, uint32_t elem_size,
+                  ValType type) {
+  Arr arr;
+  arr.base = next_;
+  arr.cols = cols;
+  arr.elem_size = elem_size;
+  arr.elem = type;
+  uint64_t bytes = uint64_t{rows} * cols * elem_size;
+  uint64_t end = uint64_t{next_} + bytes;
+  end = (end + 63) & ~uint64_t{63};
+  if (end > UINT32_MAX) dsl_error("layout exceeds 4 GiB");
+  next_ = static_cast<uint32_t>(end);
+  return arr;
+}
+
+Arr Layout::array_f64(uint32_t rows, uint32_t cols) {
+  return alloc(rows, cols, 8, ValType::F64);
+}
+Arr Layout::array_f32(uint32_t rows, uint32_t cols) {
+  return alloc(rows, cols, 4, ValType::F32);
+}
+Arr Layout::array_i32(uint32_t rows, uint32_t cols) {
+  return alloc(rows, cols, 4, ValType::I32);
+}
+Arr Layout::array_u8(uint32_t rows, uint32_t cols) {
+  return alloc(rows, cols, 1, ValType::I32);
+}
+
+}  // namespace acctee::workloads

@@ -1,0 +1,226 @@
+// A small embedded DSL for emitting WebAssembly kernels.
+//
+// All of AccTEE's evaluation workloads (PolyBench kernels, the volunteer
+// computing / pay-by-computation programs, the FaaS functions and the
+// microbenchmarks) are written against this builder, which plays the role
+// Emscripten plays in the paper: it compiles "C-shaped" loop nests into
+// Wasm. Counted loops are emitted in the canonical do-while form
+//
+//     i = start
+//     if (i < end) { loop { body; i += step; br_if (i < end) } }
+//
+// so the instrumentation's loop-based optimisation applies to straight-line
+// inner loops, exactly as it does to Emscripten output.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "wasm/ast.hpp"
+
+namespace acctee::workloads {
+
+/// A typed expression: a sequence of instructions leaving one value of
+/// `type` on the stack (or nothing, for statements built via FuncBuilder).
+struct Ex {
+  wasm::ValType type = wasm::ValType::I32;
+  std::vector<wasm::Instr> code;
+
+  Ex() = default;
+  Ex(wasm::ValType t, std::vector<wasm::Instr> c)
+      : type(t), code(std::move(c)) {}
+};
+
+// -- constants --
+Ex ic(int32_t v);   // i32.const
+Ex lc(int64_t v);   // i64.const
+Ex fc(double v);    // f64.const
+Ex fc32(float v);   // f32.const
+
+// -- arithmetic (op chosen by operand type; both sides must match) --
+Ex operator+(Ex a, Ex b);
+Ex operator-(Ex a, Ex b);
+Ex operator*(Ex a, Ex b);
+Ex operator/(Ex a, Ex b);  // signed division for integers
+Ex operator%(Ex a, Ex b);  // signed remainder (integers only)
+Ex operator&(Ex a, Ex b);
+Ex operator|(Ex a, Ex b);
+Ex operator^(Ex a, Ex b);
+Ex shl(Ex a, Ex b);
+Ex shr_s(Ex a, Ex b);
+Ex shr_u(Ex a, Ex b);
+
+// -- comparisons (i32 result; signed for integers) --
+Ex lt(Ex a, Ex b);
+Ex le(Ex a, Ex b);
+Ex gt(Ex a, Ex b);
+Ex ge(Ex a, Ex b);
+Ex eq(Ex a, Ex b);
+Ex ne(Ex a, Ex b);
+Ex eqz(Ex a);
+
+// -- unary / math --
+Ex neg(Ex a);        // floats only
+Ex f64_sqrt(Ex a);
+Ex f64_abs(Ex a);
+Ex f32_sqrt(Ex a);
+Ex select_ex(Ex a, Ex b, Ex cond);  // a if cond else b
+
+// -- conversions --
+Ex to_f64(Ex a);     // from i32 (signed) or f32
+Ex to_f32(Ex a);     // from i32 (signed) or f64
+Ex to_i32(Ex a);     // from f64/f32 (trunc, signed) or i64 (wrap)
+Ex to_i64(Ex a);     // from i32 (signed extend)
+Ex to_i64_u(Ex a);   // from i32 (zero extend)
+
+// -- memory (addresses are i32 expressions; offset is a static immediate) --
+Ex load_i32(Ex addr, uint32_t offset = 0);
+Ex load_i64(Ex addr, uint32_t offset = 0);
+Ex load_f64(Ex addr, uint32_t offset = 0);
+Ex load_f32(Ex addr, uint32_t offset = 0);
+Ex load_u8(Ex addr, uint32_t offset = 0);
+
+/// Builds one function. Obtain from ModuleBuilder::func.
+class FuncBuilder {
+ public:
+  /// Declares a local and returns its index (params were declared with the
+  /// function signature; they occupy indices [0, num_params)).
+  uint32_t local(wasm::ValType type);
+
+  /// Expression reading a local/param.
+  Ex get(uint32_t index) const;
+
+  // -- statements --
+  void set(uint32_t index, Ex value);
+  void store_i32(Ex addr, Ex value, uint32_t offset = 0);
+  void store_i64(Ex addr, Ex value, uint32_t offset = 0);
+  void store_f64(Ex addr, Ex value, uint32_t offset = 0);
+  void store_f32(Ex addr, Ex value, uint32_t offset = 0);
+  void store_u8(Ex addr, Ex value, uint32_t offset = 0);
+  void call(uint32_t func_index, std::initializer_list<Ex> args,
+            bool drop_result = false);
+  Ex call_ex(uint32_t func_index, std::initializer_list<Ex> args,
+             wasm::ValType result_type);
+  void drop(Ex value);
+  void ret(Ex value);
+  void emit(Ex statement_with_no_result);  // e.g. calls returning nothing
+  void raw(wasm::Instr instr);
+
+  /// for (var = start; var < end; var += step) body    [step > 0]
+  /// for (var = start; var > end; var += step) body    [step < 0]
+  /// Canonical guarded do-while emission (hoistable when body is flat).
+  void for_i32(uint32_t var, Ex start, Ex end, int32_t step,
+               const std::function<void()>& body);
+
+  /// do { body; var += step; } while (var < end)  — unguarded; use when the
+  /// loop is statically known to run at least once.
+  void do_while_i32(uint32_t var, Ex start, Ex end, int32_t step,
+                    const std::function<void()>& body);
+
+  /// while (cond) body — general form (exit test at top, not hoistable).
+  void while_loop(const std::function<Ex()>& cond,
+                  const std::function<void()>& body);
+
+  void if_then(Ex cond, const std::function<void()>& then_body);
+  void if_then_else(Ex cond, const std::function<void()>& then_body,
+                    const std::function<void()>& else_body);
+
+  // Implementation detail for ModuleBuilder.
+  std::vector<wasm::Instr> take_body() { return std::move(current_); }
+  const std::vector<wasm::ValType>& locals() const { return locals_; }
+
+  explicit FuncBuilder(std::vector<wasm::ValType> param_types)
+      : param_types_(std::move(param_types)) {}
+
+ private:
+  void append(Ex e);
+
+  std::vector<wasm::ValType> param_types_;
+  std::vector<wasm::ValType> locals_;
+  std::vector<wasm::Instr> current_;
+};
+
+/// Builds a module: memory, imports, functions, exports, data.
+class ModuleBuilder {
+ public:
+  ModuleBuilder& memory(uint32_t min_pages, uint32_t max_pages);
+
+  /// Declares a function import (must precede func() definitions) and
+  /// returns its function index.
+  uint32_t import_func(const std::string& module, const std::string& name,
+                       wasm::FuncType type);
+
+  /// Imports the full AccTEE runtime env ABI; returns indices in order
+  /// {input_size, io_read, io_write}.
+  struct EnvImports {
+    uint32_t input_size;
+    uint32_t io_read;
+    uint32_t io_write;
+  };
+  EnvImports import_env();
+
+  /// Defines a function: `build` receives a FuncBuilder and emits the body.
+  /// Exported under `export_name` if non-empty. Returns the function index.
+  uint32_t func(const std::string& export_name,
+                std::vector<wasm::ValType> params,
+                std::vector<wasm::ValType> results,
+                const std::function<void(FuncBuilder&)>& build);
+
+  ModuleBuilder& data(uint32_t offset, Bytes bytes);
+  ModuleBuilder& global_i64(bool mutable_, int64_t init,
+                            const std::string& export_name = "");
+
+  /// Finalises and validates the module.
+  wasm::Module build();
+
+ private:
+  wasm::Module module_;
+};
+
+/// Convenience: a dense 2-D array of f64/f32/i32 in linear memory.
+struct Arr {
+  uint32_t base = 0;     // byte offset in linear memory
+  uint32_t cols = 1;     // row length (elements)
+  uint32_t elem_size = 8;
+  wasm::ValType elem = wasm::ValType::F64;
+
+  /// Address of element (i, j).
+  Ex at(Ex i, Ex j) const;
+  /// Address of element (i) for 1-D use.
+  Ex at(Ex i) const;
+  /// Typed loads/stores.
+  Ex ld(Ex i, Ex j) const;
+  Ex ld(Ex i) const;
+
+  /// Bytes occupied by `rows` rows.
+  uint64_t bytes(uint64_t rows) const {
+    return rows * cols * static_cast<uint64_t>(elem_size);
+  }
+};
+
+/// Lays out consecutive arrays starting at `base`, 64-byte aligned.
+class Layout {
+ public:
+  explicit Layout(uint32_t base = 64) : next_(base) {}
+
+  Arr array_f64(uint32_t rows, uint32_t cols);
+  Arr array_f32(uint32_t rows, uint32_t cols);
+  Arr array_i32(uint32_t rows, uint32_t cols);
+  Arr array_u8(uint32_t rows, uint32_t cols);
+
+  /// Total bytes consumed so far.
+  uint32_t end() const { return next_; }
+  /// Wasm pages needed for the layout.
+  uint32_t pages() const {
+    return static_cast<uint32_t>((uint64_t{next_} + wasm::kPageSize - 1) /
+                                 wasm::kPageSize);
+  }
+
+ private:
+  Arr alloc(uint32_t rows, uint32_t cols, uint32_t elem_size,
+            wasm::ValType type);
+  uint32_t next_;
+};
+
+}  // namespace acctee::workloads

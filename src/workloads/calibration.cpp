@@ -1,0 +1,26 @@
+#include "workloads/calibration.hpp"
+
+#include "interp/instance.hpp"
+#include "workloads/microbench.hpp"
+
+namespace acctee::workloads {
+
+CalibrationResult calibrate_weights(uint32_t reps) {
+  CalibrationResult result;
+  interp::Instance::Options opts;
+  opts.cache_model = false;  // non-memory instructions only
+  for (wasm::Op op : measurable_instructions()) {
+    InstrBenchPair pair = instruction_microbench(op, reps);
+    interp::Instance with(std::move(pair.with_op), {}, opts);
+    with.invoke("run");
+    interp::Instance base(std::move(pair.baseline), {}, opts);
+    base.invoke("run");
+    result.cycles[static_cast<size_t>(op)] =
+        static_cast<double>(with.stats().cycles - base.stats().cycles) /
+        pair.reps;
+  }
+  result.table = instrument::WeightTable::from_measurements(result.cycles);
+  return result;
+}
+
+}  // namespace acctee::workloads

@@ -1,0 +1,27 @@
+// Weight-table calibration (paper §3.7 + Fig. 7 workflow).
+//
+// Measures cycles-per-instruction for every measurable opcode with the
+// microbenchmark generator and derives the WeightTable that AccTEE ships as
+// part of the attested execution environment. Deterministic: the same
+// simulated platform always yields the same table (and hence the same
+// attested table hash).
+#pragma once
+
+#include <array>
+
+#include "instrument/weights.hpp"
+#include "interp/cost.hpp"
+
+namespace acctee::workloads {
+
+struct CalibrationResult {
+  instrument::WeightTable table;
+  /// Raw measured cycles per instruction (0 for unmeasured opcodes).
+  std::array<double, wasm::kNumOps> cycles{};
+};
+
+/// Runs the per-instruction microbenchmarks (`reps` repetitions each,
+/// baseline-subtracted) and builds the weight table.
+CalibrationResult calibrate_weights(uint32_t reps = 10000);
+
+}  // namespace acctee::workloads

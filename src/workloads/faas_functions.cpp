@@ -1,0 +1,171 @@
+#include "workloads/faas_functions.hpp"
+
+#include "common/rng.hpp"
+#include "workloads/builder.hpp"
+
+namespace acctee::workloads {
+
+using wasm::ValType;
+
+wasm::Module faas_echo() {
+  ModuleBuilder mb;
+  auto env = mb.import_env();
+  mb.memory(56, 96);  // 1024x1024x3 inputs (~3.1 MB) fit in the buffer
+
+  mb.func("run", {}, {ValType::I32}, [&](FuncBuilder& b) {
+    uint32_t n = b.local(ValType::I32);
+    uint32_t done = b.local(ValType::I32);
+    uint32_t chunk = b.local(ValType::I32);
+    b.set(n, b.call_ex(env.input_size, {}, ValType::I32));
+    // Read everything to offset 0, then write it back, in 64 KiB chunks.
+    b.set(done, ic(0));
+    b.while_loop([&] { return lt(b.get(done), b.get(n)); },
+                 [&] {
+                   b.set(chunk, b.call_ex(env.io_read,
+                                          {b.get(done), ic(65536)},
+                                          ValType::I32));
+                   b.set(done, b.get(done) + b.get(chunk));
+                 });
+    b.set(done, ic(0));
+    b.while_loop([&] { return lt(b.get(done), b.get(n)); },
+                 [&] {
+                   Ex remaining = b.get(n) - b.get(done);
+                   Ex chunk_len = select_ex(ic(65536), remaining,
+                                            gt(b.get(n) - b.get(done),
+                                               ic(65536)));
+                   b.set(chunk, b.call_ex(env.io_write,
+                                          {b.get(done), std::move(chunk_len)},
+                                          ValType::I32));
+                   b.set(done, b.get(done) + b.get(chunk));
+                 });
+    b.emit(b.get(n));
+  });
+  return mb.build();
+}
+
+wasm::Module faas_resize() {
+  ModuleBuilder mb;
+  auto env = mb.import_env();
+  // Input buffer at 1 MiB mark, output at 0: out needs 64*64*3 = 12 KiB.
+  constexpr uint32_t kOut = 64;         // output buffer offset
+  constexpr uint32_t kIn = 1 << 20;     // input buffer offset
+  constexpr int32_t kSide = static_cast<int32_t>(kResizeOutputSide);
+  mb.memory(80, 96);  // 80 pages ≈ 5 MB: fits 1024x1024x3 inputs
+
+  mb.func("run", {}, {ValType::I32}, [&](FuncBuilder& b) {
+    uint32_t n = b.local(ValType::I32);
+    uint32_t done = b.local(ValType::I32);
+    uint32_t w = b.local(ValType::I32);
+    uint32_t h = b.local(ValType::I32);
+    uint32_t ox = b.local(ValType::I32);
+    uint32_t oy = b.local(ValType::I32);
+    uint32_t ch = b.local(ValType::I32);
+    uint32_t sx = b.local(ValType::I32);   // source x, 16.16 fixed point
+    uint32_t sy = b.local(ValType::I32);
+    uint32_t x0 = b.local(ValType::I32);
+    uint32_t y0 = b.local(ValType::I32);
+    uint32_t fx = b.local(ValType::I32);   // fractional parts (0..65535)
+    uint32_t fy = b.local(ValType::I32);
+    uint32_t p00 = b.local(ValType::I32);
+    uint32_t p01 = b.local(ValType::I32);
+    uint32_t p10 = b.local(ValType::I32);
+    uint32_t p11 = b.local(ValType::I32);
+    uint32_t top = b.local(ValType::I32);
+    uint32_t bot = b.local(ValType::I32);
+
+    // Read the full input.
+    b.set(n, b.call_ex(env.input_size, {}, ValType::I32));
+    b.set(done, ic(0));
+    b.while_loop([&] { return lt(b.get(done), b.get(n)); },
+                 [&] {
+                   b.set(done,
+                         b.get(done) +
+                             b.call_ex(env.io_read,
+                                       {ic(kIn) + b.get(done), ic(65536)},
+                                       ValType::I32));
+                 });
+    b.set(w, load_i32(ic(kIn)));
+    b.set(h, load_i32(ic(kIn), 4));
+
+    // "Decode" pass: one full sweep over the input pixels (the raw-RGB
+    // analogue of the JPEG decode the paper's resize performs) — keeps the
+    // compute cost proportional to the input size.
+    uint32_t luma = b.local(ValType::I32);
+    uint32_t px = b.local(ValType::I32);
+    b.set(luma, ic(0));
+    b.for_i32(px, ic(0), b.get(w) * b.get(h), 1, [&] {
+      Ex base = ic(kIn + 8) + b.get(px) * ic(3);
+      Ex r = load_u8(base);
+      Ex g = load_u8(ic(kIn + 8) + b.get(px) * ic(3), 1);
+      Ex bl = load_u8(ic(kIn + 8) + b.get(px) * ic(3), 2);
+      b.set(luma, b.get(luma) +
+                      (std::move(r) * ic(77) + std::move(g) * ic(150) +
+                       std::move(bl) * ic(29)));
+    });
+    // Park the luminance in scratch memory so the decode pass has an
+    // observable effect (the sandbox does not dead-code-eliminate, but the
+    // workload should be honest work regardless).
+    b.store_i32(ic(32), b.get(luma));
+
+    // Bilinear resample to kSide x kSide. Scale factors in 16.16 fixed point.
+    uint32_t xstep = b.local(ValType::I32);
+    uint32_t ystep = b.local(ValType::I32);
+    b.set(xstep, to_i32(to_i64(b.get(w) - ic(1)) * lc(65536) /
+                        to_i64(ic(kSide - 1))));
+    b.set(ystep, to_i32(to_i64(b.get(h) - ic(1)) * lc(65536) /
+                        to_i64(ic(kSide - 1))));
+
+    auto src_pixel = [&](Ex x, Ex y, Ex c) {
+      // kIn + 8 + (y*w + x)*3 + c
+      return load_u8(ic(kIn + 8) +
+                     (std::move(y) * b.get(w) + std::move(x)) * ic(3) +
+                     std::move(c));
+    };
+
+    b.for_i32(oy, ic(0), ic(kSide), 1, [&] {
+      b.set(sy, b.get(oy) * b.get(ystep));
+      b.set(y0, shr_u(b.get(sy), ic(16)));
+      b.set(fy, b.get(sy) & ic(0xffff));
+      b.for_i32(ox, ic(0), ic(kSide), 1, [&] {
+        b.set(sx, b.get(ox) * b.get(xstep));
+        b.set(x0, shr_u(b.get(sx), ic(16)));
+        b.set(fx, b.get(sx) & ic(0xffff));
+        b.for_i32(ch, ic(0), ic(3), 1, [&] {
+          b.set(p00, src_pixel(b.get(x0), b.get(y0), b.get(ch)));
+          b.set(p01, src_pixel(b.get(x0) + ic(1), b.get(y0), b.get(ch)));
+          b.set(p10, src_pixel(b.get(x0), b.get(y0) + ic(1), b.get(ch)));
+          b.set(p11, src_pixel(b.get(x0) + ic(1), b.get(y0) + ic(1), b.get(ch)));
+          // top = p00 + (p01-p00)*fx/65536, bot likewise, out = lerp by fy.
+          b.set(top, b.get(p00) +
+                         shr_s((b.get(p01) - b.get(p00)) * b.get(fx), ic(16)));
+          b.set(bot, b.get(p10) +
+                         shr_s((b.get(p11) - b.get(p10)) * b.get(fx), ic(16)));
+          b.store_u8(ic(kOut) +
+                         (b.get(oy) * ic(kSide) + b.get(ox)) * ic(3) +
+                         b.get(ch),
+                     b.get(top) +
+                         shr_s((b.get(bot) - b.get(top)) * b.get(fy), ic(16)));
+        });
+      });
+    });
+
+    constexpr int32_t out_len = kSide * kSide * 3;
+    b.call(env.io_write, {ic(kOut), ic(out_len)}, /*drop_result=*/true);
+    b.emit(ic(out_len));
+  });
+  return mb.build();
+}
+
+Bytes make_test_image(uint32_t side, uint64_t seed) {
+  Bytes image;
+  append_u32le(image, side);
+  append_u32le(image, side);
+  Xoshiro256 rng(seed);
+  image.reserve(8 + static_cast<size_t>(side) * side * 3);
+  for (uint32_t i = 0; i < side * side * 3; ++i) {
+    image.push_back(static_cast<uint8_t>(rng.next()));
+  }
+  return image;
+}
+
+}  // namespace acctee::workloads

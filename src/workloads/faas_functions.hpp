@@ -1,0 +1,29 @@
+// FaaS functions for the Fig. 9 experiment (paper §5.3).
+//
+//   * echo   — replies with its input (I/O-dominated worst case).
+//   * resize — scales a raw RGB image to 64x64 with bilinear filtering
+//              (compute-heavy case). The paper used JPEG via zupply; raw
+//              RGB preserves the compute/IO profile without a JPEG codec
+//              (documented substitution, see DESIGN.md).
+//
+// Both modules use the AccTEE runtime env ABI (env.input_size / io_read /
+// io_write) and export `run: [] -> [i32]` returning the output byte count.
+//
+// Input format for resize: u32 width, u32 height (little endian), then
+// width*height*3 bytes of RGB data. Output: 64*64*3 bytes.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "wasm/ast.hpp"
+
+namespace acctee::workloads {
+
+wasm::Module faas_echo();
+wasm::Module faas_resize();
+
+/// Deterministic raw RGB test image with the 8-byte header, side x side px.
+Bytes make_test_image(uint32_t side, uint64_t seed);
+
+constexpr uint32_t kResizeOutputSide = 64;
+
+}  // namespace acctee::workloads

@@ -1,0 +1,151 @@
+#include "workloads/microbench.hpp"
+
+#include "common/error.hpp"
+#include "workloads/builder.hpp"
+
+namespace acctee::workloads {
+
+using wasm::Op;
+using wasm::ValType;
+
+namespace {
+
+constexpr uint32_t kUnroll = 16;
+
+ValType sig_type(char c) {
+  switch (c) {
+    case 'i': return ValType::I32;
+    case 'l': return ValType::I64;
+    case 'f': return ValType::F32;
+    case 'd': return ValType::F64;
+  }
+  throw Error("bad sig char");
+}
+
+/// Trap-free operand constants. The second integer operand is non-zero and
+/// small (divisions), floats are in-range for every trunc conversion.
+wasm::Instr operand(ValType type, int position) {
+  switch (type) {
+    case ValType::I32: return wasm::Instr::i32c(position == 0 ? 7 : 3);
+    case ValType::I64: return wasm::Instr::i64c(position == 0 ? 9 : 4);
+    case ValType::F32:
+      return wasm::Instr::f32c(position == 0 ? 2.5f : 1.25f);
+    case ValType::F64:
+      return wasm::Instr::f64c(position == 0 ? 3.5 : 1.75);
+  }
+  throw Error("bad operand type");
+}
+
+/// Builds a module whose "run" executes `payload` (one unrolled repetition
+/// emitted `kUnroll` times) inside a counted loop of `iterations`.
+wasm::Module looped_module(uint32_t iterations,
+                           const std::function<void(FuncBuilder&)>& payload) {
+  ModuleBuilder mb;
+  mb.func("run", {}, {ValType::I32}, [&](FuncBuilder& b) {
+    uint32_t i = b.local(ValType::I32);
+    b.for_i32(i, ic(0), ic(static_cast<int32_t>(iterations)), 1, [&] {
+      for (uint32_t u = 0; u < kUnroll; ++u) payload(b);
+    });
+    b.emit(ic(0));
+  });
+  return mb.build();
+}
+
+}  // namespace
+
+std::vector<Op> measurable_instructions() {
+  std::vector<Op> ops;
+  for (size_t i = 0; i < wasm::kNumOps; ++i) {
+    Op op = static_cast<Op>(i);
+    const wasm::OpInfo& info = wasm::op_info(op);
+    if (info.sig == "*") continue;                    // control/variable ops
+    if (wasm::is_memory_access(op)) continue;         // Fig. 8 territory
+    if (op == Op::MemorySize || op == Op::MemoryGrow) continue;
+    if (op == Op::Nop) continue;                      // no value semantics
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+InstrBenchPair instruction_microbench(Op op, uint32_t reps) {
+  const wasm::OpInfo& info = wasm::op_info(op);
+  if (info.sig == "*" || wasm::is_memory_access(op)) {
+    throw Error("instruction_microbench: op not measurable");
+  }
+  size_t colon = info.sig.find(':');
+  uint32_t iterations = (reps + kUnroll - 1) / kUnroll;
+
+  InstrBenchPair pair;
+  pair.reps = iterations * kUnroll;
+  pair.with_op = looped_module(iterations, [&](FuncBuilder& b) {
+    for (size_t p = 0; p < colon; ++p) {
+      b.raw(operand(sig_type(info.sig[p]), static_cast<int>(p)));
+    }
+    b.raw(wasm::Instr::simple(op));
+    for (size_t r = colon + 1; r < info.sig.size(); ++r) {
+      b.raw(wasm::Instr::simple(Op::Drop));
+    }
+  });
+  // Baseline: the same loop with no payload — the difference is the cost of
+  // (operands + op + drop), i.e. the op cost plus a small constant overhead,
+  // exactly the "low benchmarking overhead" the paper reports for Fig. 7.
+  pair.baseline = looped_module(iterations, [](FuncBuilder&) {});
+  return pair;
+}
+
+wasm::Module memory_access_bench(ValType type, bool is_store,
+                                 AccessPattern pattern,
+                                 uint64_t footprint_bytes, uint32_t accesses) {
+  if ((footprint_bytes & (footprint_bytes - 1)) != 0 || footprint_bytes == 0) {
+    throw Error("memory_access_bench: footprint must be a power of two");
+  }
+  uint32_t elem = (type == ValType::I32 || type == ValType::F32) ? 4 : 8;
+  uint32_t pages = static_cast<uint32_t>(
+      (footprint_bytes + wasm::kPageSize - 1) / wasm::kPageSize);
+  int32_t mask = static_cast<int32_t>(footprint_bytes - 1) &
+                 ~static_cast<int32_t>(elem - 1);
+
+  ModuleBuilder mb;
+  mb.memory(pages, pages);
+  constexpr uint32_t kMemUnroll = 8;
+  uint32_t iterations = (accesses + kMemUnroll - 1) / kMemUnroll;
+
+  mb.func("run", {}, {ValType::I32}, [&](FuncBuilder& b) {
+    uint32_t i = b.local(ValType::I32);
+    uint32_t addr = b.local(ValType::I32);
+    uint32_t state = b.local(ValType::I32);
+    b.set(state, ic(12345));
+    b.set(addr, ic(0));
+    b.for_i32(i, ic(0), ic(static_cast<int32_t>(iterations)), 1, [&] {
+      for (uint32_t u = 0; u < kMemUnroll; ++u) {
+        if (pattern == AccessPattern::Linear) {
+          b.set(addr, (b.get(addr) + ic(static_cast<int32_t>(elem))) &
+                          ic(mask));
+        } else {
+          // LCG address scramble (Numerical Recipes constants).
+          b.set(state, b.get(state) * ic(1664525) + ic(1013904223));
+          b.set(addr, b.get(state) & ic(mask));
+        }
+        if (is_store) {
+          switch (type) {
+            case ValType::I32: b.store_i32(b.get(addr), ic(42)); break;
+            case ValType::I64: b.store_i64(b.get(addr), lc(42)); break;
+            case ValType::F32: b.store_f32(b.get(addr), fc32(4.2f)); break;
+            case ValType::F64: b.store_f64(b.get(addr), fc(4.2)); break;
+          }
+        } else {
+          switch (type) {
+            case ValType::I32: b.drop(load_i32(b.get(addr))); break;
+            case ValType::I64: b.drop(load_i64(b.get(addr))); break;
+            case ValType::F32: b.drop(load_f32(b.get(addr))); break;
+            case ValType::F64: b.drop(load_f64(b.get(addr))); break;
+          }
+        }
+      }
+    });
+    b.emit(ic(0));
+  });
+  return mb.build();
+}
+
+}  // namespace acctee::workloads

@@ -1,0 +1,42 @@
+// Microbenchmark module generators for the instruction-weight experiments.
+//
+// Fig. 7: per-instruction cost — for each of the 127 non-memory value
+// instructions (consts, comparisons, arithmetic, conversions), a module
+// that executes the instruction `reps` times in an unrolled loop, plus a
+// matching baseline module without the instruction, so cycles-per-
+// instruction falls out of the difference.
+//
+// Fig. 8: memory-access cost — modules performing `accesses` load or store
+// operations of a given value type over a given linear-memory footprint,
+// with either a linear or a (LCG-)random address pattern.
+#pragma once
+
+#include <vector>
+
+#include "wasm/ast.hpp"
+
+namespace acctee::workloads {
+
+/// The 127 instructions measured in Fig. 7: every uniform-signature opcode
+/// except loads/stores and memory.size/grow.
+std::vector<wasm::Op> measurable_instructions();
+
+struct InstrBenchPair {
+  wasm::Module with_op;   // executes the target op `reps` times
+  wasm::Module baseline;  // identical except the target op is absent
+  uint32_t reps;
+};
+
+/// Builds the measurement pair for `op`. `reps` is rounded up to a multiple
+/// of the unroll factor.
+InstrBenchPair instruction_microbench(wasm::Op op, uint32_t reps);
+
+enum class AccessPattern { Linear, Random };
+
+/// Fig. 8 generator: `accesses` loads (or stores) of `type` spread over
+/// `footprint_bytes` of linear memory.
+wasm::Module memory_access_bench(wasm::ValType type, bool is_store,
+                                 AccessPattern pattern,
+                                 uint64_t footprint_bytes, uint32_t accesses);
+
+}  // namespace acctee::workloads

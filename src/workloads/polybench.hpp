@@ -1,0 +1,39 @@
+// The PolyBench/C 4.2.1 suite (paper §5.1, Fig. 6), hand-ported to Wasm via
+// the workload builder DSL.
+//
+// Each kernel preserves the original's loop structure, data-dependence
+// pattern and operation mix (the properties that determine instrumentation
+// overhead and cache/EPC behaviour), parameterised by a problem size `n`.
+// Every kernel module exports `run: [] -> [f64]`, which initialises its
+// arrays PolyBench-style, executes the kernel, and returns a checksum of
+// the output (so results can be cross-checked between instrumented and
+// uninstrumented runs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "wasm/ast.hpp"
+
+namespace acctee::workloads {
+
+struct KernelFactory {
+  std::string name;
+  /// Builds the kernel module for problem size n.
+  std::function<wasm::Module(uint32_t n)> build;
+  /// Problem size used by the Fig. 6 benchmark.
+  uint32_t bench_n;
+  /// Approximate linear-memory footprint at bench_n (bytes) — used to pick
+  /// which kernels exceed the (scaled) EPC in the SGX-hardware experiment.
+  uint64_t footprint_bytes;
+};
+
+/// All 29 kernels evaluated in the paper's Fig. 6.
+const std::vector<KernelFactory>& polybench();
+
+/// Builds one kernel by name; throws Error for unknown names.
+wasm::Module build_polybench(const std::string& name, uint32_t n);
+
+}  // namespace acctee::workloads

@@ -1,0 +1,518 @@
+// PolyBench linear-algebra kernels (BLAS-shaped), ported to Wasm.
+//
+// Each port keeps the loop order and dependence structure of PolyBench/C
+// 4.2.1; constants (alpha, beta) match the reference initialisation spirit.
+#include "workloads/polybench_common.hpp"
+#include "workloads/polybench_kernels.hpp"
+
+namespace acctee::workloads {
+
+using pb::si;
+using wasm::ValType;
+
+namespace {
+constexpr double kAlpha = 1.5;
+constexpr double kBeta = 1.2;
+
+/// Common wrapper: single exported `run: [] -> [f64]` function.
+wasm::Module kernel_module(const Layout& layout,
+                           const std::function<void(FuncBuilder&)>& body) {
+  ModuleBuilder mb;
+  uint32_t pages = pb::pages_for(layout);
+  mb.memory(pages, pages);
+  mb.func("run", {}, {ValType::F64}, body);
+  return mb.build();
+}
+}  // namespace
+
+wasm::Module pb_gemm(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  Arr B = layout.array_f64(n, n);
+  Arr C = layout.array_f64(n, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, A, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 1, 0, si(n)); });
+    pb::init2d(b, B, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 2, 1, si(n)); });
+    pb::init2d(b, C, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 3, 1, 2, si(n)); });
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t k = b.local(ValType::I32);
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.store_f64(C.at(b.get(i), b.get(j)),
+                    C.ld(b.get(i), b.get(j)) * fc(kBeta));
+      });
+      b.for_i32(k, ic(0), ic(si(n)), 1, [&] {
+        b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+          b.store_f64(C.at(b.get(i), b.get(j)),
+                      C.ld(b.get(i), b.get(j)) +
+                          fc(kAlpha) * A.ld(b.get(i), b.get(k)) *
+                              B.ld(b.get(k), b.get(j)));
+        });
+      });
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, C, n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_2mm(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  Arr B = layout.array_f64(n, n);
+  Arr C = layout.array_f64(n, n);
+  Arr D = layout.array_f64(n, n);
+  Arr tmp = layout.array_f64(n, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, A, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 1, 0, si(n)); });
+    pb::init2d(b, B, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 1, 1, si(n)); });
+    pb::init2d(b, C, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 3, 1, 0, si(n)); });
+    pb::init2d(b, D, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 2, 1, 0, si(n)); });
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t k = b.local(ValType::I32);
+    // tmp = alpha * A * B
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.store_f64(tmp.at(b.get(i), b.get(j)), fc(0.0));
+      });
+      b.for_i32(k, ic(0), ic(si(n)), 1, [&] {
+        b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+          b.store_f64(tmp.at(b.get(i), b.get(j)),
+                      tmp.ld(b.get(i), b.get(j)) +
+                          fc(kAlpha) * A.ld(b.get(i), b.get(k)) *
+                              B.ld(b.get(k), b.get(j)));
+        });
+      });
+    });
+    // D = beta * D + tmp * C
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.store_f64(D.at(b.get(i), b.get(j)),
+                    D.ld(b.get(i), b.get(j)) * fc(kBeta));
+      });
+      b.for_i32(k, ic(0), ic(si(n)), 1, [&] {
+        b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+          b.store_f64(D.at(b.get(i), b.get(j)),
+                      D.ld(b.get(i), b.get(j)) +
+                          tmp.ld(b.get(i), b.get(k)) * C.ld(b.get(k), b.get(j)));
+        });
+      });
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, D, n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_3mm(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  Arr B = layout.array_f64(n, n);
+  Arr C = layout.array_f64(n, n);
+  Arr D = layout.array_f64(n, n);
+  Arr E = layout.array_f64(n, n);
+  Arr F = layout.array_f64(n, n);
+  Arr G = layout.array_f64(n, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, A, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 1, 0, si(n)); });
+    pb::init2d(b, B, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 1, 1, si(n)); });
+    pb::init2d(b, C, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 3, 1, 2, si(n)); });
+    pb::init2d(b, D, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 2, 1, 2, si(n)); });
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t k = b.local(ValType::I32);
+    auto matmul = [&](const Arr& dst, const Arr& lhs, const Arr& rhs) {
+      b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+        b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+          b.store_f64(dst.at(b.get(i), b.get(j)), fc(0.0));
+        });
+        b.for_i32(k, ic(0), ic(si(n)), 1, [&] {
+          b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+            b.store_f64(dst.at(b.get(i), b.get(j)),
+                        dst.ld(b.get(i), b.get(j)) +
+                            lhs.ld(b.get(i), b.get(k)) *
+                                rhs.ld(b.get(k), b.get(j)));
+          });
+        });
+      });
+    };
+    matmul(E, A, B);
+    matmul(F, C, D);
+    matmul(G, E, F);
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, G, n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_atax(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  Arr x = layout.array_f64(1, n);
+  Arr y = layout.array_f64(1, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, A, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 1, 0, si(n)); });
+    pb::init1d(b, x, n, [&](Ex i) { return pb::init_val(i, ic(0), 1, 0, 1, si(n)); });
+    pb::init1d(b, y, n, [&](Ex) { return fc(0.0); });
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t tmp = b.local(ValType::F64);
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.set(tmp, fc(0.0));
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.set(tmp, b.get(tmp) + A.ld(b.get(i), b.get(j)) * x.ld(b.get(j)));
+      });
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.store_f64(y.at(b.get(j)),
+                    y.ld(b.get(j)) + A.ld(b.get(i), b.get(j)) * b.get(tmp));
+      });
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum1d(b, y, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_bicg(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  Arr s = layout.array_f64(1, n);
+  Arr q = layout.array_f64(1, n);
+  Arr p = layout.array_f64(1, n);
+  Arr r = layout.array_f64(1, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, A, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 2, 0, si(n)); });
+    pb::init1d(b, p, n, [&](Ex i) { return pb::init_val(i, ic(0), 1, 0, 0, si(n)); });
+    pb::init1d(b, r, n, [&](Ex i) { return pb::init_val(i, ic(0), 1, 0, 1, si(n)); });
+    pb::init1d(b, s, n, [&](Ex) { return fc(0.0); });
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t qi = b.local(ValType::F64);
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.set(qi, fc(0.0));
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.store_f64(s.at(b.get(j)),
+                    s.ld(b.get(j)) + r.ld(b.get(i)) * A.ld(b.get(i), b.get(j)));
+        b.set(qi, b.get(qi) + A.ld(b.get(i), b.get(j)) * p.ld(b.get(j)));
+      });
+      b.store_f64(q.at(b.get(i)), b.get(qi));
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum1d(b, s, n, acc);
+    pb::checksum1d(b, q, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_mvt(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  Arr x1 = layout.array_f64(1, n);
+  Arr x2 = layout.array_f64(1, n);
+  Arr y1 = layout.array_f64(1, n);
+  Arr y2 = layout.array_f64(1, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, A, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 1, 0, si(n)); });
+    pb::init1d(b, x1, n, [&](Ex i) { return pb::init_val(i, ic(0), 1, 0, 0, si(n)); });
+    pb::init1d(b, x2, n, [&](Ex i) { return pb::init_val(i, ic(0), 1, 0, 1, si(n)); });
+    pb::init1d(b, y1, n, [&](Ex i) { return pb::init_val(i, ic(0), 3, 0, 1, si(n)); });
+    pb::init1d(b, y2, n, [&](Ex i) { return pb::init_val(i, ic(0), 2, 0, 1, si(n)); });
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.store_f64(x1.at(b.get(i)),
+                    x1.ld(b.get(i)) + A.ld(b.get(i), b.get(j)) * y1.ld(b.get(j)));
+      });
+    });
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.store_f64(x2.at(b.get(i)),
+                    x2.ld(b.get(i)) + A.ld(b.get(j), b.get(i)) * y2.ld(b.get(j)));
+      });
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum1d(b, x1, n, acc);
+    pb::checksum1d(b, x2, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_gesummv(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  Arr B = layout.array_f64(n, n);
+  Arr x = layout.array_f64(1, n);
+  Arr y = layout.array_f64(1, n);
+  Arr tmp = layout.array_f64(1, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, A, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 1, 0, si(n)); });
+    pb::init2d(b, B, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 2, 0, si(n)); });
+    pb::init1d(b, x, n, [&](Ex i) { return pb::init_val(i, ic(0), 1, 0, 0, si(n)); });
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t t = b.local(ValType::F64);
+    uint32_t yy = b.local(ValType::F64);
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.set(t, fc(0.0));
+      b.set(yy, fc(0.0));
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.set(t, b.get(t) + A.ld(b.get(i), b.get(j)) * x.ld(b.get(j)));
+        b.set(yy, b.get(yy) + B.ld(b.get(i), b.get(j)) * x.ld(b.get(j)));
+      });
+      b.store_f64(tmp.at(b.get(i)), b.get(t));
+      b.store_f64(y.at(b.get(i)), fc(kAlpha) * b.get(t) + fc(kBeta) * b.get(yy));
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum1d(b, y, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_gemver(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  Arr u1 = layout.array_f64(1, n);
+  Arr v1 = layout.array_f64(1, n);
+  Arr u2 = layout.array_f64(1, n);
+  Arr v2 = layout.array_f64(1, n);
+  Arr w = layout.array_f64(1, n);
+  Arr x = layout.array_f64(1, n);
+  Arr y = layout.array_f64(1, n);
+  Arr z = layout.array_f64(1, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, A, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 1, 0, si(n)); });
+    pb::init1d(b, u1, n, [&](Ex i) { return pb::init_val(i, ic(0), 1, 0, 0, si(n)); });
+    pb::init1d(b, u2, n, [&](Ex i) { return pb::init_val(i, ic(0), 1, 0, 1, si(n)); });
+    pb::init1d(b, v1, n, [&](Ex i) { return pb::init_val(i, ic(0), 2, 0, 1, si(n)); });
+    pb::init1d(b, v2, n, [&](Ex i) { return pb::init_val(i, ic(0), 3, 0, 1, si(n)); });
+    pb::init1d(b, y, n, [&](Ex i) { return pb::init_val(i, ic(0), 2, 0, 3, si(n)); });
+    pb::init1d(b, z, n, [&](Ex i) { return pb::init_val(i, ic(0), 1, 0, 5, si(n)); });
+    pb::init1d(b, x, n, [&](Ex) { return fc(0.0); });
+    pb::init1d(b, w, n, [&](Ex) { return fc(0.0); });
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.store_f64(A.at(b.get(i), b.get(j)),
+                    A.ld(b.get(i), b.get(j)) + u1.ld(b.get(i)) * v1.ld(b.get(j)) +
+                        u2.ld(b.get(i)) * v2.ld(b.get(j)));
+      });
+    });
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.store_f64(x.at(b.get(i)),
+                    x.ld(b.get(i)) + fc(kBeta) * A.ld(b.get(j), b.get(i)) *
+                                         y.ld(b.get(j)));
+      });
+    });
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.store_f64(x.at(b.get(i)), x.ld(b.get(i)) + z.ld(b.get(i)));
+    });
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.store_f64(w.at(b.get(i)),
+                    w.ld(b.get(i)) + fc(kAlpha) * A.ld(b.get(i), b.get(j)) *
+                                         x.ld(b.get(j)));
+      });
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum1d(b, w, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_symm(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  Arr B = layout.array_f64(n, n);
+  Arr C = layout.array_f64(n, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, A, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 1, 0, si(n)); });
+    pb::init2d(b, B, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 2, 1, si(n)); });
+    pb::init2d(b, C, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 2, 1, 1, si(n)); });
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t k = b.local(ValType::I32);
+    uint32_t temp2 = b.local(ValType::F64);
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.set(temp2, fc(0.0));
+        b.for_i32(k, ic(0), b.get(i), 1, [&] {
+          b.store_f64(C.at(b.get(k), b.get(j)),
+                      C.ld(b.get(k), b.get(j)) +
+                          fc(kAlpha) * B.ld(b.get(i), b.get(j)) *
+                              A.ld(b.get(i), b.get(k)));
+          b.set(temp2, b.get(temp2) + B.ld(b.get(k), b.get(j)) *
+                                          A.ld(b.get(i), b.get(k)));
+        });
+        b.store_f64(C.at(b.get(i), b.get(j)),
+                    fc(kBeta) * C.ld(b.get(i), b.get(j)) +
+                        fc(kAlpha) * B.ld(b.get(i), b.get(j)) *
+                            A.ld(b.get(i), b.get(i)) +
+                        fc(kAlpha) * b.get(temp2));
+      });
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, C, n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_syrk(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  Arr C = layout.array_f64(n, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, A, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 1, 0, si(n)); });
+    pb::init2d(b, C, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 2, 2, si(n)); });
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t k = b.local(ValType::I32);
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), b.get(i) + ic(1), 1, [&] {
+        b.store_f64(C.at(b.get(i), b.get(j)),
+                    C.ld(b.get(i), b.get(j)) * fc(kBeta));
+      });
+      b.for_i32(k, ic(0), ic(si(n)), 1, [&] {
+        b.for_i32(j, ic(0), b.get(i) + ic(1), 1, [&] {
+          b.store_f64(C.at(b.get(i), b.get(j)),
+                      C.ld(b.get(i), b.get(j)) +
+                          fc(kAlpha) * A.ld(b.get(i), b.get(k)) *
+                              A.ld(b.get(j), b.get(k)));
+        });
+      });
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, C, n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_syr2k(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  Arr B = layout.array_f64(n, n);
+  Arr C = layout.array_f64(n, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, A, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 1, 0, si(n)); });
+    pb::init2d(b, B, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 2, 1, 1, si(n)); });
+    pb::init2d(b, C, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 3, 2, si(n)); });
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t k = b.local(ValType::I32);
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), b.get(i) + ic(1), 1, [&] {
+        b.store_f64(C.at(b.get(i), b.get(j)),
+                    C.ld(b.get(i), b.get(j)) * fc(kBeta));
+      });
+      b.for_i32(k, ic(0), ic(si(n)), 1, [&] {
+        b.for_i32(j, ic(0), b.get(i) + ic(1), 1, [&] {
+          b.store_f64(
+              C.at(b.get(i), b.get(j)),
+              C.ld(b.get(i), b.get(j)) +
+                  A.ld(b.get(j), b.get(k)) * fc(kAlpha) *
+                      B.ld(b.get(i), b.get(k)) +
+                  B.ld(b.get(j), b.get(k)) * fc(kAlpha) *
+                      A.ld(b.get(i), b.get(k)));
+        });
+      });
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, C, n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_trmm(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  Arr B = layout.array_f64(n, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, A, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 1, 0, si(n)); });
+    pb::init2d(b, B, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 3, 1, 1, si(n)); });
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t k = b.local(ValType::I32);
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.for_i32(k, b.get(i) + ic(1), ic(si(n)), 1, [&] {
+          b.store_f64(B.at(b.get(i), b.get(j)),
+                      B.ld(b.get(i), b.get(j)) +
+                          A.ld(b.get(k), b.get(i)) * B.ld(b.get(k), b.get(j)));
+        });
+        b.store_f64(B.at(b.get(i), b.get(j)),
+                    B.ld(b.get(i), b.get(j)) * fc(kAlpha));
+      });
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, B, n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_doitgen(uint32_t n) {
+  // nr = nq = np = n; A is (nr*nq) x np, C4 is np x np, sum is 1 x np.
+  Layout layout;
+  Arr A = layout.array_f64(n * n, n);
+  Arr C4 = layout.array_f64(n, n);
+  Arr sum = layout.array_f64(1, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, A, n * n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 1, 0, si(n)); });
+    pb::init2d(b, C4, n, n, [&](Ex i, Ex j) { return pb::init_val(i, j, 1, 2, 0, si(n)); });
+
+    uint32_t r = b.local(ValType::I32);
+    uint32_t q = b.local(ValType::I32);
+    uint32_t p = b.local(ValType::I32);
+    uint32_t s = b.local(ValType::I32);
+    uint32_t row = b.local(ValType::I32);
+    b.for_i32(r, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(q, ic(0), ic(si(n)), 1, [&] {
+        b.set(row, b.get(r) * ic(si(n)) + b.get(q));
+        b.for_i32(p, ic(0), ic(si(n)), 1, [&] {
+          b.store_f64(sum.at(b.get(p)), fc(0.0));
+          b.for_i32(s, ic(0), ic(si(n)), 1, [&] {
+            b.store_f64(sum.at(b.get(p)),
+                        sum.ld(b.get(p)) +
+                            A.ld(b.get(row), b.get(s)) * C4.ld(b.get(s), b.get(p)));
+          });
+        });
+        b.for_i32(p, ic(0), ic(si(n)), 1, [&] {
+          b.store_f64(A.at(b.get(row), b.get(p)), sum.ld(b.get(p)));
+        });
+      });
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, A, n * n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+}  // namespace acctee::workloads

@@ -1,0 +1,64 @@
+// Shared helpers for the PolyBench kernel ports (internal to workloads).
+#pragma once
+
+#include "workloads/builder.hpp"
+
+namespace acctee::workloads::pb {
+
+/// PolyBench-style initialiser value: ((i*a + j*b + c) % m) / m as f64.
+inline Ex init_val(Ex i, Ex j, int32_t a, int32_t b, int32_t c, int32_t m) {
+  Ex num = std::move(i) * ic(a) + std::move(j) * ic(b) + ic(c);
+  return to_f64(std::move(num) % ic(m)) / to_f64(ic(m));
+}
+
+/// Emits: for i in [0,rows) for j in [0,cols): A[i][j] = value(i, j).
+inline void init2d(FuncBuilder& b, const Arr& A, uint32_t rows, uint32_t cols,
+                   const std::function<Ex(Ex, Ex)>& value) {
+  uint32_t i = b.local(wasm::ValType::I32);
+  uint32_t j = b.local(wasm::ValType::I32);
+  b.for_i32(i, ic(0), ic(static_cast<int32_t>(rows)), 1, [&] {
+    b.for_i32(j, ic(0), ic(static_cast<int32_t>(cols)), 1, [&] {
+      b.store_f64(A.at(b.get(i), b.get(j)), value(b.get(i), b.get(j)));
+    });
+  });
+}
+
+/// Emits: for i in [0,len): A[i] = value(i).
+inline void init1d(FuncBuilder& b, const Arr& A, uint32_t len,
+                   const std::function<Ex(Ex)>& value) {
+  uint32_t i = b.local(wasm::ValType::I32);
+  b.for_i32(i, ic(0), ic(static_cast<int32_t>(len)), 1, [&] {
+    b.store_f64(A.at(b.get(i)), value(b.get(i)));
+  });
+}
+
+/// Accumulates sum of all elements of a 2-D f64 array into `acc` (an f64
+/// local the caller owns).
+inline void checksum2d(FuncBuilder& b, const Arr& A, uint32_t rows,
+                       uint32_t cols, uint32_t acc) {
+  uint32_t i = b.local(wasm::ValType::I32);
+  uint32_t j = b.local(wasm::ValType::I32);
+  b.for_i32(i, ic(0), ic(static_cast<int32_t>(rows)), 1, [&] {
+    b.for_i32(j, ic(0), ic(static_cast<int32_t>(cols)), 1, [&] {
+      b.set(acc, b.get(acc) + A.ld(b.get(i), b.get(j)));
+    });
+  });
+}
+
+inline void checksum1d(FuncBuilder& b, const Arr& A, uint32_t len,
+                       uint32_t acc) {
+  uint32_t i = b.local(wasm::ValType::I32);
+  b.for_i32(i, ic(0), ic(static_cast<int32_t>(len)), 1, [&] {
+    b.set(acc, b.get(acc) + A.ld(b.get(i)));
+  });
+}
+
+/// Pages needed for a layout plus slack.
+inline uint32_t pages_for(const Layout& layout) {
+  uint32_t p = layout.pages() + 1;
+  return p;
+}
+
+inline int32_t si(uint32_t v) { return static_cast<int32_t>(v); }
+
+}  // namespace acctee::workloads::pb

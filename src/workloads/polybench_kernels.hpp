@@ -1,0 +1,45 @@
+// Declarations of the individual PolyBench kernel builders (internal).
+#pragma once
+
+#include "wasm/ast.hpp"
+
+namespace acctee::workloads {
+
+// linear algebra / BLAS (polybench_blas.cpp)
+wasm::Module pb_gemm(uint32_t n);
+wasm::Module pb_gemver(uint32_t n);
+wasm::Module pb_gesummv(uint32_t n);
+wasm::Module pb_symm(uint32_t n);
+wasm::Module pb_syr2k(uint32_t n);
+wasm::Module pb_syrk(uint32_t n);
+wasm::Module pb_trmm(uint32_t n);
+wasm::Module pb_2mm(uint32_t n);
+wasm::Module pb_3mm(uint32_t n);
+wasm::Module pb_atax(uint32_t n);
+wasm::Module pb_bicg(uint32_t n);
+wasm::Module pb_doitgen(uint32_t n);
+wasm::Module pb_mvt(uint32_t n);
+
+// solvers (polybench_solvers.cpp)
+wasm::Module pb_cholesky(uint32_t n);
+wasm::Module pb_durbin(uint32_t n);
+wasm::Module pb_gramschmidt(uint32_t n);
+wasm::Module pb_lu(uint32_t n);
+wasm::Module pb_ludcmp(uint32_t n);
+wasm::Module pb_trisolv(uint32_t n);
+
+// stencils (polybench_stencils.cpp)
+wasm::Module pb_adi(uint32_t n);
+wasm::Module pb_fdtd_2d(uint32_t n);
+wasm::Module pb_heat_3d(uint32_t n);
+wasm::Module pb_jacobi_1d(uint32_t n);
+wasm::Module pb_jacobi_2d(uint32_t n);
+wasm::Module pb_seidel_2d(uint32_t n);
+
+// data mining / medley (polybench_medley.cpp)
+wasm::Module pb_correlation(uint32_t n);
+wasm::Module pb_covariance(uint32_t n);
+wasm::Module pb_deriche(uint32_t n);
+wasm::Module pb_nussinov(uint32_t n);
+
+}  // namespace acctee::workloads

@@ -1,0 +1,363 @@
+// PolyBench data-mining and medley kernels, ported to Wasm.
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "workloads/polybench_common.hpp"
+#include "workloads/polybench_kernels.hpp"
+
+namespace acctee::workloads {
+
+using pb::si;
+using wasm::ValType;
+
+namespace {
+wasm::Module kernel_module(ModuleBuilder& mb, const Layout& layout,
+                           const std::function<void(FuncBuilder&)>& body) {
+  uint32_t pages = pb::pages_for(layout);
+  mb.memory(pages, pages);
+  mb.func("run", {}, {ValType::F64}, body);
+  return mb.build();
+}
+}  // namespace
+
+wasm::Module pb_correlation(uint32_t n) {
+  // m variables (columns) x n observations (rows); m = n here.
+  Layout layout;
+  Arr data = layout.array_f64(n, n);
+  Arr corr = layout.array_f64(n, n);
+  Arr mean = layout.array_f64(1, n);
+  Arr stddev = layout.array_f64(1, n);
+  ModuleBuilder mb;
+  double float_n = static_cast<double>(n);
+  return kernel_module(mb, layout, [&](FuncBuilder& b) {
+    pb::init2d(b, data, n, n, [&](Ex i, Ex j) {
+      return pb::init_val(std::move(i), std::move(j), 3, 2, 1, si(n));
+    });
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t k = b.local(ValType::I32);
+    // Means.
+    b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+      b.store_f64(mean.at(b.get(j)), fc(0.0));
+      b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+        b.store_f64(mean.at(b.get(j)),
+                    mean.ld(b.get(j)) + data.ld(b.get(i), b.get(j)));
+      });
+      b.store_f64(mean.at(b.get(j)), mean.ld(b.get(j)) / fc(float_n));
+    });
+    // Standard deviations (guard against near-zero, PolyBench-style).
+    b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+      b.store_f64(stddev.at(b.get(j)), fc(0.0));
+      b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+        Ex centered = data.ld(b.get(i), b.get(j)) - mean.ld(b.get(j));
+        Ex centered2 = data.ld(b.get(i), b.get(j)) - mean.ld(b.get(j));
+        b.store_f64(stddev.at(b.get(j)),
+                    stddev.ld(b.get(j)) + std::move(centered) * std::move(centered2));
+      });
+      b.store_f64(stddev.at(b.get(j)),
+                  f64_sqrt(stddev.ld(b.get(j)) / fc(float_n)));
+      b.store_f64(stddev.at(b.get(j)),
+                  select_ex(fc(1.0), stddev.ld(b.get(j)),
+                            le(stddev.ld(b.get(j)), fc(0.1))));
+    });
+    // Normalise.
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.store_f64(data.at(b.get(i), b.get(j)),
+                    (data.ld(b.get(i), b.get(j)) - mean.ld(b.get(j))) /
+                        (f64_sqrt(fc(float_n)) * stddev.ld(b.get(j))));
+      });
+    });
+    // Correlation matrix.
+    b.for_i32(i, ic(0), ic(si(n) - 1), 1, [&] {
+      b.store_f64(corr.at(b.get(i), b.get(i)), fc(1.0));
+      b.for_i32(j, b.get(i) + ic(1), ic(si(n)), 1, [&] {
+        b.store_f64(corr.at(b.get(i), b.get(j)), fc(0.0));
+        b.for_i32(k, ic(0), ic(si(n)), 1, [&] {
+          b.store_f64(corr.at(b.get(i), b.get(j)),
+                      corr.ld(b.get(i), b.get(j)) +
+                          data.ld(b.get(k), b.get(i)) *
+                              data.ld(b.get(k), b.get(j)));
+        });
+        b.store_f64(corr.at(b.get(j), b.get(i)), corr.ld(b.get(i), b.get(j)));
+      });
+    });
+    b.store_f64(corr.at(ic(si(n) - 1), ic(si(n) - 1)), fc(1.0));
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, corr, n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_covariance(uint32_t n) {
+  Layout layout;
+  Arr data = layout.array_f64(n, n);
+  Arr cov = layout.array_f64(n, n);
+  Arr mean = layout.array_f64(1, n);
+  ModuleBuilder mb;
+  double float_n = static_cast<double>(n);
+  return kernel_module(mb, layout, [&](FuncBuilder& b) {
+    pb::init2d(b, data, n, n, [&](Ex i, Ex j) {
+      return pb::init_val(std::move(i), std::move(j), 2, 3, 1, si(n));
+    });
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t k = b.local(ValType::I32);
+    b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+      b.store_f64(mean.at(b.get(j)), fc(0.0));
+      b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+        b.store_f64(mean.at(b.get(j)),
+                    mean.ld(b.get(j)) + data.ld(b.get(i), b.get(j)));
+      });
+      b.store_f64(mean.at(b.get(j)), mean.ld(b.get(j)) / fc(float_n));
+    });
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.store_f64(data.at(b.get(i), b.get(j)),
+                    data.ld(b.get(i), b.get(j)) - mean.ld(b.get(j)));
+      });
+    });
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, b.get(i), ic(si(n)), 1, [&] {
+        b.store_f64(cov.at(b.get(i), b.get(j)), fc(0.0));
+        b.for_i32(k, ic(0), ic(si(n)), 1, [&] {
+          b.store_f64(cov.at(b.get(i), b.get(j)),
+                      cov.ld(b.get(i), b.get(j)) +
+                          data.ld(b.get(k), b.get(i)) *
+                              data.ld(b.get(k), b.get(j)));
+        });
+        b.store_f64(cov.at(b.get(i), b.get(j)),
+                    cov.ld(b.get(i), b.get(j)) / (fc(float_n) - fc(1.0)));
+        b.store_f64(cov.at(b.get(j), b.get(i)), cov.ld(b.get(i), b.get(j)));
+      });
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, cov, n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_deriche(uint32_t n) {
+  // Recursive 2-D edge-detection filter (f32, like the reference).
+  // Coefficients for alpha = 0.25, precomputed on the host exactly as the
+  // reference computes them at runtime.
+  double alpha = 0.25;
+  double k = (1.0 - std::exp(-alpha)) * (1.0 - std::exp(-alpha)) /
+             (1.0 + 2.0 * alpha * std::exp(-alpha) - std::exp(2.0 * alpha));
+  float a1 = static_cast<float>(k);
+  float a2 = static_cast<float>(k * std::exp(-alpha) * (alpha - 1.0));
+  float a3 = static_cast<float>(k * std::exp(-alpha) * (alpha + 1.0));
+  float a4 = static_cast<float>(-k * std::exp(-2.0 * alpha));
+  float b1 = static_cast<float>(std::pow(2.0, -alpha));
+  float b2 = static_cast<float>(-std::exp(-2.0 * alpha));
+  float c1 = 1.0f, c2 = 1.0f;
+
+  Layout layout;
+  Arr img_in = layout.array_f32(n, n);
+  Arr img_out = layout.array_f32(n, n);
+  Arr y1 = layout.array_f32(n, n);
+  Arr y2 = layout.array_f32(n, n);
+  ModuleBuilder mb;
+  return kernel_module(mb, layout, [&](FuncBuilder& b) {
+    {
+      uint32_t i = b.local(ValType::I32);
+      uint32_t j = b.local(ValType::I32);
+      b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+        b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+          Ex v = to_f32(to_f64((b.get(i) * ic(313) + b.get(j) * ic(991)) %
+                               ic(65536)) /
+                        fc(65536.0));
+          b.store_f32(img_in.at(b.get(i), b.get(j)), std::move(v));
+        });
+      });
+    }
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t ym1 = b.local(ValType::F32);
+    uint32_t ym2 = b.local(ValType::F32);
+    uint32_t xm1 = b.local(ValType::F32);
+    uint32_t xp1 = b.local(ValType::F32);
+    uint32_t xp2 = b.local(ValType::F32);
+    uint32_t yp1 = b.local(ValType::F32);
+    uint32_t yp2 = b.local(ValType::F32);
+
+    // Horizontal forward pass.
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.set(ym1, fc32(0));
+      b.set(ym2, fc32(0));
+      b.set(xm1, fc32(0));
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.store_f32(y1.at(b.get(i), b.get(j)),
+                    fc32(a1) * img_in.ld(b.get(i), b.get(j)) +
+                        fc32(a2) * b.get(xm1) + fc32(b1) * b.get(ym1) +
+                        fc32(b2) * b.get(ym2));
+        b.set(xm1, img_in.ld(b.get(i), b.get(j)));
+        b.set(ym2, b.get(ym1));
+        b.set(ym1, y1.ld(b.get(i), b.get(j)));
+      });
+    });
+    // Horizontal backward pass.
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.set(yp1, fc32(0));
+      b.set(yp2, fc32(0));
+      b.set(xp1, fc32(0));
+      b.set(xp2, fc32(0));
+      b.for_i32(j, ic(si(n) - 1), ic(-1), -1, [&] {
+        b.store_f32(y2.at(b.get(i), b.get(j)),
+                    fc32(a3) * b.get(xp1) + fc32(a4) * b.get(xp2) +
+                        fc32(b1) * b.get(yp1) + fc32(b2) * b.get(yp2));
+        b.set(xp2, b.get(xp1));
+        b.set(xp1, img_in.ld(b.get(i), b.get(j)));
+        b.set(yp2, b.get(yp1));
+        b.set(yp1, y2.ld(b.get(i), b.get(j)));
+      });
+    });
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.store_f32(img_out.at(b.get(i), b.get(j)),
+                    fc32(c1) * (y1.ld(b.get(i), b.get(j)) +
+                                y2.ld(b.get(i), b.get(j))));
+      });
+    });
+    // Vertical forward pass.
+    b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+      b.set(ym1, fc32(0));
+      b.set(ym2, fc32(0));
+      b.set(xm1, fc32(0));
+      b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+        b.store_f32(y1.at(b.get(i), b.get(j)),
+                    fc32(a1) * img_out.ld(b.get(i), b.get(j)) +
+                        fc32(a2) * b.get(xm1) + fc32(b1) * b.get(ym1) +
+                        fc32(b2) * b.get(ym2));
+        b.set(xm1, img_out.ld(b.get(i), b.get(j)));
+        b.set(ym2, b.get(ym1));
+        b.set(ym1, y1.ld(b.get(i), b.get(j)));
+      });
+    });
+    // Vertical backward pass.
+    b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+      b.set(yp1, fc32(0));
+      b.set(yp2, fc32(0));
+      b.set(xp1, fc32(0));
+      b.set(xp2, fc32(0));
+      b.for_i32(i, ic(si(n) - 1), ic(-1), -1, [&] {
+        b.store_f32(y2.at(b.get(i), b.get(j)),
+                    fc32(a3) * b.get(xp1) + fc32(a4) * b.get(xp2) +
+                        fc32(b1) * b.get(yp1) + fc32(b2) * b.get(yp2));
+        b.set(xp2, b.get(xp1));
+        b.set(xp1, img_out.ld(b.get(i), b.get(j)));
+        b.set(yp2, b.get(yp1));
+        b.set(yp1, y2.ld(b.get(i), b.get(j)));
+      });
+    });
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.store_f32(img_out.at(b.get(i), b.get(j)),
+                    fc32(c2) * (y1.ld(b.get(i), b.get(j)) +
+                                y2.ld(b.get(i), b.get(j))));
+      });
+    });
+
+    // f32 checksum, promoted to the f64 return value.
+    uint32_t acc = b.local(ValType::F64);
+    uint32_t ii = b.local(ValType::I32);
+    uint32_t jj = b.local(ValType::I32);
+    b.for_i32(ii, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(jj, ic(0), ic(si(n)), 1, [&] {
+        b.set(acc, b.get(acc) + to_f64(img_out.ld(b.get(ii), b.get(jj))));
+      });
+    });
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_nussinov(uint32_t n) {
+  // RNA secondary-structure dynamic programming over an i32 table.
+  Layout layout;
+  Arr seq = layout.array_u8(1, n);
+  Arr table = layout.array_i32(n, n);
+  ModuleBuilder mb;
+  // Deterministic base sequence as a data segment (values 0..3).
+  {
+    Bytes bases(n);
+    Xoshiro256 rng(1234);
+    for (uint32_t i = 0; i < n; ++i) {
+      bases[i] = static_cast<uint8_t>(rng.next_below(4));
+    }
+    mb.data(seq.base, std::move(bases));
+  }
+  return kernel_module(mb, layout, [&](FuncBuilder& b) {
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t k = b.local(ValType::I32);
+    uint32_t best = b.local(ValType::I32);
+
+    // Zero the table.
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.store_i32(table.at(b.get(i), b.get(j)), ic(0));
+      });
+    });
+
+    auto max_into_best = [&](Ex candidate) {
+      b.set(best, to_i32(select_ex(to_f64(candidate), to_f64(b.get(best)),
+                                   gt(candidate, b.get(best)))));
+    };
+    (void)max_into_best;
+
+    b.for_i32(i, ic(si(n) - 1), ic(-1), -1, [&] {
+      b.for_i32(j, b.get(i) + ic(1), ic(si(n)), 1, [&] {
+        b.set(best, table.ld(b.get(i), b.get(j)));
+        // table[i][j-1]
+        Ex left = table.ld(b.get(i), b.get(j) - ic(1));
+        b.set(best, select_ex(left, b.get(best),
+                              gt(table.ld(b.get(i), b.get(j) - ic(1)),
+                                 b.get(best))));
+        // table[i+1][j]
+        b.if_then(lt(b.get(i) + ic(1), ic(si(n))), [&] {
+          b.set(best, select_ex(table.ld(b.get(i) + ic(1), b.get(j)),
+                                b.get(best),
+                                gt(table.ld(b.get(i) + ic(1), b.get(j)),
+                                   b.get(best))));
+          // Pairing: table[i+1][j-1] + match(seq[i], seq[j]).
+          b.if_then(lt(b.get(i), b.get(j) - ic(1)), [&] {
+            Ex match = select_ex(
+                ic(1), ic(0),
+                eq(seq.ld(b.get(i)) + seq.ld(b.get(j)), ic(3)));
+            uint32_t cand = b.local(ValType::I32);
+            b.set(cand, table.ld(b.get(i) + ic(1), b.get(j) - ic(1)) +
+                            std::move(match));
+            b.set(best,
+                  select_ex(b.get(cand), b.get(best),
+                            gt(b.get(cand), b.get(best))));
+          });
+        });
+        // Splits.
+        b.for_i32(k, b.get(i) + ic(1), b.get(j), 1, [&] {
+          uint32_t cand = b.local(ValType::I32);
+          b.set(cand, table.ld(b.get(i), b.get(k)) +
+                          table.ld(b.get(k) + ic(1), b.get(j)));
+          b.set(best, select_ex(b.get(cand), b.get(best),
+                                gt(b.get(cand), b.get(best))));
+        });
+        b.store_i32(table.at(b.get(i), b.get(j)), b.get(best));
+      });
+    });
+
+    // Checksum: the optimal score plus the table sum.
+    uint32_t acc = b.local(ValType::F64);
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.set(acc, b.get(acc) + to_f64(table.ld(b.get(i), b.get(j))));
+      });
+    });
+    b.emit(b.get(acc));
+  });
+}
+
+}  // namespace acctee::workloads

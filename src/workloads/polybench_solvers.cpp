@@ -1,0 +1,333 @@
+// PolyBench linear-system solvers and decompositions, ported to Wasm.
+//
+// Initial data is chosen diagonally dominant / well-conditioned so the
+// factorisations are numerically stable (PolyBench does the same via its
+// "make positive semi-definite" initialisers); the loop nests and
+// dependence patterns match the originals.
+#include "workloads/polybench_common.hpp"
+#include "workloads/polybench_kernels.hpp"
+
+namespace acctee::workloads {
+
+using pb::si;
+using wasm::ValType;
+
+namespace {
+wasm::Module kernel_module(const Layout& layout,
+                           const std::function<void(FuncBuilder&)>& body) {
+  ModuleBuilder mb;
+  uint32_t pages = pb::pages_for(layout);
+  mb.memory(pages, pages);
+  mb.func("run", {}, {ValType::F64}, body);
+  return mb.build();
+}
+
+/// Diagonally dominant symmetric initialiser: small off-diagonal entries,
+/// heavy diagonal.
+Ex dd_init(Ex i, Ex j, uint32_t n) {
+  Ex off = pb::init_val(std::move(i), std::move(j), 1, 1, 1, si(n)) * fc(0.1);
+  return off;
+}
+}  // namespace
+
+wasm::Module pb_cholesky(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    // A = 0.1 * small(i,j) symmetric + n on the diagonal (SPD).
+    {
+      uint32_t i = b.local(ValType::I32);
+      uint32_t j = b.local(ValType::I32);
+      b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+        b.for_i32(j, ic(0), b.get(i) + ic(1), 1, [&] {
+          Ex v = dd_init(b.get(i) + b.get(j), b.get(i) * b.get(j), n);
+          b.store_f64(A.at(b.get(i), b.get(j)), v);
+          b.store_f64(A.at(b.get(j), b.get(i)), v);
+        });
+        b.store_f64(A.at(b.get(i), b.get(i)), fc(static_cast<double>(n)));
+      });
+    }
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t k = b.local(ValType::I32);
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), b.get(i), 1, [&] {
+        b.for_i32(k, ic(0), b.get(j), 1, [&] {
+          b.store_f64(A.at(b.get(i), b.get(j)),
+                      A.ld(b.get(i), b.get(j)) -
+                          A.ld(b.get(i), b.get(k)) * A.ld(b.get(j), b.get(k)));
+        });
+        b.store_f64(A.at(b.get(i), b.get(j)),
+                    A.ld(b.get(i), b.get(j)) / A.ld(b.get(j), b.get(j)));
+      });
+      b.for_i32(k, ic(0), b.get(i), 1, [&] {
+        b.store_f64(A.at(b.get(i), b.get(i)),
+                    A.ld(b.get(i), b.get(i)) -
+                        A.ld(b.get(i), b.get(k)) * A.ld(b.get(i), b.get(k)));
+      });
+      b.store_f64(A.at(b.get(i), b.get(i)),
+                  f64_sqrt(A.ld(b.get(i), b.get(i))));
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, A, n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_lu(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    {
+      uint32_t i = b.local(ValType::I32);
+      uint32_t j = b.local(ValType::I32);
+      b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+        b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+          Ex diag_boost =
+              select_ex(fc(static_cast<double>(n)), fc(0.0),
+                        eq(b.get(i), b.get(j)));
+          b.store_f64(A.at(b.get(i), b.get(j)),
+                      dd_init(b.get(i), b.get(j), n) + std::move(diag_boost));
+        });
+      });
+    }
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t k = b.local(ValType::I32);
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), b.get(i), 1, [&] {
+        b.for_i32(k, ic(0), b.get(j), 1, [&] {
+          b.store_f64(A.at(b.get(i), b.get(j)),
+                      A.ld(b.get(i), b.get(j)) -
+                          A.ld(b.get(i), b.get(k)) * A.ld(b.get(k), b.get(j)));
+        });
+        b.store_f64(A.at(b.get(i), b.get(j)),
+                    A.ld(b.get(i), b.get(j)) / A.ld(b.get(j), b.get(j)));
+      });
+      b.for_i32(j, b.get(i), ic(si(n)), 1, [&] {
+        b.for_i32(k, ic(0), b.get(i), 1, [&] {
+          b.store_f64(A.at(b.get(i), b.get(j)),
+                      A.ld(b.get(i), b.get(j)) -
+                          A.ld(b.get(i), b.get(k)) * A.ld(b.get(k), b.get(j)));
+        });
+      });
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, A, n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_ludcmp(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  Arr bv = layout.array_f64(1, n);
+  Arr x = layout.array_f64(1, n);
+  Arr y = layout.array_f64(1, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    {
+      uint32_t i = b.local(ValType::I32);
+      uint32_t j = b.local(ValType::I32);
+      b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+        b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+          Ex diag_boost =
+              select_ex(fc(static_cast<double>(n)), fc(0.0),
+                        eq(b.get(i), b.get(j)));
+          b.store_f64(A.at(b.get(i), b.get(j)),
+                      dd_init(b.get(i), b.get(j), n) + std::move(diag_boost));
+        });
+      });
+      pb::init1d(b, bv, n, [&](Ex idx) {
+        return (to_f64(std::move(idx)) + fc(1.0)) / fc(static_cast<double>(n)) /
+               fc(2.0);
+      });
+    }
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t k = b.local(ValType::I32);
+    uint32_t w = b.local(ValType::F64);
+    // LU decomposition with an explicit accumulator (PolyBench style).
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.for_i32(j, ic(0), b.get(i), 1, [&] {
+        b.set(w, A.ld(b.get(i), b.get(j)));
+        b.for_i32(k, ic(0), b.get(j), 1, [&] {
+          b.set(w, b.get(w) -
+                       A.ld(b.get(i), b.get(k)) * A.ld(b.get(k), b.get(j)));
+        });
+        b.store_f64(A.at(b.get(i), b.get(j)),
+                    b.get(w) / A.ld(b.get(j), b.get(j)));
+      });
+      b.for_i32(j, b.get(i), ic(si(n)), 1, [&] {
+        b.set(w, A.ld(b.get(i), b.get(j)));
+        b.for_i32(k, ic(0), b.get(i), 1, [&] {
+          b.set(w, b.get(w) -
+                       A.ld(b.get(i), b.get(k)) * A.ld(b.get(k), b.get(j)));
+        });
+        b.store_f64(A.at(b.get(i), b.get(j)), b.get(w));
+      });
+    });
+    // Forward substitution.
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.set(w, bv.ld(b.get(i)));
+      b.for_i32(j, ic(0), b.get(i), 1, [&] {
+        b.set(w, b.get(w) - A.ld(b.get(i), b.get(j)) * y.ld(b.get(j)));
+      });
+      b.store_f64(y.at(b.get(i)), b.get(w));
+    });
+    // Backward substitution.
+    b.for_i32(i, ic(si(n) - 1), ic(-1), -1, [&] {
+      b.set(w, y.ld(b.get(i)));
+      b.for_i32(j, b.get(i) + ic(1), ic(si(n)), 1, [&] {
+        b.set(w, b.get(w) - A.ld(b.get(i), b.get(j)) * x.ld(b.get(j)));
+      });
+      b.store_f64(x.at(b.get(i)), b.get(w) / A.ld(b.get(i), b.get(i)));
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum1d(b, x, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_trisolv(uint32_t n) {
+  Layout layout;
+  Arr L = layout.array_f64(n, n);
+  Arr x = layout.array_f64(1, n);
+  Arr bv = layout.array_f64(1, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    {
+      uint32_t i = b.local(ValType::I32);
+      uint32_t j = b.local(ValType::I32);
+      b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+        b.for_i32(j, ic(0), b.get(i) + ic(1), 1, [&] {
+          b.store_f64(L.at(b.get(i), b.get(j)),
+                      dd_init(b.get(i), b.get(j), n));
+        });
+        b.store_f64(L.at(b.get(i), b.get(i)), fc(static_cast<double>(n)));
+      });
+      pb::init1d(b, bv, n, [&](Ex idx) { return to_f64(std::move(idx)); });
+    }
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+      b.store_f64(x.at(b.get(i)), bv.ld(b.get(i)));
+      b.for_i32(j, ic(0), b.get(i), 1, [&] {
+        b.store_f64(x.at(b.get(i)),
+                    x.ld(b.get(i)) - L.ld(b.get(i), b.get(j)) * x.ld(b.get(j)));
+      });
+      b.store_f64(x.at(b.get(i)), x.ld(b.get(i)) / L.ld(b.get(i), b.get(i)));
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum1d(b, x, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_durbin(uint32_t n) {
+  Layout layout;
+  Arr r = layout.array_f64(1, n);
+  Arr y = layout.array_f64(1, n);
+  Arr z = layout.array_f64(1, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    // r[i] = 0.3^(i+1): a valid, stable autocorrelation-like sequence.
+    {
+      uint32_t i = b.local(ValType::I32);
+      uint32_t v = b.local(ValType::F64);
+      b.set(v, fc(1.0));
+      b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+        b.set(v, b.get(v) * fc(0.3));
+        b.store_f64(r.at(b.get(i)), b.get(v));
+      });
+    }
+
+    uint32_t k = b.local(ValType::I32);
+    uint32_t i = b.local(ValType::I32);
+    uint32_t alpha = b.local(ValType::F64);
+    uint32_t beta = b.local(ValType::F64);
+    uint32_t sum = b.local(ValType::F64);
+    b.store_f64(y.at(ic(0)), neg(r.ld(ic(0))));
+    b.set(beta, fc(1.0));
+    b.set(alpha, neg(r.ld(ic(0))));
+    b.for_i32(k, ic(1), ic(si(n)), 1, [&] {
+      b.set(beta, (fc(1.0) - b.get(alpha) * b.get(alpha)) * b.get(beta));
+      b.set(sum, fc(0.0));
+      b.for_i32(i, ic(0), b.get(k), 1, [&] {
+        b.set(sum, b.get(sum) +
+                       r.ld(b.get(k) - b.get(i) - ic(1)) * y.ld(b.get(i)));
+      });
+      b.set(alpha, neg(r.ld(b.get(k)) + b.get(sum)) / b.get(beta));
+      b.for_i32(i, ic(0), b.get(k), 1, [&] {
+        b.store_f64(z.at(b.get(i)),
+                    y.ld(b.get(i)) +
+                        b.get(alpha) * y.ld(b.get(k) - b.get(i) - ic(1)));
+      });
+      b.for_i32(i, ic(0), b.get(k), 1, [&] {
+        b.store_f64(y.at(b.get(i)), z.ld(b.get(i)));
+      });
+      b.store_f64(y.at(b.get(k)), b.get(alpha));
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum1d(b, y, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_gramschmidt(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  Arr R = layout.array_f64(n, n);
+  Arr Q = layout.array_f64(n, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, A, n, n, [&](Ex i, Ex j) {
+      // Identity boost keeps columns independent.
+      Ex boost = select_ex(fc(1.0), fc(0.0), eq(i, j));
+      return pb::init_val(std::move(i), std::move(j), 1, 1, 1, si(n)) * fc(0.1) +
+             std::move(boost);
+    });
+
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t k = b.local(ValType::I32);
+    uint32_t nrm = b.local(ValType::F64);
+    b.for_i32(k, ic(0), ic(si(n)), 1, [&] {
+      b.set(nrm, fc(0.0));
+      b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+        b.set(nrm, b.get(nrm) + A.ld(b.get(i), b.get(k)) *
+                                    A.ld(b.get(i), b.get(k)));
+      });
+      b.store_f64(R.at(b.get(k), b.get(k)), f64_sqrt(b.get(nrm)));
+      b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+        b.store_f64(Q.at(b.get(i), b.get(k)),
+                    A.ld(b.get(i), b.get(k)) / R.ld(b.get(k), b.get(k)));
+      });
+      b.for_i32(j, b.get(k) + ic(1), ic(si(n)), 1, [&] {
+        b.store_f64(R.at(b.get(k), b.get(j)), fc(0.0));
+        b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+          b.store_f64(R.at(b.get(k), b.get(j)),
+                      R.ld(b.get(k), b.get(j)) +
+                          Q.ld(b.get(i), b.get(k)) * A.ld(b.get(i), b.get(j)));
+        });
+        b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+          b.store_f64(A.at(b.get(i), b.get(j)),
+                      A.ld(b.get(i), b.get(j)) -
+                          Q.ld(b.get(i), b.get(k)) * R.ld(b.get(k), b.get(j)));
+        });
+      });
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, R, n, n, acc);
+    pb::checksum2d(b, Q, n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+}  // namespace acctee::workloads

@@ -1,0 +1,322 @@
+// PolyBench stencil kernels, ported to Wasm.
+//
+// Time-step counts are fixed small constants (the paper's evaluation varies
+// problem size, not time depth); footprints scale with n, which is what
+// drives the EPC-paging behaviour in the Fig. 6 experiment.
+#include "workloads/polybench_common.hpp"
+#include "workloads/polybench_kernels.hpp"
+
+namespace acctee::workloads {
+
+using pb::si;
+using wasm::ValType;
+
+namespace {
+constexpr int32_t kTsteps = 1;  // footprint, not time depth, drives Fig. 6
+
+wasm::Module kernel_module(const Layout& layout,
+                           const std::function<void(FuncBuilder&)>& body) {
+  ModuleBuilder mb;
+  uint32_t pages = pb::pages_for(layout);
+  mb.memory(pages, pages);
+  mb.func("run", {}, {ValType::F64}, body);
+  return mb.build();
+}
+}  // namespace
+
+wasm::Module pb_jacobi_1d(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(1, n);
+  Arr B = layout.array_f64(1, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init1d(b, A, n, [&](Ex i) {
+      return (to_f64(i) + fc(2.0)) / fc(static_cast<double>(n));
+    });
+    pb::init1d(b, B, n, [&](Ex i) {
+      return (to_f64(i) + fc(3.0)) / fc(static_cast<double>(n));
+    });
+
+    uint32_t t = b.local(ValType::I32);
+    uint32_t i = b.local(ValType::I32);
+    b.for_i32(t, ic(0), ic(kTsteps), 1, [&] {
+      b.for_i32(i, ic(1), ic(si(n) - 1), 1, [&] {
+        b.store_f64(B.at(b.get(i)),
+                    fc(0.33333) * (A.ld(b.get(i) - ic(1)) + A.ld(b.get(i)) +
+                                   A.ld(b.get(i) + ic(1))));
+      });
+      b.for_i32(i, ic(1), ic(si(n) - 1), 1, [&] {
+        b.store_f64(A.at(b.get(i)),
+                    fc(0.33333) * (B.ld(b.get(i) - ic(1)) + B.ld(b.get(i)) +
+                                   B.ld(b.get(i) + ic(1))));
+      });
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum1d(b, A, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_jacobi_2d(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  Arr B = layout.array_f64(n, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, A, n, n, [&](Ex i, Ex j) {
+      return pb::init_val(std::move(i), std::move(j), 1, 2, 2, si(n));
+    });
+    pb::init2d(b, B, n, n, [&](Ex i, Ex j) {
+      return pb::init_val(std::move(i), std::move(j), 1, 3, 3, si(n));
+    });
+
+    uint32_t t = b.local(ValType::I32);
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    auto sweep = [&](const Arr& dst, const Arr& src) {
+      b.for_i32(i, ic(1), ic(si(n) - 1), 1, [&] {
+        b.for_i32(j, ic(1), ic(si(n) - 1), 1, [&] {
+          b.store_f64(dst.at(b.get(i), b.get(j)),
+                      fc(0.2) * (src.ld(b.get(i), b.get(j)) +
+                                 src.ld(b.get(i), b.get(j) - ic(1)) +
+                                 src.ld(b.get(i), b.get(j) + ic(1)) +
+                                 src.ld(b.get(i) + ic(1), b.get(j)) +
+                                 src.ld(b.get(i) - ic(1), b.get(j))));
+        });
+      });
+    };
+    b.for_i32(t, ic(0), ic(kTsteps), 1, [&] {
+      sweep(B, A);
+      sweep(A, B);
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, A, n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_seidel_2d(uint32_t n) {
+  Layout layout;
+  Arr A = layout.array_f64(n, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, A, n, n, [&](Ex i, Ex j) {
+      return pb::init_val(std::move(i), std::move(j), 1, 1, 2, si(n));
+    });
+
+    uint32_t t = b.local(ValType::I32);
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    b.for_i32(t, ic(0), ic(kTsteps), 1, [&] {
+      b.for_i32(i, ic(1), ic(si(n) - 1), 1, [&] {
+        b.for_i32(j, ic(1), ic(si(n) - 1), 1, [&] {
+          b.store_f64(
+              A.at(b.get(i), b.get(j)),
+              (A.ld(b.get(i) - ic(1), b.get(j) - ic(1)) +
+               A.ld(b.get(i) - ic(1), b.get(j)) +
+               A.ld(b.get(i) - ic(1), b.get(j) + ic(1)) +
+               A.ld(b.get(i), b.get(j) - ic(1)) + A.ld(b.get(i), b.get(j)) +
+               A.ld(b.get(i), b.get(j) + ic(1)) +
+               A.ld(b.get(i) + ic(1), b.get(j) - ic(1)) +
+               A.ld(b.get(i) + ic(1), b.get(j)) +
+               A.ld(b.get(i) + ic(1), b.get(j) + ic(1))) /
+                  fc(9.0));
+        });
+      });
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, A, n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_fdtd_2d(uint32_t n) {
+  Layout layout;
+  Arr ex = layout.array_f64(n, n);
+  Arr ey = layout.array_f64(n, n);
+  Arr hz = layout.array_f64(n, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, ex, n, n, [&](Ex i, Ex j) {
+      return to_f64(std::move(i) * (std::move(j) + ic(1))) /
+             fc(static_cast<double>(n));
+    });
+    pb::init2d(b, ey, n, n, [&](Ex i, Ex j) {
+      return to_f64(std::move(i) * (std::move(j) + ic(2))) /
+             fc(static_cast<double>(n));
+    });
+    pb::init2d(b, hz, n, n, [&](Ex i, Ex j) {
+      return to_f64(std::move(i) * (std::move(j) + ic(3))) /
+             fc(static_cast<double>(n));
+    });
+
+    uint32_t t = b.local(ValType::I32);
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    b.for_i32(t, ic(0), ic(kTsteps), 1, [&] {
+      b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+        b.store_f64(ey.at(ic(0), b.get(j)), to_f64(b.get(t)));
+      });
+      b.for_i32(i, ic(1), ic(si(n)), 1, [&] {
+        b.for_i32(j, ic(0), ic(si(n)), 1, [&] {
+          b.store_f64(ey.at(b.get(i), b.get(j)),
+                      ey.ld(b.get(i), b.get(j)) -
+                          fc(0.5) * (hz.ld(b.get(i), b.get(j)) -
+                                     hz.ld(b.get(i) - ic(1), b.get(j))));
+        });
+      });
+      b.for_i32(i, ic(0), ic(si(n)), 1, [&] {
+        b.for_i32(j, ic(1), ic(si(n)), 1, [&] {
+          b.store_f64(ex.at(b.get(i), b.get(j)),
+                      ex.ld(b.get(i), b.get(j)) -
+                          fc(0.5) * (hz.ld(b.get(i), b.get(j)) -
+                                     hz.ld(b.get(i), b.get(j) - ic(1))));
+        });
+      });
+      b.for_i32(i, ic(0), ic(si(n) - 1), 1, [&] {
+        b.for_i32(j, ic(0), ic(si(n) - 1), 1, [&] {
+          b.store_f64(hz.at(b.get(i), b.get(j)),
+                      hz.ld(b.get(i), b.get(j)) -
+                          fc(0.7) * (ex.ld(b.get(i), b.get(j) + ic(1)) -
+                                     ex.ld(b.get(i), b.get(j)) +
+                                     ey.ld(b.get(i) + ic(1), b.get(j)) -
+                                     ey.ld(b.get(i), b.get(j))));
+        });
+      });
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, hz, n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_heat_3d(uint32_t n) {
+  // 3-D arrays flattened as (n*n) x n: element (i,j,k) at row i*n+j, col k.
+  Layout layout;
+  Arr A = layout.array_f64(n * n, n);
+  Arr B = layout.array_f64(n * n, n);
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, A, n * n, n, [&](Ex r, Ex k) {
+      return pb::init_val(std::move(r), std::move(k), 1, 1, 1, si(n));
+    });
+    pb::init2d(b, B, n * n, n, [&](Ex r, Ex k) {
+      return pb::init_val(std::move(r), std::move(k), 1, 2, 1, si(n));
+    });
+
+    uint32_t t = b.local(ValType::I32);
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t k = b.local(ValType::I32);
+    uint32_t row = b.local(ValType::I32);
+    auto sweep = [&](const Arr& dst, const Arr& src) {
+      b.for_i32(i, ic(1), ic(si(n) - 1), 1, [&] {
+        b.for_i32(j, ic(1), ic(si(n) - 1), 1, [&] {
+          b.set(row, b.get(i) * ic(si(n)) + b.get(j));
+          b.for_i32(k, ic(1), ic(si(n) - 1), 1, [&] {
+            Ex center = src.ld(b.get(row), b.get(k));
+            Ex di = src.ld(b.get(row) + ic(si(n)), b.get(k)) -
+                    fc(2.0) * src.ld(b.get(row), b.get(k)) +
+                    src.ld(b.get(row) - ic(si(n)), b.get(k));
+            Ex dj = src.ld(b.get(row) + ic(1), b.get(k)) -
+                    fc(2.0) * src.ld(b.get(row), b.get(k)) +
+                    src.ld(b.get(row) - ic(1), b.get(k));
+            Ex dk = src.ld(b.get(row), b.get(k) + ic(1)) -
+                    fc(2.0) * src.ld(b.get(row), b.get(k)) +
+                    src.ld(b.get(row), b.get(k) - ic(1));
+            b.store_f64(dst.at(b.get(row), b.get(k)),
+                        fc(0.125) * std::move(di) + fc(0.125) * std::move(dj) +
+                            fc(0.125) * std::move(dk) + std::move(center));
+          });
+        });
+      });
+    };
+    b.for_i32(t, ic(0), ic(kTsteps), 1, [&] {
+      sweep(B, A);
+      sweep(A, B);
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, A, n * n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+wasm::Module pb_adi(uint32_t n) {
+  Layout layout;
+  Arr u = layout.array_f64(n, n);
+  Arr v = layout.array_f64(n, n);
+  Arr p = layout.array_f64(n, n);
+  Arr q = layout.array_f64(n, n);
+  // Constants from the PolyBench reference (DX = DY = 1/n, DT = 1/tsteps).
+  double DX = 1.0 / n, DY = 1.0 / n, DT = 1.0 / kTsteps;
+  double B1 = 2.0, B2 = 1.0;
+  double mul1 = B1 * DT / (DX * DX);
+  double mul2 = B2 * DT / (DY * DY);
+  double a = -mul1 / 2.0, bb = 1.0 + mul1, c = a;
+  double d = -mul2 / 2.0, e = 1.0 + mul2, f = d;
+  return kernel_module(layout, [&](FuncBuilder& b) {
+    pb::init2d(b, u, n, n, [&](Ex i, Ex j) {
+      return pb::init_val(std::move(i), std::move(j), 1, 1, 1, si(n));
+    });
+
+    uint32_t t = b.local(ValType::I32);
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    b.for_i32(t, ic(0), ic(kTsteps), 1, [&] {
+      // Column sweep.
+      b.for_i32(i, ic(1), ic(si(n) - 1), 1, [&] {
+        b.store_f64(v.at(ic(0), b.get(i)), fc(1.0));
+        b.store_f64(p.at(b.get(i), ic(0)), fc(0.0));
+        b.store_f64(q.at(b.get(i), ic(0)), fc(1.0));
+        b.for_i32(j, ic(1), ic(si(n) - 1), 1, [&] {
+          Ex denom = fc(a) * p.ld(b.get(i), b.get(j) - ic(1)) + fc(bb);
+          b.store_f64(p.at(b.get(i), b.get(j)), neg(fc(c)) / denom);
+          Ex denom2 = fc(a) * p.ld(b.get(i), b.get(j) - ic(1)) + fc(bb);
+          b.store_f64(
+              q.at(b.get(i), b.get(j)),
+              (neg(fc(d)) * u.ld(b.get(j), b.get(i) - ic(1)) +
+               (fc(1.0) + fc(2.0) * fc(d)) * u.ld(b.get(j), b.get(i)) -
+               fc(f) * u.ld(b.get(j), b.get(i) + ic(1)) -
+               fc(a) * q.ld(b.get(i), b.get(j) - ic(1))) /
+                  std::move(denom2));
+        });
+        b.store_f64(v.at(ic(si(n) - 1), b.get(i)), fc(1.0));
+        b.for_i32(j, ic(si(n) - 2), ic(0), -1, [&] {
+          b.store_f64(v.at(b.get(j), b.get(i)),
+                      p.ld(b.get(i), b.get(j)) * v.ld(b.get(j) + ic(1), b.get(i)) +
+                          q.ld(b.get(i), b.get(j)));
+        });
+      });
+      // Row sweep.
+      b.for_i32(i, ic(1), ic(si(n) - 1), 1, [&] {
+        b.store_f64(u.at(b.get(i), ic(0)), fc(1.0));
+        b.store_f64(p.at(b.get(i), ic(0)), fc(0.0));
+        b.store_f64(q.at(b.get(i), ic(0)), fc(1.0));
+        b.for_i32(j, ic(1), ic(si(n) - 1), 1, [&] {
+          Ex denom = fc(d) * p.ld(b.get(i), b.get(j) - ic(1)) + fc(e);
+          b.store_f64(p.at(b.get(i), b.get(j)), neg(fc(f)) / denom);
+          Ex denom2 = fc(d) * p.ld(b.get(i), b.get(j) - ic(1)) + fc(e);
+          b.store_f64(
+              q.at(b.get(i), b.get(j)),
+              (neg(fc(a)) * v.ld(b.get(i) - ic(1), b.get(j)) +
+               (fc(1.0) + fc(2.0) * fc(a)) * v.ld(b.get(i), b.get(j)) -
+               fc(c) * v.ld(b.get(i) + ic(1), b.get(j)) -
+               fc(d) * q.ld(b.get(i), b.get(j) - ic(1))) /
+                  std::move(denom2));
+        });
+        b.store_f64(u.at(b.get(i), ic(si(n) - 1)), fc(1.0));
+        b.for_i32(j, ic(si(n) - 2), ic(0), -1, [&] {
+          b.store_f64(u.at(b.get(i), b.get(j)),
+                      p.ld(b.get(i), b.get(j)) * u.ld(b.get(i), b.get(j) + ic(1)) +
+                          q.ld(b.get(i), b.get(j)));
+        });
+      });
+    });
+
+    uint32_t acc = b.local(ValType::F64);
+    pb::checksum2d(b, u, n, n, acc);
+    b.emit(b.get(acc));
+  });
+}
+
+}  // namespace acctee::workloads

@@ -1,0 +1,525 @@
+#include "workloads/usecases.hpp"
+
+#include "workloads/builder.hpp"
+
+namespace acctee::workloads {
+
+using wasm::ValType;
+
+namespace {
+/// LCG step over an i64 local: state = state * 6364136223846793005 +
+/// 1442695040888963407 (Knuth's MMIX constants).
+void lcg_step(FuncBuilder& b, uint32_t state) {
+  b.set(state, b.get(state) * lc(6364136223846793005LL) +
+                   lc(1442695040888963407LL));
+}
+
+/// Positive i32 in [0, bound) extracted from the LCG state's high bits.
+Ex lcg_i32(FuncBuilder& b, uint32_t state, int32_t bound) {
+  return (to_i32(shr_u(b.get(state), lc(33))) & ic(0x7fffffff)) % ic(bound);
+}
+
+/// f64 in [0, 1) from the LCG state.
+Ex lcg_f64(FuncBuilder& b, uint32_t state) {
+  return to_f64(to_i32(shr_u(b.get(state), lc(33))) & ic(0x3fffffff)) /
+         fc(1073741824.0);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MSieve: trial division + Pollard's rho
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Primes in [20011, 46337): factors of the generated semiprimes. Their
+/// products (~2^29..2^31) defeat the trial-division fast path, so Pollard's
+/// rho does the real work — like MSieve's post-sieve factorisations.
+std::vector<uint32_t> semiprime_factor_table() {
+  std::vector<uint32_t> primes;
+  for (uint32_t candidate = 20011; primes.size() < 256; candidate += 2) {
+    bool prime = true;
+    for (uint32_t d = 3; d * d <= candidate; d += 2) {
+      if (candidate % d == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (prime) primes.push_back(candidate);
+  }
+  return primes;
+}
+}  // namespace
+
+wasm::Module usecase_msieve() {
+  ModuleBuilder mb;
+  mb.memory(1, 1);
+  // Prime table as a data segment at offset 0 (256 x u32).
+  {
+    Bytes table;
+    for (uint32_t p : semiprime_factor_table()) append_u32le(table, p);
+    mb.data(0, std::move(table));
+  }
+
+  // gcd(a, b) with a, b >= 0 — Euclid's algorithm.
+  uint32_t f_gcd = mb.func(
+      "", {ValType::I64, ValType::I64}, {ValType::I64}, [&](FuncBuilder& b) {
+        uint32_t t = b.local(ValType::I64);
+        b.while_loop([&] { return ne(b.get(1), lc(0)); },
+                     [&] {
+                       b.set(t, b.get(0) % b.get(1));
+                       b.set(0, b.get(1));
+                       b.set(1, b.get(t));
+                     });
+        b.emit(b.get(0));
+      });
+
+  // pollard_rho(n, c) -> a non-trivial factor of n, or n itself.
+  uint32_t f_rho = mb.func(
+      "", {ValType::I64, ValType::I64}, {ValType::I64}, [&](FuncBuilder& b) {
+        uint32_t x = b.local(ValType::I64);
+        uint32_t y = b.local(ValType::I64);
+        uint32_t d = b.local(ValType::I64);
+        uint32_t diff = b.local(ValType::I64);
+        auto f = [&](Ex v) {
+          // (v*v + c) mod n — safe in i64 for n < 2^31.
+          Ex vv = v;
+          return (std::move(vv) * std::move(v) + b.get(1)) % b.get(0);
+        };
+        b.set(x, lc(2));
+        b.set(y, lc(2));
+        b.set(d, lc(1));
+        b.while_loop(
+            [&] { return eq(b.get(d), lc(1)); },
+            [&] {
+              b.set(x, f(b.get(x)));
+              b.set(y, f(b.get(y)));
+              b.set(y, f(b.get(y)));
+              b.set(diff, b.get(x) - b.get(y));
+              b.set(diff, select_ex(b.get(diff) * lc(-1), b.get(diff),
+                                    lt(b.get(diff), lc(0))));
+              b.set(d, b.call_ex(f_gcd, {b.get(diff), b.get(0)},
+                                 ValType::I64));
+            });
+        b.emit(b.get(d));
+      });
+
+  // smallest_factor(n): trial division by 2..1000; returns 0 if none found.
+  uint32_t f_trial = mb.func(
+      "", {ValType::I64}, {ValType::I64}, [&](FuncBuilder& b) {
+        uint32_t p = b.local(ValType::I64);
+        uint32_t found = b.local(ValType::I64);
+        b.set(p, lc(2));
+        b.set(found, lc(0));
+        b.while_loop(
+            [&] {
+              return eq(b.get(found), lc(0)) &
+                     le(b.get(p) * b.get(p), b.get(0)) & lt(b.get(p), lc(1000));
+            },
+            [&] {
+              b.if_then(eq(b.get(0) % b.get(p), lc(0)),
+                        [&] { b.set(found, b.get(p)); });
+              b.set(p, b.get(p) + lc(1));
+            });
+        b.emit(b.get(found));
+      });
+
+  mb.func("run", {ValType::I32}, {ValType::I64}, [&](FuncBuilder& b) {
+    uint32_t t = b.local(ValType::I32);
+    uint32_t rng = b.local(ValType::I64);
+    uint32_t n = b.local(ValType::I64);
+    uint32_t factor = b.local(ValType::I64);
+    uint32_t checksum = b.local(ValType::I64);
+    b.set(rng, lc(0x9e3779b97f4a7c15LL));
+    b.for_i32(t, ic(0), b.get(0), 1, [&] {
+      // Semiprime n = primes[a] * primes[b]; both factors exceed the trial
+      // bound, so rho does the factoring.
+      lcg_step(b, rng);
+      uint32_t pa = b.local(ValType::I64);
+      b.set(pa, to_i64_u(load_i32(lcg_i32(b, rng, 256) * ic(4))));
+      lcg_step(b, rng);
+      b.set(n, b.get(pa) * to_i64_u(load_i32(lcg_i32(b, rng, 256) * ic(4))));
+      b.set(factor, b.call_ex(f_trial, {b.get(n)}, ValType::I64));
+      b.if_then(eq(b.get(factor), lc(0)), [&] {
+        b.set(factor,
+              b.call_ex(f_rho, {b.get(n), lc(1) + to_i64(b.get(t) % ic(7))},
+                        ValType::I64));
+      });
+      b.set(checksum, b.get(checksum) + b.get(factor) + b.get(n));
+    });
+    b.emit(b.get(checksum));
+  });
+
+  return mb.build();
+}
+
+// ---------------------------------------------------------------------------
+// PC algorithm: correlation skeleton + order-0/1 independence pruning
+// ---------------------------------------------------------------------------
+
+wasm::Module usecase_pc() {
+  // scale = number of variables m; samples s = 2m. Layout sized for the
+  // maximum supported m.
+  constexpr uint32_t kMaxVars = 96;
+  Layout layout;
+  Arr X = layout.array_f64(2 * kMaxVars, kMaxVars);      // samples x vars
+  Arr mean = layout.array_f64(1, kMaxVars);
+  Arr sd = layout.array_f64(1, kMaxVars);
+  Arr corr = layout.array_f64(kMaxVars, kMaxVars);
+  Arr adj = layout.array_i32(kMaxVars, kMaxVars);
+  ModuleBuilder mb;
+  uint32_t pages = layout.pages() + 1;
+  mb.memory(pages, pages);
+
+  mb.func("run", {ValType::I32}, {ValType::I64}, [&](FuncBuilder& b) {
+    uint32_t m = b.local(ValType::I32);
+    uint32_t s = b.local(ValType::I32);
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t k = b.local(ValType::I32);
+    uint32_t rng = b.local(ValType::I64);
+    uint32_t acc = b.local(ValType::F64);
+    uint32_t edges = b.local(ValType::I64);
+
+    b.set(m, select_ex(ic(static_cast<int32_t>(kMaxVars)), b.get(0),
+                       gt(b.get(0), ic(static_cast<int32_t>(kMaxVars)))));
+    b.set(s, b.get(m) * ic(2));
+    b.set(rng, lc(0x243f6a8885a308d3LL));
+
+    // Generate correlated data: X[i][j] = u + 0.5 * X[i][j-1].
+    b.for_i32(i, ic(0), b.get(s), 1, [&] {
+      b.for_i32(j, ic(0), b.get(m), 1, [&] {
+        lcg_step(b, rng);
+        b.set(acc, lcg_f64(b, rng));
+        b.if_then(gt(b.get(j), ic(0)), [&] {
+          b.set(acc, b.get(acc) +
+                         fc(0.5) * X.ld(b.get(i), b.get(j) - ic(1)));
+        });
+        b.store_f64(X.at(b.get(i), b.get(j)), b.get(acc));
+      });
+    });
+
+    // Means and standard deviations.
+    b.for_i32(j, ic(0), b.get(m), 1, [&] {
+      b.set(acc, fc(0.0));
+      b.for_i32(i, ic(0), b.get(s), 1, [&] {
+        b.set(acc, b.get(acc) + X.ld(b.get(i), b.get(j)));
+      });
+      b.store_f64(mean.at(b.get(j)), b.get(acc) / to_f64(b.get(s)));
+      b.set(acc, fc(0.0));
+      b.for_i32(i, ic(0), b.get(s), 1, [&] {
+        Ex c1 = X.ld(b.get(i), b.get(j)) - mean.ld(b.get(j));
+        Ex c2 = X.ld(b.get(i), b.get(j)) - mean.ld(b.get(j));
+        b.set(acc, b.get(acc) + std::move(c1) * std::move(c2));
+      });
+      b.store_f64(sd.at(b.get(j)),
+                  f64_sqrt(b.get(acc) / to_f64(b.get(s)) + fc(1e-9)));
+    });
+
+    // Correlation matrix.
+    b.for_i32(i, ic(0), b.get(m), 1, [&] {
+      b.for_i32(j, ic(0), b.get(m), 1, [&] {
+        b.set(acc, fc(0.0));
+        b.for_i32(k, ic(0), b.get(s), 1, [&] {
+          b.set(acc,
+                b.get(acc) + (X.ld(b.get(k), b.get(i)) - mean.ld(b.get(i))) *
+                                 (X.ld(b.get(k), b.get(j)) - mean.ld(b.get(j))));
+        });
+        b.store_f64(corr.at(b.get(i), b.get(j)),
+                    b.get(acc) / to_f64(b.get(s)) /
+                        (sd.ld(b.get(i)) * sd.ld(b.get(j))));
+      });
+    });
+
+    // Order-0: keep edges with |corr| > 0.1.
+    b.for_i32(i, ic(0), b.get(m), 1, [&] {
+      b.for_i32(j, ic(0), b.get(m), 1, [&] {
+        Ex strong = gt(f64_abs(corr.ld(b.get(i), b.get(j))), fc(0.1)) &
+                    ne(b.get(i), b.get(j));
+        b.store_i32(adj.at(b.get(i), b.get(j)), std::move(strong));
+      });
+    });
+
+    // Order-1: remove edge (i,j) if some neighbour k separates them:
+    // |r_ij.k| < 0.1 where r_ij.k is the first-order partial correlation.
+    uint32_t pc_num = b.local(ValType::F64);
+    uint32_t pc_den = b.local(ValType::F64);
+    b.for_i32(i, ic(0), b.get(m), 1, [&] {
+      b.for_i32(j, ic(0), b.get(m), 1, [&] {
+        b.if_then(ne(adj.ld(b.get(i), b.get(j)), ic(0)), [&] {
+          b.for_i32(k, ic(0), b.get(m), 1, [&] {
+            b.if_then(
+                ne(adj.ld(b.get(i), b.get(k)), ic(0)) & ne(b.get(k), b.get(j)) &
+                    ne(b.get(k), b.get(i)),
+                [&] {
+                  b.set(pc_num,
+                        corr.ld(b.get(i), b.get(j)) -
+                            corr.ld(b.get(i), b.get(k)) *
+                                corr.ld(b.get(j), b.get(k)));
+                  b.set(pc_den,
+                        f64_sqrt(
+                            (fc(1.0) - corr.ld(b.get(i), b.get(k)) *
+                                           corr.ld(b.get(i), b.get(k))) *
+                                (fc(1.0) - corr.ld(b.get(j), b.get(k)) *
+                                               corr.ld(b.get(j), b.get(k))) +
+                            fc(1e-9)));
+                  b.if_then(
+                      lt(f64_abs(b.get(pc_num) / b.get(pc_den)), fc(0.1)),
+                      [&] { b.store_i32(adj.at(b.get(i), b.get(j)), ic(0)); });
+                });
+          });
+        });
+      });
+    });
+
+    // Checksum: surviving edge count.
+    b.set(edges, lc(0));
+    b.for_i32(i, ic(0), b.get(m), 1, [&] {
+      b.for_i32(j, ic(0), b.get(m), 1, [&] {
+        b.set(edges, b.get(edges) + to_i64(adj.ld(b.get(i), b.get(j))));
+      });
+    });
+    b.emit(b.get(edges));
+  });
+
+  return mb.build();
+}
+
+// ---------------------------------------------------------------------------
+// SubsetSum: exact bitset dynamic programming
+// ---------------------------------------------------------------------------
+
+wasm::Module usecase_subsetsum() {
+  constexpr uint32_t kItems = 24;
+  constexpr uint32_t kMaxWeight = 200;
+  constexpr uint32_t kMaxSum = kItems * kMaxWeight;
+  constexpr uint32_t kWords = kMaxSum / 32 + 2;
+  Layout layout;
+  Arr dp = layout.array_i32(1, kWords);
+  Arr weights = layout.array_i32(1, kItems);
+  ModuleBuilder mb;
+  mb.memory(layout.pages() + 1, layout.pages() + 1);
+
+  mb.func("run", {ValType::I32}, {ValType::I64}, [&](FuncBuilder& b) {
+    uint32_t inst = b.local(ValType::I32);
+    uint32_t i = b.local(ValType::I32);
+    uint32_t w = b.local(ValType::I32);
+    uint32_t ws = b.local(ValType::I32);   // word shift
+    uint32_t bs = b.local(ValType::I32);   // bit shift
+    uint32_t total = b.local(ValType::I32);
+    uint32_t target = b.local(ValType::I32);
+    uint32_t words = b.local(ValType::I32);
+    uint32_t rng = b.local(ValType::I64);
+    uint32_t checksum = b.local(ValType::I64);
+    uint32_t carry = b.local(ValType::I32);
+
+    b.set(rng, lc(0x13198a2e03707344LL));
+    b.for_i32(inst, ic(0), b.get(0), 1, [&] {
+      // Generate instance.
+      b.set(total, ic(0));
+      b.for_i32(i, ic(0), ic(static_cast<int32_t>(kItems)), 1, [&] {
+        lcg_step(b, rng);
+        b.store_i32(weights.at(b.get(i)),
+                    lcg_i32(b, rng, static_cast<int32_t>(kMaxWeight)) + ic(1));
+        b.set(total, b.get(total) + weights.ld(b.get(i)));
+      });
+      b.set(target, b.get(total) / ic(2));
+      b.set(words, b.get(target) / ic(32) + ic(2));
+      // dp = {1} (only the empty sum).
+      b.for_i32(i, ic(0), b.get(words), 1, [&] {
+        b.store_i32(dp.at(b.get(i)), ic(0));
+      });
+      b.store_i32(dp.at(ic(0)), ic(1));
+      // Shift-or per item.
+      uint32_t item = b.local(ValType::I32);
+      b.for_i32(item, ic(0), ic(static_cast<int32_t>(kItems)), 1, [&] {
+        b.set(w, weights.ld(b.get(item)));
+        b.set(ws, b.get(w) / ic(32));
+        b.set(bs, b.get(w) % ic(32));
+        b.if_then_else(
+            eq(b.get(bs), ic(0)),
+            [&] {
+              b.for_i32(i, b.get(words) - ic(1), b.get(ws) - ic(1), -1, [&] {
+                b.store_i32(dp.at(b.get(i)),
+                            dp.ld(b.get(i)) | dp.ld(b.get(i) - b.get(ws)));
+              });
+            },
+            [&] {
+              b.for_i32(i, b.get(words) - ic(1), b.get(ws), -1, [&] {
+                b.set(carry,
+                      shr_u(dp.ld(b.get(i) - b.get(ws) - ic(1)),
+                            ic(32) - b.get(bs)));
+                b.store_i32(dp.at(b.get(i)),
+                            dp.ld(b.get(i)) |
+                                shl(dp.ld(b.get(i) - b.get(ws)), b.get(bs)) |
+                                b.get(carry));
+              });
+              // i == ws boundary word has no predecessor word.
+              b.store_i32(dp.at(b.get(ws)),
+                          dp.ld(b.get(ws)) |
+                              shl(dp.ld(ic(0)), b.get(bs)));
+            });
+      });
+      // Count achievable sums in [target/2, target] via popcount-by-bit.
+      uint32_t sum_idx = b.local(ValType::I32);
+      b.for_i32(sum_idx, b.get(target) / ic(2), b.get(target) + ic(1), 1, [&] {
+        Ex bit = shr_u(dp.ld(b.get(sum_idx) / ic(32)),
+                       b.get(sum_idx) % ic(32)) &
+                 ic(1);
+        b.set(checksum, b.get(checksum) + to_i64(std::move(bit)));
+      });
+    });
+    b.emit(b.get(checksum));
+  });
+
+  return mb.build();
+}
+
+// ---------------------------------------------------------------------------
+// Darknet: small CNN image classifier (f32)
+// ---------------------------------------------------------------------------
+
+wasm::Module usecase_darknet() {
+  constexpr uint32_t kImg = 28;       // input image side
+  constexpr uint32_t kConvOut = 26;   // valid 3x3 conv output side
+  constexpr uint32_t kPool = 13;      // after 2x2 maxpool
+  constexpr uint32_t kFilters = 8;
+  constexpr uint32_t kClasses = 10;
+  constexpr uint32_t kDense = kPool * kPool * kFilters;  // 1352
+
+  Layout layout;
+  Arr img = layout.array_f32(kImg, kImg);
+  Arr convw = layout.array_f32(kFilters, 9);           // 3x3 kernels
+  Arr convb = layout.array_f32(1, kFilters);
+  Arr feat = layout.array_f32(kFilters, kConvOut* kConvOut);
+  Arr pooled = layout.array_f32(1, kDense);
+  Arr densew = layout.array_f32(kClasses, kDense);
+  Arr logits = layout.array_f32(1, kClasses);
+  ModuleBuilder mb;
+  mb.memory(layout.pages() + 1, layout.pages() + 1);
+
+  mb.func("run", {ValType::I32}, {ValType::I64}, [&](FuncBuilder& b) {
+    uint32_t image = b.local(ValType::I32);
+    uint32_t i = b.local(ValType::I32);
+    uint32_t j = b.local(ValType::I32);
+    uint32_t f = b.local(ValType::I32);
+    uint32_t ky = b.local(ValType::I32);
+    uint32_t kx = b.local(ValType::I32);
+    uint32_t c = b.local(ValType::I32);
+    uint32_t rng = b.local(ValType::I64);
+    uint32_t accf = b.local(ValType::F32);
+    uint32_t best = b.local(ValType::F32);
+    uint32_t best_idx = b.local(ValType::I32);
+    uint32_t checksum = b.local(ValType::I64);
+
+    auto lcg_f32 = [&]() {
+      lcg_step(b, rng);
+      return to_f32(lcg_f64(b, rng)) - fc32(0.5f);
+    };
+
+    b.set(rng, lc(0xa4093822299f31d0LL));
+    // Weights (generated once).
+    b.for_i32(f, ic(0), ic(static_cast<int32_t>(kFilters)), 1, [&] {
+      b.for_i32(i, ic(0), ic(9), 1, [&] {
+        b.store_f32(convw.at(b.get(f), b.get(i)), lcg_f32());
+      });
+      b.store_f32(convb.at(b.get(f)), lcg_f32());
+    });
+    b.for_i32(c, ic(0), ic(static_cast<int32_t>(kClasses)), 1, [&] {
+      b.for_i32(i, ic(0), ic(static_cast<int32_t>(kDense)), 1, [&] {
+        b.store_f32(densew.at(b.get(c), b.get(i)), lcg_f32());
+      });
+    });
+
+    b.for_i32(image, ic(0), b.get(0), 1, [&] {
+      // Input image.
+      b.for_i32(i, ic(0), ic(static_cast<int32_t>(kImg)), 1, [&] {
+        b.for_i32(j, ic(0), ic(static_cast<int32_t>(kImg)), 1, [&] {
+          b.store_f32(img.at(b.get(i), b.get(j)), lcg_f32());
+        });
+      });
+      // Convolution + ReLU.
+      b.for_i32(f, ic(0), ic(static_cast<int32_t>(kFilters)), 1, [&] {
+        b.for_i32(i, ic(0), ic(static_cast<int32_t>(kConvOut)), 1, [&] {
+          b.for_i32(j, ic(0), ic(static_cast<int32_t>(kConvOut)), 1, [&] {
+            b.set(accf, convb.ld(b.get(f)));
+            b.for_i32(ky, ic(0), ic(3), 1, [&] {
+              b.for_i32(kx, ic(0), ic(3), 1, [&] {
+                b.set(accf,
+                      b.get(accf) +
+                          img.ld(b.get(i) + b.get(ky), b.get(j) + b.get(kx)) *
+                              convw.ld(b.get(f), b.get(ky) * ic(3) + b.get(kx)));
+              });
+            });
+            // ReLU.
+            b.set(accf, select_ex(b.get(accf), fc32(0.0f),
+                                  gt(b.get(accf), fc32(0.0f))));
+            b.store_f32(
+                feat.at(b.get(f),
+                        b.get(i) * ic(static_cast<int32_t>(kConvOut)) + b.get(j)),
+                b.get(accf));
+          });
+        });
+      });
+      // 2x2 maxpool.
+      b.for_i32(f, ic(0), ic(static_cast<int32_t>(kFilters)), 1, [&] {
+        b.for_i32(i, ic(0), ic(static_cast<int32_t>(kPool)), 1, [&] {
+          b.for_i32(j, ic(0), ic(static_cast<int32_t>(kPool)), 1, [&] {
+            auto pixel = [&](int dy, int dx) {
+              return feat.ld(
+                  b.get(f),
+                  (b.get(i) * ic(2) + ic(dy)) *
+                          ic(static_cast<int32_t>(kConvOut)) +
+                      b.get(j) * ic(2) + ic(dx));
+            };
+            Ex m01 = select_ex(pixel(0, 0), pixel(0, 1),
+                               gt(pixel(0, 0), pixel(0, 1)));
+            Ex m23 = select_ex(pixel(1, 0), pixel(1, 1),
+                               gt(pixel(1, 0), pixel(1, 1)));
+            Ex m01_copy = m01;
+            Ex m23_copy = m23;
+            b.set(accf,
+                  select_ex(std::move(m01_copy), std::move(m23_copy),
+                            gt(std::move(m01), std::move(m23))));
+            b.store_f32(
+                pooled.at((b.get(f) * ic(static_cast<int32_t>(kPool)) +
+                           b.get(i)) *
+                              ic(static_cast<int32_t>(kPool)) +
+                          b.get(j)),
+                b.get(accf));
+          });
+        });
+      });
+      // Dense layer + argmax.
+      b.set(best, fc32(-1e30f));
+      b.set(best_idx, ic(0));
+      b.for_i32(c, ic(0), ic(static_cast<int32_t>(kClasses)), 1, [&] {
+        b.set(accf, fc32(0.0f));
+        b.for_i32(i, ic(0), ic(static_cast<int32_t>(kDense)), 1, [&] {
+          b.set(accf, b.get(accf) +
+                          pooled.ld(b.get(i)) * densew.ld(b.get(c), b.get(i)));
+        });
+        b.store_f32(logits.at(b.get(c)), b.get(accf));
+        b.if_then(gt(b.get(accf), b.get(best)), [&] {
+          b.set(best, b.get(accf));
+          b.set(best_idx, b.get(c));
+        });
+      });
+      b.set(checksum, b.get(checksum) + to_i64(b.get(best_idx)) + lc(1));
+    });
+    b.emit(b.get(checksum));
+  });
+
+  return mb.build();
+}
+
+const std::vector<UseCase>& usecases() {
+  static const auto* list = new std::vector<UseCase>{
+      {"MSieve", usecase_msieve, 40},
+      {"PC", usecase_pc, 48},
+      {"SubsetSum", usecase_subsetsum, 60},
+      {"Darknet", usecase_darknet, 3},
+  };
+  return *list;
+}
+
+}  // namespace acctee::workloads

@@ -1,0 +1,40 @@
+// Use-case workloads from the paper's §5.3 evaluation, ported to Wasm:
+//
+//   * msieve     — integer factorisation (NFS@Home's MSieve stand-in):
+//                  trial division + Pollard's rho over a batch of
+//                  deterministically generated 31-bit semiprimes.
+//   * pc         — the PC causal-discovery algorithm (gene@Home's pc-boinc
+//                  stand-in): correlation matrix + order-0/order-1
+//                  conditional-independence edge pruning.
+//   * subsetsum  — SubsetSum@Home stand-in: exact bitset dynamic
+//                  programming over random instances, counting achievable
+//                  sums.
+//   * darknet    — pay-by-computation image classification (Darknet
+//                  reference-model stand-in): a small f32 CNN (3x3 conv,
+//                  ReLU, 2x2 maxpool, dense, argmax) over generated images.
+//
+// Each module exports `run: [i32 scale] -> [i64 checksum]`; `scale` controls
+// the amount of work (numbers factored / variables / items / images).
+// All data is generated in-module from fixed LCG seeds, so runs are
+// deterministic and the counter comparisons in Fig. 10 are exact.
+#pragma once
+
+#include "wasm/ast.hpp"
+
+namespace acctee::workloads {
+
+wasm::Module usecase_msieve();
+wasm::Module usecase_pc();
+wasm::Module usecase_subsetsum();
+wasm::Module usecase_darknet();
+
+struct UseCase {
+  std::string name;
+  wasm::Module (*build)();
+  int32_t bench_scale;  // scale used by the Fig. 10 benchmark
+};
+
+/// The four Fig. 10 workloads: MSieve, PC, SubsetSum, Darknet.
+const std::vector<UseCase>& usecases();
+
+}  // namespace acctee::workloads

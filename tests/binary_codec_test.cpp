@@ -1,0 +1,231 @@
+// Unit + property tests for the Wasm binary encoder/decoder.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "wasm/ast.hpp"
+#include "wasm/binary.hpp"
+#include "wasm/validator.hpp"
+#include "wasm/wat_parser.hpp"
+
+namespace acctee::wasm {
+namespace {
+
+Module module_equalish_check_source() {
+  return parse_wat(R"((module
+    (import "env" "io_read" (func (param i32 i32) (result i32)))
+    (memory 1 16)
+    (table 3 funcref)
+    (global (mut i32) (i32.const 7))
+    (global f64 (f64.const -0.25))
+    (func $f (export "main") (param i32) (result i32) (local i64)
+      block (result i32)
+        local.get 0
+        if (result i32)
+          local.get 0
+          i32.const 1
+          i32.add
+        else
+          i32.const 0
+        end
+        loop $l
+          local.get 0
+          br_if $l
+        end
+      end
+    )
+    (func $g (param i32 i32) (result i32)
+      local.get 0
+      local.get 1
+      i32.const 2
+      call_indirect (type 0)
+    )
+    (elem (i32.const 0) $f $g)
+    (data (i32.const 4) "\01\02\03")
+    (export "mem" (memory 0))
+  ))");
+}
+
+void expect_modules_equal(const Module& a, const Module& b) {
+  EXPECT_EQ(a.types, b.types);
+  ASSERT_EQ(a.imports.size(), b.imports.size());
+  for (size_t i = 0; i < a.imports.size(); ++i) {
+    EXPECT_EQ(a.imports[i].module, b.imports[i].module);
+    EXPECT_EQ(a.imports[i].name, b.imports[i].name);
+    EXPECT_EQ(a.imports[i].type_index, b.imports[i].type_index);
+  }
+  ASSERT_EQ(a.functions.size(), b.functions.size());
+  for (size_t i = 0; i < a.functions.size(); ++i) {
+    EXPECT_EQ(a.functions[i].type_index, b.functions[i].type_index);
+    EXPECT_EQ(a.functions[i].locals, b.functions[i].locals);
+    EXPECT_TRUE(body_equal(a.functions[i].body, b.functions[i].body)) << i;
+  }
+  EXPECT_EQ(a.memory, b.memory);
+  EXPECT_EQ(a.table, b.table);
+  ASSERT_EQ(a.globals.size(), b.globals.size());
+  for (size_t i = 0; i < a.globals.size(); ++i) {
+    EXPECT_EQ(a.globals[i].type, b.globals[i].type);
+    EXPECT_EQ(a.globals[i].mutable_, b.globals[i].mutable_);
+    EXPECT_TRUE(instr_equal(a.globals[i].init, b.globals[i].init));
+  }
+  ASSERT_EQ(a.exports.size(), b.exports.size());
+  for (size_t i = 0; i < a.exports.size(); ++i) {
+    EXPECT_EQ(a.exports[i].name, b.exports[i].name);
+    EXPECT_EQ(a.exports[i].kind, b.exports[i].kind);
+    EXPECT_EQ(a.exports[i].index, b.exports[i].index);
+  }
+  ASSERT_EQ(a.elems.size(), b.elems.size());
+  for (size_t i = 0; i < a.elems.size(); ++i) {
+    EXPECT_EQ(a.elems[i].offset, b.elems[i].offset);
+    EXPECT_EQ(a.elems[i].func_indices, b.elems[i].func_indices);
+  }
+  ASSERT_EQ(a.data.size(), b.data.size());
+  for (size_t i = 0; i < a.data.size(); ++i) {
+    EXPECT_EQ(a.data[i].offset, b.data[i].offset);
+    EXPECT_EQ(a.data[i].bytes, b.data[i].bytes);
+  }
+  EXPECT_EQ(a.start, b.start);
+}
+
+TEST(BinaryCodec, MagicAndVersion) {
+  Module m = parse_wat("(module)");
+  Bytes bin = encode(m);
+  ASSERT_GE(bin.size(), 8u);
+  EXPECT_EQ(bin[0], 0x00);
+  EXPECT_EQ(bin[1], 'a');
+  EXPECT_EQ(bin[2], 's');
+  EXPECT_EQ(bin[3], 'm');
+  EXPECT_EQ(bin[4], 1);
+}
+
+TEST(BinaryCodec, RoundTripRichModule) {
+  Module m = module_equalish_check_source();
+  Module decoded = decode(encode(m));
+  expect_modules_equal(m, decoded);
+  // And the decoded module still validates.
+  validate(decoded);
+}
+
+TEST(BinaryCodec, EncodingIsDeterministic) {
+  Module m = module_equalish_check_source();
+  EXPECT_EQ(encode(m), encode(m));
+}
+
+TEST(BinaryCodec, RejectsBadMagic) {
+  Bytes bad = {0x00, 'a', 's', 'n', 1, 0, 0, 0};
+  EXPECT_THROW(decode(bad), ParseError);
+}
+
+TEST(BinaryCodec, RejectsTruncation) {
+  Module m = module_equalish_check_source();
+  Bytes bin = encode(m);
+  for (size_t cut : {9ul, bin.size() / 2, bin.size() - 1}) {
+    Bytes truncated(bin.begin(), bin.begin() + cut);
+    EXPECT_THROW(decode(truncated), std::exception) << "cut=" << cut;
+  }
+}
+
+TEST(BinaryCodec, RejectsOutOfOrderSections) {
+  // memory (5) before type (1)
+  Bytes bad = {0x00, 'a', 's', 'm', 1, 0, 0, 0,
+               5, 3, 1, 0x00, 1,   // memory section
+               1, 1, 0};           // empty type section
+  EXPECT_THROW(decode(bad), ParseError);
+}
+
+TEST(BinaryCodec, SkipsCustomSections) {
+  Module m = parse_wat("(module (func (export \"f\") nop))");
+  Bytes bin = encode(m);
+  // Append a custom section (id 0).
+  Bytes custom = {0, 5, 4, 'n', 'a', 'm', 'e'};
+  Bytes with_custom = bin;
+  append(with_custom, custom);
+  Module decoded = decode(with_custom);
+  EXPECT_EQ(decoded.functions.size(), 1u);
+}
+
+TEST(BinaryCodec, NegativeConstsUseSleb) {
+  Module m = parse_wat("(module (func (result i32) i32.const -1))");
+  Module decoded = decode(encode(m));
+  EXPECT_EQ(decoded.functions[0].body[0].as_i32(), -1);
+}
+
+TEST(BinaryCodec, FloatBitPatternsPreserved) {
+  Module m = parse_wat(R"((module
+    (func (result f32) f32.const nan)
+    (func (result f64) f64.const -0.0)
+  ))");
+  Module decoded = decode(encode(m));
+  EXPECT_EQ(decoded.functions[0].body[0].imm, m.functions[0].body[0].imm);
+  EXPECT_EQ(decoded.functions[1].body[0].imm, m.functions[1].body[0].imm);
+}
+
+TEST(BinaryCodec, LocalsCompression) {
+  Module m = parse_wat(
+      "(module (func (local i32 i32 i32 f64 f64 i32) nop))");
+  Module decoded = decode(encode(m));
+  EXPECT_EQ(decoded.functions[0].locals, m.functions[0].locals);
+}
+
+// Property: random structured modules round-trip byte-exactly through
+// encode(decode(encode(m))).
+class BinaryRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// A tiny random-program generator: builds random (valid-shaped) bodies out
+// of a safe instruction alphabet.
+std::vector<Instr> random_body(Xoshiro256& rng, int depth, int budget) {
+  std::vector<Instr> body;
+  int n = 1 + static_cast<int>(rng.next_below(5));
+  for (int i = 0; i < n && budget > 0; ++i) {
+    switch (rng.next_below(depth > 0 ? 6 : 4)) {
+      case 0:
+        body.push_back(Instr::i32c(static_cast<int32_t>(rng.next())));
+        body.push_back(Instr::simple(Op::Drop));
+        break;
+      case 1:
+        body.push_back(Instr::i64c(static_cast<int64_t>(rng.next())));
+        body.push_back(Instr::simple(Op::Drop));
+        break;
+      case 2:
+        body.push_back(Instr::f64c(rng.next_double()));
+        body.push_back(Instr::simple(Op::Drop));
+        break;
+      case 3:
+        body.push_back(Instr::simple(Op::Nop));
+        break;
+      case 4:
+        body.push_back(
+            Instr::block(BlockType{}, random_body(rng, depth - 1, budget - 1)));
+        break;
+      case 5:
+        body.push_back(
+            Instr::loop(BlockType{}, random_body(rng, depth - 1, budget - 1)));
+        break;
+    }
+  }
+  return body;
+}
+
+TEST_P(BinaryRoundTripProperty, EncodeDecodeEncodeIsIdentity) {
+  Xoshiro256 rng(GetParam());
+  Module m;
+  m.types.push_back(FuncType{});
+  int nfuncs = 1 + static_cast<int>(rng.next_below(4));
+  for (int f = 0; f < nfuncs; ++f) {
+    Function func;
+    func.type_index = 0;
+    func.body = random_body(rng, 3, 10);
+    m.functions.push_back(std::move(func));
+  }
+  validate(m);
+  Bytes bin1 = encode(m);
+  Module decoded = decode(bin1);
+  Bytes bin2 = encode(decoded);
+  EXPECT_EQ(bin1, bin2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryRoundTripProperty,
+                         ::testing::Range<uint64_t>(0, 32));
+
+}  // namespace
+}  // namespace acctee::wasm

@@ -1,0 +1,124 @@
+// Unit tests for the cache-hierarchy simulator.
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hpp"
+#include "common/rng.hpp"
+
+namespace acctee::cachesim {
+namespace {
+
+TEST(Cache, HitAfterMiss) {
+  Cache cache(CacheConfig{1024, 64, 2, 1});
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_TRUE(cache.access(63));   // same line
+  EXPECT_FALSE(cache.access(64));  // next line
+}
+
+TEST(Cache, LruEviction) {
+  // 2-way, line 64, 1024 bytes -> 8 sets. Lines 0, 8, 16 (line index) map to
+  // set 0 (stride 8 lines = 512 bytes).
+  Cache cache(CacheConfig{1024, 64, 2, 1});
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_FALSE(cache.access(512));
+  EXPECT_TRUE(cache.access(0));      // refresh line 0
+  EXPECT_FALSE(cache.access(1024));  // evicts 512 (LRU)
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_FALSE(cache.access(512));   // was evicted
+}
+
+TEST(Cache, FlushDropsEverything) {
+  Cache cache(CacheConfig{1024, 64, 2, 1});
+  cache.access(0);
+  cache.flush();
+  EXPECT_FALSE(cache.access(0));
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(Cache(CacheConfig{1000, 64, 2, 1}), std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{1024, 60, 2, 1}), std::invalid_argument);
+  EXPECT_THROW(Cache(CacheConfig{1024, 64, 0, 1}), std::invalid_argument);
+}
+
+TEST(Hierarchy, L1HitIsCheapest) {
+  Hierarchy h;
+  AccessResult first = h.access(0, 4, false);
+  EXPECT_TRUE(first.llc_miss);
+  EXPECT_GE(first.cycles, h.config().dram_cycles);
+  AccessResult second = h.access(0, 4, false);
+  EXPECT_FALSE(second.llc_miss);
+  EXPECT_EQ(second.cycles, h.config().l1.hit_cycles);
+}
+
+TEST(Hierarchy, StraddlingAccessTouchesTwoLines) {
+  Hierarchy h;
+  h.access(62, 4, false);  // lines 0 and 1
+  EXPECT_EQ(h.accesses(), 2u);
+  AccessResult r = h.access(0, 4, false);
+  EXPECT_FALSE(r.llc_miss);
+  r = h.access(64, 4, false);
+  EXPECT_FALSE(r.llc_miss);
+}
+
+TEST(Hierarchy, StoreMissCostsMoreThanLoadMiss) {
+  Hierarchy h;
+  AccessResult load_miss = h.access(0, 4, false);
+  h.flush();
+  AccessResult store_miss = h.access(0, 4, true);
+  EXPECT_GT(store_miss.cycles, load_miss.cycles);
+}
+
+TEST(Hierarchy, LinearScanIsMostlyHits) {
+  Hierarchy h;
+  uint64_t cycles = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    cycles += h.access(static_cast<uint64_t>(i) * 4, 4, false).cycles;
+  }
+  // 1 miss per 16 accesses (64-byte lines / 4-byte elements).
+  double avg = static_cast<double>(cycles) / n;
+  EXPECT_LT(avg, 20.0);
+}
+
+TEST(Hierarchy, RandomAccessOverLargeFootprintIsExpensive) {
+  Hierarchy h;
+  Xoshiro256 rng(1);
+  const uint64_t footprint = 256ull * 1024 * 1024;
+  // Warm up, then measure.
+  for (int i = 0; i < 20000; ++i) h.access(rng.next_below(footprint), 4, false);
+  uint64_t cycles = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    cycles += h.access(rng.next_below(footprint), 4, false).cycles;
+  }
+  double avg = static_cast<double>(cycles) / n;
+  EXPECT_GT(avg, 100.0);  // overwhelmingly DRAM
+}
+
+TEST(Hierarchy, CostOrderingAcrossFootprints) {
+  // Average random-access cost must be monotone-ish in footprint:
+  // fits-in-L1 < fits-in-L2 < fits-in-L3 < DRAM-bound.
+  auto avg_cost = [](uint64_t footprint) {
+    Hierarchy h;
+    Xoshiro256 rng(2);
+    for (int i = 0; i < 30000; ++i) {
+      h.access(rng.next_below(footprint), 4, false);
+    }
+    uint64_t cycles = 0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+      cycles += h.access(rng.next_below(footprint), 4, false).cycles;
+    }
+    return static_cast<double>(cycles) / n;
+  };
+  double c_l1 = avg_cost(16 * 1024);
+  double c_l2 = avg_cost(128 * 1024);
+  double c_l3 = avg_cost(4 * 1024 * 1024);
+  double c_dram = avg_cost(64 * 1024 * 1024);
+  EXPECT_LT(c_l1, c_l2);
+  EXPECT_LT(c_l2, c_l3);
+  EXPECT_LT(c_l3, c_dram);
+}
+
+}  // namespace
+}  // namespace acctee::cachesim

@@ -1,0 +1,282 @@
+// Tests for the periodic-log, caching and replay-protection features
+// (paper §3.3 mechanisms layered on the core workflow).
+#include <gtest/gtest.h>
+
+#include "core/instrumentation_cache.hpp"
+#include "core/session.hpp"
+#include "wasm/binary.hpp"
+#include "wasm/validator.hpp"
+#include "wasm/wat_parser.hpp"
+
+namespace acctee::core {
+namespace {
+
+using interp::TypedValue;
+using V = TypedValue;
+
+const char* kSpinWat = R"((module
+  (func (export "run") (param i32) (result i32)
+    (local $acc i32)
+    loop $l
+      local.get $acc
+      local.get 0
+      i32.xor
+      local.set $acc
+      local.get 0
+      i32.const 1
+      i32.sub
+      local.tee 0
+      br_if $l
+    end
+    local.get $acc
+  )
+))";
+
+Bytes spin_binary() {
+  wasm::Module m = wasm::parse_wat(kSpinWat);
+  wasm::validate(m);
+  return wasm::encode(m);
+}
+
+struct Rig {
+  sgx::Platform platform{"host", to_bytes("seed")};
+  sgx::AttestationService ias{to_bytes("ias"), 64};
+  instrument::InstrumentOptions options{};
+
+  Rig() { ias.provision_platform(platform); }
+
+  AccountingEnclave make_ae(InstrumentationEnclave& ie,
+                            uint64_t checkpoint_interval = 0) {
+    AccountingEnclave::Config config;
+    config.trusted_ie_identity = ie.identity();
+    config.instrumentation = options;
+    config.platform = interp::Platform::WasmSgxSim;
+    config.checkpoint_interval = checkpoint_interval;
+    config.signing_capacity = 512;
+    return AccountingEnclave(platform, config);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Periodic (interim) resource logs
+// ---------------------------------------------------------------------------
+
+TEST(PeriodicLogs, InterimLogsEmittedAndSigned) {
+  Rig rig;
+  InstrumentationEnclave ie(rig.platform, rig.options);
+  auto deployed = ie.instrument_binary(spin_binary());
+  AccountingEnclave ae = rig.make_ae(ie, /*checkpoint_interval=*/50000);
+
+  auto outcome = ae.execute(deployed.instrumented_binary, deployed.evidence,
+                            "run", {V::make_i32(100000)});
+  // ~100k iterations x ~6 instructions => several checkpoints.
+  ASSERT_GE(outcome.interim_logs.size(), 3u);
+  for (const auto& interim : outcome.interim_logs) {
+    EXPECT_FALSE(interim.log.is_final);
+    EXPECT_TRUE(interim.verify(ae.identity()));
+  }
+  EXPECT_TRUE(outcome.signed_log.log.is_final);
+}
+
+// A loop body with inner control flow is not hoistable, so the counter
+// advances every iteration and interim logs track progress closely.
+const char* kBranchyWat = R"((module
+  (func (export "run") (param i32) (result i32)
+    (local $acc i32)
+    loop $l
+      local.get 0
+      i32.const 1
+      i32.and
+      if
+        local.get $acc
+        i32.const 3
+        i32.add
+        local.set $acc
+      end
+      local.get 0
+      i32.const 1
+      i32.sub
+      local.tee 0
+      br_if $l
+    end
+    local.get $acc
+  )
+))";
+
+Bytes branchy_binary() {
+  wasm::Module m = wasm::parse_wat(kBranchyWat);
+  wasm::validate(m);
+  return wasm::encode(m);
+}
+
+TEST(PeriodicLogs, InterimCountersAreMonotone) {
+  Rig rig;
+  InstrumentationEnclave ie(rig.platform, rig.options);
+  auto deployed = ie.instrument_binary(branchy_binary());
+  AccountingEnclave ae = rig.make_ae(ie, 30000);
+  auto outcome = ae.execute(deployed.instrumented_binary, deployed.evidence,
+                            "run", {V::make_i32(60000)});
+  ASSERT_GE(outcome.interim_logs.size(), 2u);
+  uint64_t prev_counter = 0;
+  uint64_t prev_seq = 0;
+  bool first = true;
+  for (const auto& interim : outcome.interim_logs) {
+    if (!first) {
+      EXPECT_GT(interim.log.weighted_instructions, prev_counter);
+      EXPECT_GT(interim.log.sequence, prev_seq);
+    }
+    prev_counter = interim.log.weighted_instructions;
+    prev_seq = interim.log.sequence;
+    first = false;
+  }
+  // The final log dominates every interim log.
+  EXPECT_GE(outcome.signed_log.log.weighted_instructions, prev_counter);
+  EXPECT_GT(outcome.signed_log.log.sequence, prev_seq);
+}
+
+TEST(PeriodicLogs, HoistedLoopsMakeInterimLogsLowerBounds) {
+  // The loop-based optimisation defers the counter update to the loop exit,
+  // so an interim log taken *inside* a hoisted loop under-reports: it is a
+  // sound lower bound, never an over-charge. The final log is exact.
+  Rig rig;
+  InstrumentationEnclave ie(rig.platform, rig.options);
+  auto deployed = ie.instrument_binary(spin_binary());  // hoistable loop
+  AccountingEnclave ae = rig.make_ae(ie, 50000);
+  auto outcome = ae.execute(deployed.instrumented_binary, deployed.evidence,
+                            "run", {V::make_i32(100000)});
+  ASSERT_GE(outcome.interim_logs.size(), 1u);
+  for (const auto& interim : outcome.interim_logs) {
+    EXPECT_LE(interim.log.weighted_instructions,
+              outcome.signed_log.log.weighted_instructions);
+  }
+  // Exactness of the final log: ~6 instructions per iteration.
+  EXPECT_GT(outcome.signed_log.log.weighted_instructions, 500000u);
+}
+
+TEST(PeriodicLogs, DisabledByDefault) {
+  Rig rig;
+  InstrumentationEnclave ie(rig.platform, rig.options);
+  auto deployed = ie.instrument_binary(spin_binary());
+  AccountingEnclave ae = rig.make_ae(ie);
+  auto outcome = ae.execute(deployed.instrumented_binary, deployed.evidence,
+                            "run", {V::make_i32(100000)});
+  EXPECT_TRUE(outcome.interim_logs.empty());
+}
+
+TEST(PeriodicLogs, TrappedRunStillHasInterimTrail) {
+  Rig rig;
+  const char* trap_wat = R"((module
+    (memory 1)
+    (func (export "run") (param i32) (result i32)
+      loop $l
+        local.get 0
+        i32.const 1
+        i32.sub
+        local.tee 0
+        br_if $l
+      end
+      i32.const -4
+      i32.load
+    )
+  ))";
+  wasm::Module m = wasm::parse_wat(trap_wat);
+  wasm::validate(m);
+  InstrumentationEnclave ie(rig.platform, rig.options);
+  auto deployed = ie.instrument_binary(wasm::encode(m));
+  AccountingEnclave ae = rig.make_ae(ie, 20000);
+  auto outcome = ae.execute(deployed.instrumented_binary, deployed.evidence,
+                            "run", {V::make_i32(100000)});
+  EXPECT_TRUE(outcome.signed_log.log.trapped);
+  EXPECT_GE(outcome.interim_logs.size(), 1u);
+  // The progress before the trap is documented by the interim trail.
+  EXPECT_FALSE(outcome.interim_logs.back().log.trapped);
+}
+
+TEST(PeriodicLogs, FinalityFlagSurvivesSerialization) {
+  ResourceUsageLog log;
+  log.is_final = false;
+  log.sequence = 3;
+  ResourceUsageLog round = ResourceUsageLog::deserialize(log.serialize());
+  EXPECT_FALSE(round.is_final);
+  EXPECT_EQ(round, log);
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation cache
+// ---------------------------------------------------------------------------
+
+TEST(Cache, SecondInstrumentationIsAHit) {
+  Rig rig;
+  InstrumentationEnclave ie(rig.platform, rig.options, /*signing_capacity=*/4);
+  InstrumentationCache cache;
+  Bytes binary = spin_binary();
+  const auto& first = cache.instrument(ie, binary);
+  const auto& second = cache.instrument(ie, binary);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(&first, &second);
+  // The cached signature still verifies — no new one-time key was spent.
+  EXPECT_TRUE(second.evidence.verify(ie.identity()));
+  EXPECT_EQ(ie.keys_remaining_for_test(), 3u);
+}
+
+TEST(Cache, DifferentPassIsADifferentEntry) {
+  Rig rig;
+  InstrumentationEnclave loop_ie(rig.platform, rig.options);
+  instrument::InstrumentOptions naive = rig.options;
+  naive.pass = instrument::PassKind::Naive;
+  InstrumentationEnclave naive_ie(rig.platform, naive);
+  InstrumentationCache cache;
+  Bytes binary = spin_binary();
+  cache.instrument(loop_ie, binary);
+  cache.instrument(naive_ie, binary);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, FindDoesNotInstrument) {
+  Rig rig;
+  InstrumentationEnclave ie(rig.platform, rig.options);
+  InstrumentationCache cache;
+  Bytes binary = spin_binary();
+  EXPECT_EQ(cache.find(ie, binary), nullptr);
+  cache.instrument(ie, binary);
+  EXPECT_NE(cache.find(ie, binary), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Replay protection
+// ---------------------------------------------------------------------------
+
+TEST(ReplayProtection, ReplayedLogRejectedOnSecondAccept) {
+  Rig rig;
+  SessionPolicy policy;
+  policy.instrumentation = rig.options;
+  policy.platform = interp::Platform::WasmSgxSim;
+  InstrumentationEnclave ie(rig.platform, policy.instrumentation);
+  WorkloadProvider customer(spin_binary(), policy, rig.ias.identity());
+  PriceSchedule prices;
+  prices.provider = "p";
+  prices.nanocredits_per_mega_instruction = 100;
+  InfrastructureProvider provider(rig.platform, policy, rig.ias.identity(),
+                                  prices);
+  customer.instrument_with(ie, rig.ias);
+  provider.trust_instrumentation_enclave(ie.identity_quote(), rig.ias);
+  customer.attest_accounting_enclave(provider.accounting_enclave_quote(),
+                                     rig.ias);
+
+  auto billed = provider.run(customer.instrumented_binary(),
+                             customer.evidence(), "run", {V::make_i32(100)});
+  EXPECT_TRUE(customer.accept_log(billed.outcome.signed_log));
+  // The provider submits the same (genuinely signed) log again.
+  EXPECT_FALSE(customer.accept_log(billed.outcome.signed_log));
+  // A genuinely new execution is fine.
+  auto billed2 = provider.run(customer.instrumented_binary(),
+                              customer.evidence(), "run", {V::make_i32(100)});
+  EXPECT_TRUE(customer.accept_log(billed2.outcome.signed_log));
+  // And replaying the *older* one after the newer one also fails.
+  EXPECT_FALSE(customer.accept_log(billed.outcome.signed_log));
+}
+
+}  // namespace
+}  // namespace acctee::core

@@ -1,0 +1,210 @@
+// Unit tests for src/crypto: SHA-256/HMAC against published test vectors,
+// Lamport one-time signatures, Merkle trees, and the multi-use Signer.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/lamport.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signer.hpp"
+
+namespace acctee::crypto {
+namespace {
+
+TEST(Sha256, NistVectors) {
+  // FIPS 180-4 examples.
+  EXPECT_EQ(digest_hex(sha256(to_bytes(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(digest_hex(sha256(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      digest_hex(sha256(to_bytes(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 ctx;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(to_bytes(chunk));
+  EXPECT_EQ(digest_hex(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Bytes data = Xoshiro256(5).next_bytes(1000);
+  for (size_t split : {0ul, 1ul, 63ul, 64ul, 65ul, 999ul, 1000ul}) {
+    Sha256 ctx;
+    ctx.update(BytesView(data).subspan(0, split));
+    ctx.update(BytesView(data).subspan(split));
+    EXPECT_EQ(ctx.finish(), sha256(data)) << "split=" << split;
+  }
+}
+
+TEST(Hmac, Rfc4231Vectors) {
+  // RFC 4231 test case 1.
+  Bytes key(20, 0x0b);
+  Digest mac = hmac_sha256(key, to_bytes("Hi There"));
+  EXPECT_EQ(digest_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  // Test case 2: short key.
+  mac = hmac_sha256(to_bytes("Jefe"), to_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(digest_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  // Test case 6: key longer than block size.
+  Bytes long_key(131, 0xaa);
+  mac = hmac_sha256(long_key,
+                    to_bytes("Test Using Larger Than Block-Size Key - Hash "
+                             "Key First"));
+  EXPECT_EQ(digest_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, VerifyAcceptsAndRejects) {
+  Bytes key = to_bytes("k");
+  Bytes msg = to_bytes("message");
+  Digest mac = hmac_sha256(key, msg);
+  EXPECT_TRUE(hmac_verify(key, msg, BytesView(mac.data(), mac.size())));
+  Digest bad = mac;
+  bad[0] ^= 1;
+  EXPECT_FALSE(hmac_verify(key, msg, BytesView(bad.data(), bad.size())));
+  EXPECT_FALSE(hmac_verify(to_bytes("k2"), msg, BytesView(mac.data(), 32)));
+}
+
+TEST(Hmac, DeriveKeyIsLabelSeparated) {
+  Bytes root = to_bytes("root-key");
+  EXPECT_NE(derive_key(root, "a"), derive_key(root, "b"));
+  EXPECT_EQ(derive_key(root, "a"), derive_key(root, "a"));
+}
+
+TEST(Lamport, SignVerify) {
+  auto kp = LamportKeyPair::from_seed(to_bytes("seed-1"));
+  Bytes msg = to_bytes("resource usage log payload");
+  LamportSignature sig = lamport_sign(kp.priv, msg);
+  EXPECT_TRUE(lamport_verify(kp.pub, msg, sig));
+}
+
+TEST(Lamport, RejectsWrongMessage) {
+  auto kp = LamportKeyPair::from_seed(to_bytes("seed-2"));
+  LamportSignature sig = lamport_sign(kp.priv, to_bytes("A"));
+  EXPECT_FALSE(lamport_verify(kp.pub, to_bytes("B"), sig));
+}
+
+TEST(Lamport, RejectsTamperedSignature) {
+  auto kp = LamportKeyPair::from_seed(to_bytes("seed-3"));
+  Bytes msg = to_bytes("msg");
+  LamportSignature sig = lamport_sign(kp.priv, msg);
+  sig.revealed[100][5] ^= 0xff;
+  EXPECT_FALSE(lamport_verify(kp.pub, msg, sig));
+}
+
+TEST(Lamport, RejectsWrongKey) {
+  auto kp1 = LamportKeyPair::from_seed(to_bytes("seed-4"));
+  auto kp2 = LamportKeyPair::from_seed(to_bytes("seed-5"));
+  Bytes msg = to_bytes("msg");
+  LamportSignature sig = lamport_sign(kp1.priv, msg);
+  EXPECT_FALSE(lamport_verify(kp2.pub, msg, sig));
+}
+
+TEST(Lamport, SerializationRoundTrip) {
+  auto kp = LamportKeyPair::from_seed(to_bytes("seed-6"));
+  Bytes pub_bytes = kp.pub.serialize();
+  LamportPublicKey pub2 = LamportPublicKey::deserialize(pub_bytes);
+  EXPECT_EQ(pub2.fingerprint(), kp.pub.fingerprint());
+  LamportSignature sig = lamport_sign(kp.priv, to_bytes("x"));
+  LamportSignature sig2 = LamportSignature::deserialize(sig.serialize());
+  EXPECT_TRUE(lamport_verify(pub2, to_bytes("x"), sig2));
+}
+
+TEST(Merkle, SingleLeaf) {
+  std::vector<Bytes> leaves = {to_bytes("only")};
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.prove(0);
+  EXPECT_TRUE(merkle_verify(tree.root(), to_bytes("only"), proof));
+}
+
+TEST(Merkle, AllLeavesProvable) {
+  for (size_t n : {1ul, 2ul, 3ul, 4ul, 5ul, 7ul, 8ul, 13ul}) {
+    std::vector<Bytes> leaves;
+    for (size_t i = 0; i < n; ++i) {
+      leaves.push_back(to_bytes("leaf-" + std::to_string(i)));
+    }
+    MerkleTree tree(leaves);
+    for (size_t i = 0; i < n; ++i) {
+      MerkleProof proof = tree.prove(i);
+      EXPECT_TRUE(merkle_verify(tree.root(), leaves[i], proof))
+          << "n=" << n << " i=" << i;
+      // Wrong leaf data must not verify.
+      EXPECT_FALSE(merkle_verify(tree.root(), to_bytes("evil"), proof));
+    }
+  }
+}
+
+TEST(Merkle, ProofForWrongIndexFails) {
+  std::vector<Bytes> leaves = {to_bytes("a"), to_bytes("b"), to_bytes("c"),
+                               to_bytes("d")};
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.prove(1);
+  proof.leaf_index = 2;
+  EXPECT_FALSE(merkle_verify(tree.root(), leaves[1], proof));
+}
+
+TEST(Merkle, ProofSerializationRoundTrip) {
+  std::vector<Bytes> leaves = {to_bytes("a"), to_bytes("b"), to_bytes("c")};
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.prove(2);
+  MerkleProof proof2 = MerkleProof::deserialize(proof.serialize());
+  EXPECT_TRUE(merkle_verify(tree.root(), leaves[2], proof2));
+}
+
+TEST(Merkle, EmptyTreeRejected) {
+  std::vector<Bytes> leaves;
+  EXPECT_THROW(MerkleTree tree(leaves), std::invalid_argument);
+}
+
+TEST(Signer, MultipleSignaturesVerify) {
+  Signer signer(to_bytes("enclave-seed"), 4);
+  Digest id = signer.identity();
+  for (int i = 0; i < 4; ++i) {
+    Bytes msg = to_bytes("log entry " + std::to_string(i));
+    Signature sig = signer.sign(msg);
+    EXPECT_TRUE(signature_verify(id, msg, sig)) << i;
+  }
+}
+
+TEST(Signer, ExhaustionThrows) {
+  Signer signer(to_bytes("s"), 2);
+  signer.sign(to_bytes("1"));
+  signer.sign(to_bytes("2"));
+  EXPECT_EQ(signer.keys_remaining(), 0u);
+  EXPECT_THROW(signer.sign(to_bytes("3")), acctee::Error);
+}
+
+TEST(Signer, RejectsCrossSignerForgery) {
+  Signer alice(to_bytes("alice"), 2);
+  Signer mallory(to_bytes("mallory"), 2);
+  Bytes msg = to_bytes("pay mallory");
+  Signature sig = mallory.sign(msg);
+  EXPECT_FALSE(signature_verify(alice.identity(), msg, sig));
+}
+
+TEST(Signer, RejectsKeyIndexConfusion) {
+  Signer signer(to_bytes("s2"), 4);
+  Bytes msg = to_bytes("m");
+  Signature sig = signer.sign(msg);
+  sig.key_index = 1;  // proof is for index 0
+  EXPECT_FALSE(signature_verify(signer.identity(), msg, sig));
+}
+
+TEST(Signer, SignatureSerializationRoundTrip) {
+  Signer signer(to_bytes("s3"), 2);
+  Bytes msg = to_bytes("serialized");
+  Signature sig = signer.sign(msg);
+  Signature sig2 = Signature::deserialize(sig.serialize());
+  EXPECT_TRUE(signature_verify(signer.identity(), msg, sig2));
+}
+
+}  // namespace
+}  // namespace acctee::crypto

@@ -1,0 +1,199 @@
+// Direct unit tests for the flattener: branch-target resolution, stack
+// unwind depths, synthetic-op placement and br_table patching. (Everything
+// else tests the flattener only indirectly through execution.)
+#include <gtest/gtest.h>
+
+#include "interp/flatten.hpp"
+#include "wasm/validator.hpp"
+#include "wasm/wat_parser.hpp"
+
+namespace acctee::interp {
+namespace {
+
+using wasm::Op;
+
+FlatFunc flatten_first(const char* wat) {
+  wasm::Module m = wasm::parse_wat(wat);
+  wasm::validate(m);
+  return flatten(m, m.functions.at(0));
+}
+
+size_t count_ops(const FlatFunc& ff, Op op, bool synthetic) {
+  size_t n = 0;
+  for (const auto& fo : ff.code) {
+    if (fo.op == op && fo.synthetic == synthetic) ++n;
+  }
+  return n;
+}
+
+TEST(Flatten, EndsWithSyntheticReturn) {
+  FlatFunc ff = flatten_first("(module (func nop))");
+  ASSERT_GE(ff.code.size(), 2u);
+  EXPECT_EQ(ff.code.back().op, Op::Return);
+  EXPECT_TRUE(ff.code.back().synthetic);
+  EXPECT_EQ(ff.code.back().arity, 0);
+}
+
+TEST(Flatten, SyntheticReturnCarriesResultArity) {
+  FlatFunc ff = flatten_first("(module (func (result i32) i32.const 1))");
+  EXPECT_EQ(ff.code.back().arity, 1);
+}
+
+TEST(Flatten, ExplicitReturnIsNotSynthetic) {
+  FlatFunc ff =
+      flatten_first("(module (func (result i32) i32.const 1 return))");
+  EXPECT_EQ(count_ops(ff, Op::Return, /*synthetic=*/false), 1u);
+  EXPECT_EQ(count_ops(ff, Op::Return, /*synthetic=*/true), 1u);
+}
+
+TEST(Flatten, BlockBranchTargetsEnd) {
+  // block { br 0 ; nop } nop — the br jumps past the block's contents.
+  FlatFunc ff = flatten_first(R"((module (func
+    block
+      br 0
+      nop
+    end
+    nop
+  )))");
+  // layout: [0]=block [1]=br [2]=nop(dead, still flattened? no: dead code is
+  // skipped) [..]=nop [synthetic return]
+  ASSERT_EQ(ff.code[0].op, Op::Block);
+  ASSERT_EQ(ff.code[1].op, Op::Br);
+  // The br targets the instruction after the block body.
+  EXPECT_EQ(ff.code[1].target_pc, 2u);
+  EXPECT_EQ(ff.code[2].op, Op::Nop);
+}
+
+TEST(Flatten, DeadCodeAfterBrIsNotEmitted) {
+  FlatFunc ff = flatten_first(R"((module (func
+    block
+      br 0
+      nop
+      nop
+      nop
+    end
+  )))");
+  // Only block + br + synthetic return; the dead nops never execute and are
+  // not flattened.
+  EXPECT_EQ(ff.code.size(), 3u);
+}
+
+TEST(Flatten, LoopBranchTargetsBodyStart) {
+  FlatFunc ff = flatten_first(R"((module (func (param i32)
+    loop $l
+      local.get 0
+      br_if $l
+    end
+  )))");
+  // [0]=loop [1]=local.get [2]=br_if -> pc 1
+  ASSERT_EQ(ff.code[2].op, Op::BrIf);
+  EXPECT_EQ(ff.code[2].target_pc, 1u);
+}
+
+TEST(Flatten, IfWithoutElseJumpsToEnd) {
+  FlatFunc ff = flatten_first(R"((module (func (param i32)
+    local.get 0
+    if
+      nop
+      nop
+    end
+    nop
+  )))");
+  // [0]=local.get [1]=if [2]=nop [3]=nop [4]=nop(after) [5]=synthetic ret
+  ASSERT_EQ(ff.code[1].op, Op::If);
+  EXPECT_EQ(ff.code[1].target_pc, 4u);
+  EXPECT_EQ(count_ops(ff, Op::Br, /*synthetic=*/true), 0u);
+}
+
+TEST(Flatten, IfElseHasSyntheticJumpOverElse) {
+  FlatFunc ff = flatten_first(R"((module (func (param i32) (result i32)
+    local.get 0
+    if (result i32)
+      i32.const 1
+    else
+      i32.const 2
+    end
+  )))");
+  // [0]=get [1]=if [2]=const1 [3]=synthetic br [4]=const2 [5]=synth ret
+  ASSERT_EQ(ff.code[1].op, Op::If);
+  EXPECT_EQ(ff.code[1].target_pc, 4u);  // else branch entry
+  ASSERT_EQ(ff.code[3].op, Op::Br);
+  EXPECT_TRUE(ff.code[3].synthetic);
+  EXPECT_EQ(ff.code[3].target_pc, 5u);  // join
+  EXPECT_EQ(ff.code[3].arity, 1);       // carries the result value
+}
+
+TEST(Flatten, BranchUnwindDepthReflectsOperandHeight) {
+  // A br that leaves two live operands behind must record the entry height.
+  FlatFunc ff = flatten_first(R"((module (func (result i32)
+    i32.const 10
+    block (result i32)
+      i32.const 20
+      br 0
+    end
+    i32.add
+  )))");
+  const FlatOp* br = nullptr;
+  for (const auto& fo : ff.code) {
+    if (fo.op == Op::Br && !fo.synthetic) br = &fo;
+  }
+  ASSERT_NE(br, nullptr);
+  EXPECT_EQ(br->arity, 1);
+  // Operand height at block entry: the i32.const 10 is below it.
+  EXPECT_EQ(br->unwind, 1u);
+}
+
+TEST(Flatten, BrTableTargetsResolved) {
+  FlatFunc ff = flatten_first(R"((module (func (param i32)
+    block $outer
+      loop $l
+        block $inner
+          local.get 0
+          br_table $inner $l $outer
+        end
+        nop
+      end
+    end
+  )))");
+  const FlatOp* bt = nullptr;
+  for (const auto& fo : ff.code) {
+    if (fo.op == Op::BrTable) bt = &fo;
+  }
+  ASSERT_NE(bt, nullptr);
+  ASSERT_EQ(ff.br_tables.size(), 1u);
+  const auto& targets = ff.br_tables[bt->a];
+  ASSERT_EQ(targets.size(), 3u);
+  // $inner: forward to the nop after the inner block.
+  // $l: back to the loop body start.
+  // $outer (default): past everything, to the synthetic return.
+  // layout: [0]=block [1]=loop [2]=block [3]=get [4]=br_table [5]=nop [6]=ret
+  EXPECT_EQ(targets[0].pc, 5u);
+  EXPECT_EQ(targets[1].pc, 2u);
+  EXPECT_EQ(targets[2].pc, 6u);
+}
+
+TEST(Flatten, LocalLayout) {
+  wasm::Module m = wasm::parse_wat(
+      "(module (func (param i32 f64) (local i64 i64) nop))");
+  wasm::validate(m);
+  FlatFunc ff = flatten(m, m.functions[0]);
+  EXPECT_EQ(ff.num_params, 2u);
+  ASSERT_EQ(ff.local_types.size(), 4u);
+  EXPECT_EQ(ff.local_types[0], wasm::ValType::I32);
+  EXPECT_EQ(ff.local_types[1], wasm::ValType::F64);
+  EXPECT_EQ(ff.local_types[2], wasm::ValType::I64);
+}
+
+TEST(Flatten, FunctionLevelBranchActsAsReturn) {
+  FlatFunc ff = flatten_first(R"((module (func (result i32)
+    i32.const 7
+    br 0
+  )))");
+  // The br targets the synthetic return at the end.
+  ASSERT_EQ(ff.code[1].op, Op::Br);
+  EXPECT_EQ(ff.code[1].target_pc, static_cast<uint32_t>(ff.code.size() - 1));
+  EXPECT_EQ(ff.code[1].arity, 1);
+}
+
+}  // namespace
+}  // namespace acctee::interp

@@ -1,0 +1,182 @@
+// Whole-system integration tests: real evaluation workloads through the
+// complete two-party trust workflow, with calibrated (non-unit) weights,
+// caching, periodic logs and billing — the paths a production deployment
+// would exercise together.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/instrumentation_cache.hpp"
+#include "core/session.hpp"
+#include "wasm/binary.hpp"
+#include "workloads/faas_functions.hpp"
+#include "workloads/microbench.hpp"
+#include "workloads/polybench.hpp"
+#include "workloads/usecases.hpp"
+
+namespace acctee {
+namespace {
+
+using core::InfrastructureProvider;
+using core::InstrumentationEnclave;
+using core::SessionPolicy;
+using core::WorkloadProvider;
+using interp::TypedValue;
+using V = TypedValue;
+
+struct World {
+  sgx::AttestationService ias{to_bytes("integration-ias"), 128};
+  sgx::Platform ie_host{"ie-host", to_bytes("ie-seed")};
+  sgx::Platform cloud{"cloud", to_bytes("cloud-seed")};
+
+  World() {
+    ias.provision_platform(ie_host);
+    ias.provision_platform(cloud);
+  }
+};
+
+SessionPolicy calibrated_policy() {
+  SessionPolicy policy;
+  // The weight table a Fig. 7 calibration would produce (attested data).
+  policy.instrumentation.weights = instrument::WeightTable::from_base_costs();
+  policy.instrumentation.pass = instrument::PassKind::LoopBased;
+  policy.platform = interp::Platform::WasmSgxSim;
+  return policy;
+}
+
+core::PriceSchedule flat_prices() {
+  core::PriceSchedule p;
+  p.provider = "integration-cloud";
+  p.nanocredits_per_mega_instruction = 250;
+  p.nanocredits_per_mib_peak = 40;
+  p.nanocredits_per_kib_io = 2;
+  return p;
+}
+
+TEST(Integration, PolybenchKernelThroughFullSession) {
+  World world;
+  SessionPolicy policy = calibrated_policy();
+  InstrumentationEnclave ie(world.ie_host, policy.instrumentation);
+  WorkloadProvider customer(
+      wasm::encode(workloads::build_polybench("gemm", 24)), policy,
+      world.ias.identity());
+  InfrastructureProvider provider(world.cloud, policy, world.ias.identity(),
+                                  flat_prices());
+
+  customer.instrument_with(ie, world.ias);
+  provider.trust_instrumentation_enclave(ie.identity_quote(), world.ias);
+  customer.attest_accounting_enclave(provider.accounting_enclave_quote(),
+                                     world.ias);
+
+  auto billed = provider.run(customer.instrumented_binary(),
+                             customer.evidence(), "run", {});
+  ASSERT_TRUE(customer.accept_log(billed.outcome.signed_log));
+  const auto& log = billed.outcome.signed_log.log;
+  EXPECT_FALSE(log.trapped);
+  // Weighted counter under base-cost weights exceeds the plain instruction
+  // count (weights >= 1 with many > 1).
+  EXPECT_GT(log.weighted_instructions, billed.outcome.stats.instructions);
+  EXPECT_EQ(log.weight_table_hash,
+            instrument::WeightTable::from_base_costs().hash());
+  EXPECT_GT(billed.bill.total(), 0u);
+  // The kernel's checksum result came through the sandbox.
+  ASSERT_EQ(billed.outcome.results.size(), 1u);
+  EXPECT_TRUE(std::isfinite(billed.outcome.results[0].f64()));
+}
+
+TEST(Integration, WeightedCounterMatchesWeightedGroundTruth) {
+  // The end-to-end weighted counter equals the interpreter's independent
+  // weighted count — with a non-trivial table, through the whole stack.
+  World world;
+  SessionPolicy policy = calibrated_policy();
+  InstrumentationEnclave ie(world.ie_host, policy.instrumentation);
+  wasm::Module original = workloads::usecase_subsetsum();
+  Bytes binary = wasm::encode(original);
+
+  uint64_t ground_truth;
+  {
+    interp::Instance::Options opts;
+    opts.cache_model = false;
+    interp::Instance inst(original, {}, opts);
+    inst.invoke("run", {V::make_i32(3)});
+    ground_truth =
+        inst.stats().weighted(policy.instrumentation.weights.raw());
+  }
+
+  WorkloadProvider customer(binary, policy, world.ias.identity());
+  InfrastructureProvider provider(world.cloud, policy, world.ias.identity(),
+                                  flat_prices());
+  customer.instrument_with(ie, world.ias);
+  provider.trust_instrumentation_enclave(ie.identity_quote(), world.ias);
+  customer.attest_accounting_enclave(provider.accounting_enclave_quote(),
+                                     world.ias);
+  auto billed = provider.run(customer.instrumented_binary(),
+                             customer.evidence(), "run", {V::make_i32(3)});
+  EXPECT_EQ(billed.outcome.signed_log.log.weighted_instructions, ground_truth);
+}
+
+TEST(Integration, FaasFunctionWithIoAccountingBilledEndToEnd) {
+  World world;
+  SessionPolicy policy = calibrated_policy();
+  InstrumentationEnclave ie(world.ie_host, policy.instrumentation);
+  WorkloadProvider customer(wasm::encode(workloads::faas_resize()), policy,
+                            world.ias.identity());
+  InfrastructureProvider provider(world.cloud, policy, world.ias.identity(),
+                                  flat_prices());
+  customer.instrument_with(ie, world.ias);
+  provider.trust_instrumentation_enclave(ie.identity_quote(), world.ias);
+  customer.attest_accounting_enclave(provider.accounting_enclave_quote(),
+                                     world.ias);
+
+  Bytes image = workloads::make_test_image(96, 11);
+  auto billed = provider.run(customer.instrumented_binary(),
+                             customer.evidence(), "run", {}, image);
+  ASSERT_TRUE(customer.accept_log(billed.outcome.signed_log));
+  EXPECT_EQ(billed.outcome.signed_log.log.io_bytes_in, image.size());
+  EXPECT_EQ(billed.outcome.signed_log.log.io_bytes_out,
+            workloads::kResizeOutputSide * workloads::kResizeOutputSide * 3u);
+  EXPECT_GT(billed.bill.io_nanocredits, 0u);
+  EXPECT_EQ(billed.outcome.output.size(),
+            workloads::kResizeOutputSide * workloads::kResizeOutputSide * 3u);
+}
+
+TEST(Integration, CachedDeploymentServesManyVolunteers) {
+  World world;
+  SessionPolicy policy = calibrated_policy();
+  InstrumentationEnclave ie(world.ie_host, policy.instrumentation, 16);
+  core::InstrumentationCache cache;
+  Bytes binary = wasm::encode(workloads::usecase_msieve());
+
+  // Ten deployments of the same workload: one pass, one signature.
+  for (int i = 0; i < 10; ++i) {
+    const auto& output = cache.instrument(ie, binary);
+    EXPECT_TRUE(output.evidence.verify(ie.identity()));
+  }
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 9u);
+  EXPECT_EQ(ie.keys_remaining_for_test(), 15u);
+}
+
+TEST(Integration, MicrobenchModulesRunUnderFullAccounting) {
+  // Even the Fig. 8 generator output is an ordinary accountable workload.
+  World world;
+  SessionPolicy policy = calibrated_policy();
+  InstrumentationEnclave ie(world.ie_host, policy.instrumentation);
+  wasm::Module bench = workloads::memory_access_bench(
+      wasm::ValType::I64, true, workloads::AccessPattern::Random,
+      1 << 20, 2000);
+  WorkloadProvider customer(wasm::encode(bench), policy, world.ias.identity());
+  InfrastructureProvider provider(world.cloud, policy, world.ias.identity(),
+                                  flat_prices());
+  customer.instrument_with(ie, world.ias);
+  provider.trust_instrumentation_enclave(ie.identity_quote(), world.ias);
+  customer.attest_accounting_enclave(provider.accounting_enclave_quote(),
+                                     world.ias);
+  auto billed = provider.run(customer.instrumented_binary(),
+                             customer.evidence(), "run", {});
+  EXPECT_TRUE(customer.accept_log(billed.outcome.signed_log));
+  EXPECT_GT(billed.outcome.signed_log.log.peak_memory_bytes, 1u << 19);
+}
+
+}  // namespace
+}  // namespace acctee

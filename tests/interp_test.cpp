@@ -1,0 +1,840 @@
+// Interpreter semantics tests: numerics, control flow, calls, memory,
+// traps, host functions, and execution statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.hpp"
+
+namespace acctee::interp {
+namespace {
+
+using testutil::make_instance;
+using testutil::run_f32;
+using testutil::run_f64;
+using testutil::run_i32;
+using testutil::run_i64;
+using V = TypedValue;
+
+// ---------------------------------------------------------------------------
+// Numeric semantics
+// ---------------------------------------------------------------------------
+
+TEST(Numerics, I32Basics) {
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i32.const 20 i32.const 22 i32.add)))", "f"), 42);
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i32.const 5 i32.const 7 i32.sub)))", "f"), -2);
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i32.const -3 i32.const 7 i32.mul)))", "f"), -21);
+}
+
+TEST(Numerics, I32DivisionSemantics) {
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i32.const -7 i32.const 2 i32.div_s)))", "f"), -3);  // trunc toward 0
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i32.const -7 i32.const 2 i32.div_u)))", "f"),
+            static_cast<int32_t>((0xFFFFFFF9u) / 2));
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i32.const -7 i32.const 2 i32.rem_s)))", "f"), -1);
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i32.const -2147483648 i32.const -1 i32.rem_s)))", "f"), 0);
+}
+
+TEST(Numerics, I32ShiftsMaskTheCount) {
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i32.const 1 i32.const 33 i32.shl)))", "f"), 2);
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i32.const -8 i32.const 1 i32.shr_s)))", "f"), -4);
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i32.const -8 i32.const 1 i32.shr_u)))", "f"),
+            static_cast<int32_t>(0xFFFFFFF8u >> 1));
+}
+
+TEST(Numerics, I32Rotates) {
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i32.const 0x80000001 i32.const 1 i32.rotl)))", "f"), 3);
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i32.const 3 i32.const 1 i32.rotr)))", "f"),
+            static_cast<int32_t>(0x80000001u));
+}
+
+TEST(Numerics, BitCounting) {
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i32.const 0 i32.clz)))", "f"), 32);
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i32.const 0x00800000 i32.clz)))", "f"), 8);
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i32.const 0 i32.ctz)))", "f"), 32);
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i32.const 0xf0f0 i32.popcnt)))", "f"), 8);
+  EXPECT_EQ(run_i64(R"((module (func (export "f") (result i64)
+    i64.const 1 i64.clz)))", "f"), 63);
+}
+
+TEST(Numerics, I64Basics) {
+  EXPECT_EQ(run_i64(R"((module (func (export "f") (result i64)
+    i64.const 0x100000000 i64.const 3 i64.mul)))", "f"), 0x300000000LL);
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i64.const -1 i64.const 1 i64.lt_s)))", "f"), 1);
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i64.const -1 i64.const 1 i64.lt_u)))", "f"), 0);
+}
+
+TEST(Numerics, FloatArithmetic) {
+  EXPECT_DOUBLE_EQ(run_f64(R"((module (func (export "f") (result f64)
+    f64.const 0.5 f64.const 0.25 f64.add)))", "f"), 0.75);
+  EXPECT_FLOAT_EQ(run_f32(R"((module (func (export "f") (result f32)
+    f32.const 9 f32.sqrt)))", "f"), 3.0f);
+  EXPECT_DOUBLE_EQ(run_f64(R"((module (func (export "f") (result f64)
+    f64.const 7 f64.const 2 f64.div)))", "f"), 3.5);
+}
+
+TEST(Numerics, FloatRounding) {
+  EXPECT_DOUBLE_EQ(run_f64(R"((module (func (export "f") (result f64)
+    f64.const 2.5 f64.nearest)))", "f"), 2.0);  // round half to even
+  EXPECT_DOUBLE_EQ(run_f64(R"((module (func (export "f") (result f64)
+    f64.const 3.5 f64.nearest)))", "f"), 4.0);
+  EXPECT_DOUBLE_EQ(run_f64(R"((module (func (export "f") (result f64)
+    f64.const -1.5 f64.floor)))", "f"), -2.0);
+  EXPECT_DOUBLE_EQ(run_f64(R"((module (func (export "f") (result f64)
+    f64.const -1.5 f64.ceil)))", "f"), -1.0);
+  EXPECT_DOUBLE_EQ(run_f64(R"((module (func (export "f") (result f64)
+    f64.const -1.7 f64.trunc)))", "f"), -1.0);
+}
+
+TEST(Numerics, MinMaxNanAndSignedZero) {
+  EXPECT_TRUE(std::isnan(run_f64(R"((module (func (export "f") (result f64)
+    f64.const nan f64.const 1 f64.min)))", "f")));
+  EXPECT_TRUE(std::isnan(run_f64(R"((module (func (export "f") (result f64)
+    f64.const 1 f64.const nan f64.max)))", "f")));
+  double mn = run_f64(R"((module (func (export "f") (result f64)
+    f64.const -0.0 f64.const 0.0 f64.min)))", "f");
+  EXPECT_TRUE(std::signbit(mn));
+  double mx = run_f64(R"((module (func (export "f") (result f64)
+    f64.const -0.0 f64.const 0.0 f64.max)))", "f");
+  EXPECT_FALSE(std::signbit(mx));
+}
+
+TEST(Numerics, Copysign) {
+  EXPECT_DOUBLE_EQ(run_f64(R"((module (func (export "f") (result f64)
+    f64.const 3 f64.const -1 f64.copysign)))", "f"), -3.0);
+}
+
+TEST(Numerics, Conversions) {
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    i64.const 0x1_0000_0005 i32.wrap_i64)))", "f"), 5);
+  EXPECT_EQ(run_i64(R"((module (func (export "f") (result i64)
+    i32.const -1 i64.extend_i32_s)))", "f"), -1);
+  EXPECT_EQ(run_i64(R"((module (func (export "f") (result i64)
+    i32.const -1 i64.extend_i32_u)))", "f"), 0xffffffffLL);
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    f64.const -3.9 i32.trunc_f64_s)))", "f"), -3);
+  EXPECT_DOUBLE_EQ(run_f64(R"((module (func (export "f") (result f64)
+    i64.const -2 f64.convert_i64_s)))", "f"), -2.0);
+  EXPECT_DOUBLE_EQ(run_f64(R"((module (func (export "f") (result f64)
+    i64.const -1 f64.convert_i64_u)))", "f"), 18446744073709551616.0);
+  EXPECT_FLOAT_EQ(run_f32(R"((module (func (export "f") (result f32)
+    f64.const 0.1 f32.demote_f64)))", "f"), 0.1f);
+}
+
+TEST(Numerics, Reinterpret) {
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    f32.const 1 i32.reinterpret_f32)))", "f"), 0x3f800000);
+  EXPECT_FLOAT_EQ(run_f32(R"((module (func (export "f") (result f32)
+    i32.const 0x40490fdb f32.reinterpret_i32)))", "f"), 3.14159274f);
+}
+
+// ---------------------------------------------------------------------------
+// Control flow
+// ---------------------------------------------------------------------------
+
+TEST(Control, IfElse) {
+  const char* wat = R"((module (func (export "sign") (param i32) (result i32)
+    local.get 0
+    i32.const 0
+    i32.lt_s
+    if (result i32)
+      i32.const -1
+    else
+      local.get 0
+      i32.const 0
+      i32.gt_s
+    end
+  )))";
+  Instance inst = make_instance(wat);
+  EXPECT_EQ(inst.invoke("sign", {V::make_i32(-5)})[0].i32(), -1);
+  EXPECT_EQ(inst.invoke("sign", {V::make_i32(0)})[0].i32(), 0);
+  EXPECT_EQ(inst.invoke("sign", {V::make_i32(9)})[0].i32(), 1);
+}
+
+TEST(Control, LoopSum) {
+  // sum 1..n with a do-while loop
+  const char* wat = R"((module (func (export "sum") (param i32) (result i32)
+    (local $acc i32)
+    loop $l
+      local.get $acc
+      local.get 0
+      i32.add
+      local.set $acc
+      local.get 0
+      i32.const 1
+      i32.sub
+      local.tee 0
+      br_if $l
+    end
+    local.get $acc
+  )))";
+  Instance inst = make_instance(wat);
+  EXPECT_EQ(inst.invoke("sum", {V::make_i32(10)})[0].i32(), 55);
+  EXPECT_EQ(inst.invoke("sum", {V::make_i32(1000)})[0].i32(), 500500);
+}
+
+TEST(Control, BlockBreakCarriesValue) {
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    block (result i32)
+      i32.const 7
+      br 0
+      unreachable
+    end
+  )))", "f"), 7);
+}
+
+TEST(Control, BrIfKeepsValueWhenNotTaken) {
+  const char* wat = R"((module (func (export "f") (param i32) (result i32)
+    block $b (result i32)
+      i32.const 100
+      local.get 0
+      br_if $b
+      drop
+      i32.const 200
+    end
+  )))";
+  Instance inst = make_instance(wat);
+  EXPECT_EQ(inst.invoke("f", {V::make_i32(1)})[0].i32(), 100);
+  EXPECT_EQ(inst.invoke("f", {V::make_i32(0)})[0].i32(), 200);
+}
+
+TEST(Control, BrTableDispatch) {
+  const char* wat = R"((module (func (export "f") (param i32) (result i32)
+    block $default
+      block $two
+        block $one
+          block $zero
+            local.get 0
+            br_table $zero $one $two $default
+          end
+          i32.const 100
+          return
+        end
+        i32.const 101
+        return
+      end
+      i32.const 102
+      return
+    end
+    i32.const 999
+  )))";
+  Instance inst = make_instance(wat);
+  EXPECT_EQ(inst.invoke("f", {V::make_i32(0)})[0].i32(), 100);
+  EXPECT_EQ(inst.invoke("f", {V::make_i32(1)})[0].i32(), 101);
+  EXPECT_EQ(inst.invoke("f", {V::make_i32(2)})[0].i32(), 102);
+  EXPECT_EQ(inst.invoke("f", {V::make_i32(3)})[0].i32(), 999);
+  EXPECT_EQ(inst.invoke("f", {V::make_i32(-1)})[0].i32(), 999);
+}
+
+TEST(Control, NestedLoopsWithOuterBreak) {
+  // Search a 2D iteration space; break out of both loops via labeled br.
+  const char* wat = R"((module (func (export "f") (result i32)
+    (local $i i32) (local $j i32) (local $count i32)
+    block $done
+      i32.const 0
+      local.set $i
+      loop $outer
+        i32.const 0
+        local.set $j
+        loop $inner
+          local.get $count
+          i32.const 1
+          i32.add
+          local.set $count
+          local.get $count
+          i32.const 17
+          i32.eq
+          br_if $done
+          local.get $j
+          i32.const 1
+          i32.add
+          local.tee $j
+          i32.const 5
+          i32.lt_s
+          br_if $inner
+        end
+        local.get $i
+        i32.const 1
+        i32.add
+        local.tee $i
+        i32.const 5
+        i32.lt_s
+        br_if $outer
+      end
+    end
+    local.get $count
+  )))";
+  EXPECT_EQ(run_i32(wat, "f"), 17);
+}
+
+TEST(Control, Select) {
+  const char* wat = R"((module (func (export "max") (param i32 i32) (result i32)
+    local.get 0
+    local.get 1
+    local.get 0
+    local.get 1
+    i32.gt_s
+    select
+  )))";
+  Instance inst = make_instance(wat);
+  EXPECT_EQ(inst.invoke("max", {V::make_i32(3), V::make_i32(9)})[0].i32(), 9);
+  EXPECT_EQ(inst.invoke("max", {V::make_i32(-3), V::make_i32(-9)})[0].i32(), -3);
+}
+
+TEST(Control, ReturnFromNestedBlocks) {
+  EXPECT_EQ(run_i32(R"((module (func (export "f") (result i32)
+    block
+      block
+        i32.const 5
+        return
+      end
+    end
+    i32.const 1
+  )))", "f"), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Functions and calls
+// ---------------------------------------------------------------------------
+
+TEST(Calls, RecursiveFibonacci) {
+  const char* wat = R"((module
+    (func $fib (export "fib") (param i32) (result i32)
+      local.get 0
+      i32.const 2
+      i32.lt_s
+      if (result i32)
+        local.get 0
+      else
+        local.get 0
+        i32.const 1
+        i32.sub
+        call $fib
+        local.get 0
+        i32.const 2
+        i32.sub
+        call $fib
+        i32.add
+      end
+    )
+  ))";
+  Instance inst = make_instance(wat);
+  EXPECT_EQ(inst.invoke("fib", {V::make_i32(10)})[0].i32(), 55);
+  EXPECT_EQ(inst.invoke("fib", {V::make_i32(20)})[0].i32(), 6765);
+}
+
+TEST(Calls, MutualRecursion) {
+  const char* wat = R"((module
+    (func $is_even (export "is_even") (param i32) (result i32)
+      local.get 0
+      i32.eqz
+      if (result i32)
+        i32.const 1
+      else
+        local.get 0
+        i32.const 1
+        i32.sub
+        call $is_odd
+      end
+    )
+    (func $is_odd (param i32) (result i32)
+      local.get 0
+      i32.eqz
+      if (result i32)
+        i32.const 0
+      else
+        local.get 0
+        i32.const 1
+        i32.sub
+        call $is_even
+      end
+    )
+  ))";
+  Instance inst = make_instance(wat);
+  EXPECT_EQ(inst.invoke("is_even", {V::make_i32(10)})[0].i32(), 1);
+  EXPECT_EQ(inst.invoke("is_even", {V::make_i32(7)})[0].i32(), 0);
+}
+
+TEST(Calls, CallIndirect) {
+  const char* wat = R"((module
+    (type $binop (func (param i32 i32) (result i32)))
+    (table 2 funcref)
+    (elem (i32.const 0) $add $mul)
+    (func $add (type $binop) local.get 0 local.get 1 i32.add)
+    (func $mul (type $binop) local.get 0 local.get 1 i32.mul)
+    (func (export "apply") (param i32 i32 i32) (result i32)
+      local.get 1
+      local.get 2
+      local.get 0
+      call_indirect (type $binop)
+    )
+  ))";
+  Instance inst = make_instance(wat);
+  EXPECT_EQ(inst.invoke("apply", {V::make_i32(0), V::make_i32(3),
+                                  V::make_i32(4)})[0].i32(), 7);
+  EXPECT_EQ(inst.invoke("apply", {V::make_i32(1), V::make_i32(3),
+                                  V::make_i32(4)})[0].i32(), 12);
+}
+
+TEST(Calls, StartFunctionRunsAtInstantiation) {
+  const char* wat = R"((module
+    (global $g (mut i32) (i32.const 0))
+    (export "g" (global $g))
+    (func $init i32.const 99 global.set $g)
+    (start $init)
+  ))";
+  Instance inst = make_instance(wat);
+  EXPECT_EQ(inst.read_global("g").i32(), 99);
+}
+
+// ---------------------------------------------------------------------------
+// Memory
+// ---------------------------------------------------------------------------
+
+TEST(Memory, LoadStoreRoundTrip) {
+  const char* wat = R"((module
+    (memory 1)
+    (func (export "rt64") (param i64) (result i64)
+      i32.const 128
+      local.get 0
+      i64.store
+      i32.const 128
+      i64.load
+    )
+    (func (export "rtf") (param f64) (result f64)
+      i32.const 64
+      local.get 0
+      f64.store
+      i32.const 64
+      f64.load
+    )
+  ))";
+  Instance inst = make_instance(wat);
+  EXPECT_EQ(inst.invoke("rt64", {V::make_i64(-123456789012345LL)})[0].i64(),
+            -123456789012345LL);
+  EXPECT_DOUBLE_EQ(inst.invoke("rtf", {V::make_f64(2.718281828)})[0].f64(),
+                   2.718281828);
+}
+
+TEST(Memory, SubWordSignExtension) {
+  const char* wat = R"((module
+    (memory 1)
+    (func (export "f") (result i32)
+      i32.const 0
+      i32.const 0xff
+      i32.store8
+      i32.const 0
+      i32.load8_s
+    )
+    (func (export "g") (result i32)
+      i32.const 0
+      i32.const 0xff
+      i32.store8
+      i32.const 0
+      i32.load8_u
+    )
+    (func (export "h") (result i64)
+      i32.const 8
+      i64.const -2
+      i64.store32
+      i32.const 8
+      i64.load32_s
+    )
+  ))";
+  Instance inst = make_instance(wat);
+  EXPECT_EQ(inst.invoke("f")[0].i32(), -1);
+  EXPECT_EQ(inst.invoke("g")[0].i32(), 255);
+  EXPECT_EQ(inst.invoke("h")[0].i64(), -2);
+}
+
+TEST(Memory, LittleEndianLayout) {
+  const char* wat = R"((module
+    (memory 1)
+    (func (export "f") (result i32)
+      i32.const 0
+      i32.const 0x04030201
+      i32.store
+      i32.const 0
+      i32.load8_u
+    )
+  ))";
+  EXPECT_EQ(run_i32(wat, "f"), 1);
+}
+
+TEST(Memory, DataSegmentsInitialise) {
+  const char* wat = R"((module
+    (memory 1)
+    (data (i32.const 10) "AB")
+    (func (export "f") (result i32)
+      i32.const 11
+      i32.load8_u
+    )
+  ))";
+  EXPECT_EQ(run_i32(wat, "f"), 'B');
+}
+
+TEST(Memory, StaticOffsetApplies) {
+  const char* wat = R"((module
+    (memory 1)
+    (func (export "f") (result i32)
+      i32.const 100
+      i32.const 7
+      i32.store offset=24
+      i32.const 124
+      i32.load
+    )
+  ))";
+  EXPECT_EQ(run_i32(wat, "f"), 7);
+}
+
+TEST(Memory, GrowAndSize) {
+  const char* wat = R"((module
+    (memory 1 4)
+    (func (export "f") (result i32)
+      memory.size           ;; 1
+      i32.const 2
+      memory.grow           ;; returns old size 1
+      i32.add               ;; 2
+      memory.size           ;; 3
+      i32.add               ;; 5
+    )
+    (func (export "toofar") (result i32)
+      i32.const 10
+      memory.grow
+    )
+  ))";
+  Instance inst = make_instance(wat);
+  EXPECT_EQ(inst.invoke("f")[0].i32(), 5);
+  EXPECT_EQ(inst.invoke("toofar")[0].i32(), -1);
+}
+
+TEST(Memory, PeakTrackingAfterGrow) {
+  const char* wat = R"((module
+    (memory 1 8)
+    (func (export "f")
+      i32.const 3
+      memory.grow
+      drop
+    )
+  ))";
+  Instance inst = make_instance(wat);
+  inst.invoke("f");
+  EXPECT_EQ(inst.stats().peak_memory_bytes, 4 * wasm::kPageSize);
+}
+
+// ---------------------------------------------------------------------------
+// Traps
+// ---------------------------------------------------------------------------
+
+TEST(Traps, OutOfBoundsAccess) {
+  const char* wat = R"((module
+    (memory 1)
+    (func (export "f") (param i32) (result i32)
+      local.get 0
+      i32.load
+    )
+  ))";
+  Instance inst = make_instance(wat);
+  EXPECT_EQ(inst.invoke("f", {V::make_i32(0)})[0].i32(), 0);
+  EXPECT_THROW(inst.invoke("f", {V::make_i32(65536)}), TrapError);
+  EXPECT_THROW(inst.invoke("f", {V::make_i32(65533)}), TrapError);
+  EXPECT_THROW(inst.invoke("f", {V::make_i32(-4)}), TrapError);
+}
+
+TEST(Traps, DivideByZero) {
+  const char* wat = R"((module (func (export "f") (param i32) (result i32)
+    i32.const 1
+    local.get 0
+    i32.div_s
+  )))";
+  Instance inst = make_instance(wat);
+  EXPECT_THROW(inst.invoke("f", {V::make_i32(0)}), TrapError);
+}
+
+TEST(Traps, SignedOverflowDivision) {
+  const char* wat = R"((module (func (export "f") (result i32)
+    i32.const -2147483648
+    i32.const -1
+    i32.div_s
+  )))";
+  Instance inst = make_instance(wat);
+  EXPECT_THROW(inst.invoke("f"), TrapError);
+}
+
+TEST(Traps, Unreachable) {
+  Instance inst = make_instance("(module (func (export \"f\") unreachable))");
+  EXPECT_THROW(inst.invoke("f"), TrapError);
+}
+
+TEST(Traps, TruncNanAndOverflow) {
+  const char* wat = R"((module
+    (func (export "nan") (result i32) f64.const nan i32.trunc_f64_s)
+    (func (export "big") (result i32) f64.const 3e9 i32.trunc_f64_s)
+    (func (export "neg") (result i32) f64.const -1 i32.trunc_f64_u)
+  ))";
+  Instance inst = make_instance(wat);
+  EXPECT_THROW(inst.invoke("nan"), TrapError);
+  EXPECT_THROW(inst.invoke("big"), TrapError);
+  EXPECT_THROW(inst.invoke("neg"), TrapError);
+}
+
+TEST(Traps, CallStackExhaustion) {
+  const char* wat = R"((module (func $f (export "f") call $f))";
+  Instance inst = make_instance(std::string(wat) + ")");
+  EXPECT_THROW(inst.invoke("f"), TrapError);
+}
+
+TEST(Traps, CallIndirectFailures) {
+  const char* wat = R"((module
+    (type $t0 (func (result i32)))
+    (type $t1 (func (result i64)))
+    (table 3 funcref)
+    (elem (i32.const 0) $f)
+    (func $f (type $t0) i32.const 1)
+    (func (export "oob") (result i32)
+      i32.const 9
+      call_indirect (type $t0))
+    (func (export "null") (result i32)
+      i32.const 1
+      call_indirect (type $t0))
+    (func (export "badtype") (result i64)
+      i32.const 0
+      call_indirect (type $t1))
+  ))";
+  Instance inst = make_instance(wat);
+  EXPECT_THROW(inst.invoke("oob"), TrapError);
+  EXPECT_THROW(inst.invoke("null"), TrapError);
+  EXPECT_THROW(inst.invoke("badtype"), TrapError);
+}
+
+TEST(Traps, InstructionLimitStopsRunawayLoop) {
+  const char* wat = R"((module (func (export "f")
+    loop $l
+      br $l
+    end
+  )))";
+  wasm::Module module = wasm::parse_wat(wat);
+  wasm::validate(module);
+  Instance::Options opts;
+  opts.cache_model = false;
+  opts.max_instructions = 10000;
+  Instance inst(std::move(module), {}, opts);
+  EXPECT_THROW(inst.invoke("f"), TrapError);
+  EXPECT_LE(inst.stats().instructions, 10001u);
+}
+
+// ---------------------------------------------------------------------------
+// Host functions
+// ---------------------------------------------------------------------------
+
+TEST(Host, ImportedFunctionReceivesArgsAndReturns) {
+  ImportMap imports;
+  std::vector<int32_t> seen;
+  imports.add("env", "log", wasm::FuncType{{wasm::ValType::I32}, {}},
+              [&](std::span<const TypedValue> args, HostContext&) -> Values {
+                seen.push_back(args[0].i32());
+                return {};
+              });
+  imports.add("env", "magic", wasm::FuncType{{}, {wasm::ValType::I32}},
+              [](std::span<const TypedValue>, HostContext&) -> Values {
+                return {TypedValue::make_i32(1234)};
+              });
+  const char* wat = R"((module
+    (import "env" "log" (func $log (param i32)))
+    (import "env" "magic" (func $magic (result i32)))
+    (func (export "f") (result i32)
+      i32.const 7
+      call $log
+      i32.const 8
+      call $log
+      call $magic
+    )
+  ))";
+  Instance inst = testutil::make_instance(wat, std::move(imports));
+  EXPECT_EQ(inst.invoke("f")[0].i32(), 1234);
+  EXPECT_EQ(seen, (std::vector<int32_t>{7, 8}));
+  EXPECT_EQ(inst.stats().host_calls, 3u);
+}
+
+TEST(Host, HostCanTouchLinearMemory) {
+  ImportMap imports;
+  imports.add("env", "fill",
+              wasm::FuncType{{wasm::ValType::I32, wasm::ValType::I32}, {}},
+              [](std::span<const TypedValue> args, HostContext& ctx) -> Values {
+                Bytes data(static_cast<size_t>(args[1].i32()), 0x5a);
+                ctx.memory->write_bytes(args[0].u32(), data);
+                return {};
+              });
+  const char* wat = R"((module
+    (import "env" "fill" (func $fill (param i32 i32)))
+    (memory 1)
+    (func (export "f") (result i32)
+      i32.const 32
+      i32.const 4
+      call $fill
+      i32.const 34
+      i32.load8_u
+    )
+  ))";
+  Instance inst = testutil::make_instance(wat, std::move(imports));
+  EXPECT_EQ(inst.invoke("f")[0].i32(), 0x5a);
+}
+
+TEST(Host, UnresolvedImportFailsAtLink) {
+  const char* wat = R"((module
+    (import "env" "missing" (func))
+  ))";
+  wasm::Module module = wasm::parse_wat(wat);
+  wasm::validate(module);
+  EXPECT_THROW(Instance(std::move(module), {}), LinkError);
+}
+
+TEST(Host, ImportTypeMismatchFailsAtLink) {
+  ImportMap imports;
+  imports.add("env", "f", wasm::FuncType{{wasm::ValType::I64}, {}},
+              [](std::span<const TypedValue>, HostContext&) -> Values {
+                return {};
+              });
+  const char* wat = "(module (import \"env\" \"f\" (func (param i32))))";
+  wasm::Module module = wasm::parse_wat(wat);
+  wasm::validate(module);
+  EXPECT_THROW(Instance(std::move(module), std::move(imports)), LinkError);
+}
+
+// ---------------------------------------------------------------------------
+// Statistics (the accounting ground truth)
+// ---------------------------------------------------------------------------
+
+TEST(Stats, ExactInstructionCountStraightLine) {
+  const char* wat = R"((module (func (export "f") (result i32)
+    i32.const 1
+    i32.const 2
+    i32.add
+  )))";
+  Instance inst = make_instance(wat);
+  inst.invoke("f");
+  // 3 instructions; the implicit function return is synthetic.
+  EXPECT_EQ(inst.stats().instructions, 3u);
+  EXPECT_EQ(inst.stats().per_op[static_cast<size_t>(wasm::Op::I32Const)], 2u);
+  EXPECT_EQ(inst.stats().per_op[static_cast<size_t>(wasm::Op::I32Add)], 1u);
+}
+
+TEST(Stats, ExactInstructionCountLoop) {
+  // Per iteration: local.get, i32.const, i32.sub, local.tee, br_if = 5.
+  // Loop entry: loop = 1. Total for n iterations: 1 + 5n + final local.get=1.
+  const char* wat = R"((module (func (export "f") (param i32) (result i32)
+    loop $l
+      local.get 0
+      i32.const 1
+      i32.sub
+      local.tee 0
+      br_if $l
+    end
+    local.get 0
+  )))";
+  Instance inst = make_instance(wat);
+  inst.invoke("f", {V::make_i32(10)});
+  EXPECT_EQ(inst.stats().instructions, 1 + 5 * 10 + 1u);
+}
+
+TEST(Stats, IfCountsTakenArmOnly) {
+  const char* wat = R"((module (func (export "f") (param i32) (result i32)
+    local.get 0          ;; 1
+    if (result i32)      ;; 2
+      i32.const 1        ;; then: 1 instr
+      i32.const 2
+      i32.add
+    else
+      i32.const 9        ;; else: 1 instr
+    end
+  )))";
+  {
+    Instance inst = make_instance(wat);
+    inst.invoke("f", {V::make_i32(1)});
+    EXPECT_EQ(inst.stats().instructions, 2 + 3u);
+  }
+  {
+    Instance inst = make_instance(wat);
+    inst.invoke("f", {V::make_i32(0)});
+    EXPECT_EQ(inst.stats().instructions, 2 + 1u);
+  }
+}
+
+TEST(Stats, CyclesAreChargedPerOpcode) {
+  const char* wat = R"((module (func (export "f") (result i32)
+    i32.const 10
+    i32.const 3
+    i32.div_s
+  )))";
+  Instance inst = make_instance(wat);
+  inst.invoke("f");
+  uint64_t expected = wasm::op_info(wasm::Op::I32Const).base_cost * 2 +
+                      wasm::op_info(wasm::Op::I32DivS).base_cost;
+  EXPECT_EQ(inst.stats().cycles, expected);
+}
+
+TEST(Stats, MemoryOpCountsAndIntegral) {
+  const char* wat = R"((module
+    (memory 1 4)
+    (func (export "f")
+      i32.const 0
+      i32.const 1
+      i32.store
+      i32.const 0
+      i32.load
+      drop
+      i32.const 1
+      memory.grow
+      drop
+    )
+  ))";
+  Instance inst = make_instance(wat);
+  inst.invoke("f");
+  EXPECT_EQ(inst.stats().mem_loads, 1u);
+  EXPECT_EQ(inst.stats().mem_stores, 1u);
+  EXPECT_EQ(inst.stats().peak_memory_bytes, 2 * wasm::kPageSize);
+  // Integral: 7 instructions before grow at 64 KiB + 2 after at 128 KiB.
+  EXPECT_GT(inst.stats().memory_integral, 0u);
+}
+
+TEST(Stats, NativeVsWasmPlatformCosts) {
+  // Same program, Wasm platform charges bounds checks; Native does not.
+  const char* wat = R"((module
+    (memory 1)
+    (func (export "f") (result i32)
+      i32.const 0
+      i32.load
+    )
+  ))";
+  auto cycles_for = [&](Platform p) {
+    wasm::Module module = wasm::parse_wat(wat);
+    wasm::validate(module);
+    Instance::Options opts;
+    opts.platform = p;
+    opts.cache_model = false;
+    Instance inst(std::move(module), {}, opts);
+    inst.invoke("f");
+    return inst.stats().cycles;
+  };
+  EXPECT_GT(cycles_for(Platform::Wasm), cycles_for(Platform::Native));
+}
+
+}  // namespace
+}  // namespace acctee::interp

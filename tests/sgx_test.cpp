@@ -1,0 +1,191 @@
+// Tests for the simulated SGX substrate: measurements, local attestation,
+// quotes, the attestation service, and sealing.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sgx/attestation.hpp"
+#include "sgx/platform.hpp"
+
+namespace acctee::sgx {
+namespace {
+
+Bytes code(const char* s) { return to_bytes(s); }
+
+TEST(Measurement, IdenticalCodeSameMeasurementEverywhere) {
+  Platform p1("machine-1", to_bytes("seed1"));
+  Platform p2("machine-2", to_bytes("seed2"));
+  auto e1 = p1.create_enclave(code("enclave code v1"));
+  auto e2 = p2.create_enclave(code("enclave code v1"));
+  auto e3 = p1.create_enclave(code("enclave code v2"));
+  EXPECT_EQ(e1->measurement(), e2->measurement());
+  EXPECT_NE(e1->measurement(), e3->measurement());
+}
+
+TEST(LocalAttestation, QuotingEnclaveAcceptsSamePlatformReports) {
+  Platform platform("m", to_bytes("s"));
+  auto enclave = platform.create_enclave(code("ae"));
+  Report report = enclave->report(make_report_data(to_bytes("hello")));
+  Quote quote = platform.quote(report);
+  EXPECT_EQ(quote.platform_id, "m");
+  EXPECT_EQ(quote.report.measurement, enclave->measurement());
+}
+
+TEST(LocalAttestation, QuotingEnclaveRejectsForeignReports) {
+  Platform p1("m1", to_bytes("s1"));
+  Platform p2("m2", to_bytes("s2"));
+  auto enclave = p1.create_enclave(code("ae"));
+  Report report = enclave->report(make_report_data(to_bytes("x")));
+  EXPECT_THROW(p2.quote(report), AttestationError);
+}
+
+TEST(LocalAttestation, TamperedReportRejected) {
+  Platform platform("m", to_bytes("s"));
+  auto enclave = platform.create_enclave(code("ae"));
+  Report report = enclave->report(make_report_data(to_bytes("x")));
+  report.report_data[0] ^= 1;  // e.g. swap in a different key binding
+  EXPECT_THROW(platform.quote(report), AttestationError);
+}
+
+TEST(RemoteAttestation, EndToEnd) {
+  Platform platform("m", to_bytes("s"));
+  AttestationService ias(to_bytes("ias-seed"));
+  ias.provision_platform(platform);
+
+  auto enclave = platform.create_enclave(code("accounting enclave"));
+  Quote quote = enclave->quoted_report(to_bytes("signer-identity-root"));
+  AttestationVerdict verdict = ias.verify_quote(quote);
+  EXPECT_TRUE(verdict.valid);
+  EXPECT_TRUE(check_verdict(verdict, ias.identity(), enclave->measurement()));
+}
+
+TEST(RemoteAttestation, UnprovisionedPlatformYieldsInvalidVerdict) {
+  Platform platform("rogue", to_bytes("s"));
+  AttestationService ias(to_bytes("ias-seed"));
+  auto enclave = platform.create_enclave(code("ae"));
+  Quote quote = enclave->quoted_report(to_bytes("d"));
+  AttestationVerdict verdict = ias.verify_quote(quote);
+  EXPECT_FALSE(verdict.valid);
+  EXPECT_FALSE(check_verdict(verdict, ias.identity(), enclave->measurement()));
+}
+
+TEST(RemoteAttestation, RevocationTakesEffect) {
+  Platform platform("m", to_bytes("s"));
+  AttestationService ias(to_bytes("ias-seed"));
+  ias.provision_platform(platform);
+  auto enclave = platform.create_enclave(code("ae"));
+  EXPECT_TRUE(ias.verify_quote(enclave->quoted_report(to_bytes("1"))).valid);
+  ias.revoke_platform("m");
+  EXPECT_FALSE(ias.verify_quote(enclave->quoted_report(to_bytes("2"))).valid);
+}
+
+TEST(RemoteAttestation, ForgedQuoteRejected) {
+  Platform platform("m", to_bytes("s"));
+  AttestationService ias(to_bytes("ias-seed"));
+  ias.provision_platform(platform);
+  auto enclave = platform.create_enclave(code("honest enclave"));
+  Quote quote = enclave->quoted_report(to_bytes("d"));
+  // The untrusted host swaps the measurement to impersonate another enclave.
+  quote.report.measurement = crypto::sha256(to_bytes("victim enclave"));
+  EXPECT_FALSE(ias.verify_quote(quote).valid);
+}
+
+TEST(RemoteAttestation, VerdictCannotBeUpgraded) {
+  // A man-in-the-middle flips valid=false to true: signature check fails.
+  Platform platform("rogue", to_bytes("s"));
+  AttestationService ias(to_bytes("ias-seed"));
+  auto enclave = platform.create_enclave(code("ae"));
+  AttestationVerdict verdict =
+      ias.verify_quote(enclave->quoted_report(to_bytes("d")));
+  verdict.valid = true;
+  EXPECT_FALSE(check_verdict(verdict, ias.identity(), enclave->measurement()));
+}
+
+TEST(RemoteAttestation, MeasurementPinningEnforced) {
+  Platform platform("m", to_bytes("s"));
+  AttestationService ias(to_bytes("ias-seed"));
+  ias.provision_platform(platform);
+  auto genuine = platform.create_enclave(code("expected enclave"));
+  auto other = platform.create_enclave(code("different enclave"));
+  AttestationVerdict verdict =
+      ias.verify_quote(other->quoted_report(to_bytes("d")));
+  EXPECT_TRUE(verdict.valid);  // genuine platform, genuine enclave...
+  // ...but not the enclave the challenger expects.
+  EXPECT_FALSE(check_verdict(verdict, ias.identity(), genuine->measurement()));
+}
+
+TEST(Serialization, ReportAndQuoteRoundTrip) {
+  Platform platform("m", to_bytes("s"));
+  auto enclave = platform.create_enclave(code("ae"));
+  Report report = enclave->report(make_report_data(to_bytes("payload")));
+  Report report2 = Report::deserialize(report.serialize());
+  EXPECT_EQ(report2.measurement, report.measurement);
+  EXPECT_EQ(report2.mac, report.mac);
+
+  Quote quote = platform.quote(report2);
+  Quote quote2 = Quote::deserialize(quote.serialize());
+  EXPECT_EQ(quote2.platform_id, quote.platform_id);
+  EXPECT_EQ(quote2.qe_mac, quote.qe_mac);
+  AttestationService ias(to_bytes("ias"));
+  ias.provision_platform(platform);
+  EXPECT_TRUE(ias.verify_quote(quote2).valid);
+}
+
+TEST(Serialization, RejectsTruncatedBlobs) {
+  Platform platform("m", to_bytes("s"));
+  auto enclave = platform.create_enclave(code("ae"));
+  Bytes report_bytes = enclave->report({}).serialize();
+  report_bytes.pop_back();
+  EXPECT_THROW(Report::deserialize(report_bytes), std::invalid_argument);
+}
+
+TEST(ReportData, SizeLimitEnforced) {
+  Bytes too_big(kReportDataSize + 1, 0xaa);
+  EXPECT_THROW(make_report_data(too_big), Error);
+  auto ok = make_report_data(to_bytes("short"));
+  EXPECT_EQ(ok[0], 's');
+  EXPECT_EQ(ok[63], 0);
+}
+
+TEST(Sealing, RoundTrip) {
+  Platform platform("m", to_bytes("s"));
+  auto enclave = platform.create_enclave(code("ae"));
+  Bytes secret = to_bytes("signing key seed material");
+  Bytes sealed = enclave->seal(secret);
+  EXPECT_NE(sealed, secret);
+  EXPECT_EQ(enclave->unseal(sealed), secret);
+}
+
+TEST(Sealing, BoundToMeasurement) {
+  Platform platform("m", to_bytes("s"));
+  auto e1 = platform.create_enclave(code("enclave A"));
+  auto e2 = platform.create_enclave(code("enclave B"));
+  Bytes sealed = e1->seal(to_bytes("secret"));
+  EXPECT_THROW(e2->unseal(sealed), AttestationError);
+}
+
+TEST(Sealing, BoundToPlatform) {
+  Platform p1("m1", to_bytes("s1"));
+  Platform p2("m2", to_bytes("s2"));
+  auto e1 = p1.create_enclave(code("same enclave"));
+  auto e2 = p2.create_enclave(code("same enclave"));
+  Bytes sealed = e1->seal(to_bytes("secret"));
+  EXPECT_THROW(e2->unseal(sealed), AttestationError);
+}
+
+TEST(Sealing, DetectsTampering) {
+  Platform platform("m", to_bytes("s"));
+  auto enclave = platform.create_enclave(code("ae"));
+  Bytes sealed = enclave->seal(to_bytes("secret"));
+  sealed[40] ^= 0x01;
+  EXPECT_THROW(enclave->unseal(sealed), AttestationError);
+}
+
+TEST(Sealing, EmptyPayload) {
+  Platform platform("m", to_bytes("s"));
+  auto enclave = platform.create_enclave(code("ae"));
+  Bytes sealed = enclave->seal({});
+  EXPECT_TRUE(enclave->unseal(sealed).empty());
+}
+
+}  // namespace
+}  // namespace acctee::sgx

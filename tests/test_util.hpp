@@ -1,0 +1,52 @@
+// Shared helpers for AccTEE tests.
+#pragma once
+
+#include <string_view>
+
+#include "interp/instance.hpp"
+#include "wasm/validator.hpp"
+#include "wasm/wat_parser.hpp"
+
+namespace acctee::testutil {
+
+/// Parses + validates WAT and builds an instance (cache model off so tests
+/// can assert exact cycle/instruction counts).
+inline interp::Instance make_instance(std::string_view wat,
+                                      interp::ImportMap imports = {},
+                                      interp::Instance::Options options = {
+                                          .cache_model = false}) {
+  wasm::Module module = wasm::parse_wat(wat);
+  wasm::validate(module);
+  return interp::Instance(std::move(module), std::move(imports), options);
+}
+
+/// One-shot: invoke `name` and return the single i32 result.
+inline int32_t run_i32(std::string_view wat, std::string_view name,
+                       const interp::Values& args = {}) {
+  interp::Instance inst = make_instance(wat);
+  auto results = inst.invoke(name, args);
+  return results.at(0).i32();
+}
+
+inline int64_t run_i64(std::string_view wat, std::string_view name,
+                       const interp::Values& args = {}) {
+  interp::Instance inst = make_instance(wat);
+  auto results = inst.invoke(name, args);
+  return results.at(0).i64();
+}
+
+inline double run_f64(std::string_view wat, std::string_view name,
+                      const interp::Values& args = {}) {
+  interp::Instance inst = make_instance(wat);
+  auto results = inst.invoke(name, args);
+  return results.at(0).f64();
+}
+
+inline float run_f32(std::string_view wat, std::string_view name,
+                     const interp::Values& args = {}) {
+  interp::Instance inst = make_instance(wat);
+  auto results = inst.invoke(name, args);
+  return results.at(0).f32();
+}
+
+}  // namespace acctee::testutil

@@ -1,0 +1,279 @@
+// Unit tests for the validator: accepts well-typed modules, rejects the
+// type errors and index violations AccTEE's sandbox depends on catching.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "wasm/validator.hpp"
+#include "wasm/wat_parser.hpp"
+
+namespace acctee::wasm {
+namespace {
+
+void expect_valid(const char* wat) {
+  Module m = parse_wat(wat);
+  EXPECT_NO_THROW(validate(m)) << wat;
+}
+
+void expect_invalid(const char* wat, const char* expected_substring = "") {
+  Module m = parse_wat(wat);
+  try {
+    validate(m);
+    FAIL() << "expected ValidationError for:\n" << wat;
+  } catch (const ValidationError& e) {
+    EXPECT_NE(std::string(e.what()).find(expected_substring),
+              std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+TEST(Validator, AcceptsWellTypedArithmetic) {
+  expect_valid(R"((module (func (param i32 i32) (result i32)
+    local.get 0
+    local.get 1
+    i32.add
+    i32.const 2
+    i32.mul
+  )))");
+}
+
+TEST(Validator, RejectsOperandTypeMismatch) {
+  expect_invalid(R"((module (func (result i32)
+    i64.const 1
+    i32.eqz
+  )))", "type mismatch");
+}
+
+TEST(Validator, RejectsStackUnderflow) {
+  expect_invalid("(module (func i32.add drop))", "underflow");
+}
+
+TEST(Validator, RejectsLeftoverValues) {
+  expect_invalid("(module (func i32.const 1))", "wrong number of values");
+}
+
+TEST(Validator, RejectsMissingResult) {
+  expect_invalid("(module (func (result i32) nop))");
+}
+
+TEST(Validator, AcceptsBlockResults) {
+  expect_valid(R"((module (func (result i32)
+    block (result i32)
+      i32.const 1
+    end
+  )))");
+}
+
+TEST(Validator, RejectsWrongBlockResult) {
+  expect_invalid(R"((module (func (result i32)
+    block (result i32)
+      i64.const 1
+    end
+  )))");
+}
+
+TEST(Validator, BranchTypingThroughLoopsAndBlocks) {
+  expect_valid(R"((module (func (param i32) (result i32)
+    block $b (result i32)
+      loop $l
+        local.get 0
+        br_if $l
+        i32.const 5
+        br $b
+      end
+      unreachable
+    end
+  )))");
+}
+
+TEST(Validator, RejectsBranchDepthOutOfRange) {
+  expect_invalid("(module (func block br 5 end))", "depth");
+}
+
+TEST(Validator, RejectsBranchValueMismatch) {
+  expect_invalid(R"((module (func (result i32)
+    block (result i32)
+      f32.const 1
+      br 0
+    end
+  )))");
+}
+
+TEST(Validator, BrTableArityMustMatch) {
+  expect_invalid(R"((module (func (param i32)
+    block $a (result i32)
+      block $b
+        local.get 0
+        br_table $a $b 0
+      end
+      i32.const 1
+    end
+    drop
+  )))", "br_table");
+}
+
+TEST(Validator, UnreachableIsPolymorphic) {
+  expect_valid(R"((module (func (result i32)
+    unreachable
+    i32.add
+  )))");
+  // return itself consumes the declared results; producing them from a
+  // polymorphic stack after unreachable is fine.
+  expect_valid(R"((module (func (result f64)
+    unreachable
+    return
+  )))");
+  // ...but return with a reachable empty stack is a type error.
+  expect_invalid("(module (func (result f64) return))", "underflow");
+}
+
+TEST(Validator, DeadCodeAfterBranchStillTypeChecked) {
+  // After br, the stack is polymorphic but ops must still be internally
+  // consistent where typed values exist.
+  expect_valid(R"((module (func
+    block
+      br 0
+      i32.add
+      drop
+    end
+  )))");
+}
+
+TEST(Validator, IfWithResultRequiresElse) {
+  expect_invalid(R"((module (func (param i32) (result i32)
+    local.get 0
+    if (result i32)
+      i32.const 1
+    end
+  )))", "else");
+}
+
+TEST(Validator, IfArmsMustAgree) {
+  expect_invalid(R"((module (func (param i32) (result i32)
+    local.get 0
+    if (result i32)
+      i32.const 1
+    else
+      f64.const 1
+    end
+  )))");
+}
+
+TEST(Validator, LocalIndexChecked) {
+  expect_invalid("(module (func local.get 0 drop))", "local index");
+  expect_invalid("(module (func (param i32) local.get 1 drop))",
+                 "local index");
+}
+
+TEST(Validator, LocalTypeChecked) {
+  expect_invalid(R"((module (func (param i32) (local f64)
+    local.get 0
+    local.set 1
+  )))", "type mismatch");
+}
+
+TEST(Validator, GlobalRules) {
+  expect_valid(R"((module
+    (global $g (mut i32) (i32.const 0))
+    (func i32.const 1 global.set $g)
+  ))");
+  expect_invalid(R"((module
+    (global $g i32 (i32.const 0))
+    (func i32.const 1 global.set $g)
+  ))", "immutable");
+  expect_invalid("(module (func global.get 0 drop))", "global index");
+}
+
+TEST(Validator, GlobalInitTypeChecked) {
+  Module m = parse_wat("(module (global i32 (i64.const 1)))");
+  EXPECT_THROW(validate(m), ValidationError);
+}
+
+TEST(Validator, MemoryRequiredForAccesses) {
+  expect_invalid("(module (func i32.const 0 i32.load drop))",
+                 "memory access without memory");
+  expect_invalid("(module (func memory.size drop))");
+}
+
+TEST(Validator, AlignmentMustNotExceedNatural) {
+  expect_invalid(R"((module (memory 1) (func
+    i32.const 0
+    i32.load8_u align=2
+    drop
+  )))", "alignment");
+  expect_valid(R"((module (memory 1) (func
+    i32.const 0
+    i64.load align=8
+    drop
+  )))");
+}
+
+TEST(Validator, MemoryLimits) {
+  Module m = parse_wat("(module (memory 4 2))");
+  EXPECT_THROW(validate(m), ValidationError);
+}
+
+TEST(Validator, CallTyping) {
+  expect_valid(R"((module
+    (func $f (param i32 f64) (result i32) local.get 0)
+    (func (result i32)
+      i32.const 1
+      f64.const 2
+      call $f
+    )
+  ))");
+  expect_invalid(R"((module
+    (func $f (param i32) nop)
+    (func f64.const 1 call $f)
+  ))");
+}
+
+TEST(Validator, CallIndirectRequiresTable) {
+  expect_invalid(R"((module
+    (type $t (func))
+    (func i32.const 0 call_indirect (type $t))
+  ))", "table");
+}
+
+TEST(Validator, SelectOperandsMustMatch) {
+  expect_invalid(R"((module (func (result i32)
+    i32.const 1
+    f32.const 2
+    i32.const 0
+    select
+  )))", "select");
+}
+
+TEST(Validator, ExportChecks) {
+  expect_invalid(R"((module
+    (func $f nop)
+    (export "a" (func $f))
+    (export "a" (func $f))
+  ))", "duplicate export");
+  Module m = parse_wat("(module (export \"m\" (memory 0)))");
+  EXPECT_THROW(validate(m), ValidationError);
+}
+
+TEST(Validator, StartMustBeNullary) {
+  expect_invalid(R"((module
+    (func $f (param i32) nop)
+    (start $f)
+  ))", "start");
+}
+
+TEST(Validator, ElemIndicesChecked) {
+  Module m = parse_wat("(module (table 2 funcref) (func nop))");
+  m.elems.push_back(ElemSegment{0, {5}});
+  EXPECT_THROW(validate(m), ValidationError);
+}
+
+TEST(Validator, NonThrowingOverloadReportsMessage) {
+  Module m = parse_wat("(module (func i32.add drop))");
+  std::string error;
+  EXPECT_FALSE(validate(m, &error));
+  EXPECT_NE(error.find("underflow"), std::string::npos);
+  Module ok = parse_wat("(module)");
+  EXPECT_TRUE(validate(ok, &error));
+}
+
+}  // namespace
+}  // namespace acctee::wasm

@@ -1,0 +1,391 @@
+// Unit tests for the WAT parser and printer.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "wasm/ast.hpp"
+#include "wasm/validator.hpp"
+#include "wasm/wat_parser.hpp"
+#include "wasm/wat_printer.hpp"
+
+namespace acctee::wasm {
+namespace {
+
+TEST(WatParser, EmptyModule) {
+  Module m = parse_wat("(module)");
+  EXPECT_TRUE(m.functions.empty());
+  EXPECT_TRUE(m.types.empty());
+  EXPECT_FALSE(m.memory.has_value());
+}
+
+TEST(WatParser, SimpleFunction) {
+  Module m = parse_wat(R"((module
+    (func $add (export "add") (param $a i32) (param $b i32) (result i32)
+      local.get $a
+      local.get $b
+      i32.add
+    )
+  ))");
+  ASSERT_EQ(m.functions.size(), 1u);
+  const Function& f = m.functions[0];
+  EXPECT_EQ(f.name, "add");
+  ASSERT_EQ(f.body.size(), 3u);
+  EXPECT_EQ(f.body[0].op, Op::LocalGet);
+  EXPECT_EQ(f.body[0].index, 0u);
+  EXPECT_EQ(f.body[1].index, 1u);
+  EXPECT_EQ(f.body[2].op, Op::I32Add);
+  ASSERT_EQ(m.exports.size(), 1u);
+  EXPECT_EQ(m.exports[0].name, "add");
+}
+
+TEST(WatParser, FoldedInstructions) {
+  Module m = parse_wat(R"((module
+    (func (result i32)
+      (i32.add (i32.const 2) (i32.mul (i32.const 3) (i32.const 4)))
+    )
+  ))");
+  const auto& body = m.functions[0].body;
+  ASSERT_EQ(body.size(), 5u);
+  EXPECT_EQ(body[0].op, Op::I32Const);
+  EXPECT_EQ(body[0].as_i32(), 2);
+  EXPECT_EQ(body[1].op, Op::I32Const);
+  EXPECT_EQ(body[2].op, Op::I32Const);
+  EXPECT_EQ(body[3].op, Op::I32Mul);
+  EXPECT_EQ(body[4].op, Op::I32Add);
+}
+
+TEST(WatParser, FlatBlockLoopIf) {
+  Module m = parse_wat(R"((module
+    (func (param i32) (result i32)
+      block $exit (result i32)
+        loop $top
+          local.get 0
+          br_if $top
+          br $exit
+        end
+        unreachable
+      end
+    )
+  ))");
+  const auto& body = m.functions[0].body;
+  ASSERT_EQ(body.size(), 1u);
+  EXPECT_EQ(body[0].op, Op::Block);
+  ASSERT_EQ(body[0].block_type.result, ValType::I32);
+  ASSERT_GE(body[0].body.size(), 1u);
+  const Instr& loop = body[0].body[0];
+  EXPECT_EQ(loop.op, Op::Loop);
+  ASSERT_EQ(loop.body.size(), 3u);
+  EXPECT_EQ(loop.body[1].op, Op::BrIf);
+  EXPECT_EQ(loop.body[1].index, 0u);  // $top is the innermost label
+  EXPECT_EQ(loop.body[2].op, Op::Br);
+  EXPECT_EQ(loop.body[2].index, 1u);  // $exit is one level out
+}
+
+TEST(WatParser, IfElseFlat) {
+  Module m = parse_wat(R"((module
+    (func (param i32) (result i32)
+      local.get 0
+      if (result i32)
+        i32.const 1
+      else
+        i32.const 2
+      end
+    )
+  ))");
+  const auto& body = m.functions[0].body;
+  ASSERT_EQ(body.size(), 2u);
+  EXPECT_EQ(body[1].op, Op::If);
+  ASSERT_EQ(body[1].body.size(), 1u);
+  ASSERT_EQ(body[1].else_body.size(), 1u);
+  EXPECT_EQ(body[1].body[0].as_i32(), 1);
+  EXPECT_EQ(body[1].else_body[0].as_i32(), 2);
+}
+
+TEST(WatParser, FoldedIfThenElse) {
+  Module m = parse_wat(R"((module
+    (func (param i32) (result i32)
+      (if (result i32) (local.get 0)
+        (then (i32.const 10))
+        (else (i32.const 20)))
+    )
+  ))");
+  const auto& body = m.functions[0].body;
+  ASSERT_EQ(body.size(), 2u);
+  EXPECT_EQ(body[0].op, Op::LocalGet);  // condition emitted before if
+  EXPECT_EQ(body[1].op, Op::If);
+}
+
+TEST(WatParser, MemoryGlobalsDataExports) {
+  Module m = parse_wat(R"((module
+    (memory (export "mem") 2 10)
+    (global $g (mut i64) (i64.const -7))
+    (global $c f64 (f64.const 2.5))
+    (data (i32.const 8) "hi\00\ff")
+    (export "g" (global $g))
+  ))");
+  ASSERT_TRUE(m.memory.has_value());
+  EXPECT_EQ(m.memory->min, 2u);
+  EXPECT_EQ(m.memory->max, 10u);
+  ASSERT_EQ(m.globals.size(), 2u);
+  EXPECT_TRUE(m.globals[0].mutable_);
+  EXPECT_EQ(m.globals[0].init.as_i64(), -7);
+  EXPECT_FALSE(m.globals[1].mutable_);
+  EXPECT_EQ(m.globals[1].init.as_f64(), 2.5);
+  ASSERT_EQ(m.data.size(), 1u);
+  EXPECT_EQ(m.data[0].offset, 8u);
+  EXPECT_EQ(m.data[0].bytes, Bytes({'h', 'i', 0x00, 0xff}));
+  EXPECT_EQ(m.exports.size(), 2u);
+}
+
+TEST(WatParser, ImportsAndCalls) {
+  Module m = parse_wat(R"((module
+    (import "env" "log" (func $log (param i32)))
+    (func $main
+      i32.const 42
+      call $log
+    )
+  ))");
+  ASSERT_EQ(m.imports.size(), 1u);
+  EXPECT_EQ(m.imports[0].module, "env");
+  EXPECT_EQ(m.imports[0].name, "log");
+  // $log occupies function index 0; $main is index 1.
+  EXPECT_EQ(m.functions[0].body[1].op, Op::Call);
+  EXPECT_EQ(m.functions[0].body[1].index, 0u);
+}
+
+TEST(WatParser, TableElemCallIndirect) {
+  Module m = parse_wat(R"((module
+    (type $binop (func (param i32 i32) (result i32)))
+    (table 4 funcref)
+    (elem (i32.const 1) $f $f)
+    (func $f (type $binop)
+      local.get 0
+      local.get 1
+      i32.add
+    )
+    (func (result i32)
+      i32.const 5
+      i32.const 6
+      i32.const 1
+      call_indirect (type $binop)
+    )
+  ))");
+  ASSERT_TRUE(m.table.has_value());
+  ASSERT_EQ(m.elems.size(), 1u);
+  EXPECT_EQ(m.elems[0].offset, 1u);
+  EXPECT_EQ(m.elems[0].func_indices, (std::vector<uint32_t>{0, 0}));
+  const auto& body = m.functions[1].body;
+  EXPECT_EQ(body[3].op, Op::CallIndirect);
+  EXPECT_EQ(body[3].index, 0u);  // type $binop
+}
+
+TEST(WatParser, BrTable) {
+  Module m = parse_wat(R"((module
+    (func (param i32)
+      block $a
+        block $b
+          local.get 0
+          br_table $a $b 0
+        end
+      end
+    )
+  ))");
+  const Instr& a = m.functions[0].body[0];
+  const Instr& b = a.body[0];
+  const Instr& bt = b.body[1];
+  EXPECT_EQ(bt.op, Op::BrTable);
+  EXPECT_EQ(bt.br_targets, (std::vector<uint32_t>{1, 0}));
+  EXPECT_EQ(bt.index, 0u);  // default: innermost
+}
+
+TEST(WatParser, MemArgOffsetsAndAlign) {
+  Module m = parse_wat(R"((module
+    (memory 1)
+    (func (param i32) (result i64)
+      local.get 0
+      i64.load offset=16 align=4
+    )
+  ))");
+  const Instr& load = m.functions[0].body[1];
+  EXPECT_EQ(load.mem_offset, 16u);
+  EXPECT_EQ(load.mem_align, 2u);  // log2(4)
+}
+
+TEST(WatParser, HexAndUnderscoreLiterals) {
+  Module m = parse_wat(R"((module
+    (func (result i32) i32.const 0xff_ff)
+    (func (result i64) i64.const -0x10)
+  ))");
+  EXPECT_EQ(m.functions[0].body[0].as_i32(), 0xffff);
+  EXPECT_EQ(m.functions[1].body[0].as_i64(), -16);
+}
+
+TEST(WatParser, Comments) {
+  Module m = parse_wat(R"((module
+    ;; line comment
+    (func (; block comment (; nested ;) ;) (result i32)
+      i32.const 1 ;; trailing
+    )
+  ))");
+  EXPECT_EQ(m.functions[0].body[0].as_i32(), 1);
+}
+
+TEST(WatParser, StartSection) {
+  Module m = parse_wat(R"((module
+    (func $init nop)
+    (start $init)
+  ))");
+  ASSERT_TRUE(m.start.has_value());
+  EXPECT_EQ(*m.start, 0u);
+}
+
+TEST(WatParser, ErrorsCarryLineNumbers) {
+  try {
+    parse_wat("(module\n  (func\n    bogus.op\n  )\n)");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(WatParser, RejectsUnknownLabel) {
+  EXPECT_THROW(parse_wat("(module (func block br $nope end))"), ParseError);
+}
+
+TEST(WatParser, RejectsUnterminatedBlock) {
+  EXPECT_THROW(parse_wat("(module (func block nop))"), ParseError);
+}
+
+TEST(WatParser, RejectsTwoModuleForms) {
+  EXPECT_THROW(parse_wat("(module) (module)"), ParseError);
+}
+
+TEST(WatPrinter, RoundTripPreservesStructure) {
+  const char* source = R"((module
+    (import "env" "io_write" (func (param i32 i32) (result i32)))
+    (memory 1 4)
+    (table 2 funcref)
+    (global (mut i64) (i64.const 0))
+    (func $f (export "run") (param i32 i32) (result i32) (local i64 f64)
+      block (result i32)
+        local.get 0
+        if
+          local.get 1
+          i32.const 3
+          i32.add
+          drop
+        else
+          nop
+        end
+        loop $l
+          local.get 0
+          i32.const 1
+          i32.sub
+          local.tee 0
+          br_if $l
+        end
+        local.get 1
+      end
+    )
+    (elem (i32.const 0) $f)
+    (data (i32.const 0) "xyz")
+  ))";
+  Module m1 = parse_wat(source);
+  std::string printed = print_wat(m1);
+  Module m2 = parse_wat(printed);
+  ASSERT_EQ(m1.functions.size(), m2.functions.size());
+  EXPECT_TRUE(body_equal(m1.functions[0].body, m2.functions[0].body))
+      << printed;
+  EXPECT_EQ(m1.types, m2.types);
+  EXPECT_EQ(m1.data[0].bytes, m2.data[0].bytes);
+}
+
+TEST(WatPrinter, FloatValuesSurviveRoundTrip) {
+  Module m1 = parse_wat(R"((module
+    (func (result f64) f64.const 0.1)
+    (func (result f32) f32.const -1.5)
+    (func (result f64) f64.const inf)
+  ))");
+  Module m2 = parse_wat(print_wat(m1));
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(m1.functions[i].body[0].imm, m2.functions[i].body[0].imm) << i;
+  }
+}
+
+// Property: random structured modules survive print -> parse untouched.
+class WatRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+namespace rt {
+std::vector<Instr> random_body(Xoshiro256& rng, int depth, int* budget) {
+  std::vector<Instr> body;
+  int n = 1 + static_cast<int>(rng.next_below(5));
+  for (int i = 0; i < n && *budget > 0; ++i) {
+    --*budget;
+    switch (rng.next_below(depth > 0 ? 8 : 5)) {
+      case 0:
+        body.push_back(Instr::i32c(static_cast<int32_t>(rng.next())));
+        body.push_back(Instr::simple(Op::Drop));
+        break;
+      case 1:
+        body.push_back(Instr::i64c(static_cast<int64_t>(rng.next())));
+        body.push_back(Instr::simple(Op::Drop));
+        break;
+      case 2:
+        body.push_back(Instr::f64c(rng.next_double() * 1e9));
+        body.push_back(Instr::simple(Op::Drop));
+        break;
+      case 3:
+        body.push_back(Instr::f32c(static_cast<float>(rng.next_double())));
+        body.push_back(Instr::simple(Op::Drop));
+        break;
+      case 4:
+        body.push_back(Instr::simple(Op::Nop));
+        break;
+      case 5:
+        body.push_back(
+            Instr::block(BlockType{}, random_body(rng, depth - 1, budget)));
+        break;
+      case 6:
+        body.push_back(
+            Instr::loop(BlockType{}, random_body(rng, depth - 1, budget)));
+        break;
+      case 7: {
+        body.push_back(Instr::i32c(static_cast<int32_t>(rng.next_below(2))));
+        body.push_back(Instr::if_else(
+            BlockType{}, random_body(rng, depth - 1, budget),
+            rng.next_below(2) ? random_body(rng, depth - 1, budget)
+                              : std::vector<Instr>{}));
+        break;
+      }
+    }
+  }
+  return body;
+}
+}  // namespace rt
+
+TEST_P(WatRoundTripProperty, PrintParseIsIdentity) {
+  Xoshiro256 rng(GetParam() * 31 + 5);
+  Module m;
+  m.types.push_back(FuncType{});
+  int budget = 40;
+  for (int f = 0; f < 3; ++f) {
+    Function func;
+    func.type_index = 0;
+    func.body = rt::random_body(rng, 3, &budget);
+    m.functions.push_back(std::move(func));
+  }
+  validate(m);
+  Module reparsed = parse_wat(print_wat(m));
+  ASSERT_EQ(reparsed.functions.size(), m.functions.size());
+  for (size_t f = 0; f < m.functions.size(); ++f) {
+    EXPECT_TRUE(body_equal(reparsed.functions[f].body, m.functions[f].body))
+        << "function " << f << "\n" << print_wat(m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WatRoundTripProperty,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace acctee::wasm

@@ -1,0 +1,262 @@
+// acctee — command-line driver for the AccTEE library.
+//
+//   acctee instrument <in.wat|in.wasm> <out.wasm> [--pass naive|flow|loop]
+//       Runs the accounting instrumentation pass and writes the
+//       instrumented binary; prints the evidence hashes a deployment would
+//       sign.
+//
+//   acctee run <module.wat|module.wasm> [--entry NAME] [--arg i32:N ...]
+//              [--platform native|wasm|sgx-sim|sgx-hw] [--input FILE]
+//       Executes an exported function in the sandbox and prints results,
+//       execution statistics and (for instrumented modules) the counter.
+//
+//   acctee inspect <module.wat|module.wasm>
+//       Prints module structure and static statistics.
+//
+//   acctee wat <module.wasm>
+//       Disassembles a binary to the text format.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/runtime_env.hpp"
+#include "instrument/passes.hpp"
+#include "interp/instance.hpp"
+#include "wasm/binary.hpp"
+#include "wasm/validator.hpp"
+#include "wasm/wat_parser.hpp"
+#include "wasm/wat_printer.hpp"
+
+using namespace acctee;
+
+namespace {
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string s = ss.str();
+  return Bytes(s.begin(), s.end());
+}
+
+void write_file(const std::string& path, BytesView data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot write " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+/// Loads either WAT (by extension/content) or a Wasm binary, validated.
+wasm::Module load_module(const std::string& path) {
+  Bytes data = read_file(path);
+  wasm::Module module;
+  if (data.size() >= 4 && data[0] == 0x00 && data[1] == 'a' &&
+      data[2] == 's' && data[3] == 'm') {
+    module = wasm::decode(data);
+  } else {
+    module = wasm::parse_wat(std::string(data.begin(), data.end()));
+  }
+  wasm::validate(module);
+  return module;
+}
+
+instrument::PassKind parse_pass(const std::string& s) {
+  if (s == "naive") return instrument::PassKind::Naive;
+  if (s == "flow") return instrument::PassKind::FlowBased;
+  if (s == "loop") return instrument::PassKind::LoopBased;
+  throw Error("unknown pass: " + s + " (expected naive|flow|loop)");
+}
+
+interp::Platform parse_platform(const std::string& s) {
+  if (s == "native") return interp::Platform::Native;
+  if (s == "wasm") return interp::Platform::Wasm;
+  if (s == "sgx-sim") return interp::Platform::WasmSgxSim;
+  if (s == "sgx-hw") return interp::Platform::WasmSgxHw;
+  throw Error("unknown platform: " + s);
+}
+
+interp::TypedValue parse_arg(const std::string& spec) {
+  size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    // Bare integers default to i32.
+    return interp::TypedValue::make_i32(
+        static_cast<int32_t>(std::stoll(spec)));
+  }
+  std::string type = spec.substr(0, colon);
+  std::string value = spec.substr(colon + 1);
+  if (type == "i32") {
+    return interp::TypedValue::make_i32(static_cast<int32_t>(std::stoll(value)));
+  }
+  if (type == "i64") return interp::TypedValue::make_i64(std::stoll(value));
+  if (type == "f32") return interp::TypedValue::make_f32(std::stof(value));
+  if (type == "f64") return interp::TypedValue::make_f64(std::stod(value));
+  throw Error("unknown argument type: " + type);
+}
+
+int cmd_instrument(int argc, char** argv) {
+  if (argc < 2) throw Error("usage: acctee instrument <in> <out> [--pass P]");
+  std::string in_path = argv[0];
+  std::string out_path = argv[1];
+  instrument::InstrumentOptions options;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--pass") == 0 && i + 1 < argc) {
+      options.pass = parse_pass(argv[++i]);
+    }
+  }
+  wasm::Module module = load_module(in_path);
+  Bytes input_binary = wasm::encode(module);
+  auto result = instrument::instrument(module, options);
+  Bytes output_binary = wasm::encode(result.module);
+  write_file(out_path, output_binary);
+  std::printf("pass:            %s\n", to_string(options.pass));
+  std::printf("input:           %zu bytes, sha256 %s\n", input_binary.size(),
+              crypto::digest_hex(crypto::sha256(input_binary)).c_str());
+  std::printf("output:          %zu bytes, sha256 %s\n", output_binary.size(),
+              crypto::digest_hex(crypto::sha256(output_binary)).c_str());
+  std::printf("weights:         sha256 %s\n",
+              crypto::digest_hex(options.weights.hash()).c_str());
+  std::printf("counter global:  #%u (exported as %s)\n", result.counter_global,
+              instrument::kCounterExport);
+  std::printf("increment sites: %llu (%llu loops hoisted)\n",
+              static_cast<unsigned long long>(result.stats.increments_inserted),
+              static_cast<unsigned long long>(result.stats.loops_hoisted));
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 1) throw Error("usage: acctee run <module> [options]");
+  std::string path = argv[0];
+  std::string entry = "run";
+  interp::Values args;
+  interp::Instance::Options options;
+  core::IoChannel channel;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--entry") == 0 && i + 1 < argc) {
+      entry = argv[++i];
+    } else if (std::strcmp(argv[i], "--arg") == 0 && i + 1 < argc) {
+      args.push_back(parse_arg(argv[++i]));
+    } else if (std::strcmp(argv[i], "--platform") == 0 && i + 1 < argc) {
+      options.platform = parse_platform(argv[++i]);
+    } else if (std::strcmp(argv[i], "--input") == 0 && i + 1 < argc) {
+      channel.input = read_file(argv[++i]);
+    } else {
+      throw Error(std::string("unknown option: ") + argv[i]);
+    }
+  }
+  wasm::Module module = load_module(path);
+  bool instrumented = module
+                          .find_export(instrument::kCounterExport,
+                                       wasm::ExternKind::Global)
+                          .has_value();
+  interp::Instance instance(std::move(module),
+                            core::make_runtime_env(&channel), options);
+  interp::Values results = instance.invoke(entry, args);
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf("result[%zu] = %s (%s)\n", i, results[i].to_string().c_str(),
+                wasm::to_string(results[i].type));
+  }
+  const interp::ExecStats& stats = instance.stats();
+  std::printf("instructions:    %llu\n",
+              static_cast<unsigned long long>(stats.instructions));
+  std::printf("cycles:          %llu (simulated, %s)\n",
+              static_cast<unsigned long long>(stats.cycles),
+              to_string(options.platform));
+  std::printf("peak memory:     %llu bytes\n",
+              static_cast<unsigned long long>(stats.peak_memory_bytes));
+  std::printf("io in/out:       %llu / %llu bytes\n",
+              static_cast<unsigned long long>(stats.io_bytes_in),
+              static_cast<unsigned long long>(stats.io_bytes_out));
+  if (instrumented) {
+    std::printf("counter:         %lld weighted instructions\n",
+                static_cast<long long>(
+                    instance.read_global(instrument::kCounterExport).i64()));
+  }
+  if (!channel.output.empty()) {
+    std::printf("output:          %zu bytes written by workload\n",
+                channel.output.size());
+  }
+  return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  if (argc < 1) throw Error("usage: acctee inspect <module>");
+  wasm::Module module = load_module(argv[0]);
+  std::printf("types:      %zu\n", module.types.size());
+  std::printf("imports:    %zu\n", module.imports.size());
+  for (const auto& imp : module.imports) {
+    std::printf("  %s.%s : %s\n", imp.module.c_str(), imp.name.c_str(),
+                module.types[imp.type_index].to_string().c_str());
+  }
+  std::printf("functions:  %zu\n", module.functions.size());
+  std::printf("globals:    %zu\n", module.globals.size());
+  std::printf("exports:    %zu\n", module.exports.size());
+  for (const auto& e : module.exports) {
+    std::printf("  \"%s\"\n", e.name.c_str());
+  }
+  if (module.memory) {
+    std::printf("memory:     %u..%s pages\n", module.memory->min,
+                module.memory->max ? std::to_string(*module.memory->max).c_str()
+                                   : "unbounded");
+  }
+  std::printf("static instructions: %llu\n",
+              static_cast<unsigned long long>(wasm::count_instructions(module)));
+  std::printf("binary size: %zu bytes\n", wasm::encode(module).size());
+  // Top opcodes.
+  auto hist = wasm::opcode_histogram(module);
+  std::vector<std::pair<uint64_t, size_t>> top;
+  for (size_t i = 0; i < hist.size(); ++i) {
+    if (hist[i] > 0) top.emplace_back(hist[i], i);
+  }
+  std::sort(top.rbegin(), top.rend());
+  std::printf("top opcodes:\n");
+  for (size_t i = 0; i < std::min<size_t>(top.size(), 8); ++i) {
+    std::printf("  %-20s %llu\n",
+                std::string(wasm::op_info(static_cast<wasm::Op>(top[i].second))
+                                .name)
+                    .c_str(),
+                static_cast<unsigned long long>(top[i].first));
+  }
+  return 0;
+}
+
+int cmd_wat(int argc, char** argv) {
+  if (argc < 1) throw Error("usage: acctee wat <module.wasm>");
+  wasm::Module module = load_module(argv[0]);
+  std::fputs(wasm::print_wat(module).c_str(), stdout);
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "acctee — trusted resource accounting for WebAssembly\n"
+      "usage:\n"
+      "  acctee instrument <in> <out.wasm> [--pass naive|flow|loop]\n"
+      "  acctee run <module> [--entry NAME] [--arg TYPE:VALUE ...]\n"
+      "             [--platform native|wasm|sgx-sim|sgx-hw] [--input FILE]\n"
+      "  acctee inspect <module>\n"
+      "  acctee wat <module.wasm>\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  try {
+    std::string cmd = argv[1];
+    if (cmd == "instrument") return cmd_instrument(argc - 2, argv + 2);
+    if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+    if (cmd == "inspect") return cmd_inspect(argc - 2, argv + 2);
+    if (cmd == "wat") return cmd_wat(argc - 2, argv + 2);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "acctee: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,30 @@
+# Drives the acctee CLI through instrument -> run -> inspect -> wat.
+set(WAT ${SRC_DIR}/testdata/sum.wat)
+set(OUT ${CMAKE_CURRENT_BINARY_DIR}/cli_test_out.wasm)
+
+execute_process(COMMAND ${ACCTEE} instrument ${WAT} ${OUT} --pass loop
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "instrument failed: ${out}")
+endif()
+
+execute_process(COMMAND ${ACCTEE} run ${OUT} --arg i32:1000
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "counter: +11002 weighted")
+  message(FATAL_ERROR "run failed or wrong counter:\n${out}")
+endif()
+if(NOT out MATCHES "result\\[0\\] = 499500")
+  message(FATAL_ERROR "wrong result:\n${out}")
+endif()
+
+execute_process(COMMAND ${ACCTEE} inspect ${OUT}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "__acctee_counter")
+  message(FATAL_ERROR "inspect failed:\n${out}")
+endif()
+
+execute_process(COMMAND ${ACCTEE} wat ${OUT}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "global.set 0")
+  message(FATAL_ERROR "wat failed:\n${out}")
+endif()

@@ -1,0 +1,20 @@
+;; sum 0..n-1, used by the CLI smoke test
+(module
+  (func (export "run") (param i32) (result i32)
+    (local $i i32) (local $acc i32)
+    loop $l
+      local.get $acc
+      local.get $i
+      i32.add
+      local.set $acc
+      local.get $i
+      i32.const 1
+      i32.add
+      local.tee $i
+      local.get 0
+      i32.lt_s
+      br_if $l
+    end
+    local.get $acc
+  )
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_optimisations.dir/ablation_optimisations.cpp.o"
+  "CMakeFiles/ablation_optimisations.dir/ablation_optimisations.cpp.o.d"
+  "ablation_optimisations"
+  "ablation_optimisations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optimisations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_usecases.dir/fig10_usecases.cpp.o"
+  "CMakeFiles/fig10_usecases.dir/fig10_usecases.cpp.o.d"
+  "fig10_usecases"
+  "fig10_usecases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_usecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_polybench.dir/fig6_polybench.cpp.o"
+  "CMakeFiles/fig6_polybench.dir/fig6_polybench.cpp.o.d"
+  "fig6_polybench"
+  "fig6_polybench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_polybench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_instruction_weights.cpp" "bench/CMakeFiles/fig7_instruction_weights.dir/fig7_instruction_weights.cpp.o" "gcc" "bench/CMakeFiles/fig7_instruction_weights.dir/fig7_instruction_weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/acctee_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/acctee_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/acctee_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/acctee_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/acctee_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/acctee_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/acctee_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/acctee_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acctee_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_instruction_weights.dir/fig7_instruction_weights.cpp.o"
+  "CMakeFiles/fig7_instruction_weights.dir/fig7_instruction_weights.cpp.o.d"
+  "fig7_instruction_weights"
+  "fig7_instruction_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_instruction_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

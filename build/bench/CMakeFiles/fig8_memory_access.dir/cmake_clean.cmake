@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_memory_access.dir/fig8_memory_access.cpp.o"
+  "CMakeFiles/fig8_memory_access.dir/fig8_memory_access.cpp.o.d"
+  "fig8_memory_access"
+  "fig8_memory_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_memory_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

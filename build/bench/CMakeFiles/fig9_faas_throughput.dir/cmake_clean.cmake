@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_faas_throughput.dir/fig9_faas_throughput.cpp.o"
+  "CMakeFiles/fig9_faas_throughput.dir/fig9_faas_throughput.cpp.o.d"
+  "fig9_faas_throughput"
+  "fig9_faas_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_faas_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_binary_size.dir/tab_binary_size.cpp.o"
+  "CMakeFiles/tab_binary_size.dir/tab_binary_size.cpp.o.d"
+  "tab_binary_size"
+  "tab_binary_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_binary_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pay_by_computation.dir/pay_by_computation.cpp.o"
+  "CMakeFiles/pay_by_computation.dir/pay_by_computation.cpp.o.d"
+  "pay_by_computation"
+  "pay_by_computation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pay_by_computation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

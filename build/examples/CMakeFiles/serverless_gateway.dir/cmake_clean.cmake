@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_gateway.dir/serverless_gateway.cpp.o"
+  "CMakeFiles/serverless_gateway.dir/serverless_gateway.cpp.o.d"
+  "serverless_gateway"
+  "serverless_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volunteer_computing.dir/volunteer_computing.cpp.o"
+  "CMakeFiles/volunteer_computing.dir/volunteer_computing.cpp.o.d"
+  "volunteer_computing"
+  "volunteer_computing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volunteer_computing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

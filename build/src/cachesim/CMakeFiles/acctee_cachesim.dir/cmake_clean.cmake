@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acctee_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/acctee_cachesim.dir/cache.cpp.o.d"
+  "libacctee_cachesim.a"
+  "libacctee_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acctee_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

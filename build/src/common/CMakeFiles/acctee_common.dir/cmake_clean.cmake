@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acctee_common.dir/bytes.cpp.o"
+  "CMakeFiles/acctee_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/acctee_common.dir/leb128.cpp.o"
+  "CMakeFiles/acctee_common.dir/leb128.cpp.o.d"
+  "libacctee_common.a"
+  "libacctee_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acctee_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

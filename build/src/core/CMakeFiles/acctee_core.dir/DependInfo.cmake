@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accounting_enclave.cpp" "src/core/CMakeFiles/acctee_core.dir/accounting_enclave.cpp.o" "gcc" "src/core/CMakeFiles/acctee_core.dir/accounting_enclave.cpp.o.d"
+  "/root/repo/src/core/evidence.cpp" "src/core/CMakeFiles/acctee_core.dir/evidence.cpp.o" "gcc" "src/core/CMakeFiles/acctee_core.dir/evidence.cpp.o.d"
+  "/root/repo/src/core/instrumentation_cache.cpp" "src/core/CMakeFiles/acctee_core.dir/instrumentation_cache.cpp.o" "gcc" "src/core/CMakeFiles/acctee_core.dir/instrumentation_cache.cpp.o.d"
+  "/root/repo/src/core/instrumentation_enclave.cpp" "src/core/CMakeFiles/acctee_core.dir/instrumentation_enclave.cpp.o" "gcc" "src/core/CMakeFiles/acctee_core.dir/instrumentation_enclave.cpp.o.d"
+  "/root/repo/src/core/pricing.cpp" "src/core/CMakeFiles/acctee_core.dir/pricing.cpp.o" "gcc" "src/core/CMakeFiles/acctee_core.dir/pricing.cpp.o.d"
+  "/root/repo/src/core/resource_log.cpp" "src/core/CMakeFiles/acctee_core.dir/resource_log.cpp.o" "gcc" "src/core/CMakeFiles/acctee_core.dir/resource_log.cpp.o.d"
+  "/root/repo/src/core/runtime_env.cpp" "src/core/CMakeFiles/acctee_core.dir/runtime_env.cpp.o" "gcc" "src/core/CMakeFiles/acctee_core.dir/runtime_env.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/acctee_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/acctee_core.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instrument/CMakeFiles/acctee_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/acctee_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/acctee_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/acctee_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/acctee_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/acctee_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acctee_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acctee_core.dir/accounting_enclave.cpp.o"
+  "CMakeFiles/acctee_core.dir/accounting_enclave.cpp.o.d"
+  "CMakeFiles/acctee_core.dir/evidence.cpp.o"
+  "CMakeFiles/acctee_core.dir/evidence.cpp.o.d"
+  "CMakeFiles/acctee_core.dir/instrumentation_cache.cpp.o"
+  "CMakeFiles/acctee_core.dir/instrumentation_cache.cpp.o.d"
+  "CMakeFiles/acctee_core.dir/instrumentation_enclave.cpp.o"
+  "CMakeFiles/acctee_core.dir/instrumentation_enclave.cpp.o.d"
+  "CMakeFiles/acctee_core.dir/pricing.cpp.o"
+  "CMakeFiles/acctee_core.dir/pricing.cpp.o.d"
+  "CMakeFiles/acctee_core.dir/resource_log.cpp.o"
+  "CMakeFiles/acctee_core.dir/resource_log.cpp.o.d"
+  "CMakeFiles/acctee_core.dir/runtime_env.cpp.o"
+  "CMakeFiles/acctee_core.dir/runtime_env.cpp.o.d"
+  "CMakeFiles/acctee_core.dir/session.cpp.o"
+  "CMakeFiles/acctee_core.dir/session.cpp.o.d"
+  "libacctee_core.a"
+  "libacctee_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acctee_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

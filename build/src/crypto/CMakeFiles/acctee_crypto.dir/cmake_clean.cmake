@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acctee_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/acctee_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/acctee_crypto.dir/lamport.cpp.o"
+  "CMakeFiles/acctee_crypto.dir/lamport.cpp.o.d"
+  "CMakeFiles/acctee_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/acctee_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/acctee_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/acctee_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/acctee_crypto.dir/signer.cpp.o"
+  "CMakeFiles/acctee_crypto.dir/signer.cpp.o.d"
+  "libacctee_crypto.a"
+  "libacctee_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acctee_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acctee_faas.dir/gateway.cpp.o"
+  "CMakeFiles/acctee_faas.dir/gateway.cpp.o.d"
+  "libacctee_faas.a"
+  "libacctee_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acctee_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

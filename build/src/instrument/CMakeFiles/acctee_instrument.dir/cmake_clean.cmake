@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acctee_instrument.dir/passes.cpp.o"
+  "CMakeFiles/acctee_instrument.dir/passes.cpp.o.d"
+  "CMakeFiles/acctee_instrument.dir/weights.cpp.o"
+  "CMakeFiles/acctee_instrument.dir/weights.cpp.o.d"
+  "libacctee_instrument.a"
+  "libacctee_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acctee_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acctee_interp.dir/cost.cpp.o"
+  "CMakeFiles/acctee_interp.dir/cost.cpp.o.d"
+  "CMakeFiles/acctee_interp.dir/flatten.cpp.o"
+  "CMakeFiles/acctee_interp.dir/flatten.cpp.o.d"
+  "CMakeFiles/acctee_interp.dir/instance.cpp.o"
+  "CMakeFiles/acctee_interp.dir/instance.cpp.o.d"
+  "libacctee_interp.a"
+  "libacctee_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acctee_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acctee_sgx.dir/attestation.cpp.o"
+  "CMakeFiles/acctee_sgx.dir/attestation.cpp.o.d"
+  "CMakeFiles/acctee_sgx.dir/platform.cpp.o"
+  "CMakeFiles/acctee_sgx.dir/platform.cpp.o.d"
+  "CMakeFiles/acctee_sgx.dir/types.cpp.o"
+  "CMakeFiles/acctee_sgx.dir/types.cpp.o.d"
+  "libacctee_sgx.a"
+  "libacctee_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acctee_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libacctee_sgx.a"
+)

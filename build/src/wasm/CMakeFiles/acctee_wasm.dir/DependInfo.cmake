@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wasm/ast.cpp" "src/wasm/CMakeFiles/acctee_wasm.dir/ast.cpp.o" "gcc" "src/wasm/CMakeFiles/acctee_wasm.dir/ast.cpp.o.d"
+  "/root/repo/src/wasm/binary_reader.cpp" "src/wasm/CMakeFiles/acctee_wasm.dir/binary_reader.cpp.o" "gcc" "src/wasm/CMakeFiles/acctee_wasm.dir/binary_reader.cpp.o.d"
+  "/root/repo/src/wasm/binary_writer.cpp" "src/wasm/CMakeFiles/acctee_wasm.dir/binary_writer.cpp.o" "gcc" "src/wasm/CMakeFiles/acctee_wasm.dir/binary_writer.cpp.o.d"
+  "/root/repo/src/wasm/opcode.cpp" "src/wasm/CMakeFiles/acctee_wasm.dir/opcode.cpp.o" "gcc" "src/wasm/CMakeFiles/acctee_wasm.dir/opcode.cpp.o.d"
+  "/root/repo/src/wasm/validator.cpp" "src/wasm/CMakeFiles/acctee_wasm.dir/validator.cpp.o" "gcc" "src/wasm/CMakeFiles/acctee_wasm.dir/validator.cpp.o.d"
+  "/root/repo/src/wasm/wat_parser.cpp" "src/wasm/CMakeFiles/acctee_wasm.dir/wat_parser.cpp.o" "gcc" "src/wasm/CMakeFiles/acctee_wasm.dir/wat_parser.cpp.o.d"
+  "/root/repo/src/wasm/wat_printer.cpp" "src/wasm/CMakeFiles/acctee_wasm.dir/wat_printer.cpp.o" "gcc" "src/wasm/CMakeFiles/acctee_wasm.dir/wat_printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acctee_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acctee_wasm.dir/ast.cpp.o"
+  "CMakeFiles/acctee_wasm.dir/ast.cpp.o.d"
+  "CMakeFiles/acctee_wasm.dir/binary_reader.cpp.o"
+  "CMakeFiles/acctee_wasm.dir/binary_reader.cpp.o.d"
+  "CMakeFiles/acctee_wasm.dir/binary_writer.cpp.o"
+  "CMakeFiles/acctee_wasm.dir/binary_writer.cpp.o.d"
+  "CMakeFiles/acctee_wasm.dir/opcode.cpp.o"
+  "CMakeFiles/acctee_wasm.dir/opcode.cpp.o.d"
+  "CMakeFiles/acctee_wasm.dir/validator.cpp.o"
+  "CMakeFiles/acctee_wasm.dir/validator.cpp.o.d"
+  "CMakeFiles/acctee_wasm.dir/wat_parser.cpp.o"
+  "CMakeFiles/acctee_wasm.dir/wat_parser.cpp.o.d"
+  "CMakeFiles/acctee_wasm.dir/wat_printer.cpp.o"
+  "CMakeFiles/acctee_wasm.dir/wat_printer.cpp.o.d"
+  "libacctee_wasm.a"
+  "libacctee_wasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acctee_wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/builder.cpp" "src/workloads/CMakeFiles/acctee_workloads.dir/builder.cpp.o" "gcc" "src/workloads/CMakeFiles/acctee_workloads.dir/builder.cpp.o.d"
+  "/root/repo/src/workloads/calibration.cpp" "src/workloads/CMakeFiles/acctee_workloads.dir/calibration.cpp.o" "gcc" "src/workloads/CMakeFiles/acctee_workloads.dir/calibration.cpp.o.d"
+  "/root/repo/src/workloads/faas_functions.cpp" "src/workloads/CMakeFiles/acctee_workloads.dir/faas_functions.cpp.o" "gcc" "src/workloads/CMakeFiles/acctee_workloads.dir/faas_functions.cpp.o.d"
+  "/root/repo/src/workloads/microbench.cpp" "src/workloads/CMakeFiles/acctee_workloads.dir/microbench.cpp.o" "gcc" "src/workloads/CMakeFiles/acctee_workloads.dir/microbench.cpp.o.d"
+  "/root/repo/src/workloads/polybench.cpp" "src/workloads/CMakeFiles/acctee_workloads.dir/polybench.cpp.o" "gcc" "src/workloads/CMakeFiles/acctee_workloads.dir/polybench.cpp.o.d"
+  "/root/repo/src/workloads/polybench_blas.cpp" "src/workloads/CMakeFiles/acctee_workloads.dir/polybench_blas.cpp.o" "gcc" "src/workloads/CMakeFiles/acctee_workloads.dir/polybench_blas.cpp.o.d"
+  "/root/repo/src/workloads/polybench_medley.cpp" "src/workloads/CMakeFiles/acctee_workloads.dir/polybench_medley.cpp.o" "gcc" "src/workloads/CMakeFiles/acctee_workloads.dir/polybench_medley.cpp.o.d"
+  "/root/repo/src/workloads/polybench_solvers.cpp" "src/workloads/CMakeFiles/acctee_workloads.dir/polybench_solvers.cpp.o" "gcc" "src/workloads/CMakeFiles/acctee_workloads.dir/polybench_solvers.cpp.o.d"
+  "/root/repo/src/workloads/polybench_stencils.cpp" "src/workloads/CMakeFiles/acctee_workloads.dir/polybench_stencils.cpp.o" "gcc" "src/workloads/CMakeFiles/acctee_workloads.dir/polybench_stencils.cpp.o.d"
+  "/root/repo/src/workloads/usecases.cpp" "src/workloads/CMakeFiles/acctee_workloads.dir/usecases.cpp.o" "gcc" "src/workloads/CMakeFiles/acctee_workloads.dir/usecases.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wasm/CMakeFiles/acctee_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/acctee_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/acctee_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/acctee_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/acctee_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/acctee_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/acctee_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acctee_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

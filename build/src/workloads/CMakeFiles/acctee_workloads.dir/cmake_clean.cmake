@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acctee_workloads.dir/builder.cpp.o"
+  "CMakeFiles/acctee_workloads.dir/builder.cpp.o.d"
+  "CMakeFiles/acctee_workloads.dir/calibration.cpp.o"
+  "CMakeFiles/acctee_workloads.dir/calibration.cpp.o.d"
+  "CMakeFiles/acctee_workloads.dir/faas_functions.cpp.o"
+  "CMakeFiles/acctee_workloads.dir/faas_functions.cpp.o.d"
+  "CMakeFiles/acctee_workloads.dir/microbench.cpp.o"
+  "CMakeFiles/acctee_workloads.dir/microbench.cpp.o.d"
+  "CMakeFiles/acctee_workloads.dir/polybench.cpp.o"
+  "CMakeFiles/acctee_workloads.dir/polybench.cpp.o.d"
+  "CMakeFiles/acctee_workloads.dir/polybench_blas.cpp.o"
+  "CMakeFiles/acctee_workloads.dir/polybench_blas.cpp.o.d"
+  "CMakeFiles/acctee_workloads.dir/polybench_medley.cpp.o"
+  "CMakeFiles/acctee_workloads.dir/polybench_medley.cpp.o.d"
+  "CMakeFiles/acctee_workloads.dir/polybench_solvers.cpp.o"
+  "CMakeFiles/acctee_workloads.dir/polybench_solvers.cpp.o.d"
+  "CMakeFiles/acctee_workloads.dir/polybench_stencils.cpp.o"
+  "CMakeFiles/acctee_workloads.dir/polybench_stencils.cpp.o.d"
+  "CMakeFiles/acctee_workloads.dir/usecases.cpp.o"
+  "CMakeFiles/acctee_workloads.dir/usecases.cpp.o.d"
+  "libacctee_workloads.a"
+  "libacctee_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acctee_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_spec_test.dir/interp_spec_test.cpp.o"
+  "CMakeFiles/interp_spec_test.dir/interp_spec_test.cpp.o.d"
+  "interp_spec_test"
+  "interp_spec_test.pdb"
+  "interp_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wat_parser_test.dir/wat_parser_test.cpp.o"
+  "CMakeFiles/wat_parser_test.dir/wat_parser_test.cpp.o.d"
+  "wat_parser_test"
+  "wat_parser_test.pdb"
+  "wat_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wat_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acctee.dir/acctee_cli.cpp.o"
+  "CMakeFiles/acctee.dir/acctee_cli.cpp.o.d"
+  "acctee"
+  "acctee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acctee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

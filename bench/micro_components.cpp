@@ -9,6 +9,7 @@
 #include "crypto/sha256.hpp"
 #include "crypto/signer.hpp"
 #include "instrument/passes.hpp"
+#include "interp/compiled_module.hpp"
 #include "interp/instance.hpp"
 #include "wasm/binary.hpp"
 #include "workloads/polybench.hpp"
@@ -31,6 +32,45 @@ void BM_InterpreterDispatch(benchmark::State& state) {
       static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_InterpreterDispatch)->Arg(0)->Arg(1);
+
+// --- Prepare vs instantiate: the amortisation the CompiledModule pipeline
+// buys. Cold = decode/flatten the module for every request (the pre-refactor
+// per-request cost); shared = one compile(), then a cheap borrowing Instance
+// per request. The ratio of the two times is the per-request speedup.
+void BM_ColdCompilePerRequest(benchmark::State& state) {
+  wasm::Module module = workloads::build_polybench("atax", 16);
+  interp::Instance::Options opts;
+  opts.cache_model = false;
+  for (auto _ : state) {
+    interp::Instance inst(module, {}, opts);  // copies + re-flattens
+    inst.invoke("run");
+    benchmark::DoNotOptimize(inst.stats().instructions);
+  }
+}
+BENCHMARK(BM_ColdCompilePerRequest);
+
+void BM_SharedCompiledModulePerRequest(benchmark::State& state) {
+  interp::CompiledModulePtr compiled =
+      interp::compile(workloads::build_polybench("atax", 16));
+  interp::Instance::Options opts;
+  opts.cache_model = false;
+  for (auto _ : state) {
+    interp::Instance inst(compiled, {}, opts);
+    inst.invoke("run");
+    benchmark::DoNotOptimize(inst.stats().instructions);
+  }
+}
+BENCHMARK(BM_SharedCompiledModulePerRequest);
+
+// Preparation alone (what the shared pipeline pays exactly once).
+void BM_ModuleCompile(benchmark::State& state) {
+  wasm::Module module = workloads::build_polybench("atax", 16);
+  for (auto _ : state) {
+    interp::CompiledModulePtr compiled = interp::compile(module);
+    benchmark::DoNotOptimize(compiled->flat().size());
+  }
+}
+BENCHMARK(BM_ModuleCompile);
 
 void BM_InstrumentationPass(benchmark::State& state) {
   wasm::Module module = workloads::build_polybench("gemm", 32);

@@ -50,7 +50,9 @@ int64_t read_sleb128(BytesView data, size_t* offset) {
     shift += 7;
     if ((byte & 0x80) == 0) {
       if (shift < 64 && (byte & 0x40) != 0) {
-        result |= -(static_cast<int64_t>(1) << shift);
+        // Sign-extend in unsigned arithmetic: for shift == 63 the signed
+        // form `-(1 << shift)` negates INT64_MIN, which is UB.
+        result |= static_cast<int64_t>(~uint64_t{0} << shift);
       }
       return result;
     }

@@ -26,15 +26,28 @@ sgx::Quote AccountingEnclave::identity_quote() const {
   return enclave_->quoted_report(BytesView(id.data(), id.size()));
 }
 
-AccountingEnclave::Outcome AccountingEnclave::execute(
-    BytesView instrumented_binary, const InstrumentationEvidence& evidence,
-    const std::string& entry, const interp::Values& args, Bytes input) {
+std::shared_ptr<const AccountingEnclave::PreparedModule>
+AccountingEnclave::prepare(BytesView instrumented_binary,
+                           const InstrumentationEvidence& evidence) {
+  crypto::Digest binary_hash = crypto::sha256(instrumented_binary);
+  crypto::Digest evidence_digest = crypto::sha256(evidence.signed_payload());
+
+  // Cache lookup: a hit must have been verified against the exact same
+  // evidence claims (the payload binds hashes, pass, weights and counter
+  // index; the signature over it was checked at insertion time).
+  auto it = prepared_index_.find(binary_hash);
+  if (it != prepared_index_.end() &&
+      (*it->second)->evidence_digest == evidence_digest) {
+    ++prepared_hits_;
+    prepared_lru_.splice(prepared_lru_.begin(), prepared_lru_, it->second);
+    return prepared_lru_.front();
+  }
+
   // --- 1. Verify the instrumentation evidence (paper Fig. 3). ---
   if (!evidence.verify(config_.trusted_ie_identity)) {
     throw AttestationError("evidence signature does not verify against the "
                            "trusted instrumentation enclave");
   }
-  crypto::Digest binary_hash = crypto::sha256(instrumented_binary);
   if (binary_hash != evidence.output_hash) {
     throw AttestationError("binary does not match instrumentation evidence");
   }
@@ -45,16 +58,48 @@ AccountingEnclave::Outcome AccountingEnclave::execute(
     throw AttestationError("evidence weight table differs from agreed table");
   }
 
-  // --- 2. Load and re-validate inside the enclave. ---
-  wasm::Module module = wasm::decode(instrumented_binary);
-  wasm::validate(module);
-  auto counter_export =
-      module.find_export(instrument::kCounterExport, wasm::ExternKind::Global);
+  // --- 2. Load, re-validate and flatten inside the enclave (once). ---
+  interp::CompiledModulePtr compiled =
+      interp::compile(wasm::decode(instrumented_binary));
+  auto counter_export = compiled->module().find_export(
+      instrument::kCounterExport, wasm::ExternKind::Global);
   if (!counter_export || *counter_export != evidence.counter_global) {
     throw AttestationError("counter global missing or mismatched");
   }
+  ++prepared_misses_;
 
-  // --- 3. Execute in the two-way sandbox. ---
+  auto prepared = std::make_shared<const PreparedModule>(PreparedModule{
+      std::move(compiled), binary_hash, evidence_digest,
+      evidence.weight_table_hash, evidence.pass, evidence.counter_global});
+
+  if (config_.prepared_cache_capacity > 0) {
+    if (it != prepared_index_.end()) {
+      // Same binary, different (but valid) evidence: replace the entry.
+      prepared_lru_.erase(it->second);
+      prepared_index_.erase(it);
+    }
+    prepared_lru_.push_front(prepared);
+    prepared_index_[binary_hash] = prepared_lru_.begin();
+    if (prepared_lru_.size() > config_.prepared_cache_capacity) {
+      prepared_index_.erase(prepared_lru_.back()->binary_hash);
+      prepared_lru_.pop_back();
+    }
+  }
+  return prepared;
+}
+
+AccountingEnclave::Outcome AccountingEnclave::execute(
+    BytesView instrumented_binary, const InstrumentationEvidence& evidence,
+    const std::string& entry, const interp::Values& args, Bytes input) {
+  return execute(*prepare(instrumented_binary, evidence), entry, args,
+                 std::move(input));
+}
+
+AccountingEnclave::Outcome AccountingEnclave::execute(
+    const PreparedModule& prepared, const std::string& entry,
+    const interp::Values& args, Bytes input) {
+  // --- 3. Execute in the two-way sandbox: a cheap per-request instance
+  // over the shared immutable artifact. ---
   IoChannel channel;
   channel.input = std::move(input);
   interp::ImportMap env = make_runtime_env(&channel);
@@ -62,7 +107,7 @@ AccountingEnclave::Outcome AccountingEnclave::execute(
   interp::Instance::Options options;
   options.platform = config_.platform;
   options.max_instructions = config_.max_instructions;
-  interp::Instance instance(std::move(module), std::move(env), options);
+  interp::Instance instance(prepared.compiled, std::move(env), options);
 
   Outcome outcome;
 
@@ -70,9 +115,9 @@ AccountingEnclave::Outcome AccountingEnclave::execute(
                              bool is_final) {
     const interp::ExecStats& stats = inst.stats();
     ResourceUsageLog log;
-    log.module_hash = binary_hash;
-    log.weight_table_hash = evidence.weight_table_hash;
-    log.pass = evidence.pass;
+    log.module_hash = prepared.binary_hash;
+    log.weight_table_hash = prepared.weight_table_hash;
+    log.pass = prepared.pass;
     log.sequence = next_sequence_++;
     log.weighted_instructions = static_cast<uint64_t>(
         inst.read_global(instrument::kCounterExport).i64());

@@ -8,6 +8,8 @@
 // (4) emits a signed resource usage log that both parties trust.
 #pragma once
 
+#include <list>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -15,6 +17,7 @@
 #include "core/evidence.hpp"
 #include "core/resource_log.hpp"
 #include "core/runtime_env.hpp"
+#include "interp/compiled_module.hpp"
 #include "interp/instance.hpp"
 #include "sgx/platform.hpp"
 
@@ -42,6 +45,12 @@ class AccountingEnclave {
     /// every this many executed instructions (paper §3.3: periodic
     /// progress feedback to the content/workload provider).
     uint64_t checkpoint_interval = 0;
+    /// Capacity (entries, LRU) of the prepared-module cache: verified +
+    /// compiled modules reused across executions so repeat requests skip
+    /// decode/validate/flatten and the evidence signature check (paper
+    /// §3.3's prepare-once amortisation, applied to the AE). 0 disables
+    /// caching — every execute() re-prepares from scratch.
+    size_t prepared_cache_capacity = 16;
   };
 
   AccountingEnclave(sgx::Platform& platform, Config config);
@@ -63,24 +72,65 @@ class AccountingEnclave {
     interp::ExecStats stats;      // raw runtime statistics (diagnostics)
   };
 
-  /// Verifies evidence and executes `entry(args)` with `input` on the I/O
-  /// channel. Throws AttestationError if the evidence does not check out —
-  /// execution never starts on an unverified binary. Workload traps do NOT
-  /// throw: a trapped workload still consumed resources, so the outcome
-  /// carries a signed log with trapped=true (the infrastructure provider
-  /// must be paid either way).
+  /// The immutable outcome of the AE's preparation pipeline for one module:
+  /// evidence verified, binary decoded + re-validated, counter export
+  /// checked, functions flattened. Everything a per-request Instance needs,
+  /// shareable across any number of (concurrent) executions.
+  struct PreparedModule {
+    interp::CompiledModulePtr compiled;
+    crypto::Digest binary_hash{};
+    /// sha256 of the evidence's signed payload; a cache hit requires the
+    /// offered evidence to make exactly the claims that were verified.
+    crypto::Digest evidence_digest{};
+    crypto::Digest weight_table_hash{};
+    instrument::PassKind pass = instrument::PassKind::LoopBased;
+    uint32_t counter_global = 0;
+  };
+
+  /// Verifies evidence and compiles the binary — or returns the cached
+  /// artifact if this (binary, evidence) pair was already prepared. Throws
+  /// AttestationError if the evidence does not check out; nothing is cached
+  /// in that case.
+  std::shared_ptr<const PreparedModule> prepare(
+      BytesView instrumented_binary, const InstrumentationEvidence& evidence);
+
+  /// Executes `entry(args)` over an already-prepared module with `input` on
+  /// the I/O channel. Workload traps do NOT throw: a trapped workload still
+  /// consumed resources, so the outcome carries a signed log with
+  /// trapped=true (the infrastructure provider must be paid either way).
+  Outcome execute(const PreparedModule& prepared, const std::string& entry,
+                  const interp::Values& args, Bytes input = {});
+
+  /// prepare() + execute(): verifies evidence (cached after the first call
+  /// for a given binary) and runs the workload. Throws AttestationError if
+  /// the evidence does not check out — execution never starts on an
+  /// unverified binary.
   Outcome execute(BytesView instrumented_binary,
                   const InstrumentationEvidence& evidence,
                   const std::string& entry, const interp::Values& args,
                   Bytes input = {});
 
+  // Prepared-module cache statistics (observable amortisation).
+  uint64_t prepared_cache_hits() const { return prepared_hits_; }
+  uint64_t prepared_cache_misses() const { return prepared_misses_; }
+  size_t prepared_cache_size() const { return prepared_lru_.size(); }
+
   const Config& config() const { return config_; }
 
  private:
+  using PreparedPtr = std::shared_ptr<const PreparedModule>;
+
   std::unique_ptr<sgx::Enclave> enclave_;
   Config config_;
   crypto::Signer signer_;
   uint64_t next_sequence_ = 0;
+
+  // Bounded LRU over prepared modules, keyed by binary hash. Front of the
+  // list is the most recently used entry.
+  std::list<PreparedPtr> prepared_lru_;
+  std::map<crypto::Digest, std::list<PreparedPtr>::iterator> prepared_index_;
+  uint64_t prepared_hits_ = 0;
+  uint64_t prepared_misses_ = 0;
 };
 
 }  // namespace acctee::core

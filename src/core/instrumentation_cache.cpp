@@ -11,21 +11,27 @@ InstrumentationCache::Key InstrumentationCache::make_key(
 const InstrumentationEnclave::Output& InstrumentationCache::instrument(
     InstrumentationEnclave& ie, BytesView wasm_binary) {
   Key key = make_key(ie, wasm_binary);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
     ++hits_;
-    return it->second;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return lru_.front().second;
   }
   ++misses_;
-  auto [inserted, _] =
-      entries_.emplace(std::move(key), ie.instrument_binary(wasm_binary));
-  return inserted->second;
+  lru_.emplace_front(key, ie.instrument_binary(wasm_binary));
+  index_[std::move(key)] = lru_.begin();
+  if (max_entries_ != 0 && lru_.size() > max_entries_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return lru_.front().second;
 }
 
 const InstrumentationEnclave::Output* InstrumentationCache::find(
     const InstrumentationEnclave& ie, BytesView wasm_binary) const {
-  auto it = entries_.find(make_key(ie, wasm_binary));
-  return it == entries_.end() ? nullptr : &it->second;
+  auto it = index_.find(make_key(ie, wasm_binary));
+  return it == index_.end() ? nullptr : &it->second->second;
 }
 
 }  // namespace acctee::core

@@ -4,11 +4,16 @@
 //
 // Keyed by (input-binary hash, pass, weight-table hash); evidence is cached
 // alongside the binary, so repeat deployments skip both the pass and the
-// one-time-signature expenditure.
+// one-time-signature expenditure. The cache is a capacity-bounded LRU:
+// `max_entries == 0` (the default) keeps the historical unbounded
+// behaviour; a bounded cache evicts the least recently used entry, which
+// also invalidates any reference previously returned for it.
 #pragma once
 
+#include <list>
 #include <map>
 #include <optional>
+#include <utility>
 
 #include "core/instrumentation_enclave.hpp"
 
@@ -16,19 +21,27 @@ namespace acctee::core {
 
 class InstrumentationCache {
  public:
+  /// `max_entries == 0` means unbounded.
+  explicit InstrumentationCache(size_t max_entries = 0)
+      : max_entries_(max_entries) {}
+
   /// Returns the cached output for this IE's (pass, weights) policy, or
   /// runs the IE and caches the result. The cache is policy-aware: the same
-  /// input instrumented under a different pass is a different entry.
+  /// input instrumented under a different pass is a different entry. The
+  /// returned reference stays valid until the entry is evicted (bounded
+  /// caches only).
   const InstrumentationEnclave::Output& instrument(
       InstrumentationEnclave& ie, BytesView wasm_binary);
 
-  /// Pure lookup (no instrumentation).
+  /// Pure lookup (no instrumentation, no recency update).
   const InstrumentationEnclave::Output* find(
       const InstrumentationEnclave& ie, BytesView wasm_binary) const;
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return lru_.size(); }
+  size_t max_entries() const { return max_entries_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
 
  private:
   struct Key {
@@ -37,11 +50,16 @@ class InstrumentationCache {
     crypto::Digest weights_hash;
     auto operator<=>(const Key&) const = default;
   };
+  using Entry = std::pair<Key, InstrumentationEnclave::Output>;
+
   static Key make_key(const InstrumentationEnclave& ie, BytesView binary);
 
-  std::map<Key, InstrumentationEnclave::Output> entries_;
+  size_t max_entries_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  std::map<Key, std::list<Entry>::iterator> index_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 }  // namespace acctee::core

@@ -97,7 +97,16 @@ void InfrastructureProvider::trust_instrumentation_enclave(
   config.memory_policy = policy_.memory_policy;
   config.platform = policy_.platform;
   config.max_instructions = policy_.max_instructions;
+  config.prepared_cache_capacity = policy_.prepared_cache_capacity;
   ae_ = std::make_unique<AccountingEnclave>(platform_, std::move(config));
+}
+
+uint64_t InfrastructureProvider::prepared_cache_hits() const {
+  return ae_ ? ae_->prepared_cache_hits() : 0;
+}
+
+uint64_t InfrastructureProvider::prepared_cache_misses() const {
+  return ae_ ? ae_->prepared_cache_misses() : 0;
 }
 
 sgx::Quote InfrastructureProvider::accounting_enclave_quote() const {

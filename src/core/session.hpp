@@ -28,6 +28,9 @@ struct SessionPolicy {
   MemoryPolicy memory_policy = MemoryPolicy::Peak;
   interp::Platform platform = interp::Platform::WasmSgxHw;
   uint64_t max_instructions = UINT64_MAX;
+  /// Prepared-module cache capacity of the operated AE (0 disables; repeat
+  /// executions of the same workload then re-verify and re-compile).
+  size_t prepared_cache_capacity = 16;
 };
 
 /// Attests an enclave's quote via the service and extracts the signer
@@ -104,6 +107,11 @@ class InfrastructureProvider {
                     const InstrumentationEvidence& evidence,
                     const std::string& entry, const interp::Values& args,
                     Bytes input = {});
+
+  /// Prepared-module reuse statistics of the operated AE: repeat runs of
+  /// the same workload hit the cache and skip re-verification/compilation.
+  uint64_t prepared_cache_hits() const;
+  uint64_t prepared_cache_misses() const;
 
   const PriceSchedule& prices() const { return prices_; }
 

@@ -1,6 +1,8 @@
 #include "faas/gateway.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "wasm/validator.hpp"
 
@@ -32,10 +34,14 @@ interp::Platform platform_for(Setup setup) {
 }
 }  // namespace
 
+Gateway::Gateway(interp::CompiledModulePtr compiled, std::string entry,
+                 GatewayConfig config)
+    : compiled_(std::move(compiled)),
+      entry_(std::move(entry)),
+      config_(config) {}
+
 Gateway::Gateway(wasm::Module module, std::string entry, GatewayConfig config)
-    : module_(std::move(module)), entry_(std::move(entry)), config_(config) {
-  wasm::validate(module_);
-}
+    : Gateway(interp::compile(std::move(module)), std::move(entry), config) {}
 
 uint64_t Gateway::request_cycles(uint64_t exec_cycles,
                                  uint64_t io_bytes) const {
@@ -69,38 +75,51 @@ uint64_t Gateway::request_cycles(uint64_t exec_cycles,
          static_cast<uint64_t>(io_cost) + static_cast<uint64_t>(exec);
 }
 
-Bytes Gateway::handle(const Bytes& input) {
-  // Per-request isolation: a fresh instance for every request (§5.3).
+Gateway::RequestStats Gateway::execute_one(const Bytes& input,
+                                           Bytes* output) const {
+  // Per-request isolation: a fresh instance for every request (§5.3), a
+  // cheap view over the shared compiled module.
   core::IoChannel channel;
   channel.input = input;
   interp::Instance::Options options;
   options.platform = platform_for(config_.setup);
-  interp::Instance instance(module_, core::make_runtime_env(&channel),
+  interp::Instance instance(compiled_, core::make_runtime_env(&channel),
                             options);
   instance.invoke(entry_);
 
-  uint64_t io = instance.stats().io_bytes_in + instance.stats().io_bytes_out;
-  uint64_t exec = instance.stats().cycles;
-  total_cycles_ += request_cycles(exec, io);
-  execution_cycles_ += exec;
-  io_bytes_ += io;
-  ++requests_;
-  return channel.output;
+  RequestStats stats;
+  stats.io_bytes =
+      instance.stats().io_bytes_in + instance.stats().io_bytes_out;
+  stats.execution_cycles = instance.stats().cycles;
+  stats.total_cycles =
+      request_cycles(stats.execution_cycles, stats.io_bytes);
+  if (output != nullptr) *output = std::move(channel.output);
+  return stats;
 }
 
-LoadResult Gateway::run_load(const std::vector<Bytes>& inputs) {
-  total_cycles_ = 0;
-  execution_cycles_ = 0;
-  io_bytes_ = 0;
-  requests_ = 0;
-  for (const Bytes& input : inputs) handle(input);
+Bytes Gateway::handle(const Bytes& input) {
+  Bytes output;
+  RequestStats stats = execute_one(input, &output);
+  {
+    std::lock_guard<std::mutex> lock(totals_mutex_);
+    total_cycles_ += stats.total_cycles;
+    execution_cycles_ += stats.execution_cycles;
+    io_bytes_ += stats.io_bytes;
+    ++requests_;
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  return output;
+}
 
+LoadResult Gateway::make_result(uint32_t threads_used) const {
+  std::lock_guard<std::mutex> lock(totals_mutex_);
   LoadResult result;
   result.setup = config_.setup;
   result.requests = requests_;
   result.total_cycles = total_cycles_;
   result.execution_cycles = execution_cycles_;
   result.io_bytes = io_bytes_;
+  result.threads_used = threads_used;
   // `workers` requests proceed in parallel; the wall time is the serial
   // cycle count divided across the pool.
   double hz = config_.cpu_ghz * 1e9;
@@ -109,6 +128,79 @@ LoadResult Gateway::run_load(const std::vector<Bytes>& inputs) {
   result.requests_per_second =
       result.seconds > 0 ? static_cast<double>(requests_) / result.seconds : 0;
   return result;
+}
+
+LoadResult Gateway::run_load(const std::vector<Bytes>& inputs) {
+  {
+    std::lock_guard<std::mutex> lock(totals_mutex_);
+    total_cycles_ = 0;
+    execution_cycles_ = 0;
+    io_bytes_ = 0;
+    requests_ = 0;
+  }
+  for (const Bytes& input : inputs) handle(input);
+  return make_result(/*threads_used=*/1);
+}
+
+LoadResult Gateway::run_load_concurrent(const std::vector<Bytes>& inputs,
+                                        uint32_t threads,
+                                        std::vector<Bytes>* outputs) {
+  if (threads == 0) {
+    uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min(config_.workers, hw);
+  }
+  threads = std::max<uint32_t>(1, std::min<uint32_t>(
+      threads, static_cast<uint32_t>(std::max<size_t>(1, inputs.size()))));
+
+  {
+    std::lock_guard<std::mutex> lock(totals_mutex_);
+    total_cycles_ = 0;
+    execution_cycles_ = 0;
+    io_bytes_ = 0;
+    requests_ = 0;
+  }
+  if (outputs != nullptr) outputs->assign(inputs.size(), Bytes{});
+
+  // Each worker pulls request indices from the shared atomic queue head,
+  // executes a real instance over the shared CompiledModule, accumulates
+  // its own totals locally, and merges them under the mutex at the end.
+  std::atomic<size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&]() {
+    RequestStats local;
+    uint64_t handled = 0;
+    try {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < inputs.size();
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        Bytes* out = outputs != nullptr ? &(*outputs)[i] : nullptr;
+        RequestStats stats = execute_one(inputs[i], out);
+        local.total_cycles += stats.total_cycles;
+        local.execution_cycles += stats.execution_cycles;
+        local.io_bytes += stats.io_bytes;
+        ++handled;
+        requests_served_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      next.store(inputs.size(), std::memory_order_relaxed);  // drain queue
+    }
+    std::lock_guard<std::mutex> lock(totals_mutex_);
+    total_cycles_ += local.total_cycles;
+    execution_cycles_ += local.execution_cycles;
+    io_bytes_ += local.io_bytes;
+    requests_ += handled;
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  return make_result(threads);
 }
 
 }  // namespace acctee::faas

@@ -9,15 +9,26 @@
 // is requests / simulated seconds across a fixed worker pool, mirroring the
 // paper's h2load setup with 10 concurrent clients.
 //
+// The deployed function is held as one shared immutable CompiledModule
+// (compiled once at deployment); every request gets a cheap fresh Instance
+// over it. run_load() keeps the paper's simulated-cycle worker model;
+// run_load_concurrent() additionally drives real std::thread workers, each
+// executing actual instances concurrently over the same shared artifact,
+// with per-worker accounting merged under a mutex — accounting results are
+// identical to the single-threaded path.
+//
 // The JS/OpenFaaS baseline (the paper's `JS` bars) is modelled as the same
 // computation at a JS-engine slowdown plus OpenFaaS's hefty per-request
 // container dispatch overhead.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/runtime_env.hpp"
+#include "interp/compiled_module.hpp"
 #include "interp/instance.hpp"
 #include "wasm/ast.hpp"
 
@@ -66,34 +77,69 @@ struct LoadResult {
   uint64_t io_bytes = 0;
   double seconds = 0;
   double requests_per_second = 0;
+  uint32_t threads_used = 1;  // real OS threads that executed instances
 };
 
-/// A deployed function: a validated module (instrumented or not) + entry.
+/// A deployed function: a compiled (validated) module + entry.
 class Gateway {
  public:
-  /// `module` must validate; when `setup` is WasmSgxHwInstr/...HwIo the
+  /// Deploys an already-compiled module; the artifact may be shared with
+  /// other gateways/enclaves. When `setup` is WasmSgxHwInstr/...HwIo the
   /// caller deploys the instrumented binary (as the AE would).
+  Gateway(interp::CompiledModulePtr compiled, std::string entry,
+          GatewayConfig config);
+
+  /// Legacy path: compiles (and validates) `module` at deployment.
   Gateway(wasm::Module module, std::string entry, GatewayConfig config);
 
   /// Handles one request; returns the response body and adds the consumed
-  /// cycles to the running totals.
+  /// cycles to the running totals. Thread-safe: totals are merged under a
+  /// mutex, each request runs in its own Instance.
   Bytes handle(const Bytes& input);
 
-  /// Drives `inputs` through the gateway and computes throughput.
+  /// Drives `inputs` through the gateway serially and computes throughput
+  /// under the simulated-cycle worker-pool model.
   LoadResult run_load(const std::vector<Bytes>& inputs);
 
+  /// Worker-pool mode: `threads` real std::thread workers (0 → min of
+  /// config().workers and hardware concurrency) pull requests from a shared
+  /// queue and execute actual instances concurrently over the one shared
+  /// CompiledModule. Per-worker accounting is merged under a mutex; the
+  /// resulting totals are identical to run_load() on the same inputs. If
+  /// `outputs` is non-null it receives the per-request response bodies, in
+  /// input order.
+  LoadResult run_load_concurrent(const std::vector<Bytes>& inputs,
+                                 uint32_t threads = 0,
+                                 std::vector<Bytes>* outputs = nullptr);
+
+  /// Lifetime total of requests handled (atomic; any mode, any thread).
+  uint64_t requests_served() const { return requests_served_.load(); }
+
+  const interp::CompiledModulePtr& compiled() const { return compiled_; }
   const GatewayConfig& config() const { return config_; }
 
  private:
-  uint64_t request_cycles(uint64_t exec_cycles, uint64_t io_bytes) const;
+  struct RequestStats {
+    uint64_t total_cycles = 0;
+    uint64_t execution_cycles = 0;
+    uint64_t io_bytes = 0;
+  };
 
-  wasm::Module module_;
+  uint64_t request_cycles(uint64_t exec_cycles, uint64_t io_bytes) const;
+  /// Executes one request in a fresh Instance over the shared module.
+  /// Touches no gateway state (safe to call from any thread).
+  RequestStats execute_one(const Bytes& input, Bytes* output) const;
+  LoadResult make_result(uint32_t threads_used) const;
+
+  interp::CompiledModulePtr compiled_;
   std::string entry_;
   GatewayConfig config_;
+  mutable std::mutex totals_mutex_;
   uint64_t total_cycles_ = 0;
   uint64_t execution_cycles_ = 0;
   uint64_t io_bytes_ = 0;
   uint64_t requests_ = 0;
+  std::atomic<uint64_t> requests_served_{0};
 };
 
 }  // namespace acctee::faas

@@ -1,0 +1,24 @@
+#include "interp/compiled_module.hpp"
+
+#include "wasm/validator.hpp"
+
+namespace acctee::interp {
+
+CompiledModule::CompiledModule(wasm::Module module, CompileOptions options)
+    : module_(std::move(module)) {
+  if (options.validate) {
+    wasm::validate(module_);
+    validated_ = true;
+  }
+  flat_.reserve(module_.functions.size());
+  for (const auto& func : module_.functions) {
+    flat_.push_back(flatten(module_, func));
+  }
+}
+
+CompiledModulePtr compile(wasm::Module module,
+                          CompiledModule::CompileOptions options) {
+  return std::make_shared<const CompiledModule>(std::move(module), options);
+}
+
+}  // namespace acctee::interp

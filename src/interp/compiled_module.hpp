@@ -1,0 +1,62 @@
+// The prepare-once half of module execution (paper §3.3: instrumentation —
+// and by extension all per-module preparation — happens once and is reused
+// across many invocations).
+//
+// A CompiledModule is the immutable artifact of the parse → validate →
+// flatten pipeline: the structured AST plus every defined function compiled
+// to the interpreter's flat executable form. It is produced once per module
+// (per deployment, not per request) and shared between any number of
+// concurrently running Instances via std::shared_ptr<const CompiledModule>.
+// Instances borrow it read-only and own only their mutable state (operand
+// stack, linear memory, globals, table, counters, cache simulator), which is
+// what makes per-request instantiation cheap enough for FaaS request rates.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "interp/flatten.hpp"
+#include "wasm/ast.hpp"
+
+namespace acctee::interp {
+
+class CompiledModule {
+ public:
+  struct CompileOptions {
+    /// Run the validator before flattening. The public compile() entry point
+    /// defaults to true; the legacy Instance by-value constructor compiles
+    /// with false to preserve its historical "caller validates" contract.
+    bool validate = true;
+  };
+
+  /// Flattens (and by default validates) `module`. Throws ValidationError if
+  /// validation is requested and fails. Prefer the free compile() helpers.
+  CompiledModule(wasm::Module module, CompileOptions options);
+
+  CompiledModule(const CompiledModule&) = delete;
+  CompiledModule& operator=(const CompiledModule&) = delete;
+
+  const wasm::Module& module() const { return module_; }
+  const std::vector<FlatFunc>& flat() const { return flat_; }
+  const FlatFunc& flat_func(uint32_t defined_index) const {
+    return flat_[defined_index];
+  }
+  /// Validation verdict: true iff the validator ran (and passed) on this
+  /// exact module before flattening.
+  bool validated() const { return validated_; }
+
+ private:
+  wasm::Module module_;
+  std::vector<FlatFunc> flat_;
+  bool validated_ = false;
+};
+
+/// Shared ownership handle; every borrower holds one, so the artifact lives
+/// exactly as long as the last Instance (or cache entry) using it.
+using CompiledModulePtr = std::shared_ptr<const CompiledModule>;
+
+/// Entry point of the shared pipeline: validate + flatten once, share many.
+CompiledModulePtr compile(wasm::Module module,
+                          CompiledModule::CompileOptions options = {});
+
+}  // namespace acctee::interp

@@ -73,47 +73,47 @@ uint64_t trunc_i64_u(double x) {
 }  // namespace
 
 Instance::Instance(wasm::Module module, ImportMap imports, Options options)
-    : module_(std::move(module)),
+    : Instance(compile(std::move(module),
+                       CompiledModule::CompileOptions{.validate = false}),
+               std::move(imports), options) {}
+
+Instance::Instance(CompiledModulePtr compiled, ImportMap imports,
+                   Options options)
+    : compiled_(std::move(compiled)),
       imports_(std::move(imports)),
       options_(options),
       cost_(options.cost.value_or(CostConfig::for_platform(options.platform))),
       cache_(options.cache_config) {
   // Link imports.
-  for (const auto& imp : module_.imports) {
+  for (const auto& imp : mod().imports) {
     const HostEntry* entry = imports_.find(imp.module, imp.name);
     if (entry == nullptr) {
       throw LinkError("unresolved import " + imp.module + "." + imp.name);
     }
-    if (!(entry->type == module_.types.at(imp.type_index))) {
+    if (!(entry->type == mod().types.at(imp.type_index))) {
       throw LinkError("import type mismatch for " + imp.module + "." +
                       imp.name + ": module wants " +
-                      module_.types[imp.type_index].to_string() +
+                      mod().types[imp.type_index].to_string() +
                       ", host provides " + entry->type.to_string());
     }
   }
 
-  // Flatten all defined functions.
-  flat_.reserve(module_.functions.size());
-  for (const auto& func : module_.functions) {
-    flat_.push_back(flatten(module_, func));
-  }
-
   // Memory + data segments.
-  if (module_.memory) {
-    memory_ = std::make_unique<LinearMemory>(module_.memory->min,
-                                             module_.memory->max);
-    for (const auto& seg : module_.data) {
+  if (mod().memory) {
+    memory_ = std::make_unique<LinearMemory>(mod().memory->min,
+                                             mod().memory->max);
+    for (const auto& seg : mod().data) {
       memory_->write_bytes(seg.offset, seg.bytes);
     }
     stats_.peak_memory_bytes = memory_->size_bytes();
-  } else if (!module_.data.empty()) {
+  } else if (!mod().data.empty()) {
     throw LinkError("data segment without memory");
   }
 
   // Table + element segments.
-  if (module_.table) {
-    table_.assign(module_.table->min, -1);
-    for (const auto& seg : module_.elems) {
+  if (mod().table) {
+    table_.assign(mod().table->min, -1);
+    for (const auto& seg : mod().elems) {
       if (seg.offset + seg.func_indices.size() > table_.size()) {
         throw LinkError("elem segment out of table bounds");
       }
@@ -124,16 +124,16 @@ Instance::Instance(wasm::Module module, ImportMap imports, Options options)
   }
 
   // Globals.
-  globals_.reserve(module_.globals.size());
-  for (const auto& g : module_.globals) globals_.push_back(g.init.imm);
+  globals_.reserve(mod().globals.size());
+  for (const auto& g : mod().globals) globals_.push_back(g.init.imm);
 
-  if (module_.start) {
-    invoke_index(*module_.start, {});
+  if (mod().start) {
+    invoke_index(*mod().start, {});
   }
 }
 
 Values Instance::invoke(std::string_view export_name, const Values& args) {
-  auto index = module_.find_export(export_name, wasm::ExternKind::Func);
+  auto index = mod().find_export(export_name, wasm::ExternKind::Func);
   if (!index) {
     throw LinkError("no exported function named '" + std::string(export_name) +
                     "'");
@@ -142,7 +142,7 @@ Values Instance::invoke(std::string_view export_name, const Values& args) {
 }
 
 Values Instance::invoke_index(uint32_t func_index, const Values& args) {
-  const wasm::FuncType& type = module_.func_type(func_index);
+  const wasm::FuncType& type = mod().func_type(func_index);
   if (args.size() != type.params.size()) {
     throw LinkError("argument count mismatch");
   }
@@ -152,13 +152,13 @@ Values Instance::invoke_index(uint32_t func_index, const Values& args) {
                       std::to_string(i));
     }
   }
-  if (module_.is_import(func_index)) {
+  if (mod().is_import(func_index)) {
     throw LinkError("cannot invoke an imported function directly");
   }
 
   size_t stack_mark = stack_.size();
   for (const auto& a : args) push_raw(a.bits);
-  enter_frame(func_index - static_cast<uint32_t>(module_.imports.size()));
+  enter_frame(func_index - static_cast<uint32_t>(mod().imports.size()));
   run(frames_.size());
 
   Values results(type.results.size());
@@ -174,7 +174,7 @@ Values Instance::invoke_index(uint32_t func_index, const Values& args) {
 }
 
 TypedValue Instance::read_global(std::string_view export_name) const {
-  auto index = module_.find_export(export_name, wasm::ExternKind::Global);
+  auto index = mod().find_export(export_name, wasm::ExternKind::Global);
   if (!index) {
     throw LinkError("no exported global named '" + std::string(export_name) +
                     "'");
@@ -186,7 +186,7 @@ TypedValue Instance::read_global_index(uint32_t global_index) const {
   if (global_index >= globals_.size()) {
     throw LinkError("global index out of range");
   }
-  return TypedValue{module_.globals[global_index].type,
+  return TypedValue{mod().globals[global_index].type,
                     globals_[global_index]};
 }
 
@@ -194,7 +194,7 @@ void Instance::enter_frame(uint32_t defined_index) {
   if (frames_.size() >= options_.max_call_depth) {
     throw TrapError("call stack exhausted");
   }
-  const FlatFunc& ff = flat_[defined_index];
+  const FlatFunc& ff = flat()[defined_index];
   Frame frame;
   frame.func = defined_index;
   frame.pc = 0;
@@ -206,9 +206,9 @@ void Instance::enter_frame(uint32_t defined_index) {
 }
 
 void Instance::call_host(uint32_t import_index) {
-  const wasm::Import& imp = module_.imports[import_index];
+  const wasm::Import& imp = mod().imports[import_index];
   const HostEntry* entry = imports_.find(imp.module, imp.name);
-  const wasm::FuncType& type = module_.types[imp.type_index];
+  const wasm::FuncType& type = mod().types[imp.type_index];
 
   Values args(type.params.size());
   for (size_t i = type.params.size(); i-- > 0;) {
@@ -299,7 +299,7 @@ void Instance::account_instruction(const FlatOp& op) {
 void Instance::run(size_t stop_depth) {
   while (frames_.size() >= stop_depth) {
     Frame& fr = frames_.back();
-    const FlatFunc& ff = flat_[fr.func];
+    const FlatFunc& ff = flat()[fr.func];
     const FlatOp& op = ff.code[fr.pc];
 
     if (!op.synthetic) {
@@ -356,10 +356,10 @@ void Instance::run(size_t stop_depth) {
         uint32_t callee = op.a;
         ++fr.pc;
         stats_.cycles += cost_.call_overhead_cycles;
-        if (module_.is_import(callee)) {
+        if (mod().is_import(callee)) {
           call_host(callee);
         } else {
-          enter_frame(callee - static_cast<uint32_t>(module_.imports.size()));
+          enter_frame(callee - static_cast<uint32_t>(mod().imports.size()));
         }
         break;
       }
@@ -368,19 +368,19 @@ void Instance::run(size_t stop_depth) {
         if (elem >= table_.size()) throw TrapError("table index out of bounds");
         int64_t callee = table_[elem];
         if (callee < 0) throw TrapError("uninitialised table element");
-        const wasm::FuncType& expected = module_.types[op.a];
+        const wasm::FuncType& expected = mod().types[op.a];
         const wasm::FuncType& actual =
-            module_.func_type(static_cast<uint32_t>(callee));
+            mod().func_type(static_cast<uint32_t>(callee));
         if (!(expected == actual)) {
           throw TrapError("indirect call type mismatch");
         }
         ++fr.pc;
         stats_.cycles += cost_.call_overhead_cycles;
-        if (module_.is_import(static_cast<uint32_t>(callee))) {
+        if (mod().is_import(static_cast<uint32_t>(callee))) {
           call_host(static_cast<uint32_t>(callee));
         } else {
           enter_frame(static_cast<uint32_t>(callee) -
-                      static_cast<uint32_t>(module_.imports.size()));
+                      static_cast<uint32_t>(mod().imports.size()));
         }
         break;
       }

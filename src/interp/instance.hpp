@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "cachesim/cache.hpp"
+#include "interp/compiled_module.hpp"
 #include "interp/cost.hpp"
 #include "interp/flatten.hpp"
 #include "interp/host.hpp"
@@ -49,9 +50,19 @@ class Instance {
   using CheckpointHandler = std::function<void(Instance&)>;
   void set_checkpoint(uint64_t interval, CheckpointHandler handler);
 
-  /// Instantiates a validated module: allocates memory/table/globals,
+  /// Instantiates a shared compiled module: allocates memory/table/globals,
   /// applies data/elem segments, links imports, and runs the start function.
-  /// Throws LinkError on unresolved imports, TrapError if the start traps.
+  /// The compiled artifact is borrowed read-only — any number of instances
+  /// (including on other threads) may share one CompiledModulePtr. Throws
+  /// LinkError on unresolved imports, TrapError if the start traps.
+  Instance(CompiledModulePtr compiled, ImportMap imports, Options options);
+  Instance(CompiledModulePtr compiled, ImportMap imports = {})
+      : Instance(std::move(compiled), std::move(imports), Options{}) {}
+
+  /// Legacy by-value path: compiles privately (without validating — callers
+  /// of this constructor historically validate first) and instantiates. Each
+  /// call re-flattens the module; prefer compile() + the shared constructor
+  /// when the same module is instantiated more than once.
   Instance(wasm::Module module, ImportMap imports, Options options);
   Instance(wasm::Module module, ImportMap imports = {})
       : Instance(std::move(module), std::move(imports), Options{}) {}
@@ -70,7 +81,9 @@ class Instance {
   LinearMemory* memory() { return memory_ ? memory_.get() : nullptr; }
   const ExecStats& stats() const { return stats_; }
   ExecStats& stats() { return stats_; }
-  const wasm::Module& module() const { return module_; }
+  const wasm::Module& module() const { return compiled_->module(); }
+  /// The shared immutable artifact this instance executes.
+  const CompiledModulePtr& compiled() const { return compiled_; }
 
   /// Flushes simulated caches (between benchmark configurations).
   void flush_cache() { cache_.flush(); }
@@ -100,11 +113,15 @@ class Instance {
     return v;
   }
 
-  wasm::Module module_;
+  // -- immutable, shared across instances --
+  const wasm::Module& mod() const { return compiled_->module(); }
+  const std::vector<FlatFunc>& flat() const { return compiled_->flat(); }
+
+  CompiledModulePtr compiled_;
   ImportMap imports_;
   Options options_;
   CostConfig cost_;
-  std::vector<FlatFunc> flat_;
+  // -- mutable per-instance state --
   std::unique_ptr<LinearMemory> memory_;
   std::vector<uint64_t> globals_;
   std::vector<int64_t> table_;  // function indices; -1 = null entry

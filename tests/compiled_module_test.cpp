@@ -1,0 +1,296 @@
+// Tests for the shared immutable CompiledModule pipeline: compile-once /
+// instantiate-per-request determinism against the legacy by-value path,
+// per-instance accounting isolation under real concurrency, and the
+// accounting enclave's prepared-module cache.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/session.hpp"
+#include "interp/compiled_module.hpp"
+#include "wasm/binary.hpp"
+#include "wasm/validator.hpp"
+#include "wasm/wat_parser.hpp"
+
+namespace acctee {
+namespace {
+
+using interp::TypedValue;
+using V = TypedValue;
+
+// A workload touching every accounted dimension: loop arithmetic, loads and
+// stores into linear memory, and a mutable exported global.
+const char* kWorkWat = R"((module
+  (memory 1)
+  (global $g (export "g") (mut i32) (i32.const 0))
+  (func (export "run") (param i32) (result i32)
+    (local $i i32)
+    (local $acc i32)
+    loop $l
+      local.get $i
+      i32.const 4
+      i32.mul
+      local.get $i
+      i32.store
+      local.get $i
+      i32.const 4
+      i32.mul
+      i32.load
+      local.get $acc
+      i32.add
+      local.set $acc
+      local.get $i
+      i32.const 1
+      i32.add
+      local.tee $i
+      local.get 0
+      i32.lt_u
+      br_if $l
+    end
+    local.get $acc
+    global.set $g
+    local.get $acc
+  )
+))";
+
+wasm::Module work_module() {
+  wasm::Module m = wasm::parse_wat(kWorkWat);
+  wasm::validate(m);
+  return m;
+}
+
+interp::Instance::Options exact_options() {
+  interp::Instance::Options opts;
+  opts.cache_model = false;  // exact, order-independent cycle counts
+  return opts;
+}
+
+TEST(CompiledModule, SharedPathMatchesLegacyByValuePath) {
+  wasm::Module module = work_module();
+
+  // Legacy: the module is copied and re-flattened inside the instance.
+  interp::Instance legacy(module, {}, exact_options());
+  auto legacy_result = legacy.invoke("run", {V::make_i32(500)});
+
+  // Shared: compile once, instantiate a borrowing view.
+  interp::CompiledModulePtr compiled = interp::compile(work_module());
+  interp::Instance shared(compiled, {}, exact_options());
+  auto shared_result = shared.invoke("run", {V::make_i32(500)});
+
+  ASSERT_EQ(legacy_result.size(), shared_result.size());
+  EXPECT_EQ(legacy_result[0].bits, shared_result[0].bits);
+  EXPECT_EQ(legacy.stats().instructions, shared.stats().instructions);
+  EXPECT_EQ(legacy.stats().cycles, shared.stats().cycles);
+  EXPECT_EQ(legacy.stats().mem_loads, shared.stats().mem_loads);
+  EXPECT_EQ(legacy.stats().mem_stores, shared.stats().mem_stores);
+  EXPECT_EQ(legacy.stats().peak_memory_bytes,
+            shared.stats().peak_memory_bytes);
+  EXPECT_EQ(legacy.read_global("g").bits, shared.read_global("g").bits);
+  EXPECT_EQ(legacy.stats().per_op, shared.stats().per_op);
+}
+
+TEST(CompiledModule, CompileValidatesByDefault) {
+  wasm::Module bad = wasm::parse_wat(
+      "(module (func (export \"f\") (result i32) i64.const 1))");
+  EXPECT_THROW(interp::compile(std::move(bad)), ValidationError);
+  EXPECT_TRUE(interp::compile(work_module())->validated());
+}
+
+TEST(CompiledModule, ManyInstancesBorrowOneArtifact) {
+  interp::CompiledModulePtr compiled = interp::compile(work_module());
+  std::vector<interp::Instance> instances;
+  for (int i = 0; i < 4; ++i) {
+    instances.emplace_back(compiled, interp::ImportMap{}, exact_options());
+  }
+  // 1 (ours) + 4 borrowers, no copies of the module were made.
+  EXPECT_EQ(compiled.use_count(), 5);
+  // Mutable state is per-instance: running one leaves the others untouched.
+  instances[0].invoke("run", {V::make_i32(10)});
+  EXPECT_GT(instances[0].stats().instructions, 0u);
+  EXPECT_EQ(instances[1].stats().instructions, 0u);
+  EXPECT_EQ(instances[1].read_global("g").i32(), 0);
+}
+
+TEST(CompiledModule, ConcurrentInstancesAccountingIsolation) {
+  constexpr int kThreads = 8;  // >= 4 required by the acceptance criteria
+  interp::CompiledModulePtr compiled = interp::compile(work_module());
+
+  // Single-threaded reference per distinct argument.
+  struct Expected {
+    uint64_t result_bits;
+    uint64_t instructions;
+    uint64_t cycles;
+  };
+  std::vector<Expected> expected;
+  for (int t = 0; t < kThreads; ++t) {
+    interp::Instance inst(compiled, {}, exact_options());
+    auto r = inst.invoke("run", {V::make_i32(100 + 17 * t)});
+    expected.push_back(
+        {r[0].bits, inst.stats().instructions, inst.stats().cycles});
+  }
+
+  std::vector<Expected> got(kThreads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t]() {
+      interp::Instance inst(compiled, {}, exact_options());
+      auto r = inst.invoke("run", {V::make_i32(100 + 17 * t)});
+      got[t] = {r[0].bits, inst.stats().instructions, inst.stats().cycles};
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(got[t].result_bits, expected[t].result_bits) << "thread " << t;
+    EXPECT_EQ(got[t].instructions, expected[t].instructions) << "thread " << t;
+    EXPECT_EQ(got[t].cycles, expected[t].cycles) << "thread " << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Accounting-enclave prepared-module cache
+// ---------------------------------------------------------------------------
+
+struct Rig {
+  sgx::Platform platform{"host", to_bytes("seed")};
+  instrument::InstrumentOptions options{};
+
+  core::AccountingEnclave make_ae(core::InstrumentationEnclave& ie,
+                                  size_t cache_capacity = 16) {
+    core::AccountingEnclave::Config config;
+    config.trusted_ie_identity = ie.identity();
+    config.instrumentation = options;
+    config.platform = interp::Platform::WasmSgxSim;
+    config.signing_capacity = 512;
+    config.prepared_cache_capacity = cache_capacity;
+    return core::AccountingEnclave(platform, config);
+  }
+};
+
+Bytes work_binary() { return wasm::encode(work_module()); }
+
+TEST(PreparedModuleCache, RepeatExecutionIsACacheHit) {
+  Rig rig;
+  core::InstrumentationEnclave ie(rig.platform, rig.options);
+  auto deployed = ie.instrument_binary(work_binary());
+  core::AccountingEnclave ae = rig.make_ae(ie);
+
+  auto first = ae.execute(deployed.instrumented_binary, deployed.evidence,
+                          "run", {V::make_i32(64)});
+  EXPECT_EQ(ae.prepared_cache_misses(), 1u);
+  EXPECT_EQ(ae.prepared_cache_hits(), 0u);
+
+  // The repeat execution must not re-parse/re-validate/re-flatten: the
+  // prepared-module cache serves the verified artifact.
+  auto second = ae.execute(deployed.instrumented_binary, deployed.evidence,
+                           "run", {V::make_i32(64)});
+  EXPECT_EQ(ae.prepared_cache_misses(), 1u);
+  EXPECT_EQ(ae.prepared_cache_hits(), 1u);
+  EXPECT_EQ(ae.prepared_cache_size(), 1u);
+
+  // Same workload, same accounting — only the log sequence advances.
+  EXPECT_EQ(first.signed_log.log.weighted_instructions,
+            second.signed_log.log.weighted_instructions);
+  EXPECT_EQ(first.stats.instructions, second.stats.instructions);
+}
+
+TEST(PreparedModuleCache, CachedPathSignsBitIdenticalLogs) {
+  Rig rig;
+  core::InstrumentationEnclave ie(rig.platform, rig.options);
+  auto deployed = ie.instrument_binary(work_binary());
+
+  // Two AEs on the same platform share the sealed signing key, so they sign
+  // identical messages identically. `cached` prepares once and reuses;
+  // `uncached` (capacity 0) re-verifies and re-compiles every time. Their
+  // signed logs must be bit-identical, signatures included.
+  core::AccountingEnclave cached = rig.make_ae(ie, /*cache_capacity=*/16);
+  core::AccountingEnclave uncached = rig.make_ae(ie, /*cache_capacity=*/0);
+
+  for (int round = 0; round < 3; ++round) {
+    auto a = cached.execute(deployed.instrumented_binary, deployed.evidence,
+                            "run", {V::make_i32(128 + round)});
+    auto b = uncached.execute(deployed.instrumented_binary, deployed.evidence,
+                              "run", {V::make_i32(128 + round)});
+    EXPECT_EQ(a.signed_log.log.serialize(), b.signed_log.log.serialize());
+    EXPECT_EQ(a.signed_log.signature.serialize(),
+              b.signed_log.signature.serialize());
+    ASSERT_EQ(a.results.size(), b.results.size());
+    EXPECT_EQ(a.results[0].bits, b.results[0].bits);
+  }
+  EXPECT_EQ(cached.prepared_cache_hits(), 2u);
+  EXPECT_EQ(uncached.prepared_cache_hits(), 0u);
+  EXPECT_EQ(uncached.prepared_cache_misses(), 3u);
+  EXPECT_EQ(uncached.prepared_cache_size(), 0u);
+}
+
+TEST(PreparedModuleCache, TamperedEvidenceMissesAndIsRejected) {
+  Rig rig;
+  core::InstrumentationEnclave ie(rig.platform, rig.options);
+  auto deployed = ie.instrument_binary(work_binary());
+  core::AccountingEnclave ae = rig.make_ae(ie);
+  ae.execute(deployed.instrumented_binary, deployed.evidence, "run",
+             {V::make_i32(8)});
+
+  // A warm cache must not let differing evidence claims skip verification.
+  core::InstrumentationEvidence tampered = deployed.evidence;
+  tampered.weight_table_hash[0] ^= 0xff;
+  EXPECT_THROW(ae.execute(deployed.instrumented_binary, tampered, "run",
+                          {V::make_i32(8)}),
+               AttestationError);
+  EXPECT_EQ(ae.prepared_cache_hits(), 0u);
+}
+
+TEST(PreparedModuleCache, CapacityBoundsEntries) {
+  Rig rig;
+  core::InstrumentationEnclave ie(rig.platform, rig.options);
+  auto a = ie.instrument_binary(work_binary());
+
+  wasm::Module other = wasm::parse_wat(
+      "(module (func (export \"run\") (result i32) i32.const 7))");
+  wasm::validate(other);
+  auto b = ie.instrument_binary(wasm::encode(other));
+
+  core::AccountingEnclave ae = rig.make_ae(ie, /*cache_capacity=*/1);
+  ae.execute(a.instrumented_binary, a.evidence, "run", {V::make_i32(8)});
+  ae.execute(b.instrumented_binary, b.evidence, "run", {});
+  EXPECT_EQ(ae.prepared_cache_size(), 1u);
+  // `a` was evicted: running it again is a miss, not a stale hit.
+  ae.execute(a.instrumented_binary, a.evidence, "run", {V::make_i32(8)});
+  EXPECT_EQ(ae.prepared_cache_misses(), 3u);
+  EXPECT_EQ(ae.prepared_cache_hits(), 0u);
+}
+
+TEST(PreparedModuleCache, InfrastructureProviderReusesAcrossRuns) {
+  Rig rig;
+  sgx::AttestationService ias(to_bytes("ias"), 64);
+  ias.provision_platform(rig.platform);
+
+  core::SessionPolicy policy;
+  policy.instrumentation = rig.options;
+  policy.platform = interp::Platform::WasmSgxSim;
+  core::InstrumentationEnclave ie(rig.platform, policy.instrumentation);
+  core::WorkloadProvider customer(work_binary(), policy, ias.identity());
+  core::PriceSchedule prices;
+  prices.provider = "p";
+  prices.nanocredits_per_mega_instruction = 100;
+  core::InfrastructureProvider provider(rig.platform, policy, ias.identity(),
+                                        prices);
+  customer.instrument_with(ie, ias);
+  provider.trust_instrumentation_enclave(ie.identity_quote(), ias);
+  customer.attest_accounting_enclave(provider.accounting_enclave_quote(), ias);
+
+  auto first = provider.run(customer.instrumented_binary(),
+                            customer.evidence(), "run", {V::make_i32(32)});
+  auto second = provider.run(customer.instrumented_binary(),
+                             customer.evidence(), "run", {V::make_i32(32)});
+  EXPECT_EQ(provider.prepared_cache_misses(), 1u);
+  EXPECT_EQ(provider.prepared_cache_hits(), 1u);
+  EXPECT_EQ(first.bill.total(), second.bill.total());
+  // The customer still accepts both logs (fresh sequence numbers).
+  EXPECT_TRUE(customer.accept_log(first.outcome.signed_log));
+  EXPECT_TRUE(customer.accept_log(second.outcome.signed_log));
+}
+
+}  // namespace
+}  // namespace acctee

@@ -244,6 +244,49 @@ TEST(Cache, FindDoesNotInstrument) {
   EXPECT_NE(cache.find(ie, binary), nullptr);
 }
 
+// Distinct tiny modules (different constants -> different binary hashes).
+Bytes const_binary(int32_t value) {
+  wasm::Module m = wasm::parse_wat(
+      "(module (func (export \"run\") (result i32) i32.const " +
+      std::to_string(value) + "))");
+  wasm::validate(m);
+  return wasm::encode(m);
+}
+
+TEST(Cache, BoundedCacheEvictsLeastRecentlyUsed) {
+  Rig rig;
+  InstrumentationEnclave ie(rig.platform, rig.options, /*signing_capacity=*/16);
+  InstrumentationCache cache(/*max_entries=*/2);
+  cache.instrument(ie, const_binary(1));
+  cache.instrument(ie, const_binary(2));
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Touch 1 so that 2 is the least recently used, then insert 3.
+  cache.instrument(ie, const_binary(1));
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.instrument(ie, const_binary(3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.find(ie, const_binary(1)), nullptr);
+  EXPECT_EQ(cache.find(ie, const_binary(2)), nullptr);  // evicted
+  EXPECT_NE(cache.find(ie, const_binary(3)), nullptr);
+
+  // Re-instrumenting the evicted module is a fresh miss, not a stale hit.
+  cache.instrument(ie, const_binary(2));
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(Cache, UnboundedByDefault) {
+  Rig rig;
+  InstrumentationEnclave ie(rig.platform, rig.options, /*signing_capacity=*/16);
+  InstrumentationCache cache;
+  EXPECT_EQ(cache.max_entries(), 0u);
+  for (int i = 0; i < 5; ++i) cache.instrument(ie, const_binary(i));
+  EXPECT_EQ(cache.size(), 5u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Replay protection
 // ---------------------------------------------------------------------------

@@ -1,5 +1,6 @@
 // Tests for the FaaS gateway: correctness of request handling, setup cost
-// ordering, and per-request isolation.
+// ordering, per-request isolation, and the real worker-pool mode over one
+// shared CompiledModule.
 #include <gtest/gtest.h>
 
 #include "faas/gateway.hpp"
@@ -97,6 +98,73 @@ TEST(Gateway, LoadResultAccounting) {
   EXPECT_EQ(result.io_bytes, 5u * 2 * 1000);  // echoed: in + out
   EXPECT_GT(result.total_cycles, result.execution_cycles);
   EXPECT_GT(result.requests_per_second, 0.0);
+}
+
+TEST(Gateway, SharedCompiledModuleAcrossGateways) {
+  // One deployment artifact, many gateways: no copies, identical behaviour.
+  interp::CompiledModulePtr compiled = interp::compile(faas_echo());
+  Gateway a(compiled, "run", {});
+  Gateway b(compiled, "run", {});
+  EXPECT_EQ(a.compiled().get(), b.compiled().get());
+  Bytes input = to_bytes("shared");
+  EXPECT_EQ(a.handle(input), b.handle(input));
+}
+
+TEST(Gateway, ConcurrentLoadMatchesSerialAccounting) {
+  std::vector<Bytes> inputs = echo_inputs(24, 4096);
+  interp::CompiledModulePtr compiled = interp::compile(faas_echo());
+  GatewayConfig config;
+  config.setup = Setup::WasmSgxHw;
+
+  Gateway serial(compiled, "run", config);
+  LoadResult expect = serial.run_load(inputs);
+  std::vector<Bytes> serial_outputs;
+  for (const Bytes& input : inputs) serial_outputs.push_back(input);  // echo
+
+  // >= 4 real threads over the one shared CompiledModule.
+  Gateway concurrent(compiled, "run", config);
+  std::vector<Bytes> outputs;
+  LoadResult got = concurrent.run_load_concurrent(inputs, 4, &outputs);
+
+  EXPECT_GE(got.threads_used, 4u);
+  EXPECT_EQ(got.requests, expect.requests);
+  EXPECT_EQ(got.total_cycles, expect.total_cycles);
+  EXPECT_EQ(got.execution_cycles, expect.execution_cycles);
+  EXPECT_EQ(got.io_bytes, expect.io_bytes);
+  EXPECT_DOUBLE_EQ(got.requests_per_second, expect.requests_per_second);
+  ASSERT_EQ(outputs.size(), inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(outputs[i], serial_outputs[i]) << "request " << i;
+  }
+}
+
+TEST(Gateway, ConcurrentResizeIsDeterministic) {
+  // A compute-heavy function with memory traffic: per-instance cache sims
+  // must not bleed into each other across workers.
+  std::vector<Bytes> inputs;
+  for (uint32_t i = 0; i < 8; ++i) {
+    inputs.push_back(make_test_image(96, i));
+  }
+  interp::CompiledModulePtr compiled = interp::compile(faas_resize());
+  Gateway serial(compiled, "run", {});
+  LoadResult expect = serial.run_load(inputs);
+  Gateway concurrent(compiled, "run", {});
+  std::vector<Bytes> outputs;
+  LoadResult got = concurrent.run_load_concurrent(inputs, 4, &outputs);
+  EXPECT_EQ(got.total_cycles, expect.total_cycles);
+  EXPECT_EQ(got.execution_cycles, expect.execution_cycles);
+  for (const Bytes& out : outputs) {
+    EXPECT_EQ(out.size(),
+              workloads::kResizeOutputSide * workloads::kResizeOutputSide * 3u);
+  }
+}
+
+TEST(Gateway, AtomicRequestCounterAcrossModes) {
+  Gateway gw(faas_echo(), "run", {});
+  gw.handle(to_bytes("one"));
+  gw.run_load(echo_inputs(3, 64));
+  gw.run_load_concurrent(echo_inputs(8, 64), 4);
+  EXPECT_EQ(gw.requests_served(), 1u + 3u + 8u);
 }
 
 }  // namespace

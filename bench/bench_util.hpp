@@ -1,7 +1,9 @@
 // Shared helpers for the figure-reproduction benchmark binaries.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -67,6 +69,93 @@ inline RunOutcome run_module(const wasm::Module& module,
         inst.read_global(instrument::kCounterExport).i64());
   }
   return out;
+}
+
+/// Machine-readable benchmark output (`--json <path>`): collects one record
+/// per measured configuration and writes a BENCH_*.json file, seeding the
+/// performance trajectory (CI archives these across commits).
+class JsonReporter {
+ public:
+  /// Parses `--json <path>` out of argv; path is empty when absent.
+  JsonReporter(const char* benchmark, int argc, char** argv)
+      : benchmark_(benchmark) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) path_ = argv[i + 1];
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void record(const std::string& name, uint64_t iterations, double ns_per_op,
+              double instructions_per_sec) {
+    if (!enabled()) return;
+    records_.push_back(Record{name, iterations, ns_per_op,
+                              instructions_per_sec});
+  }
+
+  /// Writes the collected records; returns false (with a message on stderr)
+  /// if the file cannot be opened.
+  bool write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"results\": [",
+                 benchmark_.c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f,
+                   "%s\n    {\"name\": \"%s\", \"iterations\": %llu, "
+                   "\"ns_per_op\": %.3f, \"instructions_per_sec\": %.3f}",
+                   i == 0 ? "" : ",", r.name.c_str(),
+                   static_cast<unsigned long long>(r.iterations), r.ns_per_op,
+                   r.instructions_per_sec);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    uint64_t iterations;
+    double ns_per_op;
+    double instructions_per_sec;
+  };
+  std::string benchmark_;
+  std::string path_;
+  std::vector<Record> records_;
+};
+
+/// True when `--smoke` is present: benchmarks shrink problem sizes to a CI
+/// smoke-test scale (seconds, not minutes); results are exercise-only.
+inline bool smoke_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
+}
+
+/// run_module plus wall-clock timing, for JSON reporting.
+struct TimedOutcome {
+  RunOutcome outcome;
+  double wall_ns = 0;
+};
+
+inline TimedOutcome timed_run_module(const wasm::Module& module,
+                                     interp::Platform platform,
+                                     const interp::Values& args = {},
+                                     const char* entry = "run") {
+  auto t0 = std::chrono::steady_clock::now();
+  TimedOutcome timed;
+  timed.outcome = run_module(module, platform, args, entry);
+  timed.wall_ns = std::chrono::duration<double, std::nano>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  return timed;
 }
 
 /// Fixed-width row printing.

@@ -15,12 +15,18 @@
 #include "workloads/polybench.hpp"
 
 using namespace acctee;
-using bench::run_module;
+using bench::timed_run_module;
 using instrument::InstrumentOptions;
 using instrument::PassKind;
 
-int main() {
-  std::printf("Fig. 6: PolyBench/C normalised runtimes (lower is better)\n");
+// Usage: fig6_polybench [--smoke] [--json <path>]
+//   --smoke        shrink problem sizes to a CI smoke-test scale
+//   --json <path>  also write machine-readable results (bench::JsonReporter)
+int main(int argc, char** argv) {
+  bench::JsonReporter json("fig6_polybench", argc, argv);
+  const bool smoke = bench::smoke_requested(argc, argv);
+  std::printf("Fig. 6: PolyBench/C normalised runtimes (lower is better)%s\n",
+              smoke ? " [SMOKE SCALE]" : "");
   std::printf("scaled machine: LLC 1 MiB, EPC %llu MiB usable, enclave base "
               "%llu MiB\n\n",
               static_cast<unsigned long long>(bench::kScaledEpcLimit >> 20),
@@ -34,20 +40,29 @@ int main() {
   int count = 0;
 
   for (const auto& kernel : workloads::polybench()) {
-    wasm::Module module = kernel.build(kernel.bench_n);
+    uint32_t n = smoke ? std::min<uint32_t>(kernel.bench_n, 16) : kernel.bench_n;
+    wasm::Module module = kernel.build(n);
     auto instrumented =
         instrument::instrument(module, InstrumentOptions{PassKind::LoopBased,
                                                          {}});
 
-    uint64_t native =
-        run_module(module, interp::Platform::Native).stats.cycles;
-    uint64_t wasm_c = run_module(module, interp::Platform::Wasm).stats.cycles;
-    uint64_t sim =
-        run_module(module, interp::Platform::WasmSgxSim).stats.cycles;
-    uint64_t hw = run_module(module, interp::Platform::WasmSgxHw).stats.cycles;
+    auto measure = [&](const wasm::Module& m, interp::Platform platform,
+                       const char* label) {
+      bench::TimedOutcome timed = timed_run_module(m, platform);
+      json.record(kernel.name + "/" + label, /*iterations=*/1, timed.wall_ns,
+                  timed.wall_ns > 0
+                      ? static_cast<double>(timed.outcome.stats.instructions) *
+                            1e9 / timed.wall_ns
+                      : 0);
+      return timed.outcome.stats.cycles;
+    };
+
+    uint64_t native = measure(module, interp::Platform::Native, "native");
+    uint64_t wasm_c = measure(module, interp::Platform::Wasm, "WASM");
+    uint64_t sim = measure(module, interp::Platform::WasmSgxSim, "SGX-SIM");
+    uint64_t hw = measure(module, interp::Platform::WasmSgxHw, "SGX-HW");
     uint64_t hw_instr =
-        run_module(instrumented.module, interp::Platform::WasmSgxHw)
-            .stats.cycles;
+        measure(instrumented.module, interp::Platform::WasmSgxHw, "HW-instr");
 
     double n_wasm = static_cast<double>(wasm_c) / native;
     double n_sim = static_cast<double>(sim) / native;
@@ -75,5 +90,5 @@ int main() {
               min_instr_pct, max_instr_pct);
   std::printf("paper:    WASM 1.1x native, WASM-SGX HW 2.1x native, "
               "instrumentation +4%% (0-9%%)\n");
-  return 0;
+  return json.write() ? 0 : 1;
 }

@@ -91,6 +91,7 @@ Gateway::RequestStats Gateway::execute_one(const Bytes& input,
   stats.io_bytes =
       instance.stats().io_bytes_in + instance.stats().io_bytes_out;
   stats.execution_cycles = instance.stats().cycles;
+  stats.instructions = instance.stats().instructions;
   stats.total_cycles =
       request_cycles(stats.execution_cycles, stats.io_bytes);
   if (output != nullptr) *output = std::move(channel.output);
@@ -104,6 +105,7 @@ Bytes Gateway::handle(const Bytes& input) {
     std::lock_guard<std::mutex> lock(totals_mutex_);
     total_cycles_ += stats.total_cycles;
     execution_cycles_ += stats.execution_cycles;
+    instructions_ += stats.instructions;
     io_bytes_ += stats.io_bytes;
     ++requests_;
   }
@@ -118,6 +120,7 @@ LoadResult Gateway::make_result(uint32_t threads_used) const {
   result.requests = requests_;
   result.total_cycles = total_cycles_;
   result.execution_cycles = execution_cycles_;
+  result.instructions = instructions_;
   result.io_bytes = io_bytes_;
   result.threads_used = threads_used;
   // `workers` requests proceed in parallel; the wall time is the serial
@@ -135,6 +138,7 @@ LoadResult Gateway::run_load(const std::vector<Bytes>& inputs) {
     std::lock_guard<std::mutex> lock(totals_mutex_);
     total_cycles_ = 0;
     execution_cycles_ = 0;
+    instructions_ = 0;
     io_bytes_ = 0;
     requests_ = 0;
   }
@@ -156,6 +160,7 @@ LoadResult Gateway::run_load_concurrent(const std::vector<Bytes>& inputs,
     std::lock_guard<std::mutex> lock(totals_mutex_);
     total_cycles_ = 0;
     execution_cycles_ = 0;
+    instructions_ = 0;
     io_bytes_ = 0;
     requests_ = 0;
   }
@@ -178,6 +183,7 @@ LoadResult Gateway::run_load_concurrent(const std::vector<Bytes>& inputs,
         RequestStats stats = execute_one(inputs[i], out);
         local.total_cycles += stats.total_cycles;
         local.execution_cycles += stats.execution_cycles;
+        local.instructions += stats.instructions;
         local.io_bytes += stats.io_bytes;
         ++handled;
         requests_served_.fetch_add(1, std::memory_order_relaxed);
@@ -190,6 +196,7 @@ LoadResult Gateway::run_load_concurrent(const std::vector<Bytes>& inputs,
     std::lock_guard<std::mutex> lock(totals_mutex_);
     total_cycles_ += local.total_cycles;
     execution_cycles_ += local.execution_cycles;
+    instructions_ += local.instructions;
     io_bytes_ += local.io_bytes;
     requests_ += handled;
   };

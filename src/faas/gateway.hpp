@@ -74,6 +74,7 @@ struct LoadResult {
   uint64_t requests = 0;
   uint64_t total_cycles = 0;
   uint64_t execution_cycles = 0;  // workload cycles only
+  uint64_t instructions = 0;      // executed Wasm instructions (all requests)
   uint64_t io_bytes = 0;
   double seconds = 0;
   double requests_per_second = 0;
@@ -122,6 +123,7 @@ class Gateway {
   struct RequestStats {
     uint64_t total_cycles = 0;
     uint64_t execution_cycles = 0;
+    uint64_t instructions = 0;
     uint64_t io_bytes = 0;
   };
 
@@ -137,6 +139,7 @@ class Gateway {
   mutable std::mutex totals_mutex_;
   uint64_t total_cycles_ = 0;
   uint64_t execution_cycles_ = 0;
+  uint64_t instructions_ = 0;
   uint64_t io_bytes_ = 0;
   uint64_t requests_ = 0;
   std::atomic<uint64_t> requests_served_{0};

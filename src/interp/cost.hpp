@@ -77,6 +77,17 @@ struct ExecStats {
     for (size_t i = 0; i < wasm::kNumOps; ++i) sum += per_op[i] * weights[i];
     return sum;
   }
+
+  /// Accounting conservation invariant: the per-opcode histogram and the
+  /// total instruction counter are updated together (per instruction or per
+  /// basic block), so their sums must always agree — including after traps
+  /// and at checkpoint boundaries. Tested across dispatch/accounting modes
+  /// in tests/block_accounting_test.cpp.
+  bool per_op_conserved() const {
+    uint64_t sum = 0;
+    for (uint64_t c : per_op) sum += c;
+    return sum == instructions;
+  }
 };
 
 }  // namespace acctee::interp

@@ -260,11 +260,91 @@ class Flattener {
   }
 };
 
+/// True for ops after which execution cannot simply fall through to the
+/// next FlatOp (control transfers) or must not be batched past because they
+/// observe the live instruction counter (`memory.grow` folds the
+/// memory-size integral). Synthetic ops (internal jump/halt) also end
+/// blocks — they always transfer control.
+bool ends_block(const FlatOp& op) {
+  if (op.synthetic) return true;
+  switch (op.op) {
+    case Op::If:
+    case Op::Br:
+    case Op::BrIf:
+    case Op::BrTable:
+    case Op::Return:
+    case Op::Call:
+    case Op::CallIndirect:
+    case Op::Unreachable:
+    case Op::MemoryGrow:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Partitions `ff.code` into basic blocks and precomputes each block's
+/// accounting summary. Must run after all branch targets are patched.
+void compute_block_costs(FlatFunc& ff) {
+  const size_t n = ff.code.size();
+  ff.blocks.clear();
+  ff.block_index.assign(n, 0);
+  ff.block_hist.clear();
+  if (n == 0) return;
+
+  // Mark block heads: function entry, every branch target, and the op
+  // after every block-ending op.
+  std::vector<bool> head(n, false);
+  head[0] = true;
+  for (size_t i = 0; i < n; ++i) {
+    const FlatOp& op = ff.code[i];
+    if (op.op == Op::If || op.op == Op::Br || op.op == Op::BrIf) {
+      if (op.target_pc < n) head[op.target_pc] = true;
+    }
+    if (ends_block(op) && i + 1 < n) head[i + 1] = true;
+  }
+  for (const auto& table : ff.br_tables) {
+    for (const BrTarget& t : table) {
+      if (t.pc < n) head[t.pc] = true;
+    }
+  }
+
+  size_t start = 0;
+  while (start < n) {
+    size_t end = start + 1;
+    while (end < n && !head[end]) ++end;
+    BlockCost blk;
+    blk.end_pc = static_cast<uint32_t>(end);
+    blk.hist_begin = static_cast<uint32_t>(ff.block_hist.size());
+    for (size_t i = start; i < end; ++i) {
+      const FlatOp& op = ff.code[i];
+      ff.block_index[i] = static_cast<uint32_t>(ff.blocks.size());
+      if (op.synthetic) continue;
+      ++blk.instructions;
+      blk.cycles += op_info(op.op).base_cost;
+      bool found = false;
+      for (size_t h = blk.hist_begin; h < ff.block_hist.size(); ++h) {
+        if (ff.block_hist[h].op == op.op) {
+          ++ff.block_hist[h].count;
+          found = true;
+          break;
+        }
+      }
+      if (!found) ff.block_hist.push_back(BlockOpCount{op.op, 1});
+    }
+    blk.hist_end = static_cast<uint32_t>(ff.block_hist.size());
+    ff.blocks.push_back(blk);
+    start = end;
+  }
+}
+
 }  // namespace
 
 FlatFunc flatten(const wasm::Module& module, const wasm::Function& func) {
   Flattener flattener(module, func);
-  return flattener.run();
+  FlatFunc ff = flattener.run();
+  compute_block_costs(ff);
+  return ff;
 }
 
 }  // namespace acctee::interp

@@ -37,6 +37,34 @@ struct FlatOp {
   uint64_t b = 0;
 };
 
+/// One entry of a block's compact per-opcode histogram delta.
+struct BlockOpCount {
+  wasm::Op op = wasm::Op::Nop;
+  uint32_t count = 0;
+};
+
+/// Accounting summary of one basic block: a maximal straight-line run of
+/// FlatOps that control flow can only enter at the first op and only leave
+/// after the last. Charged wholesale on block entry by the interpreter
+/// (paper Fig. 4 batching, applied to the simulator itself) instead of one
+/// bookkeeping update per instruction.
+///
+/// Block boundaries (computed once at flatten time):
+///  * every branch target starts a block,
+///  * every control transfer (br/br_if/br_table/if/return/call/
+///    call_indirect/unreachable) and every synthetic op ends one,
+///  * `memory.grow` ends one, because it observes the instruction counter
+///    mid-execution (the memory-size integral) and must see exactly the
+///    serial count.
+struct BlockCost {
+  uint32_t end_pc = 0;        // one past the last op of the block
+  uint32_t instructions = 0;  // accounted (non-synthetic) ops in the block
+  uint64_t cycles = 0;        // summed per-opcode base costs
+  // Histogram delta: [hist_begin, hist_end) into FlatFunc::block_hist.
+  uint32_t hist_begin = 0;
+  uint32_t hist_end = 0;
+};
+
 /// A flattened function body.
 struct FlatFunc {
   uint32_t type_index = 0;
@@ -44,6 +72,13 @@ struct FlatFunc {
   uint32_t num_params = 0;
   std::vector<FlatOp> code;  // terminated by a synthetic return
   std::vector<std::vector<BrTarget>> br_tables;
+  // Basic-block accounting summaries (code order). `block_index[pc]` maps
+  // every pc to the id of the block containing it; the interpreter only
+  // consults it at block heads. `block_hist` is the flattened backing store
+  // of all blocks' histogram deltas (one allocation per function).
+  std::vector<BlockCost> blocks;
+  std::vector<uint32_t> block_index;
+  std::vector<BlockOpCount> block_hist;
 };
 
 /// Flattens one defined function of a *validated* module.

@@ -296,583 +296,61 @@ void Instance::account_instruction(const FlatOp& op) {
   }
 }
 
-void Instance::run(size_t stop_depth) {
-  while (frames_.size() >= stop_depth) {
-    Frame& fr = frames_.back();
-    const FlatFunc& ff = flat()[fr.func];
-    const FlatOp& op = ff.code[fr.pc];
-
-    if (!op.synthetic) {
-      account_instruction(op);
-      if (stats_.instructions > options_.max_instructions) {
-        throw TrapError("instruction limit exceeded");
-      }
-    }
-
-    switch (op.op) {
-      case Op::Nop:
-      case Op::Block:
-      case Op::Loop:
-        ++fr.pc;
-        break;
-      case Op::Unreachable:
-        throw TrapError("unreachable executed");
-      case Op::If: {
-        uint32_t cond = static_cast<uint32_t>(pop_raw());
-        fr.pc = cond != 0 ? fr.pc + 1 : op.target_pc;
-        break;
-      }
-      case Op::Br:
-        do_branch(fr, op.target_pc, op.unwind, op.arity);
-        break;
-      case Op::BrIf: {
-        uint32_t cond = static_cast<uint32_t>(pop_raw());
-        if (cond != 0) {
-          do_branch(fr, op.target_pc, op.unwind, op.arity);
-        } else {
-          ++fr.pc;
-        }
-        break;
-      }
-      case Op::BrTable: {
-        uint32_t sel = static_cast<uint32_t>(pop_raw());
-        const auto& table = ff.br_tables[op.a];
-        const BrTarget& t =
-            sel < table.size() - 1 ? table[sel] : table.back();
-        do_branch(fr, t.pc, t.unwind, t.arity);
-        break;
-      }
-      case Op::Return: {
-        uint8_t arity = op.arity;
-        size_t keep_from = stack_.size() - arity;
-        for (uint8_t i = 0; i < arity; ++i) {
-          stack_[fr.locals_base + i] = stack_[keep_from + i];
-        }
-        stack_.resize(fr.locals_base + arity);
-        frames_.pop_back();
-        break;
-      }
-      case Op::Call: {
-        uint32_t callee = op.a;
-        ++fr.pc;
-        stats_.cycles += cost_.call_overhead_cycles;
-        if (mod().is_import(callee)) {
-          call_host(callee);
-        } else {
-          enter_frame(callee - static_cast<uint32_t>(mod().imports.size()));
-        }
-        break;
-      }
-      case Op::CallIndirect: {
-        uint32_t elem = static_cast<uint32_t>(pop_raw());
-        if (elem >= table_.size()) throw TrapError("table index out of bounds");
-        int64_t callee = table_[elem];
-        if (callee < 0) throw TrapError("uninitialised table element");
-        const wasm::FuncType& expected = mod().types[op.a];
-        const wasm::FuncType& actual =
-            mod().func_type(static_cast<uint32_t>(callee));
-        if (!(expected == actual)) {
-          throw TrapError("indirect call type mismatch");
-        }
-        ++fr.pc;
-        stats_.cycles += cost_.call_overhead_cycles;
-        if (mod().is_import(static_cast<uint32_t>(callee))) {
-          call_host(static_cast<uint32_t>(callee));
-        } else {
-          enter_frame(static_cast<uint32_t>(callee) -
-                      static_cast<uint32_t>(mod().imports.size()));
-        }
-        break;
-      }
-      case Op::Drop:
-        pop_raw();
-        ++fr.pc;
-        break;
-      case Op::Select: {
-        uint32_t cond = static_cast<uint32_t>(pop_raw());
-        uint64_t b = pop_raw();
-        uint64_t a = pop_raw();
-        push_raw(cond != 0 ? a : b);
-        ++fr.pc;
-        break;
-      }
-      case Op::LocalGet:
-        push_raw(stack_[fr.locals_base + op.a]);
-        ++fr.pc;
-        break;
-      case Op::LocalSet:
-        stack_[fr.locals_base + op.a] = pop_raw();
-        ++fr.pc;
-        break;
-      case Op::LocalTee:
-        stack_[fr.locals_base + op.a] = stack_.back();
-        ++fr.pc;
-        break;
-      case Op::GlobalGet:
-        push_raw(globals_[op.a]);
-        ++fr.pc;
-        break;
-      case Op::GlobalSet:
-        globals_[op.a] = pop_raw();
-        ++fr.pc;
-        break;
-
-      // ---- memory ----
-      case Op::MemorySize:
-        push_raw(memory_->pages());
-        ++fr.pc;
-        break;
-      case Op::MemoryGrow: {
-        uint32_t delta = static_cast<uint32_t>(pop_raw());
-        note_memory_growth();
-        int32_t prev = memory_->grow(delta);
-        note_memory_growth();
-        push_raw(static_cast<uint32_t>(prev));
-        ++fr.pc;
-        break;
-      }
-
-#define LOAD_CASE(OPNAME, CTYPE, PUSH_AS)                                 \
-  case Op::OPNAME: {                                                      \
-    uint64_t addr = static_cast<uint32_t>(pop_raw());                     \
-    uint64_t ea = memory_->check(addr, op.b, sizeof(CTYPE));              \
-    charge_memory(ea, sizeof(CTYPE), false);                              \
-    ++stats_.mem_loads;                                                   \
-    CTYPE v = memory_->load<CTYPE>(addr, op.b);                           \
-    push_raw(PUSH_AS);                                                    \
-    ++fr.pc;                                                              \
-    break;                                                                \
-  }
-      LOAD_CASE(I32Load, uint32_t, v)
-      LOAD_CASE(I64Load, uint64_t, v)
-      LOAD_CASE(F32Load, uint32_t, v)
-      LOAD_CASE(F64Load, uint64_t, v)
-      LOAD_CASE(I32Load8S, int8_t, static_cast<uint32_t>(static_cast<int32_t>(v)))
-      LOAD_CASE(I32Load8U, uint8_t, v)
-      LOAD_CASE(I32Load16S, int16_t, static_cast<uint32_t>(static_cast<int32_t>(v)))
-      LOAD_CASE(I32Load16U, uint16_t, v)
-      LOAD_CASE(I64Load8S, int8_t, static_cast<uint64_t>(static_cast<int64_t>(v)))
-      LOAD_CASE(I64Load8U, uint8_t, v)
-      LOAD_CASE(I64Load16S, int16_t, static_cast<uint64_t>(static_cast<int64_t>(v)))
-      LOAD_CASE(I64Load16U, uint16_t, v)
-      LOAD_CASE(I64Load32S, int32_t, static_cast<uint64_t>(static_cast<int64_t>(v)))
-      LOAD_CASE(I64Load32U, uint32_t, v)
-#undef LOAD_CASE
-
-#define STORE_CASE(OPNAME, CTYPE, FROM_RAW)                               \
-  case Op::OPNAME: {                                                      \
-    uint64_t raw = pop_raw();                                             \
-    uint64_t addr = static_cast<uint32_t>(pop_raw());                     \
-    uint64_t ea = memory_->check(addr, op.b, sizeof(CTYPE));              \
-    charge_memory(ea, sizeof(CTYPE), true);                               \
-    ++stats_.mem_stores;                                                  \
-    memory_->store<CTYPE>(addr, op.b, FROM_RAW);                          \
-    ++fr.pc;                                                              \
-    break;                                                                \
-  }
-      STORE_CASE(I32Store, uint32_t, static_cast<uint32_t>(raw))
-      STORE_CASE(I64Store, uint64_t, raw)
-      STORE_CASE(F32Store, uint32_t, static_cast<uint32_t>(raw))
-      STORE_CASE(F64Store, uint64_t, raw)
-      STORE_CASE(I32Store8, uint8_t, static_cast<uint8_t>(raw))
-      STORE_CASE(I32Store16, uint16_t, static_cast<uint16_t>(raw))
-      STORE_CASE(I64Store8, uint8_t, static_cast<uint8_t>(raw))
-      STORE_CASE(I64Store16, uint16_t, static_cast<uint16_t>(raw))
-      STORE_CASE(I64Store32, uint32_t, static_cast<uint32_t>(raw))
-#undef STORE_CASE
-
-      // ---- constants ----
-      case Op::I32Const:
-      case Op::I64Const:
-      case Op::F32Const:
-      case Op::F64Const:
-        push_raw(op.b);
-        ++fr.pc;
-        break;
-
-#define UN_I32(OPNAME, EXPR)                                 \
-  case Op::OPNAME: {                                         \
-    uint32_t a = static_cast<uint32_t>(pop_raw());           \
-    (void)a;                                                 \
-    push_raw(static_cast<uint32_t>(EXPR));                   \
-    ++fr.pc;                                                 \
-    break;                                                   \
-  }
-#define BIN_I32(OPNAME, EXPR)                                \
-  case Op::OPNAME: {                                         \
-    uint32_t b = static_cast<uint32_t>(pop_raw());           \
-    uint32_t a = static_cast<uint32_t>(pop_raw());           \
-    (void)a;                                                 \
-    (void)b;                                                 \
-    push_raw(static_cast<uint32_t>(EXPR));                   \
-    ++fr.pc;                                                 \
-    break;                                                   \
-  }
-#define UN_I64(OPNAME, EXPR)                                 \
-  case Op::OPNAME: {                                         \
-    uint64_t a = pop_raw();                                  \
-    (void)a;                                                 \
-    push_raw(static_cast<uint64_t>(EXPR));                   \
-    ++fr.pc;                                                 \
-    break;                                                   \
-  }
-#define BIN_I64(OPNAME, EXPR)                                \
-  case Op::OPNAME: {                                         \
-    uint64_t b = pop_raw();                                  \
-    uint64_t a = pop_raw();                                  \
-    (void)a;                                                 \
-    (void)b;                                                 \
-    push_raw(static_cast<uint64_t>(EXPR));                   \
-    ++fr.pc;                                                 \
-    break;                                                   \
-  }
-
-      // ---- i32 comparisons ----
-      UN_I32(I32Eqz, a == 0)
-      BIN_I32(I32Eq, a == b)
-      BIN_I32(I32Ne, a != b)
-      BIN_I32(I32LtS, static_cast<int32_t>(a) < static_cast<int32_t>(b))
-      BIN_I32(I32LtU, a < b)
-      BIN_I32(I32GtS, static_cast<int32_t>(a) > static_cast<int32_t>(b))
-      BIN_I32(I32GtU, a > b)
-      BIN_I32(I32LeS, static_cast<int32_t>(a) <= static_cast<int32_t>(b))
-      BIN_I32(I32LeU, a <= b)
-      BIN_I32(I32GeS, static_cast<int32_t>(a) >= static_cast<int32_t>(b))
-      BIN_I32(I32GeU, a >= b)
-
-      // ---- i64 comparisons (results are i32) ----
-      case Op::I64Eqz: {
-        uint64_t a = pop_raw();
-        push_raw(static_cast<uint32_t>(a == 0));
-        ++fr.pc;
-        break;
-      }
-#define CMP_I64(OPNAME, EXPR)                                \
-  case Op::OPNAME: {                                         \
-    uint64_t b = pop_raw();                                  \
-    uint64_t a = pop_raw();                                  \
-    (void)a;                                                 \
-    (void)b;                                                 \
-    push_raw(static_cast<uint32_t>(EXPR));                   \
-    ++fr.pc;                                                 \
-    break;                                                   \
-  }
-      CMP_I64(I64Eq, a == b)
-      CMP_I64(I64Ne, a != b)
-      CMP_I64(I64LtS, static_cast<int64_t>(a) < static_cast<int64_t>(b))
-      CMP_I64(I64LtU, a < b)
-      CMP_I64(I64GtS, static_cast<int64_t>(a) > static_cast<int64_t>(b))
-      CMP_I64(I64GtU, a > b)
-      CMP_I64(I64LeS, static_cast<int64_t>(a) <= static_cast<int64_t>(b))
-      CMP_I64(I64LeU, a <= b)
-      CMP_I64(I64GeS, static_cast<int64_t>(a) >= static_cast<int64_t>(b))
-      CMP_I64(I64GeU, a >= b)
-#undef CMP_I64
-
-#define CMP_F(OPNAME, TYPE, EXPR)                            \
-  case Op::OPNAME: {                                         \
-    TYPE b = std::bit_cast<TYPE>(                            \
-        static_cast<std::conditional_t<sizeof(TYPE) == 4, uint32_t, uint64_t>>( \
-            pop_raw()));                                     \
-    TYPE a = std::bit_cast<TYPE>(                            \
-        static_cast<std::conditional_t<sizeof(TYPE) == 4, uint32_t, uint64_t>>( \
-            pop_raw()));                                     \
-    (void)a;                                                 \
-    (void)b;                                                 \
-    push_raw(static_cast<uint32_t>(EXPR));                   \
-    ++fr.pc;                                                 \
-    break;                                                   \
-  }
-      CMP_F(F32Eq, float, a == b)
-      CMP_F(F32Ne, float, a != b)
-      CMP_F(F32Lt, float, a < b)
-      CMP_F(F32Gt, float, a > b)
-      CMP_F(F32Le, float, a <= b)
-      CMP_F(F32Ge, float, a >= b)
-      CMP_F(F64Eq, double, a == b)
-      CMP_F(F64Ne, double, a != b)
-      CMP_F(F64Lt, double, a < b)
-      CMP_F(F64Gt, double, a > b)
-      CMP_F(F64Le, double, a <= b)
-      CMP_F(F64Ge, double, a >= b)
-#undef CMP_F
-
-      // ---- i32 arithmetic ----
-      UN_I32(I32Clz, std::countl_zero(a))
-      UN_I32(I32Ctz, std::countr_zero(a))
-      UN_I32(I32Popcnt, std::popcount(a))
-      BIN_I32(I32Add, a + b)
-      BIN_I32(I32Sub, a - b)
-      BIN_I32(I32Mul, a * b)
-      case Op::I32DivS: {
-        int32_t b = static_cast<int32_t>(pop_raw());
-        int32_t a = static_cast<int32_t>(pop_raw());
-        if (b == 0) throw TrapError("integer divide by zero");
-        if (a == INT32_MIN && b == -1) throw TrapError("integer overflow");
-        push_raw(static_cast<uint32_t>(a / b));
-        ++fr.pc;
-        break;
-      }
-      case Op::I32DivU: {
-        uint32_t b = static_cast<uint32_t>(pop_raw());
-        uint32_t a = static_cast<uint32_t>(pop_raw());
-        if (b == 0) throw TrapError("integer divide by zero");
-        push_raw(a / b);
-        ++fr.pc;
-        break;
-      }
-      case Op::I32RemS: {
-        int32_t b = static_cast<int32_t>(pop_raw());
-        int32_t a = static_cast<int32_t>(pop_raw());
-        if (b == 0) throw TrapError("integer divide by zero");
-        int32_t r = (a == INT32_MIN && b == -1) ? 0 : a % b;
-        push_raw(static_cast<uint32_t>(r));
-        ++fr.pc;
-        break;
-      }
-      case Op::I32RemU: {
-        uint32_t b = static_cast<uint32_t>(pop_raw());
-        uint32_t a = static_cast<uint32_t>(pop_raw());
-        if (b == 0) throw TrapError("integer divide by zero");
-        push_raw(a % b);
-        ++fr.pc;
-        break;
-      }
-      BIN_I32(I32And, a & b)
-      BIN_I32(I32Or, a | b)
-      BIN_I32(I32Xor, a ^ b)
-      BIN_I32(I32Shl, a << (b & 31))
-      BIN_I32(I32ShrS, static_cast<uint32_t>(static_cast<int32_t>(a) >> (b & 31)))
-      BIN_I32(I32ShrU, a >> (b & 31))
-      BIN_I32(I32Rotl, std::rotl(a, static_cast<int>(b & 31)))
-      BIN_I32(I32Rotr, std::rotr(a, static_cast<int>(b & 31)))
-
-      // ---- i64 arithmetic ----
-      UN_I64(I64Clz, std::countl_zero(a))
-      UN_I64(I64Ctz, std::countr_zero(a))
-      UN_I64(I64Popcnt, std::popcount(a))
-      BIN_I64(I64Add, a + b)
-      BIN_I64(I64Sub, a - b)
-      BIN_I64(I64Mul, a * b)
-      case Op::I64DivS: {
-        int64_t b = static_cast<int64_t>(pop_raw());
-        int64_t a = static_cast<int64_t>(pop_raw());
-        if (b == 0) throw TrapError("integer divide by zero");
-        if (a == INT64_MIN && b == -1) throw TrapError("integer overflow");
-        push_raw(static_cast<uint64_t>(a / b));
-        ++fr.pc;
-        break;
-      }
-      case Op::I64DivU: {
-        uint64_t b = pop_raw();
-        uint64_t a = pop_raw();
-        if (b == 0) throw TrapError("integer divide by zero");
-        push_raw(a / b);
-        ++fr.pc;
-        break;
-      }
-      case Op::I64RemS: {
-        int64_t b = static_cast<int64_t>(pop_raw());
-        int64_t a = static_cast<int64_t>(pop_raw());
-        if (b == 0) throw TrapError("integer divide by zero");
-        int64_t r = (a == INT64_MIN && b == -1) ? 0 : a % b;
-        push_raw(static_cast<uint64_t>(r));
-        ++fr.pc;
-        break;
-      }
-      case Op::I64RemU: {
-        uint64_t b = pop_raw();
-        uint64_t a = pop_raw();
-        if (b == 0) throw TrapError("integer divide by zero");
-        push_raw(a % b);
-        ++fr.pc;
-        break;
-      }
-      BIN_I64(I64And, a & b)
-      BIN_I64(I64Or, a | b)
-      BIN_I64(I64Xor, a ^ b)
-      BIN_I64(I64Shl, a << (b & 63))
-      BIN_I64(I64ShrS, static_cast<uint64_t>(static_cast<int64_t>(a) >> (b & 63)))
-      BIN_I64(I64ShrU, a >> (b & 63))
-      BIN_I64(I64Rotl, std::rotl(a, static_cast<int>(b & 63)))
-      BIN_I64(I64Rotr, std::rotr(a, static_cast<int>(b & 63)))
-
-#undef UN_I32
-#undef BIN_I32
-#undef UN_I64
-#undef BIN_I64
-
-#define UN_F32(OPNAME, EXPR)                                 \
-  case Op::OPNAME: {                                         \
-    float a = as_f32(pop_raw());                             \
-    (void)a;                                                 \
-    push_raw(from_f32(EXPR));                                \
-    ++fr.pc;                                                 \
-    break;                                                   \
-  }
-#define BIN_F32(OPNAME, EXPR)                                \
-  case Op::OPNAME: {                                         \
-    float b = as_f32(pop_raw());                             \
-    float a = as_f32(pop_raw());                             \
-    (void)a;                                                 \
-    (void)b;                                                 \
-    push_raw(from_f32(EXPR));                                \
-    ++fr.pc;                                                 \
-    break;                                                   \
-  }
-#define UN_F64(OPNAME, EXPR)                                 \
-  case Op::OPNAME: {                                         \
-    double a = as_f64(pop_raw());                            \
-    (void)a;                                                 \
-    push_raw(from_f64(EXPR));                                \
-    ++fr.pc;                                                 \
-    break;                                                   \
-  }
-#define BIN_F64(OPNAME, EXPR)                                \
-  case Op::OPNAME: {                                         \
-    double b = as_f64(pop_raw());                            \
-    double a = as_f64(pop_raw());                            \
-    (void)a;                                                 \
-    (void)b;                                                 \
-    push_raw(from_f64(EXPR));                                \
-    ++fr.pc;                                                 \
-    break;                                                   \
-  }
-
-      UN_F32(F32Abs, std::fabs(a))
-      UN_F32(F32Neg, -a)
-      UN_F32(F32Ceil, std::ceil(a))
-      UN_F32(F32Floor, std::floor(a))
-      UN_F32(F32Trunc, std::trunc(a))
-      UN_F32(F32Nearest, std::nearbyint(a))
-      UN_F32(F32Sqrt, std::sqrt(a))
-      BIN_F32(F32Add, a + b)
-      BIN_F32(F32Sub, a - b)
-      BIN_F32(F32Mul, a * b)
-      BIN_F32(F32Div, a / b)
-      BIN_F32(F32Min, wasm_min(a, b))
-      BIN_F32(F32Max, wasm_max(a, b))
-      BIN_F32(F32Copysign, std::copysign(a, b))
-
-      UN_F64(F64Abs, std::fabs(a))
-      UN_F64(F64Neg, -a)
-      UN_F64(F64Ceil, std::ceil(a))
-      UN_F64(F64Floor, std::floor(a))
-      UN_F64(F64Trunc, std::trunc(a))
-      UN_F64(F64Nearest, std::nearbyint(a))
-      UN_F64(F64Sqrt, std::sqrt(a))
-      BIN_F64(F64Add, a + b)
-      BIN_F64(F64Sub, a - b)
-      BIN_F64(F64Mul, a * b)
-      BIN_F64(F64Div, a / b)
-      BIN_F64(F64Min, wasm_min(a, b))
-      BIN_F64(F64Max, wasm_max(a, b))
-      BIN_F64(F64Copysign, std::copysign(a, b))
-
-#undef UN_F32
-#undef BIN_F32
-#undef UN_F64
-#undef BIN_F64
-
-      // ---- conversions ----
-      case Op::I32WrapI64:
-        push_raw(static_cast<uint32_t>(pop_raw()));
-        ++fr.pc;
-        break;
-      case Op::I32TruncF32S:
-        push_raw(static_cast<uint32_t>(trunc_i32_s(as_f32(pop_raw()))));
-        ++fr.pc;
-        break;
-      case Op::I32TruncF32U:
-        push_raw(trunc_i32_u(as_f32(pop_raw())));
-        ++fr.pc;
-        break;
-      case Op::I32TruncF64S:
-        push_raw(static_cast<uint32_t>(trunc_i32_s(as_f64(pop_raw()))));
-        ++fr.pc;
-        break;
-      case Op::I32TruncF64U:
-        push_raw(trunc_i32_u(as_f64(pop_raw())));
-        ++fr.pc;
-        break;
-      case Op::I64ExtendI32S:
-        push_raw(static_cast<uint64_t>(
-            static_cast<int64_t>(static_cast<int32_t>(pop_raw()))));
-        ++fr.pc;
-        break;
-      case Op::I64ExtendI32U:
-        push_raw(static_cast<uint32_t>(pop_raw()));
-        ++fr.pc;
-        break;
-      case Op::I64TruncF32S:
-        push_raw(static_cast<uint64_t>(trunc_i64_s(as_f32(pop_raw()))));
-        ++fr.pc;
-        break;
-      case Op::I64TruncF32U:
-        push_raw(trunc_i64_u(as_f32(pop_raw())));
-        ++fr.pc;
-        break;
-      case Op::I64TruncF64S:
-        push_raw(static_cast<uint64_t>(trunc_i64_s(as_f64(pop_raw()))));
-        ++fr.pc;
-        break;
-      case Op::I64TruncF64U:
-        push_raw(trunc_i64_u(as_f64(pop_raw())));
-        ++fr.pc;
-        break;
-      case Op::F32ConvertI32S:
-        push_raw(from_f32(static_cast<float>(static_cast<int32_t>(pop_raw()))));
-        ++fr.pc;
-        break;
-      case Op::F32ConvertI32U:
-        push_raw(from_f32(static_cast<float>(static_cast<uint32_t>(pop_raw()))));
-        ++fr.pc;
-        break;
-      case Op::F32ConvertI64S:
-        push_raw(from_f32(static_cast<float>(static_cast<int64_t>(pop_raw()))));
-        ++fr.pc;
-        break;
-      case Op::F32ConvertI64U:
-        push_raw(from_f32(static_cast<float>(pop_raw())));
-        ++fr.pc;
-        break;
-      case Op::F32DemoteF64:
-        push_raw(from_f32(static_cast<float>(as_f64(pop_raw()))));
-        ++fr.pc;
-        break;
-      case Op::F64ConvertI32S:
-        push_raw(from_f64(static_cast<double>(static_cast<int32_t>(pop_raw()))));
-        ++fr.pc;
-        break;
-      case Op::F64ConvertI32U:
-        push_raw(from_f64(static_cast<double>(static_cast<uint32_t>(pop_raw()))));
-        ++fr.pc;
-        break;
-      case Op::F64ConvertI64S:
-        push_raw(from_f64(static_cast<double>(static_cast<int64_t>(pop_raw()))));
-        ++fr.pc;
-        break;
-      case Op::F64ConvertI64U:
-        push_raw(from_f64(static_cast<double>(pop_raw())));
-        ++fr.pc;
-        break;
-      case Op::F64PromoteF32:
-        push_raw(from_f64(static_cast<double>(as_f32(pop_raw()))));
-        ++fr.pc;
-        break;
-      case Op::I32ReinterpretF32:
-      case Op::F32ReinterpretI32:
-        // Same 32-bit pattern, reinterpret is a no-op on raw slots (the low
-        // 32 bits already hold the payload).
-        push_raw(static_cast<uint32_t>(pop_raw()));
-        ++fr.pc;
-        break;
-      case Op::I64ReinterpretF64:
-      case Op::F64ReinterpretI64:
-        ++fr.pc;
-        break;
-    }
+// Removes the accounting of the pre-charged but never-executed suffix of
+// the current block, so the ExecStats a trap leaves behind are bit-identical
+// to per-instruction accounting (where the trapping instruction is the last
+// one counted). Cold path: runs only when a trap unwinds out of run().
+void Instance::uncharge_block_suffix() noexcept {
+  if (!block_charged_) return;
+  block_charged_ = false;
+  if (frames_.empty()) return;
+  const Frame& fr = frames_.back();
+  const FlatFunc& ff = flat()[fr.func];
+  for (uint32_t p = fr.pc + 1; p < charged_end_pc_; ++p) {
+    const FlatOp& o = ff.code[p];
+    if (o.synthetic) continue;
+    --stats_.instructions;
+    --stats_.per_op[static_cast<size_t>(o.op)];
+    stats_.cycles -= wasm::op_info(o.op).base_cost;
   }
 }
+
+void Instance::run(size_t stop_depth) {
+#if ACCTEE_HAS_THREADED_DISPATCH
+  const bool threaded = options_.dispatch != DispatchMode::Switch;
+#else
+  const bool threaded = false;
+#endif
+  try {
+#if ACCTEE_HAS_THREADED_DISPATCH
+    if (threaded) {
+      run_threaded(stop_depth);
+    } else {
+      run_switch(stop_depth);
+    }
+#else
+    (void)threaded;
+    run_switch(stop_depth);
+#endif
+  } catch (...) {
+    uncharge_block_suffix();
+    throw;
+  }
+  block_charged_ = false;
+}
+
+void Instance::run_switch(size_t stop_depth) {
+#define ACCTEE_THREADED 0
+#include "interp/run_loop.inc"
+#undef ACCTEE_THREADED
+}
+
+#if ACCTEE_HAS_THREADED_DISPATCH
+void Instance::run_threaded(size_t stop_depth) {
+#define ACCTEE_THREADED 1
+#include "interp/run_loop.inc"
+#undef ACCTEE_THREADED
+}
+#endif
 
 }  // namespace acctee::interp

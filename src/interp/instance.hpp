@@ -23,7 +23,25 @@
 #include "interp/value.hpp"
 #include "wasm/ast.hpp"
 
+// The computed-goto backend relies on GNU label-as-value extensions; it is
+// compiled only when the toolchain supports it AND the build enables it
+// (CMake option ACCTEE_THREADED_DISPATCH, ON by default). The portable
+// switch backend is always compiled.
+#if defined(ACCTEE_ENABLE_THREADED_DISPATCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define ACCTEE_HAS_THREADED_DISPATCH 1
+#else
+#define ACCTEE_HAS_THREADED_DISPATCH 0
+#endif
+
 namespace acctee::interp {
+
+/// Interpreter dispatch backend selection.
+enum class DispatchMode : uint8_t {
+  Auto,      // threaded when compiled in, otherwise switch
+  Switch,    // portable switch-based dispatch
+  Threaded,  // computed-goto dispatch (falls back to switch if unavailable)
+};
 
 class Instance {
  public:
@@ -41,7 +59,19 @@ class Instance {
     uint64_t max_instructions = UINT64_MAX;
     /// Maximum call depth.
     uint32_t max_call_depth = 10000;
+    /// Dispatch backend for the hot loop. Both backends produce
+    /// bit-identical ExecStats; this only selects the execution technique.
+    DispatchMode dispatch = DispatchMode::Auto;
+    /// Charge accounting one instruction at a time instead of one basic
+    /// block at a time. Slower; kept as the determinism oracle the batched
+    /// path is tested against (and as a debugging aid).
+    bool per_instruction_accounting = false;
   };
+
+  /// True iff the computed-goto backend was compiled into this binary.
+  static constexpr bool threaded_dispatch_available() {
+    return ACCTEE_HAS_THREADED_DISPATCH != 0;
+  }
 
   /// Checkpoint hook: called from inside the execution loop every
   /// `interval` executed instructions (paper §3.3 — the accounting enclave
@@ -97,6 +127,12 @@ class Instance {
   };
 
   void run(size_t stop_depth);
+  // Dispatch backends: identical semantics, different dispatch technique.
+  // The shared body lives in interp/run_loop.inc.
+  void run_switch(size_t stop_depth);
+#if ACCTEE_HAS_THREADED_DISPATCH
+  void run_threaded(size_t stop_depth);
+#endif
   void enter_frame(uint32_t defined_index);
   void call_host(uint32_t import_index);
   void do_branch(Frame& frame, uint32_t target_pc, uint32_t unwind,
@@ -104,6 +140,18 @@ class Instance {
   void charge_memory(uint64_t effective_addr, uint32_t size, bool is_write);
   void note_memory_growth();
   void account_instruction(const FlatOp& op);
+  // Per-instruction accounting for serial-mode blocks (checkpoint or
+  // instruction-limit crossings, or per_instruction_accounting).
+  void serial_account(const FlatOp& op) {
+    if (op.synthetic) return;
+    account_instruction(op);
+    if (stats_.instructions > options_.max_instructions) {
+      throw TrapError("instruction limit exceeded");
+    }
+  }
+  // Trap un-charge: removes the pre-charged, never-executed suffix of the
+  // current block so a mid-block trap observes exactly the serial stats.
+  void uncharge_block_suffix() noexcept;
 
   // -- operand stack helpers --
   void push_raw(uint64_t v) { stack_.push_back(v); }
@@ -129,6 +177,11 @@ class Instance {
   std::vector<Frame> frames_;
   cachesim::Hierarchy cache_;
   ExecStats stats_;
+  // True while run() executes a block whose accounting was charged on
+  // entry; charged_end_pc_ is that block's end. Consulted only on the trap
+  // path (uncharge_block_suffix).
+  bool block_charged_ = false;
+  uint32_t charged_end_pc_ = 0;
   double epc_fault_accum_ = 0;  // deterministic fractional paging model
   uint64_t integral_mark_ = 0;  // instruction count at last memory resize
   uint64_t checkpoint_interval_ = 0;

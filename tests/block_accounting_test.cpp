@@ -1,0 +1,274 @@
+// Determinism oracle for block-batched accounting (DESIGN.md §11).
+//
+// The interpreter charges resource accounting per basic block, with a serial
+// (per-instruction) fallback around checkpoints and the instruction limit,
+// and offers two dispatch backends (portable switch, computed-goto). These
+// tests pin the contract: every (dispatch backend × accounting granularity)
+// combination produces bit-identical ExecStats — including at traps,
+// checkpoints, and in the instrumented counter global that feeds signed
+// resource logs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "instrument/passes.hpp"
+#include "test_util.hpp"
+#include "workloads/polybench.hpp"
+
+namespace acctee::interp {
+namespace {
+
+struct Combo {
+  const char* name;
+  DispatchMode dispatch;
+  bool per_instruction;
+};
+
+// All combinations under test. When the computed-goto backend is not
+// compiled in, DispatchMode::Threaded silently falls back to the switch
+// backend, so the matrix stays valid (it just tests less).
+std::vector<Combo> combos() {
+  return {
+      {"switch/batched", DispatchMode::Switch, false},
+      {"switch/serial", DispatchMode::Switch, true},
+      {"threaded/batched", DispatchMode::Threaded, false},
+      {"threaded/serial", DispatchMode::Threaded, true},
+  };
+}
+
+Instance::Options combo_options(const Combo& combo) {
+  Instance::Options opts;
+  opts.cache_model = false;
+  opts.dispatch = combo.dispatch;
+  opts.per_instruction_accounting = combo.per_instruction;
+  return opts;
+}
+
+void expect_stats_equal(const ExecStats& got, const ExecStats& want,
+                        const char* label) {
+  EXPECT_EQ(got.instructions, want.instructions) << label;
+  EXPECT_EQ(got.cycles, want.cycles) << label;
+  EXPECT_EQ(got.mem_loads, want.mem_loads) << label;
+  EXPECT_EQ(got.mem_stores, want.mem_stores) << label;
+  EXPECT_EQ(got.host_calls, want.host_calls) << label;
+  EXPECT_EQ(got.peak_memory_bytes, want.peak_memory_bytes) << label;
+  EXPECT_EQ(got.memory_integral, want.memory_integral) << label;
+  EXPECT_EQ(got.per_op, want.per_op) << label;
+}
+
+// ---------------------------------------------------------------------------
+// Full-run equality on real workloads
+// ---------------------------------------------------------------------------
+
+TEST(BlockAccounting, PolybenchStatsBitIdenticalAcrossCombos) {
+  for (const char* kernel : {"gemm", "atax", "bicg"}) {
+    wasm::Module module = workloads::build_polybench(kernel, 12);
+    ExecStats reference;
+    bool have_reference = false;
+    for (const Combo& combo : combos()) {
+      Instance inst(module, {}, combo_options(combo));
+      inst.invoke("run");
+      EXPECT_TRUE(inst.stats().per_op_conserved())
+          << kernel << " " << combo.name;
+      if (!have_reference) {
+        reference = inst.stats();
+        have_reference = true;
+      } else {
+        expect_stats_equal(inst.stats(), reference, combo.name);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conservation + monotonicity observed from inside checkpoints
+// ---------------------------------------------------------------------------
+
+TEST(BlockAccounting, CheckpointObservesConservedMonotoneStats) {
+  wasm::Module module = workloads::build_polybench("mvt", 24);
+  for (const Combo& combo : combos()) {
+    Instance inst(module, {}, combo_options(combo));
+    uint64_t last_instructions = 0;
+    uint64_t last_integral = 0;
+    uint64_t fired = 0;
+    inst.set_checkpoint(1000, [&](Instance& self) {
+      ++fired;
+      EXPECT_TRUE(self.stats().per_op_conserved()) << combo.name;
+      EXPECT_GE(self.stats().instructions, last_instructions) << combo.name;
+      EXPECT_GE(self.stats().memory_integral, last_integral) << combo.name;
+      last_instructions = self.stats().instructions;
+      last_integral = self.stats().memory_integral;
+    });
+    inst.invoke("run");
+    EXPECT_GT(fired, 0u) << combo.name;
+  }
+}
+
+// Checkpoints must fire at the exact same instruction counts in every
+// combination — batching splits blocks at checkpoint crossings so the
+// handler still observes the serial counter values.
+TEST(BlockAccounting, CheckpointSnapshotsIdenticalAcrossCombos) {
+  wasm::Module module = workloads::build_polybench("atax", 16);
+  std::vector<std::pair<uint64_t, uint64_t>> reference;  // (instr, cycles)
+  bool have_reference = false;
+  for (const Combo& combo : combos()) {
+    Instance inst(module, {}, combo_options(combo));
+    std::vector<std::pair<uint64_t, uint64_t>> snapshots;
+    // A deliberately awkward interval so crossings land mid-block.
+    inst.set_checkpoint(997, [&](Instance& self) {
+      snapshots.emplace_back(self.stats().instructions, self.stats().cycles);
+    });
+    inst.invoke("run");
+    ASSERT_FALSE(snapshots.empty()) << combo.name;
+    if (!have_reference) {
+      reference = snapshots;
+      have_reference = true;
+    } else {
+      EXPECT_EQ(snapshots, reference) << combo.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trap points
+// ---------------------------------------------------------------------------
+
+// The instruction limit must fire at the exact same instruction index as
+// per-instruction accounting: blocks that would cross the limit run serial.
+TEST(BlockAccounting, InstructionLimitFiresAtSameIndex) {
+  // Loop body is a straight-line block of several ops, so most limit values
+  // land mid-block.
+  const char* wat = R"((module (func (export "f") (local i32)
+    loop $l
+      local.get 0
+      i32.const 1
+      i32.add
+      local.set 0
+      br $l
+    end
+  )))";
+  for (uint64_t limit : {9997u, 10000u, 10003u}) {
+    uint64_t reference = 0;
+    bool have_reference = false;
+    for (const Combo& combo : combos()) {
+      Instance::Options opts = combo_options(combo);
+      opts.max_instructions = limit;
+      wasm::Module module = wasm::parse_wat(wat);
+      wasm::validate(module);
+      Instance inst(std::move(module), {}, opts);
+      EXPECT_THROW(inst.invoke("f"), TrapError) << combo.name;
+      EXPECT_TRUE(inst.stats().per_op_conserved()) << combo.name;
+      // Serial semantics: the (limit+1)-th instruction is accounted, then
+      // the limit check traps.
+      EXPECT_EQ(inst.stats().instructions, limit + 1) << combo.name;
+      if (!have_reference) {
+        reference = inst.stats().cycles;
+        have_reference = true;
+      } else {
+        EXPECT_EQ(inst.stats().cycles, reference) << combo.name;
+      }
+    }
+  }
+}
+
+// A trap in the middle of a pre-charged block must leave exactly the serial
+// stats behind: the never-executed suffix is un-charged, the trapping
+// instruction itself stays accounted.
+TEST(BlockAccounting, MidBlockTrapLeavesSerialStats) {
+  // nop padding puts the div_s deep inside a straight-line block with more
+  // accounted ops after it.
+  const char* wat = R"((module (func (export "f") (result i32)
+    nop nop nop
+    i32.const 7
+    i32.const 0
+    i32.div_s
+    i32.const 1
+    i32.add
+  )))";
+  ExecStats reference;
+  bool have_reference = false;
+  for (const Combo& combo : combos()) {
+    wasm::Module module = wasm::parse_wat(wat);
+    wasm::validate(module);
+    Instance inst(std::move(module), {}, combo_options(combo));
+    EXPECT_THROW(inst.invoke("f"), TrapError) << combo.name;
+    EXPECT_TRUE(inst.stats().per_op_conserved()) << combo.name;
+    if (!have_reference) {
+      reference = inst.stats();
+      have_reference = true;
+    } else {
+      expect_stats_equal(inst.stats(), reference, combo.name);
+    }
+  }
+  // The i32.add after the div must not be in the histogram.
+  EXPECT_EQ(reference.per_op[static_cast<size_t>(wasm::Op::I32Add)], 0u);
+  EXPECT_EQ(reference.per_op[static_cast<size_t>(wasm::Op::I32DivS)], 1u);
+}
+
+// Out-of-bounds memory access: the trap comes from inside the op body
+// (after the block was charged), exercising uncharge_block_suffix through
+// the memory path.
+TEST(BlockAccounting, OutOfBoundsTrapLeavesSerialStats) {
+  const char* wat = R"((module (memory 1) (func (export "f") (result i32)
+    i32.const 70000
+    i32.load offset=65536
+    i32.const 2
+    i32.mul
+  )))";
+  ExecStats reference;
+  bool have_reference = false;
+  for (const Combo& combo : combos()) {
+    wasm::Module module = wasm::parse_wat(wat);
+    wasm::validate(module);
+    Instance inst(std::move(module), {}, combo_options(combo));
+    EXPECT_THROW(inst.invoke("f"), TrapError) << combo.name;
+    EXPECT_TRUE(inst.stats().per_op_conserved()) << combo.name;
+    if (!have_reference) {
+      reference = inst.stats();
+      have_reference = true;
+    } else {
+      expect_stats_equal(inst.stats(), reference, combo.name);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented counter (signed-log equivalence)
+// ---------------------------------------------------------------------------
+
+// The instrumented counter global is what the accounting enclave signs;
+// its final value must not depend on dispatch backend or accounting
+// granularity.
+TEST(BlockAccounting, InstrumentedCounterIdenticalAcrossCombos) {
+  auto opts = instrument::InstrumentOptions{instrument::PassKind::LoopBased,
+                                            instrument::WeightTable::unit()};
+  wasm::Module instrumented =
+      instrument::instrument(workloads::build_polybench("gemm", 12), opts)
+          .module;
+  int64_t reference = 0;
+  bool have_reference = false;
+  for (const Combo& combo : combos()) {
+    Instance inst(instrumented, {}, combo_options(combo));
+    inst.invoke("run");
+    int64_t counter = inst.read_global(instrument::kCounterExport).i64();
+    EXPECT_GT(counter, 0) << combo.name;
+    if (!have_reference) {
+      reference = counter;
+      have_reference = true;
+    } else {
+      EXPECT_EQ(counter, reference) << combo.name;
+    }
+  }
+}
+
+// threaded_dispatch_available() reflects the build configuration; Auto
+// resolves to a working backend either way (smoke-checked by running).
+TEST(BlockAccounting, AutoDispatchRuns) {
+  Instance inst = testutil::make_instance(R"((module
+    (func (export "f") (result i32) i32.const 41 i32.const 1 i32.add)))");
+  EXPECT_EQ(inst.invoke("f").at(0).i32(), 42);
+  EXPECT_TRUE(inst.stats().per_op_conserved());
+}
+
+}  // namespace
+}  // namespace acctee::interp

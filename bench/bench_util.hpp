@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "instrument/passes.hpp"
@@ -86,11 +87,15 @@ class JsonReporter {
 
   bool enabled() const { return !path_.empty(); }
 
+  /// Extra per-record numeric fields (e.g. latency percentiles), appended
+  /// to the record object verbatim as `"key": value` pairs.
+  using ExtraFields = std::vector<std::pair<std::string, double>>;
+
   void record(const std::string& name, uint64_t iterations, double ns_per_op,
-              double instructions_per_sec) {
+              double instructions_per_sec, ExtraFields extra = {}) {
     if (!enabled()) return;
     records_.push_back(Record{name, iterations, ns_per_op,
-                              instructions_per_sec});
+                              instructions_per_sec, std::move(extra)});
   }
 
   /// Writes the collected records; returns false (with a message on stderr)
@@ -108,10 +113,14 @@ class JsonReporter {
       const Record& r = records_[i];
       std::fprintf(f,
                    "%s\n    {\"name\": \"%s\", \"iterations\": %llu, "
-                   "\"ns_per_op\": %.3f, \"instructions_per_sec\": %.3f}",
+                   "\"ns_per_op\": %.3f, \"instructions_per_sec\": %.3f",
                    i == 0 ? "" : ",", r.name.c_str(),
                    static_cast<unsigned long long>(r.iterations), r.ns_per_op,
                    r.instructions_per_sec);
+      for (const auto& [key, value] : r.extra) {
+        std::fprintf(f, ", \"%s\": %.3f", key.c_str(), value);
+      }
+      std::fprintf(f, "}");
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);
@@ -124,6 +133,7 @@ class JsonReporter {
     uint64_t iterations;
     double ns_per_op;
     double instructions_per_sec;
+    ExtraFields extra;
   };
   std::string benchmark_;
   std::string path_;

@@ -11,10 +11,16 @@
 //   * instrumentation and I/O accounting cost nothing measurable,
 //   * AccTEE beats the JS/OpenFaaS baseline by an order of magnitude
 //     (paper: up to 16x).
+//
+// `--metrics <path>` additionally dumps the process metrics registry
+// (Prometheus text format) after the runs — CI scrapes it to check that the
+// gateway's observability series agree with the request counts.
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.hpp"
 #include "faas/gateway.hpp"
+#include "obs/metrics.hpp"
 #include "workloads/faas_functions.hpp"
 
 using namespace acctee;
@@ -70,7 +76,13 @@ void run_function(const char* title, const char* key, const wasm::Module& plain,
                   result.seconds > 0
                       ? static_cast<double>(result.instructions) /
                             result.seconds
-                      : 0);
+                      : 0,
+                  // Wall-clock tail latency over the run (real time spent in
+                  // the instance, not simulated cycles; see LoadResult).
+                  {{"latency_mean_ms", result.latency_mean_ms},
+                   {"latency_p50_ms", result.latency_p50_ms},
+                   {"latency_p95_ms", result.latency_p95_ms},
+                   {"latency_p99_ms", result.latency_p99_ms}});
     }
     std::printf("\n");
   }
@@ -124,5 +136,18 @@ int main(int argc, char** argv) {
   std::printf("paper anchors: echo WASM 713 -> 48.6 req/s over 64..1024 px; "
               "JS baseline 14 -> 11.4; resize WASM 37.7 -> 9.4, JS 2.5 -> "
               "1.3; instr./IO rows indistinguishable from WASM-SGX HW\n");
+
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      std::string scrape = obs::Registry::global().prometheus();
+      std::FILE* f = std::fopen(argv[i + 1], "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", argv[i + 1]);
+        return 1;
+      }
+      std::fputs(scrape.c_str(), f);
+      std::fclose(f);
+    }
+  }
   return json.write() ? 0 : 1;
 }

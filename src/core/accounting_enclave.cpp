@@ -1,10 +1,21 @@
 #include "core/accounting_enclave.hpp"
 
+#include <atomic>
+#include <cstring>
+
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "wasm/binary.hpp"
 #include "wasm/validator.hpp"
 
 namespace acctee::core {
+
+namespace {
+std::string next_ae_labels() {
+  static std::atomic<uint64_t> n{0};
+  return "enclave=\"" + std::to_string(n.fetch_add(1)) + "\"";
+}
+}  // namespace
 
 const char* const kAccountingEnclaveCode =
     "AccTEE Accounting Enclave v1.0 — WebAssembly execution sandbox with "
@@ -15,7 +26,18 @@ AccountingEnclave::AccountingEnclave(sgx::Platform& platform, Config config)
     : enclave_(platform.create_enclave(to_bytes(kAccountingEnclaveCode))),
       config_(std::move(config)),
       signer_(platform.seal_key(enclave_->measurement()),
-              config_.signing_capacity) {}
+              config_.signing_capacity),
+      labels_(next_ae_labels()) {
+  obs::Registry& reg = obs::Registry::global();
+  prepared_hits_ = &reg.counter("acctee_ae_prepared_cache_hits_total", labels_);
+  prepared_misses_ =
+      &reg.counter("acctee_ae_prepared_cache_misses_total", labels_);
+  prepared_entries_ = &reg.gauge("acctee_ae_prepared_cache_entries", labels_);
+  executions_ = &reg.counter("acctee_ae_executions_total", labels_);
+  traps_ = &reg.counter("acctee_ae_traps_total", labels_);
+  limit_exceeded_ = &reg.counter("acctee_ae_limit_exceeded_total", labels_);
+  interim_logs_ = &reg.counter("acctee_ae_interim_logs_total", labels_);
+}
 
 sgx::Measurement AccountingEnclave::expected_measurement() {
   return crypto::sha256(to_bytes(kAccountingEnclaveCode));
@@ -29,6 +51,7 @@ sgx::Quote AccountingEnclave::identity_quote() const {
 std::shared_ptr<const AccountingEnclave::PreparedModule>
 AccountingEnclave::prepare(BytesView instrumented_binary,
                            const InstrumentationEvidence& evidence) {
+  auto prepare_span = obs::Tracer::global().span("ae.prepare");
   crypto::Digest binary_hash = crypto::sha256(instrumented_binary);
   crypto::Digest evidence_digest = crypto::sha256(evidence.signed_payload());
 
@@ -38,35 +61,41 @@ AccountingEnclave::prepare(BytesView instrumented_binary,
   auto it = prepared_index_.find(binary_hash);
   if (it != prepared_index_.end() &&
       (*it->second)->evidence_digest == evidence_digest) {
-    ++prepared_hits_;
+    prepared_hits_->inc();
     prepared_lru_.splice(prepared_lru_.begin(), prepared_lru_, it->second);
     return prepared_lru_.front();
   }
 
   // --- 1. Verify the instrumentation evidence (paper Fig. 3). ---
-  if (!evidence.verify(config_.trusted_ie_identity)) {
-    throw AttestationError("evidence signature does not verify against the "
-                           "trusted instrumentation enclave");
-  }
-  if (binary_hash != evidence.output_hash) {
-    throw AttestationError("binary does not match instrumentation evidence");
-  }
-  if (evidence.pass != config_.instrumentation.pass) {
-    throw AttestationError("evidence pass level differs from agreed policy");
-  }
-  if (evidence.weight_table_hash != config_.instrumentation.weights.hash()) {
-    throw AttestationError("evidence weight table differs from agreed table");
+  {
+    auto verify_span = obs::Tracer::global().span("ae.verify_evidence");
+    if (!evidence.verify(config_.trusted_ie_identity)) {
+      throw AttestationError("evidence signature does not verify against the "
+                             "trusted instrumentation enclave");
+    }
+    if (binary_hash != evidence.output_hash) {
+      throw AttestationError("binary does not match instrumentation evidence");
+    }
+    if (evidence.pass != config_.instrumentation.pass) {
+      throw AttestationError("evidence pass level differs from agreed policy");
+    }
+    if (evidence.weight_table_hash != config_.instrumentation.weights.hash()) {
+      throw AttestationError("evidence weight table differs from agreed table");
+    }
   }
 
   // --- 2. Load, re-validate and flatten inside the enclave (once). ---
-  interp::CompiledModulePtr compiled =
-      interp::compile(wasm::decode(instrumented_binary));
+  interp::CompiledModulePtr compiled;
+  {
+    auto compile_span = obs::Tracer::global().span("ae.compile");
+    compiled = interp::compile(wasm::decode(instrumented_binary));
+  }
   auto counter_export = compiled->module().find_export(
       instrument::kCounterExport, wasm::ExternKind::Global);
   if (!counter_export || *counter_export != evidence.counter_global) {
     throw AttestationError("counter global missing or mismatched");
   }
-  ++prepared_misses_;
+  prepared_misses_->inc();
 
   auto prepared = std::make_shared<const PreparedModule>(PreparedModule{
       std::move(compiled), binary_hash, evidence_digest,
@@ -84,6 +113,7 @@ AccountingEnclave::prepare(BytesView instrumented_binary,
       prepared_index_.erase(prepared_lru_.back()->binary_hash);
       prepared_lru_.pop_back();
     }
+    prepared_entries_->set(static_cast<int64_t>(prepared_lru_.size()));
   }
   return prepared;
 }
@@ -98,6 +128,8 @@ AccountingEnclave::Outcome AccountingEnclave::execute(
 AccountingEnclave::Outcome AccountingEnclave::execute(
     const PreparedModule& prepared, const std::string& entry,
     const interp::Values& args, Bytes input) {
+  auto execute_span = obs::Tracer::global().span("ae.execute");
+  executions_->inc();
   // --- 3. Execute in the two-way sandbox: a cheap per-request instance
   // over the shared immutable artifact. ---
   IoChannel channel;
@@ -107,7 +139,10 @@ AccountingEnclave::Outcome AccountingEnclave::execute(
   interp::Instance::Options options;
   options.platform = config_.platform;
   options.max_instructions = config_.max_instructions;
+  options.profiler = config_.profiler;
+  auto instantiate_span = obs::Tracer::global().span("ae.instantiate");
   interp::Instance instance(prepared.compiled, std::move(env), options);
+  instantiate_span.finish();
 
   Outcome outcome;
 
@@ -138,19 +173,29 @@ AccountingEnclave::Outcome AccountingEnclave::execute(
         config_.checkpoint_interval, [&](interp::Instance& inst) {
           outcome.interim_logs.push_back(
               make_signed_log(inst, /*trapped=*/false, /*is_final=*/false));
+          interim_logs_->inc();
         });
   }
 
   bool trapped = false;
-  try {
-    outcome.results = instance.invoke(entry, args);
-  } catch (const TrapError& trap) {
-    trapped = true;
-    outcome.trap_message = trap.what();
+  {
+    auto run_span = obs::Tracer::global().span("ae.run");
+    try {
+      outcome.results = instance.invoke(entry, args);
+    } catch (const TrapError& trap) {
+      trapped = true;
+      outcome.trap_message = trap.what();
+      traps_->inc();
+      if (std::strstr(trap.what(), "instruction limit") != nullptr) {
+        limit_exceeded_->inc();
+      }
+    }
   }
 
   // --- 4. Assemble and sign the final resource usage log. ---
+  auto sign_span = obs::Tracer::global().span("ae.sign_log");
   outcome.signed_log = make_signed_log(instance, trapped, /*is_final=*/true);
+  sign_span.finish();
   outcome.output = std::move(channel.output);
   outcome.stats = instance.stats();
   return outcome;

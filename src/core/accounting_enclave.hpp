@@ -19,6 +19,7 @@
 #include "core/runtime_env.hpp"
 #include "interp/compiled_module.hpp"
 #include "interp/instance.hpp"
+#include "obs/metrics.hpp"
 #include "sgx/platform.hpp"
 
 namespace acctee::core {
@@ -51,6 +52,13 @@ class AccountingEnclave {
     /// §3.3's prepare-once amortisation, applied to the AE). 0 disables
     /// caching — every execute() re-prepares from scratch.
     size_t prepared_cache_capacity = 16;
+    /// Optional per-function profiler attached to every execution's
+    /// Instance (obs/profile.hpp). Diagnostic only: the selected profiled
+    /// run loop attributes block costs by function but never alters
+    /// ExecStats, checkpoints, or signed logs (tested in
+    /// tests/block_accounting_test.cpp). The caller owns the profiler and
+    /// must not run executions concurrently while it is set.
+    obs::FuncProfiler* profiler = nullptr;
   };
 
   AccountingEnclave(sgx::Platform& platform, Config config);
@@ -110,9 +118,11 @@ class AccountingEnclave {
                   const std::string& entry, const interp::Values& args,
                   Bytes input = {});
 
-  // Prepared-module cache statistics (observable amortisation).
-  uint64_t prepared_cache_hits() const { return prepared_hits_; }
-  uint64_t prepared_cache_misses() const { return prepared_misses_; }
+  // Prepared-module cache statistics (observable amortisation). Thin reads
+  // of this enclave's registry series (obs/metrics.hpp): the same numbers a
+  // metrics scrape reports under acctee_ae_prepared_cache_{hits,misses}_total.
+  uint64_t prepared_cache_hits() const { return prepared_hits_->value(); }
+  uint64_t prepared_cache_misses() const { return prepared_misses_->value(); }
   size_t prepared_cache_size() const { return prepared_lru_.size(); }
 
   const Config& config() const { return config_; }
@@ -129,8 +139,16 @@ class AccountingEnclave {
   // list is the most recently used entry.
   std::list<PreparedPtr> prepared_lru_;
   std::map<crypto::Digest, std::list<PreparedPtr>::iterator> prepared_index_;
-  uint64_t prepared_hits_ = 0;
-  uint64_t prepared_misses_ = 0;
+
+  // Per-enclave series in the process registry, labelled enclave="N".
+  std::string labels_;
+  obs::Counter* prepared_hits_ = nullptr;
+  obs::Counter* prepared_misses_ = nullptr;
+  obs::Gauge* prepared_entries_ = nullptr;
+  obs::Counter* executions_ = nullptr;
+  obs::Counter* traps_ = nullptr;
+  obs::Counter* limit_exceeded_ = nullptr;
+  obs::Counter* interim_logs_ = nullptr;
 };
 
 }  // namespace acctee::core

@@ -1,6 +1,26 @@
 #include "core/instrumentation_cache.hpp"
 
+#include <atomic>
+
+#include "obs/trace.hpp"
+
 namespace acctee::core {
+
+namespace {
+std::string next_cache_labels() {
+  static std::atomic<uint64_t> n{0};
+  return "cache=\"" + std::to_string(n.fetch_add(1)) + "\"";
+}
+}  // namespace
+
+InstrumentationCache::InstrumentationCache(size_t max_entries)
+    : max_entries_(max_entries), labels_(next_cache_labels()) {
+  obs::Registry& reg = obs::Registry::global();
+  hits_ = &reg.counter("acctee_ie_cache_hits_total", labels_);
+  misses_ = &reg.counter("acctee_ie_cache_misses_total", labels_);
+  evictions_ = &reg.counter("acctee_ie_cache_evictions_total", labels_);
+  entries_gauge_ = &reg.gauge("acctee_ie_cache_entries", labels_);
+}
 
 InstrumentationCache::Key InstrumentationCache::make_key(
     const InstrumentationEnclave& ie, BytesView binary) {
@@ -10,21 +30,26 @@ InstrumentationCache::Key InstrumentationCache::make_key(
 
 const InstrumentationEnclave::Output& InstrumentationCache::instrument(
     InstrumentationEnclave& ie, BytesView wasm_binary) {
+  auto span = obs::Tracer::global().span("ie.cache_instrument");
   Key key = make_key(ie, wasm_binary);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    ++hits_;
+    hits_->inc();
     lru_.splice(lru_.begin(), lru_, it->second);
     return lru_.front().second;
   }
-  ++misses_;
-  lru_.emplace_front(key, ie.instrument_binary(wasm_binary));
+  misses_->inc();
+  {
+    auto pass_span = obs::Tracer::global().span("ie.instrument");
+    lru_.emplace_front(key, ie.instrument_binary(wasm_binary));
+  }
   index_[std::move(key)] = lru_.begin();
   if (max_entries_ != 0 && lru_.size() > max_entries_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
-    ++evictions_;
+    evictions_->inc();
   }
+  entries_gauge_->set(static_cast<int64_t>(lru_.size()));
   return lru_.front().second;
 }
 

@@ -13,17 +13,18 @@
 #include <list>
 #include <map>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "core/instrumentation_enclave.hpp"
+#include "obs/metrics.hpp"
 
 namespace acctee::core {
 
 class InstrumentationCache {
  public:
   /// `max_entries == 0` means unbounded.
-  explicit InstrumentationCache(size_t max_entries = 0)
-      : max_entries_(max_entries) {}
+  explicit InstrumentationCache(size_t max_entries = 0);
 
   /// Returns the cached output for this IE's (pass, weights) policy, or
   /// runs the IE and caches the result. The cache is policy-aware: the same
@@ -39,9 +40,12 @@ class InstrumentationCache {
 
   size_t size() const { return lru_.size(); }
   size_t max_entries() const { return max_entries_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  // Thin reads of this cache's registry series (obs/metrics.hpp): the same
+  // numbers a metrics scrape reports, under
+  // acctee_ie_cache_{hits,misses,evictions}_total.
+  uint64_t hits() const { return hits_->value(); }
+  uint64_t misses() const { return misses_->value(); }
+  uint64_t evictions() const { return evictions_->value(); }
 
  private:
   struct Key {
@@ -57,9 +61,12 @@ class InstrumentationCache {
   size_t max_entries_ = 0;
   std::list<Entry> lru_;  // front = most recently used
   std::map<Key, std::list<Entry>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  // Per-instance series in the process registry, labelled cache="N".
+  std::string labels_;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Gauge* entries_gauge_ = nullptr;
 };
 
 }  // namespace acctee::core

@@ -1,12 +1,32 @@
 #include "faas/gateway.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <thread>
 
 #include "wasm/validator.hpp"
 
 namespace acctee::faas {
+
+namespace {
+
+std::string next_gateway_labels() {
+  static std::atomic<uint64_t> n{0};
+  return "gateway=\"" + std::to_string(n.fetch_add(1)) + "\"";
+}
+
+/// Exact percentile over a sorted sample set (nearest-rank).
+double percentile_ms(const std::vector<double>& sorted_seconds, double q) {
+  if (sorted_seconds.empty()) return 0;
+  size_t rank = static_cast<size_t>(
+      q * static_cast<double>(sorted_seconds.size() - 1) + 0.5);
+  rank = std::min(rank, sorted_seconds.size() - 1);
+  return sorted_seconds[rank] * 1e3;
+}
+
+}  // namespace
 
 const char* to_string(Setup setup) {
   switch (setup) {
@@ -38,7 +58,14 @@ Gateway::Gateway(interp::CompiledModulePtr compiled, std::string entry,
                  GatewayConfig config)
     : compiled_(std::move(compiled)),
       entry_(std::move(entry)),
-      config_(config) {}
+      config_(config),
+      labels_(next_gateway_labels()) {
+  obs::Registry& reg = obs::Registry::global();
+  requests_metric_ = &reg.counter("acctee_gateway_requests_total", labels_);
+  in_flight_ = &reg.gauge("acctee_gateway_in_flight", labels_);
+  latency_hist_ = &reg.histogram("acctee_gateway_request_seconds",
+                                 obs::default_latency_bounds(), labels_);
+}
 
 Gateway::Gateway(wasm::Module module, std::string entry, GatewayConfig config)
     : Gateway(interp::compile(std::move(module)), std::move(entry), config) {}
@@ -77,6 +104,8 @@ uint64_t Gateway::request_cycles(uint64_t exec_cycles,
 
 Gateway::RequestStats Gateway::execute_one(const Bytes& input,
                                            Bytes* output) const {
+  in_flight_->add(1);
+  auto t0 = std::chrono::steady_clock::now();
   // Per-request isolation: a fresh instance for every request (§5.3), a
   // cheap view over the shared compiled module.
   core::IoChannel channel;
@@ -95,6 +124,12 @@ Gateway::RequestStats Gateway::execute_one(const Bytes& input,
   stats.total_cycles =
       request_cycles(stats.execution_cycles, stats.io_bytes);
   if (output != nullptr) *output = std::move(channel.output);
+  stats.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  latency_hist_->observe(stats.wall_seconds);
+  requests_metric_->inc();
+  in_flight_->sub(1);
   return stats;
 }
 
@@ -108,9 +143,20 @@ Bytes Gateway::handle(const Bytes& input) {
     instructions_ += stats.instructions;
     io_bytes_ += stats.io_bytes;
     ++requests_;
+    run_latencies_.push_back(stats.wall_seconds);
   }
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   return output;
+}
+
+void Gateway::reset_run_totals() {
+  std::lock_guard<std::mutex> lock(totals_mutex_);
+  total_cycles_ = 0;
+  execution_cycles_ = 0;
+  instructions_ = 0;
+  io_bytes_ = 0;
+  requests_ = 0;
+  run_latencies_.clear();
 }
 
 LoadResult Gateway::make_result(uint32_t threads_used) const {
@@ -130,18 +176,31 @@ LoadResult Gateway::make_result(uint32_t threads_used) const {
       static_cast<double>(total_cycles_) / (hz * config_.workers);
   result.requests_per_second =
       result.seconds > 0 ? static_cast<double>(requests_) / result.seconds : 0;
+  // Wall-clock tail latency over this run (real time, not simulated).
+  std::sort(run_latencies_.begin(), run_latencies_.end());
+  result.latency_samples = run_latencies_.size();
+  if (!run_latencies_.empty()) {
+    double sum = 0;
+    for (double s : run_latencies_) sum += s;
+    result.latency_mean_ms =
+        sum * 1e3 / static_cast<double>(run_latencies_.size());
+    result.latency_p50_ms = percentile_ms(run_latencies_, 0.50);
+    result.latency_p95_ms = percentile_ms(run_latencies_, 0.95);
+    result.latency_p99_ms = percentile_ms(run_latencies_, 0.99);
+  }
   return result;
 }
 
+GatewaySnapshot Gateway::snapshot() const {
+  GatewaySnapshot snap;
+  snap.requests_total = requests_metric_->value();
+  snap.in_flight = in_flight_->value();
+  snap.latency = latency_hist_->snapshot();
+  return snap;
+}
+
 LoadResult Gateway::run_load(const std::vector<Bytes>& inputs) {
-  {
-    std::lock_guard<std::mutex> lock(totals_mutex_);
-    total_cycles_ = 0;
-    execution_cycles_ = 0;
-    instructions_ = 0;
-    io_bytes_ = 0;
-    requests_ = 0;
-  }
+  reset_run_totals();
   for (const Bytes& input : inputs) handle(input);
   return make_result(/*threads_used=*/1);
 }
@@ -156,14 +215,7 @@ LoadResult Gateway::run_load_concurrent(const std::vector<Bytes>& inputs,
   threads = std::max<uint32_t>(1, std::min<uint32_t>(
       threads, static_cast<uint32_t>(std::max<size_t>(1, inputs.size()))));
 
-  {
-    std::lock_guard<std::mutex> lock(totals_mutex_);
-    total_cycles_ = 0;
-    execution_cycles_ = 0;
-    instructions_ = 0;
-    io_bytes_ = 0;
-    requests_ = 0;
-  }
+  reset_run_totals();
   if (outputs != nullptr) outputs->assign(inputs.size(), Bytes{});
 
   // Each worker pulls request indices from the shared atomic queue head,
@@ -174,6 +226,7 @@ LoadResult Gateway::run_load_concurrent(const std::vector<Bytes>& inputs,
   std::mutex error_mutex;
   auto worker = [&]() {
     RequestStats local;
+    std::vector<double> latencies;
     uint64_t handled = 0;
     try {
       for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -185,6 +238,7 @@ LoadResult Gateway::run_load_concurrent(const std::vector<Bytes>& inputs,
         local.execution_cycles += stats.execution_cycles;
         local.instructions += stats.instructions;
         local.io_bytes += stats.io_bytes;
+        latencies.push_back(stats.wall_seconds);
         ++handled;
         requests_served_.fetch_add(1, std::memory_order_relaxed);
       }
@@ -199,6 +253,8 @@ LoadResult Gateway::run_load_concurrent(const std::vector<Bytes>& inputs,
     instructions_ += local.instructions;
     io_bytes_ += local.io_bytes;
     requests_ += handled;
+    run_latencies_.insert(run_latencies_.end(), latencies.begin(),
+                          latencies.end());
   };
 
   std::vector<std::thread> pool;

@@ -30,6 +30,7 @@
 #include "core/runtime_env.hpp"
 #include "interp/compiled_module.hpp"
 #include "interp/instance.hpp"
+#include "obs/metrics.hpp"
 #include "wasm/ast.hpp"
 
 namespace acctee::faas {
@@ -79,6 +80,24 @@ struct LoadResult {
   double seconds = 0;
   double requests_per_second = 0;
   uint32_t threads_used = 1;  // real OS threads that executed instances
+
+  // Per-request *wall-clock* latency over this run (real time spent
+  // executing the instance, not simulated cycles): exact percentiles over
+  // all requests in the run. Tail latency is what the throughput model
+  // cannot show — a run with good mean cycles can still have a bad p99.
+  uint64_t latency_samples = 0;
+  double latency_mean_ms = 0;
+  double latency_p50_ms = 0;
+  double latency_p95_ms = 0;
+  double latency_p99_ms = 0;
+};
+
+/// Point-in-time view of a gateway's lifetime metrics (any mode, any
+/// thread); the same series a registry scrape exports for this gateway.
+struct GatewaySnapshot {
+  uint64_t requests_total = 0;
+  int64_t in_flight = 0;
+  obs::HistogramSnapshot latency;  // seconds, process-lifetime
 };
 
 /// A deployed function: a compiled (validated) module + entry.
@@ -116,6 +135,10 @@ class Gateway {
   /// Lifetime total of requests handled (atomic; any mode, any thread).
   uint64_t requests_served() const { return requests_served_.load(); }
 
+  /// Lifetime metrics snapshot (thread-safe; consistent enough for
+  /// monitoring — counters are merged with relaxed loads).
+  GatewaySnapshot snapshot() const;
+
   const interp::CompiledModulePtr& compiled() const { return compiled_; }
   const GatewayConfig& config() const { return config_; }
 
@@ -125,12 +148,15 @@ class Gateway {
     uint64_t execution_cycles = 0;
     uint64_t instructions = 0;
     uint64_t io_bytes = 0;
+    double wall_seconds = 0;
   };
 
   uint64_t request_cycles(uint64_t exec_cycles, uint64_t io_bytes) const;
   /// Executes one request in a fresh Instance over the shared module.
-  /// Touches no gateway state (safe to call from any thread).
+  /// Touches no gateway state except the observability series (safe to call
+  /// from any thread).
   RequestStats execute_one(const Bytes& input, Bytes* output) const;
+  void reset_run_totals();
   LoadResult make_result(uint32_t threads_used) const;
 
   interp::CompiledModulePtr compiled_;
@@ -142,7 +168,16 @@ class Gateway {
   uint64_t instructions_ = 0;
   uint64_t io_bytes_ = 0;
   uint64_t requests_ = 0;
+  // Per-request wall-clock seconds for the current run (exact percentiles
+  // in make_result); guarded by totals_mutex_ like the totals.
+  mutable std::vector<double> run_latencies_;
   std::atomic<uint64_t> requests_served_{0};
+
+  // Per-gateway series in the process registry, labelled gateway="N".
+  std::string labels_;
+  obs::Counter* requests_metric_ = nullptr;
+  obs::Gauge* in_flight_ = nullptr;
+  obs::Histogram* latency_hist_ = nullptr;  // seconds
 };
 
 }  // namespace acctee::faas

@@ -5,6 +5,8 @@
 #include <limits>
 #include <type_traits>
 
+#include "obs/profile.hpp"
+
 namespace acctee::interp {
 
 namespace {
@@ -321,16 +323,17 @@ void Instance::run(size_t stop_depth) {
 #else
   const bool threaded = false;
 #endif
+  const bool profiled = options_.profiler != nullptr;
   try {
 #if ACCTEE_HAS_THREADED_DISPATCH
     if (threaded) {
-      run_threaded(stop_depth);
+      profiled ? run_threaded_profiled(stop_depth) : run_threaded(stop_depth);
     } else {
-      run_switch(stop_depth);
+      profiled ? run_switch_profiled(stop_depth) : run_switch(stop_depth);
     }
 #else
     (void)threaded;
-    run_switch(stop_depth);
+    profiled ? run_switch_profiled(stop_depth) : run_switch(stop_depth);
 #endif
   } catch (...) {
     uncharge_block_suffix();
@@ -341,14 +344,34 @@ void Instance::run(size_t stop_depth) {
 
 void Instance::run_switch(size_t stop_depth) {
 #define ACCTEE_THREADED 0
+#define ACCTEE_PROFILE 0
 #include "interp/run_loop.inc"
+#undef ACCTEE_PROFILE
+#undef ACCTEE_THREADED
+}
+
+void Instance::run_switch_profiled(size_t stop_depth) {
+#define ACCTEE_THREADED 0
+#define ACCTEE_PROFILE 1
+#include "interp/run_loop.inc"
+#undef ACCTEE_PROFILE
 #undef ACCTEE_THREADED
 }
 
 #if ACCTEE_HAS_THREADED_DISPATCH
 void Instance::run_threaded(size_t stop_depth) {
 #define ACCTEE_THREADED 1
+#define ACCTEE_PROFILE 0
 #include "interp/run_loop.inc"
+#undef ACCTEE_PROFILE
+#undef ACCTEE_THREADED
+}
+
+void Instance::run_threaded_profiled(size_t stop_depth) {
+#define ACCTEE_THREADED 1
+#define ACCTEE_PROFILE 1
+#include "interp/run_loop.inc"
+#undef ACCTEE_PROFILE
 #undef ACCTEE_THREADED
 }
 #endif

@@ -34,6 +34,10 @@
 #define ACCTEE_HAS_THREADED_DISPATCH 0
 #endif
 
+namespace acctee::obs {
+class FuncProfiler;
+}  // namespace acctee::obs
+
 namespace acctee::interp {
 
 /// Interpreter dispatch backend selection.
@@ -66,6 +70,12 @@ class Instance {
     /// block at a time. Slower; kept as the determinism oracle the batched
     /// path is tested against (and as a debugging aid).
     bool per_instruction_accounting = false;
+    /// Optional per-function attribution sink (obs/profile.hpp). Non-null
+    /// selects the *profiled* run-loop instantiation, which calls
+    /// profiler->on_block() on every basic-block entry; null (the default)
+    /// runs the unprofiled instantiation — the hot loop pays zero extra
+    /// work, not even a branch. Profiling never alters ExecStats.
+    obs::FuncProfiler* profiler = nullptr;
   };
 
   /// True iff the computed-goto backend was compiled into this binary.
@@ -128,10 +138,14 @@ class Instance {
 
   void run(size_t stop_depth);
   // Dispatch backends: identical semantics, different dispatch technique.
-  // The shared body lives in interp/run_loop.inc.
+  // The shared body lives in interp/run_loop.inc, instantiated per
+  // (dispatch backend × profiling) so the unprofiled loops carry no
+  // profiling code at all.
   void run_switch(size_t stop_depth);
+  void run_switch_profiled(size_t stop_depth);
 #if ACCTEE_HAS_THREADED_DISPATCH
   void run_threaded(size_t stop_depth);
+  void run_threaded_profiled(size_t stop_depth);
 #endif
   void enter_frame(uint32_t defined_index);
   void call_host(uint32_t import_index);

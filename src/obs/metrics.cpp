@@ -1,0 +1,224 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace acctee::obs {
+
+namespace {
+
+// Relaxed add of a double stored as bit-cast uint64 (atomic<double> fetch_add
+// is C++20 but spotty across toolchains; a CAS loop on a per-thread shard is
+// uncontended in practice).
+void add_double(std::atomic<uint64_t>& bits, double delta) {
+  uint64_t old = bits.load(std::memory_order_relaxed);
+  uint64_t wanted;
+  do {
+    wanted = std::bit_cast<uint64_t>(std::bit_cast<double>(old) + delta);
+  } while (!bits.compare_exchange_weak(old, wanted,
+                                       std::memory_order_relaxed));
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank && counts[i] > 0) {
+      if (i >= bounds.size()) {
+        // Open-ended bucket: report its lower bound.
+        return bounds.empty() ? 0 : bounds.back();
+      }
+      double lower = i == 0 ? 0 : bounds[i - 1];
+      double upper = bounds[i];
+      double below = static_cast<double>(cumulative - counts[i]);
+      double frac = (rank - below) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+    }
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  for (Shard& s : shards_) {
+    s.counts = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::observe(double v) {
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  Shard& shard = shards_[shard_index()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  add_double(shard.sum_bits, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < snap.counts.size(); ++i) {
+      snap.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += std::bit_cast<double>(
+        shard.sum_bits.load(std::memory_order_relaxed));
+  }
+  for (uint64_t c : snap.counts) snap.count += c;
+  return snap;
+}
+
+std::vector<double> default_latency_bounds() {
+  return {1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+          1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,  0.25,   0.5,
+          1.0,  2.5,    5.0,  10.0};
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name,
+                           const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[SeriesKey{name, labels}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[SeriesKey{name, labels}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> upper_bounds,
+                               const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[SeriesKey{name, labels}];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+std::string Registry::prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  auto series = [](const std::string& name, const std::string& labels,
+                   const std::string& extra = "") {
+    std::string s = name;
+    if (!labels.empty() || !extra.empty()) {
+      s += "{" + labels;
+      if (!labels.empty() && !extra.empty()) s += ",";
+      s += extra + "}";
+    }
+    return s;
+  };
+  std::string last_family;
+  auto type_line = [&](const std::string& name, const char* kind) {
+    if (name != last_family) {
+      out += "# TYPE " + name + " " + kind + "\n";
+      last_family = name;
+    }
+  };
+  for (const auto& [key, c] : counters_) {
+    type_line(key.name, "counter");
+    out += series(key.name, key.labels) + " " + std::to_string(c->value()) +
+           "\n";
+  }
+  last_family.clear();
+  for (const auto& [key, g] : gauges_) {
+    type_line(key.name, "gauge");
+    out += series(key.name, key.labels) + " " + std::to_string(g->value()) +
+           "\n";
+  }
+  last_family.clear();
+  for (const auto& [key, h] : histograms_) {
+    type_line(key.name, "histogram");
+    HistogramSnapshot snap = h->snapshot();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < snap.counts.size(); ++i) {
+      cumulative += snap.counts[i];
+      std::string le = i < snap.bounds.size()
+                           ? format_double(snap.bounds[i])
+                           : "+Inf";
+      out += series(key.name + "_bucket", key.labels, "le=\"" + le + "\"") +
+             " " + std::to_string(cumulative) + "\n";
+    }
+    out += series(key.name + "_sum", key.labels) + " " +
+           format_double(snap.sum) + "\n";
+    out += series(key.name + "_count", key.labels) + " " +
+           std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
+std::string Registry::json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"metrics\": [";
+  bool first = true;
+  auto prefix = [&]() -> std::string& {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    return out;
+  };
+  auto header = [&](const SeriesKey& key, const char* kind) {
+    prefix() += "{\"name\": \"" + json_escape(key.name) + "\", \"labels\": \"" +
+                json_escape(key.labels) + "\", \"type\": \"" + kind + "\", ";
+  };
+  for (const auto& [key, c] : counters_) {
+    header(key, "counter");
+    out += "\"value\": " + std::to_string(c->value()) + "}";
+  }
+  for (const auto& [key, g] : gauges_) {
+    header(key, "gauge");
+    out += "\"value\": " + std::to_string(g->value()) + "}";
+  }
+  for (const auto& [key, h] : histograms_) {
+    header(key, "histogram");
+    HistogramSnapshot snap = h->snapshot();
+    out += "\"count\": " + std::to_string(snap.count) +
+           ", \"sum\": " + format_double(snap.sum) +
+           ", \"p50\": " + format_double(snap.quantile(0.50)) +
+           ", \"p95\": " + format_double(snap.quantile(0.95)) +
+           ", \"p99\": " + format_double(snap.quantile(0.99)) +
+           ", \"buckets\": [";
+    for (size_t i = 0; i < snap.counts.size(); ++i) {
+      out += i == 0 ? "" : ", ";
+      out += "{\"le\": " + (i < snap.bounds.size()
+                                ? format_double(snap.bounds[i])
+                                : std::string("\"+Inf\"")) +
+             ", \"count\": " + std::to_string(snap.counts[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace acctee::obs

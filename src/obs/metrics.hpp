@@ -1,0 +1,153 @@
+// Process-wide metrics registry (DESIGN.md §12).
+//
+// AccTEE's pitch is that both parties can trust the numbers; this layer
+// makes the reproduction's *operational* numbers — cache hit rates, request
+// latencies, trap counts, pipeline timings — uniformly observable under
+// concurrent FaaS load without perturbing the accounted numbers themselves.
+//
+// Three metric kinds, Prometheus-flavoured:
+//   * Counter   — monotone u64, sharded per thread (one relaxed atomic add
+//                 on the hot path, merged at scrape time),
+//   * Gauge     — i64 set/add (single atomic; gauges are set rarely),
+//   * Histogram — fixed upper-bound buckets + count + sum, sharded like
+//                 counters; quantiles are estimated from the buckets.
+//
+// Sharding beats a locked counter and beats a single contended atomic: each
+// thread hashes to one of kMetricShards cache-line-padded cells, so writers
+// on different threads touch different lines. Scrapes sum the cells with
+// relaxed loads; every cell is monotone, so repeated scrapes of a counter
+// are monotone too (tested under TSan in tests/obs_test.cpp).
+//
+// Handles returned by Registry::{counter,gauge,histogram} are stable for
+// the registry's lifetime (metrics are never removed), so callers cache the
+// pointer once and pay no lookup on the hot path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace acctee::obs {
+
+inline constexpr size_t kMetricShards = 16;
+
+/// Stable per-thread shard index in [0, kMetricShards).
+inline uint32_t shard_index() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return idx;
+}
+
+/// Monotone counter. add() is one relaxed fetch_add on a thread-local shard.
+class Counter {
+ public:
+  void add(uint64_t delta) {
+    cells_[shard_index()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+
+  /// Relaxed sum over shards; monotone across repeated calls.
+  uint64_t value() const {
+    uint64_t sum = 0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Cell, kMetricShards> cells_{};
+};
+
+/// Last-writer-wins gauge (plus add/sub for in-flight style gauges).
+class Gauge {
+ public:
+  void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void sub(int64_t d) { v_.fetch_sub(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Merged view of one histogram at scrape time.
+struct HistogramSnapshot {
+  std::vector<double> bounds;    // upper bounds; +Inf bucket is implicit
+  std::vector<uint64_t> counts;  // per-bucket (NOT cumulative); size = bounds+1
+  uint64_t count = 0;
+  double sum = 0;
+
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// bucket that crosses q*count. The open +Inf bucket reports its lower
+  /// bound (the largest finite upper bound).
+  double quantile(double q) const;
+};
+
+/// Fixed-bucket histogram; observe() is a relaxed add into a thread-local
+/// shard's bucket plus a relaxed sum accumulation.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+  HistogramSnapshot snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<uint64_t>> counts;
+    std::atomic<uint64_t> sum_bits{0};  // double accumulated via CAS
+  };
+  std::vector<double> bounds_;  // sorted ascending
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Default latency buckets: 1 µs .. 10 s, roughly x2.5 steps (seconds).
+std::vector<double> default_latency_bounds();
+
+/// Named registry. Creation/lookup takes a mutex (cold); the returned
+/// handles are lock-free. `labels` is a Prometheus label-pair fragment
+/// (e.g. `enclave="3"`); (name, labels) identifies one series.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry the library's own instrumentation targets.
+  static Registry& global();
+
+  Counter& counter(const std::string& name, const std::string& labels = "");
+  Gauge& gauge(const std::string& name, const std::string& labels = "");
+  /// Re-requesting an existing histogram series ignores `upper_bounds`.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds,
+                       const std::string& labels = "");
+
+  /// Prometheus text exposition format (one # TYPE line per family).
+  std::string prometheus() const;
+  /// JSON (bench_util-style): {"metrics": [{...}, ...]}.
+  std::string json() const;
+
+ private:
+  struct SeriesKey {
+    std::string name;
+    std::string labels;
+    auto operator<=>(const SeriesKey&) const = default;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<SeriesKey, std::unique_ptr<Counter>> counters_;
+  std::map<SeriesKey, std::unique_ptr<Gauge>> gauges_;
+  std::map<SeriesKey, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace acctee::obs

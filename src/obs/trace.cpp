@@ -1,0 +1,152 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "obs/metrics.hpp"  // shard_index()
+
+namespace acctee::obs {
+
+namespace {
+
+// Per-thread stack of open span ids: implicit parenting. Spans must finish
+// on the thread that opened them (they are scope guards, so they do).
+thread_local std::vector<uint64_t> t_open_spans;
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Span& Tracer::Span::operator=(Span&& other) noexcept {
+  finish();
+  tracer_ = other.tracer_;
+  id_ = other.id_;
+  parent_ = other.parent_;
+  name_ = other.name_;
+  start_ = other.start_;
+  other.tracer_ = nullptr;
+  return *this;
+}
+
+void Tracer::Span::finish() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  if (!t_open_spans.empty() && t_open_spans.back() == id_) {
+    t_open_spans.pop_back();
+  }
+  tracer->record(*this, std::chrono::steady_clock::now());
+}
+
+Tracer::Span Tracer::span(const char* name) {
+  Span span;
+  if (!enabled()) return span;
+  span.tracer_ = this;
+  span.id_ = next_id_.fetch_add(1, std::memory_order_relaxed);
+  span.parent_ = t_open_spans.empty() ? 0 : t_open_spans.back();
+  span.name_ = name;
+  span.start_ = std::chrono::steady_clock::now();
+  t_open_spans.push_back(span.id_);
+  return span;
+}
+
+void Tracer::record(const Span& span,
+                    std::chrono::steady_clock::time_point end) {
+  SpanRecord rec;
+  rec.id = span.id_;
+  rec.parent = span.parent_;
+  rec.name = span.name_;
+  rec.start_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(span.start_ -
+                                                           epoch_)
+          .count());
+  rec.duration_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - span.start_)
+          .count());
+  rec.shard = shard_index();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[head_] = std::move(rec);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // head_ is the oldest entry once the ring wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::string Tracer::render_text() const {
+  std::vector<SpanRecord> spans = snapshot();
+  std::map<uint64_t, std::vector<size_t>> children;
+  std::map<uint64_t, size_t> by_id;
+  for (size_t i = 0; i < spans.size(); ++i) by_id[spans[i].id] = i;
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent != 0 && by_id.count(spans[i].parent)) {
+      children[spans[i].parent].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::string out;
+  auto print = [&](auto&& self, size_t index, int depth) -> void {
+    const SpanRecord& s = spans[index];
+    char line[192];
+    std::snprintf(line, sizeof(line), "%*s%-*s %10.3f ms  @%.3f ms\n",
+                  depth * 2, "", 28 - depth * 2, s.name.c_str(),
+                  static_cast<double>(s.duration_ns) / 1e6,
+                  static_cast<double>(s.start_ns) / 1e6);
+    out += line;
+    for (size_t child : children[s.id]) self(self, child, depth + 1);
+  };
+  for (size_t root : roots) print(print, root, 0);
+  return out;
+}
+
+std::string Tracer::render_json() const {
+  std::vector<SpanRecord> spans = snapshot();
+  std::string out = "{\n  \"spans\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += "{\"id\": " + std::to_string(s.id) +
+           ", \"parent\": " + std::to_string(s.parent) + ", \"name\": \"" +
+           s.name + "\", \"start_ns\": " + std::to_string(s.start_ns) +
+           ", \"duration_ns\": " + std::to_string(s.duration_ns) + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace acctee::obs

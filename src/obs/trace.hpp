@@ -1,0 +1,93 @@
+// Span-based tracer for the IE→AE pipeline (DESIGN.md §12).
+//
+// A Span covers one pipeline stage (instrument, evidence verify,
+// prepare/cache, instantiate, run, log sign) with wall-clock duration and
+// parent/child nesting; parents are tracked implicitly per thread, so
+// nested scopes need no plumbing. Finished spans land in a bounded ring
+// buffer — a long-running gateway can leave tracing on and only ever holds
+// the most recent `capacity` spans, counting what it dropped.
+//
+// Disabled (the default) a span() call is one relaxed atomic load and
+// returns an inert guard; nothing is timed, allocated, or locked. Spans are
+// never created inside the interpreter's per-instruction/per-block path, so
+// tracing cannot perturb ExecStats or signed logs (tested in
+// tests/block_accounting_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace acctee::obs {
+
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent = 0;  // 0 = root
+  std::string name;
+  uint64_t start_ns = 0;     // since tracer construction (steady clock)
+  uint64_t duration_ns = 0;
+  uint32_t shard = 0;        // thread shard that produced the span
+};
+
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 4096);
+
+  /// The process-wide tracer the library's own spans target.
+  static Tracer& global();
+
+  void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// RAII guard: records the span when destroyed. Inert when the tracer was
+  /// disabled at creation.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept;
+    ~Span() { finish(); }
+    /// Ends the span now (idempotent).
+    void finish();
+    bool active() const { return tracer_ != nullptr; }
+
+   private:
+    friend class Tracer;
+    Tracer* tracer_ = nullptr;
+    uint64_t id_ = 0;
+    uint64_t parent_ = 0;
+    const char* name_ = "";
+    std::chrono::steady_clock::time_point start_{};
+  };
+
+  /// Opens a span named `name` (must be a literal or otherwise outlive the
+  /// span) under the calling thread's innermost open span.
+  Span span(const char* name);
+
+  /// Finished spans, oldest first. `clear()` also resets the drop counter.
+  std::vector<SpanRecord> snapshot() const;
+  void clear();
+  uint64_t dropped() const;
+
+  /// Indented tree rendering (parents before children) with ms durations.
+  std::string render_text() const;
+  /// JSON array of span objects (bench_util-style conventions).
+  std::string render_json() const;
+
+ private:
+  void record(const Span& span, std::chrono::steady_clock::time_point end);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+  std::chrono::steady_clock::time_point epoch_;
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;  // insertion order; bounded by capacity_
+  size_t head_ = 0;               // next overwrite position once full
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace acctee::obs

@@ -11,8 +11,14 @@
 
 #include <vector>
 
+#include "core/accounting_enclave.hpp"
+#include "core/instrumentation_enclave.hpp"
 #include "instrument/passes.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+#include "sgx/platform.hpp"
 #include "test_util.hpp"
+#include "wasm/binary.hpp"
 #include "workloads/polybench.hpp"
 
 namespace acctee::interp {
@@ -258,6 +264,106 @@ TEST(BlockAccounting, InstrumentedCounterIdenticalAcrossCombos) {
     } else {
       EXPECT_EQ(counter, reference) << combo.name;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Observability neutrality (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+// Attaching a profiler and enabling the tracer must leave ExecStats, the
+// checkpoint snapshots, and the instrumented counter bit-identical in every
+// (dispatch × accounting) combination: the profiled run loop only *reads*
+// block costs, and spans never open inside the interpreter loop.
+TEST(BlockAccounting, ProfilingAndTracingLeaveStatsIdentical) {
+  auto opts = instrument::InstrumentOptions{instrument::PassKind::LoopBased,
+                                            instrument::WeightTable::unit()};
+  wasm::Module instrumented =
+      instrument::instrument(workloads::build_polybench("atax", 16), opts)
+          .module;
+  obs::Tracer::global().enable(true);
+  for (const Combo& combo : combos()) {
+    auto run_once = [&](obs::FuncProfiler* profiler, ExecStats* stats,
+                        int64_t* counter,
+                        std::vector<std::pair<uint64_t, uint64_t>>* snaps) {
+      Instance::Options options = combo_options(combo);
+      options.profiler = profiler;
+      Instance inst(instrumented, {}, options);
+      inst.set_checkpoint(997, [&](Instance& self) {
+        snaps->emplace_back(self.stats().instructions, self.stats().cycles);
+      });
+      inst.invoke("run");
+      *stats = inst.stats();
+      *counter = inst.read_global(instrument::kCounterExport).i64();
+    };
+
+    ExecStats plain_stats, profiled_stats;
+    int64_t plain_counter = 0, profiled_counter = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> plain_snaps, profiled_snaps;
+    run_once(nullptr, &plain_stats, &plain_counter, &plain_snaps);
+    obs::FuncProfiler profiler;
+    run_once(&profiler, &profiled_stats, &profiled_counter, &profiled_snaps);
+
+    expect_stats_equal(profiled_stats, plain_stats, combo.name);
+    EXPECT_EQ(profiled_counter, plain_counter) << combo.name;
+    EXPECT_EQ(profiled_snaps, plain_snaps) << combo.name;
+    ASSERT_FALSE(plain_snaps.empty()) << combo.name;
+    // The profiler did attribute the run (interval 1 sees every block).
+    EXPECT_EQ(profiler.total_sampled_instructions(), plain_stats.instructions)
+        << combo.name;
+  }
+  obs::Tracer::global().enable(false);
+}
+
+// The signed resource logs the AE emits — interim checkpoints and the final
+// log, including signatures — must be byte-identical whether or not
+// profiling and tracing are active during execution.
+TEST(BlockAccounting, SignedLogsByteIdenticalWithObservability) {
+  auto opts = instrument::InstrumentOptions{instrument::PassKind::LoopBased,
+                                            instrument::WeightTable::unit()};
+  wasm::Module module = workloads::build_polybench("bicg", 16);
+  Bytes binary = wasm::encode(module);
+
+  auto run_world = [&](bool observe) {
+    sgx::Platform ie_host{"ie-host", to_bytes("ie-seed")};
+    sgx::Platform cloud{"cloud", to_bytes("cloud-seed")};
+    core::InstrumentationEnclave ie(ie_host, opts);
+    core::AccountingEnclave::Config config;
+    config.trusted_ie_identity = ie.identity();
+    config.instrumentation = opts;
+    config.checkpoint_interval = 5000;
+    obs::FuncProfiler profiler;
+    if (observe) {
+      config.profiler = &profiler;
+      obs::Tracer::global().enable(true);
+    }
+    core::AccountingEnclave ae(cloud, config);
+    auto out = ie.instrument_binary(binary);
+    auto outcome =
+        ae.execute(out.instrumented_binary, out.evidence, "run", {});
+    obs::Tracer::global().enable(false);
+    if (observe) {
+      EXPECT_GT(profiler.total_sampled_instructions(), 0u);
+    }
+    return outcome;
+  };
+
+  core::AccountingEnclave::Outcome plain = run_world(false);
+  core::AccountingEnclave::Outcome observed = run_world(true);
+
+  EXPECT_EQ(observed.signed_log.log.serialize(),
+            plain.signed_log.log.serialize());
+  EXPECT_EQ(observed.signed_log.signature.serialize(),
+            plain.signed_log.signature.serialize());
+  ASSERT_EQ(observed.interim_logs.size(), plain.interim_logs.size());
+  ASSERT_FALSE(plain.interim_logs.empty());
+  for (size_t i = 0; i < plain.interim_logs.size(); ++i) {
+    EXPECT_EQ(observed.interim_logs[i].log.serialize(),
+              plain.interim_logs[i].log.serialize())
+        << "interim " << i;
+    EXPECT_EQ(observed.interim_logs[i].signature.serialize(),
+              plain.interim_logs[i].signature.serialize())
+        << "interim " << i;
   }
 }
 

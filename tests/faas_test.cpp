@@ -167,5 +167,46 @@ TEST(Gateway, AtomicRequestCounterAcrossModes) {
   EXPECT_EQ(gw.requests_served(), 1u + 3u + 8u);
 }
 
+TEST(Gateway, LoadResultReportsWallClockLatencyPercentiles) {
+  Gateway gw(faas_echo(), "run", {});
+  LoadResult result = gw.run_load(echo_inputs(12, 1024));
+  EXPECT_EQ(result.latency_samples, 12u);
+  EXPECT_GT(result.latency_mean_ms, 0.0);
+  EXPECT_GT(result.latency_p50_ms, 0.0);
+  // Percentiles are ordered and the max sample bounds them all.
+  EXPECT_LE(result.latency_p50_ms, result.latency_p95_ms);
+  EXPECT_LE(result.latency_p95_ms, result.latency_p99_ms);
+}
+
+TEST(Gateway, ConcurrentLoadReportsLatencyPercentiles) {
+  Gateway gw(faas_echo(), "run", {});
+  LoadResult result = gw.run_load_concurrent(echo_inputs(16, 1024), 4);
+  EXPECT_EQ(result.latency_samples, 16u);
+  EXPECT_GT(result.latency_p50_ms, 0.0);
+  EXPECT_LE(result.latency_p50_ms, result.latency_p99_ms);
+  // A fresh run replaces (not accumulates) the latency sample set.
+  LoadResult again = gw.run_load(echo_inputs(3, 64));
+  EXPECT_EQ(again.latency_samples, 3u);
+}
+
+TEST(Gateway, SnapshotTracksLifetimeRequestsAndLatencies) {
+  Gateway gw(faas_echo(), "run", {});
+  GatewaySnapshot before = gw.snapshot();
+  EXPECT_EQ(before.requests_total, 0u);
+  EXPECT_EQ(before.in_flight, 0);
+  EXPECT_EQ(before.latency.count, 0u);
+
+  gw.run_load(echo_inputs(4, 256));
+  gw.run_load_concurrent(echo_inputs(6, 256), 3);
+
+  GatewaySnapshot after = gw.snapshot();
+  // Unlike the per-run LoadResult, the snapshot spans the gateway lifetime
+  // and agrees with what a registry scrape reports for this gateway.
+  EXPECT_EQ(after.requests_total, 10u);
+  EXPECT_EQ(after.in_flight, 0);
+  EXPECT_EQ(after.latency.count, 10u);
+  EXPECT_GT(after.latency.sum, 0.0);
+}
+
 }  // namespace
 }  // namespace acctee::faas

@@ -1,0 +1,350 @@
+// Observability layer tests (DESIGN.md §12): metrics registry exactness
+// (including under thread contention, run in CI under TSan), exporter
+// formats, span tracer semantics, and profiler sampling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace acctee::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge / Histogram basics
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CounterCountsExactly) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, GaugeSetAddSub) {
+  Gauge g;
+  g.set(10);
+  g.add(5);
+  g.sub(7);
+  EXPECT_EQ(g.value(), 8);
+  g.set(-3);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(Metrics, HistogramBucketsCountAndSum) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);   // bucket 0 (<= 1)
+  h.observe(1.0);   // bucket 0 (le is inclusive)
+  h.observe(3.0);   // bucket 2 (<= 4)
+  h.observe(100.0); // +Inf bucket
+  HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 0u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 104.5);
+}
+
+TEST(Metrics, HistogramQuantiles) {
+  Histogram h({1.0, 2.0, 3.0, 4.0});
+  // 100 observations spread uniformly over (0, 4]: 25 per bucket.
+  for (int i = 1; i <= 100; ++i) h.observe(i * 0.04);
+  HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  // Interpolated quantiles land inside the right bucket.
+  EXPECT_GT(snap.quantile(0.5), 1.0);
+  EXPECT_LE(snap.quantile(0.5), 2.0);
+  EXPECT_GT(snap.quantile(0.95), 3.0);
+  EXPECT_LE(snap.quantile(0.95), 4.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(snap.quantile(0.1), snap.quantile(0.5));
+  EXPECT_LE(snap.quantile(0.5), snap.quantile(0.99));
+  // Empty histogram: quantile is 0.
+  EXPECT_EQ(Histogram({1.0}).snapshot().quantile(0.5), 0.0);
+}
+
+TEST(Metrics, HistogramOpenBucketQuantileReportsLargestBound) {
+  Histogram h({1.0, 2.0});
+  h.observe(50.0);
+  h.observe(60.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, RegistryHandlesAreStableAndKeyed) {
+  Registry reg;
+  Counter& a = reg.counter("test_total", "k=\"1\"");
+  Counter& b = reg.counter("test_total", "k=\"1\"");
+  Counter& c = reg.counter("test_total", "k=\"2\"");
+  EXPECT_EQ(&a, &b);   // same series → same handle
+  EXPECT_NE(&a, &c);   // different labels → distinct series
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, PrometheusExposition) {
+  Registry reg;
+  reg.counter("widgets_total", "kind=\"a\"").add(3);
+  reg.gauge("depth").set(-2);
+  reg.histogram("lat_seconds", {0.5, 1.0}).observe(0.7);
+  std::string out = reg.prometheus();
+  EXPECT_NE(out.find("# TYPE widgets_total counter"), std::string::npos);
+  EXPECT_NE(out.find("widgets_total{kind=\"a\"} 3"), std::string::npos);
+  EXPECT_NE(out.find("depth -2"), std::string::npos);
+  // Cumulative buckets + implicit +Inf + _sum/_count.
+  EXPECT_NE(out.find("lat_seconds_bucket{le=\"0.5\"} 0"), std::string::npos);
+  EXPECT_NE(out.find("lat_seconds_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(out.find("lat_seconds_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(out.find("lat_seconds_count 1"), std::string::npos);
+  EXPECT_NE(out.find("lat_seconds_sum 0.7"), std::string::npos);
+}
+
+TEST(Metrics, JsonExport) {
+  Registry reg;
+  reg.counter("c_total").add(5);
+  reg.histogram("h_seconds", {1.0}).observe(0.25);
+  std::string out = reg.json();
+  EXPECT_NE(out.find("\"name\": \"c_total\""), std::string::npos);
+  EXPECT_NE(out.find("\"value\": 5"), std::string::npos);
+  EXPECT_NE(out.find("\"name\": \"h_seconds\""), std::string::npos);
+  EXPECT_NE(out.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(out.find("\"p95\""), std::string::npos);
+}
+
+TEST(Metrics, DefaultLatencyBoundsAreSortedMicrosToSeconds) {
+  std::vector<double> bounds = default_latency_bounds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_LE(bounds.front(), 1e-5);
+  EXPECT_GE(bounds.back(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(Trace, DisabledSpanIsInertAndRecordsNothing) {
+  Tracer tracer;
+  {
+    auto span = tracer.span("noop");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(Trace, NestedSpansGetParentIds) {
+  Tracer tracer;
+  tracer.enable(true);
+  {
+    auto outer = tracer.span("outer");
+    { auto inner = tracer.span("inner"); }
+    { auto sibling = tracer.span("sibling"); }
+  }
+  auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Children finish (and record) before the parent.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "sibling");
+  EXPECT_EQ(spans[2].name, "outer");
+  EXPECT_EQ(spans[2].parent, 0u);  // root
+  EXPECT_EQ(spans[0].parent, spans[2].id);
+  EXPECT_EQ(spans[1].parent, spans[2].id);
+}
+
+TEST(Trace, FinishIsIdempotentAndExplicit) {
+  Tracer tracer;
+  tracer.enable(true);
+  auto span = tracer.span("once");
+  span.finish();
+  span.finish();
+  EXPECT_EQ(tracer.snapshot().size(), 1u);
+}
+
+TEST(Trace, RingIsBoundedAndCountsDrops) {
+  Tracer tracer(/*capacity=*/4);
+  tracer.enable(true);
+  for (int i = 0; i < 10; ++i) {
+    auto span = tracer.span("s");
+  }
+  auto spans = tracer.snapshot();
+  EXPECT_EQ(spans.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  // Oldest-first ordering survives wraparound: ids ascend.
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_GT(spans[i].id, spans[i - 1].id);
+  }
+  tracer.clear();
+  EXPECT_TRUE(tracer.snapshot().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Trace, RenderTextIndentsChildren) {
+  Tracer tracer;
+  tracer.enable(true);
+  {
+    auto outer = tracer.span("pipeline");
+    auto inner = tracer.span("stage");
+  }
+  std::string text = tracer.render_text();
+  EXPECT_NE(text.find("pipeline"), std::string::npos);
+  EXPECT_NE(text.find("  stage"), std::string::npos);
+  std::string json = tracer.render_json();
+  EXPECT_NE(json.find("\"name\": \"stage\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// FuncProfiler
+// ---------------------------------------------------------------------------
+
+TEST(Profile, AttributesEveryBlockAtIntervalOne) {
+  FuncProfiler profiler;
+  profiler.on_block(0, 10, 12);
+  profiler.on_block(2, 5, 6);
+  profiler.on_block(0, 1, 1);
+  ASSERT_EQ(profiler.entries().size(), 3u);
+  EXPECT_EQ(profiler.entries()[0].samples, 2u);
+  EXPECT_EQ(profiler.entries()[0].instructions, 11u);
+  EXPECT_EQ(profiler.entries()[0].cycles, 13u);
+  EXPECT_EQ(profiler.entries()[1].samples, 0u);
+  EXPECT_EQ(profiler.entries()[2].instructions, 5u);
+  EXPECT_EQ(profiler.total_sampled_instructions(), 16u);
+}
+
+TEST(Profile, SamplingRecordsEveryNthBlock) {
+  FuncProfiler profiler(/*sample_interval=*/3);
+  for (int i = 0; i < 9; ++i) profiler.on_block(0, 1, 1);
+  EXPECT_EQ(profiler.entries()[0].samples, 3u);
+  std::string json = profiler.to_json();
+  EXPECT_NE(json.find("\"sample_interval\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"func\": 0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (run under TSan in CI; names match ctest -R 'Concurrent')
+// ---------------------------------------------------------------------------
+
+TEST(ObsConcurrent, CounterExactTotalsWithConcurrentScrapes) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50'000;
+  Counter counter;
+  std::atomic<bool> done{false};
+
+  // A scraper hammers value() while writers add: every read must be
+  // monotone (each shard cell only grows).
+  std::thread scraper([&] {
+    uint64_t last = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      uint64_t now = counter.value();
+      EXPECT_GE(now, last);
+      last = now;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(ObsConcurrent, HistogramCountAndSumExactUnderContention) {
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 20'000;
+  Histogram hist({0.5, 1.5, 2.5});
+  std::atomic<bool> done{false};
+
+  std::thread scraper([&] {
+    uint64_t last = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      HistogramSnapshot snap = hist.snapshot();
+      EXPECT_GE(snap.count, last);
+      last = snap.count;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) hist.observe(1.0);
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, uint64_t(kThreads) * kPerThread);
+  EXPECT_EQ(snap.counts[1], uint64_t(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.sum, double(kThreads) * kPerThread);
+}
+
+TEST(ObsConcurrent, RegistryLookupsFromManyThreads) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        reg.counter("shared_total").inc();
+        reg.gauge("g").add(1);
+        reg.histogram("h", {1.0}).observe(0.1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("shared_total").value(), kThreads * 1000u);
+  EXPECT_EQ(reg.gauge("g").value(), kThreads * 1000);
+  EXPECT_EQ(reg.histogram("h", {1.0}).snapshot().count, kThreads * 1000u);
+}
+
+TEST(ObsConcurrent, TracerSpansFromManyThreads) {
+  Tracer tracer(/*capacity=*/256);
+  tracer.enable(true);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)tracer.snapshot();
+    }
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        auto outer = tracer.span("outer");
+        auto inner = tracer.span("inner");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  // All spans either landed in the ring or were counted as dropped.
+  EXPECT_EQ(tracer.snapshot().size() + tracer.dropped(),
+            uint64_t(kThreads) * kSpansPerThread * 2);
+}
+
+}  // namespace
+}  // namespace acctee::obs

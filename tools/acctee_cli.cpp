@@ -15,14 +15,31 @@
 //
 //   acctee wat <module.wasm>
 //       Disassembles a binary to the text format.
+//
+//   acctee metrics <module> [--entry NAME] [--arg T:V ...] [--requests N]
+//                  [--pass P] [--format prom|json] [--out FILE]
+//       Drives the full IE -> AE pipeline (instrument, verify evidence,
+//       prepare/cache, execute N times) and scrapes the process metrics
+//       registry in Prometheus text format or JSON.
+//
+//   acctee trace <module> [--entry NAME] [--arg T:V ...] [--requests N]
+//                [--pass P] [--json]
+//       Same pipeline with span tracing enabled; prints the span tree
+//       (instrument -> verify -> compile -> instantiate -> run -> sign)
+//       with wall-clock durations.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "core/accounting_enclave.hpp"
+#include "core/instrumentation_enclave.hpp"
 #include "core/runtime_env.hpp"
 #include "instrument/passes.hpp"
 #include "interp/instance.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "wasm/binary.hpp"
 #include "wasm/validator.hpp"
 #include "wasm/wat_parser.hpp"
@@ -95,6 +112,105 @@ interp::TypedValue parse_arg(const std::string& spec) {
   throw Error("unknown argument type: " + type);
 }
 
+/// Options shared by the pipeline-driving subcommands (metrics, trace).
+struct PipelineOptions {
+  std::string path;
+  std::string entry = "run";
+  interp::Values args;
+  uint32_t requests = 2;  // >= 2 so prepared-cache hits show up
+  instrument::InstrumentOptions instrumentation;
+};
+
+PipelineOptions parse_pipeline_options(int argc, char** argv,
+                                       const char* usage_line) {
+  if (argc < 1) throw Error(usage_line);
+  PipelineOptions opts;
+  opts.path = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--entry") == 0 && i + 1 < argc) {
+      opts.entry = argv[++i];
+    } else if (std::strcmp(argv[i], "--arg") == 0 && i + 1 < argc) {
+      opts.args.push_back(parse_arg(argv[++i]));
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      opts.requests = static_cast<uint32_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--pass") == 0 && i + 1 < argc) {
+      opts.instrumentation.pass = parse_pass(argv[++i]);
+    }
+    // Other flags belong to the calling subcommand.
+  }
+  if (opts.requests == 0) opts.requests = 1;
+  return opts;
+}
+
+/// Full two-enclave pipeline: instrument at a simulated IE host, verify +
+/// prepare at a simulated AE, execute `requests` times (repeat requests hit
+/// the prepared-module cache). Everything it does lands in the metrics
+/// registry and, when tracing is enabled, in the global tracer.
+void drive_pipeline(const PipelineOptions& opts) {
+  wasm::Module module = load_module(opts.path);
+  Bytes binary = wasm::encode(module);
+
+  sgx::Platform ie_host{"cli-ie-host", to_bytes("cli-ie-seed")};
+  sgx::Platform cloud{"cli-cloud", to_bytes("cli-cloud-seed")};
+  core::InstrumentationEnclave ie(ie_host, opts.instrumentation);
+  core::AccountingEnclave::Config config;
+  config.trusted_ie_identity = ie.identity();
+  config.instrumentation = opts.instrumentation;
+  core::AccountingEnclave ae(cloud, config);
+
+  core::InstrumentationEnclave::Output instrumented = [&] {
+    auto span = obs::Tracer::global().span("ie.instrument");
+    return ie.instrument_binary(binary);
+  }();
+  for (uint32_t r = 0; r < opts.requests; ++r) {
+    ae.execute(instrumented.instrumented_binary, instrumented.evidence,
+               opts.entry, opts.args);
+  }
+}
+
+int cmd_metrics(int argc, char** argv) {
+  PipelineOptions opts = parse_pipeline_options(
+      argc, argv, "usage: acctee metrics <module> [options]");
+  std::string format = "prom";
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
+      format = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  if (format != "prom" && format != "json") {
+    throw Error("unknown format: " + format + " (expected prom|json)");
+  }
+  drive_pipeline(opts);
+  std::string scrape = format == "json" ? obs::Registry::global().json()
+                                        : obs::Registry::global().prometheus();
+  if (out_path.empty()) {
+    std::fputs(scrape.c_str(), stdout);
+  } else {
+    write_file(out_path, to_bytes(scrape));
+    std::printf("wrote %zu bytes to %s\n", scrape.size(), out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  PipelineOptions opts = parse_pipeline_options(
+      argc, argv, "usage: acctee trace <module> [options]");
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  obs::Tracer::global().enable(true);
+  drive_pipeline(opts);
+  obs::Tracer::global().enable(false);
+  std::string rendered = json ? obs::Tracer::global().render_json()
+                              : obs::Tracer::global().render_text();
+  std::fputs(rendered.c_str(), stdout);
+  return 0;
+}
+
 int cmd_instrument(int argc, char** argv) {
   if (argc < 2) throw Error("usage: acctee instrument <in> <out> [--pass P]");
   std::string in_path = argv[0];
@@ -132,6 +248,8 @@ int cmd_run(int argc, char** argv) {
   interp::Values args;
   interp::Instance::Options options;
   core::IoChannel channel;
+  bool profile = false;
+  uint32_t sample_interval = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--entry") == 0 && i + 1 < argc) {
       entry = argv[++i];
@@ -141,10 +259,17 @@ int cmd_run(int argc, char** argv) {
       options.platform = parse_platform(argv[++i]);
     } else if (std::strcmp(argv[i], "--input") == 0 && i + 1 < argc) {
       channel.input = read_file(argv[++i]);
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
+    } else if (std::strcmp(argv[i], "--sample-interval") == 0 &&
+               i + 1 < argc) {
+      sample_interval = static_cast<uint32_t>(std::stoul(argv[++i]));
     } else {
       throw Error(std::string("unknown option: ") + argv[i]);
     }
   }
+  obs::FuncProfiler profiler(sample_interval);
+  if (profile) options.profiler = &profiler;
   wasm::Module module = load_module(path);
   bool instrumented = module
                           .find_export(instrument::kCounterExport,
@@ -176,6 +301,20 @@ int cmd_run(int argc, char** argv) {
   if (!channel.output.empty()) {
     std::printf("output:          %zu bytes written by workload\n",
                 channel.output.size());
+  }
+  if (profile) {
+    std::printf("profile (sample interval %u):\n", profiler.sample_interval());
+    std::printf("  %-6s %12s %14s %14s\n", "func", "samples", "instructions",
+                "cycles");
+    const auto& entries = profiler.entries();
+    for (size_t f = 0; f < entries.size(); ++f) {
+      const auto& e = entries[f];
+      if (e.samples == 0) continue;
+      std::printf("  %-6zu %12llu %14llu %14llu\n", f,
+                  static_cast<unsigned long long>(e.samples),
+                  static_cast<unsigned long long>(e.instructions),
+                  static_cast<unsigned long long>(e.cycles));
+    }
   }
   return 0;
 }
@@ -235,6 +374,12 @@ void usage() {
       "  acctee instrument <in> <out.wasm> [--pass naive|flow|loop]\n"
       "  acctee run <module> [--entry NAME] [--arg TYPE:VALUE ...]\n"
       "             [--platform native|wasm|sgx-sim|sgx-hw] [--input FILE]\n"
+      "             [--profile] [--sample-interval N]\n"
+      "  acctee metrics <module> [--entry NAME] [--arg TYPE:VALUE ...]\n"
+      "             [--requests N] [--pass P] [--format prom|json]\n"
+      "             [--out FILE]\n"
+      "  acctee trace <module> [--entry NAME] [--arg TYPE:VALUE ...]\n"
+      "             [--requests N] [--pass P] [--json]\n"
       "  acctee inspect <module>\n"
       "  acctee wat <module.wasm>\n",
       stderr);
@@ -251,6 +396,8 @@ int main(int argc, char** argv) {
     std::string cmd = argv[1];
     if (cmd == "instrument") return cmd_instrument(argc - 2, argv + 2);
     if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+    if (cmd == "metrics") return cmd_metrics(argc - 2, argv + 2);
+    if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
     if (cmd == "inspect") return cmd_inspect(argc - 2, argv + 2);
     if (cmd == "wat") return cmd_wat(argc - 2, argv + 2);
     usage();

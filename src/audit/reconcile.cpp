@@ -1,0 +1,173 @@
+#include "audit/reconcile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace acctee::audit {
+
+namespace {
+
+/// One parsed sample: metric name, label map, value.
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  uint64_t value = 0;
+};
+
+/// Parses `name{k="v",...} value` lines of the Prometheus text exposition
+/// format (the subset obs::Registry emits), undoing \\, \" and \n escapes
+/// in label values. Malformed lines are skipped — a scrape is untrusted
+/// input and the reconciler reports on what it can read.
+std::vector<Sample> parse_scrape(const std::string& text) {
+  std::vector<Sample> samples;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    Sample s;
+    size_t pos = line.find_first_of("{ ");
+    if (pos == std::string::npos) continue;
+    s.name = line.substr(0, pos);
+    if (line[pos] == '{') {
+      ++pos;
+      while (pos < line.size() && line[pos] != '}') {
+        size_t eq = line.find('=', pos);
+        if (eq == std::string::npos || eq + 1 >= line.size() ||
+            line[eq + 1] != '"') {
+          pos = std::string::npos;
+          break;
+        }
+        std::string key = line.substr(pos, eq - pos);
+        std::string value;
+        size_t i = eq + 2;
+        bool closed = false;
+        for (; i < line.size(); ++i) {
+          char c = line[i];
+          if (c == '\\' && i + 1 < line.size()) {
+            char esc = line[++i];
+            value.push_back(esc == 'n' ? '\n' : esc);
+          } else if (c == '"') {
+            closed = true;
+            ++i;
+            break;
+          } else {
+            value.push_back(c);
+          }
+        }
+        if (!closed) {
+          pos = std::string::npos;
+          break;
+        }
+        s.labels[key] = value;
+        pos = i;
+        if (pos < line.size() && line[pos] == ',') ++pos;
+      }
+      if (pos == std::string::npos || pos >= line.size()) continue;
+      ++pos;  // '}'
+    }
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    if (pos >= line.size()) continue;
+    s.value = std::strtoull(line.c_str() + pos, nullptr, 10);
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+double relative_divergence(uint64_t a, uint64_t b) {
+  uint64_t diff = a > b ? a - b : b - a;
+  return static_cast<double>(diff) /
+         static_cast<double>(std::max<uint64_t>(a, 1));
+}
+
+}  // namespace
+
+std::string ReconcileReport::to_string() const {
+  std::ostringstream out;
+  out << (ok ? "OK" : "DIVERGED") << " (tolerance "
+      << tolerance << "): " << rows.size() << " comparisons\n";
+  for (const ReconcileRow& row : rows) {
+    out << "  " << (row.ok ? "  ok  " : "DIVERGE") << " tenant=" << row.tenant
+        << " " << row.dimension << ": ledger=" << row.ledger_value
+        << " metrics=" << row.metrics_value << "\n";
+  }
+  for (const std::string& p : problems) out << "  problem: " << p << "\n";
+  return out.str();
+}
+
+std::map<std::string, UsageTotals> billing_totals_from_scrape(
+    const std::string& prometheus_text) {
+  std::map<std::string, UsageTotals> totals;
+  for (const Sample& s : parse_scrape(prometheus_text)) {
+    auto tenant_it = s.labels.find("tenant");
+    if (tenant_it == s.labels.end()) continue;
+    UsageTotals& t = totals[tenant_it->second];
+    if (s.name == "acctee_billing_logs_total") {
+      t.final_logs += s.value;
+    } else if (s.name == "acctee_billing_weighted_instructions_total") {
+      t.weighted_instructions += s.value;
+    } else if (s.name == "acctee_billing_peak_memory_bytes_total") {
+      t.peak_memory_bytes += s.value;
+    } else if (s.name == "acctee_billing_memory_integral_total") {
+      t.memory_integral += s.value;
+    } else if (s.name == "acctee_billing_io_bytes_in_total") {
+      t.io_bytes_in += s.value;
+    } else if (s.name == "acctee_billing_io_bytes_out_total") {
+      t.io_bytes_out += s.value;
+    }
+  }
+  return totals;
+}
+
+ReconcileReport reconcile(const Ledger& ledger,
+                          const std::string& prometheus_text,
+                          double tolerance) {
+  ReconcileReport report;
+  report.tolerance = tolerance;
+  std::map<std::string, UsageTotals> from_ledger = ledger.totals_by_tenant();
+  std::map<std::string, UsageTotals> from_metrics =
+      billing_totals_from_scrape(prometheus_text);
+
+  for (const auto& [tenant, metric_totals] : from_metrics) {
+    if (!from_ledger.count(tenant)) {
+      report.problems.push_back("tenant \"" + tenant +
+                                "\" has billing metrics but no ledger entries");
+    }
+  }
+  for (const auto& [tenant, ledger_totals] : from_ledger) {
+    auto it = from_metrics.find(tenant);
+    if (it == from_metrics.end()) {
+      report.problems.push_back("tenant \"" + tenant +
+                                "\" has ledger entries but no billing metrics");
+      continue;
+    }
+    const UsageTotals& m = it->second;
+    auto compare = [&](const char* dimension, uint64_t lv, uint64_t mv) {
+      ReconcileRow row;
+      row.tenant = tenant;
+      row.dimension = dimension;
+      row.ledger_value = lv;
+      row.metrics_value = mv;
+      row.divergence = relative_divergence(lv, mv);
+      row.ok = row.divergence <= tolerance;
+      report.rows.push_back(std::move(row));
+    };
+    compare("logs", ledger_totals.final_logs, m.final_logs);
+    compare("weighted_instructions", ledger_totals.weighted_instructions,
+            m.weighted_instructions);
+    compare("peak_memory_bytes", ledger_totals.peak_memory_bytes,
+            m.peak_memory_bytes);
+    compare("memory_integral", ledger_totals.memory_integral,
+            m.memory_integral);
+    compare("io_bytes_in", ledger_totals.io_bytes_in, m.io_bytes_in);
+    compare("io_bytes_out", ledger_totals.io_bytes_out, m.io_bytes_out);
+  }
+
+  report.ok = report.problems.empty() &&
+              std::all_of(report.rows.begin(), report.rows.end(),
+                          [](const ReconcileRow& r) { return r.ok; });
+  return report;
+}
+
+}  // namespace acctee::audit

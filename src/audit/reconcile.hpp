@@ -1,0 +1,60 @@
+// Metrics↔ledger reconciliation (DESIGN.md §13).
+//
+// The two observability planes check each other: the *trusted* plane is the
+// signed, hash-chained ledger (what billing is computed from); the
+// *untrusted* plane is the obs::Registry scrape the gateway exports for
+// monitoring (never signed, never feeds billing). In honest operation the
+// gateway's acctee_billing_* counters are incremented from exactly the
+// verified logs that enter the ledger, so the per-tenant totals must agree.
+// Divergence beyond the tolerance means one plane lies: metrics silently
+// dropped/inflated (monitoring can't be trusted) or ledger entries went
+// missing (billing can't be trusted) — either way, an operator must look.
+//
+// What this does NOT prove: agreement is necessary, not sufficient — a host
+// that drops a log *before* both planes see it fools neither check here
+// (that is what the per-execution chain in verify_outcome_chain catches).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "audit/ledger.hpp"
+
+namespace acctee::audit {
+
+/// One per-tenant per-dimension comparison.
+struct ReconcileRow {
+  std::string tenant;
+  std::string dimension;  // "logs", "weighted_instructions", ...
+  uint64_t ledger_value = 0;
+  uint64_t metrics_value = 0;
+  double divergence = 0;  // |ledger - metrics| / max(ledger, 1)
+  bool ok = false;
+};
+
+struct ReconcileReport {
+  bool ok = false;
+  double tolerance = 0;
+  std::vector<ReconcileRow> rows;
+  /// Structural findings (tenant present in one plane only, unparsable
+  /// scrape, ...).
+  std::vector<std::string> problems;
+
+  std::string to_string() const;
+};
+
+/// Sums the acctee_billing_* series of a Prometheus text scrape per tenant
+/// (across gateway/function label splits), undoing label-value escaping.
+std::map<std::string, UsageTotals> billing_totals_from_scrape(
+    const std::string& prometheus_text);
+
+/// Cross-checks the ledger's per-tenant final-log totals against a metrics
+/// scrape. `tolerance` is the allowed relative divergence per dimension
+/// (0 = exact).
+ReconcileReport reconcile(const Ledger& ledger,
+                          const std::string& prometheus_text,
+                          double tolerance = 0.0);
+
+}  // namespace acctee::audit

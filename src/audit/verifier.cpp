@@ -1,0 +1,133 @@
+#include "audit/verifier.hpp"
+
+#include <sstream>
+
+namespace acctee::audit {
+
+namespace {
+
+std::string interval(uint64_t lo, uint64_t hi) {
+  return lo == hi ? std::to_string(lo)
+                  : std::to_string(lo) + ".." + std::to_string(hi);
+}
+
+}  // namespace
+
+std::string VerifyReport::to_string() const {
+  std::ostringstream out;
+  out << (ok ? "OK" : "FAILED") << ": " << entries_checked << " entries, "
+      << checkpoints_checked << " checkpoints";
+  if (entries_checked > 0) {
+    out << ", sequences " << first_sequence << ".." << last_sequence;
+  }
+  out << "\n";
+  for (const std::string& p : problems) out << "  problem: " << p << "\n";
+  return out.str();
+}
+
+VerifyReport verify_ledger(const Ledger& ledger,
+                           const crypto::Digest& ae_identity) {
+  VerifyReport report;
+  const std::vector<LedgerEntry>& entries = ledger.entries();
+  auto problem = [&](std::string text) {
+    report.problems.push_back(std::move(text));
+  };
+
+  // 1-3. Per-entry signatures, sequence continuity, hash chain.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const core::SignedResourceLog& slog = entries[i].signed_log;
+    ++report.entries_checked;
+    if (!slog.verify(ae_identity)) {
+      problem("entry " + std::to_string(i) + " (sequence " +
+              std::to_string(slog.log.sequence) +
+              "): signature does not verify against the AE identity "
+              "(forged or bit-flipped log)");
+    }
+    if (i == 0) {
+      report.first_sequence = slog.log.sequence;
+    } else {
+      const core::ResourceUsageLog& prev = entries[i - 1].signed_log.log;
+      const core::ResourceUsageLog& cur = slog.log;
+      if (cur.sequence <= prev.sequence) {
+        problem("entries " + interval(i - 1, i) + ": sequence went " +
+                std::to_string(prev.sequence) + " -> " +
+                std::to_string(cur.sequence) + " (reordered or replayed log)");
+      } else if (cur.sequence != prev.sequence + 1) {
+        problem("entries " + interval(i - 1, i) + ": sequences " +
+                interval(prev.sequence + 1, cur.sequence - 1) +
+                " missing (dropped log interval)");
+      }
+      if (cur.prev_log_hash != crypto::sha256(prev.serialize())) {
+        problem("entry " + std::to_string(i) + " (sequence " +
+                std::to_string(cur.sequence) +
+                "): prev_log_hash does not match entry " +
+                std::to_string(i - 1) + " (chain break)");
+      }
+    }
+    report.last_sequence = slog.log.sequence;
+  }
+
+  // 4. Checkpoints: signatures, recomputed roots, inclusion proofs,
+  // contiguous coverage, checkpoint hash chain.
+  uint64_t covered = 0;
+  crypto::Digest prev_cp_hash{};
+  const std::vector<Checkpoint>& checkpoints = ledger.checkpoints();
+  for (size_t c = 0; c < checkpoints.size(); ++c) {
+    const Checkpoint& cp = checkpoints[c];
+    ++report.checkpoints_checked;
+    std::string tag = "checkpoint " + std::to_string(c);
+    if (cp.index != c) {
+      problem(tag + ": index " + std::to_string(cp.index) +
+              " out of order (expected " + std::to_string(c) + ")");
+    }
+    if (cp.first_entry != covered) {
+      problem(tag + ": covers entries from " + std::to_string(cp.first_entry) +
+              " but coverage ends at " + std::to_string(covered) +
+              " (gap or overlap in committed batches)");
+    }
+    if (cp.count == 0 || cp.first_entry + cp.count > entries.size()) {
+      problem(tag + ": covers entries " +
+              interval(cp.first_entry, cp.first_entry + cp.count) +
+              " beyond the ledger's " + std::to_string(entries.size()));
+      covered = cp.first_entry + cp.count;
+      continue;
+    }
+    if (cp.prev_checkpoint_hash != prev_cp_hash) {
+      problem(tag + ": prev_checkpoint_hash broken (checkpoint chain)");
+    }
+    if (!cp.verify(ae_identity)) {
+      problem(tag + ": signature does not verify against the AE identity");
+    }
+    std::vector<Bytes> leaves;
+    leaves.reserve(cp.count);
+    for (uint64_t i = 0; i < cp.count; ++i) {
+      leaves.push_back(entries[cp.first_entry + i].signed_log.log.serialize());
+    }
+    crypto::MerkleTree tree(leaves);
+    if (tree.root() != cp.batch_root) {
+      problem(tag + ": Merkle root mismatch over entries " +
+              interval(cp.first_entry, cp.first_entry + cp.count - 1) +
+              " (a committed log was altered after signing)");
+    } else {
+      for (uint64_t i = 0; i < cp.count; ++i) {
+        if (!crypto::merkle_verify(cp.batch_root, leaves[i], tree.prove(i))) {
+          problem(tag + ": inclusion proof failed for entry " +
+                  std::to_string(cp.first_entry + i));
+        }
+      }
+    }
+    prev_cp_hash = crypto::sha256(cp.payload());
+    covered = cp.first_entry + cp.count;
+  }
+
+  // 5. Nothing may escape commitment in a sealed ledger.
+  if (covered < entries.size()) {
+    problem("entries " + interval(covered, entries.size() - 1) +
+            " are not covered by any signed checkpoint");
+  }
+
+  report.ok = report.problems.empty();
+  return report;
+}
+
+}  // namespace acctee::audit

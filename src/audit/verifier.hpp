@@ -1,0 +1,46 @@
+// Offline ledger verification (DESIGN.md §13): replays the whole hash
+// chain, checks every log signature against the attested AE identity, every
+// checkpoint signature, Merkle root and inclusion proof, and every sequence
+// number — and reports *which* interval was dropped, reordered, or forged.
+//
+// Everything here is pure computation over the ledger bytes plus one
+// 32-byte identity; no enclave, platform, or network access, so either
+// party (or a third-party auditor) can run it long after the fact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/ledger.hpp"
+
+namespace acctee::audit {
+
+struct VerifyReport {
+  bool ok = false;
+  uint64_t entries_checked = 0;
+  uint64_t checkpoints_checked = 0;
+  uint64_t first_sequence = 0;
+  uint64_t last_sequence = 0;
+  /// Human-readable findings; each names the entry index / sequence
+  /// interval it implicates. Empty iff ok.
+  std::vector<std::string> problems;
+
+  std::string to_string() const;
+};
+
+/// Verifies `ledger` against the AE identity obtained via attestation.
+/// Checks, in order:
+///   1. every entry's signature over its canonical log bytes,
+///   2. sequence continuity (a gap names the dropped interval; a
+///      non-monotone step names the reordering),
+///   3. the prev_log_hash chain between consecutive entries,
+///   4. every checkpoint: signature, recomputed Merkle batch root, a spot
+///      inclusion proof per covered entry, contiguous coverage, and the
+///      checkpoint-to-checkpoint hash chain,
+///   5. that no appended entry escaped checkpoint coverage (a sealed
+///      ledger commits to everything it holds).
+VerifyReport verify_ledger(const Ledger& ledger,
+                           const crypto::Digest& ae_identity);
+
+}  // namespace acctee::audit

@@ -1,5 +1,6 @@
 #include "core/accounting_enclave.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 
@@ -13,7 +14,7 @@ namespace acctee::core {
 namespace {
 std::string next_ae_labels() {
   static std::atomic<uint64_t> n{0};
-  return "enclave=\"" + std::to_string(n.fetch_add(1)) + "\"";
+  return obs::label_pair("enclave", std::to_string(n.fetch_add(1)));
 }
 }  // namespace
 
@@ -46,6 +47,18 @@ sgx::Measurement AccountingEnclave::expected_measurement() {
 sgx::Quote AccountingEnclave::identity_quote() const {
   crypto::Digest id = signer_.identity();
   return enclave_->quoted_report(BytesView(id.data(), id.size()));
+}
+
+crypto::Signature AccountingEnclave::sign_checkpoint(BytesView payload) {
+  if (payload.size() < kAuditCheckpointDomain.size() ||
+      !std::equal(kAuditCheckpointDomain.begin(), kAuditCheckpointDomain.end(),
+                  payload.begin(),
+                  [](char c, uint8_t b) {
+                    return static_cast<uint8_t>(c) == b;
+                  })) {
+    throw Error("sign_checkpoint: payload lacks the audit-checkpoint domain");
+  }
+  return signer_.sign(payload);
 }
 
 std::shared_ptr<const AccountingEnclave::PreparedModule>
@@ -162,9 +175,12 @@ AccountingEnclave::Outcome AccountingEnclave::execute(
     log.io_bytes_out = stats.io_bytes_out;
     log.trapped = trapped;
     log.is_final = is_final;
+    log.prev_log_hash = prev_log_hash_;
     SignedResourceLog signed_log;
     signed_log.log = log;
-    signed_log.signature = signer_.sign(log.serialize());
+    Bytes canonical = log.serialize();
+    prev_log_hash_ = crypto::sha256(canonical);
+    signed_log.signature = signer_.sign(canonical);
     return signed_log;
   };
 

@@ -118,6 +118,17 @@ class AccountingEnclave {
                   const std::string& entry, const interp::Values& args,
                   Bytes input = {});
 
+  /// Signs an audit-ledger checkpoint payload (audit::Checkpoint::payload)
+  /// with the AE identity — one signature amortised over a whole batch of
+  /// logs. Only domain-separated checkpoint bytes are accepted (the payload
+  /// must start with kAuditCheckpointDomain), so a checkpoint signature can
+  /// never be passed off as a resource-log signature or vice versa.
+  crypto::Signature sign_checkpoint(BytesView payload);
+
+  /// sha256 of the canonical bytes of the last log this AE signed (the
+  /// prev_log_hash the *next* log will carry); all-zero before the first.
+  const crypto::Digest& last_log_hash() const { return prev_log_hash_; }
+
   // Prepared-module cache statistics (observable amortisation). Thin reads
   // of this enclave's registry series (obs/metrics.hpp): the same numbers a
   // metrics scrape reports under acctee_ae_prepared_cache_{hits,misses}_total.
@@ -134,6 +145,9 @@ class AccountingEnclave {
   Config config_;
   crypto::Signer signer_;
   uint64_t next_sequence_ = 0;
+  // Hash-chain state over every log this enclave signs (interim + final,
+  // across sessions): the next log's prev_log_hash.
+  crypto::Digest prev_log_hash_{};
 
   // Bounded LRU over prepared modules, keyed by binary hash. Front of the
   // list is the most recently used entry.

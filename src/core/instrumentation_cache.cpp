@@ -9,7 +9,7 @@ namespace acctee::core {
 namespace {
 std::string next_cache_labels() {
   static std::atomic<uint64_t> n{0};
-  return "cache=\"" + std::to_string(n.fetch_add(1)) + "\"";
+  return obs::label_pair("cache", std::to_string(n.fetch_add(1)));
 }
 }  // namespace
 

@@ -15,9 +15,10 @@ const char* to_string(MemoryPolicy policy) {
 }
 
 Bytes ResourceUsageLog::serialize() const {
-  Bytes out = to_bytes("acctee-resource-log-v1");
+  Bytes out = to_bytes("acctee-resource-log-v2");
   append(out, BytesView(module_hash.data(), module_hash.size()));
   append(out, BytesView(weight_table_hash.data(), weight_table_hash.size()));
+  append(out, BytesView(prev_log_hash.data(), prev_log_hash.size()));
   out.push_back(static_cast<uint8_t>(pass));
   append_u64le(out, sequence);
   append_u64le(out, weighted_instructions);
@@ -31,17 +32,32 @@ Bytes ResourceUsageLog::serialize() const {
 }
 
 ResourceUsageLog ResourceUsageLog::deserialize(BytesView data) {
-  const Bytes header = to_bytes("acctee-resource-log-v1");
-  if (data.size() != header.size() + 32 + 32 + 1 + 6 * 8 + 2 ||
-      !ct_equal(data.subspan(0, header.size()), header)) {
+  const Bytes v1 = to_bytes("acctee-resource-log-v1");
+  const Bytes v2 = to_bytes("acctee-resource-log-v2");
+  // Fields after the digest block: pass byte + six u64 + two flag bytes.
+  const size_t tail = 1 + 6 * 8 + 2;
+  ResourceUsageLog log;
+  size_t off;
+  if (data.size() == v2.size() + 3 * 32 + tail &&
+      ct_equal(data.subspan(0, v2.size()), v2)) {
+    off = v2.size();
+    std::copy_n(data.begin() + off, 32, log.module_hash.begin());
+    off += 32;
+    std::copy_n(data.begin() + off, 32, log.weight_table_hash.begin());
+    off += 32;
+    std::copy_n(data.begin() + off, 32, log.prev_log_hash.begin());
+    off += 32;
+  } else if (data.size() == v1.size() + 2 * 32 + tail &&
+             ct_equal(data.subspan(0, v1.size()), v1)) {
+    // Pre-chain logs carry no prev_log_hash; it stays all-zero.
+    off = v1.size();
+    std::copy_n(data.begin() + off, 32, log.module_hash.begin());
+    off += 32;
+    std::copy_n(data.begin() + off, 32, log.weight_table_hash.begin());
+    off += 32;
+  } else {
     throw std::invalid_argument("ResourceUsageLog: bad serialization");
   }
-  ResourceUsageLog log;
-  size_t off = header.size();
-  std::copy_n(data.begin() + off, 32, log.module_hash.begin());
-  off += 32;
-  std::copy_n(data.begin() + off, 32, log.weight_table_hash.begin());
-  off += 32;
   uint8_t pass = data[off++];
   if (pass > 2) throw std::invalid_argument("ResourceUsageLog: bad pass");
   log.pass = static_cast<instrument::PassKind>(pass);

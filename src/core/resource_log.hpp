@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/bytes.hpp"
 #include "crypto/signer.hpp"
@@ -23,10 +24,23 @@ enum class MemoryPolicy : uint8_t { Peak = 0, Integral = 1 };
 
 const char* to_string(MemoryPolicy policy);
 
+/// Domain prefix for audit-ledger checkpoint payloads (src/audit/). The AE
+/// signs checkpoints with the same identity as resource logs; this prefix
+/// (which no canonical log serialization starts with) guarantees the two
+/// signature kinds can never be confused for one another.
+inline constexpr std::string_view kAuditCheckpointDomain =
+    "acctee-audit-checkpoint-v1";
+
 struct ResourceUsageLog {
   // Identity of the execution.
   crypto::Digest module_hash{};        // sha256 of the instrumented binary
   crypto::Digest weight_table_hash{};  // table used by the counter
+  /// sha256 of the canonical serialization of the previous log this AE
+  /// emitted (all-zero for the first log of an AE's lifetime). Periodic and
+  /// final logs thus form one tamper-evident hash chain per enclave: a host
+  /// that drops, reorders, or substitutes an in-flight log breaks the chain
+  /// for every later log it forwards (verified offline by audit::Verifier).
+  crypto::Digest prev_log_hash{};
   instrument::PassKind pass = instrument::PassKind::LoopBased;
   uint64_t sequence = 0;  // log sequence number (periodic logs, §3.3)
 
@@ -43,8 +57,11 @@ struct ResourceUsageLog {
   // executions (paper §3.3); true for the log covering the whole run.
   bool is_final = true;
 
-  /// Canonical bytes the accounting enclave signs.
+  /// Canonical bytes the accounting enclave signs (format v2, which carries
+  /// prev_log_hash).
   Bytes serialize() const;
+  /// Accepts both the current v2 format and the pre-chain v1 format (whose
+  /// logs decode with an all-zero prev_log_hash).
   static ResourceUsageLog deserialize(BytesView data);
 
   bool operator==(const ResourceUsageLog&) const = default;

@@ -67,6 +67,24 @@ bool WorkloadProvider::verify_log(const SignedResourceLog& signed_log) const {
          log.pass == evidence_.pass;
 }
 
+bool WorkloadProvider::verify_outcome_chain(
+    const std::vector<SignedResourceLog>& interim,
+    const SignedResourceLog& final_log) const {
+  std::vector<const SignedResourceLog*> chain;
+  chain.reserve(interim.size() + 1);
+  for (const SignedResourceLog& log : interim) chain.push_back(&log);
+  chain.push_back(&final_log);
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (!verify_log(*chain[i])) return false;
+    if (i == 0) continue;  // predecessor of the first log is unknown here
+    const ResourceUsageLog& prev = chain[i - 1]->log;
+    const ResourceUsageLog& cur = chain[i]->log;
+    if (cur.sequence != prev.sequence + 1) return false;
+    if (cur.prev_log_hash != crypto::sha256(prev.serialize())) return false;
+  }
+  return true;
+}
+
 bool WorkloadProvider::accept_log(const SignedResourceLog& signed_log) {
   if (!verify_log(signed_log)) return false;
   if (last_accepted_sequence_ &&
@@ -97,6 +115,7 @@ void InfrastructureProvider::trust_instrumentation_enclave(
   config.memory_policy = policy_.memory_policy;
   config.platform = policy_.platform;
   config.max_instructions = policy_.max_instructions;
+  config.checkpoint_interval = policy_.checkpoint_interval;
   config.prepared_cache_capacity = policy_.prepared_cache_capacity;
   ae_ = std::make_unique<AccountingEnclave>(platform_, std::move(config));
 }

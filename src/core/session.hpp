@@ -28,6 +28,10 @@ struct SessionPolicy {
   MemoryPolicy memory_policy = MemoryPolicy::Peak;
   interp::Platform platform = interp::Platform::WasmSgxHw;
   uint64_t max_instructions = UINT64_MAX;
+  /// When non-zero, the AE emits a signed interim log every this many
+  /// executed instructions (paper §3.3); the customer checks the whole
+  /// chain with verify_outcome_chain.
+  uint64_t checkpoint_interval = 0;
   /// Prepared-module cache capacity of the operated AE (0 disables; repeat
   /// executions of the same workload then re-verify and re-compile).
   size_t prepared_cache_capacity = 16;
@@ -66,6 +70,16 @@ class WorkloadProvider {
   /// strictly greater than every previously accepted one is rejected (a
   /// provider replaying old signed logs must not be paid twice).
   bool accept_log(const SignedResourceLog& signed_log);
+
+  /// Paper §3.3 end-to-end: checks that the periodic in-flight logs of one
+  /// execution followed by its final log form an unbroken chain — every log
+  /// verifies (verify_log), consecutive sequence numbers increase by exactly
+  /// one, and each log's prev_log_hash equals the hash of its predecessor's
+  /// canonical bytes. A host that silently drops, reorders, or substitutes
+  /// an in-flight log fails this check even though every surviving log
+  /// carries a valid signature.
+  bool verify_outcome_chain(const std::vector<SignedResourceLog>& interim,
+                            const SignedResourceLog& final_log) const;
 
   const Bytes& instrumented_binary() const { return instrumented_binary_; }
   const InstrumentationEvidence& evidence() const { return evidence_; }

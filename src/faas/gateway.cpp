@@ -14,7 +14,7 @@ namespace {
 
 std::string next_gateway_labels() {
   static std::atomic<uint64_t> n{0};
-  return "gateway=\"" + std::to_string(n.fetch_add(1)) + "\"";
+  return obs::label_pair("gateway", std::to_string(n.fetch_add(1)));
 }
 
 /// Exact percentile over a sorted sample set (nearest-rank).
@@ -65,6 +65,7 @@ Gateway::Gateway(interp::CompiledModulePtr compiled, std::string entry,
   in_flight_ = &reg.gauge("acctee_gateway_in_flight", labels_);
   latency_hist_ = &reg.histogram("acctee_gateway_request_seconds",
                                  obs::default_latency_bounds(), labels_);
+  billing_rejected_ = &reg.counter("acctee_billing_rejected_total", labels_);
 }
 
 Gateway::Gateway(wasm::Module module, std::string entry, GatewayConfig config)
@@ -196,7 +197,78 @@ GatewaySnapshot Gateway::snapshot() const {
   snap.requests_total = requests_metric_->value();
   snap.in_flight = in_flight_->value();
   snap.latency = latency_hist_->snapshot();
+  snap.billing = billing_totals();
   return snap;
+}
+
+Gateway::BillingSeries& Gateway::billing_series(const std::string& tenant,
+                                                const std::string& function) {
+  auto key = std::make_pair(tenant, function);
+  auto it = billing_series_.find(key);
+  if (it != billing_series_.end()) return it->second;
+  // Tenant and function names are caller-controlled: escaped label values,
+  // or a hostile name could inject label pairs into the scrape.
+  std::string labels = labels_ + "," + obs::label_pair("tenant", tenant) +
+                       "," + obs::label_pair("function", function);
+  obs::Registry& reg = obs::Registry::global();
+  BillingSeries series;
+  series.logs = &reg.counter("acctee_billing_logs_total", labels);
+  series.weighted_instructions =
+      &reg.counter("acctee_billing_weighted_instructions_total", labels);
+  series.peak_memory_bytes =
+      &reg.counter("acctee_billing_peak_memory_bytes_total", labels);
+  series.memory_integral =
+      &reg.counter("acctee_billing_memory_integral_total", labels);
+  series.io_bytes_in = &reg.counter("acctee_billing_io_bytes_in_total", labels);
+  series.io_bytes_out =
+      &reg.counter("acctee_billing_io_bytes_out_total", labels);
+  return billing_series_.emplace(std::move(key), series).first->second;
+}
+
+bool Gateway::record_usage(const std::string& tenant,
+                           const std::string& function,
+                           const core::SignedResourceLog& signed_log,
+                           const crypto::Digest& ae_identity) {
+  if (!signed_log.verify(ae_identity)) {
+    billing_rejected_->inc();
+    return false;
+  }
+  const core::ResourceUsageLog& log = signed_log.log;
+  std::lock_guard<std::mutex> lock(billing_mutex_);
+  if (ledger_ != nullptr) {
+    ledger_->append(audit::LedgerEntry{tenant, function, signed_log});
+  }
+  if (log.is_final) {
+    billing_[{tenant, function}].add(log);
+    BillingSeries& series = billing_series(tenant, function);
+    series.logs->inc();
+    series.weighted_instructions->add(log.weighted_instructions);
+    series.peak_memory_bytes->add(log.peak_memory_bytes);
+    series.memory_integral->add(log.memory_integral);
+    series.io_bytes_in->add(log.io_bytes_in);
+    series.io_bytes_out->add(log.io_bytes_out);
+  }
+  return true;
+}
+
+void Gateway::attach_ledger(audit::Ledger* ledger) {
+  std::lock_guard<std::mutex> lock(billing_mutex_);
+  ledger_ = ledger;
+}
+
+std::map<std::string, audit::UsageTotals> Gateway::billing_totals() const {
+  std::lock_guard<std::mutex> lock(billing_mutex_);
+  std::map<std::string, audit::UsageTotals> totals;
+  for (const auto& [key, per_function] : billing_) {
+    audit::UsageTotals& t = totals[key.first];
+    t.final_logs += per_function.final_logs;
+    t.weighted_instructions += per_function.weighted_instructions;
+    t.peak_memory_bytes += per_function.peak_memory_bytes;
+    t.memory_integral += per_function.memory_integral;
+    t.io_bytes_in += per_function.io_bytes_in;
+    t.io_bytes_out += per_function.io_bytes_out;
+  }
+  return totals;
 }
 
 LoadResult Gateway::run_load(const std::vector<Bytes>& inputs) {

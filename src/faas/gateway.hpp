@@ -23,10 +23,13 @@
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "audit/ledger.hpp"
 #include "core/runtime_env.hpp"
 #include "interp/compiled_module.hpp"
 #include "interp/instance.hpp"
@@ -98,6 +101,10 @@ struct GatewaySnapshot {
   uint64_t requests_total = 0;
   int64_t in_flight = 0;
   obs::HistogramSnapshot latency;  // seconds, process-lifetime
+  /// Per-tenant billing totals aggregated from *verified* signed logs
+  /// (record_usage); the same numbers the acctee_billing_* metrics family
+  /// exports for this gateway.
+  std::map<std::string, audit::UsageTotals> billing;
 };
 
 /// A deployed function: a compiled (validated) module + entry.
@@ -134,6 +141,26 @@ class Gateway {
 
   /// Lifetime total of requests handled (atomic; any mode, any thread).
   uint64_t requests_served() const { return requests_served_.load(); }
+
+  /// Verifies `signed_log` against the AE identity obtained via attestation
+  /// and, if valid, records it under (tenant, function): the log is appended
+  /// to the attached audit ledger (interim and final — the verifier needs
+  /// the whole chain) and, for *final* logs only, added to the per-tenant
+  /// billing totals and the acctee_billing_* metrics family (interim logs
+  /// are cumulative snapshots of the same run; billing them would
+  /// double-count). Returns false — recording nothing — if the signature
+  /// does not verify (counted in acctee_billing_rejected_total).
+  /// Thread-safe.
+  bool record_usage(const std::string& tenant, const std::string& function,
+                    const core::SignedResourceLog& signed_log,
+                    const crypto::Digest& ae_identity);
+
+  /// Attaches the trusted audit ledger record_usage appends to. The caller
+  /// owns the ledger and must keep it alive; nullptr detaches.
+  void attach_ledger(audit::Ledger* ledger);
+
+  /// Per-tenant billing totals over verified final logs (thread-safe copy).
+  std::map<std::string, audit::UsageTotals> billing_totals() const;
 
   /// Lifetime metrics snapshot (thread-safe; consistent enough for
   /// monitoring — counters are merged with relaxed loads).
@@ -178,6 +205,27 @@ class Gateway {
   obs::Counter* requests_metric_ = nullptr;
   obs::Gauge* in_flight_ = nullptr;
   obs::Histogram* latency_hist_ = nullptr;  // seconds
+
+  // Billing state: verified-log totals per (tenant, function) plus the
+  // cached handles of their acctee_billing_* series. Guarded by
+  // billing_mutex_ (metric handles are lock-free once cached; the map
+  // lookups and ledger appends are not).
+  struct BillingSeries {
+    obs::Counter* logs = nullptr;
+    obs::Counter* weighted_instructions = nullptr;
+    obs::Counter* peak_memory_bytes = nullptr;
+    obs::Counter* memory_integral = nullptr;
+    obs::Counter* io_bytes_in = nullptr;
+    obs::Counter* io_bytes_out = nullptr;
+  };
+  BillingSeries& billing_series(const std::string& tenant,
+                                const std::string& function);
+  mutable std::mutex billing_mutex_;
+  audit::Ledger* ledger_ = nullptr;
+  std::map<std::pair<std::string, std::string>, audit::UsageTotals> billing_;
+  std::map<std::pair<std::string, std::string>, BillingSeries>
+      billing_series_;
+  obs::Counter* billing_rejected_ = nullptr;
 };
 
 }  // namespace acctee::faas

@@ -30,13 +30,39 @@ std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
   }
   return out;
 }
 
 }  // namespace
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string label_pair(std::string_view key, std::string_view value) {
+  std::string out(key);
+  out += "=\"";
+  out += escape_label_value(value);
+  out += '"';
+  return out;
+}
 
 double HistogramSnapshot::quantile(double q) const {
   if (count == 0) return 0;

@@ -30,6 +30,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace acctee::obs {
@@ -112,6 +113,16 @@ class Histogram {
 
 /// Default latency buckets: 1 µs .. 10 s, roughly x2.5 steps (seconds).
 std::vector<double> default_latency_bounds();
+
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double-quote, and newline must be written as \\, \" and \n
+/// inside the quotes. Required for any value not controlled by this
+/// process (tenant names, function names, file paths).
+std::string escape_label_value(std::string_view value);
+
+/// Builds one `key="value"` label pair with the value escaped; join pairs
+/// with commas to form a Registry labels fragment.
+std::string label_pair(std::string_view key, std::string_view value);
 
 /// Named registry. Creation/lookup takes a mutex (cold); the returned
 /// handles are lock-free. `labels` is a Prometheus label-pair fragment

@@ -59,6 +59,30 @@ class FuncProfiler {
     return sum;
   }
 
+  /// Collapsed-stack ("folded") rendering for standard flamegraph tooling
+  /// (flamegraph.pl, inferno, speedscope): one line per sampled function,
+  /// `wasm;<frame> <value>`, where the value is the sampled instruction
+  /// count. `names[i]`, when provided and non-empty, labels defined
+  /// function i (e.g. its export name); otherwise frames are `func<i>`.
+  std::string to_folded(const std::vector<std::string>* names = nullptr) const {
+    std::string out;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      if (e.samples == 0) continue;
+      std::string frame = names != nullptr && i < names->size() &&
+                                  !(*names)[i].empty()
+                              ? (*names)[i]
+                              : "func" + std::to_string(i);
+      // Semicolons separate stack frames in the folded format; scrub them
+      // from names so a frame cannot fake extra stack depth.
+      for (char& c : frame) {
+        if (c == ';' || c == ' ' || c == '\n') c = '_';
+      }
+      out += "wasm;" + frame + " " + std::to_string(e.instructions) + "\n";
+    }
+    return out;
+  }
+
   std::string to_json() const {
     std::string out = "{\n  \"sample_interval\": " +
                       std::to_string(interval_) + ",\n  \"functions\": [";

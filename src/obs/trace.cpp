@@ -134,6 +134,28 @@ std::string Tracer::render_text() const {
   return out;
 }
 
+std::string Tracer::render_chrome_json() const {
+  std::vector<SpanRecord> spans = snapshot();
+  std::string out = "{\"traceEvents\": [";
+  char buf[64];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    out += i == 0 ? "\n  " : ",\n  ";
+    // ts/dur are microseconds (doubles); "X" = complete event.
+    std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(s.start_ns) / 1e3);
+    out += "{\"name\": \"" + s.name + "\", \"cat\": \"acctee\", \"ph\": \"X\""
+           ", \"ts\": " + buf;
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(s.duration_ns) / 1e3);
+    out += std::string(", \"dur\": ") + buf + ", \"pid\": 0, \"tid\": " +
+           std::to_string(s.shard) + ", \"args\": {\"id\": " +
+           std::to_string(s.id) + ", \"parent\": " + std::to_string(s.parent) +
+           "}}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
 std::string Tracer::render_json() const {
   std::vector<SpanRecord> spans = snapshot();
   std::string out = "{\n  \"spans\": [";

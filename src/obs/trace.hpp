@@ -76,6 +76,10 @@ class Tracer {
   std::string render_text() const;
   /// JSON array of span objects (bench_util-style conventions).
   std::string render_json() const;
+  /// Chrome trace-event format ({"traceEvents": [...]}): complete ("X")
+  /// events with microsecond timestamps, tid = producing thread shard.
+  /// Loadable directly in chrome://tracing and Perfetto.
+  std::string render_chrome_json() const;
 
  private:
   void record(const Span& span, std::chrono::steady_clock::time_point end);

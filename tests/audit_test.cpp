@@ -1,0 +1,484 @@
+// Trusted audit ledger tests (DESIGN.md §13): the hash-chained signed log
+// ledger, its Merkle-batched checkpoints, the offline verifier's forensics
+// (which interval was dropped, reordered, or forged), the per-execution
+// chain check, and metrics↔ledger reconciliation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "audit/ledger.hpp"
+#include "audit/reconcile.hpp"
+#include "audit/verifier.hpp"
+#include "core/accounting_enclave.hpp"
+#include "core/instrumentation_enclave.hpp"
+#include "core/session.hpp"
+#include "faas/gateway.hpp"
+#include "obs/metrics.hpp"
+#include "wasm/binary.hpp"
+#include "wasm/validator.hpp"
+#include "wasm/wat_parser.hpp"
+
+namespace acctee::audit {
+namespace {
+
+using interp::TypedValue;
+using V = TypedValue;
+
+/// A pure compute loop: long enough that a checkpoint_interval produces
+/// several interim logs per run.
+const char* kLoopWat = R"((module
+  (memory 1 2)
+  (func (export "run") (param i32) (result i32)
+    (local $i i32) (local $acc i32)
+    loop $l
+      local.get $acc
+      local.get $i
+      i32.add
+      local.set $acc
+      local.get $i
+      i32.const 1
+      i32.add
+      local.tee $i
+      local.get 0
+      i32.lt_s
+      br_if $l
+    end
+    local.get $acc
+  )
+))";
+
+Bytes loop_binary() {
+  wasm::Module m = wasm::parse_wat(kLoopWat);
+  wasm::validate(m);
+  return wasm::encode(m);
+}
+
+/// IE + AE pair with interim logging on, executing the loop workload.
+struct AuditWorld {
+  sgx::Platform ie_platform{"audit-ie", to_bytes("audit-ie-seed")};
+  sgx::Platform cloud{"audit-cloud", to_bytes("audit-cloud-seed")};
+  instrument::InstrumentOptions opts{instrument::PassKind::LoopBased,
+                                     instrument::WeightTable::unit()};
+  core::InstrumentationEnclave ie;
+  core::AccountingEnclave ae;
+  core::InstrumentationEnclave::Output instrumented;
+
+  explicit AuditWorld(uint64_t checkpoint_interval = 50'000)
+      : ie(ie_platform, opts),
+        ae(cloud, make_config(ie.identity(), opts, checkpoint_interval)),
+        instrumented(ie.instrument_binary(loop_binary())) {}
+
+  static core::AccountingEnclave::Config make_config(
+      crypto::Digest ie_identity, const instrument::InstrumentOptions& opts,
+      uint64_t checkpoint_interval) {
+    core::AccountingEnclave::Config config;
+    config.trusted_ie_identity = ie_identity;
+    config.instrumentation = opts;
+    config.checkpoint_interval = checkpoint_interval;
+    return config;
+  }
+
+  core::AccountingEnclave::Outcome run(int32_t n = 20'000) {
+    return ae.execute(instrumented.instrumented_binary, instrumented.evidence,
+                      "run", {V::make_i32(n)});
+  }
+
+  /// One execution's logs in chain order: interim logs then the final log.
+  std::vector<core::SignedResourceLog> run_logs(int32_t n = 20'000) {
+    core::AccountingEnclave::Outcome outcome = run(n);
+    std::vector<core::SignedResourceLog> logs = outcome.interim_logs;
+    logs.push_back(outcome.signed_log);
+    return logs;
+  }
+
+  Ledger::CheckpointSigner signer() {
+    return [this](BytesView payload) { return ae.sign_checkpoint(payload); };
+  }
+};
+
+Ledger make_ledger(AuditWorld& world, size_t checkpoint_every = 4) {
+  Ledger ledger(checkpoint_every);
+  ledger.set_ae_identity(world.ae.identity());
+  ledger.set_checkpoint_signer(world.signer());
+  return ledger;
+}
+
+void append_all(Ledger& ledger,
+                const std::vector<core::SignedResourceLog>& logs,
+                const std::string& tenant = "tenant",
+                const std::string& function = "loop") {
+  for (const core::SignedResourceLog& log : logs) {
+    ledger.append({tenant, function, log});
+  }
+}
+
+bool has_problem(const VerifyReport& report, const char* needle) {
+  return std::any_of(report.problems.begin(), report.problems.end(),
+                     [&](const std::string& p) {
+                       return p.find(needle) != std::string::npos;
+                     });
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: gateway billing -> ledger -> offline verify + reconcile.
+//
+// This is the only test that records billing through a Gateway: the billing
+// metrics land in the process-global registry, and the reconcile step below
+// compares the ledger against that very scrape, so it must see exactly the
+// tenants this test recorded.
+// ---------------------------------------------------------------------------
+
+TEST(AuditLedger, UntamperedEndToEndThroughGateway) {
+  AuditWorld world;
+  Ledger ledger = make_ledger(world);
+
+  wasm::Module module = wasm::parse_wat(kLoopWat);
+  wasm::validate(module);
+  faas::Gateway gateway(std::move(module), "run", faas::GatewayConfig{});
+  gateway.attach_ledger(&ledger);
+
+  // Tenant names with every character the Prometheus exposition format
+  // must escape — reconciliation only works if escaping round-trips.
+  const std::string weird = "we\"ird\\ten\nant";
+  struct Run {
+    std::string tenant;
+    int executions;
+  };
+  std::vector<Run> runs = {{"acct-alice", 3}, {"acct-bob", 2}, {weird, 1}};
+  for (const Run& r : runs) {
+    for (int i = 0; i < r.executions; ++i) {
+      core::AccountingEnclave::Outcome outcome = world.run();
+      EXPECT_FALSE(outcome.signed_log.log.trapped);
+      for (const core::SignedResourceLog& log : outcome.interim_logs) {
+        EXPECT_TRUE(
+            gateway.record_usage(r.tenant, "loop", log, world.ae.identity()));
+      }
+      EXPECT_TRUE(gateway.record_usage(r.tenant, "loop", outcome.signed_log,
+                                       world.ae.identity()));
+    }
+  }
+
+  // A forged log is rejected and records nothing.
+  size_t entries_before = ledger.entries().size();
+  core::SignedResourceLog forged = world.run().signed_log;
+  forged.log.weighted_instructions += 1;
+  EXPECT_FALSE(
+      gateway.record_usage("acct-mallory", "loop", forged, world.ae.identity()));
+  EXPECT_EQ(ledger.entries().size(), entries_before);
+
+  ledger.seal();
+  ASSERT_FALSE(ledger.checkpoints().empty());
+
+  // Offline verification accepts the untampered ledger.
+  VerifyReport report = verify_ledger(ledger, world.ae.identity());
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_EQ(report.entries_checked, ledger.entries().size());
+  EXPECT_EQ(report.checkpoints_checked, ledger.checkpoints().size());
+
+  // Ledger totals agree with the gateway's own billing view, count only
+  // final logs, and cover exactly the recorded tenants.
+  std::map<std::string, UsageTotals> totals = ledger.totals_by_tenant();
+  EXPECT_EQ(totals, gateway.billing_totals());
+  EXPECT_EQ(totals, gateway.snapshot().billing);
+  ASSERT_EQ(totals.size(), 3u);
+  EXPECT_EQ(totals.at("acct-alice").final_logs, 3u);
+  EXPECT_EQ(totals.at("acct-bob").final_logs, 2u);
+  EXPECT_EQ(totals.at(weird).final_logs, 1u);
+  EXPECT_EQ(totals.count("acct-mallory"), 0u);
+  EXPECT_GT(totals.at("acct-alice").weighted_instructions, 0u);
+
+  // The untrusted metrics plane agrees with the trusted one.
+  ReconcileReport reconciled =
+      reconcile(ledger, obs::Registry::global().prometheus(), 0.0);
+  EXPECT_TRUE(reconciled.ok) << reconciled.to_string();
+  EXPECT_EQ(reconciled.rows.size(), 3u * 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Negative forensics: the verifier names what went wrong.
+// ---------------------------------------------------------------------------
+
+TEST(AuditLedger, DetectsDroppedLogInterval) {
+  AuditWorld world;
+  std::vector<core::SignedResourceLog> logs = world.run_logs();
+  ASSERT_GE(logs.size(), 3u);
+  std::vector<core::SignedResourceLog> tampered = logs;
+  tampered.erase(tampered.begin() + 1);
+
+  Ledger ledger = make_ledger(world);
+  append_all(ledger, tampered);
+  ledger.seal();
+  VerifyReport report = verify_ledger(ledger, world.ae.identity());
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(has_problem(report, "dropped log interval"))
+      << report.to_string();
+}
+
+TEST(AuditLedger, DetectsReorderedLogs) {
+  AuditWorld world;
+  std::vector<core::SignedResourceLog> logs = world.run_logs();
+  ASSERT_GE(logs.size(), 3u);
+  std::swap(logs[0], logs[1]);
+
+  Ledger ledger = make_ledger(world);
+  append_all(ledger, logs);
+  ledger.seal();
+  VerifyReport report = verify_ledger(ledger, world.ae.identity());
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(has_problem(report, "reordered or replayed"))
+      << report.to_string();
+}
+
+TEST(AuditLedger, DetectsReplayedLog) {
+  AuditWorld world;
+  std::vector<core::SignedResourceLog> logs = world.run_logs();
+  logs.push_back(logs.back());  // provider submits the same log twice
+
+  Ledger ledger = make_ledger(world);
+  append_all(ledger, logs);
+  ledger.seal();
+  VerifyReport report = verify_ledger(ledger, world.ae.identity());
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(has_problem(report, "reordered or replayed"))
+      << report.to_string();
+}
+
+TEST(AuditLedger, DetectsBitFlippedLog) {
+  AuditWorld world;
+  std::vector<core::SignedResourceLog> logs = world.run_logs();
+  ASSERT_GE(logs.size(), 2u);
+  logs[1].log.io_bytes_in ^= 1;  // tamper content, keep the signature
+
+  Ledger ledger = make_ledger(world);
+  append_all(ledger, logs);
+  ledger.seal();
+  VerifyReport report = verify_ledger(ledger, world.ae.identity());
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(has_problem(report, "forged or bit-flipped"))
+      << report.to_string();
+}
+
+TEST(AuditLedger, DetectsWrongIdentity) {
+  AuditWorld world;
+  Ledger ledger = make_ledger(world);
+  append_all(ledger, world.run_logs());
+  ledger.seal();
+  crypto::Digest wrong = crypto::sha256(to_bytes("not the AE"));
+  VerifyReport report = verify_ledger(ledger, wrong);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(has_problem(report, "signature does not verify"))
+      << report.to_string();
+}
+
+TEST(AuditLedger, DetectsTamperedCheckpointSignature) {
+  AuditWorld world;
+  Ledger ledger = make_ledger(world);
+  append_all(ledger, world.run_logs());
+  ledger.seal();
+
+  // The file's final bytes are the last checkpoint's signature: flip one.
+  Bytes bytes = ledger.serialize();
+  bytes.back() ^= 0x01;
+  Ledger tampered = Ledger::deserialize(bytes);
+  VerifyReport report = verify_ledger(tampered, world.ae.identity());
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(has_problem(report, "signature does not verify"))
+      << report.to_string();
+}
+
+TEST(AuditLedger, ReportsUncoveredTail) {
+  AuditWorld world;
+  Ledger ledger(4);  // no signer: appends accumulate, no checkpoints
+  ledger.set_ae_identity(world.ae.identity());
+  append_all(ledger, world.run_logs());
+  ledger.seal();
+  EXPECT_TRUE(ledger.checkpoints().empty());
+  VerifyReport report = verify_ledger(ledger, world.ae.identity());
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(has_problem(report, "not covered by any signed checkpoint"))
+      << report.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+TEST(AuditLedger, SaveLoadRoundTrip) {
+  AuditWorld world;
+  Ledger ledger = make_ledger(world);
+  append_all(ledger, world.run_logs());
+  append_all(ledger, world.run_logs());  // chain continues across executions
+  ledger.seal();
+
+  const std::string path = "audit_test_ledger.bin";
+  ledger.save(path);
+  Ledger loaded = Ledger::load(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.serialize(), ledger.serialize());
+  EXPECT_EQ(loaded.ae_identity(), world.ae.identity());
+  EXPECT_EQ(loaded.entries().size(), ledger.entries().size());
+  EXPECT_EQ(loaded.totals_by_tenant(), ledger.totals_by_tenant());
+  VerifyReport report = verify_ledger(loaded, world.ae.identity());
+  EXPECT_TRUE(report.ok) << report.to_string();
+}
+
+TEST(AuditLedger, DeserializeRejectsCorruptFiles) {
+  AuditWorld world;
+  Ledger ledger = make_ledger(world);
+  append_all(ledger, world.run_logs());
+  ledger.seal();
+  Bytes bytes = ledger.serialize();
+
+  EXPECT_THROW(Ledger::deserialize(to_bytes("not a ledger")),
+               std::invalid_argument);
+  Bytes truncated(bytes.begin(), bytes.end() - 1);
+  EXPECT_THROW(Ledger::deserialize(truncated), std::invalid_argument);
+  Bytes padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW(Ledger::deserialize(padded), std::invalid_argument);
+  Bytes bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(Ledger::deserialize(bad_magic), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Per-execution chain check (customer side, session layer)
+// ---------------------------------------------------------------------------
+
+TEST(OutcomeChain, CustomerVerifiesAndRejectsTampering) {
+  sgx::Platform ie_platform{"chain-ie", to_bytes("chain-ie-seed")};
+  sgx::Platform provider_platform{"chain-provider",
+                                  to_bytes("chain-provider-seed")};
+  sgx::AttestationService ias(to_bytes("chain-ias-root"), 128);
+  ias.provision_platform(ie_platform);
+  ias.provision_platform(provider_platform);
+
+  core::SessionPolicy policy;
+  policy.instrumentation.pass = instrument::PassKind::LoopBased;
+  policy.platform = interp::Platform::WasmSgxSim;
+  policy.checkpoint_interval = 50'000;
+
+  core::InstrumentationEnclave ie(ie_platform, policy.instrumentation);
+  core::WorkloadProvider customer(loop_binary(), policy, ias.identity());
+  core::PriceSchedule prices;
+  prices.provider = "chain-cloud";
+  core::InfrastructureProvider provider(provider_platform, policy,
+                                        ias.identity(), prices);
+  customer.instrument_with(ie, ias);
+  provider.trust_instrumentation_enclave(ie.identity_quote(), ias);
+  customer.attest_accounting_enclave(provider.accounting_enclave_quote(), ias);
+
+  auto billed = provider.run(customer.instrumented_binary(),
+                             customer.evidence(), "run", {V::make_i32(20'000)});
+  const auto& interim = billed.outcome.interim_logs;
+  const auto& final_log = billed.outcome.signed_log;
+  ASSERT_GE(interim.size(), 2u);
+
+  EXPECT_TRUE(customer.verify_outcome_chain(interim, final_log));
+
+  // A host that silently drops one in-flight interim log is caught, even
+  // though every surviving log still signature-verifies.
+  std::vector<core::SignedResourceLog> dropped = interim;
+  dropped.erase(dropped.begin() + 1);
+  EXPECT_FALSE(customer.verify_outcome_chain(dropped, final_log));
+
+  // Reordering is caught.
+  std::vector<core::SignedResourceLog> swapped = interim;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_FALSE(customer.verify_outcome_chain(swapped, final_log));
+
+  // A bit-flipped interim log is caught.
+  std::vector<core::SignedResourceLog> flipped = interim;
+  flipped[0].log.weighted_instructions ^= 1;
+  EXPECT_FALSE(customer.verify_outcome_chain(flipped, final_log));
+}
+
+// ---------------------------------------------------------------------------
+// Reconciliation against synthetic scrapes (pure parsing/compare logic)
+// ---------------------------------------------------------------------------
+
+/// A ledger with one final log with hand-picked totals; no signatures
+/// needed — reconcile compares totals, it does not verify (that is
+/// verify_ledger's job).
+Ledger synthetic_ledger(const std::string& tenant) {
+  Ledger ledger(4);
+  core::SignedResourceLog slog;
+  slog.log.is_final = true;
+  slog.log.weighted_instructions = 1000;
+  slog.log.peak_memory_bytes = 4096;
+  slog.log.memory_integral = 8192;
+  slog.log.io_bytes_in = 10;
+  slog.log.io_bytes_out = 20;
+  ledger.append({tenant, "fn", slog});
+  return ledger;
+}
+
+std::string synthetic_scrape(const std::string& escaped_tenant,
+                             uint64_t weighted_instructions) {
+  std::string l = "{gateway=\"7\",tenant=\"" + escaped_tenant +
+                  "\",function=\"fn\"} ";
+  return "# HELP acctee_billing_logs_total verified final logs\n"
+         "acctee_billing_logs_total" + l + "1\n"
+         "acctee_billing_weighted_instructions_total" + l +
+         std::to_string(weighted_instructions) + "\n"
+         "acctee_billing_peak_memory_bytes_total" + l + "4096\n"
+         "acctee_billing_memory_integral_total" + l + "8192\n"
+         "acctee_billing_io_bytes_in_total" + l + "10\n"
+         "acctee_billing_io_bytes_out_total" + l + "20\n";
+}
+
+TEST(Reconcile, AgreesOnMatchingTotals) {
+  Ledger ledger = synthetic_ledger("t");
+  ReconcileReport report = reconcile(ledger, synthetic_scrape("t", 1000));
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_EQ(report.rows.size(), 6u);
+}
+
+TEST(Reconcile, FlagsDivergenceAndHonorsTolerance) {
+  Ledger ledger = synthetic_ledger("t");
+  // Metrics claim 10% more weighted instructions than the ledger.
+  std::string scrape = synthetic_scrape("t", 1100);
+  ReconcileReport strict = reconcile(ledger, scrape, 0.0);
+  EXPECT_FALSE(strict.ok);
+  size_t diverged = 0;
+  for (const ReconcileRow& row : strict.rows) {
+    if (!row.ok) {
+      ++diverged;
+      EXPECT_EQ(row.dimension, "weighted_instructions");
+      EXPECT_EQ(row.ledger_value, 1000u);
+      EXPECT_EQ(row.metrics_value, 1100u);
+    }
+  }
+  EXPECT_EQ(diverged, 1u);
+  EXPECT_TRUE(reconcile(ledger, scrape, 0.15).ok);
+}
+
+TEST(Reconcile, FlagsTenantsPresentInOnlyOnePlane) {
+  Ledger ledger = synthetic_ledger("in-ledger-only");
+  ReconcileReport report =
+      reconcile(ledger, synthetic_scrape("in-metrics-only", 1000));
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.problems.size(), 2u);
+  EXPECT_NE(report.problems[0].find("in-metrics-only"), std::string::npos);
+  EXPECT_NE(report.problems[1].find("in-ledger-only"), std::string::npos);
+}
+
+TEST(Reconcile, UnescapesPrometheusLabelValues) {
+  // The scrape carries tenant we"ird\ten<newline>ant, escaped per the
+  // exposition format as \" \\ \n.
+  const std::string raw = "we\"ird\\ten\nant";
+  const std::string escaped = "we\\\"ird\\\\ten\\nant";
+  std::map<std::string, UsageTotals> totals =
+      billing_totals_from_scrape(synthetic_scrape(escaped, 1000));
+  ASSERT_EQ(totals.size(), 1u);
+  EXPECT_EQ(totals.begin()->first, raw);
+  EXPECT_EQ(totals.begin()->second.weighted_instructions, 1000u);
+
+  Ledger ledger = synthetic_ledger(raw);
+  EXPECT_TRUE(reconcile(ledger, synthetic_scrape(escaped, 1000)).ok);
+}
+
+}  // namespace
+}  // namespace acctee::audit

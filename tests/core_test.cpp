@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "core/accounting_enclave.hpp"
 #include "core/instrumentation_enclave.hpp"
 #include "core/pricing.hpp"
@@ -394,6 +395,87 @@ TEST(ResourceLog, DeserializeRejectsGarbage) {
   Bytes truncated(bytes.begin(), bytes.end() - 1);
   EXPECT_THROW(ResourceUsageLog::deserialize(truncated),
                std::invalid_argument);
+}
+
+TEST(ResourceLog, RandomizedRoundTrip) {
+  Xoshiro256 rng(0x4c6f675254726970);  // "LogRTrip"
+  for (int iter = 0; iter < 200; ++iter) {
+    ResourceUsageLog log;
+    for (auto& b : log.module_hash) b = static_cast<uint8_t>(rng.next());
+    for (auto& b : log.weight_table_hash) {
+      b = static_cast<uint8_t>(rng.next());
+    }
+    for (auto& b : log.prev_log_hash) b = static_cast<uint8_t>(rng.next());
+    log.pass = static_cast<instrument::PassKind>(rng.next_below(3));
+    log.sequence = rng.next();
+    log.weighted_instructions = rng.next();
+    log.peak_memory_bytes = rng.next();
+    log.memory_integral = rng.next();
+    log.io_bytes_in = rng.next();
+    log.io_bytes_out = rng.next();
+    log.trapped = rng.next_below(2) != 0;
+    log.is_final = rng.next_below(2) != 0;
+    Bytes bytes = log.serialize();
+    EXPECT_EQ(ResourceUsageLog::deserialize(bytes), log);
+    // Any truncation must be rejected, never mis-decoded.
+    Bytes cut(bytes.begin(),
+              bytes.begin() + static_cast<long>(rng.next_below(bytes.size())));
+    EXPECT_THROW(ResourceUsageLog::deserialize(cut), std::invalid_argument);
+  }
+}
+
+TEST(ResourceLog, RejectsHeaderAndPassCorruption) {
+  ResourceUsageLog log;
+  Bytes bytes = log.serialize();
+  Bytes bad_header = bytes;
+  bad_header[0] ^= 0xff;  // version magic no longer matches
+  EXPECT_THROW(ResourceUsageLog::deserialize(bad_header),
+               std::invalid_argument);
+  Bytes bad_pass = bytes;
+  bad_pass[bytes.size() - (2 + 6 * 8 + 1)] = 0x7f;  // pass byte out of range
+  EXPECT_THROW(ResourceUsageLog::deserialize(bad_pass),
+               std::invalid_argument);
+  Bytes padded = bytes;
+  padded.push_back(0);  // trailing bytes change the claimed version's size
+  EXPECT_THROW(ResourceUsageLog::deserialize(padded), std::invalid_argument);
+}
+
+// Logs serialized before the hash chain existed (v1: no prev_log_hash)
+// still decode; the missing field reads as all-zero.
+TEST(ResourceLog, DecodesV1Format) {
+  ResourceUsageLog expect;
+  expect.module_hash = crypto::sha256(to_bytes("module"));
+  expect.weight_table_hash = crypto::sha256(to_bytes("weights"));
+  expect.pass = instrument::PassKind::LoopBased;
+  expect.sequence = 7;
+  expect.weighted_instructions = 1234;
+  expect.peak_memory_bytes = 65536;
+  expect.memory_integral = 99;
+  expect.io_bytes_in = 10;
+  expect.io_bytes_out = 20;
+  expect.trapped = false;
+  expect.is_final = true;
+
+  Bytes v1 = to_bytes("acctee-resource-log-v1");
+  append(v1, BytesView(expect.module_hash.data(), expect.module_hash.size()));
+  append(v1, BytesView(expect.weight_table_hash.data(),
+                       expect.weight_table_hash.size()));
+  v1.push_back(static_cast<uint8_t>(expect.pass));
+  append_u64le(v1, expect.sequence);
+  append_u64le(v1, expect.weighted_instructions);
+  append_u64le(v1, expect.peak_memory_bytes);
+  append_u64le(v1, expect.memory_integral);
+  append_u64le(v1, expect.io_bytes_in);
+  append_u64le(v1, expect.io_bytes_out);
+  v1.push_back(0);
+  v1.push_back(1);
+
+  ResourceUsageLog decoded = ResourceUsageLog::deserialize(v1);
+  EXPECT_EQ(decoded, expect);
+  EXPECT_EQ(decoded.prev_log_hash, crypto::Digest{});
+  // Re-serializing produces the v2 encoding (current version), not v1.
+  EXPECT_NE(decoded.serialize(), v1);
+  EXPECT_EQ(ResourceUsageLog::deserialize(decoded.serialize()), decoded);
 }
 
 // ---------------------------------------------------------------------------

@@ -211,6 +211,48 @@ TEST(Trace, RenderTextIndentsChildren) {
 // FuncProfiler
 // ---------------------------------------------------------------------------
 
+TEST(Metrics, EscapeLabelValue) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+  EXPECT_EQ(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(label_pair("tenant", "we\"ird\\t\nx"),
+            "tenant=\"we\\\"ird\\\\t\\nx\"");
+}
+
+TEST(Trace, ChromeJsonCompleteEvents) {
+  Tracer tracer(8);
+  tracer.enable(true);
+  {
+    auto outer = tracer.span("outer");
+    auto inner = tracer.span("inner");
+  }
+  tracer.enable(false);
+  std::string json = tracer.render_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+}
+
+TEST(Profile, FoldedOutputNamesAndScrubsFrames) {
+  FuncProfiler profiler(1);
+  profiler.on_block(0, 10, 20);
+  profiler.on_block(2, 5, 8);
+  profiler.on_block(2, 5, 8);
+  // Unnamed functions get func<i> frames; func1 was never entered.
+  EXPECT_EQ(profiler.to_folded(), "wasm;func0 10\nwasm;func2 10\n");
+  // Provided names label frames; separators are scrubbed so a name cannot
+  // fake extra stack depth or a sample count.
+  std::vector<std::string> names = {"main", "", "do work;now"};
+  EXPECT_EQ(profiler.to_folded(&names),
+            "wasm;main 10\nwasm;do_work_now 10\n");
+}
+
 TEST(Profile, AttributesEveryBlockAtIntervalOne) {
   FuncProfiler profiler;
   profiler.on_block(0, 10, 12);

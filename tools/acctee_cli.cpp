@@ -23,15 +23,27 @@
 //       registry in Prometheus text format or JSON.
 //
 //   acctee trace <module> [--entry NAME] [--arg T:V ...] [--requests N]
-//                [--pass P] [--json]
+//                [--pass P] [--json] [--chrome FILE]
 //       Same pipeline with span tracing enabled; prints the span tree
 //       (instrument -> verify -> compile -> instantiate -> run -> sign)
-//       with wall-clock durations.
+//       with wall-clock durations, or exports Chrome trace-event JSON.
+//
+//   acctee audit verify <ledger-file> [--identity HEX]
+//       Offline replay of a saved audit ledger: checks every log
+//       signature, the sequence/prev-hash chain, and each checkpoint's
+//       signature + Merkle root against the attested AE identity.
+//
+//   acctee audit reconcile <ledger-file> <metrics.prom> [--tolerance X]
+//       Cross-checks the ledger's per-tenant billing totals against an
+//       untrusted Prometheus metrics scrape.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "audit/ledger.hpp"
+#include "audit/reconcile.hpp"
+#include "audit/verifier.hpp"
 #include "core/accounting_enclave.hpp"
 #include "core/instrumentation_enclave.hpp"
 #include "core/runtime_env.hpp"
@@ -199,12 +211,24 @@ int cmd_trace(int argc, char** argv) {
   PipelineOptions opts = parse_pipeline_options(
       argc, argv, "usage: acctee trace <module> [options]");
   bool json = false;
+  std::string chrome_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--chrome") == 0 && i + 1 < argc) {
+      chrome_path = argv[++i];
+    }
   }
   obs::Tracer::global().enable(true);
   drive_pipeline(opts);
   obs::Tracer::global().enable(false);
+  if (!chrome_path.empty()) {
+    std::string rendered = obs::Tracer::global().render_chrome_json();
+    write_file(chrome_path, to_bytes(rendered));
+    std::printf("wrote %zu bytes to %s (open in chrome://tracing)\n",
+                rendered.size(), chrome_path.c_str());
+    return 0;
+  }
   std::string rendered = json ? obs::Tracer::global().render_json()
                               : obs::Tracer::global().render_text();
   std::fputs(rendered.c_str(), stdout);
@@ -249,6 +273,7 @@ int cmd_run(int argc, char** argv) {
   interp::Instance::Options options;
   core::IoChannel channel;
   bool profile = false;
+  bool folded = false;
   uint32_t sample_interval = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--entry") == 0 && i + 1 < argc) {
@@ -261,6 +286,9 @@ int cmd_run(int argc, char** argv) {
       channel.input = read_file(argv[++i]);
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile = true;
+    } else if (std::strcmp(argv[i], "--folded") == 0) {
+      profile = true;
+      folded = true;
     } else if (std::strcmp(argv[i], "--sample-interval") == 0 &&
                i + 1 < argc) {
       sample_interval = static_cast<uint32_t>(std::stoul(argv[++i]));
@@ -275,34 +303,54 @@ int cmd_run(int argc, char** argv) {
                           .find_export(instrument::kCounterExport,
                                        wasm::ExternKind::Global)
                           .has_value();
+  // Frame labels for folded profile output, indexed by defined-function
+  // index: prefer the function's own (WAT) name, else its export name.
+  std::vector<std::string> func_names(module.functions.size());
+  for (size_t f = 0; f < module.functions.size(); ++f) {
+    func_names[f] = module.functions[f].name;
+  }
+  for (const auto& e : module.exports) {
+    if (e.kind != wasm::ExternKind::Func) continue;
+    if (e.index < module.imports.size()) continue;
+    size_t defined = e.index - module.imports.size();
+    if (defined < func_names.size() && func_names[defined].empty()) {
+      func_names[defined] = e.name;
+    }
+  }
   interp::Instance instance(std::move(module),
                             core::make_runtime_env(&channel), options);
   interp::Values results = instance.invoke(entry, args);
+  // With --folded, stdout carries only collapsed-stack lines (pipeable to
+  // flamegraph.pl / inferno); the run summary moves to stderr.
+  std::FILE* info = folded ? stderr : stdout;
   for (size_t i = 0; i < results.size(); ++i) {
-    std::printf("result[%zu] = %s (%s)\n", i, results[i].to_string().c_str(),
-                wasm::to_string(results[i].type));
+    std::fprintf(info, "result[%zu] = %s (%s)\n", i,
+                 results[i].to_string().c_str(),
+                 wasm::to_string(results[i].type));
   }
   const interp::ExecStats& stats = instance.stats();
-  std::printf("instructions:    %llu\n",
-              static_cast<unsigned long long>(stats.instructions));
-  std::printf("cycles:          %llu (simulated, %s)\n",
-              static_cast<unsigned long long>(stats.cycles),
-              to_string(options.platform));
-  std::printf("peak memory:     %llu bytes\n",
-              static_cast<unsigned long long>(stats.peak_memory_bytes));
-  std::printf("io in/out:       %llu / %llu bytes\n",
-              static_cast<unsigned long long>(stats.io_bytes_in),
-              static_cast<unsigned long long>(stats.io_bytes_out));
+  std::fprintf(info, "instructions:    %llu\n",
+               static_cast<unsigned long long>(stats.instructions));
+  std::fprintf(info, "cycles:          %llu (simulated, %s)\n",
+               static_cast<unsigned long long>(stats.cycles),
+               to_string(options.platform));
+  std::fprintf(info, "peak memory:     %llu bytes\n",
+               static_cast<unsigned long long>(stats.peak_memory_bytes));
+  std::fprintf(info, "io in/out:       %llu / %llu bytes\n",
+               static_cast<unsigned long long>(stats.io_bytes_in),
+               static_cast<unsigned long long>(stats.io_bytes_out));
   if (instrumented) {
-    std::printf("counter:         %lld weighted instructions\n",
-                static_cast<long long>(
-                    instance.read_global(instrument::kCounterExport).i64()));
+    std::fprintf(info, "counter:         %lld weighted instructions\n",
+                 static_cast<long long>(
+                     instance.read_global(instrument::kCounterExport).i64()));
   }
   if (!channel.output.empty()) {
-    std::printf("output:          %zu bytes written by workload\n",
-                channel.output.size());
+    std::fprintf(info, "output:          %zu bytes written by workload\n",
+                 channel.output.size());
   }
-  if (profile) {
+  if (folded) {
+    std::fputs(profiler.to_folded(&func_names).c_str(), stdout);
+  } else if (profile) {
     std::printf("profile (sample interval %u):\n", profiler.sample_interval());
     std::printf("  %-6s %12s %14s %14s\n", "func", "samples", "instructions",
                 "cycles");
@@ -317,6 +365,63 @@ int cmd_run(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+crypto::Digest parse_digest_hex(const std::string& hex) {
+  crypto::Digest digest{};
+  if (hex.size() != digest.size() * 2) {
+    throw Error("identity must be " + std::to_string(digest.size() * 2) +
+                " hex characters");
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw Error("bad hex character in identity");
+  };
+  for (size_t i = 0; i < digest.size(); ++i) {
+    digest[i] = static_cast<uint8_t>(nibble(hex[2 * i]) << 4 |
+                                     nibble(hex[2 * i + 1]));
+  }
+  return digest;
+}
+
+int cmd_audit(int argc, char** argv) {
+  const char* usage_line =
+      "usage: acctee audit verify <ledger> [--identity HEX]\n"
+      "       acctee audit reconcile <ledger> <metrics.prom> "
+      "[--tolerance X]";
+  if (argc < 2) throw Error(usage_line);
+  std::string verb = argv[0];
+  audit::Ledger ledger = audit::Ledger::load(argv[1]);
+  if (verb == "verify") {
+    // Default to the identity recorded in the file; an auditor who attested
+    // the AE pins their own with --identity.
+    crypto::Digest identity = ledger.ae_identity();
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--identity") == 0 && i + 1 < argc) {
+        identity = parse_digest_hex(argv[++i]);
+      }
+    }
+    audit::VerifyReport report = audit::verify_ledger(ledger, identity);
+    std::fputs(report.to_string().c_str(), stdout);
+    return report.ok ? 0 : 1;
+  }
+  if (verb == "reconcile") {
+    if (argc < 3) throw Error(usage_line);
+    Bytes scrape = read_file(argv[2]);
+    double tolerance = 0.0;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+        tolerance = std::stod(argv[++i]);
+      }
+    }
+    audit::ReconcileReport report = audit::reconcile(
+        ledger, std::string(scrape.begin(), scrape.end()), tolerance);
+    std::fputs(report.to_string().c_str(), stdout);
+    return report.ok ? 0 : 1;
+  }
+  throw Error(usage_line);
 }
 
 int cmd_inspect(int argc, char** argv) {
@@ -374,12 +479,14 @@ void usage() {
       "  acctee instrument <in> <out.wasm> [--pass naive|flow|loop]\n"
       "  acctee run <module> [--entry NAME] [--arg TYPE:VALUE ...]\n"
       "             [--platform native|wasm|sgx-sim|sgx-hw] [--input FILE]\n"
-      "             [--profile] [--sample-interval N]\n"
+      "             [--profile] [--folded] [--sample-interval N]\n"
       "  acctee metrics <module> [--entry NAME] [--arg TYPE:VALUE ...]\n"
       "             [--requests N] [--pass P] [--format prom|json]\n"
       "             [--out FILE]\n"
       "  acctee trace <module> [--entry NAME] [--arg TYPE:VALUE ...]\n"
-      "             [--requests N] [--pass P] [--json]\n"
+      "             [--requests N] [--pass P] [--json] [--chrome FILE]\n"
+      "  acctee audit verify <ledger> [--identity HEX]\n"
+      "  acctee audit reconcile <ledger> <metrics.prom> [--tolerance X]\n"
       "  acctee inspect <module>\n"
       "  acctee wat <module.wasm>\n",
       stderr);
@@ -398,6 +505,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(argc - 2, argv + 2);
     if (cmd == "metrics") return cmd_metrics(argc - 2, argv + 2);
     if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
+    if (cmd == "audit") return cmd_audit(argc - 2, argv + 2);
     if (cmd == "inspect") return cmd_inspect(argc - 2, argv + 2);
     if (cmd == "wat") return cmd_wat(argc - 2, argv + 2);
     usage();

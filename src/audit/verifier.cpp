@@ -1,5 +1,6 @@
 #include "audit/verifier.hpp"
 
+#include <cstdint>
 #include <sstream>
 
 namespace acctee::audit {
@@ -9,6 +10,12 @@ namespace {
 std::string interval(uint64_t lo, uint64_t hi) {
   return lo == hi ? std::to_string(lo)
                   : std::to_string(lo) + ".." + std::to_string(hi);
+}
+
+// The ledger file is untrusted: checkpoint fields can be arbitrary u64s,
+// so range arithmetic must not wrap.
+uint64_t sat_add(uint64_t a, uint64_t b) {
+  return a > UINT64_MAX - b ? UINT64_MAX : a + b;
 }
 
 }  // namespace
@@ -85,11 +92,12 @@ VerifyReport verify_ledger(const Ledger& ledger,
               " but coverage ends at " + std::to_string(covered) +
               " (gap or overlap in committed batches)");
     }
-    if (cp.count == 0 || cp.first_entry + cp.count > entries.size()) {
+    if (cp.count == 0 || cp.count > entries.size() ||
+        cp.first_entry > entries.size() - cp.count) {
       problem(tag + ": covers entries " +
-              interval(cp.first_entry, cp.first_entry + cp.count) +
+              interval(cp.first_entry, sat_add(cp.first_entry, cp.count)) +
               " beyond the ledger's " + std::to_string(entries.size()));
-      covered = cp.first_entry + cp.count;
+      covered = sat_add(cp.first_entry, cp.count);
       continue;
     }
     if (cp.prev_checkpoint_hash != prev_cp_hash) {

@@ -235,6 +235,15 @@ bool Gateway::record_usage(const std::string& tenant,
   }
   const core::ResourceUsageLog& log = signed_log.log;
   std::lock_guard<std::mutex> lock(billing_mutex_);
+  auto [seq_it, first_from_ae] =
+      last_sequence_.try_emplace(ae_identity, log.sequence);
+  if (!first_from_ae) {
+    if (log.sequence <= seq_it->second) {
+      billing_rejected_->inc();
+      return false;  // replayed or reordered log (see accept_log)
+    }
+    seq_it->second = log.sequence;
+  }
   if (ledger_ != nullptr) {
     ledger_->append(audit::LedgerEntry{tenant, function, signed_log});
   }

@@ -149,8 +149,10 @@ class Gateway {
   /// billing totals and the acctee_billing_* metrics family (interim logs
   /// are cumulative snapshots of the same run; billing them would
   /// double-count). Returns false — recording nothing — if the signature
-  /// does not verify (counted in acctee_billing_rejected_total).
-  /// Thread-safe.
+  /// does not verify, or if the log's sequence is not strictly greater than
+  /// every log already accepted from this AE (a replayed or reordered log
+  /// must not be billed twice; mirrors WorkloadProvider::accept_log). Both
+  /// rejects count in acctee_billing_rejected_total. Thread-safe.
   bool record_usage(const std::string& tenant, const std::string& function,
                     const core::SignedResourceLog& signed_log,
                     const crypto::Digest& ae_identity);
@@ -222,6 +224,10 @@ class Gateway {
                                 const std::string& function);
   mutable std::mutex billing_mutex_;
   audit::Ledger* ledger_ = nullptr;
+  // Replay protection: last accepted log sequence per AE identity (an AE's
+  // sequences increase monotonically across sessions). Guarded by
+  // billing_mutex_.
+  std::map<crypto::Digest, uint64_t> last_sequence_;
   std::map<std::pair<std::string, std::string>, audit::UsageTotals> billing_;
   std::map<std::pair<std::string, std::string>, BillingSeries>
       billing_series_;

@@ -26,6 +26,8 @@ std::string format_double(double v) {
   return buf;
 }
 
+}  // namespace
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -39,8 +41,6 @@ std::string json_escape(const std::string& s) {
   }
   return out;
 }
-
-}  // namespace
 
 std::string escape_label_value(std::string_view value) {
   std::string out;

@@ -114,6 +114,11 @@ class Histogram {
 /// Default latency buckets: 1 µs .. 10 s, roughly x2.5 steps (seconds).
 std::vector<double> default_latency_bounds();
 
+/// Escapes a string for embedding in a JSON string literal (backslash,
+/// double-quote, newline). Used by every JSON exporter in this layer —
+/// span names and metric labels must not be able to break the output.
+std::string json_escape(const std::string& s);
+
 /// Escapes a Prometheus label *value* per the text exposition format:
 /// backslash, double-quote, and newline must be written as \\, \" and \n
 /// inside the quotes. Required for any value not controlled by this

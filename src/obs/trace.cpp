@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <map>
 
-#include "obs/metrics.hpp"  // shard_index()
+#include "obs/metrics.hpp"  // shard_index(), json_escape()
 
 namespace acctee::obs {
 
@@ -143,7 +143,8 @@ std::string Tracer::render_chrome_json() const {
     out += i == 0 ? "\n  " : ",\n  ";
     // ts/dur are microseconds (doubles); "X" = complete event.
     std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(s.start_ns) / 1e3);
-    out += "{\"name\": \"" + s.name + "\", \"cat\": \"acctee\", \"ph\": \"X\""
+    out += "{\"name\": \"" + json_escape(s.name) +
+           "\", \"cat\": \"acctee\", \"ph\": \"X\""
            ", \"ts\": " + buf;
     std::snprintf(buf, sizeof(buf), "%.3f",
                   static_cast<double>(s.duration_ns) / 1e3);
@@ -164,7 +165,8 @@ std::string Tracer::render_json() const {
     out += i == 0 ? "\n    " : ",\n    ";
     out += "{\"id\": " + std::to_string(s.id) +
            ", \"parent\": " + std::to_string(s.parent) + ", \"name\": \"" +
-           s.name + "\", \"start_ns\": " + std::to_string(s.start_ns) +
+           json_escape(s.name) +
+           "\", \"start_ns\": " + std::to_string(s.start_ns) +
            ", \"duration_ns\": " + std::to_string(s.duration_ns) + "}";
   }
   out += "\n  ]\n}\n";

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 
 #include "audit/ledger.hpp"
@@ -146,6 +147,7 @@ TEST(AuditLedger, UntamperedEndToEndThroughGateway) {
     int executions;
   };
   std::vector<Run> runs = {{"acct-alice", 3}, {"acct-bob", 2}, {weird, 1}};
+  core::SignedResourceLog last_accepted;
   for (const Run& r : runs) {
     for (int i = 0; i < r.executions; ++i) {
       core::AccountingEnclave::Outcome outcome = world.run();
@@ -156,6 +158,7 @@ TEST(AuditLedger, UntamperedEndToEndThroughGateway) {
       }
       EXPECT_TRUE(gateway.record_usage(r.tenant, "loop", outcome.signed_log,
                                        world.ae.identity()));
+      last_accepted = outcome.signed_log;
     }
   }
 
@@ -165,6 +168,14 @@ TEST(AuditLedger, UntamperedEndToEndThroughGateway) {
   forged.log.weighted_instructions += 1;
   EXPECT_FALSE(
       gateway.record_usage("acct-mallory", "loop", forged, world.ae.identity()));
+  EXPECT_EQ(ledger.entries().size(), entries_before);
+
+  // Replaying an already-accepted, validly-signed log is rejected and must
+  // not double-count billing — under the original tenant or any other.
+  EXPECT_FALSE(gateway.record_usage(weird, "loop", last_accepted,
+                                    world.ae.identity()));
+  EXPECT_FALSE(gateway.record_usage("acct-mallory", "loop", last_accepted,
+                                    world.ae.identity()));
   EXPECT_EQ(ledger.entries().size(), entries_before);
 
   ledger.seal();
@@ -285,6 +296,40 @@ TEST(AuditLedger, DetectsTamperedCheckpointSignature) {
   EXPECT_FALSE(report.ok);
   EXPECT_TRUE(has_problem(report, "signature does not verify"))
       << report.to_string();
+}
+
+TEST(AuditLedger, RejectsOverflowingCheckpointBounds) {
+  AuditWorld world;
+  Ledger ledger = make_ledger(world);
+  append_all(ledger, world.run_logs());
+  ledger.seal();
+  ASSERT_FALSE(ledger.checkpoints().empty());
+
+  // Patch the last checkpoint's first_entry to UINT64_MAX in the serialized
+  // file: first_entry + count wraps to a small value, so a naive bounds
+  // check passes and the verifier reads entries far out of bounds. The last
+  // checkpoint record is the file's tail — signature, prev hash, root,
+  // count, first_entry, index, back to front.
+  Bytes bytes = ledger.serialize();
+  size_t sig_size = ledger.checkpoints().back().signature.serialize().size();
+  size_t first_entry_off = bytes.size() - (4 + sig_size) - 32 - 32 - 8 - 8;
+  for (size_t i = 0; i < 8; ++i) bytes[first_entry_off + i] = 0xff;
+  Ledger tampered = Ledger::deserialize(bytes);
+  ASSERT_EQ(tampered.checkpoints().back().first_entry, UINT64_MAX);
+  VerifyReport report = verify_ledger(tampered, world.ae.identity());
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(has_problem(report, "beyond the ledger")) << report.to_string();
+}
+
+TEST(AuditLedger, DeserializeRejectsHugeDeclaredCounts) {
+  // A tiny crafted file declaring 2^60 entries must fail as truncated
+  // instead of attempting a multi-exabyte reserve.
+  Bytes bytes = to_bytes("acctee-audit-ledger");
+  append_u32le(bytes, 1);                      // version
+  append_u64le(bytes, 4);                      // checkpoint_every
+  bytes.insert(bytes.end(), 32, 0);            // ae identity
+  append_u64le(bytes, uint64_t{1} << 60);      // entry count
+  EXPECT_THROW(Ledger::deserialize(bytes), std::invalid_argument);
 }
 
 TEST(AuditLedger, ReportsUncoveredTail) {

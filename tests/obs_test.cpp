@@ -239,6 +239,20 @@ TEST(Trace, ChromeJsonCompleteEvents) {
   EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
 }
 
+TEST(Trace, JsonRenderersEscapeHostileSpanNames) {
+  Tracer tracer(8);
+  tracer.enable(true);
+  {
+    auto span = tracer.span("we\"ird\\span");
+  }
+  tracer.enable(false);
+  // A quote or backslash in a span name must not break the JSON output.
+  EXPECT_NE(tracer.render_chrome_json().find("\"name\": \"we\\\"ird\\\\span\""),
+            std::string::npos);
+  EXPECT_NE(tracer.render_json().find("\"name\": \"we\\\"ird\\\\span\""),
+            std::string::npos);
+}
+
 TEST(Profile, FoldedOutputNamesAndScrubsFrames) {
   FuncProfiler profiler(1);
   profiler.on_block(0, 10, 20);

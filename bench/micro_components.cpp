@@ -4,6 +4,7 @@
 // benchmarks (regression tracking), not paper-figure reproductions.
 #include <benchmark/benchmark.h>
 
+#include "analysis/verifier.hpp"
 #include "core/accounting_enclave.hpp"
 #include "core/instrumentation_enclave.hpp"
 #include "crypto/sha256.hpp"
@@ -115,6 +116,24 @@ void BM_InstrumentationPass(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InstrumentationPass)->Arg(0)->Arg(1)->Arg(2);
+
+// The AE-side static counter-equivalence proof (analysis/verifier.hpp):
+// the one-time per-module cost the prepare() LRU amortises. Arg selects
+// the pass the module was instrumented with, so all three increment
+// shapes (per-block, flow-folded, hoisted-loop) are covered.
+void BM_VerifyInstrumentation(benchmark::State& state) {
+  wasm::Module module = workloads::build_polybench("gemm", 32);
+  auto pass = static_cast<instrument::PassKind>(state.range(0));
+  auto result =
+      instrument::instrument(module, instrument::InstrumentOptions{pass, {}});
+  for (auto _ : state) {
+    analysis::VerifyResult verdict = analysis::verify_instrumented_module(
+        result.module, result.counter_global, instrument::WeightTable::unit());
+    if (!verdict.ok) state.SkipWithError(verdict.error.c_str());
+    benchmark::DoNotOptimize(verdict.cost_vector_digest[0]);
+  }
+}
+BENCHMARK(BM_VerifyInstrumentation)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_BinaryCodecRoundTrip(benchmark::State& state) {
   wasm::Module module = workloads::build_polybench("3mm", 32);

@@ -1,0 +1,112 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+namespace acctee::analysis {
+
+using interp::FlatFunc;
+using interp::FlatOp;
+using wasm::Op;
+
+bool is_block_terminator(const FlatOp& op) {
+  switch (op.op) {
+    case Op::If:
+    case Op::Br:
+    case Op::BrIf:
+    case Op::BrTable:
+    case Op::Return:
+    case Op::Unreachable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+void add_unique(std::vector<uint32_t>& v, uint32_t x) {
+  if (std::find(v.begin(), v.end(), x) == v.end()) v.push_back(x);
+}
+
+}  // namespace
+
+Cfg build_cfg(const FlatFunc& func) {
+  const std::vector<FlatOp>& code = func.code;
+  const uint32_t n = static_cast<uint32_t>(code.size());
+  Cfg cfg;
+  if (n == 0) return cfg;
+
+  // Pass 1: leaders. pc 0, every branch target, every op after a terminator.
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  for (uint32_t pc = 0; pc < n; ++pc) {
+    const FlatOp& op = code[pc];
+    switch (op.op) {
+      case Op::If:
+      case Op::Br:
+      case Op::BrIf:
+        if (op.target_pc < n) leader[op.target_pc] = true;
+        break;
+      case Op::BrTable:
+        for (const interp::BrTarget& t : func.br_tables[op.a]) {
+          if (t.pc < n) leader[t.pc] = true;
+        }
+        break;
+      default:
+        break;
+    }
+    if (is_block_terminator(op) && pc + 1 < n) leader[pc + 1] = true;
+  }
+
+  // Pass 2: materialise blocks and the pc -> block map.
+  cfg.block_of_pc.assign(n, 0);
+  for (uint32_t pc = 0; pc < n; ++pc) {
+    if (leader[pc]) {
+      cfg.blocks.push_back(BasicBlock{pc, pc, {}, {}});
+    }
+    BasicBlock& bb = cfg.blocks.back();
+    bb.end = pc + 1;
+    cfg.block_of_pc[pc] = static_cast<uint32_t>(cfg.blocks.size() - 1);
+  }
+
+  // Pass 3: edges from each block's final op.
+  for (uint32_t b = 0; b < cfg.blocks.size(); ++b) {
+    BasicBlock& bb = cfg.blocks[b];
+    const FlatOp& last = code[bb.end - 1];
+    auto fallthrough = [&]() {
+      // The code array is terminated by a synthetic return, so a block can
+      // only end mid-array; bb.end is then the next block's leader.
+      add_unique(bb.succs, cfg.block_of_pc[bb.end]);
+    };
+    switch (last.op) {
+      case Op::If:  // jumps to target when the condition is false
+        fallthrough();
+        add_unique(bb.succs, cfg.block_of_pc[last.target_pc]);
+        break;
+      case Op::Br:
+        add_unique(bb.succs, cfg.block_of_pc[last.target_pc]);
+        break;
+      case Op::BrIf:
+        fallthrough();
+        add_unique(bb.succs, cfg.block_of_pc[last.target_pc]);
+        break;
+      case Op::BrTable:
+        for (const interp::BrTarget& t : func.br_tables[last.a]) {
+          add_unique(bb.succs, cfg.block_of_pc[t.pc]);
+        }
+        break;
+      case Op::Return:
+      case Op::Unreachable:
+        break;
+      default:
+        fallthrough();
+        break;
+    }
+  }
+  for (uint32_t b = 0; b < cfg.blocks.size(); ++b) {
+    for (uint32_t s : cfg.blocks[b].succs) add_unique(cfg.blocks[s].preds, b);
+  }
+  return cfg;
+}
+
+}  // namespace acctee::analysis

@@ -1,0 +1,54 @@
+// Control-flow graph reconstruction over flattened function bodies.
+//
+// The static counter-equivalence verifier (DESIGN.md §14) must reason about
+// *every* path through an instrumented function without trusting how the
+// instrumentation enclave shaped the code. Working on interp::FlatFunc gives
+// it exactly the code the interpreter will execute: branch targets are
+// pre-resolved pcs, statically dead tree code has already been dropped, and
+// synthetic control ops (the jump over an else arm, the final return) are
+// marked so the verifier can treat them as zero-cost.
+//
+// Blocks here are *analysis* basic blocks: maximal straight-line runs that
+// control flow enters only at the first op and leaves only after the last.
+// Unlike the interpreter's accounting blocks (FlatFunc::blocks), calls and
+// memory.grow do NOT end a block — they transfer control intra-procedurally
+// to the next pc, so for path-sum purposes they are straight-line ops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interp/flatten.hpp"
+
+namespace acctee::analysis {
+
+/// One analysis basic block: ops [begin, end) of FlatFunc::code.
+struct BasicBlock {
+  uint32_t begin = 0;
+  uint32_t end = 0;  // one past the last op
+  std::vector<uint32_t> succs;  // successor block ids, deduplicated
+  std::vector<uint32_t> preds;  // predecessor block ids, deduplicated
+};
+
+/// The reconstructed CFG of one flattened function. Blocks are in code
+/// order and partition the code array; blocks[0] is the entry block.
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  std::vector<uint32_t> block_of_pc;  // pc -> id of the containing block
+
+  const BasicBlock& block_at_pc(uint32_t pc) const {
+    return blocks[block_of_pc[pc]];
+  }
+};
+
+/// True if `op` ends an analysis basic block (is a control transfer).
+bool is_block_terminator(const interp::FlatOp& op);
+
+/// Reconstructs the CFG of a flattened function. Every branch target
+/// starts a block; every control transfer (if/br/br_if/br_table/return/
+/// unreachable, synthetic or not) ends one. Blocks unreachable from the
+/// entry are still materialised (they exist in the code array) but simply
+/// have no predecessors.
+Cfg build_cfg(const interp::FlatFunc& func);
+
+}  // namespace acctee::analysis

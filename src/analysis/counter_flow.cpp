@@ -1,0 +1,186 @@
+#include "analysis/counter_flow.hpp"
+
+#include <optional>
+#include <sstream>
+
+namespace acctee::analysis {
+
+using interp::FlatFunc;
+using interp::FlatOp;
+using wasm::Op;
+
+Classification classify_ops(const FlatFunc& func, const Cfg& cfg,
+                            uint32_t counter_global) {
+  const std::vector<FlatOp>& code = func.code;
+  const uint32_t n = static_cast<uint32_t>(code.size());
+  Classification cls;
+  cls.op_class.assign(n, OpClass::Workload);
+
+  auto plain = [&](uint32_t pc, Op op) {
+    return pc < n && !code[pc].synthetic && code[pc].op == op;
+  };
+  uint32_t pc = 0;
+  while (pc + 3 < n) {
+    if (plain(pc, Op::GlobalGet) && code[pc].a == counter_global &&
+        plain(pc + 1, Op::I64Const) && plain(pc + 2, Op::I64Add) &&
+        plain(pc + 3, Op::GlobalSet) && code[pc + 3].a == counter_global &&
+        cfg.block_of_pc[pc] == cfg.block_of_pc[pc + 3]) {
+      for (uint32_t i = 0; i < 4; ++i) {
+        cls.op_class[pc + i] = OpClass::Increment;
+      }
+      cls.increments.emplace_back(pc, code[pc + 1].b);
+      pc += 4;
+    } else {
+      ++pc;
+    }
+  }
+  return cls;
+}
+
+namespace {
+
+/// Renders the block chain from the entry to `b` via first-reach parents.
+std::string render_path(const Cfg& cfg, const std::vector<uint32_t>& parent,
+                        uint32_t b) {
+  std::vector<uint32_t> chain;
+  for (uint32_t x = b; x != UINT32_MAX; x = parent[x]) {
+    chain.push_back(x);
+    if (x == 0) break;
+  }
+  std::ostringstream out;
+  if (chain.back() == 0) {
+    out << "entry";
+  } else {
+    // The chain roots at a dead-code seed, not the function entry.
+    out << "unreachable code at pc " << cfg.blocks[chain.back()].begin;
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (*it == chain.back()) continue;
+    out << " -> pc " << cfg.blocks[*it].begin;
+  }
+  return out.str();
+}
+
+std::string describe_debt(uint64_t debt) {
+  std::ostringstream out;
+  int64_t signed_debt = static_cast<int64_t>(debt);
+  if (signed_debt >= 0) {
+    out << "the increments undercount the executed weighted cost by "
+        << signed_debt;
+  } else {
+    out << "the increments overcount the executed weighted cost by "
+        << -signed_debt;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+FlowResult run_counter_flow(const FlatFunc& func, const Cfg& cfg,
+                            const Classification& cls,
+                            const std::vector<uint32_t>& balanced_blocks,
+                            const std::vector<EdgeCharge>& edge_charges,
+                            const instrument::WeightTable& weights,
+                            const std::string& label) {
+  const std::vector<FlatOp>& code = func.code;
+  const uint32_t n = static_cast<uint32_t>(code.size());
+  FlowResult result;
+  if (n == 0 || cfg.blocks.empty()) return result;
+
+  std::vector<uint64_t> inc_amount(n, 0);
+  std::vector<bool> inc_start(n, false);
+  for (const auto& [pc, amount] : cls.increments) {
+    inc_start[pc] = true;
+    inc_amount[pc] = amount;
+  }
+  std::vector<bool> balanced(cfg.blocks.size(), false);
+  for (uint32_t b : balanced_blocks) balanced[b] = true;
+
+  auto edge_charge = [&](uint32_t from, uint32_t to) {
+    uint64_t total = 0;
+    for (const EdgeCharge& c : edge_charges) {
+      if (c.from == from && c.to == to) total += c.amount;
+    }
+    return total;
+  };
+
+  // Single-assignment forward propagation: the debt entering each block is
+  // fixed by the first path that reaches it; every other path must agree.
+  std::vector<std::optional<uint64_t>> in_debt(cfg.blocks.size());
+  std::vector<uint32_t> parent(cfg.blocks.size(), UINT32_MAX);
+  std::vector<uint32_t> worklist;
+  in_debt[0] = 0;
+  worklist.push_back(0);
+  // Blocks unreachable from the entry still get checked: dead code begins
+  // immediately after an unconditional branch, where the instrumenter has
+  // just flushed its pending count, so genuine output balances from debt 0
+  // there too. Without this, a corrupted increment hidden in dead code
+  // would be invisible to the dataflow (and only sometimes caught by the
+  // write-protection scan). `seed` walks block indices in order, so dead
+  // chains are entered at their head.
+  uint32_t seed = 1;
+
+  while (true) {
+    if (worklist.empty()) {
+      while (seed < cfg.blocks.size() && in_debt[seed].has_value()) ++seed;
+      if (seed == cfg.blocks.size()) break;
+      in_debt[seed] = 0;
+      worklist.push_back(seed);
+    }
+    uint32_t b = worklist.back();
+    worklist.pop_back();
+    const BasicBlock& bb = cfg.blocks[b];
+    uint64_t debt = *in_debt[b];
+
+    if (!balanced[b]) {
+      for (uint32_t pc = bb.begin; pc < bb.end; ++pc) {
+        if (cls.op_class[pc] == OpClass::Workload && !code[pc].synthetic) {
+          debt += weights.weight(code[pc].op);  // wrapping, like i64.add
+        } else if (inc_start[pc]) {
+          debt -= inc_amount[pc];
+        }
+      }
+    }
+
+    const FlatOp& last = code[bb.end - 1];
+    if (last.op == Op::Return || last.op == Op::Unreachable) {
+      if (debt != 0) {
+        result.ok = false;
+        std::ostringstream out;
+        out << "counter-flow violation in " << label << ": path "
+            << render_path(cfg, parent, b) << " exits at pc " << (bb.end - 1)
+            << " with outstanding debt " << static_cast<int64_t>(debt) << " ("
+            << describe_debt(debt) << ")";
+        result.error = out.str();
+        return result;
+      }
+      continue;
+    }
+
+    for (uint32_t s : bb.succs) {
+      uint64_t out_debt = debt + edge_charge(b, s);
+      if (!in_debt[s].has_value()) {
+        in_debt[s] = out_debt;
+        parent[s] = b;
+        worklist.push_back(s);
+      } else if (*in_debt[s] != out_debt) {
+        result.ok = false;
+        std::ostringstream out;
+        out << "counter-flow violation in " << label
+            << ": paths reaching pc " << cfg.blocks[s].begin
+            << " disagree on the outstanding weighted cost:\n  path A: "
+            << render_path(cfg, parent, s) << " carries debt "
+            << static_cast<int64_t>(*in_debt[s]) << "\n  path B: "
+            << render_path(cfg, parent, b) << " -> pc " << cfg.blocks[s].begin
+            << " carries debt " << static_cast<int64_t>(out_debt)
+            << "\n  (every join must agree for the counter increments to be "
+               "path-independent)";
+        result.error = out.str();
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace acctee::analysis

@@ -1,0 +1,85 @@
+// The counter-flow abstract domain (DESIGN.md §14).
+//
+// Classification first separates the flat code into the *workload* (the
+// recovered original program), the recognised counter *increments*
+// (`global.get C / i64.const n / i64.add / global.set C`), and loop-region
+// *scaffolding* (the save/epilogue ops of a hoisted counted loop, marked by
+// analysis/loops.cpp). Anything left over that touches the counter global
+// is an integrity violation and rejected before dataflow even runs.
+//
+// The dataflow then propagates a single abstract value per CFG edge — the
+// "debt": accumulated weighted workload cost minus applied increments, in
+// wrapping uint64 arithmetic exactly matching the module's i64.add. The
+// instrumentation passes' whole correctness argument is that this debt is a
+// *path-invariant* quantity: dominator folding carries a pending amount
+// across block boundaries only where every path agrees on it, and the
+// predecessor-min rule at joins equalises the arms first. So the verifier
+// demands (1) equal debt wherever two paths meet and (2) zero debt at every
+// function exit — which together prove that along EVERY path the increments
+// sum to the naive per-block weighted cost, without mirroring any of the
+// optimiser's reasoning.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "instrument/weights.hpp"
+#include "interp/flatten.hpp"
+
+namespace acctee::analysis {
+
+/// What one flat op is, once the instrumentation has been recognised.
+enum class OpClass : uint8_t {
+  Workload,   // part of the recovered original program (charged its weight)
+  Increment,  // one op of a recognised 4-op counter increment
+  Scaffold,   // hoisted-loop save/epilogue op (summarised by its region)
+};
+
+struct Classification {
+  std::vector<OpClass> op_class;  // one entry per flat op
+  // amount[pc] for each pc that *starts* a recognised increment sequence:
+  // raw i64 bits of the constant the sequence adds to the counter.
+  std::vector<std::pair<uint32_t, uint64_t>> increments;  // sorted by pc
+
+  uint32_t increment_count() const {
+    return static_cast<uint32_t>(increments.size());
+  }
+};
+
+/// Recognises every canonical increment sequence (all four ops inside one
+/// basic block — a branch into the middle of a sequence de-recognises it,
+/// after which the write-protection check rejects the module). Everything
+/// else is initially Workload.
+Classification classify_ops(const interp::FlatFunc& func, const Cfg& cfg,
+                            uint32_t counter_global);
+
+/// A constant charge attached to one CFG edge: leaving a constant-trip
+/// counted loop costs body_weight * trips even though the loop body itself
+/// carries no increment at all.
+struct EdgeCharge {
+  uint32_t from = 0;
+  uint32_t to = 0;
+  uint64_t amount = 0;
+};
+
+struct FlowResult {
+  bool ok = true;
+  /// Human-readable counterexample (a concrete path disagreement or an
+  /// exit with outstanding debt); empty when ok.
+  std::string error;
+};
+
+/// Runs the debt dataflow. `balanced_blocks` are loop-region bodies whose
+/// net cost the region summary already accounts for (treated as debt-
+/// neutral); `edge_charges` add region costs on specific edges. `label`
+/// names the function in counterexamples.
+FlowResult run_counter_flow(const interp::FlatFunc& func, const Cfg& cfg,
+                            const Classification& cls,
+                            const std::vector<uint32_t>& balanced_blocks,
+                            const std::vector<EdgeCharge>& edge_charges,
+                            const instrument::WeightTable& weights,
+                            const std::string& label);
+
+}  // namespace acctee::analysis

@@ -1,0 +1,82 @@
+#include "analysis/dominators.hpp"
+
+#include <algorithm>
+
+namespace acctee::analysis {
+
+std::vector<uint32_t> reverse_postorder(const Cfg& cfg) {
+  const uint32_t n = static_cast<uint32_t>(cfg.blocks.size());
+  std::vector<uint32_t> order;
+  if (n == 0) return order;
+  order.reserve(n);
+  std::vector<uint8_t> state(n, 0);  // 0 = unseen, 1 = on stack, 2 = done
+  // Iterative DFS with an explicit successor cursor (bodies can be large).
+  std::vector<std::pair<uint32_t, uint32_t>> stack;  // (block, next succ idx)
+  stack.emplace_back(0, 0);
+  state[0] = 1;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    if (next < cfg.blocks[b].succs.size()) {
+      uint32_t s = cfg.blocks[b].succs[next++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[b] = 2;
+      order.push_back(b);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<uint32_t> immediate_dominators(const Cfg& cfg) {
+  const uint32_t n = static_cast<uint32_t>(cfg.blocks.size());
+  std::vector<uint32_t> idom(n, kNoDominator);
+  if (n == 0) return idom;
+
+  std::vector<uint32_t> rpo = reverse_postorder(cfg);
+  std::vector<uint32_t> rpo_index(n, UINT32_MAX);
+  for (uint32_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = i;
+
+  auto intersect = [&](uint32_t a, uint32_t b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = idom[a];
+      while (rpo_index[b] > rpo_index[a]) b = idom[b];
+    }
+    return a;
+  };
+
+  idom[0] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t b : rpo) {
+      if (b == 0) continue;
+      uint32_t new_idom = kNoDominator;
+      for (uint32_t p : cfg.blocks[b].preds) {
+        if (idom[p] == kNoDominator) continue;  // pred not processed/reachable
+        new_idom = (new_idom == kNoDominator) ? p : intersect(new_idom, p);
+      }
+      if (new_idom != kNoDominator && idom[b] != new_idom) {
+        idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return idom;
+}
+
+bool dominates(const std::vector<uint32_t>& idom, uint32_t a, uint32_t b) {
+  if (a >= idom.size() || b >= idom.size()) return false;
+  if (idom[a] == kNoDominator || idom[b] == kNoDominator) return false;
+  while (true) {
+    if (b == a) return true;
+    if (b == 0) return false;
+    b = idom[b];
+  }
+}
+
+}  // namespace acctee::analysis

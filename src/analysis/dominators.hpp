@@ -1,0 +1,32 @@
+// Immediate dominators over a reconstructed CFG.
+//
+// The loop-region recogniser (analysis/loops.hpp) uses dominators as a
+// structural sanity check: a candidate counted-loop body must be a natural
+// loop whose single preheader immediately dominates it, so a hostile module
+// cannot smuggle a second entry edge into a region the verifier treats as
+// cost-balanced. Cooper–Harvey–Kennedy iterative algorithm — simple,
+// dependency-free, and linear in practice on reducible Wasm CFGs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace acctee::analysis {
+
+/// idom value for blocks unreachable from the entry.
+inline constexpr uint32_t kNoDominator = UINT32_MAX;
+
+/// Reverse postorder over the blocks reachable from the entry.
+std::vector<uint32_t> reverse_postorder(const Cfg& cfg);
+
+/// idom[b] = immediate dominator of block b. The entry dominates itself
+/// (idom[0] == 0); unreachable blocks get kNoDominator.
+std::vector<uint32_t> immediate_dominators(const Cfg& cfg);
+
+/// True if block `a` dominates block `b` (reflexive). False if either is
+/// unreachable.
+bool dominates(const std::vector<uint32_t>& idom, uint32_t a, uint32_t b);
+
+}  // namespace acctee::analysis

@@ -1,0 +1,272 @@
+#include "analysis/loops.hpp"
+
+namespace acctee::analysis {
+
+using interp::FlatFunc;
+using interp::FlatOp;
+using wasm::Op;
+
+namespace {
+
+bool plain(const FlatOp& op, Op kind) {
+  return !op.synthetic && op.op == kind;
+}
+
+bool is_local_op(const FlatOp& op) {
+  return !op.synthetic && (op.op == Op::LocalGet || op.op == Op::LocalSet ||
+                           op.op == Op::LocalTee);
+}
+
+bool writes_local(const FlatOp& op, uint32_t local) {
+  return !op.synthetic &&
+         (op.op == Op::LocalSet || op.op == Op::LocalTee) && op.a == local;
+}
+
+int32_t const_i32(const FlatOp& op) {
+  return static_cast<int32_t>(static_cast<uint32_t>(op.b));
+}
+
+/// Matches the canonical induction update `get $v/const k/add|sub/write $v`
+/// (or the commuted add) ending at `write_pc`, for the given variable.
+/// Returns the signed step, or nullopt.
+std::optional<int32_t> match_induction_update(const std::vector<FlatOp>& code,
+                                              uint32_t first_pc,
+                                              uint32_t write_pc,
+                                              uint32_t var) {
+  if (write_pc < first_pc + 3) return std::nullopt;
+  const FlatOp& w = code[write_pc];
+  if (!writes_local(w, var)) return std::nullopt;
+  const FlatOp& o0 = code[write_pc - 3];
+  const FlatOp& o1 = code[write_pc - 2];
+  const FlatOp& o2 = code[write_pc - 1];
+  // Pattern A: local.get $v / i32.const k / i32.add|sub
+  if (plain(o0, Op::LocalGet) && o0.a == var && plain(o1, Op::I32Const) &&
+      (plain(o2, Op::I32Add) || plain(o2, Op::I32Sub))) {
+    int32_t k = const_i32(o1);
+    return o2.op == Op::I32Add ? k : -k;
+  }
+  // Pattern B: i32.const k / local.get $v / i32.add (commuted add only)
+  if (plain(o0, Op::I32Const) && plain(o1, Op::LocalGet) && o1.a == var &&
+      plain(o2, Op::I32Add)) {
+    return const_i32(o0);
+  }
+  return std::nullopt;
+}
+
+struct LoopShape {
+  uint32_t body_block = 0;
+  uint32_t preheader_block = 0;
+  uint64_t body_weight = 0;
+};
+
+/// Structural core shared by both region kinds: block `b` must be a
+/// single-block natural loop over pure workload ops, entered only through a
+/// fallthrough preheader that ends with the `loop` op and immediately
+/// dominates the body.
+std::optional<LoopShape> match_loop_shape(const FlatFunc& func, const Cfg& cfg,
+                                          const std::vector<uint32_t>& idom,
+                                          const Classification& cls,
+                                          const instrument::WeightTable& weights,
+                                          uint32_t b) {
+  const std::vector<FlatOp>& code = func.code;
+  const BasicBlock& bb = cfg.blocks[b];
+  const FlatOp& last = code[bb.end - 1];
+  if (!plain(last, Op::BrIf) || last.target_pc != bb.begin) return std::nullopt;
+  if (bb.preds.size() != 2) return std::nullopt;
+  uint32_t p = bb.preds[0] == b ? bb.preds[1] : bb.preds[0];
+  if (p == b || idom[b] != p) return std::nullopt;
+  if (bb.begin == 0) return std::nullopt;
+  const BasicBlock& pre = cfg.blocks[p];
+  if (pre.end != bb.begin) return std::nullopt;  // must fall through
+  if (!plain(code[bb.begin - 1], Op::Loop)) return std::nullopt;
+
+  LoopShape shape;
+  shape.body_block = b;
+  shape.preheader_block = p;
+  for (uint32_t pc = bb.begin; pc < bb.end; ++pc) {
+    if (cls.op_class[pc] != OpClass::Workload || code[pc].synthetic) {
+      return std::nullopt;  // instrumented or synthetic op inside the body
+    }
+    shape.body_weight += weights.weight(code[pc].op);
+  }
+  return shape;
+}
+
+/// Hoisted-loop recognition, driven by the epilogue that must start at the
+/// loop's fallthrough pc.
+std::optional<CountedRegion> match_hoisted(const FlatFunc& func, const Cfg& cfg,
+                                           uint32_t counter_global,
+                                           const LoopShape& shape) {
+  const std::vector<FlatOp>& code = func.code;
+  const uint32_t n = static_cast<uint32_t>(code.size());
+  const BasicBlock& bb = cfg.blocks[shape.body_block];
+  const uint32_t e = bb.end;  // epilogue start (the loop's fallthrough pc)
+  if (e + 11 > n) return std::nullopt;
+  // All 11 ops must sit in one block — a branch into the epilogue would
+  // let part of it execute on its own.
+  if (cfg.block_of_pc[e] != cfg.block_of_pc[e + 10]) return std::nullopt;
+  if (!(plain(code[e], Op::GlobalGet) && code[e].a == counter_global &&
+        plain(code[e + 1], Op::LocalGet) && plain(code[e + 2], Op::LocalGet) &&
+        plain(code[e + 3], Op::I32Sub) && plain(code[e + 4], Op::I32Const) &&
+        plain(code[e + 5], Op::I32DivS) &&
+        plain(code[e + 6], Op::I64ExtendI32S) &&
+        plain(code[e + 7], Op::I64Const) && plain(code[e + 8], Op::I64Mul) &&
+        plain(code[e + 9], Op::I64Add) &&
+        plain(code[e + 10], Op::GlobalSet) &&
+        code[e + 10].a == counter_global)) {
+    return std::nullopt;
+  }
+  const uint32_t var = code[e + 1].a;
+  const uint32_t scratch = code[e + 2].a;
+  const int32_t step = const_i32(code[e + 4]);
+  const uint64_t claimed_weight = code[e + 7].b;
+  if (var == scratch || step == 0) return std::nullopt;
+  // The epilogue divides by the step, so the claimed per-iteration weight
+  // must be the one the verifier recomputed from the body itself.
+  if (claimed_weight != shape.body_weight) return std::nullopt;
+
+  // Save pair `local.get $var / local.set $scratch` directly before the
+  // loop op, inside the preheader block.
+  if (bb.begin < 3) return std::nullopt;
+  const uint32_t save = bb.begin - 3;
+  if (cfg.block_of_pc[save] != shape.preheader_block) return std::nullopt;
+  if (!(plain(code[save], Op::LocalGet) && code[save].a == var &&
+        plain(code[save + 1], Op::LocalSet) && code[save + 1].a == scratch)) {
+    return std::nullopt;
+  }
+
+  // Exactly one induction write per iteration, by the epilogue's step.
+  uint32_t write_pc = UINT32_MAX;
+  uint32_t writes = 0;
+  for (uint32_t pc = bb.begin; pc < bb.end; ++pc) {
+    if (writes_local(code[pc], var)) {
+      write_pc = pc;
+      ++writes;
+    }
+    if (writes_local(code[pc], scratch)) return std::nullopt;
+  }
+  if (writes != 1) return std::nullopt;
+  std::optional<int32_t> body_step =
+      match_induction_update(code, bb.begin, write_pc, var);
+  if (!body_step || *body_step != step) return std::nullopt;
+
+  // The scratch local must appear exactly twice in the whole function (the
+  // save's set and the epilogue's get): anything else could read the saved
+  // value or overwrite it between save and epilogue.
+  uint32_t scratch_uses = 0;
+  for (const FlatOp& op : code) {
+    if (is_local_op(op) && op.a == scratch) ++scratch_uses;
+  }
+  if (scratch_uses != 2) return std::nullopt;
+
+  CountedRegion region;
+  region.body_block = shape.body_block;
+  region.preheader_block = shape.preheader_block;
+  region.hoisted = true;
+  region.induction_local = var;
+  region.step = step;
+  region.body_weight = shape.body_weight;
+  region.scaffold_pcs = {save, save + 1};
+  for (uint32_t pc = e; pc < e + 11; ++pc) region.scaffold_pcs.push_back(pc);
+  return region;
+}
+
+/// Constant-trip recognition: canonical tail `get/const/add|sub/tee $v /
+/// const LIMIT / lt_s|gt_s / br_if` plus `const START / set $v` directly
+/// before the loop op (an already-recognised increment may sit between the
+/// init and the loop — the flush the pass emits on loop entry).
+std::optional<CountedRegion> match_const_trip(const FlatFunc& func,
+                                              const Cfg& cfg,
+                                              const Classification& cls,
+                                              const LoopShape& shape) {
+  const std::vector<FlatOp>& code = func.code;
+  const BasicBlock& bb = cfg.blocks[shape.body_block];
+  if (bb.end - bb.begin < 7) return std::nullopt;
+  const uint32_t tee_pc = bb.end - 4;
+  const FlatOp& tee = code[tee_pc];
+  if (!plain(tee, Op::LocalTee)) return std::nullopt;
+  const uint32_t var = tee.a;
+  if (!plain(code[bb.end - 3], Op::I32Const)) return std::nullopt;
+  const FlatOp& cmp = code[bb.end - 2];
+  if (!plain(cmp, Op::I32LtS) && !plain(cmp, Op::I32GtS)) return std::nullopt;
+
+  uint32_t writes = 0;
+  for (uint32_t pc = bb.begin; pc < bb.end; ++pc) {
+    if (writes_local(code[pc], var)) ++writes;
+  }
+  if (writes != 1) return std::nullopt;
+  std::optional<int32_t> step =
+      match_induction_update(code, bb.begin, tee_pc, var);
+  if (!step || *step == 0) return std::nullopt;
+  const bool upward = cmp.op == Op::I32LtS;
+  if ((upward && *step <= 0) || (!upward && *step >= 0)) return std::nullopt;
+
+  // Initialisation in the preheader, skipping any flush increment the pass
+  // emitted between the init and the loop op.
+  const BasicBlock& pre = cfg.blocks[shape.preheader_block];
+  uint32_t q = bb.begin - 1;  // the loop op
+  while (q > pre.begin && cls.op_class[q - 1] == OpClass::Increment) --q;
+  if (q < pre.begin + 2) return std::nullopt;
+  const FlatOp& init_set = code[q - 1];
+  const FlatOp& init_const = code[q - 2];
+  if (!(plain(init_set, Op::LocalSet) && init_set.a == var &&
+        cls.op_class[q - 1] == OpClass::Workload &&
+        plain(init_const, Op::I32Const) &&
+        cls.op_class[q - 2] == OpClass::Workload)) {
+    return std::nullopt;
+  }
+
+  // Independent do-while trip count: the body runs at least once; each
+  // iteration moves the induction variable by |step| toward the limit.
+  const int64_t start = const_i32(init_const);
+  const int64_t limit = const_i32(code[bb.end - 3]);
+  const int64_t distance = upward ? limit - start : start - limit;
+  const int64_t magnitude = upward ? *step : -static_cast<int64_t>(*step);
+  const int64_t trips =
+      distance <= 0 ? 1 : (distance + magnitude - 1) / magnitude;
+
+  CountedRegion region;
+  region.body_block = shape.body_block;
+  region.preheader_block = shape.preheader_block;
+  region.hoisted = false;
+  region.induction_local = var;
+  region.step = *step;
+  region.body_weight = shape.body_weight;
+  region.trips = static_cast<uint64_t>(trips);
+  region.exit_charge.from = shape.body_block;
+  region.exit_charge.to = cfg.block_of_pc[bb.end];
+  region.exit_charge.amount = shape.body_weight * region.trips;
+  region.has_exit_charge = true;
+  return region;
+}
+
+}  // namespace
+
+std::vector<CountedRegion> find_counted_regions(
+    const FlatFunc& func, const Cfg& cfg, const std::vector<uint32_t>& idom,
+    const Classification& cls, uint32_t counter_global,
+    const instrument::WeightTable& weights) {
+  std::vector<CountedRegion> regions;
+  for (uint32_t b = 0; b < cfg.blocks.size(); ++b) {
+    std::optional<LoopShape> shape =
+        match_loop_shape(func, cfg, idom, cls, weights, b);
+    if (!shape) continue;
+    if (auto hoisted = match_hoisted(func, cfg, counter_global, *shape)) {
+      regions.push_back(std::move(*hoisted));
+    } else if (auto folded = match_const_trip(func, cfg, cls, *shape)) {
+      regions.push_back(std::move(*folded));
+    }
+  }
+  return regions;
+}
+
+void apply_region_scaffolding(Classification& cls,
+                              const std::vector<CountedRegion>& regions) {
+  for (const CountedRegion& region : regions) {
+    for (uint32_t pc : region.scaffold_pcs) {
+      cls.op_class[pc] = OpClass::Scaffold;
+    }
+  }
+}
+
+}  // namespace acctee::analysis

@@ -1,0 +1,67 @@
+// Counted-loop region recognition (DESIGN.md §14).
+//
+// The LoopBased pass removes per-iteration increments from counted loops in
+// two ways, and both leave the loop body itself increment-free, which the
+// plain debt dataflow cannot balance (the debt would grow per iteration).
+// The verifier therefore summarises each recognised region:
+//
+//  * hoisted loop — `local.get $i / local.set $s` saved before the loop, an
+//    11-op epilogue `counter += W * (i - s) / step` after it. The epilogue
+//    pays exactly W per executed iteration, so the body is debt-neutral and
+//    the save/epilogue ops are zero-cost scaffolding.
+//  * constant-trip loop — no injected code at all; the instrumentation
+//    charges W * trips somewhere downstream. The body is debt-neutral and
+//    the loop's exit edge carries a constant charge of W * trips.
+//
+// Crucially the recogniser re-derives every quantity from the module alone:
+// the induction variable and step come from the code, W is recomputed as
+// the weighted sum of the body ops (a forged epilogue constant is rejected),
+// the trip count is recomputed from start/limit/step, and the structural
+// checks (self back edge, unique preheader that immediately dominates the
+// body, exactly one induction write, scratch local used exactly twice in
+// the whole function) stop a hostile module from smuggling a second entry
+// or free computation into a region the dataflow treats as balanced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/counter_flow.hpp"
+#include "analysis/dominators.hpp"
+#include "instrument/weights.hpp"
+#include "interp/flatten.hpp"
+
+namespace acctee::analysis {
+
+/// One recognised counted-loop region.
+struct CountedRegion {
+  uint32_t body_block = 0;       // the single-block natural loop
+  uint32_t preheader_block = 0;  // its unique non-backedge predecessor
+  bool hoisted = false;          // hoisted epilogue vs constant-trip fold
+  uint32_t induction_local = 0;
+  int32_t step = 0;
+  uint64_t body_weight = 0;  // recomputed weighted cost of one iteration
+  uint64_t trips = 0;        // constant-trip only
+  /// Hoisted only: pcs of the save pair and the 11-op epilogue.
+  std::vector<uint32_t> scaffold_pcs;
+  /// Constant-trip only: body_weight * trips charged on the exit edge.
+  EdgeCharge exit_charge;
+  bool has_exit_charge = false;
+};
+
+/// Finds every verifiable counted-loop region. Shapes that almost match
+/// simply produce no region; any counter access they contain then fails the
+/// verifier's write-protection check, so partial recognition can never
+/// cause a false accept.
+std::vector<CountedRegion> find_counted_regions(
+    const interp::FlatFunc& func, const Cfg& cfg,
+    const std::vector<uint32_t>& idom, const Classification& cls,
+    uint32_t counter_global, const instrument::WeightTable& weights);
+
+/// Marks each hoisted region's save/epilogue ops as Scaffold so the
+/// dataflow costs them at zero and write protection accepts them.
+void apply_region_scaffolding(Classification& cls,
+                              const std::vector<CountedRegion>& regions);
+
+}  // namespace acctee::analysis

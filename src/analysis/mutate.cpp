@@ -1,0 +1,184 @@
+#include "analysis/mutate.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "wasm/opcode.hpp"
+
+namespace acctee::analysis {
+
+using wasm::Instr;
+using wasm::Op;
+
+const char* to_string(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::DropIncrement: return "drop-increment";
+    case MutationKind::HalveIncrement: return "halve-increment";
+    case MutationKind::MoveIncrementAcrossBranch: return "move-across-branch";
+    case MutationKind::RetargetIncrement: return "retarget-counter";
+    case MutationKind::CorruptHoistedWeight: return "corrupt-hoisted-weight";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Walks every function body in deterministic pre-order, offering each
+/// applicable mutation to `offer`. When enumerating, `offer` records the
+/// site; when applying, it mutates at the chosen ordinal and returns true
+/// to stop the walk.
+class Walker {
+ public:
+  Walker(uint32_t counter_global,
+         std::function<bool(const MutationSite&, std::vector<Instr>*, size_t)>
+             offer)
+      : counter_(counter_global), offer_(std::move(offer)) {}
+
+  void walk(wasm::Module& module) {
+    for (uint32_t f = 0; f < module.functions.size(); ++f) {
+      func_ = f;
+      visit(module.functions[f].body);
+      if (done_) return;
+    }
+  }
+
+ private:
+  bool is_increment(const std::vector<Instr>& body, size_t i) const {
+    return i + 3 < body.size() && body[i].op == Op::GlobalGet &&
+           body[i].index == counter_ && body[i + 1].op == Op::I64Const &&
+           body[i + 2].op == Op::I64Add && body[i + 3].op == Op::GlobalSet &&
+           body[i + 3].index == counter_;
+  }
+
+  bool is_epilogue(const std::vector<Instr>& body, size_t i) const {
+    return i + 10 < body.size() && body[i].op == Op::GlobalGet &&
+           body[i].index == counter_ && body[i + 1].op == Op::LocalGet &&
+           body[i + 2].op == Op::LocalGet && body[i + 3].op == Op::I32Sub &&
+           body[i + 4].op == Op::I32Const && body[i + 5].op == Op::I32DivS &&
+           body[i + 6].op == Op::I64ExtendI32S &&
+           body[i + 7].op == Op::I64Const && body[i + 8].op == Op::I64Mul &&
+           body[i + 9].op == Op::I64Add && body[i + 10].op == Op::GlobalSet &&
+           body[i + 10].index == counter_;
+  }
+
+  bool offer(MutationKind kind, std::vector<Instr>& body, size_t i,
+             const char* what) {
+    MutationSite site;
+    site.kind = kind;
+    site.function = func_;
+    std::ostringstream desc;
+    desc << to_string(kind) << " in defined func " << func_
+         << " at body offset " << i << " (" << what << ")";
+    site.description = desc.str();
+    done_ = offer_(site, &body, i);
+    return done_;
+  }
+
+  void visit(std::vector<Instr>& body) {
+    for (size_t i = 0; i < body.size() && !done_; ++i) {
+      if (is_increment(body, i)) {
+        if (offer(MutationKind::DropIncrement, body, i, "increment")) return;
+        if (body[i + 1].imm != 0 &&
+            offer(MutationKind::HalveIncrement, body, i, "increment")) {
+          return;
+        }
+        if (i + 4 < body.size() && (wasm::is_branch(body[i + 4].op) ||
+                                    body[i + 4].op == Op::Return ||
+                                    body[i + 4].op == Op::Unreachable)) {
+          if (offer(MutationKind::MoveIncrementAcrossBranch, body, i,
+                    "increment before branch")) {
+            return;
+          }
+        }
+        if (offer(MutationKind::RetargetIncrement, body, i, "increment")) {
+          return;
+        }
+      } else if (is_epilogue(body, i) && body[i + 7].imm != 0) {
+        if (offer(MutationKind::CorruptHoistedWeight, body, i, "epilogue")) {
+          return;
+        }
+      }
+      visit(body[i].body);
+      if (done_) return;
+      visit(body[i].else_body);
+    }
+  }
+
+  uint32_t counter_;
+  std::function<bool(const MutationSite&, std::vector<Instr>*, size_t)> offer_;
+  uint32_t func_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace
+
+std::vector<MutationSite> enumerate_mutations(const wasm::Module& module,
+                                              uint32_t counter_global) {
+  std::vector<MutationSite> sites;
+  wasm::Module copy = module;  // Walker takes mutable bodies; never mutates
+  Walker walker(counter_global,
+                [&](const MutationSite& site, std::vector<Instr>*, size_t) {
+                  sites.push_back(site);
+                  return false;
+                });
+  walker.walk(copy);
+  return sites;
+}
+
+wasm::Module apply_mutation(const wasm::Module& module, uint32_t counter_global,
+                            size_t index) {
+  wasm::Module mutated = module;
+  size_t ordinal = 0;
+  bool applied = false;
+  bool need_decoy = false;
+  const uint32_t decoy_index = static_cast<uint32_t>(mutated.globals.size());
+
+  Walker walker(
+      counter_global,
+      [&](const MutationSite& site, std::vector<Instr>* body, size_t i) {
+        if (ordinal++ != index) return false;
+        switch (site.kind) {
+          case MutationKind::DropIncrement:
+            body->erase(body->begin() + static_cast<ptrdiff_t>(i),
+                        body->begin() + static_cast<ptrdiff_t>(i + 4));
+            break;
+          case MutationKind::HalveIncrement:
+            (*body)[i + 1].imm = static_cast<uint64_t>(
+                static_cast<int64_t>((*body)[i + 1].imm) / 2);
+            break;
+          case MutationKind::MoveIncrementAcrossBranch:
+            // [inc0..inc3][branch] -> [branch][inc0..inc3]
+            std::rotate(body->begin() + static_cast<ptrdiff_t>(i),
+                        body->begin() + static_cast<ptrdiff_t>(i + 4),
+                        body->begin() + static_cast<ptrdiff_t>(i + 5));
+            break;
+          case MutationKind::RetargetIncrement:
+            (*body)[i + 3].index = decoy_index;
+            need_decoy = true;
+            break;
+          case MutationKind::CorruptHoistedWeight:
+            (*body)[i + 7].imm = (*body)[i + 7].imm / 2;
+            break;
+        }
+        applied = true;
+        return true;
+      });
+  walker.walk(mutated);
+
+  if (!applied) {
+    throw Error("apply_mutation: site index out of range");
+  }
+  if (need_decoy) {
+    wasm::Global decoy;
+    decoy.type = wasm::ValType::I64;
+    decoy.mutable_ = true;
+    decoy.init = Instr::i64c(0);
+    decoy.name = "mutation_decoy";
+    mutated.globals.push_back(std::move(decoy));
+  }
+  return mutated;
+}
+
+}  // namespace acctee::analysis

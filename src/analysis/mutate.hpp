@@ -1,0 +1,52 @@
+// Deterministic mutation harness for the counter-equivalence verifier.
+//
+// Corrupts an *instrumented* module in ways a buggy or malicious
+// instrumentation enclave might: dropping an increment, halving its
+// amount, moving it across a branch (so one path pays and the other does
+// not), retargeting the final global.set at a decoy global, and corrupting
+// a hoisted loop's claimed per-iteration weight. Every mutant keeps the
+// module valid — it would execute fine and simply under- or mis-account —
+// so the only line of defence is the static verifier, whose negative tests
+// (tests/analysis_test.cpp) assert zero false accepts over the full corpus.
+// tools/mutate_instr.cpp drives the same enumeration standalone.
+//
+// Enumeration order is a deterministic pre-order walk over function bodies,
+// so site indices are stable for a given module and the corpus is exactly
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wasm/ast.hpp"
+
+namespace acctee::analysis {
+
+enum class MutationKind : uint8_t {
+  DropIncrement,             // erase the whole 4-op increment sequence
+  HalveIncrement,            // halve the i64.const amount
+  MoveIncrementAcrossBranch, // move the sequence past an adjacent branch
+  RetargetIncrement,         // global.set a decoy global instead
+  CorruptHoistedWeight,      // halve the epilogue's claimed body weight
+};
+
+const char* to_string(MutationKind kind);
+
+struct MutationSite {
+  MutationKind kind = MutationKind::DropIncrement;
+  uint32_t function = 0;  // defined-function index
+  std::string description;
+};
+
+/// Enumerates every applicable mutation site of an instrumented module, in
+/// deterministic order.
+std::vector<MutationSite> enumerate_mutations(const wasm::Module& module,
+                                              uint32_t counter_global);
+
+/// Applies site `index` of enumerate_mutations() to a copy of the module.
+/// The result is structurally valid Wasm. Throws Error on a bad index.
+wasm::Module apply_mutation(const wasm::Module& module, uint32_t counter_global,
+                            size_t index);
+
+}  // namespace acctee::analysis

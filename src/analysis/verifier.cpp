@@ -1,0 +1,178 @@
+#include "analysis/verifier.hpp"
+
+#include <sstream>
+
+#include "analysis/cfg.hpp"
+#include "analysis/counter_flow.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "common/bytes.hpp"
+#include "instrument/passes.hpp"
+#include "wasm/validator.hpp"
+
+namespace acctee::analysis {
+
+using interp::FlatFunc;
+using interp::FlatOp;
+using wasm::Op;
+
+std::optional<std::string> check_counter_global(const wasm::Module& module,
+                                                uint32_t counter_global) {
+  auto exported = module.find_export(instrument::kCounterExport,
+                                     wasm::ExternKind::Global);
+  if (!exported) {
+    return std::string("counter global is not exported as \"") +
+           instrument::kCounterExport + "\"";
+  }
+  if (*exported != counter_global) {
+    std::ostringstream out;
+    out << "export \"" << instrument::kCounterExport << "\" names global "
+        << *exported << ", expected the counter global " << counter_global;
+    return out.str();
+  }
+  if (counter_global >= module.globals.size()) {
+    return std::string("counter global index is out of range");
+  }
+  const wasm::Global& g = module.globals[counter_global];
+  if (g.type != wasm::ValType::I64) {
+    return std::string("counter global must have type i64");
+  }
+  if (!g.mutable_) {
+    return std::string("counter global must be mutable");
+  }
+  if (g.init.op != Op::I64Const || g.init.imm != 0) {
+    return std::string("counter global must be initialised to i64.const 0");
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::string function_label(const wasm::Module& module, uint32_t defined_index) {
+  const uint32_t index =
+      static_cast<uint32_t>(module.imports.size()) + defined_index;
+  std::ostringstream out;
+  out << "func[" << index << "]";
+  const std::string& name = module.functions[defined_index].name;
+  if (!name.empty()) out << " \"" << name << "\"";
+  return out.str();
+}
+
+}  // namespace
+
+VerifyResult verify_instrumented_module(const wasm::Module& module,
+                                        const std::vector<FlatFunc>& flat,
+                                        uint32_t counter_global,
+                                        const instrument::WeightTable& weights) {
+  VerifyResult result;
+  if (auto err = check_counter_global(module, counter_global)) {
+    result.error = *err;
+    return result;
+  }
+
+  for (uint32_t fi = 0; fi < flat.size(); ++fi) {
+    const FlatFunc& func = flat[fi];
+    const std::string label = function_label(module, fi);
+
+    Cfg cfg = build_cfg(func);
+    std::vector<uint32_t> idom = immediate_dominators(cfg);
+    Classification cls = classify_ops(func, cfg, counter_global);
+    std::vector<CountedRegion> regions =
+        find_counted_regions(func, cfg, idom, cls, counter_global, weights);
+    apply_region_scaffolding(cls, regions);
+
+    // Write protection: after recognition, nothing classified as workload
+    // may touch the counter global. This also catches every mangled or
+    // half-recognised increment/epilogue.
+    for (uint32_t pc = 0; pc < func.code.size(); ++pc) {
+      const FlatOp& op = func.code[pc];
+      if (cls.op_class[pc] != OpClass::Workload || op.synthetic) continue;
+      if ((op.op == Op::GlobalGet || op.op == Op::GlobalSet) &&
+          op.a == counter_global) {
+        std::ostringstream out;
+        out << "write-protection violation in " << label << ": op "
+            << wasm::op_info(op.op).name << " at pc " << pc
+            << " accesses the counter global outside any recognised "
+               "increment or hoisted-loop epilogue";
+        result.error = out.str();
+        return result;
+      }
+    }
+
+    std::vector<uint32_t> balanced;
+    std::vector<EdgeCharge> charges;
+    FunctionReport report;
+    report.index = static_cast<uint32_t>(module.imports.size()) + fi;
+    report.name = module.functions[fi].name;
+    report.blocks = static_cast<uint32_t>(cfg.blocks.size());
+    report.increments = cls.increment_count();
+    for (const CountedRegion& region : regions) {
+      balanced.push_back(region.body_block);
+      if (region.has_exit_charge) charges.push_back(region.exit_charge);
+      if (region.hoisted) {
+        ++report.hoisted_loops;
+      } else {
+        ++report.folded_loops;
+      }
+    }
+
+    FlowResult flow = run_counter_flow(func, cfg, cls, balanced, charges,
+                                       weights, label);
+    if (!flow.ok) {
+      result.error = flow.error;
+      return result;
+    }
+
+    // The recovered original program: every workload op, charged its agreed
+    // weight, exactly once statically.
+    uint64_t recovered = 0;
+    for (uint32_t pc = 0; pc < func.code.size(); ++pc) {
+      if (cls.op_class[pc] == OpClass::Workload && !func.code[pc].synthetic) {
+        recovered += weights.weight(func.code[pc].op);
+      }
+    }
+    report.recovered_cost = recovered;
+    result.cost_vector.push_back(recovered);
+    result.functions.push_back(std::move(report));
+  }
+
+  result.cost_vector_digest = cost_vector_digest(result.cost_vector);
+  result.ok = true;
+  return result;
+}
+
+VerifyResult verify_instrumented_module(const wasm::Module& module,
+                                        uint32_t counter_global,
+                                        const instrument::WeightTable& weights) {
+  wasm::validate(module);
+  std::vector<FlatFunc> flat;
+  flat.reserve(module.functions.size());
+  for (const wasm::Function& func : module.functions) {
+    flat.push_back(interp::flatten(module, func));
+  }
+  return verify_instrumented_module(module, flat, counter_global, weights);
+}
+
+std::vector<uint64_t> naive_cost_vector(const wasm::Module& module,
+                                        const instrument::WeightTable& weights) {
+  std::vector<uint64_t> costs;
+  costs.reserve(module.functions.size());
+  for (const wasm::Function& func : module.functions) {
+    FlatFunc flat = interp::flatten(module, func);
+    uint64_t cost = 0;
+    for (const FlatOp& op : flat.code) {
+      if (!op.synthetic) cost += weights.weight(op.op);
+    }
+    costs.push_back(cost);
+  }
+  return costs;
+}
+
+crypto::Digest cost_vector_digest(const std::vector<uint64_t>& costs) {
+  Bytes payload = to_bytes("acctee-cost-vector-v1");
+  append_u32le(payload, static_cast<uint32_t>(costs.size()));
+  for (uint64_t c : costs) append_u64le(payload, c);
+  return crypto::sha256(payload);
+}
+
+}  // namespace acctee::analysis

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 
+#include "analysis/verifier.hpp"
 #include "common/error.hpp"
 #include "obs/trace.hpp"
 #include "wasm/binary.hpp"
@@ -38,6 +40,11 @@ AccountingEnclave::AccountingEnclave(sgx::Platform& platform, Config config)
   traps_ = &reg.counter("acctee_ae_traps_total", labels_);
   limit_exceeded_ = &reg.counter("acctee_ae_limit_exceeded_total", labels_);
   interim_logs_ = &reg.counter("acctee_ae_interim_logs_total", labels_);
+  verify_total_ = &reg.counter("acctee_ae_instr_verify_total", labels_);
+  verify_failures_ =
+      &reg.counter("acctee_ae_instr_verify_failures_total", labels_);
+  verify_seconds_ = &reg.histogram("acctee_ae_instr_verify_seconds",
+                                   obs::default_latency_bounds(), labels_);
 }
 
 sgx::Measurement AccountingEnclave::expected_measurement() {
@@ -103,16 +110,48 @@ AccountingEnclave::prepare(BytesView instrumented_binary,
     auto compile_span = obs::Tracer::global().span("ae.compile");
     compiled = interp::compile(wasm::decode(instrumented_binary));
   }
-  auto counter_export = compiled->module().find_export(
-      instrument::kCounterExport, wasm::ExternKind::Global);
-  if (!counter_export || *counter_export != evidence.counter_global) {
-    throw AttestationError("counter global missing or mismatched");
+  // The counter global must not merely exist under the right export name:
+  // a decoy (wrong type, immutable, or pre-charged initial value) would
+  // skew every signed log, so its declaration is validated too.
+  if (auto err = analysis::check_counter_global(compiled->module(),
+                                                evidence.counter_global)) {
+    throw AttestationError("counter global rejected: " + *err);
+  }
+
+  // --- 3. Statically re-prove the instrumentation (DESIGN.md §14): the
+  // IE's signature says who produced the module; this says the module
+  // actually accounts every path correctly. ---
+  crypto::Digest cost_digest{};
+  if (config_.verify_instrumentation) {
+    auto verify_span = obs::Tracer::global().span("ae.verify_counters");
+    auto started = std::chrono::steady_clock::now();
+    analysis::VerifyResult verdict = analysis::verify_instrumented_module(
+        compiled->module(), compiled->flat(), evidence.counter_global,
+        config_.instrumentation.weights);
+    verify_seconds_->observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count());
+    verify_total_->inc();
+    if (!verdict.ok) {
+      verify_failures_->inc();
+      throw AttestationError("instrumentation failed static verification: " +
+                             verdict.error);
+    }
+    if (verdict.cost_vector_digest != evidence.cost_vector_digest) {
+      verify_failures_->inc();
+      throw AttestationError(
+          "instrumentation evidence cost-vector digest does not match the "
+          "statically recovered cost vector");
+    }
+    cost_digest = verdict.cost_vector_digest;
   }
   prepared_misses_->inc();
 
   auto prepared = std::make_shared<const PreparedModule>(PreparedModule{
       std::move(compiled), binary_hash, evidence_digest,
-      evidence.weight_table_hash, evidence.pass, evidence.counter_global});
+      evidence.weight_table_hash, evidence.pass, evidence.counter_global,
+      cost_digest});
 
   if (config_.prepared_cache_capacity > 0) {
     if (it != prepared_index_.end()) {

@@ -41,6 +41,14 @@ class AccountingEnclave {
     interp::Platform platform = interp::Platform::WasmSgxHw;
     /// Resource limit: abort workloads beyond this many instructions.
     uint64_t max_instructions = UINT64_MAX;
+    /// Statically re-prove the instrumentation inside the AE before the
+    /// first execution of a module (analysis/verifier.hpp): counter-flow
+    /// equivalence to naive accounting, counter write protection, and the
+    /// evidence's cost-vector digest. On by default — with it, a buggy or
+    /// compromised IE can sign whatever it likes and the AE still refuses
+    /// to run an under-counting module. The result is cached with the
+    /// prepared module, so the LRU amortises the analysis cost.
+    bool verify_instrumentation = true;
     uint32_t signing_capacity = 512;
     /// When non-zero, the AE additionally emits a signed *interim* log
     /// every this many executed instructions (paper §3.3: periodic
@@ -93,6 +101,9 @@ class AccountingEnclave {
     crypto::Digest weight_table_hash{};
     instrument::PassKind pass = instrument::PassKind::LoopBased;
     uint32_t counter_global = 0;
+    /// Digest of the per-function naive cost vector the static verifier
+    /// recovered from the binary (all zero when verification is disabled).
+    crypto::Digest cost_vector_digest{};
   };
 
   /// Verifies evidence and compiles the binary — or returns the cached
@@ -163,6 +174,9 @@ class AccountingEnclave {
   obs::Counter* traps_ = nullptr;
   obs::Counter* limit_exceeded_ = nullptr;
   obs::Counter* interim_logs_ = nullptr;
+  obs::Counter* verify_total_ = nullptr;
+  obs::Counter* verify_failures_ = nullptr;
+  obs::Histogram* verify_seconds_ = nullptr;
 };
 
 }  // namespace acctee::core

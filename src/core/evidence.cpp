@@ -3,12 +3,13 @@
 namespace acctee::core {
 
 Bytes InstrumentationEvidence::signed_payload() const {
-  Bytes out = to_bytes("acctee-instrumentation-evidence-v1");
+  Bytes out = to_bytes("acctee-instrumentation-evidence-v2");
   append(out, BytesView(input_hash.data(), input_hash.size()));
   append(out, BytesView(output_hash.data(), output_hash.size()));
   append(out, BytesView(weight_table_hash.data(), weight_table_hash.size()));
   out.push_back(static_cast<uint8_t>(pass));
   append_u32le(out, counter_global);
+  append(out, BytesView(cost_vector_digest.data(), cost_vector_digest.size()));
   return out;
 }
 

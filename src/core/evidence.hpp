@@ -15,6 +15,12 @@ struct InstrumentationEvidence {
   crypto::Digest weight_table_hash{};
   instrument::PassKind pass = instrument::PassKind::LoopBased;
   uint32_t counter_global = 0;        // index of the injected counter
+  /// Digest of the original program's per-function naive cost vector
+  /// (analysis::cost_vector_digest): an independently *checkable* claim.
+  /// The accounting enclave's static verifier recovers the same vector
+  /// from the instrumented binary alone and refuses to execute on any
+  /// mismatch, so a compromised IE cannot under-state workload cost.
+  crypto::Digest cost_vector_digest{};
   crypto::Signature signature;        // by the instrumentation enclave
 
   /// Canonical bytes covered by the signature.

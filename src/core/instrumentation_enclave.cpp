@@ -1,5 +1,6 @@
 #include "core/instrumentation_enclave.hpp"
 
+#include "analysis/verifier.hpp"
 #include "crypto/hmac.hpp"
 #include "wasm/binary.hpp"
 #include "wasm/validator.hpp"
@@ -40,6 +41,12 @@ InstrumentationEnclave::Output InstrumentationEnclave::instrument_binary(
   wasm::Module module = wasm::decode(wasm_binary);
   wasm::validate(module);
 
+  // The evidence binds the original program's naive cost vector — a claim
+  // the AE's static verifier independently recovers from the instrumented
+  // binary and cross-checks (analysis/verifier.hpp).
+  crypto::Digest cost_digest = analysis::cost_vector_digest(
+      analysis::naive_cost_vector(module, options_.weights));
+
   instrument::InstrumentResult result = instrument::instrument(module, options_);
 
   Output out;
@@ -50,6 +57,7 @@ InstrumentationEnclave::Output InstrumentationEnclave::instrument_binary(
   out.evidence.weight_table_hash = options_.weights.hash();
   out.evidence.pass = options_.pass;
   out.evidence.counter_global = result.counter_global;
+  out.evidence.cost_vector_digest = cost_digest;
   out.evidence.signature = signer_.sign(out.evidence.signed_payload());
   return out;
 }

@@ -28,6 +28,17 @@
 //       (instrument -> verify -> compile -> instantiate -> run -> sign)
 //       with wall-clock durations, or exports Chrome trace-event JSON.
 //
+//   acctee verify-instr <module.wat|module.wasm> [--counter N]
+//                       [--weights unit|base]
+//       Runs the accounting enclave's static counter-equivalence verifier
+//       (DESIGN.md §14) over an instrumented module: proves that along
+//       every control-flow path the counter increments equal the naive
+//       weighted cost and that nothing else touches the counter, then
+//       prints the recovered per-function cost vector and its digest.
+//       Exits 1 with a concrete counterexample path on failure.
+//       With --builtin, sweeps every bundled workload through all three
+//       instrumentation passes instead.
+//
 //   acctee audit verify <ledger-file> [--identity HEX]
 //       Offline replay of a saved audit ledger: checks every log
 //       signature, the sequence/prev-hash chain, and each checkpoint's
@@ -41,6 +52,9 @@
 #include <fstream>
 #include <sstream>
 
+#include <chrono>
+
+#include "analysis/verifier.hpp"
 #include "audit/ledger.hpp"
 #include "audit/reconcile.hpp"
 #include "audit/verifier.hpp"
@@ -56,6 +70,9 @@
 #include "wasm/validator.hpp"
 #include "wasm/wat_parser.hpp"
 #include "wasm/wat_printer.hpp"
+#include "workloads/faas_functions.hpp"
+#include "workloads/polybench.hpp"
+#include "workloads/usecases.hpp"
 
 using namespace acctee;
 
@@ -367,6 +384,123 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
+instrument::WeightTable parse_weights(const std::string& s) {
+  if (s == "unit") return instrument::WeightTable::unit();
+  if (s == "base") return instrument::WeightTable::from_base_costs();
+  throw Error("unknown weight table: " + s + " (expected unit|base)");
+}
+
+/// Runs the static verifier over one instrumented module and prints the
+/// report. Returns 0 on PASS, 1 with the counterexample on FAIL.
+int verify_one(const wasm::Module& module, uint32_t counter_global,
+               const instrument::WeightTable& weights) {
+  auto started = std::chrono::steady_clock::now();
+  analysis::VerifyResult verdict =
+      analysis::verify_instrumented_module(module, counter_global, weights);
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - started)
+                  .count();
+  if (!verdict.ok) {
+    std::printf("FAIL (%.2f ms)\n%s\n", ms, verdict.error.c_str());
+    return 1;
+  }
+  std::printf("  %-6s %-24s %8s %11s %8s %8s %14s\n", "func", "name", "blocks",
+              "increments", "hoisted", "folded", "cost");
+  for (const analysis::FunctionReport& f : verdict.functions) {
+    std::printf("  %-6u %-24s %8u %11u %8u %8u %14llu\n", f.index,
+                f.name.empty() ? "-" : f.name.c_str(), f.blocks, f.increments,
+                f.hoisted_loops, f.folded_loops,
+                static_cast<unsigned long long>(f.recovered_cost));
+  }
+  std::printf("cost vector digest: %s\n",
+              crypto::digest_hex(verdict.cost_vector_digest).c_str());
+  std::printf("PASS (%.2f ms): counter increments are equivalent to naive "
+              "weighted accounting on every path\n",
+              ms);
+  return 0;
+}
+
+/// --builtin: every bundled workload through all three passes.
+int verify_builtin_sweep(const instrument::WeightTable& weights) {
+  std::vector<std::pair<std::string, wasm::Module>> modules;
+  for (const workloads::KernelFactory& kernel : workloads::polybench()) {
+    modules.emplace_back(kernel.name, kernel.build(6));
+  }
+  for (const workloads::UseCase& usecase : workloads::usecases()) {
+    modules.emplace_back(usecase.name, usecase.build());
+  }
+  modules.emplace_back("faas_echo", workloads::faas_echo());
+  modules.emplace_back("faas_resize", workloads::faas_resize());
+
+  const instrument::PassKind passes[] = {instrument::PassKind::Naive,
+                                         instrument::PassKind::FlowBased,
+                                         instrument::PassKind::LoopBased};
+  int failures = 0;
+  for (const auto& [name, original] : modules) {
+    std::vector<uint64_t> expected =
+        analysis::naive_cost_vector(original, weights);
+    for (instrument::PassKind pass : passes) {
+      auto result =
+          instrument::instrument(original, {pass, weights});
+      analysis::VerifyResult verdict = analysis::verify_instrumented_module(
+          result.module, result.counter_global, weights);
+      bool ok = verdict.ok && verdict.cost_vector == expected;
+      std::printf("  %-14s %-6s %s\n", name.c_str(), to_string(pass),
+                  ok ? "PASS"
+                     : (verdict.ok ? "FAIL (recovered cost vector mismatch)"
+                                   : verdict.error.c_str()));
+      if (!ok) ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::printf("%d combination(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("all %zu workloads x %zu passes verified\n", modules.size(),
+              std::size(passes));
+  return 0;
+}
+
+int cmd_verify_instr(int argc, char** argv) {
+  const char* usage_line =
+      "usage: acctee verify-instr <module> [--counter N] [--weights unit|base]\n"
+      "       acctee verify-instr --builtin [--weights unit|base]";
+  std::string path;
+  bool builtin = false;
+  std::optional<uint32_t> counter_flag;
+  instrument::WeightTable weights = instrument::WeightTable::unit();
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--builtin") == 0) {
+      builtin = true;
+    } else if (std::strcmp(argv[i], "--counter") == 0 && i + 1 < argc) {
+      counter_flag = static_cast<uint32_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--weights") == 0 && i + 1 < argc) {
+      weights = parse_weights(argv[++i]);
+    } else if (path.empty() && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      throw Error(usage_line);
+    }
+  }
+  if (builtin) return verify_builtin_sweep(weights);
+  if (path.empty()) throw Error(usage_line);
+  wasm::Module module = load_module(path);
+  uint32_t counter_global;
+  if (counter_flag) {
+    counter_global = *counter_flag;
+  } else {
+    auto exported = module.find_export(instrument::kCounterExport,
+                                       wasm::ExternKind::Global);
+    if (!exported) {
+      throw Error(std::string("module does not export \"") +
+                  instrument::kCounterExport +
+                  "\" — not an instrumented module (or pass --counter N)");
+    }
+    counter_global = *exported;
+  }
+  return verify_one(module, counter_global, weights);
+}
+
 crypto::Digest parse_digest_hex(const std::string& hex) {
   crypto::Digest digest{};
   if (hex.size() != digest.size() * 2) {
@@ -485,6 +619,8 @@ void usage() {
       "             [--out FILE]\n"
       "  acctee trace <module> [--entry NAME] [--arg TYPE:VALUE ...]\n"
       "             [--requests N] [--pass P] [--json] [--chrome FILE]\n"
+      "  acctee verify-instr <module> [--counter N] [--weights unit|base]\n"
+      "  acctee verify-instr --builtin [--weights unit|base]\n"
       "  acctee audit verify <ledger> [--identity HEX]\n"
       "  acctee audit reconcile <ledger> <metrics.prom> [--tolerance X]\n"
       "  acctee inspect <module>\n"
@@ -505,6 +641,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(argc - 2, argv + 2);
     if (cmd == "metrics") return cmd_metrics(argc - 2, argv + 2);
     if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
+    if (cmd == "verify-instr") return cmd_verify_instr(argc - 2, argv + 2);
     if (cmd == "audit") return cmd_audit(argc - 2, argv + 2);
     if (cmd == "inspect") return cmd_inspect(argc - 2, argv + 2);
     if (cmd == "wat") return cmd_wat(argc - 2, argv + 2);

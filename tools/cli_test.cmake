@@ -28,3 +28,31 @@ execute_process(COMMAND ${ACCTEE} wat ${OUT}
 if(NOT rc EQUAL 0 OR NOT out MATCHES "global.set 0")
   message(FATAL_ERROR "wat failed:\n${out}")
 endif()
+
+# Static counter-equivalence verification of the instrumented binary.
+execute_process(COMMAND ${ACCTEE} verify-instr ${OUT}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "PASS")
+  message(FATAL_ERROR "verify-instr failed:\n${out}")
+endif()
+
+# The mutation harness: every corrupted variant must be rejected.
+if(DEFINED ACCTEE_MUTATE)
+  execute_process(COMMAND ${ACCTEE_MUTATE} ${OUT} --verify-all
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+  if(NOT rc EQUAL 0 OR NOT out MATCHES "zero false accepts")
+    message(FATAL_ERROR "mutate --verify-all failed:\n${out}")
+  endif()
+  # A mutant written to disk must then FAIL verify-instr.
+  set(MUTANT ${CMAKE_CURRENT_BINARY_DIR}/cli_test_mutant.wasm)
+  execute_process(COMMAND ${ACCTEE_MUTATE} ${OUT} --apply 0 ${MUTANT}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "mutate --apply failed:\n${out}")
+  endif()
+  execute_process(COMMAND ${ACCTEE} verify-instr ${MUTANT}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+  if(rc EQUAL 0 OR NOT out MATCHES "FAIL")
+    message(FATAL_ERROR "verify-instr accepted a mutant:\n${out}")
+  endif()
+endif()

@@ -1,0 +1,195 @@
+// acctee-mutate — mutation harness for the static counter-equivalence
+// verifier (analysis/mutate.hpp).
+//
+//   acctee-mutate <module.wat|module.wasm> --list
+//       Enumerates every applicable mutation site of an instrumented
+//       module, in deterministic order.
+//
+//   acctee-mutate <module> --apply N <out.wasm>
+//       Applies site N and writes the (still valid) mutant binary.
+//
+//   acctee-mutate <module> --verify-all [--weights unit|base]
+//       Applies every site in turn and runs the static verifier over each
+//       mutant: exits 1 if ANY mutant passes (a false accept — every
+//       mutation under- or mis-accounts by construction) or if the module
+//       offers no sites at all.
+//
+// All modes take [--counter N] to override the counter-global index
+// (default: the module's __acctee_counter export).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "analysis/mutate.hpp"
+#include "analysis/verifier.hpp"
+#include "common/error.hpp"
+#include "instrument/passes.hpp"
+#include "instrument/weights.hpp"
+#include "wasm/binary.hpp"
+#include "wasm/validator.hpp"
+#include "wasm/wat_parser.hpp"
+
+using namespace acctee;
+
+namespace {
+
+const char* const kUsage =
+    "usage: acctee-mutate <module> --list [--counter N]\n"
+    "       acctee-mutate <module> --apply N <out.wasm> [--counter N]\n"
+    "       acctee-mutate <module> --verify-all [--counter N] "
+    "[--weights unit|base]\n";
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string s = ss.str();
+  return Bytes(s.begin(), s.end());
+}
+
+wasm::Module load_module(const std::string& path) {
+  Bytes data = read_file(path);
+  wasm::Module module;
+  if (data.size() >= 4 && data[0] == 0x00 && data[1] == 'a' &&
+      data[2] == 's' && data[3] == 'm') {
+    module = wasm::decode(data);
+  } else {
+    module = wasm::parse_wat(std::string(data.begin(), data.end()));
+  }
+  wasm::validate(module);
+  return module;
+}
+
+int list_sites(const wasm::Module& module, uint32_t counter) {
+  auto sites = analysis::enumerate_mutations(module, counter);
+  for (size_t i = 0; i < sites.size(); ++i) {
+    std::printf("%4zu  %s\n", i, sites[i].description.c_str());
+  }
+  std::printf("%zu mutation site(s)\n", sites.size());
+  return 0;
+}
+
+int apply_site(const wasm::Module& module, uint32_t counter, size_t index,
+               const std::string& out_path) {
+  auto sites = analysis::enumerate_mutations(module, counter);
+  if (index >= sites.size()) {
+    throw Error("site index out of range (module has " +
+                std::to_string(sites.size()) + " sites)");
+  }
+  wasm::Module mutant = analysis::apply_mutation(module, counter, index);
+  wasm::validate(mutant);
+  Bytes binary = wasm::encode(mutant);
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) throw Error("cannot write " + out_path);
+  out.write(reinterpret_cast<const char*>(binary.data()),
+            static_cast<std::streamsize>(binary.size()));
+  std::printf("applied: %s\nwrote %zu bytes to %s\n",
+              sites[index].description.c_str(), binary.size(),
+              out_path.c_str());
+  return 0;
+}
+
+int verify_all(const wasm::Module& module, uint32_t counter,
+               const instrument::WeightTable& weights) {
+  // The unmutated module must verify — otherwise rejections below would
+  // prove nothing about the mutations.
+  analysis::VerifyResult baseline =
+      analysis::verify_instrumented_module(module, counter, weights);
+  if (!baseline.ok) {
+    std::printf("baseline module FAILS verification, aborting:\n%s\n",
+                baseline.error.c_str());
+    return 1;
+  }
+  auto sites = analysis::enumerate_mutations(module, counter);
+  if (sites.empty()) {
+    std::printf("no mutation sites — module carries no recognisable "
+                "instrumentation\n");
+    return 1;
+  }
+  size_t false_accepts = 0;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    wasm::Module mutant = analysis::apply_mutation(module, counter, i);
+    wasm::validate(mutant);  // every mutant must stay executable
+    analysis::VerifyResult verdict =
+        analysis::verify_instrumented_module(mutant, counter, weights);
+    std::printf("%4zu  %-10s %s\n", i,
+                verdict.ok ? "ACCEPTED" : "rejected",
+                sites[i].description.c_str());
+    if (verdict.ok) ++false_accepts;
+  }
+  if (false_accepts > 0) {
+    std::printf("%zu/%zu mutants FALSELY ACCEPTED\n", false_accepts,
+                sites.size());
+    return 1;
+  }
+  std::printf("all %zu mutants rejected — zero false accepts\n", sites.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string path;
+    std::string mode;
+    std::string out_path;
+    size_t apply_index = 0;
+    std::optional<uint32_t> counter_flag;
+    instrument::WeightTable weights = instrument::WeightTable::unit();
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--list") == 0) {
+        mode = "list";
+      } else if (std::strcmp(argv[i], "--apply") == 0 && i + 2 < argc) {
+        mode = "apply";
+        apply_index = std::stoul(argv[++i]);
+        out_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--verify-all") == 0) {
+        mode = "verify-all";
+      } else if (std::strcmp(argv[i], "--counter") == 0 && i + 1 < argc) {
+        counter_flag = static_cast<uint32_t>(std::stoul(argv[++i]));
+      } else if (std::strcmp(argv[i], "--weights") == 0 && i + 1 < argc) {
+        std::string s = argv[++i];
+        if (s == "unit") {
+          weights = instrument::WeightTable::unit();
+        } else if (s == "base") {
+          weights = instrument::WeightTable::from_base_costs();
+        } else {
+          throw Error("unknown weight table: " + s);
+        }
+      } else if (path.empty() && argv[i][0] != '-') {
+        path = argv[i];
+      } else {
+        std::fputs(kUsage, stderr);
+        return 2;
+      }
+    }
+    if (path.empty() || mode.empty()) {
+      std::fputs(kUsage, stderr);
+      return 2;
+    }
+    wasm::Module module = load_module(path);
+    uint32_t counter;
+    if (counter_flag) {
+      counter = *counter_flag;
+    } else {
+      auto exported = module.find_export(instrument::kCounterExport,
+                                         wasm::ExternKind::Global);
+      if (!exported) {
+        throw Error(std::string("module does not export \"") +
+                    instrument::kCounterExport +
+                    "\" — not an instrumented module (or pass --counter N)");
+      }
+      counter = *exported;
+    }
+    if (mode == "list") return list_sites(module, counter);
+    if (mode == "apply") return apply_site(module, counter, apply_index, out_path);
+    return verify_all(module, counter, weights);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "acctee-mutate: %s\n", e.what());
+    return 1;
+  }
+}

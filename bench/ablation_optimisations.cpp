@@ -1,14 +1,25 @@
 // Ablation: how much each instrumentation optimisation contributes
-// (DESIGN.md §5 "Key design decisions").
+// (DESIGN.md §5 "Key design decisions"), plus the dispatch-backend
+// ablation for the three-stage pipeline (DESIGN.md §15).
 //
-// For every PolyBench kernel and use case, reports the number of counter
-// increments executed dynamically under each pass level and the number of
-// loops the loop-based pass hoisted. This quantifies the mechanism behind
-// the Fig. 6/10 overhead numbers: flow-based removes join/dominator
-// increments, loop-based removes the per-iteration increments entirely.
+// Section 1: for every PolyBench kernel and use case, reports the number
+// of counter increments executed dynamically under each pass level and the
+// number of loops the loop-based pass hoisted. This quantifies the
+// mechanism behind the Fig. 6/10 overhead numbers: flow-based removes
+// join/dominator increments, loop-based removes the per-iteration
+// increments entirely.
+//
+// Section 2: wall-clock per dispatch backend (flattened switch, flattened
+// computed-goto, bytecode switch, bytecode computed-goto) and with
+// superinstruction fusion disabled, over loop-instrumented kernels — the
+// fig6 dispatch trajectory. `--json <path>` writes the records
+// (BENCH_fig6_dispatch.json in CI) so the trajectory is tracked PR-to-PR.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "interp/compiled_module.hpp"
 #include "workloads/polybench.hpp"
 #include "workloads/usecases.hpp"
 
@@ -60,9 +71,104 @@ void print_row(const std::string& name, const Sample& s) {
               static_cast<unsigned long long>(s.hoisted));
 }
 
+// ---- Section 2: dispatch-backend ablation -------------------------------
+
+struct Backend {
+  const char* label;
+  interp::DispatchMode mode;
+  bool fuse;  // superinstruction fusion at lowering time
+};
+
+constexpr Backend kBackends[] = {
+    {"flat-switch", interp::DispatchMode::Switch, true},
+    {"flat-goto", interp::DispatchMode::Threaded, true},
+    {"bc-switch", interp::DispatchMode::BytecodeSwitch, true},
+    {"bc-goto", interp::DispatchMode::Bytecode, true},
+    {"bc-nofuse", interp::DispatchMode::Bytecode, false},
+};
+
+/// Best-of-`reps` wall time of one invocation of `compiled` under `mode`.
+double time_backend(const interp::CompiledModulePtr& compiled,
+                    interp::DispatchMode mode, int reps,
+                    uint64_t* instructions) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    interp::Instance::Options options =
+        bench::scaled_options(interp::Platform::Wasm);
+    options.dispatch = mode;
+    auto t0 = std::chrono::steady_clock::now();
+    interp::Instance inst(compiled, {}, options);
+    inst.invoke("run", {});
+    double ns = std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    best = std::min(best, ns);
+    *instructions = inst.stats().instructions;
+  }
+  return best;
+}
+
+void dispatch_ablation(bench::JsonReporter& json, bool smoke) {
+  std::printf("\nDispatch-backend ablation: loop-instrumented kernels, "
+              "best-of-%d wall ms (lower is better)%s\n",
+              smoke ? 2 : 3,
+              interp::Instance::bytecode_available()
+                  ? ""
+                  : " [bytecode not compiled in: bc rows fall back to flat]");
+  std::printf("%-14s", "kernel");
+  for (const Backend& b : kBackends) std::printf("%11s", b.label);
+  std::printf("%11s\n", "goto-gain");
+  std::printf("%s\n", std::string(14 + 11 * 6, '-').c_str());
+
+  const char* const kKernels[] = {"gemm",   "atax",      "bicg",
+                                  "mvt",    "jacobi-2d", "seidel-2d"};
+  const int reps = smoke ? 2 : 3;
+  double logsum_gain = 0;
+  int count = 0;
+  for (const auto& kernel : workloads::polybench()) {
+    if (std::find_if(std::begin(kKernels), std::end(kKernels),
+                     [&](const char* k) { return kernel.name == k; }) ==
+        std::end(kKernels)) {
+      continue;
+    }
+    uint32_t n = smoke ? std::min<uint32_t>(kernel.bench_n, 16)
+                       : kernel.bench_n;
+    auto instrumented = instrument::instrument(
+        kernel.build(n), InstrumentOptions{PassKind::LoopBased, {}});
+
+    std::printf("%-14s", kernel.name.c_str());
+    double flat_goto_ns = 0, bc_goto_ns = 0;
+    for (const Backend& b : kBackends) {
+      interp::CompiledModule::CompileOptions copts;
+      copts.lower.fuse = b.fuse;
+      interp::CompiledModulePtr compiled =
+          interp::compile(instrumented.module, copts);
+      uint64_t instructions = 0;
+      double ns = time_backend(compiled, b.mode, reps, &instructions);
+      if (b.mode == interp::DispatchMode::Threaded) flat_goto_ns = ns;
+      if (b.mode == interp::DispatchMode::Bytecode && b.fuse) bc_goto_ns = ns;
+      std::printf("%11.2f", ns / 1e6);
+      json.record(kernel.name + "/" + b.label, reps, ns,
+                  ns > 0 ? static_cast<double>(instructions) * 1e9 / ns : 0);
+    }
+    double gain = flat_goto_ns / bc_goto_ns;
+    std::printf("%10.2fx\n", gain);
+    logsum_gain += std::log(gain);
+    ++count;
+  }
+  std::printf("%s\n", std::string(14 + 11 * 6, '-').c_str());
+  std::printf("geomean bc-goto speedup over flat-goto: %.2fx\n",
+              std::exp(logsum_gain / count));
+}
+
 }  // namespace
 
-int main() {
+// Usage: ablation_optimisations [--smoke] [--json <path>]
+//   --smoke        shrink problem sizes/reps to a CI smoke-test scale
+//   --json <path>  machine-readable dispatch records (BENCH_fig6_dispatch)
+int main(int argc, char** argv) {
+  bench::JsonReporter json("fig6_dispatch", argc, argv);
+  const bool smoke = bench::smoke_requested(argc, argv);
   std::printf("Ablation: dynamic instruction overhead (%% of uninstrumented) "
               "and static increment sites per pass\n\n");
   std::printf("%-14s %10s %8s %8s %8s %6s %6s %6s %5s\n", "workload",
@@ -78,5 +184,7 @@ int main() {
     print_row(uc.name,
               measure(uc.build(), {interp::TypedValue::make_i32(4)}));
   }
-  return 0;
+
+  dispatch_ablation(json, smoke);
+  return json.write() ? 0 : 1;
 }

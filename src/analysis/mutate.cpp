@@ -181,4 +181,136 @@ wasm::Module apply_mutation(const wasm::Module& module, uint32_t counter_global,
   return mutated;
 }
 
+// ---- lowered-bytecode tampering ----
+
+using interp::BcFunc;
+using interp::BcInstr;
+using interp::BcOp;
+
+const char* to_string(LoweringMutationKind kind) {
+  switch (kind) {
+    case LoweringMutationKind::EditImmediate: return "edit-immediate";
+    case LoweringMutationKind::DropBlockCharge: return "drop-block-charge";
+    case LoweringMutationKind::DropFusedCounterCharge:
+      return "drop-fused-counter-charge";
+    case LoweringMutationKind::RetargetFusedBranch:
+      return "retarget-fused-branch";
+  }
+  return "?";
+}
+
+namespace {
+
+// Superops whose `b` field carries a fused constant operand, generated from
+// bytecode.def so new const-carrying families join the corpus automatically.
+bool carries_const_immediate(BcOp op) {
+  switch (op) {
+#define ACCTEE_BC_ANY(name)
+#define ACCTEE_BC_K_I32(name, base, expr) case BcOp::name:
+#define ACCTEE_BC_K_I64(name, base, expr) case BcOp::name:
+#define ACCTEE_BC_LKOS_I32(name, base, expr) case BcOp::name:
+#define ACCTEE_BC_LKOS_I64(name, base, expr) case BcOp::name:
+#include "interp/bytecode.def"
+#undef ACCTEE_BC_LKOS_I64
+#undef ACCTEE_BC_LKOS_I32
+#undef ACCTEE_BC_K_I64
+#undef ACCTEE_BC_K_I32
+#undef ACCTEE_BC_ANY
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Offers every applicable mutation of `lowered` to `offer` in deterministic
+// (function, pc, kind) order; stops when `offer` returns true.
+void walk_lowering(std::vector<BcFunc>& lowered,
+                   const std::function<bool(LoweringMutationKind, uint32_t,
+                                            uint32_t, BcInstr&)>& offer) {
+  for (uint32_t f = 0; f < lowered.size(); ++f) {
+    for (uint32_t pc = 0; pc < lowered[f].code.size(); ++pc) {
+      BcInstr& bi = lowered[f].code[pc];
+      if (carries_const_immediate(bi.op)) {
+        if (offer(LoweringMutationKind::EditImmediate, f, pc, bi)) return;
+      }
+      if (bi.op == BcOp::EnterBlock && (bi.a != 0 || bi.b != 0)) {
+        if (offer(LoweringMutationKind::DropBlockCharge, f, pc, bi)) return;
+      }
+      if (bi.op == BcOp::GlobalAddConstI64 && bi.b != 0) {
+        if (offer(LoweringMutationKind::DropFusedCounterCharge, f, pc, bi)) {
+          return;
+        }
+      }
+      if (interp::bc_is_super(bi.op) && interp::bc_has_branch_target(bi.op) &&
+          bi.target_pc != 0) {
+        if (offer(LoweringMutationKind::RetargetFusedBranch, f, pc, bi)) {
+          return;
+        }
+      }
+    }
+  }
+}
+
+LoweringMutationSite make_site(LoweringMutationKind kind, uint32_t f,
+                               uint32_t pc, const BcInstr& bi) {
+  LoweringMutationSite site;
+  site.kind = kind;
+  site.function = f;
+  site.pc = pc;
+  std::ostringstream desc;
+  desc << to_string(kind) << " in defined func " << f << " at bc pc " << pc
+       << " (" << interp::to_string(bi.op) << ")";
+  site.description = desc.str();
+  return site;
+}
+
+}  // namespace
+
+std::vector<LoweringMutationSite> enumerate_lowering_mutations(
+    const std::vector<BcFunc>& lowered) {
+  std::vector<LoweringMutationSite> sites;
+  std::vector<BcFunc> copy = lowered;  // walker takes mutable instrs
+  walk_lowering(copy, [&](LoweringMutationKind kind, uint32_t f, uint32_t pc,
+                          BcInstr& bi) {
+    sites.push_back(make_site(kind, f, pc, bi));
+    return false;
+  });
+  return sites;
+}
+
+std::vector<BcFunc> apply_lowering_mutation(const std::vector<BcFunc>& lowered,
+                                            size_t index) {
+  std::vector<BcFunc> mutated = lowered;
+  size_t ordinal = 0;
+  bool applied = false;
+  walk_lowering(mutated, [&](LoweringMutationKind kind, uint32_t, uint32_t,
+                             BcInstr& bi) {
+    if (ordinal++ != index) return false;
+    switch (kind) {
+      case LoweringMutationKind::EditImmediate:
+        bi.b += 1;
+        break;
+      case LoweringMutationKind::DropBlockCharge:
+        // The block executes for free: no instruction, cycle or histogram
+        // charge at entry.
+        bi.a = 0;
+        bi.b = 0;
+        bi.unwind = bi.c;  // empty hist range
+        break;
+      case LoweringMutationKind::DropFusedCounterCharge:
+        bi.b = 0;
+        break;
+      case LoweringMutationKind::RetargetFusedBranch:
+        bi.target_pc = 0;  // entry block: plausible, but wrong control flow
+        break;
+    }
+    applied = true;
+    return true;
+  });
+  if (!applied) {
+    throw Error("apply_lowering_mutation: site index out of range");
+  }
+  return mutated;
+}
+
 }  // namespace acctee::analysis

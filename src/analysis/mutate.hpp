@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "interp/bytecode.hpp"
 #include "wasm/ast.hpp"
 
 namespace acctee::analysis {
@@ -48,5 +49,42 @@ std::vector<MutationSite> enumerate_mutations(const wasm::Module& module,
 /// The result is structurally valid Wasm. Throws Error on a bad index.
 wasm::Module apply_mutation(const wasm::Module& module, uint32_t counter_global,
                             size_t index);
+
+// ---- lowered-bytecode tampering (DESIGN.md §15) ----
+//
+// The second half of the corpus attacks stage three of the pipeline: the
+// lowered superinstruction stream an interpreter would actually execute.
+// Each mutant is a *structurally plausible* lowered module — it would run
+// and simply mis-account (a dropped batched charge, a zeroed fused counter
+// increment, a nudged fused immediate, a rewired fused branch) — so the
+// only line of defence is the AE's verify-then-bind check
+// (analysis::check_lowering), whose negative tests assert zero false
+// accepts over this corpus too.
+
+enum class LoweringMutationKind : uint8_t {
+  EditImmediate,           // +1 a fused constant operand (K_*/LKOS_*)
+  DropBlockCharge,         // zero an EnterBlock's batched accounting charge
+  DropFusedCounterCharge,  // zero a GlobalAddConstI64 addend
+  RetargetFusedBranch,     // point a fused compare+branch at the entry block
+};
+
+const char* to_string(LoweringMutationKind kind);
+
+struct LoweringMutationSite {
+  LoweringMutationKind kind = LoweringMutationKind::EditImmediate;
+  uint32_t function = 0;  // defined-function index
+  uint32_t pc = 0;        // bytecode pc of the mutated instruction
+  std::string description;
+};
+
+/// Enumerates every applicable lowered-bytecode mutation site, in
+/// deterministic (function, pc, kind) order.
+std::vector<LoweringMutationSite> enumerate_lowering_mutations(
+    const std::vector<interp::BcFunc>& lowered);
+
+/// Applies site `index` of enumerate_lowering_mutations() to a copy of the
+/// lowered module. Throws Error on a bad index.
+std::vector<interp::BcFunc> apply_lowering_mutation(
+    const std::vector<interp::BcFunc>& lowered, size_t index);
 
 }  // namespace acctee::analysis

@@ -1,5 +1,6 @@
 #include "analysis/verifier.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "analysis/cfg.hpp"
@@ -173,6 +174,64 @@ crypto::Digest cost_vector_digest(const std::vector<uint64_t>& costs) {
   append_u32le(payload, static_cast<uint32_t>(costs.size()));
   for (uint64_t c : costs) append_u64le(payload, c);
   return crypto::sha256(payload);
+}
+
+std::optional<std::string> check_lowering(
+    const std::vector<FlatFunc>& flat,
+    const std::vector<interp::BcFunc>& lowered,
+    const interp::LowerOptions& options, const crypto::Digest& digest) {
+  if (!options.enable) {
+    return std::string(
+        "lowering is disabled for this module; nothing to bind");
+  }
+  // Independent re-derivation: lowering is a pure function of the verified
+  // flattened code and the options, so the only accepted lowered form is
+  // the one this process computes itself.
+  const std::vector<interp::BcFunc> expected =
+      interp::lower_module(flat, options);
+  if (expected.size() != lowered.size()) {
+    std::ostringstream out;
+    out << "lowered function count " << lowered.size()
+        << " does not match the flattened module (" << expected.size() << ")";
+    return out.str();
+  }
+  for (size_t f = 0; f < expected.size(); ++f) {
+    if (expected[f] == lowered[f]) continue;
+    std::ostringstream out;
+    out << "lowered code of defined func " << f
+        << " differs from the deterministic re-lowering";
+    const auto& want = expected[f].code;
+    const auto& got = lowered[f].code;
+    for (size_t pc = 0; pc < std::min(want.size(), got.size()); ++pc) {
+      if (want[pc] == got[pc]) continue;
+      out << " (first divergence at bc pc " << pc << ": expected "
+          << interp::to_string(want[pc].op) << ", found "
+          << interp::to_string(got[pc].op) << ")";
+      break;
+    }
+    if (want.size() != got.size()) {
+      out << " (" << got.size() << " instructions, expected " << want.size()
+          << ")";
+    }
+    return out.str();
+  }
+  if (interp::lowering_digest(flat, lowered, options) != digest) {
+    return std::string(
+        "lowering digest does not bind the lowered form to the verified "
+        "flattened code");
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_lowering(
+    const interp::CompiledModule& compiled) {
+  if (!compiled.has_lowering()) {
+    return std::string(
+        "module was compiled without the lowering stage; the bytecode "
+        "binding cannot be verified");
+  }
+  return check_lowering(compiled.flat(), compiled.lowered(),
+                        compiled.lower_options(), compiled.lowering_digest());
 }
 
 }  // namespace acctee::analysis

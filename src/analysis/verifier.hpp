@@ -29,7 +29,9 @@
 
 #include "crypto/sha256.hpp"
 #include "instrument/weights.hpp"
+#include "interp/compiled_module.hpp"
 #include "interp/flatten.hpp"
+#include "interp/lower.hpp"
 #include "wasm/ast.hpp"
 
 namespace acctee::analysis {
@@ -84,5 +86,26 @@ std::vector<uint64_t> naive_cost_vector(const wasm::Module& module,
 
 /// Canonical digest binding a cost vector into instrumentation evidence.
 crypto::Digest cost_vector_digest(const std::vector<uint64_t>& costs);
+
+/// Lowering verification — the bind half of verify-then-bind (DESIGN.md
+/// §15). The static proofs above are carried out over the *flattened* code;
+/// the execution pipeline may then run the *lowered* bytecode instead. This
+/// check closes that gap: it deterministically re-lowers the verified
+/// flattened code with the recorded options and requires the module's
+/// lowered form and its digest to match exactly, so a tampered lowering
+/// (edited immediate, dropped block or fused counter charge, retargeted
+/// branch — see enumerate_lowering_mutations) can never execute under a
+/// verified identity. Returns an error description, or nullopt when the
+/// lowering is bound.
+std::optional<std::string> check_lowering(
+    const std::vector<interp::FlatFunc>& flat,
+    const std::vector<interp::BcFunc>& lowered,
+    const interp::LowerOptions& options, const crypto::Digest& digest);
+
+/// Convenience overload over a compiled module's own lowering. A module
+/// compiled without lowering fails the check (the AE requires the bound
+/// form so backend selection can never outrun verification).
+std::optional<std::string> check_lowering(
+    const interp::CompiledModule& compiled);
 
 }  // namespace acctee::analysis

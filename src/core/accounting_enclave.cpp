@@ -122,6 +122,7 @@ AccountingEnclave::prepare(BytesView instrumented_binary,
   // IE's signature says who produced the module; this says the module
   // actually accounts every path correctly. ---
   crypto::Digest cost_digest{};
+  crypto::Digest lowering_digest{};
   if (config_.verify_instrumentation) {
     auto verify_span = obs::Tracer::global().span("ae.verify_counters");
     auto started = std::chrono::steady_clock::now();
@@ -145,13 +146,22 @@ AccountingEnclave::prepare(BytesView instrumented_binary,
           "statically recovered cost vector");
     }
     cost_digest = verdict.cost_vector_digest;
+    // Verify-then-bind (DESIGN.md §15): the proofs above were carried out
+    // over the flattened code; the bytecode backend executes the lowered
+    // form. Bind the two by re-deriving the lowering and its digest, so a
+    // tampered lowered stream can never run under a verified identity.
+    if (auto err = analysis::check_lowering(*compiled)) {
+      verify_failures_->inc();
+      throw AttestationError("lowering failed verify-then-bind: " + *err);
+    }
+    lowering_digest = compiled->lowering_digest();
   }
   prepared_misses_->inc();
 
   auto prepared = std::make_shared<const PreparedModule>(PreparedModule{
       std::move(compiled), binary_hash, evidence_digest,
       evidence.weight_table_hash, evidence.pass, evidence.counter_global,
-      cost_digest});
+      cost_digest, lowering_digest});
 
   if (config_.prepared_cache_capacity > 0) {
     if (it != prepared_index_.end()) {
@@ -191,6 +201,7 @@ AccountingEnclave::Outcome AccountingEnclave::execute(
   interp::Instance::Options options;
   options.platform = config_.platform;
   options.max_instructions = config_.max_instructions;
+  options.dispatch = config_.dispatch;
   options.profiler = config_.profiler;
   auto instantiate_span = obs::Tracer::global().span("ae.instantiate");
   interp::Instance instance(prepared.compiled, std::move(env), options);

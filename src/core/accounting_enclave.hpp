@@ -41,6 +41,13 @@ class AccountingEnclave {
     interp::Platform platform = interp::Platform::WasmSgxHw;
     /// Resource limit: abort workloads beyond this many instructions.
     uint64_t max_instructions = UINT64_MAX;
+    /// Interpreter dispatch backend for workload executions. Every backend
+    /// is observationally identical (bit-identical ExecStats, checkpoints
+    /// and signed logs — tests/bytecode_test.cpp); Auto prefers the lowered
+    /// bytecode backend when compiled in. The lowered form itself is only
+    /// ever executed after check_lowering binds it to the verified
+    /// flattened code (verify-then-bind, DESIGN.md §15).
+    interp::DispatchMode dispatch = interp::DispatchMode::Auto;
     /// Statically re-prove the instrumentation inside the AE before the
     /// first execution of a module (analysis/verifier.hpp): counter-flow
     /// equivalence to naive accounting, counter write protection, and the
@@ -104,6 +111,11 @@ class AccountingEnclave {
     /// Digest of the per-function naive cost vector the static verifier
     /// recovered from the binary (all zero when verification is disabled).
     crypto::Digest cost_vector_digest{};
+    /// Digest binding the lowered internal bytecode to the verified
+    /// flattened code (analysis::check_lowering; all zero when verification
+    /// is disabled). Executions of this prepared module may run the
+    /// bytecode backend only because this bind succeeded.
+    crypto::Digest lowering_digest{};
   };
 
   /// Verifies evidence and compiles the binary — or returns the cached

@@ -1,0 +1,41 @@
+#include "interp/bytecode.hpp"
+
+namespace acctee::interp {
+
+const char* to_string(BcOp op) {
+  switch (op) {
+#define ACCTEE_OP(name, text, binary, imm, sig, cost) \
+  case BcOp::name:                                    \
+    return #name;
+#include "wasm/opcodes.def"
+#undef ACCTEE_OP
+#define ACCTEE_BC_ANY(name) \
+  case BcOp::name:          \
+    return #name;
+#include "interp/bytecode.def"
+#undef ACCTEE_BC_ANY
+  }
+  return "<invalid BcOp>";
+}
+
+bool bc_has_branch_target(BcOp op) {
+  switch (op) {
+    case BcOp::If:
+    case BcOp::Br:
+    case BcOp::BrIf:
+#define ACCTEE_BC_ANY(name)
+#define ACCTEE_BC_CMPBR(name, base, expr) case BcOp::name:
+#define ACCTEE_BC_CMPBR_EQZ(name, base) case BcOp::name:
+#define ACCTEE_BC_LLCMPBR(name, base, expr) case BcOp::name:
+#include "interp/bytecode.def"
+#undef ACCTEE_BC_LLCMPBR
+#undef ACCTEE_BC_CMPBR_EQZ
+#undef ACCTEE_BC_CMPBR
+#undef ACCTEE_BC_ANY
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace acctee::interp

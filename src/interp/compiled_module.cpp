@@ -14,6 +14,12 @@ CompiledModule::CompiledModule(wasm::Module module, CompileOptions options)
   for (const auto& func : module_.functions) {
     flat_.push_back(flatten(module_, func));
   }
+  lower_options_ = options.lower;
+  if (options.lower.enable) {
+    lowered_ = lower_module(flat_, options.lower);
+    lowering_digest_ = interp::lowering_digest(flat_, lowered_, options.lower);
+    has_lowering_ = true;
+  }
 }
 
 CompiledModulePtr compile(wasm::Module module,

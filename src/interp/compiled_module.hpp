@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "interp/flatten.hpp"
+#include "interp/lower.hpp"
 #include "wasm/ast.hpp"
 
 namespace acctee::interp {
@@ -27,6 +28,11 @@ class CompiledModule {
     /// defaults to true; the legacy Instance by-value constructor compiles
     /// with false to preserve its historical "caller validates" contract.
     bool validate = true;
+    /// Lowering stage (flatten → bytecode, DESIGN.md §15). Enabled by
+    /// default in every build — the lowering digest is part of the AE's
+    /// verify-then-bind check even when the bytecode execution backends are
+    /// not compiled in (CMake ACCTEE_BYTECODE).
+    LowerOptions lower;
   };
 
   /// Flattens (and by default validates) `module`. Throws ValidationError if
@@ -45,10 +51,28 @@ class CompiledModule {
   /// exact module before flattening.
   bool validated() const { return validated_; }
 
+  /// True iff the lowering stage ran (CompileOptions::lower.enable).
+  bool has_lowering() const { return has_lowering_; }
+  /// Lowered (bytecode) function bodies, parallel to flat(). Empty when
+  /// has_lowering() is false.
+  const std::vector<BcFunc>& lowered() const { return lowered_; }
+  const BcFunc& lowered_func(uint32_t defined_index) const {
+    return lowered_[defined_index];
+  }
+  /// The options the lowering ran with (needed to re-derive it).
+  const LowerOptions& lower_options() const { return lower_options_; }
+  /// Canonical digest binding the lowered form to the flattened form
+  /// (interp::lowering_digest). Zero when has_lowering() is false.
+  const crypto::Digest& lowering_digest() const { return lowering_digest_; }
+
  private:
   wasm::Module module_;
   std::vector<FlatFunc> flat_;
+  std::vector<BcFunc> lowered_;
+  LowerOptions lower_options_;
+  crypto::Digest lowering_digest_{};
   bool validated_ = false;
+  bool has_lowering_ = false;
 };
 
 /// Shared ownership handle; every borrower holds one, so the artifact lives

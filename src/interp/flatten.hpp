@@ -15,6 +15,8 @@ struct BrTarget {
   uint32_t pc = 0;      // absolute index into FlatFunc::code
   uint32_t unwind = 0;  // operand-stack height (within frame) to unwind to
   uint8_t arity = 0;    // number of values the branch carries
+
+  friend bool operator==(const BrTarget&, const BrTarget&) = default;
 };
 
 /// One executable instruction.

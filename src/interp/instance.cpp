@@ -302,13 +302,23 @@ void Instance::account_instruction(const FlatOp& op) {
 // the current block, so the ExecStats a trap leaves behind are bit-identical
 // to per-instruction accounting (where the trapping instruction is the last
 // one counted). Cold path: runs only when a trap unwinds out of run().
-void Instance::uncharge_block_suffix() noexcept {
+//
+// The suffix walk always runs over the flattened code (the authoritative
+// accounting representation). When the trapping loop was a bytecode backend,
+// fr.pc indexes the lowered stream: the first never-executed flat pc is the
+// current bytecode instruction's flat_end — exact even for fused
+// instructions, because superinstructions fuse only non-trapping
+// constituents (bytecode.def), so the trapping instruction is always the
+// sole constituent of its bytecode slot.
+void Instance::uncharge_block_suffix(bool bytecode) noexcept {
   if (!block_charged_) return;
   block_charged_ = false;
   if (frames_.empty()) return;
   const Frame& fr = frames_.back();
   const FlatFunc& ff = flat()[fr.func];
-  for (uint32_t p = fr.pc + 1; p < charged_end_pc_; ++p) {
+  const uint32_t from =
+      bytecode ? lowered()[fr.func].code[fr.pc].flat_end : fr.pc + 1;
+  for (uint32_t p = from; p < charged_end_pc_; ++p) {
     const FlatOp& o = ff.code[p];
     if (o.synthetic) continue;
     --stats_.instructions;
@@ -318,62 +328,150 @@ void Instance::uncharge_block_suffix() noexcept {
 }
 
 void Instance::run(size_t stop_depth) {
+  const DispatchMode mode = options_.dispatch;
+  const bool profiled = options_.profiler != nullptr;
+  // Backend selection with graceful fallback: bytecode requires both the
+  // compiled-in backend and a lowered module; threaded requires the
+  // compiled-in computed-goto loops. Auto prefers bytecode-goto, then
+  // flattened-goto, then switch. Every backend is observationally
+  // identical — selection can never change ExecStats.
+#if ACCTEE_HAS_BYTECODE
+  const bool use_bytecode =
+      compiled_->has_lowering() &&
+      (mode == DispatchMode::Auto || mode == DispatchMode::Bytecode ||
+       mode == DispatchMode::BytecodeSwitch);
+#else
+  const bool use_bytecode = false;
+#endif
 #if ACCTEE_HAS_THREADED_DISPATCH
-  const bool threaded = options_.dispatch != DispatchMode::Switch;
+  const bool threaded =
+      mode != DispatchMode::Switch && mode != DispatchMode::BytecodeSwitch;
 #else
   const bool threaded = false;
 #endif
-  const bool profiled = options_.profiler != nullptr;
   try {
+#if ACCTEE_HAS_BYTECODE
+    if (use_bytecode) {
 #if ACCTEE_HAS_THREADED_DISPATCH
-    if (threaded) {
+      if (threaded) {
+        profiled ? run_bc_threaded_profiled(stop_depth)
+                 : run_bc_threaded(stop_depth);
+      } else {
+        profiled ? run_bc_switch_profiled(stop_depth)
+                 : run_bc_switch(stop_depth);
+      }
+#else
+      profiled ? run_bc_switch_profiled(stop_depth)
+               : run_bc_switch(stop_depth);
+#endif
+    } else
+#endif
+#if ACCTEE_HAS_THREADED_DISPATCH
+        if (threaded) {
       profiled ? run_threaded_profiled(stop_depth) : run_threaded(stop_depth);
     } else {
       profiled ? run_switch_profiled(stop_depth) : run_switch(stop_depth);
     }
 #else
-    (void)threaded;
-    profiled ? run_switch_profiled(stop_depth) : run_switch(stop_depth);
+    {
+      (void)threaded;
+      profiled ? run_switch_profiled(stop_depth) : run_switch(stop_depth);
+    }
 #endif
   } catch (...) {
-    uncharge_block_suffix();
+    uncharge_block_suffix(use_bytecode);
     throw;
   }
   block_charged_ = false;
 }
 
+// run_loop.inc instantiations: (code representation × dispatch technique ×
+// profiling). All are observationally identical; see run_loop.inc.
+
 void Instance::run_switch(size_t stop_depth) {
+#define ACCTEE_BC 0
 #define ACCTEE_THREADED 0
 #define ACCTEE_PROFILE 0
 #include "interp/run_loop.inc"
 #undef ACCTEE_PROFILE
 #undef ACCTEE_THREADED
+#undef ACCTEE_BC
 }
 
 void Instance::run_switch_profiled(size_t stop_depth) {
+#define ACCTEE_BC 0
 #define ACCTEE_THREADED 0
 #define ACCTEE_PROFILE 1
 #include "interp/run_loop.inc"
 #undef ACCTEE_PROFILE
 #undef ACCTEE_THREADED
+#undef ACCTEE_BC
 }
 
 #if ACCTEE_HAS_THREADED_DISPATCH
 void Instance::run_threaded(size_t stop_depth) {
+#define ACCTEE_BC 0
 #define ACCTEE_THREADED 1
 #define ACCTEE_PROFILE 0
 #include "interp/run_loop.inc"
 #undef ACCTEE_PROFILE
 #undef ACCTEE_THREADED
+#undef ACCTEE_BC
 }
 
 void Instance::run_threaded_profiled(size_t stop_depth) {
+#define ACCTEE_BC 0
 #define ACCTEE_THREADED 1
 #define ACCTEE_PROFILE 1
 #include "interp/run_loop.inc"
 #undef ACCTEE_PROFILE
 #undef ACCTEE_THREADED
+#undef ACCTEE_BC
 }
 #endif
+
+#if ACCTEE_HAS_BYTECODE
+void Instance::run_bc_switch(size_t stop_depth) {
+#define ACCTEE_BC 1
+#define ACCTEE_THREADED 0
+#define ACCTEE_PROFILE 0
+#include "interp/run_loop.inc"
+#undef ACCTEE_PROFILE
+#undef ACCTEE_THREADED
+#undef ACCTEE_BC
+}
+
+void Instance::run_bc_switch_profiled(size_t stop_depth) {
+#define ACCTEE_BC 1
+#define ACCTEE_THREADED 0
+#define ACCTEE_PROFILE 1
+#include "interp/run_loop.inc"
+#undef ACCTEE_PROFILE
+#undef ACCTEE_THREADED
+#undef ACCTEE_BC
+}
+
+#if ACCTEE_HAS_THREADED_DISPATCH
+void Instance::run_bc_threaded(size_t stop_depth) {
+#define ACCTEE_BC 1
+#define ACCTEE_THREADED 1
+#define ACCTEE_PROFILE 0
+#include "interp/run_loop.inc"
+#undef ACCTEE_PROFILE
+#undef ACCTEE_THREADED
+#undef ACCTEE_BC
+}
+
+void Instance::run_bc_threaded_profiled(size_t stop_depth) {
+#define ACCTEE_BC 1
+#define ACCTEE_THREADED 1
+#define ACCTEE_PROFILE 1
+#include "interp/run_loop.inc"
+#undef ACCTEE_PROFILE
+#undef ACCTEE_THREADED
+#undef ACCTEE_BC
+}
+#endif
+#endif  // ACCTEE_HAS_BYTECODE
 
 }  // namespace acctee::interp

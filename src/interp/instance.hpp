@@ -34,17 +34,32 @@
 #define ACCTEE_HAS_THREADED_DISPATCH 0
 #endif
 
+// The internal-bytecode execution backend (run_loop.inc over the lowered
+// superinstruction stream, DESIGN.md §15) is compiled when the build
+// enables it (CMake option ACCTEE_BYTECODE, ON by default). Its
+// computed-goto variant additionally requires ACCTEE_HAS_THREADED_DISPATCH.
+#if defined(ACCTEE_ENABLE_BYTECODE)
+#define ACCTEE_HAS_BYTECODE 1
+#else
+#define ACCTEE_HAS_BYTECODE 0
+#endif
+
 namespace acctee::obs {
 class FuncProfiler;
 }  // namespace acctee::obs
 
 namespace acctee::interp {
 
-/// Interpreter dispatch backend selection.
+/// Interpreter dispatch backend selection. All backends produce
+/// bit-identical ExecStats, checkpoints and signed logs; this only selects
+/// the execution technique.
 enum class DispatchMode : uint8_t {
-  Auto,      // threaded when compiled in, otherwise switch
-  Switch,    // portable switch-based dispatch
-  Threaded,  // computed-goto dispatch (falls back to switch if unavailable)
+  Auto,      // bytecode when compiled in, else threaded, else switch
+  Switch,    // flattened code, portable switch dispatch (reference backend)
+  Threaded,  // flattened code, computed-goto dispatch (falls back to Switch)
+  Bytecode,  // lowered bytecode, computed-goto dispatch (falls back down
+             // the chain: bytecode-switch, then the flattened backends)
+  BytecodeSwitch,  // lowered bytecode, switch dispatch (falls back to Switch)
 };
 
 class Instance {
@@ -63,8 +78,10 @@ class Instance {
     uint64_t max_instructions = UINT64_MAX;
     /// Maximum call depth.
     uint32_t max_call_depth = 10000;
-    /// Dispatch backend for the hot loop. Both backends produce
+    /// Dispatch backend for the hot loop. Every backend produces
     /// bit-identical ExecStats; this only selects the execution technique.
+    /// Auto prefers the bytecode backend when compiled in (ACCTEE_BYTECODE)
+    /// and the module was lowered, then computed-goto, then switch.
     DispatchMode dispatch = DispatchMode::Auto;
     /// Charge accounting one instruction at a time instead of one basic
     /// block at a time. Slower; kept as the determinism oracle the batched
@@ -81,6 +98,12 @@ class Instance {
   /// True iff the computed-goto backend was compiled into this binary.
   static constexpr bool threaded_dispatch_available() {
     return ACCTEE_HAS_THREADED_DISPATCH != 0;
+  }
+
+  /// True iff the bytecode execution backend was compiled into this binary
+  /// (lowering itself always runs; see CompiledModule::has_lowering()).
+  static constexpr bool bytecode_available() {
+    return ACCTEE_HAS_BYTECODE != 0;
   }
 
   /// Checkpoint hook: called from inside the execution loop every
@@ -137,15 +160,24 @@ class Instance {
   };
 
   void run(size_t stop_depth);
-  // Dispatch backends: identical semantics, different dispatch technique.
-  // The shared body lives in interp/run_loop.inc, instantiated per
-  // (dispatch backend × profiling) so the unprofiled loops carry no
-  // profiling code at all.
+  // Dispatch backends: identical semantics, different dispatch technique
+  // and/or code representation. The shared body lives in
+  // interp/run_loop.inc, instantiated per (code representation × dispatch
+  // technique × profiling) so the unprofiled loops carry no profiling code
+  // at all and the flattened loops carry no bytecode code at all.
   void run_switch(size_t stop_depth);
   void run_switch_profiled(size_t stop_depth);
 #if ACCTEE_HAS_THREADED_DISPATCH
   void run_threaded(size_t stop_depth);
   void run_threaded_profiled(size_t stop_depth);
+#endif
+#if ACCTEE_HAS_BYTECODE
+  void run_bc_switch(size_t stop_depth);
+  void run_bc_switch_profiled(size_t stop_depth);
+#if ACCTEE_HAS_THREADED_DISPATCH
+  void run_bc_threaded(size_t stop_depth);
+  void run_bc_threaded_profiled(size_t stop_depth);
+#endif
 #endif
   void enter_frame(uint32_t defined_index);
   void call_host(uint32_t import_index);
@@ -165,7 +197,11 @@ class Instance {
   }
   // Trap un-charge: removes the pre-charged, never-executed suffix of the
   // current block so a mid-block trap observes exactly the serial stats.
-  void uncharge_block_suffix() noexcept;
+  // `bytecode` says which representation fr.pc indexes: the bytecode
+  // backends derive the first never-executed flat pc from the current
+  // instruction's flat_end (fusions only trap in their last constituent —
+  // the non-trapping-constituents rule in bytecode.def).
+  void uncharge_block_suffix(bool bytecode) noexcept;
 
   // -- operand stack helpers --
   void push_raw(uint64_t v) { stack_.push_back(v); }
@@ -178,6 +214,7 @@ class Instance {
   // -- immutable, shared across instances --
   const wasm::Module& mod() const { return compiled_->module(); }
   const std::vector<FlatFunc>& flat() const { return compiled_->flat(); }
+  const std::vector<BcFunc>& lowered() const { return compiled_->lowered(); }
 
   CompiledModulePtr compiled_;
   ImportMap imports_;

@@ -1,0 +1,443 @@
+#include "interp/lower.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace acctee::interp {
+
+namespace {
+
+using wasm::Op;
+
+// Fusion pattern tables, generated from bytecode.def so the lowerer, the
+// enum and the handlers can never disagree about which base op feeds which
+// superinstruction.
+
+std::optional<BcOp> cmpbr_for(Op op) {
+  switch (op) {
+#define ACCTEE_BC_ANY(name)
+#define ACCTEE_BC_CMPBR(name, base, expr) \
+  case Op::base:                          \
+    return BcOp::name;
+#define ACCTEE_BC_CMPBR_EQZ(name, base) \
+  case Op::base:                        \
+    return BcOp::name;
+#include "interp/bytecode.def"
+#undef ACCTEE_BC_CMPBR_EQZ
+#undef ACCTEE_BC_CMPBR
+#undef ACCTEE_BC_ANY
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<BcOp> llcmpbr_for(Op op) {
+  switch (op) {
+#define ACCTEE_BC_ANY(name)
+#define ACCTEE_BC_LLCMPBR(name, base, expr) \
+  case Op::base:                            \
+    return BcOp::name;
+#include "interp/bytecode.def"
+#undef ACCTEE_BC_LLCMPBR
+#undef ACCTEE_BC_ANY
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<BcOp> l2_for(Op op) {
+  switch (op) {
+#define ACCTEE_BC_ANY(name)
+#define ACCTEE_BC_L2(name, base, expr) \
+  case Op::base:                       \
+    return BcOp::name;
+#define ACCTEE_BC_L2_I32 ACCTEE_BC_L2
+#define ACCTEE_BC_L2_I64 ACCTEE_BC_L2
+#define ACCTEE_BC_L2_F32 ACCTEE_BC_L2
+#define ACCTEE_BC_L2_F64 ACCTEE_BC_L2
+#include "interp/bytecode.def"
+#undef ACCTEE_BC_L2_F64
+#undef ACCTEE_BC_L2_F32
+#undef ACCTEE_BC_L2_I64
+#undef ACCTEE_BC_L2_I32
+#undef ACCTEE_BC_L2
+#undef ACCTEE_BC_ANY
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<BcOp> k_i32_for(Op op) {
+  switch (op) {
+#define ACCTEE_BC_ANY(name)
+#define ACCTEE_BC_K_I32(name, base, expr) \
+  case Op::base:                          \
+    return BcOp::name;
+#include "interp/bytecode.def"
+#undef ACCTEE_BC_K_I32
+#undef ACCTEE_BC_ANY
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<BcOp> k_i64_for(Op op) {
+  switch (op) {
+#define ACCTEE_BC_ANY(name)
+#define ACCTEE_BC_K_I64(name, base, expr) \
+  case Op::base:                          \
+    return BcOp::name;
+#include "interp/bytecode.def"
+#undef ACCTEE_BC_K_I64
+#undef ACCTEE_BC_ANY
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<BcOp> ggos_for(Op op) {
+  switch (op) {
+#define ACCTEE_BC_ANY(name)
+#define ACCTEE_BC_GGOS(name, base, expr) \
+  case Op::base:                         \
+    return BcOp::name;
+#define ACCTEE_BC_GGOS_I32 ACCTEE_BC_GGOS
+#define ACCTEE_BC_GGOS_I64 ACCTEE_BC_GGOS
+#define ACCTEE_BC_GGOS_F32 ACCTEE_BC_GGOS
+#define ACCTEE_BC_GGOS_F64 ACCTEE_BC_GGOS
+#include "interp/bytecode.def"
+#undef ACCTEE_BC_GGOS_F64
+#undef ACCTEE_BC_GGOS_F32
+#undef ACCTEE_BC_GGOS_I64
+#undef ACCTEE_BC_GGOS_I32
+#undef ACCTEE_BC_GGOS
+#undef ACCTEE_BC_ANY
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<BcOp> lkos_i32_for(Op op) {
+  switch (op) {
+#define ACCTEE_BC_ANY(name)
+#define ACCTEE_BC_LKOS_I32(name, base, expr) \
+  case Op::base:                             \
+    return BcOp::name;
+#include "interp/bytecode.def"
+#undef ACCTEE_BC_LKOS_I32
+#undef ACCTEE_BC_ANY
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<BcOp> lkos_i64_for(Op op) {
+  switch (op) {
+#define ACCTEE_BC_ANY(name)
+#define ACCTEE_BC_LKOS_I64(name, base, expr) \
+  case Op::base:                             \
+    return BcOp::name;
+#include "interp/bytecode.def"
+#undef ACCTEE_BC_LKOS_I64
+#undef ACCTEE_BC_ANY
+    default:
+      return std::nullopt;
+  }
+}
+
+// Tries to fuse a superinstruction starting at flat pc `i` (never reaching
+// past the block end `end`); appends it to `out` and returns the number of
+// flat ops consumed, or 0 when nothing matched. Synthetic ops never take
+// part in a fusion. Longest patterns win.
+uint32_t try_fuse(const FlatFunc& ff, uint32_t i, uint32_t end, BcFunc& out) {
+  const std::vector<FlatOp>& c = ff.code;
+  const uint32_t n = end - i;
+  auto real = [&](uint32_t k) { return !c[i + k].synthetic; };
+
+  if (n >= 4 && real(0) && real(1) && real(2) && real(3)) {
+    const FlatOp& o0 = c[i];
+    const FlatOp& o1 = c[i + 1];
+    const FlatOp& o2 = c[i + 2];
+    const FlatOp& o3 = c[i + 3];
+    // [global.get g][i64.const w][i64.add][global.set g] — the instrumented
+    // counter increment (and any other constant global bump).
+    if (o0.op == Op::GlobalGet && o1.op == Op::I64Const &&
+        o2.op == Op::I64Add && o3.op == Op::GlobalSet && o3.a == o0.a) {
+      BcInstr bi;
+      bi.op = BcOp::GlobalAddConstI64;
+      bi.a = o0.a;
+      bi.b = o1.b;
+      bi.flat_pc = i;
+      bi.flat_end = i + 4;
+      out.code.push_back(bi);
+      return 4;
+    }
+    if (o0.op == Op::LocalGet && o1.op == Op::LocalGet) {
+      // [local.get][local.get][cmp][br_if] — the loop back-edge shape.
+      if (o3.op == Op::BrIf) {
+        if (auto sop = llcmpbr_for(o2.op)) {
+          BcInstr bi;
+          bi.op = *sop;
+          bi.a = o0.a;
+          bi.c = o1.a;
+          bi.target_pc = o3.target_pc;
+          bi.unwind = o3.unwind;
+          bi.arity = o3.arity;
+          bi.flat_pc = i;
+          bi.flat_end = i + 4;
+          out.code.push_back(bi);
+          return 4;
+        }
+      }
+      // [local.get][local.get][binop][local.set]
+      if (o3.op == Op::LocalSet) {
+        if (auto sop = ggos_for(o2.op)) {
+          BcInstr bi;
+          bi.op = *sop;
+          bi.a = o0.a;
+          bi.c = o1.a;
+          bi.unwind = o3.a;
+          bi.flat_pc = i;
+          bi.flat_end = i + 4;
+          out.code.push_back(bi);
+          return 4;
+        }
+      }
+    }
+    // [local.get][const][binop][local.set] — induction updates.
+    if (o0.op == Op::LocalGet && o3.op == Op::LocalSet) {
+      std::optional<BcOp> sop;
+      if (o1.op == Op::I32Const) {
+        sop = lkos_i32_for(o2.op);
+      } else if (o1.op == Op::I64Const) {
+        sop = lkos_i64_for(o2.op);
+      }
+      if (sop) {
+        BcInstr bi;
+        bi.op = *sop;
+        bi.a = o0.a;
+        bi.b = o1.b;
+        bi.unwind = o3.a;
+        bi.flat_pc = i;
+        bi.flat_end = i + 4;
+        out.code.push_back(bi);
+        return 4;
+      }
+    }
+  }
+
+  if (n >= 2 && real(0) && real(1)) {
+    const FlatOp& o0 = c[i];
+    const FlatOp& o1 = c[i + 1];
+    // [cmp][br_if]
+    if (o1.op == Op::BrIf) {
+      if (auto sop = cmpbr_for(o0.op)) {
+        BcInstr bi;
+        bi.op = *sop;
+        bi.target_pc = o1.target_pc;
+        bi.unwind = o1.unwind;
+        bi.arity = o1.arity;
+        bi.flat_pc = i;
+        bi.flat_end = i + 2;
+        out.code.push_back(bi);
+        return 2;
+      }
+    }
+    // [local.get][binop] — local as the right-hand operand.
+    if (o0.op == Op::LocalGet) {
+      if (auto sop = l2_for(o1.op)) {
+        BcInstr bi;
+        bi.op = *sop;
+        bi.a = o0.a;
+        bi.flat_pc = i;
+        bi.flat_end = i + 2;
+        out.code.push_back(bi);
+        return 2;
+      }
+    }
+    // [const][binop] — const as the right-hand operand.
+    if (o0.op == Op::I32Const) {
+      if (auto sop = k_i32_for(o1.op)) {
+        BcInstr bi;
+        bi.op = *sop;
+        bi.b = o0.b;
+        bi.flat_pc = i;
+        bi.flat_end = i + 2;
+        out.code.push_back(bi);
+        return 2;
+      }
+    }
+    if (o0.op == Op::I64Const) {
+      if (auto sop = k_i64_for(o1.op)) {
+        BcInstr bi;
+        bi.op = *sop;
+        bi.b = o0.b;
+        bi.flat_pc = i;
+        bi.flat_end = i + 2;
+        out.code.push_back(bi);
+        return 2;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+BcFunc lower_function(const FlatFunc& ff, const LowerOptions& options) {
+  BcFunc out;
+  out.code.reserve(ff.code.size() + ff.blocks.size());
+  // bc pc of each flat block head (branches land on the EnterBlock).
+  std::vector<uint32_t> bc_of_flat(ff.code.size(), UINT32_MAX);
+
+  uint32_t start = 0;
+  for (const BlockCost& blk : ff.blocks) {
+    bc_of_flat[start] = static_cast<uint32_t>(out.code.size());
+    BcInstr eb;
+    eb.op = BcOp::EnterBlock;
+    eb.a = blk.instructions;
+    eb.b = blk.cycles;
+    eb.c = blk.hist_begin;
+    eb.unwind = blk.hist_end;
+    // Flat end of the block, for the trap un-charge bookkeeping
+    // (charged_end_pc_). Not a branch target — never remapped.
+    eb.target_pc = blk.end_pc;
+    eb.flat_pc = start;  // empty flat range: EnterBlock is pure bookkeeping
+    eb.flat_end = start;
+    out.code.push_back(eb);
+
+    uint32_t i = start;
+    while (i < blk.end_pc) {
+      if (options.fuse) {
+        if (uint32_t consumed = try_fuse(ff, i, blk.end_pc, out)) {
+          i += consumed;
+          continue;
+        }
+      }
+      const FlatOp& f = ff.code[i];
+      BcInstr bi;
+      // Base ops share enumerator order between wasm::Op and BcOp.
+      bi.op = static_cast<BcOp>(static_cast<uint16_t>(f.op));
+      bi.arity = f.arity;
+      bi.a = f.a;
+      bi.target_pc = f.target_pc;
+      bi.unwind = f.unwind;
+      bi.b = f.b;
+      bi.flat_pc = i;
+      bi.flat_end = i + 1;
+      out.code.push_back(bi);
+      ++i;
+    }
+    start = blk.end_pc;
+  }
+
+  // Remap branch targets from flat pcs to bytecode pcs. Every target is a
+  // block head by construction (compute_block_costs marks them), so the map
+  // is always populated.
+  for (BcInstr& bi : out.code) {
+    if (!bc_has_branch_target(bi.op)) continue;
+    uint32_t mapped = bc_of_flat.at(bi.target_pc);
+    if (mapped == UINT32_MAX) {
+      throw std::logic_error("lower: branch target is not a block head");
+    }
+    bi.target_pc = mapped;
+  }
+  out.br_tables = ff.br_tables;
+  for (auto& table : out.br_tables) {
+    for (BrTarget& t : table) {
+      uint32_t mapped = bc_of_flat.at(t.pc);
+      if (mapped == UINT32_MAX) {
+        throw std::logic_error("lower: br_table target is not a block head");
+      }
+      t.pc = mapped;
+    }
+  }
+  return out;
+}
+
+std::vector<BcFunc> lower_module(const std::vector<FlatFunc>& flat,
+                                 const LowerOptions& options) {
+  std::vector<BcFunc> out;
+  out.reserve(flat.size());
+  for (const FlatFunc& ff : flat) out.push_back(lower_function(ff, options));
+  return out;
+}
+
+crypto::Digest lowering_digest(const std::vector<FlatFunc>& flat,
+                               const std::vector<BcFunc>& lowered,
+                               const LowerOptions& options) {
+  crypto::Sha256 ctx;
+  static constexpr std::string_view kDomain = "acctee.lowering.v1";
+  ctx.update(BytesView(reinterpret_cast<const uint8_t*>(kDomain.data()),
+                       kDomain.size()));
+  Bytes buf;
+  auto u8 = [&](uint8_t v) { buf.push_back(v); };
+  auto u32 = [&](uint32_t v) { append_u32le(buf, v); };
+  auto u64 = [&](uint64_t v) { append_u64le(buf, v); };
+  auto tables = [&](const std::vector<std::vector<BrTarget>>& ts) {
+    u32(static_cast<uint32_t>(ts.size()));
+    for (const auto& table : ts) {
+      u32(static_cast<uint32_t>(table.size()));
+      for (const BrTarget& t : table) {
+        u32(t.pc);
+        u32(t.unwind);
+        u8(t.arity);
+      }
+    }
+  };
+
+  u8(options.fuse ? 1 : 0);
+  u32(static_cast<uint32_t>(flat.size()));
+  u32(static_cast<uint32_t>(lowered.size()));
+  ctx.update(buf);
+  for (size_t f = 0; f < flat.size(); ++f) {
+    buf.clear();
+    const FlatFunc& ff = flat[f];
+    u32(static_cast<uint32_t>(ff.code.size()));
+    for (const FlatOp& op : ff.code) {
+      u8(static_cast<uint8_t>(op.op));
+      u8(op.synthetic ? 1 : 0);
+      u8(op.arity);
+      u32(op.a);
+      u32(op.target_pc);
+      u32(op.unwind);
+      u64(op.b);
+    }
+    tables(ff.br_tables);
+    u32(static_cast<uint32_t>(ff.blocks.size()));
+    for (const BlockCost& blk : ff.blocks) {
+      u32(blk.end_pc);
+      u32(blk.instructions);
+      u64(blk.cycles);
+      u32(blk.hist_begin);
+      u32(blk.hist_end);
+    }
+    u32(static_cast<uint32_t>(ff.block_hist.size()));
+    for (const BlockOpCount& h : ff.block_hist) {
+      u8(static_cast<uint8_t>(h.op));
+      u32(h.count);
+    }
+    if (f < lowered.size()) {
+      const BcFunc& bf = lowered[f];
+      u32(static_cast<uint32_t>(bf.code.size()));
+      for (const BcInstr& bi : bf.code) {
+        u32(static_cast<uint32_t>(bi.op));
+        u8(bi.arity);
+        u32(bi.a);
+        u32(bi.c);
+        u32(bi.target_pc);
+        u32(bi.unwind);
+        u32(bi.flat_pc);
+        u32(bi.flat_end);
+        u64(bi.b);
+      }
+      tables(bf.br_tables);
+    }
+    ctx.update(buf);
+  }
+  return ctx.finish();
+}
+
+}  // namespace acctee::interp

@@ -605,6 +605,124 @@ TEST(AePrepare, VerificationGateCanBeDisabled) {
   EXPECT_THROW(strict.prepare(bad, evidence), AttestationError);
 }
 
+// ---------------------------------------------------------------------------
+// Verify-then-bind (DESIGN.md §15): zero false accepts over tampered
+// lowered bytecode
+// ---------------------------------------------------------------------------
+
+TEST(LoweringMutation, EnumerationIsDeterministicAndCoversAllKinds) {
+  InstrumentResult result = instrument_module(
+      workloads::polybench()[0].build(4), PassKind::LoopBased,
+      WeightTable::unit());
+  interp::CompiledModulePtr compiled = interp::compile(result.module);
+  ASSERT_TRUE(compiled->has_lowering());
+
+  auto a = enumerate_lowering_mutations(compiled->lowered());
+  auto b = enumerate_lowering_mutations(compiled->lowered());
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  std::vector<LoweringMutationKind> seen;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].function, b[i].function);
+    EXPECT_EQ(a[i].pc, b[i].pc);
+    EXPECT_EQ(a[i].description, b[i].description);
+    if (std::find(seen.begin(), seen.end(), a[i].kind) == seen.end()) {
+      seen.push_back(a[i].kind);
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u)
+      << "corpus does not exercise all lowering-mutation kinds";
+
+  auto m1 = apply_lowering_mutation(compiled->lowered(), 0);
+  auto m2 = apply_lowering_mutation(compiled->lowered(), 0);
+  ASSERT_EQ(m1.size(), m2.size());
+  for (size_t f = 0; f < m1.size(); ++f) EXPECT_TRUE(m1[f] == m2[f]);
+}
+
+TEST(LoweringMutation, ZeroFalseAcceptsAcrossFullCorpus) {
+  std::vector<wasm::Module> originals;
+  for (const char* wat : kAllShapes) originals.push_back(parse(wat));
+  originals.push_back(workloads::polybench()[0].build(4));
+
+  size_t total = 0;
+  for (const wasm::Module& original : originals) {
+    InstrumentResult result =
+        instrument_module(original, PassKind::LoopBased, WeightTable::unit());
+    interp::CompiledModulePtr compiled = interp::compile(result.module);
+    ASSERT_TRUE(compiled->has_lowering());
+
+    // Control: the genuine lowering binds.
+    EXPECT_FALSE(check_lowering(*compiled).has_value());
+    EXPECT_FALSE(check_lowering(compiled->flat(), compiled->lowered(),
+                                compiled->lower_options(),
+                                compiled->lowering_digest())
+                     .has_value());
+
+    auto corpus = enumerate_lowering_mutations(compiled->lowered());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      auto mutant = apply_lowering_mutation(compiled->lowered(), i);
+      auto err = check_lowering(compiled->flat(), mutant,
+                                compiled->lower_options(),
+                                compiled->lowering_digest());
+      EXPECT_TRUE(err.has_value())
+          << "FALSE ACCEPT: " << corpus[i].description;
+      ++total;
+    }
+  }
+  // The corpus must be substantial for "zero false accepts" to mean much.
+  EXPECT_GT(total, 100u);
+}
+
+TEST(LoweringMutation, ForgedDigestDoesNotLaunderATamperedStream) {
+  // Even if the attacker recomputes a *consistent* digest over the tampered
+  // stream, the AE re-derives the lowering from the verified flattened code
+  // — the tampered stream itself diverges, so the bind still fails.
+  InstrumentResult result = instrument_module(
+      parse(kConstTripWat), PassKind::LoopBased, WeightTable::unit());
+  interp::CompiledModulePtr compiled = interp::compile(result.module);
+  auto corpus = enumerate_lowering_mutations(compiled->lowered());
+  ASSERT_FALSE(corpus.empty());
+  auto mutant = apply_lowering_mutation(compiled->lowered(), 0);
+  crypto::Digest laundered = interp::lowering_digest(
+      compiled->flat(), mutant, compiled->lower_options());
+  auto err = check_lowering(compiled->flat(), mutant,
+                            compiled->lower_options(), laundered);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("differs"), std::string::npos) << *err;
+}
+
+TEST(LoweringMutation, UnloweredModuleCannotBind) {
+  wasm::Module m = parse(kIfElseWat);
+  interp::CompiledModule::CompileOptions copts;
+  copts.lower.enable = false;
+  interp::CompiledModulePtr compiled = interp::compile(m, copts);
+  ASSERT_FALSE(compiled->has_lowering());
+  auto err = check_lowering(*compiled);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("without the lowering stage"), std::string::npos)
+      << *err;
+}
+
+TEST(AePrepare, RecordsLoweringDigestWithPreparedModule) {
+  AeHarness h;
+  wasm::Module original = parse(kConstTripWat);
+  h.options.pass = PassKind::LoopBased;
+  InstrumentResult result =
+      instrument_module(original, h.options.pass, h.options.weights);
+  crypto::Digest digest =
+      cost_vector_digest(naive_cost_vector(original, h.options.weights));
+  Bytes binary = wasm::encode(result.module);
+
+  core::AccountingEnclave ae(h.platform, h.config());
+  auto prepared =
+      ae.prepare(binary, h.sign_evidence(binary, result.counter_global, digest));
+  EXPECT_TRUE(prepared->compiled->has_lowering());
+  EXPECT_EQ(prepared->lowering_digest, prepared->compiled->lowering_digest());
+  EXPECT_NE(prepared->lowering_digest, crypto::Digest{})
+      << "verified preparation must bind the lowered form";
+}
+
 TEST(AePrepare, CachesVerificationResultWithPreparedModule) {
   AeHarness h;
   wasm::Module original = parse(kConstTripWat);

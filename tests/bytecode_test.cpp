@@ -1,0 +1,491 @@
+// The three-stage execution pipeline (DESIGN.md §15): lowered internal
+// bytecode with fused accounting superinstructions.
+//
+// Contract under test: every execution backend — flattened switch,
+// flattened computed-goto, bytecode switch, bytecode computed-goto, with
+// superinstruction fusion on or off — produces bit-identical ExecStats,
+// checkpoint snapshots, instrumented counter values and signed resource
+// logs, over real workloads and on every trap path (mid-block traps inside
+// fused regions, instruction-limit exhaustion). Plus the structural
+// invariants of the lowered form and the determinism of the binding digest.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/accounting_enclave.hpp"
+#include "core/instrumentation_enclave.hpp"
+#include "instrument/passes.hpp"
+#include "sgx/platform.hpp"
+#include "test_util.hpp"
+#include "wasm/binary.hpp"
+#include "wasm/validator.hpp"
+#include "wasm/wat_parser.hpp"
+#include "workloads/polybench.hpp"
+#include "workloads/usecases.hpp"
+
+namespace acctee::interp {
+namespace {
+
+struct Backend {
+  const char* name;
+  DispatchMode dispatch;
+  bool fuse;              // lowering fusion (bytecode backends only)
+  bool per_instruction;   // serial-accounting oracle
+};
+
+// Every backend × the fusion toggle for the bytecode ones, plus the serial
+// oracle on the representative ends of the matrix. Backends not compiled in
+// (threaded, bytecode) silently fall back down the chain, so the matrix
+// stays valid in every build configuration — it just tests less.
+std::vector<Backend> backends() {
+  return {
+      {"flat-switch", DispatchMode::Switch, true, false},
+      {"flat-switch/serial", DispatchMode::Switch, true, true},
+      {"flat-goto", DispatchMode::Threaded, true, false},
+      {"bc-switch", DispatchMode::BytecodeSwitch, true, false},
+      {"bc-goto", DispatchMode::Bytecode, true, false},
+      {"bc-goto/serial", DispatchMode::Bytecode, true, true},
+      {"bc-goto/nofuse", DispatchMode::Bytecode, false, false},
+      {"auto", DispatchMode::Auto, true, false},
+  };
+}
+
+CompiledModulePtr compile_for(const wasm::Module& module, const Backend& b) {
+  CompiledModule::CompileOptions copts;
+  copts.lower.fuse = b.fuse;
+  return compile(module, copts);
+}
+
+Instance::Options backend_options(const Backend& b) {
+  Instance::Options opts;
+  opts.cache_model = false;
+  opts.dispatch = b.dispatch;
+  opts.per_instruction_accounting = b.per_instruction;
+  return opts;
+}
+
+void expect_stats_equal(const ExecStats& got, const ExecStats& want,
+                        const char* label) {
+  EXPECT_EQ(got.instructions, want.instructions) << label;
+  EXPECT_EQ(got.cycles, want.cycles) << label;
+  EXPECT_EQ(got.mem_loads, want.mem_loads) << label;
+  EXPECT_EQ(got.mem_stores, want.mem_stores) << label;
+  EXPECT_EQ(got.host_calls, want.host_calls) << label;
+  EXPECT_EQ(got.peak_memory_bytes, want.peak_memory_bytes) << label;
+  EXPECT_EQ(got.memory_integral, want.memory_integral) << label;
+  EXPECT_EQ(got.per_op, want.per_op) << label;
+}
+
+size_t count_superops(const std::vector<BcFunc>& lowered,
+                      bool include_enter_block = false) {
+  size_t n = 0;
+  for (const BcFunc& bf : lowered) {
+    for (const BcInstr& bi : bf.code) {
+      if (!bc_is_super(bi.op)) continue;
+      if (bi.op == BcOp::EnterBlock && !include_enter_block) continue;
+      ++n;
+    }
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Lowered-form structure
+// ---------------------------------------------------------------------------
+
+TEST(Lowering, SuperinstructionsFireOnRealKernels) {
+  for (const char* kernel : {"gemm", "atax", "jacobi-2d"}) {
+    wasm::Module module = workloads::build_polybench(kernel, 8);
+    CompiledModulePtr fused = compile(module, {});
+    ASSERT_TRUE(fused->has_lowering()) << kernel;
+    EXPECT_GT(count_superops(fused->lowered()), 0u)
+        << kernel << ": fusion found nothing to fuse";
+
+    CompiledModule::CompileOptions nofuse;
+    nofuse.lower.fuse = false;
+    CompiledModulePtr plain = compile(module, nofuse);
+    EXPECT_EQ(count_superops(plain->lowered()), 0u)
+        << kernel << ": fuse=false must emit only EnterBlock superops";
+    // The lowered stream without fusion is the flat stream plus one
+    // EnterBlock per block.
+    for (size_t f = 0; f < plain->flat().size(); ++f) {
+      EXPECT_EQ(plain->lowered()[f].code.size(),
+                plain->flat()[f].code.size() + plain->flat()[f].blocks.size())
+          << kernel << " func " << f;
+    }
+    // The digest commits to the fusion flag and the lowered bytes.
+    EXPECT_NE(fused->lowering_digest(), plain->lowering_digest()) << kernel;
+  }
+}
+
+TEST(Lowering, DeterministicAcrossCompiles) {
+  wasm::Module module = workloads::build_polybench("bicg", 10);
+  CompiledModulePtr a = compile(module, {});
+  CompiledModulePtr b = compile(module, {});
+  ASSERT_EQ(a->lowered().size(), b->lowered().size());
+  for (size_t f = 0; f < a->lowered().size(); ++f) {
+    EXPECT_EQ(a->lowered()[f], b->lowered()[f]) << "func " << f;
+  }
+  EXPECT_EQ(a->lowering_digest(), b->lowering_digest());
+}
+
+TEST(Lowering, BranchesLandOnEnterBlockAndFlatRangesTile) {
+  wasm::Module module = workloads::build_polybench("gemm", 8);
+  CompiledModulePtr compiled = compile(module, {});
+  for (size_t f = 0; f < compiled->lowered().size(); ++f) {
+    const BcFunc& bf = compiled->lowered()[f];
+    const FlatFunc& ff = compiled->flat()[f];
+    ASSERT_FALSE(bf.code.empty());
+    EXPECT_EQ(bf.code.front().op, BcOp::EnterBlock) << "func " << f;
+    uint32_t next_flat = 0;
+    for (size_t pc = 0; pc < bf.code.size(); ++pc) {
+      const BcInstr& bi = bf.code[pc];
+      // Flat constituent ranges tile the function in order: the lowered
+      // stream accounts for every flat op exactly once.
+      EXPECT_EQ(bi.flat_pc, next_flat) << "func " << f << " bc pc " << pc;
+      EXPECT_GE(bi.flat_end, bi.flat_pc);
+      next_flat = bi.flat_end;
+      if (bc_has_branch_target(bi.op)) {
+        ASSERT_LT(bi.target_pc, bf.code.size());
+        EXPECT_EQ(bf.code[bi.target_pc].op, BcOp::EnterBlock)
+            << "func " << f << " bc pc " << pc;
+      }
+      if (bi.op == BcOp::EnterBlock) {
+        // EnterBlock charges match the flattened BlockCost table verbatim.
+        const BlockCost& blk = ff.blocks[ff.block_index[bi.flat_pc]];
+        EXPECT_EQ(bi.a, blk.instructions);
+        EXPECT_EQ(bi.b, blk.cycles);
+        EXPECT_EQ(bi.c, blk.hist_begin);
+        EXPECT_EQ(bi.unwind, blk.hist_end);
+        EXPECT_EQ(bi.target_pc, blk.end_pc);
+      }
+    }
+    EXPECT_EQ(next_flat, ff.code.size()) << "func " << f;
+    for (const auto& table : bf.br_tables) {
+      for (const BrTarget& t : table) {
+        ASSERT_LT(t.pc, bf.code.size());
+        EXPECT_EQ(bf.code[t.pc].op, BcOp::EnterBlock);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-run stats equality on real workloads
+// ---------------------------------------------------------------------------
+
+TEST(Bytecode, PolybenchStatsBitIdenticalAcrossBackends) {
+  for (const char* kernel : {"gemm", "atax", "bicg", "cholesky"}) {
+    wasm::Module module = workloads::build_polybench(kernel, 10);
+    ExecStats reference;
+    bool have_reference = false;
+    for (const Backend& b : backends()) {
+      Instance inst(compile_for(module, b), {}, backend_options(b));
+      inst.invoke("run");
+      EXPECT_TRUE(inst.stats().per_op_conserved()) << kernel << " " << b.name;
+      if (!have_reference) {
+        reference = inst.stats();
+        have_reference = true;
+      } else {
+        expect_stats_equal(inst.stats(), reference, b.name);
+      }
+    }
+  }
+}
+
+TEST(Bytecode, UsecaseStatsBitIdenticalAcrossBackends) {
+  for (const auto& usecase : workloads::usecases()) {
+    wasm::Module module = usecase.build();
+    ExecStats reference;
+    bool have_reference = false;
+    Values results_reference;
+    for (const Backend& b : backends()) {
+      if (b.per_instruction) continue;  // keep the slow workloads fast
+      Instance inst(compile_for(module, b), {}, backend_options(b));
+      Values results = inst.invoke("run", {TypedValue::make_i32(usecase.bench_scale)});
+      EXPECT_TRUE(inst.stats().per_op_conserved())
+          << usecase.name << " " << b.name;
+      if (!have_reference) {
+        reference = inst.stats();
+        results_reference = results;
+        have_reference = true;
+      } else {
+        expect_stats_equal(inst.stats(), reference, b.name);
+        ASSERT_EQ(results.size(), results_reference.size()) << b.name;
+        for (size_t i = 0; i < results.size(); ++i) {
+          EXPECT_EQ(results[i].bits, results_reference[i].bits)
+              << usecase.name << " " << b.name;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------------
+
+TEST(Bytecode, CheckpointSnapshotsIdenticalAcrossBackends) {
+  wasm::Module module = workloads::build_polybench("atax", 16);
+  std::vector<std::pair<uint64_t, uint64_t>> reference;
+  bool have_reference = false;
+  for (const Backend& b : backends()) {
+    Instance inst(compile_for(module, b), {}, backend_options(b));
+    std::vector<std::pair<uint64_t, uint64_t>> snapshots;
+    // A deliberately awkward interval so crossings land mid-block and in
+    // the middle of fused superinstruction patterns.
+    inst.set_checkpoint(997, [&](Instance& self) {
+      snapshots.emplace_back(self.stats().instructions, self.stats().cycles);
+    });
+    inst.invoke("run");
+    ASSERT_FALSE(snapshots.empty()) << b.name;
+    if (!have_reference) {
+      reference = snapshots;
+      have_reference = true;
+    } else {
+      EXPECT_EQ(snapshots, reference) << b.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trap paths
+// ---------------------------------------------------------------------------
+
+// The loop body below is exactly the [local.get][i32.const][i32.add]
+// [local.set] shape the lowerer fuses into one superinstruction, so limit
+// values landing "inside" the fused pattern force the serial fallback to
+// replay the flat constituents — the trap must fire at the same serial
+// instruction index in every backend.
+TEST(Bytecode, InstructionLimitFiresAtSameIndexInsideFusedPattern) {
+  const char* wat = R"((module (func (export "f") (local i32)
+    loop $l
+      local.get 0
+      i32.const 1
+      i32.add
+      local.set 0
+      br $l
+    end
+  )))";
+  for (uint64_t limit : {9997u, 9998u, 9999u, 10000u}) {
+    uint64_t reference = 0;
+    bool have_reference = false;
+    for (const Backend& b : backends()) {
+      wasm::Module module = wasm::parse_wat(wat);
+      wasm::validate(module);
+      Instance::Options opts = backend_options(b);
+      opts.max_instructions = limit;
+      Instance inst(compile_for(module, b), {}, opts);
+      EXPECT_THROW(inst.invoke("f"), TrapError) << b.name;
+      EXPECT_TRUE(inst.stats().per_op_conserved()) << b.name;
+      EXPECT_EQ(inst.stats().instructions, limit + 1) << b.name;
+      if (!have_reference) {
+        reference = inst.stats().cycles;
+        have_reference = true;
+      } else {
+        EXPECT_EQ(inst.stats().cycles, reference) << b.name;
+      }
+    }
+  }
+}
+
+// A trap right after fused superinstructions: the pre-charged never-executed
+// block suffix must be un-charged exactly, even though the executed prefix
+// ran as fused superinstructions whose bytecode pcs no longer match flat pcs.
+TEST(Bytecode, MidBlockTrapAfterFusedPrefixLeavesSerialStats) {
+  const char* wat = R"((module (func (export "f") (param i32) (result i32)
+    (local i32)
+    local.get 0
+    i32.const 3
+    i32.add
+    local.set 1
+    i32.const 7
+    local.get 1
+    i32.sub
+    i32.const 0
+    i32.div_s
+    i32.const 1
+    i32.add
+  )))";
+  ExecStats reference;
+  bool have_reference = false;
+  for (const Backend& b : backends()) {
+    wasm::Module module = wasm::parse_wat(wat);
+    wasm::validate(module);
+    Instance inst(compile_for(module, b), {}, backend_options(b));
+    EXPECT_THROW(inst.invoke("f", {TypedValue::make_i32(4)}), TrapError) << b.name;
+    EXPECT_TRUE(inst.stats().per_op_conserved()) << b.name;
+    if (!have_reference) {
+      reference = inst.stats();
+      have_reference = true;
+    } else {
+      expect_stats_equal(inst.stats(), reference, b.name);
+    }
+  }
+  // The i32.add after the div must not be in the histogram; the div is.
+  EXPECT_EQ(reference.per_op[static_cast<size_t>(wasm::Op::I32DivS)], 1u);
+  EXPECT_EQ(reference.per_op[static_cast<size_t>(wasm::Op::I32Add)], 1u);
+}
+
+TEST(Bytecode, OutOfBoundsTrapLeavesSerialStats) {
+  const char* wat = R"((module (memory 1) (func (export "f") (result i32)
+    i32.const 70000
+    i32.load offset=65536
+    i32.const 2
+    i32.mul
+  )))";
+  ExecStats reference;
+  bool have_reference = false;
+  for (const Backend& b : backends()) {
+    wasm::Module module = wasm::parse_wat(wat);
+    wasm::validate(module);
+    Instance inst(compile_for(module, b), {}, backend_options(b));
+    EXPECT_THROW(inst.invoke("f"), TrapError) << b.name;
+    EXPECT_TRUE(inst.stats().per_op_conserved()) << b.name;
+    if (!have_reference) {
+      reference = inst.stats();
+      have_reference = true;
+    } else {
+      expect_stats_equal(inst.stats(), reference, b.name);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented counter and signed logs
+// ---------------------------------------------------------------------------
+
+TEST(Bytecode, InstrumentedCounterIdenticalAndIncrementFused) {
+  auto opts = instrument::InstrumentOptions{instrument::PassKind::LoopBased,
+                                            instrument::WeightTable::unit()};
+  wasm::Module instrumented =
+      instrument::instrument(workloads::build_polybench("gemm", 10), opts)
+          .module;
+  // The instrumentation's counter increments lower to the fused
+  // GlobalAddConstI64 superinstruction.
+  CompiledModulePtr compiled = compile(instrumented, {});
+  size_t fused_increments = 0;
+  for (const BcFunc& bf : compiled->lowered()) {
+    for (const BcInstr& bi : bf.code) {
+      if (bi.op == BcOp::GlobalAddConstI64) ++fused_increments;
+    }
+  }
+  EXPECT_GT(fused_increments, 0u);
+
+  int64_t reference = 0;
+  bool have_reference = false;
+  for (const Backend& b : backends()) {
+    Instance inst(compile_for(instrumented, b), {}, backend_options(b));
+    inst.invoke("run");
+    int64_t counter = inst.read_global(instrument::kCounterExport).i64();
+    EXPECT_GT(counter, 0) << b.name;
+    if (!have_reference) {
+      reference = counter;
+      have_reference = true;
+    } else {
+      EXPECT_EQ(counter, reference) << b.name;
+    }
+  }
+}
+
+// End-to-end: the AE's signed resource logs — interim checkpoints and the
+// final log, signatures included — must be byte-identical across every
+// Config::dispatch backend. This is the billing-equivalence acceptance
+// criterion for the whole pipeline.
+TEST(Bytecode, SignedLogsByteIdenticalAcrossDispatchBackends) {
+  auto opts = instrument::InstrumentOptions{instrument::PassKind::LoopBased,
+                                            instrument::WeightTable::unit()};
+  wasm::Module module = workloads::build_polybench("bicg", 16);
+  Bytes binary = wasm::encode(module);
+
+  auto run_world = [&](DispatchMode dispatch) {
+    sgx::Platform ie_host{"ie-host", to_bytes("ie-seed")};
+    sgx::Platform cloud{"cloud", to_bytes("cloud-seed")};
+    core::InstrumentationEnclave ie(ie_host, opts);
+    core::AccountingEnclave::Config config;
+    config.trusted_ie_identity = ie.identity();
+    config.instrumentation = opts;
+    config.checkpoint_interval = 5000;
+    config.dispatch = dispatch;
+    core::AccountingEnclave ae(cloud, config);
+    auto out = ie.instrument_binary(binary);
+    return ae.execute(out.instrumented_binary, out.evidence, "run", {});
+  };
+
+  core::AccountingEnclave::Outcome reference = run_world(DispatchMode::Switch);
+  ASSERT_FALSE(reference.interim_logs.empty());
+  for (DispatchMode dispatch :
+       {DispatchMode::Threaded, DispatchMode::BytecodeSwitch,
+        DispatchMode::Bytecode, DispatchMode::Auto}) {
+    core::AccountingEnclave::Outcome outcome = run_world(dispatch);
+    EXPECT_EQ(outcome.signed_log.log.serialize(),
+              reference.signed_log.log.serialize());
+    EXPECT_EQ(outcome.signed_log.signature.serialize(),
+              reference.signed_log.signature.serialize());
+    ASSERT_EQ(outcome.interim_logs.size(), reference.interim_logs.size());
+    for (size_t i = 0; i < reference.interim_logs.size(); ++i) {
+      EXPECT_EQ(outcome.interim_logs[i].log.serialize(),
+                reference.interim_logs[i].log.serialize())
+          << "interim " << i;
+      EXPECT_EQ(outcome.interim_logs[i].signature.serialize(),
+                reference.interim_logs[i].signature.serialize())
+          << "interim " << i;
+    }
+  }
+}
+
+// Signed logs on the *trap* path (the workload still owes for what it ran)
+// must also be backend-independent.
+TEST(Bytecode, TrappedSignedLogsByteIdenticalAcrossDispatchBackends) {
+  auto opts = instrument::InstrumentOptions{instrument::PassKind::LoopBased,
+                                            instrument::WeightTable::unit()};
+  wasm::Module module = workloads::build_polybench("gemm", 12);
+  Bytes binary = wasm::encode(module);
+
+  auto run_world = [&](DispatchMode dispatch) {
+    sgx::Platform ie_host{"ie-host", to_bytes("ie-seed")};
+    sgx::Platform cloud{"cloud", to_bytes("cloud-seed")};
+    core::InstrumentationEnclave ie(ie_host, opts);
+    core::AccountingEnclave::Config config;
+    config.trusted_ie_identity = ie.identity();
+    config.instrumentation = opts;
+    config.max_instructions = 20000;  // exhaust mid-run
+    config.dispatch = dispatch;
+    core::AccountingEnclave ae(cloud, config);
+    auto out = ie.instrument_binary(binary);
+    return ae.execute(out.instrumented_binary, out.evidence, "run", {});
+  };
+
+  core::AccountingEnclave::Outcome reference = run_world(DispatchMode::Switch);
+  EXPECT_TRUE(reference.signed_log.log.trapped);
+  for (DispatchMode dispatch :
+       {DispatchMode::BytecodeSwitch, DispatchMode::Bytecode}) {
+    core::AccountingEnclave::Outcome outcome = run_world(dispatch);
+    EXPECT_TRUE(outcome.signed_log.log.trapped);
+    EXPECT_EQ(outcome.signed_log.log.serialize(),
+              reference.signed_log.log.serialize());
+    EXPECT_EQ(outcome.trap_message, reference.trap_message);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Build-configuration fallback
+// ---------------------------------------------------------------------------
+
+TEST(Bytecode, ExplicitBytecodeDispatchRunsInEveryBuild) {
+  // When the bytecode backends are not compiled in, DispatchMode::Bytecode
+  // falls back down the chain; results never change.
+  Instance::Options opts;
+  opts.cache_model = false;
+  opts.dispatch = DispatchMode::Bytecode;
+  wasm::Module module = wasm::parse_wat(R"((module
+    (func (export "f") (result i32) i32.const 41 i32.const 1 i32.add)))");
+  wasm::validate(module);
+  Instance inst(compile(module, {}), {}, opts);
+  EXPECT_EQ(inst.invoke("f").at(0).i32(), 42);
+  EXPECT_TRUE(inst.stats().per_op_conserved());
+  EXPECT_EQ(Instance::bytecode_available(), ACCTEE_HAS_BYTECODE != 0);
+}
+
+}  // namespace
+}  // namespace acctee::interp

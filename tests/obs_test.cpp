@@ -8,9 +8,12 @@
 #include <thread>
 #include <vector>
 
+#include "interp/instance.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "wasm/validator.hpp"
+#include "wasm/wat_parser.hpp"
 
 namespace acctee::obs {
 namespace {
@@ -288,6 +291,65 @@ TEST(Profile, SamplingRecordsEveryNthBlock) {
   std::string json = profiler.to_json();
   EXPECT_NE(json.find("\"sample_interval\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"func\": 0"), std::string::npos);
+}
+
+TEST(Profile, FrameIndicesSurviveLoweringAcrossDispatchBackends) {
+  // Regression for `acctee run --profile` on the bytecode backend: the
+  // lowered EnterBlock handler must report the same defined-function
+  // indices (and per-block charges) as the flattened block_head path, so
+  // the module's own names symbolize profiles on every backend.
+  const char* wat = R"((module
+    (func $helper (param i32) (result i32)
+      (local $acc i32)
+      loop $l
+        local.get $acc
+        i32.const 3
+        i32.add
+        local.set $acc
+        local.get 0
+        i32.const 1
+        i32.sub
+        local.tee 0
+        br_if $l
+      end
+      local.get $acc)
+    (func $run (export "run") (result i32)
+      i32.const 50
+      call $helper)))";
+  wasm::Module module = wasm::parse_wat(wat);
+  wasm::validate(module);
+
+  auto profile_with = [&](interp::DispatchMode mode, FuncProfiler& profiler) {
+    interp::Instance::Options options;
+    options.dispatch = mode;
+    options.profiler = &profiler;
+    interp::Instance inst(module, {}, options);
+    inst.invoke("run", {});
+  };
+  FuncProfiler ref(1), bc(1), bc_switch(1);
+  profile_with(interp::DispatchMode::Switch, ref);
+  profile_with(interp::DispatchMode::Bytecode, bc);
+  profile_with(interp::DispatchMode::BytecodeSwitch, bc_switch);
+
+  ASSERT_EQ(ref.entries().size(), 2u);
+  EXPECT_GT(ref.entries()[0].samples, 0u);  // $helper's loop blocks
+  EXPECT_GT(ref.entries()[1].samples, 0u);  // $run's entry block
+  for (const FuncProfiler* other : {&bc, &bc_switch}) {
+    ASSERT_EQ(other->entries().size(), ref.entries().size());
+    for (size_t f = 0; f < ref.entries().size(); ++f) {
+      EXPECT_EQ(other->entries()[f].samples, ref.entries()[f].samples) << f;
+      EXPECT_EQ(other->entries()[f].instructions,
+                ref.entries()[f].instructions)
+          << f;
+      EXPECT_EQ(other->entries()[f].cycles, ref.entries()[f].cycles) << f;
+    }
+  }
+  // Symbolization: the surviving indices select the right names.
+  std::vector<std::string> names = {"helper", "run"};
+  std::string folded = bc.to_folded(&names);
+  EXPECT_NE(folded.find("wasm;helper "), std::string::npos) << folded;
+  EXPECT_NE(folded.find("wasm;run "), std::string::npos) << folded;
+  EXPECT_EQ(folded, ref.to_folded(&names));
 }
 
 // ---------------------------------------------------------------------------

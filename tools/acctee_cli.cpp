@@ -282,6 +282,27 @@ int cmd_instrument(int argc, char** argv) {
   return 0;
 }
 
+interp::DispatchMode parse_dispatch(const std::string& s) {
+  if (s == "auto") return interp::DispatchMode::Auto;
+  if (s == "switch") return interp::DispatchMode::Switch;
+  if (s == "goto") return interp::DispatchMode::Threaded;
+  if (s == "bc" || s == "bytecode") return interp::DispatchMode::Bytecode;
+  if (s == "bc-switch") return interp::DispatchMode::BytecodeSwitch;
+  throw Error("unknown dispatch backend: " + s +
+              " (expected auto|switch|goto|bc|bc-switch)");
+}
+
+const char* to_string(interp::DispatchMode mode) {
+  switch (mode) {
+    case interp::DispatchMode::Auto: return "auto";
+    case interp::DispatchMode::Switch: return "switch";
+    case interp::DispatchMode::Threaded: return "goto";
+    case interp::DispatchMode::Bytecode: return "bc";
+    case interp::DispatchMode::BytecodeSwitch: return "bc-switch";
+  }
+  return "?";
+}
+
 int cmd_run(int argc, char** argv) {
   if (argc < 1) throw Error("usage: acctee run <module> [options]");
   std::string path = argv[0];
@@ -301,6 +322,8 @@ int cmd_run(int argc, char** argv) {
       options.platform = parse_platform(argv[++i]);
     } else if (std::strcmp(argv[i], "--input") == 0 && i + 1 < argc) {
       channel.input = read_file(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dispatch") == 0 && i + 1 < argc) {
+      options.dispatch = parse_dispatch(argv[++i]);
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile = true;
     } else if (std::strcmp(argv[i], "--folded") == 0) {
@@ -351,6 +374,9 @@ int cmd_run(int argc, char** argv) {
   std::fprintf(info, "cycles:          %llu (simulated, %s)\n",
                static_cast<unsigned long long>(stats.cycles),
                to_string(options.platform));
+  std::fprintf(info, "dispatch:        %s (bytecode backend %scompiled in)\n",
+               to_string(options.dispatch),
+               interp::Instance::bytecode_available() ? "" : "not ");
   std::fprintf(info, "peak memory:     %llu bytes\n",
                static_cast<unsigned long long>(stats.peak_memory_bytes));
   std::fprintf(info, "io in/out:       %llu / %llu bytes\n",
@@ -369,13 +395,20 @@ int cmd_run(int argc, char** argv) {
     std::fputs(profiler.to_folded(&func_names).c_str(), stdout);
   } else if (profile) {
     std::printf("profile (sample interval %u):\n", profiler.sample_interval());
-    std::printf("  %-6s %12s %14s %14s\n", "func", "samples", "instructions",
-                "cycles");
+    std::printf("  %-6s %-24s %12s %14s %14s\n", "func", "name", "samples",
+                "instructions", "cycles");
     const auto& entries = profiler.entries();
     for (size_t f = 0; f < entries.size(); ++f) {
       const auto& e = entries[f];
       if (e.samples == 0) continue;
-      std::printf("  %-6zu %12llu %14llu %14llu\n", f,
+      // Symbolized: profiler frame indices are defined-function indices on
+      // every backend (lowering preserves them), so the module's own names
+      // apply regardless of dispatch mode.
+      const std::string name =
+          f < func_names.size() && !func_names[f].empty()
+              ? func_names[f]
+              : "func#" + std::to_string(f);
+      std::printf("  %-6zu %-24s %12llu %14llu %14llu\n", f, name.c_str(),
                   static_cast<unsigned long long>(e.samples),
                   static_cast<unsigned long long>(e.instructions),
                   static_cast<unsigned long long>(e.cycles));
@@ -414,6 +447,15 @@ int verify_one(const wasm::Module& module, uint32_t counter_global,
   }
   std::printf("cost vector digest: %s\n",
               crypto::digest_hex(verdict.cost_vector_digest).c_str());
+  // Verify-then-bind (DESIGN.md §15): the proof above covers the flattened
+  // code; bind the lowered bytecode the execution backends run to it.
+  interp::CompiledModulePtr compiled = interp::compile(module);
+  if (auto err = analysis::check_lowering(*compiled)) {
+    std::printf("FAIL: lowering binding: %s\n", err->c_str());
+    return 1;
+  }
+  std::printf("lowering digest:    %s (bytecode bound to verified form)\n",
+              crypto::digest_hex(compiled->lowering_digest()).c_str());
   std::printf("PASS (%.2f ms): counter increments are equivalent to naive "
               "weighted accounting on every path\n",
               ms);
@@ -445,10 +487,16 @@ int verify_builtin_sweep(const instrument::WeightTable& weights) {
       analysis::VerifyResult verdict = analysis::verify_instrumented_module(
           result.module, result.counter_global, weights);
       bool ok = verdict.ok && verdict.cost_vector == expected;
+      std::optional<std::string> bind_err;
+      if (ok) {
+        bind_err = analysis::check_lowering(*interp::compile(result.module));
+        if (bind_err) ok = false;
+      }
       std::printf("  %-14s %-6s %s\n", name.c_str(), to_string(pass),
                   ok ? "PASS"
-                     : (verdict.ok ? "FAIL (recovered cost vector mismatch)"
-                                   : verdict.error.c_str()));
+                     : (bind_err ? ("FAIL (lowering: " + *bind_err + ")").c_str()
+                        : verdict.ok ? "FAIL (recovered cost vector mismatch)"
+                                     : verdict.error.c_str()));
       if (!ok) ++failures;
     }
   }
@@ -613,6 +661,7 @@ void usage() {
       "  acctee instrument <in> <out.wasm> [--pass naive|flow|loop]\n"
       "  acctee run <module> [--entry NAME] [--arg TYPE:VALUE ...]\n"
       "             [--platform native|wasm|sgx-sim|sgx-hw] [--input FILE]\n"
+      "             [--dispatch auto|switch|goto|bc|bc-switch]\n"
       "             [--profile] [--folded] [--sample-interval N]\n"
       "  acctee metrics <module> [--entry NAME] [--arg TYPE:VALUE ...]\n"
       "             [--requests N] [--pass P] [--format prom|json]\n"

@@ -14,6 +14,13 @@
 //       mutation under- or mis-accounts by construction) or if the module
 //       offers no sites at all.
 //
+//   acctee-mutate <module> --lowering-sweep
+//       Tampers with the module's lowered internal bytecode instead of its
+//       wasm (analysis/mutate.hpp LoweringMutationKind: edited immediates,
+//       dropped block/fused-counter charges, retargeted fused branches) and
+//       runs the AE's verify-then-bind check (DESIGN.md §15) over each
+//       mutant stream: exits 1 if ANY tampered lowering binds.
+//
 // All modes take [--counter N] to override the counter-global index
 // (default: the module's __acctee_counter export).
 #include <cstdio>
@@ -40,7 +47,8 @@ const char* const kUsage =
     "usage: acctee-mutate <module> --list [--counter N]\n"
     "       acctee-mutate <module> --apply N <out.wasm> [--counter N]\n"
     "       acctee-mutate <module> --verify-all [--counter N] "
-    "[--weights unit|base]\n";
+    "[--weights unit|base]\n"
+    "       acctee-mutate <module> --lowering-sweep [--counter N]\n";
 
 Bytes read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -130,6 +138,41 @@ int verify_all(const wasm::Module& module, uint32_t counter,
   return 0;
 }
 
+int lowering_sweep(const wasm::Module& module) {
+  interp::CompiledModulePtr compiled = interp::compile(module);
+  // The genuine lowering must bind — otherwise rejections below would
+  // prove nothing about the tampering.
+  if (auto err = analysis::check_lowering(*compiled)) {
+    std::printf("baseline lowering FAILS verify-then-bind, aborting:\n%s\n",
+                err->c_str());
+    return 1;
+  }
+  auto sites = analysis::enumerate_lowering_mutations(compiled->lowered());
+  if (sites.empty()) {
+    std::printf("no lowering mutation sites — module offers nothing to "
+                "tamper with\n");
+    return 1;
+  }
+  size_t false_accepts = 0;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    auto mutant = analysis::apply_lowering_mutation(compiled->lowered(), i);
+    auto err = analysis::check_lowering(compiled->flat(), mutant,
+                                        compiled->lower_options(),
+                                        compiled->lowering_digest());
+    std::printf("%4zu  %-10s %s\n", i, err ? "rejected" : "BOUND",
+                sites[i].description.c_str());
+    if (!err) ++false_accepts;
+  }
+  if (false_accepts > 0) {
+    std::printf("%zu/%zu tampered lowerings FALSELY BOUND\n", false_accepts,
+                sites.size());
+    return 1;
+  }
+  std::printf("all %zu tampered lowerings rejected — zero false accepts\n",
+              sites.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -149,6 +192,8 @@ int main(int argc, char** argv) {
         out_path = argv[++i];
       } else if (std::strcmp(argv[i], "--verify-all") == 0) {
         mode = "verify-all";
+      } else if (std::strcmp(argv[i], "--lowering-sweep") == 0) {
+        mode = "lowering-sweep";
       } else if (std::strcmp(argv[i], "--counter") == 0 && i + 1 < argc) {
         counter_flag = static_cast<uint32_t>(std::stoul(argv[++i]));
       } else if (std::strcmp(argv[i], "--weights") == 0 && i + 1 < argc) {
@@ -187,6 +232,7 @@ int main(int argc, char** argv) {
     }
     if (mode == "list") return list_sites(module, counter);
     if (mode == "apply") return apply_site(module, counter, apply_index, out_path);
+    if (mode == "lowering-sweep") return lowering_sweep(module);
     return verify_all(module, counter, weights);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "acctee-mutate: %s\n", e.what());

@@ -21,15 +21,30 @@
 // checkpoints) and saves the sealed audit ledger, so CI can replay
 // `acctee audit verify` and `acctee audit reconcile` offline against the
 // metrics scrape this same process exported.
+//
+// `--scale` switches to the scale matrix (DESIGN.md §16) instead of the
+// paper tables: 10^4..10^6 simulated tenants under uniform / bursty /
+// hot-key arrivals, the sharded gateway (8 shards, instance freelists)
+// against the single-mutex Gateway on identical request streams, real
+// wall-clock requests/second on both sides, plus a single-shard
+// bit-identity check and a billing-mode soundness pass
+// (verify_ledger_set + reconcile_set over the per-worker AE chains).
+// `--json BENCH_fig9_scale.json` records the matrix;
+// `--scale-ledger-dir <dir>` saves the per-AE ledgers for the offline CLI
+// replay. `--smoke` shrinks tenant counts and request volume to CI scale.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 
 #include "audit/ledger.hpp"
+#include "audit/reconcile.hpp"
 #include "audit/verifier.hpp"
 #include "bench_util.hpp"
 #include "core/accounting_enclave.hpp"
 #include "core/instrumentation_enclave.hpp"
 #include "faas/gateway.hpp"
+#include "faas/sharded_gateway.hpp"
 #include "obs/metrics.hpp"
 #include "wasm/binary.hpp"
 #include "workloads/faas_functions.hpp"
@@ -195,11 +210,312 @@ int run_ledger_mode(const char* path) {
   return report.ok ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Scale matrix (--scale): the sharded gateway vs the single-mutex gateway.
+// ---------------------------------------------------------------------------
+
+/// Deterministic request stream: `n` requests spread over `tenants`
+/// simulated tenants under one of three arrival patterns. The same seed
+/// always yields the same stream, so baseline and sharded runs see an
+/// identical multiset of requests (their accounted totals must then agree
+/// exactly — simulated cycles are deterministic and order-independent).
+std::vector<faas::Request> build_scale_requests(size_t n, size_t tenants,
+                                                const std::string& arrival,
+                                                const Bytes& input) {
+  uint64_t state = 0x9e3779b97f4a7c15ULL ^ (tenants * 1000003) ^ n;
+  auto rnd = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  std::vector<faas::Request> requests;
+  requests.reserve(n);
+  uint64_t burst_tenant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t tenant;
+    if (arrival == "bursty") {
+      // Bursts of 16 back-to-back requests from one tenant (cold-start
+      // herds): consecutive requests land on the same shard queue.
+      if (i % 16 == 0) burst_tenant = rnd() % tenants;
+      tenant = burst_tenant;
+    } else if (arrival == "hotkey") {
+      // Half the traffic concentrates on the hottest 1% of tenants.
+      tenant = (rnd() & 1) ? rnd() % std::max<size_t>(1, tenants / 100)
+                           : rnd() % tenants;
+    } else {  // uniform
+      tenant = rnd() % tenants;
+    }
+    requests.push_back(faas::Request{"t" + std::to_string(tenant), input});
+  }
+  return requests;
+}
+
+/// Single-shard bit-identity: with shards=1, workers_per_shard=1 the
+/// sharded gateway's accounted totals must equal the plain Gateway's on the
+/// same inputs bit for bit — freelist reuse included.
+bool run_single_shard_parity() {
+  interp::CompiledModulePtr compiled = interp::compile(workloads::faas_echo());
+  std::vector<Bytes> inputs;
+  std::vector<faas::Request> requests;
+  for (uint32_t r = 0; r < 12; ++r) {
+    inputs.push_back(workloads::make_test_image(64, r));
+    requests.push_back(
+        faas::Request{"t" + std::to_string(r % 5), inputs.back()});
+  }
+  GatewayConfig config;
+  config.setup = Setup::WasmSgxHw;
+  Gateway plain(compiled, "run", config);
+  faas::LoadResult expect = plain.run_load(inputs);
+
+  faas::ShardedGatewayConfig sharded_config;
+  sharded_config.base = config;
+  sharded_config.shards = 1;
+  sharded_config.workers_per_shard = 1;
+  sharded_config.pool_instances = true;
+  faas::ShardedGateway sharded(compiled, "run", sharded_config);
+  faas::ScenarioResult got = sharded.run_scenario(requests);
+
+  bool identical = got.totals.requests == expect.requests &&
+                   got.totals.total_cycles == expect.total_cycles &&
+                   got.totals.execution_cycles == expect.execution_cycles &&
+                   got.totals.instructions == expect.instructions &&
+                   got.totals.io_bytes == expect.io_bytes;
+  std::printf("single-shard parity: accounted totals %s the plain gateway "
+              "(%llu vs %llu cycles)\n\n",
+              identical ? "bit-identical to" : "DIVERGE from",
+              static_cast<unsigned long long>(got.totals.total_cycles),
+              static_cast<unsigned long long>(expect.total_cycles));
+  return identical;
+}
+
+int run_scale_matrix(bool smoke, bench::JsonReporter& json) {
+  const std::vector<size_t> tenant_counts =
+      smoke ? std::vector<size_t>{1'000, 10'000}
+            : std::vector<size_t>{10'000, 100'000, 1'000'000};
+  const std::vector<std::string> arrivals = {"uniform", "bursty", "hotkey"};
+  const size_t request_count = smoke ? 400 : 4000;
+  const uint32_t shards = 8;
+  const uint32_t workers_per_shard = 2;
+  const Bytes input = workloads::make_test_image(32, 7);
+
+  interp::CompiledModulePtr compiled = interp::compile(workloads::faas_echo());
+  GatewayConfig base_config;
+  base_config.setup = Setup::WasmSgxHw;
+
+  std::printf("scale matrix: %zu requests/scenario, sharded gateway "
+              "(%u shards x %u workers, instance freelists) vs single-mutex "
+              "gateway (%u threads, fresh instance per request)\n\n",
+              request_count, shards, workers_per_shard,
+              shards * workers_per_shard);
+  std::printf("%-10s %-8s %12s %12s %9s %6s %10s %10s\n", "tenants",
+              "arrival", "base req/s", "shard req/s", "speedup", "shed",
+              "p99 ms", "imbalance");
+
+  bool totals_agree = true;
+  for (size_t tenants : tenant_counts) {
+    for (const std::string& arrival : arrivals) {
+      std::vector<faas::Request> requests =
+          build_scale_requests(request_count, tenants, arrival, input);
+      std::vector<Bytes> inputs;
+      inputs.reserve(requests.size());
+      for (const faas::Request& r : requests) inputs.push_back(r.input);
+
+      Gateway baseline(compiled, "run", base_config);
+      auto t0 = std::chrono::steady_clock::now();
+      faas::LoadResult base_result = baseline.run_load_concurrent(
+          inputs, shards * workers_per_shard);
+      double base_wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      double base_rps =
+          base_wall > 0 ? static_cast<double>(base_result.requests) / base_wall
+                        : 0;
+
+      faas::ShardedGatewayConfig config;
+      config.base = base_config;
+      config.shards = shards;
+      config.workers_per_shard = workers_per_shard;
+      config.queue_capacity = 1024;
+      config.pool_instances = true;
+      faas::ShardedGateway sharded(compiled, "run", config);
+      faas::ScenarioResult result =
+          sharded.run_scenario(requests, /*producers=*/4);
+
+      // Same request multiset + deterministic simulated cycles => the
+      // accounted sums must agree exactly, however the work was spread.
+      if (result.totals.total_cycles != base_result.total_cycles ||
+          result.totals.instructions != base_result.instructions ||
+          result.totals.io_bytes != base_result.io_bytes) {
+        std::fprintf(stderr,
+                     "scale %zu/%s: sharded accounting diverged from the "
+                     "baseline (%llu vs %llu cycles)\n",
+                     tenants, arrival.c_str(),
+                     static_cast<unsigned long long>(result.totals.total_cycles),
+                     static_cast<unsigned long long>(base_result.total_cycles));
+        totals_agree = false;
+      }
+
+      double speedup = base_rps > 0
+                           ? result.wall_requests_per_second / base_rps
+                           : 0;
+      std::printf("%-10zu %-8s %12.0f %12.0f %8.2fx %6llu %10.3f %10.2f\n",
+                  tenants, arrival.c_str(), base_rps,
+                  result.wall_requests_per_second, speedup,
+                  static_cast<unsigned long long>(result.shed_total),
+                  result.totals.latency_p99_ms, result.shard_imbalance);
+      json.record(
+          "scale/" + std::to_string(tenants) + "/" + arrival,
+          result.totals.requests,
+          result.wall_requests_per_second > 0
+              ? 1e9 / result.wall_requests_per_second
+              : 0,
+          result.totals.seconds > 0
+              ? static_cast<double>(result.totals.instructions) /
+                    result.totals.seconds
+              : 0,
+          {{"wall_rps_sharded", result.wall_requests_per_second},
+           {"wall_rps_baseline", base_rps},
+           {"speedup", speedup},
+           {"latency_p50_ms", result.totals.latency_p50_ms},
+           {"latency_p99_ms", result.totals.latency_p99_ms},
+           {"shed_total", static_cast<double>(result.shed_total)},
+           {"shard_imbalance", result.shard_imbalance}});
+    }
+  }
+  std::printf("\n");
+
+  // Overload scenario: a deliberately undersized queue in Shed mode, so
+  // load-shedding (and the queue-depth/shed metrics) actually fires.
+  {
+    size_t tenants = tenant_counts.front();
+    std::vector<faas::Request> requests =
+        build_scale_requests(request_count, tenants, "bursty", input);
+    faas::ShardedGatewayConfig config;
+    config.base = base_config;
+    config.shards = shards;
+    config.workers_per_shard = 1;
+    config.queue_capacity = 8;
+    config.pool_instances = true;
+    config.backpressure = faas::ShardedGatewayConfig::Backpressure::Shed;
+    faas::ShardedGateway sharded(compiled, "run", config);
+    faas::ScenarioResult result =
+        sharded.run_scenario(requests, /*producers=*/8);
+    std::printf("overload (queue=8, shed): %llu executed, %llu shed, peak "
+                "queue depth %llu\n\n",
+                static_cast<unsigned long long>(result.totals.requests),
+                static_cast<unsigned long long>(result.shed_total),
+                static_cast<unsigned long long>(
+                    result.shards.empty() ? 0
+                                          : result.shards[0].queue_depth_peak));
+    json.record("scale/overload_shed", result.totals.requests, 0, 0,
+                {{"shed_total", static_cast<double>(result.shed_total)},
+                 {"executed", static_cast<double>(result.totals.requests)}});
+  }
+
+  return totals_agree ? 0 : 1;
+}
+
+/// Billing-mode soundness at scale: per-worker AEs sign every log, each
+/// worker ledgers its own chain, and the whole set must verify + reconcile
+/// offline. Saves the per-AE ledgers into `ledger_dir` (when non-null) for
+/// the CLI replay in CI.
+int run_scale_billing(bool smoke, const char* ledger_dir) {
+  auto opts = instrument::InstrumentOptions{instrument::PassKind::LoopBased,
+                                            instrument::WeightTable::unit()};
+  sgx::Platform ie_host{"scale-ie-host", to_bytes("scale-ie-seed")};
+  core::InstrumentationEnclave ie(ie_host, opts);
+  core::AccountingEnclave::Config ae_config;
+  ae_config.trusted_ie_identity = ie.identity();
+  ae_config.instrumentation = opts;
+  ae_config.checkpoint_interval = 50'000;  // force interim logs too
+
+  auto instrumented = ie.instrument_binary(wasm::encode(workloads::faas_echo()));
+
+  faas::ShardedGatewayConfig config;
+  config.base.setup = Setup::WasmSgxHwInstr;
+  config.shards = 4;
+  config.workers_per_shard = 1;
+  faas::ShardedGateway gateway(workloads::faas_echo(), "run", config);
+  gateway.deploy_billing("scale-cloud", to_bytes("scale-cloud-seed"),
+                         ae_config, instrumented.instrumented_binary,
+                         instrumented.evidence,
+                         /*ledger_checkpoint_every=*/8);
+
+  const size_t requests = smoke ? 48 : 96;
+  Bytes input = workloads::make_test_image(32, 3);
+  std::vector<faas::Request> stream =
+      build_scale_requests(requests, /*tenants=*/24, "uniform", input);
+  faas::ScenarioResult result = gateway.run_scenario(stream, /*producers=*/2);
+
+  std::vector<const audit::Ledger*> ledgers = gateway.ledgers();
+  audit::LedgerSetReport set_report =
+      audit::verify_ledger_set(ledgers, gateway.ae_identities());
+  bool totals_match = set_report.merged_totals == gateway.billing_totals();
+  audit::ReconcileReport reconcile_report = audit::reconcile_set(
+      ledgers, obs::Registry::global().prometheus(), 0.0);
+
+  size_t total_entries = 0;
+  for (const audit::Ledger* ledger : ledgers) {
+    total_entries += ledger->entries().size();
+  }
+  std::printf("billing mode: %llu requests through %zu worker AEs, %zu "
+              "signed logs -> verify_ledger_set %s, ledger==gateway totals "
+              "%s, reconcile %s\n\n",
+              static_cast<unsigned long long>(result.totals.requests),
+              ledgers.size(), total_entries, set_report.ok ? "OK" : "BROKEN",
+              totals_match ? "OK" : "DIVERGED",
+              reconcile_report.ok ? "OK" : "DIVERGED");
+  if (!set_report.ok) std::fputs(set_report.to_string().c_str(), stderr);
+  if (!reconcile_report.ok) {
+    std::fputs(reconcile_report.to_string().c_str(), stderr);
+  }
+
+  if (ledger_dir != nullptr) {
+    std::filesystem::create_directories(ledger_dir);
+    for (size_t i = 0; i < ledgers.size(); ++i) {
+      ledgers[i]->save(std::string(ledger_dir) + "/ledger_" +
+                       std::to_string(i) + ".bin");
+    }
+  }
+  return set_report.ok && totals_match && reconcile_report.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::JsonReporter json("fig9_faas_throughput", argc, argv);
+  bool scale = false;
+  const char* scale_ledger_dir = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0) scale = true;
+    if (std::strcmp(argv[i], "--scale-ledger-dir") == 0 && i + 1 < argc) {
+      scale_ledger_dir = argv[i + 1];
+    }
+  }
+  bench::JsonReporter json(scale ? "fig9_scale" : "fig9_faas_throughput",
+                           argc, argv);
   const bool smoke = bench::smoke_requested(argc, argv);
+
+  if (scale) {
+    std::printf("Fig. 9 at scale: sharded multi-tenant gateway "
+                "(DESIGN.md \xc2\xa7" "16)\n\n");
+    int rc = run_scale_matrix(smoke, json);
+    if (!run_single_shard_parity()) rc = 1;
+    int billing_rc = run_scale_billing(smoke, scale_ledger_dir);
+    if (billing_rc != 0) rc = billing_rc;
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--metrics") == 0) {
+        std::string scrape = obs::Registry::global().prometheus();
+        std::FILE* f = std::fopen(argv[i + 1], "w");
+        if (f == nullptr) {
+          std::fprintf(stderr, "cannot open %s for writing\n", argv[i + 1]);
+          return 1;
+        }
+        std::fputs(scrape.c_str(), f);
+        std::fclose(f);
+      }
+    }
+    if (!json.write()) rc = 1;
+    return rc;
+  }
   std::printf("Fig. 9: FaaS throughput, 10 concurrent workers, per-request "
               "module instantiation\n\n");
   auto opts = instrument::InstrumentOptions{instrument::PassKind::LoopBased,

@@ -130,6 +130,19 @@ std::map<std::string, UsageTotals> Ledger::totals_by_tenant() const {
   return totals;
 }
 
+std::map<std::string, UsageTotals> merged_totals_by_tenant(
+    const std::vector<const Ledger*>& ledgers) {
+  std::map<std::string, UsageTotals> merged;
+  for (const Ledger* ledger : ledgers) {
+    if (ledger == nullptr) continue;
+    for (const LedgerEntry& entry : ledger->entries()) {
+      if (!entry.signed_log.log.is_final) continue;
+      merged[entry.tenant].add(entry.signed_log.log);
+    }
+  }
+  return merged;
+}
+
 Bytes Ledger::serialize() const {
   Bytes out = to_bytes(kLedgerMagic);
   append_u32le(out, kLedgerVersion);

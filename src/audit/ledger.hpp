@@ -118,4 +118,12 @@ class Ledger {
   uint64_t covered_ = 0;  // entries committed by checkpoints so far
 };
 
+/// Deterministic merge of per-tenant totals across a set of ledgers (the
+/// sharded gateway emits one hash chain per worker AE). Summation over u64
+/// is commutative and associative, so the result is independent of ledger
+/// order — two auditors merging the same chains in different orders agree
+/// bit for bit.
+std::map<std::string, UsageTotals> merged_totals_by_tenant(
+    const std::vector<const Ledger*>& ledgers);
+
 }  // namespace acctee::audit

@@ -120,12 +120,13 @@ std::map<std::string, UsageTotals> billing_totals_from_scrape(
   return totals;
 }
 
-ReconcileReport reconcile(const Ledger& ledger,
-                          const std::string& prometheus_text,
-                          double tolerance) {
+namespace {
+
+ReconcileReport reconcile_totals(
+    const std::map<std::string, UsageTotals>& from_ledger,
+    const std::string& prometheus_text, double tolerance) {
   ReconcileReport report;
   report.tolerance = tolerance;
-  std::map<std::string, UsageTotals> from_ledger = ledger.totals_by_tenant();
   std::map<std::string, UsageTotals> from_metrics =
       billing_totals_from_scrape(prometheus_text);
 
@@ -168,6 +169,22 @@ ReconcileReport reconcile(const Ledger& ledger,
               std::all_of(report.rows.begin(), report.rows.end(),
                           [](const ReconcileRow& r) { return r.ok; });
   return report;
+}
+
+}  // namespace
+
+ReconcileReport reconcile(const Ledger& ledger,
+                          const std::string& prometheus_text,
+                          double tolerance) {
+  return reconcile_totals(ledger.totals_by_tenant(), prometheus_text,
+                          tolerance);
+}
+
+ReconcileReport reconcile_set(const std::vector<const Ledger*>& ledgers,
+                              const std::string& prometheus_text,
+                              double tolerance) {
+  return reconcile_totals(merged_totals_by_tenant(ledgers), prometheus_text,
+                          tolerance);
 }
 
 }  // namespace acctee::audit

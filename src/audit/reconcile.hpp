@@ -57,4 +57,13 @@ ReconcileReport reconcile(const Ledger& ledger,
                           const std::string& prometheus_text,
                           double tolerance = 0.0);
 
+/// Same cross-check over a *set* of per-AE ledgers (the sharded gateway's
+/// one-chain-per-worker output): the deterministically merged per-tenant
+/// totals (merged_totals_by_tenant) must agree with the scrape. The scrape
+/// side already sums across gateway/shard/function label splits, so sharded
+/// acctee_billing_* series reconcile without any special casing.
+ReconcileReport reconcile_set(const std::vector<const Ledger*>& ledgers,
+                              const std::string& prometheus_text,
+                              double tolerance = 0.0);
+
 }  // namespace acctee::audit

@@ -138,4 +138,52 @@ VerifyReport verify_ledger(const Ledger& ledger,
   return report;
 }
 
+std::string LedgerSetReport::to_string() const {
+  std::ostringstream out;
+  out << (ok ? "OK" : "FAILED") << ": ledger set of " << per_ledger.size()
+      << "\n";
+  for (const std::string& p : problems) out << "  problem: " << p << "\n";
+  for (size_t i = 0; i < per_ledger.size(); ++i) {
+    out << "ledger " << i << ": " << per_ledger[i].to_string();
+  }
+  return out.str();
+}
+
+LedgerSetReport verify_ledger_set(
+    const std::vector<const Ledger*>& ledgers,
+    const std::vector<crypto::Digest>& ae_identities) {
+  LedgerSetReport report;
+  if (!ae_identities.empty() && ae_identities.size() != ledgers.size()) {
+    report.problems.push_back(
+        std::to_string(ledgers.size()) + " ledgers but " +
+        std::to_string(ae_identities.size()) + " pinned AE identities");
+    return report;
+  }
+
+  bool all_ok = true;
+  std::map<crypto::Digest, size_t> seen_identity;
+  for (size_t i = 0; i < ledgers.size(); ++i) {
+    const Ledger& ledger = *ledgers[i];
+    const crypto::Digest& identity =
+        ae_identities.empty() ? ledger.ae_identity() : ae_identities[i];
+    // One AE = one sequence space = one chain. A second ledger under the
+    // same identity would let its sequences alias the first chain's — the
+    // per-ledger continuity check cannot see that, so it is a set-level
+    // reject even if both chains verify individually.
+    auto [it, fresh] = seen_identity.try_emplace(identity, i);
+    if (!fresh) {
+      report.problems.push_back(
+          "ledgers " + std::to_string(it->second) + " and " +
+          std::to_string(i) +
+          " claim the same AE identity (aliased sequence spaces)");
+      all_ok = false;
+    }
+    report.per_ledger.push_back(verify_ledger(ledger, identity));
+    all_ok = all_ok && report.per_ledger.back().ok;
+  }
+  report.ok = all_ok && report.problems.empty();
+  if (report.ok) report.merged_totals = merged_totals_by_tenant(ledgers);
+  return report;
+}
+
 }  // namespace acctee::audit

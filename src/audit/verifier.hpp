@@ -43,4 +43,31 @@ struct VerifyReport {
 VerifyReport verify_ledger(const Ledger& ledger,
                            const crypto::Digest& ae_identity);
 
+/// Verification of a *set* of single-AE ledgers — what the sharded gateway
+/// emits (one hash chain per worker AE, DESIGN.md §16).
+struct LedgerSetReport {
+  bool ok = false;
+  /// One verify_ledger report per input ledger, in input order.
+  std::vector<VerifyReport> per_ledger;
+  /// Deterministic per-tenant merge over all final logs in the set; only
+  /// meaningful when ok (see merged_totals_by_tenant).
+  std::map<std::string, UsageTotals> merged_totals;
+  /// Set-level findings (duplicate AE identity, size mismatch).
+  std::vector<std::string> problems;
+
+  std::string to_string() const;
+};
+
+/// Verifies each ledger against its pinned AE identity (identities[i] for
+/// ledgers[i]; pass an empty vector to fall back to each ledger's recorded
+/// identity — then the set is only as trustworthy as the files). On top of
+/// the per-ledger checks, rejects two ledgers claiming the same AE
+/// identity: each AE owns one strictly-increasing sequence space, so a
+/// second chain under the same identity is either a forked/duplicated chain
+/// or a replay vehicle — per-chain sequence continuity cannot see that, only
+/// the set view can.
+LedgerSetReport verify_ledger_set(const std::vector<const Ledger*>& ledgers,
+                                  const std::vector<crypto::Digest>&
+                                      ae_identities = {});
+
 }  // namespace acctee::audit

@@ -29,7 +29,7 @@ bool Cache::access(uint64_t line_addr) {
   ++stamp_;
 
   for (uint32_t w = 0; w < config_.associativity; ++w) {
-    if (begin[w].valid && begin[w].tag == tag) {
+    if (begin[w].epoch == epoch_ && begin[w].tag == tag) {
       begin[w].lru = stamp_;
       ++hits_;
       return true;
@@ -39,21 +39,26 @@ bool Cache::access(uint64_t line_addr) {
   Way* victim = begin;
   for (uint32_t w = 0; w < config_.associativity; ++w) {
     Way& way = begin[w];
-    if (!way.valid) {
+    if (way.epoch != epoch_) {
       victim = &way;
       break;
     }
     if (way.lru < victim->lru) victim = &way;
   }
-  victim->valid = true;
+  victim->epoch = epoch_;
   victim->tag = tag;
   victim->lru = stamp_;
   ++misses_;
   return false;
 }
 
-void Cache::flush() {
-  for (auto& way : ways_) way.valid = false;
+void Cache::flush() { ++epoch_; }
+
+void Cache::reset() {
+  ++epoch_;
+  stamp_ = 0;
+  hits_ = 0;
+  misses_ = 0;
 }
 
 Hierarchy::Hierarchy(const Config& config)
@@ -100,6 +105,16 @@ void Hierarchy::flush() {
   l1_.flush();
   l2_.flush();
   l3_.flush();
+}
+
+void Hierarchy::reset() {
+  l1_.reset();
+  l2_.reset();
+  l3_.reset();
+  llc_misses_ = 0;
+  accesses_ = 0;
+  last_line_ = 0;
+  has_last_line_ = false;
 }
 
 }  // namespace acctee::cachesim

@@ -31,8 +31,17 @@ class Cache {
   /// line is installed (write-allocate for both reads and writes).
   bool access(uint64_t line_addr);
 
-  /// Drops all cached lines.
+  /// Drops all cached lines. O(1): lines are invalidated by bumping the
+  /// cache epoch, not by touching every way (a hierarchy holds ~10^5 ways;
+  /// instance freelists flush per request).
   void flush();
+
+  /// Restores the exact post-construction state: all lines dropped AND the
+  /// LRU stamp and hit/miss counters rewound. After reset() the cache is
+  /// behaviourally indistinguishable from a freshly constructed one
+  /// (flush() keeps the counters running — it models an invalidation, not
+  /// a rebirth).
+  void reset();
 
   const CacheConfig& config() const { return config_; }
   uint64_t hits() const { return hits_; }
@@ -41,13 +50,14 @@ class Cache {
  private:
   struct Way {
     uint64_t tag = 0;
-    uint64_t lru = 0;  // last-access stamp
-    bool valid = false;
+    uint64_t lru = 0;    // last-access stamp
+    uint64_t epoch = 0;  // valid iff equal to the cache epoch (starts at 1)
   };
 
   CacheConfig config_;
   uint32_t num_sets_;
   std::vector<Way> ways_;  // num_sets_ x associativity, row-major
+  uint64_t epoch_ = 1;
   uint64_t stamp_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
@@ -83,8 +93,16 @@ class Hierarchy {
   /// Simulates an access of `size` bytes at `addr` (may straddle lines).
   AccessResult access(uint64_t addr, uint32_t size, bool is_write);
 
-  /// Drops all cached state (used between benchmark configurations).
+  /// Drops all cached state (used between benchmark configurations). Note:
+  /// the stream-prefetcher state and the access/miss counters survive a
+  /// flush; use reset() for a cold, as-constructed hierarchy.
   void flush();
+
+  /// Restores the exact post-construction state: every level reset() and
+  /// the prefetcher last-line state and counters cleared. A reset hierarchy
+  /// charges bit-identical cycles to a freshly constructed one (the basis
+  /// of instance reset-and-reuse in the sharded gateway freelists).
+  void reset();
 
   const Config& config() const { return config_; }
   uint64_t llc_misses() const { return llc_misses_; }

@@ -36,6 +36,7 @@ AccountingEnclave::AccountingEnclave(sgx::Platform& platform, Config config)
   prepared_misses_ =
       &reg.counter("acctee_ae_prepared_cache_misses_total", labels_);
   prepared_entries_ = &reg.gauge("acctee_ae_prepared_cache_entries", labels_);
+  pinned_entries_ = &reg.gauge("acctee_ae_prepared_pinned_entries", labels_);
   executions_ = &reg.counter("acctee_ae_executions_total", labels_);
   traps_ = &reg.counter("acctee_ae_traps_total", labels_);
   limit_exceeded_ = &reg.counter("acctee_ae_limit_exceeded_total", labels_);
@@ -74,6 +75,15 @@ AccountingEnclave::prepare(BytesView instrumented_binary,
   auto prepare_span = obs::Tracer::global().span("ae.prepare");
   crypto::Digest binary_hash = crypto::sha256(instrumented_binary);
   crypto::Digest evidence_digest = crypto::sha256(evidence.signed_payload());
+
+  // Pinned entries first: they are the per-shard hot modules and must hit
+  // regardless of LRU pressure from cold tenants.
+  if (auto pinned_it = pinned_.find(binary_hash);
+      pinned_it != pinned_.end() &&
+      pinned_it->second->evidence_digest == evidence_digest) {
+    prepared_hits_->inc();
+    return pinned_it->second;
+  }
 
   // Cache lookup: a hit must have been verified against the exact same
   // evidence claims (the payload binds hashes, pass, weights and counter
@@ -180,6 +190,23 @@ AccountingEnclave::prepare(BytesView instrumented_binary,
   return prepared;
 }
 
+std::shared_ptr<const AccountingEnclave::PreparedModule>
+AccountingEnclave::prepare_pinned(BytesView instrumented_binary,
+                                  const InstrumentationEvidence& evidence) {
+  PreparedPtr prepared = prepare(instrumented_binary, evidence);
+  // Move out of the LRU (if present) so a pinned module neither occupies
+  // bounded capacity nor can ever be evicted.
+  if (auto it = prepared_index_.find(prepared->binary_hash);
+      it != prepared_index_.end()) {
+    prepared_lru_.erase(it->second);
+    prepared_index_.erase(it);
+    prepared_entries_->set(static_cast<int64_t>(prepared_lru_.size()));
+  }
+  pinned_[prepared->binary_hash] = prepared;
+  pinned_entries_->set(static_cast<int64_t>(pinned_.size()));
+  return prepared;
+}
+
 AccountingEnclave::Outcome AccountingEnclave::execute(
     BytesView instrumented_binary, const InstrumentationEvidence& evidence,
     const std::string& entry, const interp::Values& args, Bytes input) {
@@ -190,8 +217,6 @@ AccountingEnclave::Outcome AccountingEnclave::execute(
 AccountingEnclave::Outcome AccountingEnclave::execute(
     const PreparedModule& prepared, const std::string& entry,
     const interp::Values& args, Bytes input) {
-  auto execute_span = obs::Tracer::global().span("ae.execute");
-  executions_->inc();
   // --- 3. Execute in the two-way sandbox: a cheap per-request instance
   // over the shared immutable artifact. ---
   IoChannel channel;
@@ -207,6 +232,45 @@ AccountingEnclave::Outcome AccountingEnclave::execute(
   interp::Instance instance(prepared.compiled, std::move(env), options);
   instantiate_span.finish();
 
+  return run_prepared(prepared, entry, args, instance, channel);
+}
+
+AccountingEnclave::Outcome AccountingEnclave::execute(
+    const PreparedModule& prepared, const std::string& entry,
+    const interp::Values& args, Bytes input, ExecSlot& slot) {
+  if (slot.instance == nullptr || slot.binary_hash != prepared.binary_hash) {
+    // (Re)initialise the slot for this module. The channel gets a stable
+    // address the import closures keep pointing at across resets.
+    slot.channel = std::make_unique<IoChannel>();
+    slot.channel->input = std::move(input);
+    interp::Instance::Options options;
+    options.platform = config_.platform;
+    options.max_instructions = config_.max_instructions;
+    options.dispatch = config_.dispatch;
+    options.profiler = config_.profiler;
+    auto instantiate_span = obs::Tracer::global().span("ae.instantiate");
+    slot.instance = std::make_unique<interp::Instance>(
+        prepared.compiled, make_runtime_env(slot.channel.get()), options);
+    instantiate_span.finish();
+    slot.binary_hash = prepared.binary_hash;
+  } else {
+    // Reset-and-reuse: the channel is readied *before* the instance reset
+    // so a start function observes the same I/O state as at construction.
+    *slot.channel = IoChannel{};
+    slot.channel->input = std::move(input);
+    auto reset_span = obs::Tracer::global().span("ae.reset_slot");
+    slot.instance->reset();
+    reset_span.finish();
+  }
+  return run_prepared(prepared, entry, args, *slot.instance, *slot.channel);
+}
+
+AccountingEnclave::Outcome AccountingEnclave::run_prepared(
+    const PreparedModule& prepared, const std::string& entry,
+    const interp::Values& args, interp::Instance& instance,
+    IoChannel& channel) {
+  auto execute_span = obs::Tracer::global().span("ae.execute");
+  executions_->inc();
   Outcome outcome;
 
   auto make_signed_log = [&](interp::Instance& inst, bool trapped,

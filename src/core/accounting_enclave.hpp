@@ -125,12 +125,43 @@ class AccountingEnclave {
   std::shared_ptr<const PreparedModule> prepare(
       BytesView instrumented_binary, const InstrumentationEvidence& evidence);
 
+  /// prepare() + pin: the prepared module is moved out of the LRU into the
+  /// pinned set, where it is never evicted and does not count against
+  /// `prepared_cache_capacity`. The pinning hook exists for the sharded
+  /// gateway's per-shard AE pools (DESIGN.md §16): a shard's deployed
+  /// function is its hot module — evicting it under cache pressure from
+  /// cold tenants would re-run evidence verification and the static
+  /// counter-equivalence proof on the request path.
+  std::shared_ptr<const PreparedModule> prepare_pinned(
+      BytesView instrumented_binary, const InstrumentationEvidence& evidence);
+
+  /// A reusable execution slot for the freelist path: one IoChannel and one
+  /// Instance constructed on first use and reset-and-reused afterwards,
+  /// pinned to a single prepared module (binary_hash). Reusing a slot
+  /// produces bit-identical ExecStats, checkpoints and signed logs to a
+  /// fresh instantiation (interp::Instance::reset); what it saves is the
+  /// per-request allocation storm (linear memory, stack, cache arrays).
+  /// A slot belongs to one worker thread; it is not synchronised.
+  struct ExecSlot {
+    crypto::Digest binary_hash{};
+    std::unique_ptr<IoChannel> channel;
+    std::unique_ptr<interp::Instance> instance;
+  };
+
   /// Executes `entry(args)` over an already-prepared module with `input` on
   /// the I/O channel. Workload traps do NOT throw: a trapped workload still
   /// consumed resources, so the outcome carries a signed log with
   /// trapped=true (the infrastructure provider must be paid either way).
   Outcome execute(const PreparedModule& prepared, const std::string& entry,
                   const interp::Values& args, Bytes input = {});
+
+  /// execute() through a reusable slot: if `slot` already holds an instance
+  /// of this prepared module it is reset and reused (no allocation);
+  /// otherwise the slot is (re)initialised for this module. Accounting is
+  /// bit-identical to the slot-less overload (tested in tests/faas_test.cpp
+  /// and tests/core_features_test.cpp).
+  Outcome execute(const PreparedModule& prepared, const std::string& entry,
+                  const interp::Values& args, Bytes input, ExecSlot& slot);
 
   /// prepare() + execute(): verifies evidence (cached after the first call
   /// for a given binary) and runs the workload. Throws AttestationError if
@@ -158,6 +189,7 @@ class AccountingEnclave {
   uint64_t prepared_cache_hits() const { return prepared_hits_->value(); }
   uint64_t prepared_cache_misses() const { return prepared_misses_->value(); }
   size_t prepared_cache_size() const { return prepared_lru_.size(); }
+  size_t prepared_pinned_count() const { return pinned_.size(); }
 
   const Config& config() const { return config_; }
 
@@ -172,16 +204,24 @@ class AccountingEnclave {
   // across sessions): the next log's prev_log_hash.
   crypto::Digest prev_log_hash_{};
 
+  Outcome run_prepared(const PreparedModule& prepared,
+                       const std::string& entry, const interp::Values& args,
+                       interp::Instance& instance, IoChannel& channel);
+
   // Bounded LRU over prepared modules, keyed by binary hash. Front of the
   // list is the most recently used entry.
   std::list<PreparedPtr> prepared_lru_;
   std::map<crypto::Digest, std::list<PreparedPtr>::iterator> prepared_index_;
+  // Pinned prepared modules (prepare_pinned): never evicted, not counted
+  // against prepared_cache_capacity.
+  std::map<crypto::Digest, PreparedPtr> pinned_;
 
   // Per-enclave series in the process registry, labelled enclave="N".
   std::string labels_;
   obs::Counter* prepared_hits_ = nullptr;
   obs::Counter* prepared_misses_ = nullptr;
   obs::Gauge* prepared_entries_ = nullptr;
+  obs::Gauge* pinned_entries_ = nullptr;
   obs::Counter* executions_ = nullptr;
   obs::Counter* traps_ = nullptr;
   obs::Counter* limit_exceeded_ = nullptr;

@@ -28,32 +28,6 @@ double percentile_ms(const std::vector<double>& sorted_seconds, double q) {
 
 }  // namespace
 
-const char* to_string(Setup setup) {
-  switch (setup) {
-    case Setup::Wasm: return "WASM";
-    case Setup::WasmSgxSim: return "WASM-SGX SIM";
-    case Setup::WasmSgxHw: return "WASM-SGX HW";
-    case Setup::WasmSgxHwInstr: return "WASM-SGX HW instr.";
-    case Setup::WasmSgxHwIo: return "WASM-SGX HW I/O";
-    case Setup::JsOpenFaas: return "JS";
-  }
-  return "?";
-}
-
-namespace {
-interp::Platform platform_for(Setup setup) {
-  switch (setup) {
-    case Setup::Wasm: return interp::Platform::Wasm;
-    case Setup::WasmSgxSim: return interp::Platform::WasmSgxSim;
-    case Setup::WasmSgxHw:
-    case Setup::WasmSgxHwInstr:
-    case Setup::WasmSgxHwIo: return interp::Platform::WasmSgxHw;
-    case Setup::JsOpenFaas: return interp::Platform::Native;  // JS engine
-  }
-  return interp::Platform::Wasm;
-}
-}  // namespace
-
 Gateway::Gateway(interp::CompiledModulePtr compiled, std::string entry,
                  GatewayConfig config)
     : compiled_(std::move(compiled)),
@@ -73,34 +47,7 @@ Gateway::Gateway(wasm::Module module, std::string entry, GatewayConfig config)
 
 uint64_t Gateway::request_cycles(uint64_t exec_cycles,
                                  uint64_t io_bytes) const {
-  double instantiate = static_cast<double>(config_.instantiate_overhead);
-  double io_cost = static_cast<double>(io_bytes) * config_.per_io_byte;
-  double exec = static_cast<double>(exec_cycles);
-
-  switch (config_.setup) {
-    case Setup::Wasm:
-      break;
-    case Setup::WasmSgxSim:
-      instantiate *= config_.sgx_sim_instantiate_factor;
-      io_cost *= config_.sgx_io_factor;
-      break;
-    case Setup::WasmSgxHw:
-    case Setup::WasmSgxHwInstr:
-      instantiate *= config_.sgx_hw_instantiate_factor;
-      io_cost *= config_.sgx_io_factor;
-      break;
-    case Setup::WasmSgxHwIo:
-      instantiate *= config_.sgx_hw_instantiate_factor;
-      io_cost *= config_.sgx_io_factor;
-      io_cost += static_cast<double>(io_bytes) * config_.io_accounting_per_byte;
-      break;
-    case Setup::JsOpenFaas:
-      instantiate = static_cast<double>(config_.openfaas_dispatch);
-      exec *= config_.js_slowdown;
-      break;
-  }
-  return config_.http_overhead + static_cast<uint64_t>(instantiate) +
-         static_cast<uint64_t>(io_cost) + static_cast<uint64_t>(exec);
+  return faas::request_cycles(config_, exec_cycles, io_bytes);
 }
 
 Gateway::RequestStats Gateway::execute_one(const Bytes& input,

@@ -31,47 +31,13 @@
 
 #include "audit/ledger.hpp"
 #include "core/runtime_env.hpp"
+#include "faas/setup_cost.hpp"
 #include "interp/compiled_module.hpp"
 #include "interp/instance.hpp"
 #include "obs/metrics.hpp"
 #include "wasm/ast.hpp"
 
 namespace acctee::faas {
-
-/// The six Fig. 9 deployment setups.
-enum class Setup {
-  Wasm,            // Node.js-style host, no SGX
-  WasmSgxSim,      // + SGX-LKL simulation mode
-  WasmSgxHw,       // + SGX hardware mode
-  WasmSgxHwInstr,  // + accounting instrumentation (loop-based)
-  WasmSgxHwIo,     // + I/O accounting
-  JsOpenFaas,      // pure-JS implementation on OpenFaaS (baseline)
-};
-
-const char* to_string(Setup setup);
-
-struct GatewayConfig {
-  Setup setup = Setup::Wasm;
-  uint32_t workers = 10;     // matches the 10 concurrent h2load clients
-  double cpu_ghz = 3.4;      // Xeon E3-1230 v5
-
-  // Per-request overheads in cycles (see DESIGN.md for the calibration).
-  uint64_t http_overhead = 2'000'000;
-  uint64_t instantiate_overhead = 15'000'000;  // compile + instantiate
-  uint64_t per_io_byte = 40;                   // network + buffer copies
-
-  // SGX multipliers.
-  double sgx_sim_instantiate_factor = 2.0;
-  double sgx_hw_instantiate_factor = 3.5;
-  double sgx_io_factor = 2.5;  // I/O path through SGX-LKL
-
-  // I/O-accounting cost (negligible by design, §5.3).
-  double io_accounting_per_byte = 0.5;
-
-  // JS/OpenFaaS baseline.
-  double js_slowdown = 2.5;               // JS vs Wasm execution
-  uint64_t openfaas_dispatch = 500'000'000;  // per-request container path
-};
 
 struct LoadResult {
   Setup setup;

@@ -1,0 +1,110 @@
+// Bounded lock-free MPMC queue (Vyukov's array-based design): the per-shard
+// request queue of the sharded gateway (DESIGN.md §16).
+//
+// Each cell carries a sequence number that encodes, relative to the
+// monotonically increasing head/tail tickets, whether the cell is free to
+// produce into or holds a value to consume. Producers and consumers claim a
+// ticket with one CAS and then touch only their own cell, so the queue has
+// no locks and no shared modified cache line beyond the two tickets — the
+// property that lets many producer threads feed many shard workers without
+// the single contended queue head the old gateway funnelled through.
+//
+// try_push/try_pop never block and never spuriously fail when the queue is
+// non-full/non-empty for the caller's linearisation point; a `false` return
+// means full (resp. empty) — the caller decides between backpressure
+// (retry) and load-shedding.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace acctee::faas {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2).
+  explicit MpmcQueue(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Enqueues `v`; returns false if the queue is full.
+  bool try_push(T v) {
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      size_t seq = cell.seq.load(std::memory_order_acquire);
+      intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(v);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Dequeues into `out`; returns false if the queue is empty.
+  bool try_pop(T& out) {
+    size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      size_t seq = cell.seq.load(std::memory_order_acquire);
+      intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          out = std::move(cell.value);
+          cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Racy instantaneous depth — monitoring only (queue-depth gauge).
+  size_t approx_depth() const {
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<size_t> tail_{0};  // producer ticket
+  alignas(64) std::atomic<size_t> head_{0};  // consumer ticket
+};
+
+}  // namespace acctee::faas

@@ -1,0 +1,75 @@
+// Cross-shard replay protection for signed usage logs (DESIGN.md §16).
+//
+// The plain gateway keeps one per-AE high-water sequence map under its
+// billing mutex. Sharding billing state by *tenant* hash would split that
+// map: the same AE's logs could then land in two shards' independent maps
+// (a log for tenant A replayed under tenant B that hashes elsewhere), and
+// the strictly-increasing check would accept the replay — each shard sees a
+// "first" log from that AE. The sequence space is per-AE, so replay state
+// must be partitioned by AE identity, not by tenant.
+//
+// SequenceAuthority stripes the per-AE high-water marks by a hash of the AE
+// identity digest. Every record of a log signed by a given AE — whichever
+// tenant shard routed it — meets the same stripe, so per-shard AEs can
+// never alias sequence spaces and a cross-shard replayed log is rejected
+// (negative-tested in tests/faas_test.cpp). Stripes are independent
+// mutexes: per-shard AE pools give each worker its own AE, so distinct
+// workers almost always hit distinct stripes and the check stays
+// contention-free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace acctee::faas {
+
+class SequenceAuthority {
+ public:
+  explicit SequenceAuthority(size_t stripes = 16) {
+    if (stripes == 0) stripes = 1;
+    stripes_.reserve(stripes);
+    for (size_t i = 0; i < stripes; ++i) {
+      stripes_.push_back(std::make_unique<Stripe>());
+    }
+  }
+
+  /// Accepts iff `sequence` is strictly greater than every sequence already
+  /// accepted from `ae_identity` (the first log seen from an AE is accepted
+  /// at any sequence, mirroring Gateway::record_usage). On accept the
+  /// high-water mark advances atomically with the check. Thread-safe.
+  bool accept(const crypto::Digest& ae_identity, uint64_t sequence) {
+    Stripe& stripe = *stripes_[stripe_for(ae_identity)];
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    auto [it, first_from_ae] = stripe.last.try_emplace(ae_identity, sequence);
+    if (first_from_ae) return true;
+    if (sequence <= it->second) return false;  // replayed or reordered
+    it->second = sequence;
+    return true;
+  }
+
+  size_t stripe_count() const { return stripes_.size(); }
+
+ private:
+  struct Stripe {
+    std::mutex mutex;
+    std::map<crypto::Digest, uint64_t> last;
+  };
+
+  size_t stripe_for(const crypto::Digest& identity) const {
+    // The identity is already a uniform digest; fold the first bytes.
+    uint64_t h = 0;
+    for (size_t i = 0; i < 8 && i < identity.size(); ++i) {
+      h = (h << 8) | identity[i];
+    }
+    return static_cast<size_t>(h % stripes_.size());
+  }
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace acctee::faas

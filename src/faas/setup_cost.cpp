@@ -1,0 +1,69 @@
+#include "faas/setup_cost.hpp"
+
+namespace acctee::faas {
+
+const char* to_string(Setup setup) {
+  switch (setup) {
+    case Setup::Wasm: return "WASM";
+    case Setup::WasmSgxSim: return "WASM-SGX SIM";
+    case Setup::WasmSgxHw: return "WASM-SGX HW";
+    case Setup::WasmSgxHwInstr: return "WASM-SGX HW instr.";
+    case Setup::WasmSgxHwIo: return "WASM-SGX HW I/O";
+    case Setup::JsOpenFaas: return "JS";
+  }
+  return "?";
+}
+
+SetupCostFactors setup_cost_factors(Setup setup, const GatewayConfig& config) {
+  // The table: each row states *only* what the mode changes. The three
+  // SGX-HW rows share one entry instead of three duplicated switch cases.
+  switch (setup) {
+    case Setup::Wasm:
+      return {};
+    case Setup::WasmSgxSim:
+      return {.instantiate_factor = config.sgx_sim_instantiate_factor,
+              .io_factor = config.sgx_io_factor};
+    case Setup::WasmSgxHw:
+    case Setup::WasmSgxHwInstr:
+      return {.instantiate_factor = config.sgx_hw_instantiate_factor,
+              .io_factor = config.sgx_io_factor};
+    case Setup::WasmSgxHwIo:
+      return {.instantiate_factor = config.sgx_hw_instantiate_factor,
+              .io_factor = config.sgx_io_factor,
+              .io_accounting_per_byte = config.io_accounting_per_byte};
+    case Setup::JsOpenFaas:
+      return {.exec_slowdown = config.js_slowdown,
+              .openfaas_dispatch = true};
+  }
+  return {};
+}
+
+uint64_t request_cycles(const GatewayConfig& config, uint64_t exec_cycles,
+                        uint64_t io_bytes) {
+  SetupCostFactors f = setup_cost_factors(config.setup, config);
+  double instantiate =
+      f.openfaas_dispatch
+          ? static_cast<double>(config.openfaas_dispatch)
+          : static_cast<double>(config.instantiate_overhead) *
+                f.instantiate_factor;
+  double io_cost = static_cast<double>(io_bytes) * config.per_io_byte *
+                       f.io_factor +
+                   static_cast<double>(io_bytes) * f.io_accounting_per_byte;
+  double exec = static_cast<double>(exec_cycles) * f.exec_slowdown;
+  return config.http_overhead + cycles_from_estimate(instantiate) +
+         cycles_from_estimate(io_cost) + cycles_from_estimate(exec);
+}
+
+interp::Platform platform_for(Setup setup) {
+  switch (setup) {
+    case Setup::Wasm: return interp::Platform::Wasm;
+    case Setup::WasmSgxSim: return interp::Platform::WasmSgxSim;
+    case Setup::WasmSgxHw:
+    case Setup::WasmSgxHwInstr:
+    case Setup::WasmSgxHwIo: return interp::Platform::WasmSgxHw;
+    case Setup::JsOpenFaas: return interp::Platform::Native;  // JS engine
+  }
+  return interp::Platform::Wasm;
+}
+
+}  // namespace acctee::faas

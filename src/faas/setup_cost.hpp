@@ -1,0 +1,87 @@
+// The Fig. 9 deployment setups and their per-request cycle model.
+//
+// Every gateway front-end (the original faas::Gateway and the sharded
+// multi-tenant gateway, DESIGN.md §16) charges requests through the same
+// table-driven model: a setup maps to one row of multiplicative factors
+// (instantiation, I/O path, JS slowdown), and the per-request cost is
+// assembled from those factors in one place — request_cycles(). This
+// replaces the per-setup switch that used to duplicate the
+// sgx_hw_instantiate_factor branches across cases.
+#pragma once
+
+#include <cstdint>
+
+#include "interp/cost.hpp"
+
+namespace acctee::faas {
+
+/// The six Fig. 9 deployment setups.
+enum class Setup {
+  Wasm,            // Node.js-style host, no SGX
+  WasmSgxSim,      // + SGX-LKL simulation mode
+  WasmSgxHw,       // + SGX hardware mode
+  WasmSgxHwInstr,  // + accounting instrumentation (loop-based)
+  WasmSgxHwIo,     // + I/O accounting
+  JsOpenFaas,      // pure-JS implementation on OpenFaaS (baseline)
+};
+
+const char* to_string(Setup setup);
+
+struct GatewayConfig {
+  Setup setup = Setup::Wasm;
+  uint32_t workers = 10;     // matches the 10 concurrent h2load clients
+  double cpu_ghz = 3.4;      // Xeon E3-1230 v5
+
+  // Per-request overheads in cycles (see DESIGN.md for the calibration).
+  uint64_t http_overhead = 2'000'000;
+  uint64_t instantiate_overhead = 15'000'000;  // compile + instantiate
+  uint64_t per_io_byte = 40;                   // network + buffer copies
+
+  // SGX multipliers.
+  double sgx_sim_instantiate_factor = 2.0;
+  double sgx_hw_instantiate_factor = 3.5;
+  double sgx_io_factor = 2.5;  // I/O path through SGX-LKL
+
+  // I/O-accounting cost (negligible by design, §5.3).
+  double io_accounting_per_byte = 0.5;
+
+  // JS/OpenFaaS baseline.
+  double js_slowdown = 2.5;               // JS vs Wasm execution
+  uint64_t openfaas_dispatch = 500'000'000;  // per-request container path
+};
+
+/// One row of the setup → factor table: the multipliers a deployment mode
+/// applies on top of the base per-request overheads.
+struct SetupCostFactors {
+  double instantiate_factor = 1.0;  // × instantiate_overhead
+  double io_factor = 1.0;           // × the per-byte I/O cost
+  double io_accounting_per_byte = 0.0;  // additive I/O-accounting cost
+  double exec_slowdown = 1.0;       // × workload execution cycles
+  bool openfaas_dispatch = false;   // replace instantiation with the
+                                    // per-request container dispatch path
+};
+
+/// The factor row for `setup`, with the numeric knobs taken from `config`.
+SetupCostFactors setup_cost_factors(Setup setup, const GatewayConfig& config);
+
+/// Explicit rounding of the double cycle estimates: truncation toward zero
+/// (C++ float→integer conversion), NOT round-to-nearest. This is the
+/// historical behaviour of the gateway's cycle model and is pinned by
+/// tests/faas_test.cpp — changing it would silently shift every simulated
+/// throughput number. Estimates are produced by multiplying exact integer
+/// cycle counts by calibration factors, so the sub-cycle fraction carries
+/// no information worth rounding over.
+inline uint64_t cycles_from_estimate(double estimate) {
+  return static_cast<uint64_t>(estimate);
+}
+
+/// The per-request simulated cycle cost under `config`: HTTP handling +
+/// (possibly SGX-scaled) instantiation + per-byte I/O + workload execution.
+/// Used identically by the plain and the sharded gateway.
+uint64_t request_cycles(const GatewayConfig& config, uint64_t exec_cycles,
+                        uint64_t io_bytes);
+
+/// The interpreter cost-model platform a setup executes under.
+interp::Platform platform_for(Setup setup);
+
+}  // namespace acctee::faas

@@ -1,0 +1,572 @@
+#include "faas/sharded_gateway.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+namespace acctee::faas {
+
+namespace {
+
+std::string next_sharded_labels() {
+  static std::atomic<uint64_t> n{0};
+  // "s<N>" keeps sharded-gateway series disjoint from plain Gateway ones
+  // (which label gateway="<N>") inside shared families like
+  // acctee_gateway_requests_total and acctee_billing_rejected_total.
+  return obs::label_pair("gateway", "s" + std::to_string(n.fetch_add(1)));
+}
+
+uint64_t fnv1a(const std::string& s) {
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Exact percentile over a sorted sample set (nearest-rank, matches
+/// gateway.cpp so single-shard numbers are comparable).
+double percentile_ms(const std::vector<double>& sorted_seconds, double q) {
+  if (sorted_seconds.empty()) return 0;
+  size_t rank = static_cast<size_t>(
+      q * static_cast<double>(sorted_seconds.size() - 1) + 0.5);
+  rank = std::min(rank, sorted_seconds.size() - 1);
+  return sorted_seconds[rank] * 1e3;
+}
+
+}  // namespace
+
+ShardedGateway::ShardedGateway(interp::CompiledModulePtr compiled,
+                               std::string entry, ShardedGatewayConfig config)
+    : compiled_(std::move(compiled)),
+      entry_(std::move(entry)),
+      config_(config),
+      labels_(next_sharded_labels()) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.workers_per_shard == 0) config_.workers_per_shard = 1;
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+
+  obs::Registry& reg = obs::Registry::global();
+  requests_total_ = &reg.counter("acctee_gateway_requests_total", labels_);
+  shed_total_ = &reg.counter("acctee_gateway_shed_total", labels_);
+  quota_total_ = &reg.counter("acctee_gateway_quota_rejected_total", labels_);
+  imbalance_milli_ = &reg.gauge("acctee_gateway_shard_imbalance_milli", labels_);
+
+  shards_.reserve(config_.shards);
+  for (uint32_t s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->queue = std::make_unique<MpmcQueue<size_t>>(config_.queue_capacity);
+    shard->workers.resize(config_.workers_per_shard);
+    shard->labels =
+        labels_ + "," + obs::label_pair("shard", std::to_string(s));
+    shard->requests_metric =
+        &reg.counter("acctee_gateway_shard_requests_total", shard->labels);
+    shard->shed_metric =
+        &reg.counter("acctee_gateway_shard_shed_total", shard->labels);
+    shard->quota_metric = &reg.counter(
+        "acctee_gateway_shard_quota_rejected_total", shard->labels);
+    shard->billing_rejected =
+        &reg.counter("acctee_billing_rejected_total", shard->labels);
+    shard->depth_gauge =
+        &reg.gauge("acctee_gateway_queue_depth", shard->labels);
+    shard->depth_peak_gauge =
+        &reg.gauge("acctee_gateway_queue_depth_peak", shard->labels);
+    shard->latency_hist =
+        &reg.histogram("acctee_gateway_shard_request_seconds",
+                       obs::default_latency_bounds(), shard->labels);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedGateway::ShardedGateway(wasm::Module module, std::string entry,
+                               ShardedGatewayConfig config)
+    : ShardedGateway(interp::compile(std::move(module)), std::move(entry),
+                     config) {}
+
+ShardedGateway::~ShardedGateway() = default;
+
+size_t ShardedGateway::shard_for(const std::string& tenant) const {
+  return static_cast<size_t>(fnv1a(tenant) % shards_.size());
+}
+
+void ShardedGateway::deploy_billing(const std::string& platform_id,
+                                    BytesView platform_seed,
+                                    core::AccountingEnclave::Config ae_config,
+                                    BytesView instrumented_binary,
+                                    const core::InstrumentationEvidence& evidence,
+                                    size_t ledger_checkpoint_every) {
+  size_t index = 0;
+  for (auto& shard : shards_) {
+    for (Worker& worker : shard->workers) {
+      // One simulated machine (fused secret) per worker AE: distinct
+      // identities, distinct sequence spaces.
+      Bytes seed(platform_seed.begin(), platform_seed.end());
+      for (char c : "#" + std::to_string(index)) {
+        seed.push_back(static_cast<uint8_t>(c));
+      }
+      worker.platform = std::make_unique<sgx::Platform>(
+          platform_id + "-ae" + std::to_string(index), seed);
+      worker.ae = std::make_unique<core::AccountingEnclave>(*worker.platform,
+                                                            ae_config);
+      ++index;
+      // The deployed function is this worker's hot module: pin it so cache
+      // pressure can never evict it back onto the request path.
+      worker.prepared =
+          worker.ae->prepare_pinned(instrumented_binary, evidence);
+      worker.ledger = std::make_unique<audit::Ledger>(ledger_checkpoint_every);
+      worker.ledger->set_ae_identity(worker.ae->identity());
+      core::AccountingEnclave* ae = worker.ae.get();
+      worker.ledger->set_checkpoint_signer(
+          [ae](BytesView payload) { return ae->sign_checkpoint(payload); });
+      worker.slot = core::AccountingEnclave::ExecSlot{};
+    }
+  }
+  billing_deployed_ = true;
+}
+
+bool ShardedGateway::admit(Shard& shard, const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  TenantState& t = shard.tenants[tenant];
+  if (t.requests >= config_.tenant_quota_requests ||
+      t.execution_cycles >= config_.tenant_quota_execution_cycles) {
+    return false;
+  }
+  // Count the admission now, not after execution: concurrent workers
+  // admitting the same tenant must not jointly overshoot the request quota.
+  ++t.requests;
+  return true;
+}
+
+ShardedGateway::RequestStats ShardedGateway::execute_fast(Worker& worker,
+                                                          const Bytes& input,
+                                                          Bytes* output) {
+  auto t0 = std::chrono::steady_clock::now();
+  RequestStats stats;
+  if (config_.pool_instances) {
+    if (worker.instance == nullptr) {
+      worker.channel = std::make_unique<core::IoChannel>();
+      worker.channel->input = input;
+      interp::Instance::Options options;
+      options.platform = platform_for(config_.base.setup);
+      worker.instance = std::make_unique<interp::Instance>(
+          compiled_, core::make_runtime_env(worker.channel.get()), options);
+    } else {
+      // Input must be readable before reset(): the module's start function
+      // re-runs inside reset and may consume I/O.
+      *worker.channel = core::IoChannel{};
+      worker.channel->input = input;
+      worker.instance->reset();
+    }
+    worker.instance->invoke(entry_);
+    const interp::ExecStats& s = worker.instance->stats();
+    stats.execution_cycles = s.cycles;
+    stats.instructions = s.instructions;
+    stats.io_bytes = s.io_bytes_in + s.io_bytes_out;
+    if (output != nullptr) *output = std::move(worker.channel->output);
+  } else {
+    core::IoChannel channel;
+    channel.input = input;
+    interp::Instance::Options options;
+    options.platform = platform_for(config_.base.setup);
+    interp::Instance instance(compiled_, core::make_runtime_env(&channel),
+                              options);
+    instance.invoke(entry_);
+    const interp::ExecStats& s = instance.stats();
+    stats.execution_cycles = s.cycles;
+    stats.instructions = s.instructions;
+    stats.io_bytes = s.io_bytes_in + s.io_bytes_out;
+    if (output != nullptr) *output = std::move(channel.output);
+  }
+  stats.total_cycles =
+      request_cycles(config_.base, stats.execution_cycles, stats.io_bytes);
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return stats;
+}
+
+ShardedGateway::RequestStats ShardedGateway::execute_billing(
+    Shard& shard, Worker& worker, const std::string& tenant,
+    const Bytes& input, Bytes* output) {
+  auto t0 = std::chrono::steady_clock::now();
+  core::AccountingEnclave::Outcome outcome = worker.ae->execute(
+      *worker.prepared, entry_, {}, input, worker.slot);
+
+  const crypto::Digest identity = worker.ae->identity();
+  for (const core::SignedResourceLog& log : outcome.interim_logs) {
+    if (!record_run_log(shard, worker, tenant, log, identity)) {
+      throw std::runtime_error(
+          "ShardedGateway: own AE's interim log rejected (corrupt chain?)");
+    }
+  }
+  if (!record_run_log(shard, worker, tenant, outcome.signed_log, identity)) {
+    throw std::runtime_error(
+        "ShardedGateway: own AE's final log rejected (corrupt chain?)");
+  }
+
+  RequestStats stats;
+  stats.execution_cycles = outcome.stats.cycles;
+  stats.instructions = outcome.stats.instructions;
+  stats.io_bytes = outcome.stats.io_bytes_in + outcome.stats.io_bytes_out;
+  stats.total_cycles =
+      request_cycles(config_.base, stats.execution_cycles, stats.io_bytes);
+  if (output != nullptr) *output = std::move(outcome.output);
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return stats;
+}
+
+ShardedGateway::BillingSeries& ShardedGateway::billing_series_locked(
+    Shard& shard, const std::string& tenant, const std::string& function) {
+  auto key = std::make_pair(tenant, function);
+  auto it = shard.series.find(key);
+  if (it != shard.series.end()) return it->second;
+  // Tenant/function names are caller-controlled: escape the label values.
+  std::string labels = shard.labels + "," + obs::label_pair("tenant", tenant) +
+                       "," + obs::label_pair("function", function);
+  obs::Registry& reg = obs::Registry::global();
+  BillingSeries series;
+  series.logs = &reg.counter("acctee_billing_logs_total", labels);
+  series.weighted_instructions =
+      &reg.counter("acctee_billing_weighted_instructions_total", labels);
+  series.peak_memory_bytes =
+      &reg.counter("acctee_billing_peak_memory_bytes_total", labels);
+  series.memory_integral =
+      &reg.counter("acctee_billing_memory_integral_total", labels);
+  series.io_bytes_in = &reg.counter("acctee_billing_io_bytes_in_total", labels);
+  series.io_bytes_out =
+      &reg.counter("acctee_billing_io_bytes_out_total", labels);
+  return shard.series.emplace(std::move(key), series).first->second;
+}
+
+void ShardedGateway::bill_final_log_locked(Shard& shard,
+                                           const std::string& tenant,
+                                           const std::string& function,
+                                           const core::ResourceUsageLog& log) {
+  shard.billing[{tenant, function}].add(log);
+  BillingSeries& series = billing_series_locked(shard, tenant, function);
+  series.logs->inc();
+  series.weighted_instructions->add(log.weighted_instructions);
+  series.peak_memory_bytes->add(log.peak_memory_bytes);
+  series.memory_integral->add(log.memory_integral);
+  series.io_bytes_in->add(log.io_bytes_in);
+  series.io_bytes_out->add(log.io_bytes_out);
+}
+
+bool ShardedGateway::record_run_log(Shard& shard, Worker& worker,
+                                    const std::string& tenant,
+                                    const core::SignedResourceLog& signed_log,
+                                    const crypto::Digest& ae_identity) {
+  if (!signed_log.verify(ae_identity)) {
+    shard.billing_rejected->inc();
+    return false;
+  }
+  if (!sequences_.accept(ae_identity, signed_log.log.sequence)) {
+    shard.billing_rejected->inc();
+    return false;
+  }
+  // The ledger is worker-private (one hash chain per AE), so the append —
+  // the expensive part at throughput, Merkle batching included — takes no
+  // lock at all.
+  worker.ledger->append(audit::LedgerEntry{tenant, entry_, signed_log});
+  if (signed_log.log.is_final) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    bill_final_log_locked(shard, tenant, entry_, signed_log.log);
+  }
+  return true;
+}
+
+bool ShardedGateway::record_usage(const std::string& tenant,
+                                  const std::string& function,
+                                  const core::SignedResourceLog& signed_log,
+                                  const crypto::Digest& ae_identity) {
+  Shard& shard = *shards_[shard_for(tenant)];
+  if (!signed_log.verify(ae_identity)) {
+    shard.billing_rejected->inc();
+    return false;
+  }
+  // The authority is shared across shards and keyed by AE identity, so a
+  // log already recorded by shard A's worker is rejected here even when
+  // `tenant` routes to shard B (the cross-shard replay).
+  if (!sequences_.accept(ae_identity, signed_log.log.sequence)) {
+    shard.billing_rejected->inc();
+    return false;
+  }
+  if (signed_log.log.is_final) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    bill_final_log_locked(shard, tenant, function, signed_log.log);
+  }
+  return true;
+}
+
+std::map<std::string, audit::UsageTotals> ShardedGateway::billing_totals()
+    const {
+  std::map<std::string, audit::UsageTotals> totals;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [key, per_function] : shard->billing) {
+      audit::UsageTotals& t = totals[key.first];
+      t.final_logs += per_function.final_logs;
+      t.weighted_instructions += per_function.weighted_instructions;
+      t.peak_memory_bytes += per_function.peak_memory_bytes;
+      t.memory_integral += per_function.memory_integral;
+      t.io_bytes_in += per_function.io_bytes_in;
+      t.io_bytes_out += per_function.io_bytes_out;
+    }
+  }
+  return totals;
+}
+
+std::vector<const audit::Ledger*> ShardedGateway::ledgers() const {
+  std::vector<const audit::Ledger*> result;
+  for (const auto& shard : shards_) {
+    for (const Worker& worker : shard->workers) {
+      if (worker.ledger != nullptr) result.push_back(worker.ledger.get());
+    }
+  }
+  return result;
+}
+
+std::vector<crypto::Digest> ShardedGateway::ae_identities() const {
+  std::vector<crypto::Digest> result;
+  for (const auto& shard : shards_) {
+    for (const Worker& worker : shard->workers) {
+      if (worker.ae != nullptr) result.push_back(worker.ae->identity());
+    }
+  }
+  return result;
+}
+
+ScenarioResult ShardedGateway::run_scenario(
+    const std::vector<Request>& requests, uint32_t producers,
+    std::vector<Bytes>* outputs) {
+  const size_t n = requests.size();
+  if (producers == 0) producers = 1;
+  if (outputs != nullptr) outputs->assign(n, Bytes{});
+
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->total_cycles = 0;
+    shard->execution_cycles = 0;
+    shard->instructions = 0;
+    shard->io_bytes = 0;
+    shard->executed = 0;
+    shard->latencies.clear();
+    shard->shed.store(0, std::memory_order_relaxed);
+    shard->quota_rejected.store(0, std::memory_order_relaxed);
+    shard->depth_peak.store(0, std::memory_order_relaxed);
+  }
+
+  std::atomic<bool> producers_done{false};
+  std::atomic<bool> abort{false};
+  std::atomic<size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto note_error = [&]() {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (!first_error) first_error = std::current_exception();
+    abort.store(true, std::memory_order_release);
+  };
+
+  auto producer = [&]() {
+    try {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        if (abort.load(std::memory_order_acquire)) break;
+        Shard& shard = *shards_[shard_for(requests[i].tenant)];
+        if (!shard.queue->try_push(i)) {
+          if (config_.backpressure == ShardedGatewayConfig::Backpressure::Shed) {
+            shard.shed.fetch_add(1, std::memory_order_relaxed);
+            shard.shed_metric->inc();
+            shed_total_->inc();
+            continue;
+          }
+          // Backpressure: this producer stalls until the shard drains.
+          for (;;) {
+            if (abort.load(std::memory_order_acquire)) return;
+            if (shard.queue->try_push(i)) break;
+            std::this_thread::yield();
+          }
+        }
+        size_t depth = shard.queue->approx_depth();
+        shard.depth_gauge->set(static_cast<int64_t>(depth));
+        uint64_t peak = shard.depth_peak.load(std::memory_order_relaxed);
+        while (depth > peak &&
+               !shard.depth_peak.compare_exchange_weak(
+                   peak, depth, std::memory_order_relaxed)) {
+        }
+      }
+    } catch (...) {
+      note_error();
+    }
+  };
+
+  auto worker_fn = [&](Shard& shard, Worker& worker) {
+    RequestStats local;
+    std::vector<double> latencies;
+    uint64_t executed = 0;
+    try {
+      for (;;) {
+        size_t index;
+        if (!shard.queue->try_pop(index)) {
+          if (abort.load(std::memory_order_acquire)) break;
+          if (producers_done.load(std::memory_order_acquire)) {
+            // One more pop after the done flag: a producer may have pushed
+            // between our failed pop and its own exit.
+            if (!shard.queue->try_pop(index)) break;
+          } else {
+            std::this_thread::yield();
+            continue;
+          }
+        }
+        const Request& request = requests[index];
+        Bytes* out = outputs != nullptr ? &(*outputs)[index] : nullptr;
+        if (!admit(shard, request.tenant)) {
+          shard.quota_rejected.fetch_add(1, std::memory_order_relaxed);
+          shard.quota_metric->inc();
+          quota_total_->inc();
+          continue;
+        }
+        RequestStats stats =
+            billing_deployed_
+                ? execute_billing(shard, worker, request.tenant,
+                                  request.input, out)
+                : execute_fast(worker, request.input, out);
+        {
+          // Feed the accounted cycles back into admission: this is what
+          // makes the cycle quota "driven by the accounting counters".
+          std::lock_guard<std::mutex> lock(shard.mutex);
+          shard.tenants[request.tenant].execution_cycles +=
+              stats.execution_cycles;
+        }
+        local.total_cycles += stats.total_cycles;
+        local.execution_cycles += stats.execution_cycles;
+        local.instructions += stats.instructions;
+        local.io_bytes += stats.io_bytes;
+        latencies.push_back(stats.wall_seconds);
+        ++executed;
+        shard.requests_metric->inc();
+        requests_total_->inc();
+        shard.latency_hist->observe(stats.wall_seconds);
+      }
+    } catch (...) {
+      note_error();
+    }
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.total_cycles += local.total_cycles;
+    shard.execution_cycles += local.execution_cycles;
+    shard.instructions += local.instructions;
+    shard.io_bytes += local.io_bytes;
+    shard.executed += executed;
+    shard.latencies.insert(shard.latencies.end(), latencies.begin(),
+                           latencies.end());
+  };
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> worker_threads;
+  worker_threads.reserve(static_cast<size_t>(config_.shards) *
+                         config_.workers_per_shard);
+  for (auto& shard : shards_) {
+    for (Worker& worker : shard->workers) {
+      worker_threads.emplace_back(worker_fn, std::ref(*shard),
+                                  std::ref(worker));
+    }
+  }
+  std::vector<std::thread> producer_threads;
+  producer_threads.reserve(producers);
+  for (uint32_t p = 0; p < producers; ++p) {
+    producer_threads.emplace_back(producer);
+  }
+  for (std::thread& t : producer_threads) t.join();
+  producers_done.store(true, std::memory_order_release);
+  for (std::thread& t : worker_threads) t.join();
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (first_error) std::rethrow_exception(first_error);
+
+  if (billing_deployed_) {
+    for (auto& shard : shards_) {
+      for (Worker& worker : shard->workers) worker.ledger->seal();
+    }
+  }
+
+  // Merge per-shard results. All shard workers are parked, so the shard
+  // accumulators are quiescent; take the locks anyway for the memory fence.
+  ScenarioResult result;
+  result.shards.reserve(shards_.size());
+  std::vector<double> all_latencies;
+  uint64_t max_executed = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    ShardRunStats stats;
+    stats.executed = shard->executed;
+    stats.shed = shard->shed.load(std::memory_order_relaxed);
+    stats.quota_rejected =
+        shard->quota_rejected.load(std::memory_order_relaxed);
+    stats.queue_depth_peak = shard->depth_peak.load(std::memory_order_relaxed);
+    std::sort(shard->latencies.begin(), shard->latencies.end());
+    stats.latency_p50_ms = percentile_ms(shard->latencies, 0.50);
+    stats.latency_p99_ms = percentile_ms(shard->latencies, 0.99);
+    shard->depth_gauge->set(0);
+    shard->depth_peak_gauge->set(
+        static_cast<int64_t>(stats.queue_depth_peak));
+
+    result.totals.requests += shard->executed;
+    result.totals.total_cycles += shard->total_cycles;
+    result.totals.execution_cycles += shard->execution_cycles;
+    result.totals.instructions += shard->instructions;
+    result.totals.io_bytes += shard->io_bytes;
+    result.shed_total += stats.shed;
+    result.quota_rejected_total += stats.quota_rejected;
+    max_executed = std::max(max_executed, shard->executed);
+    all_latencies.insert(all_latencies.end(), shard->latencies.begin(),
+                         shard->latencies.end());
+    result.shards.push_back(stats);
+  }
+
+  result.totals.setup = config_.base.setup;
+  result.totals.threads_used =
+      config_.shards * config_.workers_per_shard;
+  // Same simulated worker-pool model as Gateway::make_result: the divisor
+  // stays base.workers regardless of sharding, so single-shard simulated
+  // throughput is bit-identical to the plain gateway.
+  double hz = config_.base.cpu_ghz * 1e9;
+  result.totals.seconds =
+      static_cast<double>(result.totals.total_cycles) /
+      (hz * config_.base.workers);
+  result.totals.requests_per_second =
+      result.totals.seconds > 0
+          ? static_cast<double>(result.totals.requests) / result.totals.seconds
+          : 0;
+  std::sort(all_latencies.begin(), all_latencies.end());
+  result.totals.latency_samples = all_latencies.size();
+  if (!all_latencies.empty()) {
+    double sum = 0;
+    for (double s : all_latencies) sum += s;
+    result.totals.latency_mean_ms =
+        sum * 1e3 / static_cast<double>(all_latencies.size());
+    result.totals.latency_p50_ms = percentile_ms(all_latencies, 0.50);
+    result.totals.latency_p95_ms = percentile_ms(all_latencies, 0.95);
+    result.totals.latency_p99_ms = percentile_ms(all_latencies, 0.99);
+  }
+
+  result.wall_seconds = wall_seconds;
+  result.wall_requests_per_second =
+      wall_seconds > 0
+          ? static_cast<double>(result.totals.requests) / wall_seconds
+          : 0;
+  double mean_executed = static_cast<double>(result.totals.requests) /
+                         static_cast<double>(shards_.size());
+  result.shard_imbalance =
+      mean_executed > 0 ? static_cast<double>(max_executed) / mean_executed : 0;
+  imbalance_milli_->set(
+      static_cast<int64_t>(std::lround(result.shard_imbalance * 1000.0)));
+  return result;
+}
+
+}  // namespace acctee::faas

@@ -1,0 +1,299 @@
+// Sharded multi-tenant FaaS gateway (DESIGN.md §16): the fig9-at-scale
+// restructuring of src/faas/.
+//
+// The plain Gateway funnels every request through one atomic queue head and
+// merges all accounting under two global mutexes — fine for the paper's 10
+// concurrent clients, hopeless for 10^5+ tenants. ShardedGateway partitions
+// everything that used to be global by tenant hash:
+//
+//   * requests are routed producer-side by FNV-1a(tenant) to one of N
+//     shards, each with a bounded lock-free MPMC queue (mpmc_queue.hpp)
+//     feeding that shard's worker pool;
+//   * session/billing/ledger state is per shard (tenant maps, billing
+//     totals) or per worker (AE, audit ledger), so the only cross-shard
+//     synchronisation left is the striped per-AE sequence authority
+//     (sequence_authority.hpp) that keeps replay protection sound when
+//     billing state no longer lives in one map;
+//   * workers pin one prepared-module instance each and reset-and-reuse it
+//     (interp::Instance::reset) instead of re-instantiating per request —
+//     bit-identical ExecStats, none of the per-request allocation storm;
+//   * admission control is per tenant, driven by the accounting counters
+//     themselves: a tenant over its request or executed-cycle quota is
+//     rejected at admission, not after burning a worker;
+//   * overload is explicit: Block applies backpressure to producers, Shed
+//     drops at the full queue and counts the drop. Queue depth, sheds,
+//     quota rejects, per-shard latency and shard imbalance all export as
+//     acctee_gateway_* metrics.
+//
+// Billing soundness is non-negotiable: in billing mode each worker owns a
+// real AccountingEnclave and its own hash-chained ledger; the per-AE chains
+// verify individually and merge deterministically offline
+// (audit::verify_ledger_set), and metrics↔ledger reconciliation still
+// passes. With shards=1, workers_per_shard=1 the accounted totals are
+// bit-identical to the plain Gateway on the same inputs (simulated cycles
+// are deterministic and order-independent under summation).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/ledger.hpp"
+#include "core/accounting_enclave.hpp"
+#include "core/runtime_env.hpp"
+#include "faas/gateway.hpp"
+#include "faas/mpmc_queue.hpp"
+#include "faas/sequence_authority.hpp"
+#include "faas/setup_cost.hpp"
+#include "interp/compiled_module.hpp"
+#include "interp/instance.hpp"
+#include "obs/metrics.hpp"
+
+namespace acctee::faas {
+
+struct ShardedGatewayConfig {
+  GatewayConfig base;
+  /// Tenant-hash shards; each owns a queue, a worker pool, and its slice of
+  /// the session/billing state.
+  uint32_t shards = 8;
+  uint32_t workers_per_shard = 2;
+  /// Per-shard queue capacity (rounded up to a power of two).
+  uint32_t queue_capacity = 1024;
+  /// Reset-and-reuse a per-worker pinned instance (freelist of size one per
+  /// worker — a worker is the unit of concurrency, so one slot suffices).
+  /// false re-instantiates per request like the plain Gateway.
+  bool pool_instances = true;
+  /// What happens when a shard queue is full: Block spins the producer
+  /// (backpressure), Shed drops the request and counts it.
+  enum class Backpressure { Block, Shed };
+  Backpressure backpressure = Backpressure::Block;
+  /// Per-tenant admission quotas, enforced from the accounting counters: a
+  /// tenant at/over either limit is rejected at admission.
+  uint64_t tenant_quota_requests = UINT64_MAX;
+  uint64_t tenant_quota_execution_cycles = UINT64_MAX;
+};
+
+/// One routed request.
+struct Request {
+  std::string tenant;
+  Bytes input;
+};
+
+/// Per-shard outcome of one run_scenario.
+struct ShardRunStats {
+  uint64_t executed = 0;
+  uint64_t shed = 0;             // dropped at a full queue (Shed mode)
+  uint64_t quota_rejected = 0;   // rejected at admission
+  uint64_t queue_depth_peak = 0;
+  double latency_p50_ms = 0;
+  double latency_p99_ms = 0;
+};
+
+/// Outcome of one run_scenario across all shards.
+struct ScenarioResult {
+  /// Accounted totals under the same simulated-cycle worker-pool model as
+  /// the plain Gateway (seconds = total_cycles / (hz * base.workers)), so
+  /// single-shard results are directly comparable — and bit-identical — to
+  /// Gateway::run_load.
+  LoadResult totals;
+  /// Real elapsed time of the run and real requests/second through the
+  /// sharded machinery — what the scale benchmark's >=2x criterion is
+  /// measured on (the simulated model is load-invariant by construction).
+  double wall_seconds = 0;
+  double wall_requests_per_second = 0;
+  uint64_t shed_total = 0;
+  uint64_t quota_rejected_total = 0;
+  /// max(executed per shard) / mean(executed per shard); 1.0 = perfectly
+  /// balanced, large = hot-key skew defeated the hash.
+  double shard_imbalance = 0;
+  std::vector<ShardRunStats> shards;
+};
+
+class ShardedGateway {
+ public:
+  ShardedGateway(interp::CompiledModulePtr compiled, std::string entry,
+                 ShardedGatewayConfig config);
+  ShardedGateway(wasm::Module module, std::string entry,
+                 ShardedGatewayConfig config);
+  ~ShardedGateway();
+
+  ShardedGateway(const ShardedGateway&) = delete;
+  ShardedGateway& operator=(const ShardedGateway&) = delete;
+
+  /// The shard `tenant` routes to (stable FNV-1a hash).
+  size_t shard_for(const std::string& tenant) const;
+
+  /// Switches execution to billing mode: one AccountingEnclave and one
+  /// audit ledger per worker (per-shard AE pools), the deployed module
+  /// prepared once and pinned in every AE's cache. Workers then execute
+  /// through AccountingEnclave::execute with a reusable ExecSlot and feed
+  /// every signed log (interim + final) through signature verification, the
+  /// cross-shard sequence authority, their own ledger, and the shard's
+  /// billing totals + acctee_billing_* metrics.
+  ///
+  /// Each worker AE is provisioned on its own simulated platform (id
+  /// `platform_id`-ae<K>, seed derived from `platform_seed` + K), modelling
+  /// a provider fleet with one accounting enclave per machine. This is what
+  /// gives every worker a distinct signer identity — and therefore its own
+  /// sequence space: AE signing keys derive from the platform's sealed
+  /// secret, so two AEs on one platform would be the *same* identity, alias
+  /// one sequence space, and be rejected by audit::verify_ledger_set.
+  void deploy_billing(const std::string& platform_id, BytesView platform_seed,
+                      core::AccountingEnclave::Config ae_config,
+                      BytesView instrumented_binary,
+                      const core::InstrumentationEvidence& evidence,
+                      size_t ledger_checkpoint_every = 64);
+
+  /// Drives `requests` through the shards: `producers` threads route by
+  /// tenant hash into the shard queues while every shard's worker pool
+  /// drains its own queue. If `outputs` is non-null it receives per-request
+  /// response bodies in input order (empty for shed/rejected requests).
+  /// Billing-mode ledgers are sealed before this returns.
+  ScenarioResult run_scenario(const std::vector<Request>& requests,
+                              uint32_t producers = 1,
+                              std::vector<Bytes>* outputs = nullptr);
+
+  /// External billing ingest (the plain Gateway::record_usage, sharded):
+  /// verifies the signature, checks the log's sequence against the
+  /// cross-shard sequence authority — the same authority the in-run billing
+  /// path uses, so a log already recorded by any shard's worker cannot be
+  /// replayed through here under a different tenant — and credits the
+  /// tenant's shard. Returns false (recording nothing) on a bad signature
+  /// or a replayed/reordered sequence.
+  bool record_usage(const std::string& tenant, const std::string& function,
+                    const core::SignedResourceLog& signed_log,
+                    const crypto::Digest& ae_identity);
+
+  /// Per-tenant billing totals merged across shards (thread-safe copy).
+  std::map<std::string, audit::UsageTotals> billing_totals() const;
+
+  /// Billing mode only: the per-worker ledgers (shard-major, worker-minor
+  /// order) and their AE identities, for offline verify_ledger_set /
+  /// reconcile_set. Empty before deploy_billing.
+  std::vector<const audit::Ledger*> ledgers() const;
+  std::vector<crypto::Digest> ae_identities() const;
+
+  const ShardedGatewayConfig& config() const { return config_; }
+  const interp::CompiledModulePtr& compiled() const { return compiled_; }
+  bool billing_deployed() const { return billing_deployed_; }
+
+ private:
+  struct TenantState {
+    uint64_t requests = 0;
+    uint64_t execution_cycles = 0;
+  };
+
+  struct BillingSeries {
+    obs::Counter* logs = nullptr;
+    obs::Counter* weighted_instructions = nullptr;
+    obs::Counter* peak_memory_bytes = nullptr;
+    obs::Counter* memory_integral = nullptr;
+    obs::Counter* io_bytes_in = nullptr;
+    obs::Counter* io_bytes_out = nullptr;
+  };
+
+  /// One worker's private execution state. Never shared between threads
+  /// during a run (workers are the unit of concurrency), so none of it is
+  /// synchronised.
+  struct Worker {
+    // Fast path: pinned reset-and-reuse instance. The channel is
+    // heap-allocated because the instance's runtime env captures its
+    // address for the run's lifetime.
+    std::unique_ptr<core::IoChannel> channel;
+    std::unique_ptr<interp::Instance> instance;
+    // Billing path. The platform is per worker: AE signing keys derive
+    // from the platform secret, so sharing one platform would collapse all
+    // worker AEs into one signer identity (see deploy_billing).
+    std::unique_ptr<sgx::Platform> platform;
+    std::unique_ptr<core::AccountingEnclave> ae;
+    std::unique_ptr<audit::Ledger> ledger;
+    std::shared_ptr<const core::AccountingEnclave::PreparedModule> prepared;
+    core::AccountingEnclave::ExecSlot slot;
+  };
+
+  struct Shard {
+    std::unique_ptr<MpmcQueue<size_t>> queue;
+    std::vector<Worker> workers;
+
+    // Session/billing slice for tenants hashing here. One short critical
+    // section per request (admission) plus one per verified final log.
+    mutable std::mutex mutex;
+    std::map<std::string, TenantState> tenants;
+    std::map<std::pair<std::string, std::string>, audit::UsageTotals> billing;
+    std::map<std::pair<std::string, std::string>, BillingSeries> series;
+
+    // Run accumulators, merged from worker-local copies after the join.
+    uint64_t total_cycles = 0;
+    uint64_t execution_cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t io_bytes = 0;
+    uint64_t executed = 0;
+    std::vector<double> latencies;
+    std::atomic<uint64_t> shed{0};
+    std::atomic<uint64_t> quota_rejected{0};
+    std::atomic<uint64_t> depth_peak{0};
+
+    // Per-shard series (gateway="sN",shard="M").
+    std::string labels;
+    obs::Counter* requests_metric = nullptr;
+    obs::Counter* shed_metric = nullptr;
+    obs::Counter* quota_metric = nullptr;
+    obs::Counter* billing_rejected = nullptr;
+    obs::Gauge* depth_gauge = nullptr;
+    obs::Gauge* depth_peak_gauge = nullptr;
+    obs::Histogram* latency_hist = nullptr;
+  };
+
+  /// Admission: true iff `tenant` is under both quotas; on admit the
+  /// request is counted against the tenant immediately (so concurrent
+  /// admissions cannot jointly overshoot the request quota).
+  bool admit(Shard& shard, const std::string& tenant);
+
+  /// Executes request `index` on `worker`, accumulating into the
+  /// worker-local stats. Returns the per-request accounted numbers.
+  struct RequestStats {
+    uint64_t total_cycles = 0;
+    uint64_t execution_cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t io_bytes = 0;
+    double wall_seconds = 0;
+  };
+  RequestStats execute_fast(Worker& worker, const Bytes& input, Bytes* output);
+  RequestStats execute_billing(Shard& shard, Worker& worker,
+                               const std::string& tenant, const Bytes& input,
+                               Bytes* output);
+
+  /// Verifies + sequence-checks + ledgers + bills one signed log emitted by
+  /// a worker's own AE during a run. `worker` identifies the ledger the log
+  /// chains into.
+  bool record_run_log(Shard& shard, Worker& worker, const std::string& tenant,
+                      const core::SignedResourceLog& signed_log,
+                      const crypto::Digest& ae_identity);
+
+  BillingSeries& billing_series_locked(Shard& shard, const std::string& tenant,
+                                       const std::string& function);
+  void bill_final_log_locked(Shard& shard, const std::string& tenant,
+                             const std::string& function,
+                             const core::ResourceUsageLog& log);
+
+  interp::CompiledModulePtr compiled_;
+  std::string entry_;
+  ShardedGatewayConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  SequenceAuthority sequences_;
+  bool billing_deployed_ = false;
+
+  // Gateway-level series (gateway="sN").
+  std::string labels_;
+  obs::Counter* requests_total_ = nullptr;
+  obs::Counter* shed_total_ = nullptr;
+  obs::Counter* quota_total_ = nullptr;
+  obs::Gauge* imbalance_milli_ = nullptr;
+};
+
+}  // namespace acctee::faas

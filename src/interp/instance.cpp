@@ -134,6 +134,43 @@ Instance::Instance(CompiledModulePtr compiled, ImportMap imports,
   }
 }
 
+void Instance::reset() {
+  // Mirror of the constructor's instantiation steps, reusing the existing
+  // allocations (memory backing store, stack/frame capacity, cache arrays).
+  // Import links are unchanged: the map and the module both outlive resets.
+  if (memory_ != nullptr) {
+    memory_->reset(mod().memory->min);
+    for (const auto& seg : mod().data) {
+      memory_->write_bytes(seg.offset, seg.bytes);
+    }
+  }
+  if (mod().table) {
+    table_.assign(mod().table->min, -1);
+    for (const auto& seg : mod().elems) {
+      for (size_t i = 0; i < seg.func_indices.size(); ++i) {
+        table_[seg.offset + i] = seg.func_indices[i];
+      }
+    }
+  }
+  globals_.clear();
+  for (const auto& g : mod().globals) globals_.push_back(g.init.imm);
+  stack_.clear();
+  frames_.clear();
+  cache_.reset();
+  stats_ = ExecStats{};
+  if (memory_ != nullptr) stats_.peak_memory_bytes = memory_->size_bytes();
+  block_charged_ = false;
+  charged_end_pc_ = 0;
+  epc_fault_accum_ = 0;
+  integral_mark_ = 0;
+  checkpoint_interval_ = 0;
+  next_checkpoint_ = UINT64_MAX;
+  checkpoint_ = nullptr;
+  if (mod().start) {
+    invoke_index(*mod().start, {});
+  }
+}
+
 Values Instance::invoke(std::string_view export_name, const Values& args) {
   auto index = mod().find_export(export_name, wasm::ExternKind::Func);
   if (!index) {

@@ -130,6 +130,20 @@ class Instance {
   Instance(wasm::Module module, ImportMap imports = {})
       : Instance(std::move(module), std::move(imports), Options{}) {}
 
+  /// Restores the instance to its exact post-construction state so it can
+  /// be reused for another request instead of being re-instantiated (the
+  /// sharded gateway's per-worker freelists, DESIGN.md §16): linear memory
+  /// back to its initial pages with data segments re-applied, globals and
+  /// table re-initialised, operand stack and frames cleared (capacity
+  /// kept — that is the speedup), simulated caches cold, ExecStats zeroed,
+  /// and any checkpoint handler detached; the start function, if present,
+  /// re-runs just as construction ran it. A reset instance produces
+  /// bit-identical ExecStats, checkpoints and signed logs to a freshly
+  /// constructed one (tested in tests/interp_test.cpp and
+  /// tests/faas_test.cpp). Imports stay bound — the host channel object
+  /// must be reset by the caller for the next request.
+  void reset();
+
   /// Calls an exported function. Throws LinkError on unknown export or
   /// argument mismatch, TrapError if execution traps.
   Values invoke(std::string_view export_name, const Values& args = {});

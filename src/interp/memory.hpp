@@ -29,6 +29,14 @@ class LinearMemory {
   uint64_t size_bytes() const { return data_.size(); }
   uint32_t max_pages() const { return max_pages_; }
 
+  /// Restores the as-constructed state — `min_pages` pages, all zero —
+  /// without releasing the backing allocation (the point of instance
+  /// reuse: a recycled memory costs a memset, not an allocation). Callers
+  /// re-apply data segments afterwards, exactly as instantiation does.
+  void reset(uint32_t min_pages) {
+    data_.assign(static_cast<size_t>(min_pages) * wasm::kPageSize, 0);
+  }
+
   /// memory.grow semantics: returns the previous page count, or -1 (as u32)
   /// if the request exceeds the maximum.
   int32_t grow(uint32_t delta_pages) {

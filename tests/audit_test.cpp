@@ -461,8 +461,9 @@ Ledger synthetic_ledger(const std::string& tenant) {
 }
 
 std::string synthetic_scrape(const std::string& escaped_tenant,
-                             uint64_t weighted_instructions) {
-  std::string l = "{gateway=\"7\",tenant=\"" + escaped_tenant +
+                             uint64_t weighted_instructions,
+                             const std::string& gateway = "7") {
+  std::string l = "{gateway=\"" + gateway + "\",tenant=\"" + escaped_tenant +
                   "\",function=\"fn\"} ";
   return "# HELP acctee_billing_logs_total verified final logs\n"
          "acctee_billing_logs_total" + l + "1\n"
@@ -523,6 +524,133 @@ TEST(Reconcile, UnescapesPrometheusLabelValues) {
 
   Ledger ledger = synthetic_ledger(raw);
   EXPECT_TRUE(reconcile(ledger, synthetic_scrape(escaped, 1000)).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Ledger sets (DESIGN.md §16): one hash chain per worker AE, verified and
+// merged as a set.
+// ---------------------------------------------------------------------------
+
+bool has_problem(const LedgerSetReport& report, const char* needle) {
+  return std::any_of(report.problems.begin(), report.problems.end(),
+                     [&](const std::string& p) {
+                       return p.find(needle) != std::string::npos;
+                     });
+}
+
+/// A second AE on its own platform (distinct seed => distinct signer
+/// identity), trusting the same IE as `world`.
+struct SecondAe {
+  sgx::Platform cloud{"audit-cloud-2", to_bytes("audit-cloud-2-seed")};
+  core::AccountingEnclave ae;
+
+  explicit SecondAe(AuditWorld& world)
+      : ae(cloud, AuditWorld::make_config(world.ie.identity(), world.opts,
+                                          50'000)) {}
+
+  std::vector<core::SignedResourceLog> run_logs(AuditWorld& world,
+                                                int32_t n = 20'000) {
+    core::AccountingEnclave::Outcome outcome =
+        ae.execute(world.instrumented.instrumented_binary,
+                   world.instrumented.evidence, "run", {V::make_i32(n)});
+    std::vector<core::SignedResourceLog> logs = outcome.interim_logs;
+    logs.push_back(outcome.signed_log);
+    return logs;
+  }
+};
+
+TEST(LedgerSet, VerifiesDistinctAeChainsAndMergesTotals) {
+  AuditWorld world;
+  SecondAe second(world);
+  ASSERT_NE(world.ae.identity(), second.ae.identity());
+
+  // AE 1's chain bills alice twice; AE 2's chain bills alice and bob once
+  // each — the sharded gateway's picture where one tenant's requests land on
+  // several workers.
+  Ledger l1 = make_ledger(world);
+  append_all(l1, world.run_logs(), "alice");
+  append_all(l1, world.run_logs(), "alice");
+  l1.seal();
+
+  Ledger l2(4);
+  l2.set_ae_identity(second.ae.identity());
+  l2.set_checkpoint_signer(
+      [&](BytesView payload) { return second.ae.sign_checkpoint(payload); });
+  append_all(l2, second.run_logs(world), "alice");
+  append_all(l2, second.run_logs(world), "bob");
+  l2.seal();
+
+  LedgerSetReport report = verify_ledger_set(
+      {&l1, &l2}, {world.ae.identity(), second.ae.identity()});
+  EXPECT_TRUE(report.ok) << report.to_string();
+  ASSERT_EQ(report.per_ledger.size(), 2u);
+  EXPECT_TRUE(report.per_ledger[0].ok);
+  EXPECT_TRUE(report.per_ledger[1].ok);
+
+  // The merge is the per-tenant sum over all final logs in the set, and
+  // matches the standalone merge helper (which is what reconcile_set uses).
+  EXPECT_EQ(report.merged_totals, merged_totals_by_tenant({&l1, &l2}));
+  ASSERT_EQ(report.merged_totals.size(), 2u);
+  EXPECT_EQ(report.merged_totals.at("alice").final_logs, 3u);
+  EXPECT_EQ(report.merged_totals.at("bob").final_logs, 1u);
+  EXPECT_EQ(report.merged_totals.at("alice").weighted_instructions,
+            l1.totals_by_tenant().at("alice").weighted_instructions +
+                l2.totals_by_tenant().at("alice").weighted_instructions);
+
+  // Falling back to the ledgers' recorded identities verifies too.
+  EXPECT_TRUE(verify_ledger_set({&l1, &l2}).ok);
+}
+
+TEST(LedgerSet, RejectsAliasedAeIdentities) {
+  // Two "different" AEs on one platform seed are the SAME signer identity;
+  // each chain is internally consistent (sequences 0..n), so per-ledger
+  // verification passes — only the set view can see that the pair aliases
+  // one sequence space and could hide a replay.
+  AuditWorld a;
+  AuditWorld b;
+  ASSERT_EQ(a.ae.identity(), b.ae.identity());
+
+  Ledger la = make_ledger(a);
+  append_all(la, a.run_logs(), "alice");
+  la.seal();
+  Ledger lb = make_ledger(b);
+  append_all(lb, b.run_logs(), "alice");
+  lb.seal();
+
+  LedgerSetReport report = verify_ledger_set({&la, &lb});
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.per_ledger[0].ok);  // each chain alone looks fine
+  EXPECT_TRUE(report.per_ledger[1].ok);
+  EXPECT_TRUE(has_problem(report, "same AE identity")) << report.to_string();
+  EXPECT_TRUE(report.merged_totals.empty());  // no totals from a bad set
+}
+
+TEST(LedgerSet, RejectsIdentityCountMismatch) {
+  AuditWorld world;
+  Ledger ledger = make_ledger(world);
+  append_all(ledger, world.run_logs());
+  ledger.seal();
+  crypto::Digest id = world.ae.identity();
+  LedgerSetReport report = verify_ledger_set({&ledger}, {id, id});
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(has_problem(report, "pinned AE identities"))
+      << report.to_string();
+}
+
+TEST(ReconcileSet, MergedLedgersAgainstScrape) {
+  // Two per-worker ledgers billing the same tenant, scraped as two gateway
+  // label splits: reconcile_set must compare the per-tenant SUM on both
+  // sides (billing_totals_from_scrape already sums across label splits).
+  Ledger l1 = synthetic_ledger("t");
+  Ledger l2 = synthetic_ledger("t");
+  std::string scrape =
+      synthetic_scrape("t", 1000, "s0") + synthetic_scrape("t", 1000, "s1");
+  ReconcileReport both = reconcile_set({&l1, &l2}, scrape);
+  EXPECT_TRUE(both.ok) << both.to_string();
+  EXPECT_EQ(both.rows.size(), 6u);
+
+  // One ledger against the two-split scrape diverges (scrape counts double).
+  EXPECT_FALSE(reconcile_set({&l1}, scrape).ok);
 }
 
 }  // namespace

@@ -1,10 +1,23 @@
 // Tests for the FaaS gateway: correctness of request handling, setup cost
-// ordering, per-request isolation, and the real worker-pool mode over one
-// shared CompiledModule.
+// ordering, per-request isolation, the real worker-pool mode over one shared
+// CompiledModule, and the sharded multi-tenant gateway (DESIGN.md §16) —
+// single-shard bit-identity, quotas, shedding, instance freelists, the
+// cross-shard sequence authority, and per-worker billing chains.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "audit/verifier.hpp"
+#include "core/instrumentation_enclave.hpp"
 #include "faas/gateway.hpp"
+#include "faas/mpmc_queue.hpp"
+#include "faas/sharded_gateway.hpp"
 #include "instrument/passes.hpp"
+#include "wasm/binary.hpp"
+#include "wasm/validator.hpp"
+#include "wasm/wat_parser.hpp"
 #include "workloads/faas_functions.hpp"
 
 namespace acctee::faas {
@@ -206,6 +219,422 @@ TEST(Gateway, SnapshotTracksLifetimeRequestsAndLatencies) {
   EXPECT_EQ(after.in_flight, 0);
   EXPECT_EQ(after.latency.count, 10u);
   EXPECT_GT(after.latency.sum, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Setup → factor table and the explicit rounding of cycle estimates
+// ---------------------------------------------------------------------------
+
+TEST(SetupCost, CyclesFromEstimateTruncatesTowardZero) {
+  // Pinned behaviour: C++ float→integer truncation, NOT round-to-nearest.
+  // Changing this silently shifts every simulated throughput number.
+  EXPECT_EQ(cycles_from_estimate(0.0), 0u);
+  EXPECT_EQ(cycles_from_estimate(0.999), 0u);
+  EXPECT_EQ(cycles_from_estimate(2.5), 2u);
+  EXPECT_EQ(cycles_from_estimate(3.0), 3u);
+  EXPECT_EQ(cycles_from_estimate(1e12 + 0.75), 1'000'000'000'000u);
+}
+
+TEST(SetupCost, FactorTableMatchesDeploymentSemantics) {
+  GatewayConfig c;
+  auto f = [&](faas::Setup s) { return setup_cost_factors(s, c); };
+
+  // Plain Wasm: the identity row.
+  EXPECT_EQ(f(Setup::Wasm).instantiate_factor, 1.0);
+  EXPECT_EQ(f(Setup::Wasm).io_factor, 1.0);
+  EXPECT_EQ(f(Setup::Wasm).io_accounting_per_byte, 0.0);
+  EXPECT_EQ(f(Setup::Wasm).exec_slowdown, 1.0);
+  EXPECT_FALSE(f(Setup::Wasm).openfaas_dispatch);
+
+  // SGX rows take their multipliers from the config knobs.
+  EXPECT_EQ(f(Setup::WasmSgxSim).instantiate_factor,
+            c.sgx_sim_instantiate_factor);
+  EXPECT_EQ(f(Setup::WasmSgxSim).io_factor, c.sgx_io_factor);
+  EXPECT_EQ(f(Setup::WasmSgxHw).instantiate_factor,
+            c.sgx_hw_instantiate_factor);
+
+  // Instrumentation changes execution cycles, not the request path: its row
+  // is identical to plain SGX-HW.
+  EXPECT_EQ(f(Setup::WasmSgxHwInstr).instantiate_factor,
+            f(Setup::WasmSgxHw).instantiate_factor);
+  EXPECT_EQ(f(Setup::WasmSgxHwInstr).io_factor, f(Setup::WasmSgxHw).io_factor);
+  EXPECT_EQ(f(Setup::WasmSgxHwInstr).io_accounting_per_byte, 0.0);
+
+  // I/O accounting adds only the per-byte accounting cost on top of HW.
+  EXPECT_EQ(f(Setup::WasmSgxHwIo).io_accounting_per_byte,
+            c.io_accounting_per_byte);
+  EXPECT_EQ(f(Setup::WasmSgxHwIo).instantiate_factor,
+            f(Setup::WasmSgxHw).instantiate_factor);
+
+  // JS/OpenFaaS: slower execution, container dispatch instead of Wasm
+  // instantiation, no SGX I/O path.
+  EXPECT_EQ(f(Setup::JsOpenFaas).exec_slowdown, c.js_slowdown);
+  EXPECT_TRUE(f(Setup::JsOpenFaas).openfaas_dispatch);
+  EXPECT_EQ(f(Setup::JsOpenFaas).io_factor, 1.0);
+}
+
+TEST(SetupCost, RequestCyclesAssemblesFactorsWithTruncation) {
+  GatewayConfig c;
+  c.setup = Setup::WasmSgxHwIo;
+  // Each double term truncates independently: 101 bytes of I/O-accounting
+  // at 0.5 cycles/byte is 50.5, charged as 50.
+  uint64_t expected =
+      c.http_overhead +
+      cycles_from_estimate(static_cast<double>(c.instantiate_overhead) *
+                           c.sgx_hw_instantiate_factor) +
+      cycles_from_estimate(101.0 * c.per_io_byte * c.sgx_io_factor +
+                           101.0 * c.io_accounting_per_byte) +
+      1000;
+  EXPECT_EQ(request_cycles(c, 1000, 101), expected);
+
+  c.setup = Setup::JsOpenFaas;
+  expected = c.http_overhead + c.openfaas_dispatch +
+             cycles_from_estimate(101.0 * c.per_io_byte) +
+             cycles_from_estimate(1000.0 * c.js_slowdown);
+  EXPECT_EQ(request_cycles(c, 1000, 101), expected);
+}
+
+// ---------------------------------------------------------------------------
+// MPMC queue
+// ---------------------------------------------------------------------------
+
+TEST(MpmcQueue, FifoSingleThreaded) {
+  MpmcQueue<size_t> q(3);
+  EXPECT_EQ(q.capacity(), 4u);  // rounded up to a power of two
+  size_t v = 0;
+  EXPECT_FALSE(q.try_pop(v));
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_TRUE(q.try_push(4));
+  EXPECT_FALSE(q.try_push(5));  // full: bounded means bounded
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(q.try_push(5));
+  for (size_t want = 2; want <= 5; ++want) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, want);
+  }
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(ConcurrentMpmcQueue, ManyProducersManyConsumersLoseNothing) {
+  // TSan target: 4 producers and 4 consumers hammer one small queue; every
+  // pushed value must be popped exactly once.
+  constexpr size_t kProducers = 4;
+  constexpr size_t kConsumers = 4;
+  constexpr size_t kPerProducer = 4000;
+  constexpr size_t kTotal = kProducers * kPerProducer;
+  MpmcQueue<size_t> q(64);
+  std::atomic<bool> producers_done{false};
+  std::atomic<size_t> popped{0};
+  std::atomic<uint64_t> sum{0};
+
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        size_t value = p * kPerProducer + i;
+        while (!q.try_push(value)) std::this_thread::yield();
+      }
+    });
+  }
+  for (size_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      size_t v;
+      for (;;) {
+        if (q.try_pop(v)) {
+          sum.fetch_add(v, std::memory_order_relaxed);
+          popped.fetch_add(1, std::memory_order_relaxed);
+        } else if (producers_done.load(std::memory_order_acquire)) {
+          if (!q.try_pop(v)) break;  // one re-check after the flag
+          sum.fetch_add(v, std::memory_order_relaxed);
+          popped.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (size_t i = 0; i < kProducers; ++i) threads[i].join();
+  producers_done.store(true, std::memory_order_release);
+  for (size_t i = kProducers; i < threads.size(); ++i) threads[i].join();
+
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_EQ(sum.load(), uint64_t{kTotal} * (kTotal - 1) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded gateway: fast path
+// ---------------------------------------------------------------------------
+
+std::vector<Request> echo_requests(size_t count, size_t tenants, size_t size) {
+  std::vector<Request> requests;
+  for (size_t i = 0; i < count; ++i) {
+    requests.push_back({"tenant-" + std::to_string(i % tenants),
+                        Bytes(size, static_cast<uint8_t>(i))});
+  }
+  return requests;
+}
+
+TEST(ShardedGateway, SingleShardBitIdenticalToPlainGateway) {
+  // The non-negotiable fallback: shards=1, workers_per_shard=1 accounts
+  // exactly like the plain Gateway on the same inputs.
+  std::vector<Bytes> inputs = echo_inputs(12, 2048);
+  interp::CompiledModulePtr compiled = interp::compile(faas_echo());
+  GatewayConfig base;
+  base.setup = Setup::WasmSgxHw;
+  Gateway plain(compiled, "run", base);
+  LoadResult expect = plain.run_load(inputs);
+
+  ShardedGatewayConfig config;
+  config.base = base;
+  config.shards = 1;
+  config.workers_per_shard = 1;
+  ShardedGateway sharded(compiled, "run", config);
+  std::vector<Request> requests;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    requests.push_back({"tenant-" + std::to_string(i % 3), inputs[i]});
+  }
+  std::vector<Bytes> outputs;
+  ScenarioResult got = sharded.run_scenario(requests, 1, &outputs);
+
+  EXPECT_EQ(got.totals.requests, expect.requests);
+  EXPECT_EQ(got.totals.total_cycles, expect.total_cycles);
+  EXPECT_EQ(got.totals.execution_cycles, expect.execution_cycles);
+  EXPECT_EQ(got.totals.instructions, expect.instructions);
+  EXPECT_EQ(got.totals.io_bytes, expect.io_bytes);
+  EXPECT_DOUBLE_EQ(got.totals.requests_per_second, expect.requests_per_second);
+  EXPECT_EQ(got.shed_total, 0u);
+  EXPECT_EQ(got.quota_rejected_total, 0u);
+  // Responses come back in input order even through the queue.
+  ASSERT_EQ(outputs.size(), inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(outputs[i], inputs[i]) << "request " << i;
+  }
+}
+
+TEST(ShardedGateway, TenantsRouteToStableShards) {
+  ShardedGatewayConfig config;
+  config.shards = 8;
+  ShardedGateway gw(faas_echo(), "run", config);
+  size_t s = gw.shard_for("some-tenant");
+  EXPECT_LT(s, 8u);
+  EXPECT_EQ(gw.shard_for("some-tenant"), s);  // stable
+  // 64 tenants spread over more than one shard (FNV-1a is not degenerate).
+  std::set<size_t> used;
+  for (size_t i = 0; i < 64; ++i) {
+    used.insert(gw.shard_for("t" + std::to_string(i)));
+  }
+  EXPECT_GT(used.size(), 1u);
+}
+
+TEST(ShardedGateway, RequestQuotaRejectsAtAdmission) {
+  ShardedGatewayConfig config;
+  config.shards = 2;
+  config.workers_per_shard = 1;
+  config.tenant_quota_requests = 2;
+  ShardedGateway gw(faas_echo(), "run", config);
+
+  std::vector<Request> requests;
+  for (int i = 0; i < 8; ++i) requests.push_back({"heavy", to_bytes("x")});
+  for (int i = 0; i < 2; ++i) requests.push_back({"light", to_bytes("y")});
+  std::vector<Bytes> outputs;
+  ScenarioResult result = gw.run_scenario(requests, 1, &outputs);
+
+  EXPECT_EQ(result.totals.requests, 4u);  // 2 per tenant
+  EXPECT_EQ(result.quota_rejected_total, 6u);
+  EXPECT_EQ(result.shed_total, 0u);
+  // Rejected requests produce empty responses, executed ones echo.
+  size_t nonempty = 0;
+  for (const Bytes& out : outputs) nonempty += out.empty() ? 0 : 1;
+  EXPECT_EQ(nonempty, 4u);
+}
+
+TEST(ShardedGateway, CycleQuotaStopsRunawayTenant) {
+  // The quota is driven by the accounting counters: after one request the
+  // tenant's executed cycles exceed a 1-cycle budget and admission refuses.
+  ShardedGatewayConfig config;
+  config.shards = 1;
+  config.workers_per_shard = 1;
+  config.tenant_quota_execution_cycles = 1;
+  ShardedGateway gw(faas_echo(), "run", config);
+
+  std::vector<Request> requests(6, Request{"runaway", to_bytes("spin")});
+  ScenarioResult result = gw.run_scenario(requests, 1);
+  EXPECT_EQ(result.totals.requests, 1u);
+  EXPECT_EQ(result.quota_rejected_total, 5u);
+}
+
+TEST(ShardedGateway, ShedModeAccountsEveryRequest) {
+  // Overload with a tiny queue and Shed backpressure: nothing blocks, and
+  // every request is either executed, shed, or quota-rejected.
+  ShardedGatewayConfig config;
+  config.shards = 1;
+  config.workers_per_shard = 1;
+  config.queue_capacity = 2;
+  config.backpressure = ShardedGatewayConfig::Backpressure::Shed;
+  std::vector<Request> requests = echo_requests(64, 8, 4096);
+  ShardedGateway gw(faas_echo(), "run", config);
+  ScenarioResult result = gw.run_scenario(requests, 4);
+  EXPECT_EQ(result.totals.requests + result.shed_total +
+                result.quota_rejected_total,
+            64u);
+  uint64_t shard_shed = 0;
+  for (const ShardRunStats& s : result.shards) shard_shed += s.shed;
+  EXPECT_EQ(shard_shed, result.shed_total);
+}
+
+TEST(ConcurrentShardedGateway, RecycledInstancesMatchFreshAccounting) {
+  // TSan target (the freelist satellite): a multi-shard multi-worker run
+  // with reset-and-reuse instances accounts bit-identically to the same run
+  // re-instantiating per request — recycled instances observe fully reset
+  // memory/globals/caches, or the echoed outputs and cycle totals would
+  // diverge.
+  std::vector<Request> requests = echo_requests(32, 8, 2048);
+  interp::CompiledModulePtr compiled = interp::compile(faas_echo());
+
+  auto run = [&](bool pool) {
+    ShardedGatewayConfig config;
+    config.base.setup = Setup::WasmSgxHw;
+    config.shards = 4;
+    config.workers_per_shard = 2;
+    config.pool_instances = pool;
+    ShardedGateway gw(compiled, "run", config);
+    std::vector<Bytes> outputs;
+    ScenarioResult result = gw.run_scenario(requests, 2, &outputs);
+    return std::make_pair(result, outputs);
+  };
+
+  auto [pooled, pooled_out] = run(true);
+  auto [fresh, fresh_out] = run(false);
+
+  EXPECT_EQ(pooled.totals.requests, 32u);
+  EXPECT_EQ(pooled.totals.total_cycles, fresh.totals.total_cycles);
+  EXPECT_EQ(pooled.totals.execution_cycles, fresh.totals.execution_cycles);
+  EXPECT_EQ(pooled.totals.instructions, fresh.totals.instructions);
+  EXPECT_EQ(pooled.totals.io_bytes, fresh.totals.io_bytes);
+  ASSERT_EQ(pooled_out.size(), fresh_out.size());
+  for (size_t i = 0; i < pooled_out.size(); ++i) {
+    EXPECT_EQ(pooled_out[i], requests[i].input) << "request " << i;
+    EXPECT_EQ(pooled_out[i], fresh_out[i]) << "request " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded gateway: billing mode and the cross-shard sequence authority
+// ---------------------------------------------------------------------------
+
+/// IE + instrumented faas_echo, for billing-mode tests.
+struct BillingFixture {
+  sgx::Platform ie_platform{"faas-ie", to_bytes("faas-ie-seed")};
+  instrument::InstrumentOptions opts{instrument::PassKind::LoopBased,
+                                     instrument::WeightTable::unit()};
+  core::InstrumentationEnclave ie;
+  core::InstrumentationEnclave::Output instrumented;
+
+  BillingFixture()
+      : ie(ie_platform, opts),
+        instrumented(ie.instrument_binary(echo_binary())) {}
+
+  static Bytes echo_binary() {
+    wasm::Module m = faas_echo();
+    wasm::validate(m);
+    return wasm::encode(m);
+  }
+
+  core::AccountingEnclave::Config ae_config() const {
+    core::AccountingEnclave::Config config;
+    config.trusted_ie_identity = ie.identity();
+    config.instrumentation = opts;
+    return config;
+  }
+};
+
+TEST(ShardedGateway, CrossShardReplayedUsageLogRejected) {
+  // One AE's logs ingested externally (record_usage): replaying a log under
+  // a tenant that routes to a DIFFERENT shard must still be rejected — the
+  // sequence authority is shared across shards, keyed by AE identity.
+  BillingFixture fx;
+  sgx::Platform cloud{"faas-cloud", to_bytes("faas-cloud-seed")};
+  core::AccountingEnclave ae(cloud, fx.ae_config());
+
+  ShardedGatewayConfig config;
+  config.shards = 4;
+  ShardedGateway gw(faas_echo(), "run", config);
+
+  // Two tenants on different shards.
+  std::string t1 = "alpha";
+  std::string t2;
+  for (int i = 0; i < 64 && t2.empty(); ++i) {
+    std::string candidate = "beta-" + std::to_string(i);
+    if (gw.shard_for(candidate) != gw.shard_for(t1)) t2 = candidate;
+  }
+  ASSERT_FALSE(t2.empty());
+
+  core::AccountingEnclave::Outcome first =
+      ae.execute(fx.instrumented.instrumented_binary, fx.instrumented.evidence,
+                 "run", {}, to_bytes("ping"));
+  EXPECT_TRUE(gw.record_usage(t1, "echo", first.signed_log, ae.identity()));
+
+  // Replays: same shard, different shard — both rejected, nothing credited.
+  EXPECT_FALSE(gw.record_usage(t1, "echo", first.signed_log, ae.identity()));
+  EXPECT_FALSE(gw.record_usage(t2, "echo", first.signed_log, ae.identity()));
+
+  // The AE's next log (higher sequence) is accepted for the other shard.
+  core::AccountingEnclave::Outcome second =
+      ae.execute(fx.instrumented.instrumented_binary, fx.instrumented.evidence,
+                 "run", {}, to_bytes("pong"));
+  EXPECT_GT(second.signed_log.log.sequence, first.signed_log.log.sequence);
+  EXPECT_TRUE(gw.record_usage(t2, "echo", second.signed_log, ae.identity()));
+
+  std::map<std::string, audit::UsageTotals> totals = gw.billing_totals();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals.at(t1).final_logs, 1u);
+  EXPECT_EQ(totals.at(t2).final_logs, 1u);
+}
+
+TEST(ShardedGateway, BillingModePerWorkerChainsVerifyAsSet) {
+  BillingFixture fx;
+  ShardedGatewayConfig config;
+  config.base.setup = Setup::WasmSgxHwInstr;
+  config.shards = 2;
+  config.workers_per_shard = 2;
+  ShardedGateway gw(faas_echo(), "run", config);
+  gw.deploy_billing("faas-cloud-fleet", to_bytes("faas-fleet-seed"),
+                    fx.ae_config(), fx.instrumented.instrumented_binary,
+                    fx.instrumented.evidence, 4);
+  ASSERT_TRUE(gw.billing_deployed());
+
+  // Every worker AE sits on its own platform: four distinct identities,
+  // four disjoint sequence spaces.
+  std::vector<crypto::Digest> identities = gw.ae_identities();
+  ASSERT_EQ(identities.size(), 4u);
+  EXPECT_EQ(std::set<crypto::Digest>(identities.begin(), identities.end())
+                .size(),
+            4u);
+
+  std::vector<Request> requests = echo_requests(16, 6, 512);
+  std::vector<Bytes> outputs;
+  ScenarioResult result = gw.run_scenario(requests, 2, &outputs);
+  EXPECT_EQ(result.totals.requests, 16u);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(outputs[i], requests[i].input) << "request " << i;
+  }
+
+  // The per-worker hash chains verify individually AND as a set, and the
+  // offline merge equals the gateway's live billing view.
+  std::vector<const audit::Ledger*> ledgers = gw.ledgers();
+  ASSERT_EQ(ledgers.size(), 4u);
+  audit::LedgerSetReport report =
+      audit::verify_ledger_set(ledgers, identities);
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_EQ(report.merged_totals, gw.billing_totals());
+  uint64_t final_logs = 0;
+  for (const auto& [tenant, totals] : report.merged_totals) {
+    final_logs += totals.final_logs;
+  }
+  EXPECT_EQ(final_logs, 16u);
 }
 
 }  // namespace

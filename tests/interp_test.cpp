@@ -836,5 +836,103 @@ TEST(Stats, NativeVsWasmPlatformCosts) {
   EXPECT_GT(cycles_for(Platform::Wasm), cycles_for(Platform::Native));
 }
 
+// ---------------------------------------------------------------------------
+// Instance reset (the sharded gateway's reset-and-reuse freelists)
+// ---------------------------------------------------------------------------
+
+// Deliberately stateful: a mutable global call counter, an accumulator in
+// linear memory, a data segment, and a grow path — everything reset() must
+// restore.
+const char* kStatefulWat = R"((module
+  (memory 1 4)
+  (data (i32.const 64) "seed")
+  (global $calls (mut i32) (i32.const 0))
+  (export "calls" (global $calls))
+  (func (export "bump") (result i32)
+    global.get $calls
+    i32.const 1
+    i32.add
+    global.set $calls
+    i32.const 0
+    i32.const 0
+    i32.load
+    i32.const 10
+    i32.add
+    i32.store
+    global.get $calls
+    i32.const 1000
+    i32.mul
+    i32.const 0
+    i32.load
+    i32.add
+  )
+  (func (export "grow") (result i32)
+    i32.const 1
+    memory.grow
+  )
+))";
+
+void expect_stats_identical(const ExecStats& a, const ExecStats& b) {
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.mem_loads, b.mem_loads);
+  EXPECT_EQ(a.mem_stores, b.mem_stores);
+  EXPECT_EQ(a.llc_misses, b.llc_misses);
+  EXPECT_EQ(a.epc_faults, b.epc_faults);
+  EXPECT_EQ(a.host_calls, b.host_calls);
+  EXPECT_EQ(a.peak_memory_bytes, b.peak_memory_bytes);
+  EXPECT_EQ(a.memory_integral, b.memory_integral);
+  EXPECT_EQ(a.io_bytes_in, b.io_bytes_in);
+  EXPECT_EQ(a.io_bytes_out, b.io_bytes_out);
+  EXPECT_EQ(a.per_op, b.per_op);
+}
+
+TEST(InstanceReset, StatePersistsWithoutReset) {
+  // Sanity: without a reset the state bleed IS observable, so the reset
+  // tests below are actually proving something.
+  Instance inst = make_instance(kStatefulWat);
+  EXPECT_EQ(inst.invoke("bump").at(0).i32(), 1010);
+  EXPECT_EQ(inst.invoke("bump").at(0).i32(), 2020);
+  EXPECT_EQ(inst.read_global("calls").i32(), 2);
+}
+
+TEST(InstanceReset, RestoresMemoryGlobalsAndDataSegments) {
+  Instance inst = make_instance(kStatefulWat);
+  inst.invoke("bump");
+  inst.invoke("grow");  // dirty the page count too
+  inst.memory()->write_bytes(64, to_bytes("XXXX"));  // clobber the segment
+
+  inst.reset();
+
+  // Globals, the memory accumulator, and the data segment are all back to
+  // post-construction state; the grown page is gone.
+  EXPECT_EQ(inst.read_global("calls").i32(), 0);
+  EXPECT_EQ(inst.invoke("bump").at(0).i32(), 1010);
+  EXPECT_EQ(inst.memory()->read_bytes(64, 4), to_bytes("seed"));
+  EXPECT_EQ(inst.invoke("grow").at(0).i32(), 1);  // back to 1 page pre-grow
+}
+
+TEST(InstanceReset, ExecStatsBitIdenticalToFresh) {
+  // The freelist contract (DESIGN.md §16): a recycled instance accounts a
+  // request exactly as a fresh instantiation would — including the cache
+  // simulation, which must restart cold. Cache model ON to cover it.
+  auto fresh = [&] {
+    return make_instance(kStatefulWat, {}, Instance::Options{});
+  };
+  Instance baseline = fresh();
+  baseline.invoke("bump");
+  baseline.invoke("grow");
+
+  Instance pooled = fresh();
+  // Dirty it thoroughly, then reset.
+  for (int i = 0; i < 3; ++i) pooled.invoke("bump");
+  pooled.invoke("grow");
+  pooled.reset();
+  pooled.invoke("bump");
+  pooled.invoke("grow");
+
+  expect_stats_identical(pooled.stats(), baseline.stats());
+}
+
 }  // namespace
 }  // namespace acctee::interp

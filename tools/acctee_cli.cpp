@@ -39,14 +39,16 @@
 //       With --builtin, sweeps every bundled workload through all three
 //       instrumentation passes instead.
 //
-//   acctee audit verify <ledger-file> [--identity HEX]
-//       Offline replay of a saved audit ledger: checks every log
+//   acctee audit verify <ledger-file>... [--identity HEX]...
+//       Offline replay of saved audit ledgers: checks every log
 //       signature, the sequence/prev-hash chain, and each checkpoint's
-//       signature + Merkle root against the attested AE identity.
+//       signature + Merkle root against the attested AE identity. With
+//       multiple ledgers (one per sharded-gateway worker AE) additionally
+//       rejects aliased AE identities across chains (verify_ledger_set).
 //
-//   acctee audit reconcile <ledger-file> <metrics.prom> [--tolerance X]
-//       Cross-checks the ledger's per-tenant billing totals against an
-//       untrusted Prometheus metrics scrape.
+//   acctee audit reconcile <ledger-file>... <metrics.prom> [--tolerance X]
+//       Cross-checks the (merged) per-tenant billing totals of one or more
+//       ledgers against an untrusted Prometheus metrics scrape.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -570,36 +572,69 @@ crypto::Digest parse_digest_hex(const std::string& hex) {
 
 int cmd_audit(int argc, char** argv) {
   const char* usage_line =
-      "usage: acctee audit verify <ledger> [--identity HEX]\n"
-      "       acctee audit reconcile <ledger> <metrics.prom> "
+      "usage: acctee audit verify <ledger>... [--identity HEX]...\n"
+      "       acctee audit reconcile <ledger>... <metrics.prom> "
       "[--tolerance X]";
   if (argc < 2) throw Error(usage_line);
   std::string verb = argv[0];
-  audit::Ledger ledger = audit::Ledger::load(argv[1]);
   if (verb == "verify") {
-    // Default to the identity recorded in the file; an auditor who attested
-    // the AE pins their own with --identity.
-    crypto::Digest identity = ledger.ae_identity();
-    for (int i = 2; i < argc; ++i) {
+    // Any number of ledgers (the sharded gateway saves one per worker AE).
+    // An auditor who attested the AEs pins identities with one --identity
+    // per ledger, in ledger order; otherwise the identities recorded in the
+    // files are used.
+    std::vector<audit::Ledger> ledgers;
+    std::vector<crypto::Digest> identities;
+    for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--identity") == 0 && i + 1 < argc) {
-        identity = parse_digest_hex(argv[++i]);
+        identities.push_back(parse_digest_hex(argv[++i]));
+      } else {
+        ledgers.push_back(audit::Ledger::load(argv[i]));
       }
     }
-    audit::VerifyReport report = audit::verify_ledger(ledger, identity);
+    if (ledgers.empty()) throw Error(usage_line);
+    if (!identities.empty() && identities.size() != ledgers.size()) {
+      throw Error("pass one --identity per ledger (got " +
+                  std::to_string(identities.size()) + " for " +
+                  std::to_string(ledgers.size()) + " ledgers)");
+    }
+    if (ledgers.size() == 1) {
+      crypto::Digest identity =
+          identities.empty() ? ledgers[0].ae_identity() : identities[0];
+      audit::VerifyReport report = audit::verify_ledger(ledgers[0], identity);
+      std::fputs(report.to_string().c_str(), stdout);
+      return report.ok ? 0 : 1;
+    }
+    std::vector<const audit::Ledger*> set;
+    for (const audit::Ledger& ledger : ledgers) set.push_back(&ledger);
+    audit::LedgerSetReport report = audit::verify_ledger_set(set, identities);
     std::fputs(report.to_string().c_str(), stdout);
     return report.ok ? 0 : 1;
   }
   if (verb == "reconcile") {
+    // Every path before the scrape is a ledger; their final-log totals are
+    // merged deterministically before the comparison.
     if (argc < 3) throw Error(usage_line);
-    Bytes scrape = read_file(argv[2]);
     double tolerance = 0.0;
-    for (int i = 3; i < argc; ++i) {
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
         tolerance = std::stod(argv[++i]);
+      } else {
+        paths.push_back(argv[i]);
       }
     }
-    audit::ReconcileReport report = audit::reconcile(
-        ledger, std::string(scrape.begin(), scrape.end()), tolerance);
+    if (paths.size() < 2) throw Error(usage_line);
+    Bytes scrape = read_file(paths.back());
+    paths.pop_back();
+    std::vector<audit::Ledger> ledgers;
+    ledgers.reserve(paths.size());
+    for (const std::string& path : paths) {
+      ledgers.push_back(audit::Ledger::load(path));
+    }
+    std::vector<const audit::Ledger*> set;
+    for (const audit::Ledger& ledger : ledgers) set.push_back(&ledger);
+    audit::ReconcileReport report = audit::reconcile_set(
+        set, std::string(scrape.begin(), scrape.end()), tolerance);
     std::fputs(report.to_string().c_str(), stdout);
     return report.ok ? 0 : 1;
   }
@@ -670,8 +705,8 @@ void usage() {
       "             [--requests N] [--pass P] [--json] [--chrome FILE]\n"
       "  acctee verify-instr <module> [--counter N] [--weights unit|base]\n"
       "  acctee verify-instr --builtin [--weights unit|base]\n"
-      "  acctee audit verify <ledger> [--identity HEX]\n"
-      "  acctee audit reconcile <ledger> <metrics.prom> [--tolerance X]\n"
+      "  acctee audit verify <ledger>... [--identity HEX]...\n"
+      "  acctee audit reconcile <ledger>... <metrics.prom> [--tolerance X]\n"
       "  acctee inspect <module>\n"
       "  acctee wat <module.wasm>\n",
       stderr);

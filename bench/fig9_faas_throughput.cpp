@@ -32,10 +32,20 @@
 // `--json BENCH_fig9_scale.json` records the matrix;
 // `--scale-ledger-dir <dir>` saves the per-AE ledgers for the offline CLI
 // replay. `--smoke` shrinks tenant counts and request volume to CI scale.
+// The billing pass also prints per-stage span-duration rows (queue.wait
+// through ledger.append, by shard) from the request-scoped tracer.
+//
+// `--obs-gate` runs the observability-overhead gate instead: the same
+// deterministic billing scenario under tracing disabled / sampled-out / 1%
+// sampling must produce byte-identical ledgers and identical billing
+// totals, with the sampled run's wall clock within budget
+// (`--json BENCH_fig9_obs.json` archives the measurements).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+
+#include <map>
 
 #include "audit/ledger.hpp"
 #include "audit/reconcile.hpp"
@@ -46,6 +56,7 @@
 #include "faas/gateway.hpp"
 #include "faas/sharded_gateway.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "wasm/binary.hpp"
 #include "workloads/faas_functions.hpp"
 
@@ -418,7 +429,8 @@ int run_scale_matrix(bool smoke, bench::JsonReporter& json) {
 /// worker ledgers its own chain, and the whole set must verify + reconcile
 /// offline. Saves the per-AE ledgers into `ledger_dir` (when non-null) for
 /// the CLI replay in CI.
-int run_scale_billing(bool smoke, const char* ledger_dir) {
+int run_scale_billing(bool smoke, const char* ledger_dir,
+                      bench::JsonReporter& json) {
   auto opts = instrument::InstrumentOptions{instrument::PassKind::LoopBased,
                                             instrument::WeightTable::unit()};
   sgx::Platform ie_host{"scale-ie-host", to_bytes("scale-ie-seed")};
@@ -444,7 +456,18 @@ int run_scale_billing(bool smoke, const char* ledger_dir) {
   Bytes input = workloads::make_test_image(32, 3);
   std::vector<faas::Request> stream =
       build_scale_requests(requests, /*tenants=*/24, "uniform", input);
+
+  // Trace every request through the billing run so the per-stage span table
+  // below has full coverage (deploy-time spans are excluded by enabling the
+  // tracer only around the scenario).
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_sampling_per_myriad(10000);
+  tracer.enable(true);
   faas::ScenarioResult result = gateway.run_scenario(stream, /*producers=*/2);
+  tracer.enable(false);
+  std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  tracer.clear();
 
   std::vector<const audit::Ledger*> ledgers = gateway.ledgers();
   audit::LedgerSetReport set_report =
@@ -469,6 +492,50 @@ int run_scale_billing(bool smoke, const char* ledger_dir) {
     std::fputs(reconcile_report.to_string().c_str(), stderr);
   }
 
+  // Per-stage span durations: where a request's wall clock went, from the
+  // queue to the signed ledger append, broken down by the shard its tenant
+  // hashed to. Rendered from the request-scoped trace spans.
+  const char* stages[] = {"queue.wait", "ae.prepare", "ae.verify_counters",
+                          "interp.run", "ae.sign",    "ledger.append"};
+  struct StageAgg {
+    uint64_t count = 0;
+    double total_us = 0;
+  };
+  std::map<std::string, std::vector<StageAgg>> by_stage;
+  for (const char* stage : stages) {
+    by_stage[stage].resize(config.shards);
+  }
+  for (const obs::SpanRecord& span : spans) {
+    auto it = by_stage.find(span.name);
+    if (it == by_stage.end() || span.tenant.empty()) continue;
+    StageAgg& agg = it->second[gateway.shard_for(span.tenant)];
+    ++agg.count;
+    agg.total_us += static_cast<double>(span.duration_ns) / 1e3;
+  }
+  std::printf("per-stage span durations (mean us per request, by shard):\n");
+  std::printf("  %-20s", "stage");
+  for (uint32_t s = 0; s < config.shards; ++s) {
+    std::printf("%10s", ("shard" + std::to_string(s)).c_str());
+  }
+  std::printf("%8s\n", "spans");
+  for (const char* stage : stages) {
+    const std::vector<StageAgg>& per_shard = by_stage[stage];
+    uint64_t count = 0;
+    double total_us = 0;
+    std::printf("  %-20s", stage);
+    for (const StageAgg& agg : per_shard) {
+      std::printf("%10.1f", agg.count > 0 ? agg.total_us / agg.count : 0.0);
+      count += agg.count;
+      total_us += agg.total_us;
+    }
+    std::printf("%8llu\n", static_cast<unsigned long long>(count));
+    json.record("scale/span/" + std::string(stage), count,
+                count > 0 ? total_us * 1e3 / count : 0, 0,
+                {{"mean_us", count > 0 ? total_us / count : 0.0},
+                 {"spans", static_cast<double>(count)}});
+  }
+  std::printf("\n");
+
   if (ledger_dir != nullptr) {
     std::filesystem::create_directories(ledger_dir);
     for (size_t i = 0; i < ledgers.size(); ++i) {
@@ -479,27 +546,164 @@ int run_scale_billing(bool smoke, const char* ledger_dir) {
   return set_report.ok && totals_match && reconcile_report.ok ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Observability-overhead gate (--obs-gate): proves the tracing plane is
+// billing-neutral. The same deterministic single-producer billing scenario
+// runs three times — tracing disabled, enabled-but-sampled-out, and 1%
+// head sampling — on gateways provisioned from identical platform seeds.
+// Accounted totals and the serialized per-AE ledgers (signed logs, trace
+// ids, checkpoints — every byte) must be identical across all three, and
+// the sampled run's wall clock must stay within budget of the disabled run.
+// ---------------------------------------------------------------------------
+
+struct ObsGateRun {
+  std::map<std::string, audit::UsageTotals> totals;
+  std::vector<Bytes> ledger_bytes;
+  double wall_seconds = 0;
+  uint64_t requests = 0;
+};
+
+ObsGateRun run_obs_gate_once(
+    const std::vector<faas::Request>& stream,
+    const core::InstrumentationEnclave::Output& instrumented,
+    const core::AccountingEnclave::Config& ae_config) {
+  faas::ShardedGatewayConfig config;
+  config.base.setup = Setup::WasmSgxHwInstr;
+  config.shards = 2;
+  config.workers_per_shard = 1;
+  faas::ShardedGateway gateway(workloads::faas_echo(), "run", config);
+  gateway.deploy_billing("obs-gate-cloud", to_bytes("obs-gate-seed"),
+                         ae_config, instrumented.instrumented_binary,
+                         instrumented.evidence, /*ledger_checkpoint_every=*/8);
+  auto t0 = std::chrono::steady_clock::now();
+  faas::ScenarioResult result = gateway.run_scenario(stream, /*producers=*/1);
+  ObsGateRun run;
+  run.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  run.requests = result.totals.requests;
+  run.totals = gateway.billing_totals();
+  for (const audit::Ledger* ledger : gateway.ledgers()) {
+    run.ledger_bytes.push_back(ledger->serialize());
+  }
+  return run;
+}
+
+int run_obs_gate(bool smoke, bench::JsonReporter& json) {
+  auto opts = instrument::InstrumentOptions{instrument::PassKind::LoopBased,
+                                            instrument::WeightTable::unit()};
+  sgx::Platform ie_host{"obs-ie-host", to_bytes("obs-ie-seed")};
+  core::InstrumentationEnclave ie(ie_host, opts);
+  core::AccountingEnclave::Config ae_config;
+  ae_config.trusted_ie_identity = ie.identity();
+  ae_config.instrumentation = opts;
+  ae_config.checkpoint_interval = 50'000;  // interim logs too
+  auto instrumented =
+      ie.instrument_binary(wasm::encode(workloads::faas_echo()));
+
+  const size_t requests = smoke ? 64 : 256;
+  Bytes input = workloads::make_test_image(32, 5);
+  std::vector<faas::Request> stream =
+      build_scale_requests(requests, /*tenants=*/16, "uniform", input);
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  struct Mode {
+    const char* name;
+    bool enabled;
+    uint32_t per_myriad;
+  };
+  const Mode modes[] = {{"disabled", false, 0},
+                        {"sampled_out", true, 0},
+                        {"sampled_1pct", true, 100}};
+  std::vector<ObsGateRun> runs;
+  for (const Mode& mode : modes) {
+    tracer.clear();
+    tracer.set_sampling_per_myriad(mode.per_myriad);
+    tracer.enable(mode.enabled);
+    runs.push_back(run_obs_gate_once(stream, instrumented, ae_config));
+    tracer.enable(false);
+  }
+  tracer.set_sampling_per_myriad(10000);
+  tracer.clear();
+
+  bool totals_identical = true;
+  bool ledgers_identical = true;
+  for (size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].totals != runs[0].totals) totals_identical = false;
+    if (runs[i].ledger_bytes != runs[0].ledger_bytes) {
+      ledgers_identical = false;
+    }
+  }
+  // Generous CI budget: the sampled run may not cost more than twice the
+  // disabled run plus scheduling noise.
+  const double budget =
+      2.0 * runs[0].wall_seconds + 0.25;
+  const bool within_budget = runs[2].wall_seconds <= budget;
+  const double overhead = runs[0].wall_seconds > 0
+                              ? runs[2].wall_seconds / runs[0].wall_seconds
+                              : 0;
+
+  std::printf("observability gate: %zu requests x {disabled, sampled-out, "
+              "1%% sampled}\n", requests);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    std::printf("  %-12s wall %8.3f s\n", modes[i].name,
+                runs[i].wall_seconds);
+    json.record(std::string("obs_gate/") + modes[i].name, runs[i].requests,
+                runs[i].requests > 0
+                    ? runs[i].wall_seconds * 1e9 /
+                          static_cast<double>(runs[i].requests)
+                    : 0,
+                0, {{"wall_seconds", runs[i].wall_seconds}});
+  }
+  std::printf("  accounted totals %s, ledger bytes %s, overhead %.2fx "
+              "(budget %.3f s) -> %s\n\n",
+              totals_identical ? "identical" : "DIVERGED",
+              ledgers_identical ? "identical" : "DIVERGED", overhead,
+              budget,
+              totals_identical && ledgers_identical && within_budget
+                  ? "PASS"
+                  : "FAIL");
+  json.record("obs_gate/verdict", requests, 0, 0,
+              {{"totals_identical", totals_identical ? 1.0 : 0.0},
+               {"ledger_bytes_identical", ledgers_identical ? 1.0 : 0.0},
+               {"overhead_ratio", overhead},
+               {"within_budget", within_budget ? 1.0 : 0.0}});
+  return totals_identical && ledgers_identical && within_budget ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool scale = false;
+  bool obs_gate = false;
   const char* scale_ledger_dir = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scale") == 0) scale = true;
+    if (std::strcmp(argv[i], "--obs-gate") == 0) obs_gate = true;
     if (std::strcmp(argv[i], "--scale-ledger-dir") == 0 && i + 1 < argc) {
       scale_ledger_dir = argv[i + 1];
     }
   }
-  bench::JsonReporter json(scale ? "fig9_scale" : "fig9_faas_throughput",
+  bench::JsonReporter json(obs_gate ? "fig9_obs"
+                           : scale  ? "fig9_scale"
+                                    : "fig9_faas_throughput",
                            argc, argv);
   const bool smoke = bench::smoke_requested(argc, argv);
+
+  if (obs_gate) {
+    std::printf("Fig. 9 observability gate: tracing must be billing-neutral "
+                "(DESIGN.md \xc2\xa7" "17)\n\n");
+    int rc = run_obs_gate(smoke, json);
+    if (!json.write()) rc = 1;
+    return rc;
+  }
 
   if (scale) {
     std::printf("Fig. 9 at scale: sharded multi-tenant gateway "
                 "(DESIGN.md \xc2\xa7" "16)\n\n");
     int rc = run_scale_matrix(smoke, json);
     if (!run_single_shard_parity()) rc = 1;
-    int billing_rc = run_scale_billing(smoke, scale_ledger_dir);
+    int billing_rc = run_scale_billing(smoke, scale_ledger_dir, json);
     if (billing_rc != 0) rc = billing_rc;
     for (int i = 1; i + 1 < argc; ++i) {
       if (std::strcmp(argv[i], "--metrics") == 0) {

@@ -1,0 +1,113 @@
+#include "audit/telemetry_check.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "audit/reconcile.hpp"
+
+namespace acctee::audit {
+
+std::string TelemetryVerifyReport::to_string() const {
+  std::ostringstream out;
+  out << (ok ? "OK" : "FAILED") << ": " << snapshots_checked
+      << " telemetry snapshot(s)\n";
+  for (const std::string& p : problems) out << "  problem: " << p << "\n";
+  return out.str();
+}
+
+TelemetryVerifyReport verify_telemetry_chain(
+    const std::vector<core::SignedTelemetrySnapshot>& chain,
+    const crypto::Digest& ae_identity) {
+  TelemetryVerifyReport report;
+  crypto::Digest expected_prev{};  // all-zero before the first snapshot
+  // Counter series must never decrease across snapshots.
+  std::map<std::pair<std::string, std::string>, uint64_t> last_value;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    const core::SignedTelemetrySnapshot& signed_snap = chain[i];
+    const core::TelemetrySnapshot& snap = signed_snap.snapshot;
+    if (!signed_snap.verify(ae_identity)) {
+      report.problems.push_back("snapshot " + std::to_string(i) +
+                                ": signature does not verify");
+    }
+    if (snap.sequence != i) {
+      report.problems.push_back(
+          "snapshot " + std::to_string(i) + ": sequence " +
+          std::to_string(snap.sequence) + ", expected " + std::to_string(i));
+    }
+    if (snap.prev_snapshot_hash != expected_prev) {
+      report.problems.push_back("snapshot " + std::to_string(i) +
+                                ": prev-hash chain broken");
+    }
+    for (const core::TelemetrySample& s : snap.samples) {
+      auto key = std::make_pair(s.name, s.labels);
+      auto it = last_value.find(key);
+      if (it != last_value.end() && s.value < it->second) {
+        report.problems.push_back(
+            "snapshot " + std::to_string(i) + ": counter " + s.name + "{" +
+            s.labels + "} decreased (" + std::to_string(it->second) + " -> " +
+            std::to_string(s.value) + ")");
+      }
+      last_value[key] = s.value;
+    }
+    expected_prev = crypto::sha256(snap.payload());
+    ++report.snapshots_checked;
+  }
+  report.ok = report.problems.empty();
+  return report;
+}
+
+TelemetryVerifyReport verify_telemetry_against_ledgers(
+    const std::vector<core::SignedTelemetrySnapshot>& chain,
+    const crypto::Digest& ae_identity,
+    const std::vector<const Ledger*>& ledgers) {
+  TelemetryVerifyReport report = verify_telemetry_chain(chain, ae_identity);
+  if (chain.empty()) {
+    report.problems.push_back(
+        "no telemetry snapshots to compare against the ledger");
+    report.ok = false;
+    return report;
+  }
+  // Render the latest snapshot's billing samples in exposition format and
+  // push them through the same scrape-parsing path `acctee audit reconcile`
+  // uses, so both planes are interpreted by identical code.
+  std::string scrape;
+  for (const core::TelemetrySample& s : chain.back().snapshot.samples) {
+    if (s.name.rfind("acctee_billing_", 0) != 0) continue;
+    scrape += s.name;
+    if (!s.labels.empty()) scrape += "{" + s.labels + "}";
+    scrape += " " + std::to_string(s.value) + "\n";
+  }
+  std::map<std::string, UsageTotals> from_telemetry =
+      billing_totals_from_scrape(scrape);
+  std::map<std::string, UsageTotals> from_ledger =
+      merged_totals_by_tenant(ledgers);
+  if (from_telemetry != from_ledger) {
+    for (const auto& [tenant, totals] : from_ledger) {
+      auto it = from_telemetry.find(tenant);
+      if (it == from_telemetry.end()) {
+        report.problems.push_back("tenant \"" + tenant +
+                                  "\" billed in ledger but absent from "
+                                  "signed telemetry");
+      } else if (!(it->second == totals)) {
+        report.problems.push_back("tenant \"" + tenant +
+                                  "\" signed telemetry disagrees with the "
+                                  "ledger's billed totals");
+      }
+    }
+    for (const auto& [tenant, totals] : from_telemetry) {
+      if (!from_ledger.count(tenant)) {
+        report.problems.push_back("tenant \"" + tenant +
+                                  "\" in signed telemetry but never billed "
+                                  "in the ledger");
+      }
+    }
+    if (report.problems.empty()) {
+      report.problems.push_back(
+          "signed telemetry and ledger totals disagree");
+    }
+  }
+  report.ok = report.problems.empty();
+  return report;
+}
+
+}  // namespace acctee::audit

@@ -1,0 +1,55 @@
+// Offline verification of attested telemetry (DESIGN.md §17).
+//
+// The AE signs periodic snapshots of its own counters
+// (core::SignedTelemetrySnapshot): domain-separated, sequenced, and
+// hash-chained per enclave. This module is the auditor's side:
+//
+//   verify_telemetry_chain     — signatures valid under the attested AE
+//                                identity, sequences gapless from 0,
+//                                prev-hash chain unbroken, per-series
+//                                counter values monotone across snapshots
+//                                (they are counters; a decrease means a
+//                                rewritten history).
+//   verify_telemetry_against_ledgers
+//                              — chain checks plus the cross-plane proof:
+//                                the billing counters in the *latest*
+//                                snapshot must equal the per-tenant totals
+//                                of the signed ledger set (rendered through
+//                                the same scrape-parsing path
+//                                `acctee audit reconcile` uses). Passing
+//                                means the provider's exported telemetry is
+//                                not just signed but *consistent with what
+//                                was billed*.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "audit/ledger.hpp"
+#include "core/telemetry.hpp"
+
+namespace acctee::audit {
+
+struct TelemetryVerifyReport {
+  bool ok = false;
+  size_t snapshots_checked = 0;
+  std::vector<std::string> problems;
+
+  std::string to_string() const;
+};
+
+/// Chain-only verification of one enclave's snapshot sequence (oldest
+/// first). An empty chain verifies trivially.
+TelemetryVerifyReport verify_telemetry_chain(
+    const std::vector<core::SignedTelemetrySnapshot>& chain,
+    const crypto::Digest& ae_identity);
+
+/// Chain verification plus ledger consistency: the latest snapshot's
+/// acctee_billing_* samples, parsed as a scrape, must reconcile exactly
+/// (tolerance 0) with the merged per-tenant totals of `ledgers`.
+TelemetryVerifyReport verify_telemetry_against_ledgers(
+    const std::vector<core::SignedTelemetrySnapshot>& chain,
+    const crypto::Digest& ae_identity,
+    const std::vector<const Ledger*>& ledgers);
+
+}  // namespace acctee::audit

@@ -1,0 +1,43 @@
+// Trace-id resolution over audit ledgers (DESIGN.md §17).
+//
+// Resource-log payload v3 binds the gateway-allocated 128-bit trace id into
+// every signed log, so a billed interval in the ledger is correlatable with
+// the request (and span tree) that produced it. This module is the offline
+// half of that correlation: given a ledger set (one hash chain per worker
+// AE), find the entries a trace id billed — `acctee audit trace` is a thin
+// wrapper. Lookup is read-only and proves nothing by itself; run
+// audit::verify_ledger_set first if the ledger bytes are untrusted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/ledger.hpp"
+
+namespace acctee::audit {
+
+/// One ledger entry that carries the queried trace id.
+struct TraceMatch {
+  size_t ledger_index = 0;  // position in the queried ledger set
+  size_t entry_index = 0;   // position within that ledger
+  LedgerEntry entry;        // copy: valid past the ledgers' lifetime
+};
+
+/// Every entry (interim and final, in ledger-set order) whose signed log
+/// carries trace id (hi, lo). Empty for a forged/unknown id — there is no
+/// fuzzy matching, the id either billed or it did not.
+std::vector<TraceMatch> find_by_trace(const std::vector<const Ledger*>& ledgers,
+                                      uint64_t trace_hi, uint64_t trace_lo);
+
+/// All distinct non-zero trace ids appearing in the set, in first-seen
+/// order. Lets tooling enumerate correlatable intervals (e.g. to pick one
+/// for a CI replay) without knowing ids a priori.
+std::vector<std::pair<uint64_t, uint64_t>> distinct_trace_ids(
+    const std::vector<const Ledger*>& ledgers);
+
+/// Human-readable rendering of a match list for the CLI.
+std::string render_trace_matches(const std::vector<TraceMatch>& matches);
+
+}  // namespace acctee::audit

@@ -290,6 +290,15 @@ AccountingEnclave::Outcome AccountingEnclave::run_prepared(
     log.trapped = trapped;
     log.is_final = is_final;
     log.prev_log_hash = prev_log_hash_;
+    // Bind the ambient request identity (installed by the gateway worker's
+    // TraceScope) into the signed log. The id is a pure function of tenant
+    // and admission sequence — independent of whether tracing is enabled or
+    // this request was sampled — so the signed bytes never vary with
+    // observability state.
+    if (const obs::TraceContext* ctx = obs::current_trace_context()) {
+      log.trace_hi = ctx->trace_hi;
+      log.trace_lo = ctx->trace_lo;
+    }
     SignedResourceLog signed_log;
     signed_log.log = log;
     Bytes canonical = log.serialize();
@@ -309,7 +318,7 @@ AccountingEnclave::Outcome AccountingEnclave::run_prepared(
 
   bool trapped = false;
   {
-    auto run_span = obs::Tracer::global().span("ae.run");
+    auto run_span = obs::Tracer::global().span("interp.run");
     try {
       outcome.results = instance.invoke(entry, args);
     } catch (const TrapError& trap) {
@@ -323,12 +332,37 @@ AccountingEnclave::Outcome AccountingEnclave::run_prepared(
   }
 
   // --- 4. Assemble and sign the final resource usage log. ---
-  auto sign_span = obs::Tracer::global().span("ae.sign_log");
+  auto sign_span = obs::Tracer::global().span("ae.sign");
   outcome.signed_log = make_signed_log(instance, trapped, /*is_final=*/true);
   sign_span.finish();
   outcome.output = std::move(channel.output);
   outcome.stats = instance.stats();
   return outcome;
+}
+
+SignedTelemetrySnapshot AccountingEnclave::sign_telemetry() {
+  TelemetrySnapshot snap;
+  snap.sequence = next_telemetry_sequence_++;
+  snap.prev_snapshot_hash = prev_telemetry_hash_;
+  // This enclave's own operational counters (only its enclave="N" label
+  // set), then the process-wide billing counters — the series `acctee audit
+  // reconcile` checks against the ledger. Registry enumeration order is
+  // (name, labels), so the sample list is deterministic for a given state.
+  for (const obs::CounterSample& c :
+       obs::Registry::global().counter_samples("acctee_ae_")) {
+    if (c.labels != labels_) continue;
+    snap.samples.push_back({c.name, c.labels, c.value});
+  }
+  for (const obs::CounterSample& c :
+       obs::Registry::global().counter_samples("acctee_billing_")) {
+    snap.samples.push_back({c.name, c.labels, c.value});
+  }
+  SignedTelemetrySnapshot signed_snap;
+  signed_snap.snapshot = std::move(snap);
+  Bytes payload = signed_snap.snapshot.payload();
+  prev_telemetry_hash_ = crypto::sha256(payload);
+  signed_snap.signature = signer_.sign(payload);
+  return signed_snap;
 }
 
 }  // namespace acctee::core

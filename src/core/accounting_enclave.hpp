@@ -17,6 +17,7 @@
 #include "core/evidence.hpp"
 #include "core/resource_log.hpp"
 #include "core/runtime_env.hpp"
+#include "core/telemetry.hpp"
 #include "interp/compiled_module.hpp"
 #include "interp/instance.hpp"
 #include "obs/metrics.hpp"
@@ -183,6 +184,21 @@ class AccountingEnclave {
   /// prev_log_hash the *next* log will carry); all-zero before the first.
   const crypto::Digest& last_log_hash() const { return prev_log_hash_; }
 
+  /// Signs a snapshot of this enclave's own telemetry: its acctee_ae_*
+  /// counter series (this enclave's label set only) plus the process-wide
+  /// acctee_billing_* counters. Snapshots are sequenced and hash-chained
+  /// per enclave (like the log chain, separate state), domain-separated via
+  /// kTelemetrySnapshotDomain, and signed with the AE identity — the
+  /// offline verifier (audit::verify_telemetry_chain) can then prove the
+  /// provider's scrape-side telemetry consistent with the signed ledger.
+  SignedTelemetrySnapshot sign_telemetry();
+
+  /// sha256 of the last telemetry payload this AE signed; all-zero before
+  /// the first snapshot.
+  const crypto::Digest& last_telemetry_hash() const {
+    return prev_telemetry_hash_;
+  }
+
   // Prepared-module cache statistics (observable amortisation). Thin reads
   // of this enclave's registry series (obs/metrics.hpp): the same numbers a
   // metrics scrape reports under acctee_ae_prepared_cache_{hits,misses}_total.
@@ -203,6 +219,9 @@ class AccountingEnclave {
   // Hash-chain state over every log this enclave signs (interim + final,
   // across sessions): the next log's prev_log_hash.
   crypto::Digest prev_log_hash_{};
+  // Telemetry-snapshot chain state (independent of the log chain).
+  uint64_t next_telemetry_sequence_ = 0;
+  crypto::Digest prev_telemetry_hash_{};
 
   Outcome run_prepared(const PreparedModule& prepared,
                        const std::string& entry, const interp::Values& args,

@@ -15,7 +15,13 @@ const char* to_string(MemoryPolicy policy) {
 }
 
 Bytes ResourceUsageLog::serialize() const {
-  Bytes out = to_bytes("acctee-resource-log-v2");
+  // Traceless logs keep the v2 layout bit-for-bit: signatures and Merkle
+  // leaves computed before trace binding existed must stay valid, and a
+  // request's bytes must not depend on whether tracing was enabled (the
+  // trace id is a pure function of tenant + admission sequence).
+  const bool traced = (trace_hi | trace_lo) != 0;
+  Bytes out = to_bytes(traced ? "acctee-resource-log-v3"
+                              : "acctee-resource-log-v2");
   append(out, BytesView(module_hash.data(), module_hash.size()));
   append(out, BytesView(weight_table_hash.data(), weight_table_hash.size()));
   append(out, BytesView(prev_log_hash.data(), prev_log_hash.size()));
@@ -26,6 +32,10 @@ Bytes ResourceUsageLog::serialize() const {
   append_u64le(out, memory_integral);
   append_u64le(out, io_bytes_in);
   append_u64le(out, io_bytes_out);
+  if (traced) {
+    append_u64le(out, trace_hi);
+    append_u64le(out, trace_lo);
+  }
   out.push_back(trapped ? 1 : 0);
   out.push_back(is_final ? 1 : 0);
   return out;
@@ -34,12 +44,26 @@ Bytes ResourceUsageLog::serialize() const {
 ResourceUsageLog ResourceUsageLog::deserialize(BytesView data) {
   const Bytes v1 = to_bytes("acctee-resource-log-v1");
   const Bytes v2 = to_bytes("acctee-resource-log-v2");
-  // Fields after the digest block: pass byte + six u64 + two flag bytes.
+  const Bytes v3 = to_bytes("acctee-resource-log-v3");
+  // Fields after the digest block: pass byte + six u64 + two flag bytes;
+  // v3 adds the two trace-id u64s before the flags.
   const size_t tail = 1 + 6 * 8 + 2;
+  const size_t tail_v3 = 1 + 8 * 8 + 2;
   ResourceUsageLog log;
   size_t off;
-  if (data.size() == v2.size() + 3 * 32 + tail &&
-      ct_equal(data.subspan(0, v2.size()), v2)) {
+  bool traced = false;
+  if (data.size() == v3.size() + 3 * 32 + tail_v3 &&
+      ct_equal(data.subspan(0, v3.size()), v3)) {
+    traced = true;
+    off = v3.size();
+    std::copy_n(data.begin() + off, 32, log.module_hash.begin());
+    off += 32;
+    std::copy_n(data.begin() + off, 32, log.weight_table_hash.begin());
+    off += 32;
+    std::copy_n(data.begin() + off, 32, log.prev_log_hash.begin());
+    off += 32;
+  } else if (data.size() == v2.size() + 3 * 32 + tail &&
+             ct_equal(data.subspan(0, v2.size()), v2)) {
     off = v2.size();
     std::copy_n(data.begin() + off, 32, log.module_hash.begin());
     off += 32;
@@ -73,6 +97,17 @@ ResourceUsageLog ResourceUsageLog::deserialize(BytesView data) {
   off += 8;
   log.io_bytes_out = read_u64le(data, off);
   off += 8;
+  if (traced) {
+    log.trace_hi = read_u64le(data, off);
+    off += 8;
+    log.trace_lo = read_u64le(data, off);
+    off += 8;
+    if ((log.trace_hi | log.trace_lo) == 0) {
+      // A v3 envelope must carry a real trace id, or the same log would
+      // have two distinct canonical serializations.
+      throw std::invalid_argument("ResourceUsageLog: v3 with zero trace id");
+    }
+  }
   log.trapped = data[off++] != 0;
   log.is_final = data[off] != 0;
   return log;
@@ -87,7 +122,16 @@ std::string ResourceUsageLog::to_string() const {
       << ", io_in=" << io_bytes_in << ", io_out=" << io_bytes_out
       << ", pass=" << instrument::to_string(pass)
       << ", trapped=" << (trapped ? "yes" : "no")
-      << (is_final ? "" : ", interim") << "}";
+      << (is_final ? "" : ", interim");
+  if ((trace_hi | trace_lo) != 0) {
+    out << ", trace=" << std::hex;
+    out.width(16);
+    out.fill('0');
+    out << trace_hi;
+    out.width(16);
+    out << trace_lo << std::dec;
+  }
+  out << "}";
   return out.str();
 }
 

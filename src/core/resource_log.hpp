@@ -57,11 +57,21 @@ struct ResourceUsageLog {
   // executions (paper §3.3); true for the log covering the whole run.
   bool is_final = true;
 
-  /// Canonical bytes the accounting enclave signs (format v2, which carries
-  /// prev_log_hash).
+  /// Request-scoped trace id (DESIGN.md §17): the 128-bit causal id the
+  /// gateway allocated at admission, bound into the signed log so a billed
+  /// ledger interval resolves back to the request (and its span tree) that
+  /// produced it. All-zero when the execution ran outside a request scope
+  /// (direct AE use, CLI single runs).
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+
+  /// Canonical bytes the accounting enclave signs. Logs with a trace id
+  /// serialize as format v3 (v2 + the two trace words); logs without one
+  /// keep the exact v2 byte layout, so every signature, Merkle leaf, and
+  /// ledger file produced before trace binding existed still verifies.
   Bytes serialize() const;
-  /// Accepts both the current v2 format and the pre-chain v1 format (whose
-  /// logs decode with an all-zero prev_log_hash).
+  /// Accepts v3, the pre-trace v2 format (trace id stays all-zero), and the
+  /// pre-chain v1 format (prev_log_hash stays all-zero too).
   static ResourceUsageLog deserialize(BytesView data);
 
   bool operator==(const ResourceUsageLog&) const = default;

@@ -1,0 +1,81 @@
+#include "core/telemetry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace acctee::core {
+
+namespace {
+
+void append_string(Bytes& out, const std::string& s) {
+  append_u32le(out, static_cast<uint32_t>(s.size()));
+  append(out, to_bytes(s));
+}
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+std::string read_string(BytesView data, size_t& off) {
+  require(off + 4 <= data.size(), "TelemetrySnapshot: truncated length");
+  const uint32_t len = read_u32le(data, off);
+  off += 4;
+  if (off + len > data.size()) {
+    throw std::invalid_argument("TelemetrySnapshot: truncated string");
+  }
+  std::string s(reinterpret_cast<const char*>(data.data()) + off, len);
+  off += len;
+  return s;
+}
+
+}  // namespace
+
+Bytes TelemetrySnapshot::payload() const {
+  Bytes out = to_bytes(kTelemetrySnapshotDomain);
+  append_u64le(out, sequence);
+  append(out, BytesView(prev_snapshot_hash.data(), prev_snapshot_hash.size()));
+  append_u32le(out, static_cast<uint32_t>(samples.size()));
+  for (const TelemetrySample& s : samples) {
+    append_string(out, s.name);
+    append_string(out, s.labels);
+    append_u64le(out, s.value);
+  }
+  return out;
+}
+
+TelemetrySnapshot TelemetrySnapshot::parse(BytesView data) {
+  const Bytes domain = to_bytes(kTelemetrySnapshotDomain);
+  if (data.size() < domain.size() + 8 + 32 + 4 ||
+      !ct_equal(data.subspan(0, domain.size()), domain)) {
+    throw std::invalid_argument("TelemetrySnapshot: bad domain");
+  }
+  TelemetrySnapshot snap;
+  size_t off = domain.size();
+  snap.sequence = read_u64le(data, off);
+  off += 8;
+  std::copy_n(data.begin() + static_cast<ptrdiff_t>(off), 32,
+              snap.prev_snapshot_hash.begin());
+  off += 32;
+  const uint32_t count = read_u32le(data, off);
+  off += 4;
+  snap.samples.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TelemetrySample s;
+    s.name = read_string(data, off);
+    s.labels = read_string(data, off);
+    require(off + 8 <= data.size(), "TelemetrySnapshot: truncated value");
+    s.value = read_u64le(data, off);
+    off += 8;
+    snap.samples.push_back(std::move(s));
+  }
+  if (off != data.size()) {
+    throw std::invalid_argument("TelemetrySnapshot: trailing bytes");
+  }
+  return snap;
+}
+
+bool SignedTelemetrySnapshot::verify(const crypto::Digest& ae_identity) const {
+  return crypto::signature_verify(ae_identity, snapshot.payload(), signature);
+}
+
+}  // namespace acctee::core

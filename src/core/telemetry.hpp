@@ -1,0 +1,74 @@
+// Attested telemetry snapshots (DESIGN.md §17).
+//
+// The metrics registry is untrusted: it lives in host memory and the host
+// renders the scrape. AccTEE already closes that gap for *billing* totals
+// via `acctee audit reconcile` (ledger vs scrape); this module closes it
+// for the AE's *operational* telemetry. The accounting enclave periodically
+// snapshots its own counters (its `acctee_ae_*` series plus the process's
+// `acctee_billing_*` series), serializes them canonically, and signs the
+// result with its attested identity — domain-separated from resource logs
+// and checkpoints, and hash-chained per enclave exactly like the log chain,
+// so a host cannot drop, reorder, or rewrite history without breaking the
+// chain for every later snapshot.
+//
+// An offline verifier (audit::verify_telemetry_chain) then both checks the
+// chain and cross-checks the signed billing counters against the signed
+// ledger — provider metrics stop being trust-me numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/signer.hpp"
+
+namespace acctee::core {
+
+/// Domain prefix for telemetry-snapshot payloads. Shares the AE's signing
+/// identity with resource logs ("acctee-resource-log-v*") and checkpoints
+/// (kAuditCheckpointDomain); the distinct prefix keeps the three signature
+/// kinds unforgeable for one another.
+inline constexpr std::string_view kTelemetrySnapshotDomain =
+    "acctee-telemetry-snapshot-v1";
+
+/// One counter series at snapshot time, named exactly as it scrapes
+/// (Prometheus name + label fragment).
+struct TelemetrySample {
+  std::string name;
+  std::string labels;
+  uint64_t value = 0;
+
+  bool operator==(const TelemetrySample&) const = default;
+};
+
+struct TelemetrySnapshot {
+  /// Per-AE snapshot counter, starting at 0, gapless.
+  uint64_t sequence = 0;
+  /// sha256 of the previous snapshot's payload (all-zero for the first):
+  /// snapshots form a per-enclave hash chain like the resource-log chain.
+  crypto::Digest prev_snapshot_hash{};
+  /// Deterministically ordered by (name, labels) — registry map order.
+  std::vector<TelemetrySample> samples;
+
+  /// Canonical signed bytes: domain || sequence || prev hash || count ||
+  /// (len-prefixed name, len-prefixed labels, value) per sample.
+  Bytes payload() const;
+  /// Inverse of payload(); throws std::invalid_argument on malformed input
+  /// (wrong domain, truncation, trailing bytes).
+  static TelemetrySnapshot parse(BytesView data);
+
+  bool operator==(const TelemetrySnapshot&) const = default;
+};
+
+/// A snapshot plus the accounting enclave's signature over its payload.
+struct SignedTelemetrySnapshot {
+  TelemetrySnapshot snapshot;
+  crypto::Signature signature;
+
+  /// Verifies against the AE's signer identity (obtained via attestation).
+  bool verify(const crypto::Digest& ae_identity) const;
+};
+
+}  // namespace acctee::core

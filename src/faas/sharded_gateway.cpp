@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace acctee::faas {
 
 namespace {
@@ -127,7 +129,8 @@ void ShardedGateway::deploy_billing(const std::string& platform_id,
   billing_deployed_ = true;
 }
 
-bool ShardedGateway::admit(Shard& shard, const std::string& tenant) {
+bool ShardedGateway::admit(Shard& shard, const std::string& tenant,
+                           uint64_t* admission_seq) {
   std::lock_guard<std::mutex> lock(shard.mutex);
   TenantState& t = shard.tenants[tenant];
   if (t.requests >= config_.tenant_quota_requests ||
@@ -136,7 +139,9 @@ bool ShardedGateway::admit(Shard& shard, const std::string& tenant) {
   }
   // Count the admission now, not after execution: concurrent workers
   // admitting the same tenant must not jointly overshoot the request quota.
-  ++t.requests;
+  // The pre-increment count doubles as the tenant's admission ordinal — the
+  // deterministic input (with the tenant name) to the request's trace id.
+  *admission_seq = t.requests++;
   return true;
 }
 
@@ -192,8 +197,17 @@ ShardedGateway::RequestStats ShardedGateway::execute_billing(
     Shard& shard, Worker& worker, const std::string& tenant,
     const Bytes& input, Bytes* output) {
   auto t0 = std::chrono::steady_clock::now();
-  core::AccountingEnclave::Outcome outcome = worker.ae->execute(
-      *worker.prepared, entry_, {}, input, worker.slot);
+  // Resolving the pinned prepared module is this request's prepare stage —
+  // amortised to a refcount bump by deploy-time pinning. The span records
+  // that (near-zero) cost so the request tree is complete: queue.wait ->
+  // ae.prepare -> interp.run -> ae.sign -> ledger.append.
+  std::shared_ptr<const core::AccountingEnclave::PreparedModule> prepared;
+  {
+    auto prepare_span = obs::Tracer::global().span("ae.prepare");
+    prepared = worker.prepared;
+  }
+  core::AccountingEnclave::Outcome outcome =
+      worker.ae->execute(*prepared, entry_, {}, input, worker.slot);
 
   const crypto::Digest identity = worker.ae->identity();
   for (const core::SignedResourceLog& log : outcome.interim_logs) {
@@ -272,7 +286,10 @@ bool ShardedGateway::record_run_log(Shard& shard, Worker& worker,
   // The ledger is worker-private (one hash chain per AE), so the append —
   // the expensive part at throughput, Merkle batching included — takes no
   // lock at all.
-  worker.ledger->append(audit::LedgerEntry{tenant, entry_, signed_log});
+  {
+    auto append_span = obs::Tracer::global().span("ledger.append");
+    worker.ledger->append(audit::LedgerEntry{tenant, entry_, signed_log});
+  }
   if (signed_log.log.is_final) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     bill_final_log_locked(shard, tenant, entry_, signed_log.log);
@@ -331,6 +348,17 @@ std::vector<const audit::Ledger*> ShardedGateway::ledgers() const {
   return result;
 }
 
+std::vector<core::SignedTelemetrySnapshot>
+ShardedGateway::sign_telemetry_snapshots() {
+  std::vector<core::SignedTelemetrySnapshot> snapshots;
+  for (auto& shard : shards_) {
+    for (Worker& worker : shard->workers) {
+      if (worker.ae != nullptr) snapshots.push_back(worker.ae->sign_telemetry());
+    }
+  }
+  return snapshots;
+}
+
 std::vector<crypto::Digest> ShardedGateway::ae_identities() const {
   std::vector<crypto::Digest> result;
   for (const auto& shard : shards_) {
@@ -364,6 +392,16 @@ ScenarioResult ShardedGateway::run_scenario(
   std::atomic<bool> producers_done{false};
   std::atomic<bool> abort{false};
   std::atomic<size_t> next{0};
+
+  // Enqueue timestamps for the queue.wait span, recorded by producers just
+  // before the push and read by the worker that pops the index (the MPMC
+  // cell's release/acquire sequence store orders the accesses). Only taken
+  // when the tracer is on at all — with tracing disabled the producers do
+  // not even read the clock.
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool tracing = tracer.enabled();
+  std::vector<std::chrono::steady_clock::time_point> push_times(
+      tracing ? n : 0);
   std::exception_ptr first_error;
   std::mutex error_mutex;
   auto note_error = [&]() {
@@ -378,6 +416,7 @@ ScenarioResult ShardedGateway::run_scenario(
            i = next.fetch_add(1, std::memory_order_relaxed)) {
         if (abort.load(std::memory_order_acquire)) break;
         Shard& shard = *shards_[shard_for(requests[i].tenant)];
+        if (tracing) push_times[i] = std::chrono::steady_clock::now();
         if (!shard.queue->try_push(i)) {
           if (config_.backpressure == ShardedGatewayConfig::Backpressure::Shed) {
             shard.shed.fetch_add(1, std::memory_order_relaxed);
@@ -425,17 +464,34 @@ ScenarioResult ShardedGateway::run_scenario(
         }
         const Request& request = requests[index];
         Bytes* out = outputs != nullptr ? &(*outputs)[index] : nullptr;
-        if (!admit(shard, request.tenant)) {
+        uint64_t admission_seq = 0;
+        if (!admit(shard, request.tenant, &admission_seq)) {
           shard.quota_rejected.fetch_add(1, std::memory_order_relaxed);
           shard.quota_metric->inc();
           quota_total_->inc();
           continue;
+        }
+        // The request's causal identity, from admission to signed log: the
+        // context is *always* installed (the AE binds the trace id into the
+        // signed ResourceUsageLog, and the id must not vary with
+        // observability state), while span recording is gated by the
+        // admission-time sampling verdict.
+        obs::TraceContext trace_ctx =
+            obs::make_trace_context(request.tenant, admission_seq);
+        trace_ctx.sampled =
+            tracer.should_sample(trace_ctx.trace_hi, trace_ctx.trace_lo);
+        obs::TraceScope trace_scope(trace_ctx);
+        auto request_span = tracer.span("request");
+        if (tracing) {
+          tracer.emit("queue.wait", push_times[index],
+                      std::chrono::steady_clock::now());
         }
         RequestStats stats =
             billing_deployed_
                 ? execute_billing(shard, worker, request.tenant,
                                   request.input, out)
                 : execute_fast(worker, request.input, out);
+        request_span.finish();
         {
           // Feed the accounted cycles back into admission: this is what
           // makes the cycle quota "driven by the accounting counters".

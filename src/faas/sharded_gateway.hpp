@@ -169,6 +169,14 @@ class ShardedGateway {
                     const core::SignedResourceLog& signed_log,
                     const crypto::Digest& ae_identity);
 
+  /// Billing mode only: one signed telemetry snapshot per worker AE
+  /// (shard-major order, matching ledgers()/ae_identities()). Each call
+  /// extends every AE's hash-chained snapshot sequence by one; callers
+  /// accumulate per-AE chains for audit::verify_telemetry_chain /
+  /// verify_telemetry_against_ledgers. Not thread-safe against a running
+  /// scenario — snapshot between runs, when the counters are quiescent.
+  std::vector<core::SignedTelemetrySnapshot> sign_telemetry_snapshots();
+
   /// Per-tenant billing totals merged across shards (thread-safe copy).
   std::map<std::string, audit::UsageTotals> billing_totals() const;
 
@@ -251,8 +259,11 @@ class ShardedGateway {
 
   /// Admission: true iff `tenant` is under both quotas; on admit the
   /// request is counted against the tenant immediately (so concurrent
-  /// admissions cannot jointly overshoot the request quota).
-  bool admit(Shard& shard, const std::string& tenant);
+  /// admissions cannot jointly overshoot the request quota) and
+  /// `admission_seq` receives the tenant's 0-based admission ordinal — the
+  /// sequence obs::make_trace_context derives the request's trace id from.
+  bool admit(Shard& shard, const std::string& tenant,
+             uint64_t* admission_seq);
 
   /// Executes request `index` on `worker`, accumulating into the
   /// worker-local stats. Returns the per-request accounted numbers.

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstdio>
 
+#include "obs/trace.hpp"  // current_trace_context() for exemplars
+
 namespace acctee::obs {
 
 namespace {
@@ -32,8 +34,17 @@ std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
     if (c == '\n') {
       out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else if (u < 0x20 || u == 0x7f) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+      out += buf;
     } else {
       if (c == '"' || c == '\\') out.push_back('\\');
       out.push_back(c);
@@ -92,6 +103,7 @@ Histogram::Histogram(std::vector<double> upper_bounds)
   for (Shard& s : shards_) {
     s.counts = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
   }
+  exemplars_.resize(bounds_.size() + 1);
 }
 
 void Histogram::observe(double v) {
@@ -100,6 +112,13 @@ void Histogram::observe(double v) {
   Shard& shard = shards_[shard_index()];
   shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
   add_double(shard.sum_bits, v);
+  // Exemplar capture only for sampled requests: everyone else skips with
+  // one TLS load, keeping observe() lock-free on the billing path.
+  const TraceContext* ctx = current_trace_context();
+  if (ctx != nullptr && ctx->sampled && ctx->valid()) {
+    std::lock_guard<std::mutex> lock(exemplar_mutex_);
+    exemplars_[bucket] = Exemplar{v, ctx->trace_hi, ctx->trace_lo, true};
+  }
 }
 
 HistogramSnapshot Histogram::snapshot() const {
@@ -114,6 +133,10 @@ HistogramSnapshot Histogram::snapshot() const {
         shard.sum_bits.load(std::memory_order_relaxed));
   }
   for (uint64_t c : snap.counts) snap.count += c;
+  {
+    std::lock_guard<std::mutex> lock(exemplar_mutex_);
+    snap.exemplars = exemplars_;
+  }
   return snap;
 }
 
@@ -152,6 +175,44 @@ Histogram& Registry::histogram(const std::string& name,
   return *slot;
 }
 
+void Registry::set_help(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  help_[name] = help;
+}
+
+std::vector<CounterSample> Registry::counter_samples(
+    std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterSample> out;
+  for (const auto& [key, c] : counters_) {
+    if (key.name.compare(0, prefix.size(), prefix) != 0) continue;
+    out.push_back({key.name, key.labels, c->value()});
+  }
+  return out;
+}
+
+std::vector<GaugeSample> Registry::gauge_samples(
+    std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GaugeSample> out;
+  for (const auto& [key, g] : gauges_) {
+    if (key.name.compare(0, prefix.size(), prefix) != 0) continue;
+    out.push_back({key.name, key.labels, g->value()});
+  }
+  return out;
+}
+
+std::vector<HistogramSample> Registry::histogram_samples(
+    std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSample> out;
+  for (const auto& [key, h] : histograms_) {
+    if (key.name.compare(0, prefix.size(), prefix) != 0) continue;
+    out.push_back({key.name, key.labels, h->snapshot()});
+  }
+  return out;
+}
+
 std::string Registry::prometheus() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
@@ -168,6 +229,21 @@ std::string Registry::prometheus() const {
   std::string last_family;
   auto type_line = [&](const std::string& name, const char* kind) {
     if (name != last_family) {
+      auto help = help_.find(name);
+      if (help != help_.end()) {
+        // HELP text: escape backslash and newline per the exposition format.
+        std::string escaped;
+        for (char c : help->second) {
+          if (c == '\\') {
+            escaped += "\\\\";
+          } else if (c == '\n') {
+            escaped += "\\n";
+          } else {
+            escaped.push_back(c);
+          }
+        }
+        out += "# HELP " + name + " " + escaped + "\n";
+      }
       out += "# TYPE " + name + " " + kind + "\n";
       last_family = name;
     }
@@ -194,7 +270,16 @@ std::string Registry::prometheus() const {
                            ? format_double(snap.bounds[i])
                            : "+Inf";
       out += series(key.name + "_bucket", key.labels, "le=\"" + le + "\"") +
-             " " + std::to_string(cumulative) + "\n";
+             " " + std::to_string(cumulative);
+      // OpenMetrics-style exemplar: ties this bucket (p99 tails included)
+      // to a concrete sampled request's trace id. Plain-Prometheus parsers
+      // stop at the value, so the suffix is backwards compatible.
+      if (i < snap.exemplars.size() && snap.exemplars[i].valid) {
+        const Exemplar& ex = snap.exemplars[i];
+        out += " # {trace_id=\"" + trace_id_hex(ex.trace_hi, ex.trace_lo) +
+               "\"} " + format_double(ex.value);
+      }
+      out += "\n";
     }
     out += series(key.name + "_sum", key.labels) + " " +
            format_double(snap.sum) + "\n";

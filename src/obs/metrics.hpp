@@ -79,10 +79,22 @@ class Gauge {
   std::atomic<int64_t> v_{0};
 };
 
+/// Last sampled observation that landed in one histogram bucket, tagged
+/// with the trace id of the request that produced it. Links a latency
+/// bucket (e.g. the p99 tail) to a concrete request whose span tree and
+/// signed ledger interval can then be pulled up by trace id.
+struct Exemplar {
+  double value = 0;
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  bool valid = false;
+};
+
 /// Merged view of one histogram at scrape time.
 struct HistogramSnapshot {
   std::vector<double> bounds;    // upper bounds; +Inf bucket is implicit
   std::vector<uint64_t> counts;  // per-bucket (NOT cumulative); size = bounds+1
+  std::vector<Exemplar> exemplars;  // per-bucket; valid only if one landed
   uint64_t count = 0;
   double sum = 0;
 
@@ -109,14 +121,20 @@ class Histogram {
   };
   std::vector<double> bounds_;  // sorted ascending
   std::array<Shard, kMetricShards> shards_;
+  // Exemplars are written only when the observing thread runs under a
+  // *sampled* trace context, so the hot path (no context, or sampled out)
+  // never touches this mutex — observability stays free when off.
+  mutable std::mutex exemplar_mutex_;
+  std::vector<Exemplar> exemplars_;  // per bucket, last-writer-wins
 };
 
 /// Default latency buckets: 1 µs .. 10 s, roughly x2.5 steps (seconds).
 std::vector<double> default_latency_bounds();
 
 /// Escapes a string for embedding in a JSON string literal (backslash,
-/// double-quote, newline). Used by every JSON exporter in this layer —
-/// span names and metric labels must not be able to break the output.
+/// double-quote, and all control characters, the latter as \uXXXX). Used by
+/// every JSON exporter in this layer — span names and metric labels must
+/// not be able to break the output.
 std::string json_escape(const std::string& s);
 
 /// Escapes a Prometheus label *value* per the text exposition format:
@@ -128,6 +146,25 @@ std::string escape_label_value(std::string_view value);
 /// Builds one `key="value"` label pair with the value escaped; join pairs
 /// with commas to form a Registry labels fragment.
 std::string label_pair(std::string_view key, std::string_view value);
+
+/// One series' merged value at enumeration time (watchdog rule evaluation,
+/// attested telemetry snapshots). Deterministically ordered by (name,
+/// labels) — the registry's own map order.
+struct CounterSample {
+  std::string name;
+  std::string labels;
+  uint64_t value = 0;
+};
+struct GaugeSample {
+  std::string name;
+  std::string labels;
+  int64_t value = 0;
+};
+struct HistogramSample {
+  std::string name;
+  std::string labels;
+  HistogramSnapshot snapshot;
+};
 
 /// Named registry. Creation/lookup takes a mutex (cold); the returned
 /// handles are lock-free. `labels` is a Prometheus label-pair fragment
@@ -148,7 +185,22 @@ class Registry {
                        std::vector<double> upper_bounds,
                        const std::string& labels = "");
 
-  /// Prometheus text exposition format (one # TYPE line per family).
+  /// Registers the family's HELP text, emitted as `# HELP` ahead of the
+  /// family's `# TYPE` line in prometheus(). Idempotent; last writer wins.
+  void set_help(const std::string& name, const std::string& help);
+
+  /// Merged values of every series whose name starts with `prefix` (empty
+  /// prefix = all), ordered by (name, labels). Used by the watchdog's rule
+  /// evaluation and the AE's attested telemetry snapshot.
+  std::vector<CounterSample> counter_samples(std::string_view prefix = "") const;
+  std::vector<GaugeSample> gauge_samples(std::string_view prefix = "") const;
+  std::vector<HistogramSample> histogram_samples(
+      std::string_view prefix = "") const;
+
+  /// Prometheus text exposition format: `# HELP` (when registered) and
+  /// `# TYPE` per family, then one line per series; histogram buckets carry
+  /// OpenMetrics-style trace-id exemplars when a sampled request landed in
+  /// them (`... <count> # {trace_id="<32 hex>"} <observed value>`).
   std::string prometheus() const;
   /// JSON (bench_util-style): {"metrics": [{...}, ...]}.
   std::string json() const;
@@ -164,6 +216,7 @@ class Registry {
   std::map<SeriesKey, std::unique_ptr<Counter>> counters_;
   std::map<SeriesKey, std::unique_ptr<Gauge>> gauges_;
   std::map<SeriesKey, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
 };
 
 }  // namespace acctee::obs

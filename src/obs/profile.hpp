@@ -64,8 +64,13 @@ class FuncProfiler {
   /// `wasm;<frame> <value>`, where the value is the sampled instruction
   /// count. `names[i]`, when provided and non-empty, labels defined
   /// function i (e.g. its export name); otherwise frames are `func<i>`.
+  /// Export names are module-controlled, so frames are scrubbed (folded
+  /// separators and all control bytes become '_'); names that collide
+  /// after scrubbing merge into one line by summing, keeping the output a
+  /// deterministic function of the profile (first-entered order).
   std::string to_folded(const std::vector<std::string>* names = nullptr) const {
-    std::string out;
+    // first-index order of each distinct scrubbed frame
+    std::vector<std::pair<std::string, uint64_t>> lines;
     for (size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       if (e.samples == 0) continue;
@@ -73,12 +78,29 @@ class FuncProfiler {
                                   !(*names)[i].empty()
                               ? (*names)[i]
                               : "func" + std::to_string(i);
-      // Semicolons separate stack frames in the folded format; scrub them
-      // from names so a frame cannot fake extra stack depth.
+      // Semicolons separate stack frames and spaces separate the value in
+      // the folded format; control characters (tabs, CR, NUL, DEL) break
+      // line-oriented consumers. Scrub them all so a hostile export name
+      // cannot fake stack depth or forge extra samples.
       for (char& c : frame) {
-        if (c == ';' || c == ' ' || c == '\n') c = '_';
+        if (c == ';' || c == ' ' || static_cast<unsigned char>(c) < 0x20 ||
+            c == 0x7f) {
+          c = '_';
+        }
       }
-      out += "wasm;" + frame + " " + std::to_string(e.instructions) + "\n";
+      bool merged = false;
+      for (auto& [existing, value] : lines) {
+        if (existing == frame) {
+          value += e.instructions;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) lines.emplace_back(std::move(frame), e.instructions);
+    }
+    std::string out;
+    for (const auto& [frame, value] : lines) {
+      out += "wasm;" + frame + " " + std::to_string(value) + "\n";
     }
     return out;
   }

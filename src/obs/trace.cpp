@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <map>
 
-#include "obs/metrics.hpp"  // shard_index(), json_escape()
+#include "obs/metrics.hpp"  // shard_index(), json_escape(), Registry
 
 namespace acctee::obs {
 
@@ -14,15 +14,102 @@ namespace {
 // on the thread that opened them (they are scope guards, so they do).
 thread_local std::vector<uint64_t> t_open_spans;
 
+// Innermost installed trace context for the calling thread (TraceScope).
+thread_local const TraceContext* t_trace_context = nullptr;
+
+// splitmix64 finalizer: cheap, well-distributed 64-bit mix.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// True when the calling thread's context forbids recording: a context is
+// installed and its admission-time sampling decision was "out".
+bool sampled_out() {
+  return t_trace_context != nullptr && !t_trace_context->sampled;
+}
+
 }  // namespace
+
+TraceContext make_trace_context(const std::string& tenant, uint64_t sequence) {
+  TraceContext ctx;
+  const uint64_t tenant_hash = fnv1a64(tenant);
+  ctx.trace_hi = mix64(tenant_hash ^ mix64(sequence));
+  ctx.trace_lo = mix64(sequence ^ (tenant_hash * 0x2545f4914f6cdd1dULL));
+  if ((ctx.trace_hi | ctx.trace_lo) == 0) ctx.trace_lo = 1;
+  ctx.tenant = tenant;
+  return ctx;
+}
+
+std::string trace_id_hex(uint64_t hi, uint64_t lo) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(buf);
+}
+
+bool parse_trace_id_hex(const std::string& hex, uint64_t* hi, uint64_t* lo) {
+  if (hex.size() != 32) return false;
+  uint64_t parts[2] = {0, 0};
+  for (size_t i = 0; i < 32; ++i) {
+    const char c = hex[i];
+    uint64_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+    parts[i / 16] = (parts[i / 16] << 4) | nibble;
+  }
+  *hi = parts[0];
+  *lo = parts[1];
+  return true;
+}
+
+const TraceContext* current_trace_context() { return t_trace_context; }
+
+TraceScope::TraceScope(const TraceContext& context)
+    : previous_(t_trace_context) {
+  t_trace_context = &context;
+}
+
+TraceScope::~TraceScope() { t_trace_context = previous_; }
 
 Tracer::Tracer(size_t capacity)
     : epoch_(std::chrono::steady_clock::now()),
-      capacity_(capacity == 0 ? 1 : capacity) {}
+      capacity_(capacity == 0 ? 1 : capacity),
+      dropped_metric_(
+          &Registry::global().counter("acctee_trace_dropped_spans_total")) {}
 
 Tracer& Tracer::global() {
   static Tracer tracer;
   return tracer;
+}
+
+bool Tracer::should_sample(uint64_t trace_hi, uint64_t trace_lo) const {
+  if (!enabled()) return false;
+  const uint32_t rate = sampling_per_myriad();
+  if (rate >= 10000) return true;
+  if (rate == 0) return false;
+  // Deterministic per-id verdict; mix again so sampling is independent of
+  // any structure in how ids were allocated.
+  return mix64(trace_hi ^ (trace_lo * 0x9e3779b97f4a7c15ULL)) % 10000 < rate;
 }
 
 Tracer::Span& Tracer::Span::operator=(Span&& other) noexcept {
@@ -48,14 +135,49 @@ void Tracer::Span::finish() {
 
 Tracer::Span Tracer::span(const char* name) {
   Span span;
-  if (!enabled()) return span;
+  if (!enabled() || sampled_out()) return span;
   span.tracer_ = this;
   span.id_ = next_id_.fetch_add(1, std::memory_order_relaxed);
-  span.parent_ = t_open_spans.empty() ? 0 : t_open_spans.back();
+  if (!t_open_spans.empty()) {
+    span.parent_ = t_open_spans.back();
+  } else if (t_trace_context != nullptr) {
+    span.parent_ = t_trace_context->parent_span;
+  }
   span.name_ = name;
   span.start_ = std::chrono::steady_clock::now();
   t_open_spans.push_back(span.id_);
   return span;
+}
+
+void Tracer::emit(const char* name,
+                  std::chrono::steady_clock::time_point start,
+                  std::chrono::steady_clock::time_point end) {
+  if (!enabled() || sampled_out()) return;
+  SpanRecord rec;
+  rec.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (!t_open_spans.empty()) {
+    rec.parent = t_open_spans.back();
+  } else if (t_trace_context != nullptr) {
+    rec.parent = t_trace_context->parent_span;
+  }
+  rec.name = name;
+  if (end < start) end = start;
+  rec.start_ns = start < epoch_
+                     ? 0
+                     : static_cast<uint64_t>(
+                           std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               start - epoch_)
+                               .count());
+  rec.duration_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+  rec.shard = shard_index();
+  if (t_trace_context != nullptr) {
+    rec.trace_hi = t_trace_context->trace_hi;
+    rec.trace_lo = t_trace_context->trace_lo;
+    rec.tenant = t_trace_context->tenant;
+  }
+  push(std::move(rec));
 }
 
 void Tracer::record(const Span& span,
@@ -72,7 +194,15 @@ void Tracer::record(const Span& span,
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - span.start_)
           .count());
   rec.shard = shard_index();
+  if (t_trace_context != nullptr) {
+    rec.trace_hi = t_trace_context->trace_hi;
+    rec.trace_lo = t_trace_context->trace_lo;
+    rec.tenant = t_trace_context->tenant;
+  }
+  push(std::move(rec));
+}
 
+void Tracer::push(SpanRecord rec) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(rec));
@@ -80,6 +210,7 @@ void Tracer::record(const Span& span,
     ring_[head_] = std::move(rec);
     head_ = (head_ + 1) % capacity_;
     ++dropped_;
+    dropped_metric_->inc();
   }
 }
 
@@ -150,8 +281,12 @@ std::string Tracer::render_chrome_json() const {
                   static_cast<double>(s.duration_ns) / 1e3);
     out += std::string(", \"dur\": ") + buf + ", \"pid\": 0, \"tid\": " +
            std::to_string(s.shard) + ", \"args\": {\"id\": " +
-           std::to_string(s.id) + ", \"parent\": " + std::to_string(s.parent) +
-           "}}";
+           std::to_string(s.id) + ", \"parent\": " + std::to_string(s.parent);
+    if ((s.trace_hi | s.trace_lo) != 0) {
+      out += ", \"trace_id\": \"" + trace_id_hex(s.trace_hi, s.trace_lo) +
+             "\", \"tenant\": \"" + json_escape(s.tenant) + "\"";
+    }
+    out += "}}";
   }
   out += "\n], \"displayTimeUnit\": \"ms\"}\n";
   return out;
@@ -167,9 +302,60 @@ std::string Tracer::render_json() const {
            ", \"parent\": " + std::to_string(s.parent) + ", \"name\": \"" +
            json_escape(s.name) +
            "\", \"start_ns\": " + std::to_string(s.start_ns) +
-           ", \"duration_ns\": " + std::to_string(s.duration_ns) + "}";
+           ", \"duration_ns\": " + std::to_string(s.duration_ns);
+    if ((s.trace_hi | s.trace_lo) != 0) {
+      out += ", \"trace_id\": \"" + trace_id_hex(s.trace_hi, s.trace_lo) +
+             "\", \"tenant\": \"" + json_escape(s.tenant) + "\"";
+    }
+    out += "}";
   }
   out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string Tracer::render_folded() const {
+  std::vector<SpanRecord> spans = snapshot();
+  std::map<uint64_t, size_t> by_id;
+  for (size_t i = 0; i < spans.size(); ++i) by_id[spans[i].id] = i;
+  // Frame names come from span()/emit() literals, but scrub anyway so the
+  // folded grammar (semicolon-joined frames, space before the value) can
+  // never be broken by a frame component.
+  auto scrub = [](const std::string& name) {
+    std::string out = name;
+    for (char& c : out) {
+      if (c == ';' || c == ' ' || static_cast<unsigned char>(c) < 0x20 ||
+          c == 0x7f) {
+        c = '_';
+      }
+    }
+    return out;
+  };
+  std::map<std::string, uint64_t> folded;  // path -> summed duration_ns
+  for (const SpanRecord& s : spans) {
+    // Root-to-leaf path by walking parent links within the snapshot.
+    std::vector<const SpanRecord*> chain;
+    const SpanRecord* cur = &s;
+    chain.push_back(cur);
+    while (cur->parent != 0) {
+      auto it = by_id.find(cur->parent);
+      if (it == by_id.end()) break;  // parent already evicted from the ring
+      cur = &spans[it->second];
+      chain.push_back(cur);
+    }
+    std::string path = s.tenant.empty() ? "untraced" : scrub(s.tenant);
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      path += ';';
+      path += scrub((*it)->name);
+    }
+    folded[path] += s.duration_ns;
+  }
+  std::string out;
+  for (const auto& [path, total] : folded) {
+    out += path;
+    out += ' ';
+    out += std::to_string(total);
+    out += '\n';
+  }
   return out;
 }
 

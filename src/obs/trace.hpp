@@ -1,17 +1,34 @@
-// Span-based tracer for the IE→AE pipeline (DESIGN.md §12).
+// Span-based tracer for the IE→AE pipeline (DESIGN.md §12) with
+// request-scoped causal trace contexts (DESIGN.md §17).
 //
 // A Span covers one pipeline stage (instrument, evidence verify,
 // prepare/cache, instantiate, run, log sign) with wall-clock duration and
 // parent/child nesting; parents are tracked implicitly per thread, so
 // nested scopes need no plumbing. Finished spans land in a bounded ring
 // buffer — a long-running gateway can leave tracing on and only ever holds
-// the most recent `capacity` spans, counting what it dropped.
+// the most recent `capacity` spans, counting what it dropped (the drop
+// count also exports as acctee_trace_dropped_spans_total, so trace loss
+// under load is visible on a scrape, not just in-process).
+//
+// A TraceContext carries one request's identity — a 128-bit trace id plus
+// the billed tenant — from gateway admission through shard queue, worker,
+// Instance and AccountingEnclave. Installing one (TraceScope) is a
+// thread-local pointer swap; every span recorded under it is stamped with
+// the trace id and tenant, so the whole request renders as one tree. The
+// trace id itself is allocated deterministically from (tenant, per-tenant
+// admission sequence) whether or not tracing is enabled: the id is bound
+// into the signed resource log (core/resource_log.hpp payload v3) and must
+// not depend on observability state. Only the *sampling* decision — does
+// this request record spans at all — consults the tracer: per-tenant
+// deterministic head sampling hashes the trace id against
+// sampling_per_myriad(), so a sampled-out request pays one TLS load and a
+// branch per span() call and nothing else.
 //
 // Disabled (the default) a span() call is one relaxed atomic load and
 // returns an inert guard; nothing is timed, allocated, or locked. Spans are
 // never created inside the interpreter's per-instruction/per-block path, so
 // tracing cannot perturb ExecStats or signed logs (tested in
-// tests/block_accounting_test.cpp).
+// tests/block_accounting_test.cpp and tests/tracing_test.cpp).
 #pragma once
 
 #include <atomic>
@@ -23,6 +40,53 @@
 
 namespace acctee::obs {
 
+class Counter;
+
+/// One request's causal identity, propagated explicitly from gateway
+/// admission to the accounting enclave.
+struct TraceContext {
+  uint64_t trace_hi = 0;  // 128-bit trace id, high half
+  uint64_t trace_lo = 0;  // low half
+  /// Span id the request's root span should parent under (0 = root).
+  uint64_t parent_span = 0;
+  /// Billed tenant; stamped onto every span recorded under this context.
+  std::string tenant;
+  /// Head-sampling decision, made once at admission: false makes every
+  /// span()/emit() under this context inert (zero cost when sampled out).
+  bool sampled = false;
+
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+};
+
+/// Deterministic 128-bit trace id for the `sequence`-th admitted request of
+/// `tenant` (the per-tenant admission counter). Pure function of its inputs:
+/// the same request gets the same id whether tracing is off, sampled out,
+/// or sampled in — a signed log's trace binding can therefore never differ
+/// across observability states. Never returns the all-zero id.
+TraceContext make_trace_context(const std::string& tenant, uint64_t sequence);
+
+/// Lower-case 32-hex-digit rendering of a 128-bit trace id.
+std::string trace_id_hex(uint64_t hi, uint64_t lo);
+/// Parses trace_id_hex output; returns false on malformed input.
+bool parse_trace_id_hex(const std::string& hex, uint64_t* hi, uint64_t* lo);
+
+/// The calling thread's installed trace context (innermost TraceScope), or
+/// nullptr outside any request scope.
+const TraceContext* current_trace_context();
+
+/// RAII install/restore of the calling thread's trace context. The caller
+/// keeps ownership of the context and must keep it alive for the scope.
+class TraceScope {
+ public:
+  explicit TraceScope(const TraceContext& context);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const TraceContext* previous_;
+};
+
 struct SpanRecord {
   uint64_t id = 0;
   uint64_t parent = 0;  // 0 = root
@@ -30,6 +94,10 @@ struct SpanRecord {
   uint64_t start_ns = 0;     // since tracer construction (steady clock)
   uint64_t duration_ns = 0;
   uint32_t shard = 0;        // thread shard that produced the span
+  // Trace-context stamp (all zero / empty outside a request scope).
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  std::string tenant;
 };
 
 class Tracer {
@@ -42,6 +110,22 @@ class Tracer {
   void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// Head-sampling rate in 1/10000ths of admitted requests (10000 = every
+  /// request, 100 = 1%, 0 = none). Only requests under a TraceContext are
+  /// subject to sampling; context-free spans follow enable() alone.
+  void set_sampling_per_myriad(uint32_t rate) {
+    sampling_per_myriad_.store(rate > 10000 ? 10000 : rate,
+                               std::memory_order_relaxed);
+  }
+  uint32_t sampling_per_myriad() const {
+    return sampling_per_myriad_.load(std::memory_order_relaxed);
+  }
+
+  /// The deterministic head-sampling decision for a trace id: true iff the
+  /// tracer is enabled and the id hashes under the sampling rate. Same id →
+  /// same verdict, independent of thread or time.
+  bool should_sample(uint64_t trace_hi, uint64_t trace_lo) const;
+
   /// RAII guard: records the span when destroyed. Inert when the tracer was
   /// disabled at creation.
   class Span {
@@ -53,6 +137,7 @@ class Tracer {
     /// Ends the span now (idempotent).
     void finish();
     bool active() const { return tracer_ != nullptr; }
+    uint64_t id() const { return id_; }
 
    private:
     friend class Tracer;
@@ -64,8 +149,16 @@ class Tracer {
   };
 
   /// Opens a span named `name` (must be a literal or otherwise outlive the
-  /// span) under the calling thread's innermost open span.
+  /// span) under the calling thread's innermost open span. Inert when the
+  /// tracer is disabled or the installed trace context is sampled out.
   Span span(const char* name);
+
+  /// Records a completed span with explicit endpoints — for stages whose
+  /// start happened on another thread (e.g. queue.wait: pushed by a
+  /// producer, measured at worker dequeue). Parents under the calling
+  /// thread's innermost open span; same gating as span().
+  void emit(const char* name, std::chrono::steady_clock::time_point start,
+            std::chrono::steady_clock::time_point end);
 
   /// Finished spans, oldest first. `clear()` also resets the drop counter.
   std::vector<SpanRecord> snapshot() const;
@@ -74,20 +167,29 @@ class Tracer {
 
   /// Indented tree rendering (parents before children) with ms durations.
   std::string render_text() const;
-  /// JSON array of span objects (bench_util-style conventions).
+  /// JSON array of span objects (bench_util-style conventions), including
+  /// the trace id and tenant stamps.
   std::string render_json() const;
   /// Chrome trace-event format ({"traceEvents": [...]}): complete ("X")
   /// events with microsecond timestamps, tid = producing thread shard.
   /// Loadable directly in chrome://tracing and Perfetto.
   std::string render_chrome_json() const;
+  /// Collapsed-stack rendering of per-request flows: one line per distinct
+  /// root-to-span path, `tenant;root;...;name duration_ns`, duplicate paths
+  /// merged by summing and lines sorted — deterministic for a given span
+  /// multiset, pipeable to flamegraph.pl / inferno.
+  std::string render_folded() const;
 
  private:
   void record(const Span& span, std::chrono::steady_clock::time_point end);
+  void push(SpanRecord rec);
 
   std::atomic<bool> enabled_{false};
+  std::atomic<uint32_t> sampling_per_myriad_{10000};
   std::atomic<uint64_t> next_id_{1};
   std::chrono::steady_clock::time_point epoch_;
   size_t capacity_;
+  Counter* dropped_metric_;  // acctee_trace_dropped_spans_total
   mutable std::mutex mutex_;
   std::vector<SpanRecord> ring_;  // insertion order; bounded by capacity_
   size_t head_ = 0;               // next overwrite position once full

@@ -1,0 +1,244 @@
+#include "obs/watchdog.hpp"
+
+#include <cstdio>
+
+namespace acctee::obs {
+
+namespace {
+
+std::string format_rate(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string format_ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e3);
+  return buf;
+}
+
+}  // namespace
+
+Watchdog::Watchdog(Registry& registry, WatchdogConfig config,
+                   BillingGapProbe billing_probe)
+    : registry_(registry),
+      config_(config),
+      billing_probe_(std::move(billing_probe)),
+      ticks_metric_(registry.counter("acctee_watchdog_ticks_total")),
+      queue_alerts_(registry.counter("acctee_watchdog_alerts_total",
+                                     "rule=\"queue_saturation\"")),
+      shed_alerts_(registry.counter("acctee_watchdog_alerts_total",
+                                    "rule=\"shed_rate\"")),
+      p99_alerts_(registry.counter("acctee_watchdog_alerts_total",
+                                   "rule=\"p99_regression\"")),
+      gap_alerts_(registry.counter("acctee_watchdog_alerts_total",
+                                   "rule=\"billing_gap\"")),
+      billing_gap_gauge_(registry.gauge("acctee_watchdog_billing_gap")) {
+  registry.set_help("acctee_watchdog_ticks_total",
+                    "Watchdog rule-evaluation passes.");
+  registry.set_help("acctee_watchdog_alerts_total",
+                    "SLO/billing-gap alerts raised, by rule.");
+  registry.set_help("acctee_watchdog_billing_gap",
+                    "1 while the online metrics<->ledger probe disagrees.");
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::raise(const std::string& rule, std::string detail,
+                     uint64_t tick) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  alerts_.push_back({rule, std::move(detail), tick});
+}
+
+void Watchdog::rule_queue_saturation(uint64_t tick) {
+  for (const GaugeSample& g :
+       registry_.gauge_samples("acctee_gateway_queue_depth")) {
+    // Skip the *_peak series: saturation is about current depth.
+    if (g.name != "acctee_gateway_queue_depth") continue;
+    if (g.value >= config_.queue_depth_threshold) {
+      queue_alerts_.inc();
+      raise("queue_saturation",
+            "{" + g.labels + "} depth " + std::to_string(g.value) + " >= " +
+                std::to_string(config_.queue_depth_threshold),
+            tick);
+    }
+  }
+}
+
+void Watchdog::rule_shed_rate(uint64_t tick) {
+  uint64_t requests = 0;
+  uint64_t shed = 0;
+  for (const CounterSample& c :
+       registry_.counter_samples("acctee_gateway_shard_requests_total")) {
+    requests += c.value;
+  }
+  for (const CounterSample& c :
+       registry_.counter_samples("acctee_gateway_shard_shed_total")) {
+    shed += c.value;
+  }
+  const uint64_t req_delta = requests - last_requests_;
+  const uint64_t shed_delta = shed - last_shed_;
+  last_requests_ = requests;
+  last_shed_ = shed;
+  const uint64_t offered = req_delta + shed_delta;
+  if (offered < config_.shed_rate_min_requests) return;
+  const double rate =
+      static_cast<double>(shed_delta) / static_cast<double>(offered);
+  if (rate > config_.shed_rate_threshold) {
+    shed_alerts_.inc();
+    raise("shed_rate",
+          "shed " + std::to_string(shed_delta) + "/" +
+              std::to_string(offered) + " this tick (rate " +
+              format_rate(rate) + " > " +
+              format_rate(config_.shed_rate_threshold) + ")",
+          tick);
+  }
+}
+
+void Watchdog::rule_p99_regression(uint64_t tick) {
+  for (const HistogramSample& h :
+       registry_.histogram_samples("acctee_gateway_shard_request_seconds")) {
+    if (h.snapshot.count == 0) continue;
+    const double p99 = h.snapshot.quantile(0.99);
+    auto [it, inserted] = p99_baseline_.try_emplace(h.labels, p99);
+    if (inserted) continue;  // first sight establishes the baseline
+    if (it->second > 0 && p99 > it->second * config_.p99_regression_factor) {
+      p99_alerts_.inc();
+      raise("p99_regression",
+            "{" + h.labels + "} p99 " + format_ms(p99) + "ms > " +
+                format_rate(config_.p99_regression_factor) + "x baseline " +
+                format_ms(it->second) + "ms",
+            tick);
+    }
+  }
+}
+
+void Watchdog::rule_billing_gap(uint64_t tick) {
+  if (!billing_probe_) return;
+  BillingGapReport report = billing_probe_();
+  if (!report.checked) return;
+  billing_gap_gauge_.set(report.consistent ? 0 : 1);
+  if (!report.consistent) {
+    gap_alerts_.inc();
+    raise("billing_gap",
+          report.detail.empty() ? "metrics and ledger disagree"
+                                : report.detail,
+          tick);
+  }
+}
+
+void Watchdog::evaluate_once() {
+  const uint64_t tick = ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  ticks_metric_.inc();
+  rule_queue_saturation(tick);
+  rule_shed_rate(tick);
+  rule_p99_regression(tick);
+  rule_billing_gap(tick);
+}
+
+void Watchdog::start() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (running_) return;
+    running_ = true;
+  }
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    while (running_) {
+      lock.unlock();
+      evaluate_once();
+      lock.lock();
+      wake_.wait_for(lock, config_.interval, [this] { return !running_; });
+    }
+  });
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::vector<WatchdogAlert> Watchdog::alerts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return alerts_;
+}
+
+std::string Watchdog::render_dashboard() const {
+  std::string out;
+  out += "acctee top — tick " + std::to_string(ticks()) + "\n";
+
+  uint64_t requests = 0;
+  uint64_t shed = 0;
+  uint64_t quota = 0;
+  for (const CounterSample& c :
+       registry_.counter_samples("acctee_gateway_shard_requests_total")) {
+    requests += c.value;
+  }
+  for (const CounterSample& c :
+       registry_.counter_samples("acctee_gateway_shard_shed_total")) {
+    shed += c.value;
+  }
+  for (const CounterSample& c : registry_.counter_samples(
+           "acctee_gateway_shard_quota_rejected_total")) {
+    quota += c.value;
+  }
+  out += "  requests " + std::to_string(requests) + "  shed " +
+         std::to_string(shed) + "  quota_rejected " + std::to_string(quota) +
+         "\n";
+
+  uint64_t logs = 0;
+  uint64_t weighted = 0;
+  for (const CounterSample& c :
+       registry_.counter_samples("acctee_billing_logs_total")) {
+    logs += c.value;
+  }
+  for (const CounterSample& c : registry_.counter_samples(
+           "acctee_billing_weighted_instructions_total")) {
+    weighted += c.value;
+  }
+  out += "  billed_logs " + std::to_string(logs) +
+         "  weighted_instructions " + std::to_string(weighted) + "\n";
+
+  out += "  queues:";
+  bool any_queue = false;
+  for (const GaugeSample& g :
+       registry_.gauge_samples("acctee_gateway_queue_depth")) {
+    if (g.name != "acctee_gateway_queue_depth") continue;
+    out += " {" + g.labels + "}=" + std::to_string(g.value);
+    any_queue = true;
+  }
+  if (!any_queue) out += " (none)";
+  out += "\n";
+
+  out += "  shard p99 (ms):";
+  bool any_p99 = false;
+  for (const HistogramSample& h :
+       registry_.histogram_samples("acctee_gateway_shard_request_seconds")) {
+    if (h.snapshot.count == 0) continue;
+    out += " {" + h.labels + "}=" + format_ms(h.snapshot.quantile(0.99));
+    any_p99 = true;
+  }
+  if (!any_p99) out += " (no samples)";
+  out += "\n";
+
+  const int64_t gap = billing_gap_gauge_.value();
+  out += std::string("  billing_gap: ") + (gap != 0 ? "DETECTED" : "none") +
+         "\n";
+
+  std::vector<WatchdogAlert> alerts = this->alerts();
+  out += "  alerts (" + std::to_string(alerts.size()) + "):\n";
+  const size_t shown = alerts.size() > 8 ? alerts.size() - 8 : 0;
+  for (size_t i = shown; i < alerts.size(); ++i) {
+    out += "    [" + std::to_string(alerts[i].tick) + "] " + alerts[i].rule +
+           ": " + alerts[i].detail + "\n";
+  }
+  return out;
+}
+
+}  // namespace acctee::obs

@@ -1,0 +1,136 @@
+// Live SLO / billing-gap watchdog (DESIGN.md §17).
+//
+// A Watchdog periodically evaluates a small fixed rule set over a metrics
+// Registry — the same registry the gateway and enclaves already write to —
+// and raises alerts as both in-process records and `acctee_watchdog_*`
+// series, so a scrape shows not just the raw numbers but whether the
+// process itself judged them healthy:
+//
+//   queue_saturation : any acctee_gateway_queue_depth gauge at/over the
+//                      configured depth (shard queue back-pressure),
+//   shed_rate        : sheds/admissions over the last tick above the
+//                      configured ratio (delta-based, not lifetime),
+//   p99_regression   : any acctee_gateway_shard_request_seconds p99 above
+//                      factor × its first-observed baseline,
+//   billing_gap      : the caller-supplied probe reports the online
+//                      metrics view and the signed ledger view of billing
+//                      totals disagreeing (the online analogue of
+//                      `acctee audit reconcile`).
+//
+// The billing-gap check is injected as a std::function rather than
+// implemented here: obs/ sits below audit/ in the layering (obs → common
+// only), so the gateway/CLI constructs a probe from audit::reconcile_set
+// and hands it down. A null probe simply disables the rule.
+//
+// evaluate_once() is synchronous and lock-free against writers (it reads
+// the registry's merged samples); start() runs it on a sampling thread
+// until stop(). The watchdog only ever *reads* accounted state — it can
+// raise alarms, never perturb billing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace acctee::obs {
+
+/// Online metrics↔ledger comparison result, produced by a caller-supplied
+/// probe (typically audit::reconcile_set over the live ledgers + a scrape
+/// of this registry).
+struct BillingGapReport {
+  bool checked = false;     // false: probe could not run this tick
+  bool consistent = true;   // metrics and ledger agree
+  std::string detail;       // human-readable mismatch description
+};
+
+using BillingGapProbe = std::function<BillingGapReport()>;
+
+struct WatchdogConfig {
+  /// Sampling-thread tick period for start()/stop().
+  std::chrono::milliseconds interval{250};
+  /// queue_saturation: alert when any shard queue-depth gauge >= this.
+  int64_t queue_depth_threshold = 1024;
+  /// shed_rate: alert when (shed deltas)/(admission deltas) this tick > this.
+  double shed_rate_threshold = 0.05;
+  /// p99_regression: alert when a shard's p99 > factor × first-tick baseline.
+  double p99_regression_factor = 4.0;
+  /// Minimum per-tick admissions before the shed-rate rule fires (avoids
+  /// alerting on 1-of-2 sheds during warmup).
+  uint64_t shed_rate_min_requests = 20;
+};
+
+struct WatchdogAlert {
+  std::string rule;    // queue_saturation | shed_rate | p99_regression | billing_gap
+  std::string detail;
+  uint64_t tick = 0;   // evaluate_once() invocation that raised it
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(Registry& registry, WatchdogConfig config = {},
+                    BillingGapProbe billing_probe = nullptr);
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Runs every rule once against the registry's current state. Safe to
+  /// call directly (tests, CLI dashboards) with or without the thread.
+  void evaluate_once();
+
+  /// Starts/stops the background sampling thread. Idempotent.
+  void start();
+  void stop();
+
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+  /// All alerts raised so far, in raise order.
+  std::vector<WatchdogAlert> alerts() const;
+
+  /// One-screen plain-text dashboard: request/shed/billing totals, queue
+  /// depths, per-shard p99s, watchdog verdicts, recent alerts. Rendered
+  /// from the registry, so `acctee top` just calls this in a loop.
+  std::string render_dashboard() const;
+
+ private:
+  void rule_queue_saturation(uint64_t tick);
+  void rule_shed_rate(uint64_t tick);
+  void rule_p99_regression(uint64_t tick);
+  void rule_billing_gap(uint64_t tick);
+  void raise(const std::string& rule, std::string detail, uint64_t tick);
+
+  Registry& registry_;
+  WatchdogConfig config_;
+  BillingGapProbe billing_probe_;
+
+  // Exported verdict series.
+  Counter& ticks_metric_;
+  Counter& queue_alerts_;
+  Counter& shed_alerts_;
+  Counter& p99_alerts_;
+  Counter& gap_alerts_;
+  Gauge& billing_gap_gauge_;  // 1 while the last probe saw a gap
+
+  std::atomic<uint64_t> ticks_{0};
+  mutable std::mutex mutex_;
+  std::vector<WatchdogAlert> alerts_;
+  // shed_rate deltas: last tick's lifetime totals.
+  uint64_t last_requests_ = 0;
+  uint64_t last_shed_ = 0;
+  // p99_regression baselines keyed by series labels, set on first sight.
+  std::map<std::string, double> p99_baseline_;
+
+  std::thread thread_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool running_ = false;
+};
+
+}  // namespace acctee::obs

@@ -424,6 +424,54 @@ TEST(ResourceLog, RandomizedRoundTrip) {
   }
 }
 
+TEST(ResourceLog, TracedLogsRoundTripAsV3) {
+  ResourceUsageLog log;
+  log.sequence = 7;
+  log.weighted_instructions = 99;
+  log.trace_hi = 0x1122334455667788ULL;
+  log.trace_lo = 0x99aabbccddeeff00ULL;
+  Bytes bytes = log.serialize();
+  // Traced logs use the v3 envelope...
+  const std::string magic(bytes.begin(),
+                          bytes.begin() + sizeof("acctee-resource-log-v3") - 1);
+  EXPECT_EQ(magic, "acctee-resource-log-v3");
+  ResourceUsageLog back = ResourceUsageLog::deserialize(bytes);
+  EXPECT_EQ(back, log);
+  EXPECT_EQ(back.trace_hi, log.trace_hi);
+  EXPECT_EQ(back.trace_lo, log.trace_lo);
+}
+
+TEST(ResourceLog, UntracedLogsKeepV2BytesExactly) {
+  // A zero trace id must serialize to the exact v2 byte layout, so every
+  // pre-existing signature, Merkle leaf and saved ledger stays valid.
+  ResourceUsageLog log;
+  log.sequence = 5;
+  log.weighted_instructions = 123;
+  Bytes untraced = log.serialize();
+  const std::string magic(untraced.begin(),
+                          untraced.begin() + sizeof("acctee-resource-log-v2") -
+                              1);
+  EXPECT_EQ(magic, "acctee-resource-log-v2");
+  ResourceUsageLog traced = log;
+  traced.trace_hi = 1;
+  traced.trace_lo = 2;
+  Bytes v3 = traced.serialize();
+  EXPECT_EQ(v3.size(), untraced.size() + 16);
+  EXPECT_EQ(ResourceUsageLog::deserialize(untraced), log);
+}
+
+TEST(ResourceLog, RejectsV3EnvelopeWithZeroTraceId) {
+  // Canonical-form uniqueness: a zero trace id has exactly one encoding
+  // (v2), so a v3 envelope claiming a zero id is forged bytes.
+  ResourceUsageLog log;
+  log.trace_hi = 0xdead;
+  log.trace_lo = 0xbeef;
+  Bytes bytes = log.serialize();
+  // The two trace words sit just before the two flag bytes.
+  for (size_t i = bytes.size() - 18; i < bytes.size() - 2; ++i) bytes[i] = 0;
+  EXPECT_THROW(ResourceUsageLog::deserialize(bytes), std::invalid_argument);
+}
+
 TEST(ResourceLog, RejectsHeaderAndPassCorruption) {
   ResourceUsageLog log;
   Bytes bytes = log.serialize();

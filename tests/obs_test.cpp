@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -350,6 +352,330 @@ TEST(Profile, FrameIndicesSurviveLoweringAcrossDispatchBackends) {
   EXPECT_NE(folded.find("wasm;helper "), std::string::npos) << folded;
   EXPECT_NE(folded.find("wasm;run "), std::string::npos) << folded;
   EXPECT_EQ(folded, ref.to_folded(&names));
+}
+
+// ---------------------------------------------------------------------------
+// Trace contexts, head sampling, folded/exemplar exports (DESIGN.md §17)
+// ---------------------------------------------------------------------------
+
+TEST(Trace, TraceContextIsDeterministicInTenantAndSequence) {
+  TraceContext a = make_trace_context("alice", 0);
+  TraceContext b = make_trace_context("alice", 0);
+  EXPECT_EQ(a.trace_hi, b.trace_hi);
+  EXPECT_EQ(a.trace_lo, b.trace_lo);
+  EXPECT_EQ(a.tenant, "alice");
+  EXPECT_TRUE(a.valid());
+  // Different admission ordinal or tenant → different id.
+  TraceContext c = make_trace_context("alice", 1);
+  TraceContext d = make_trace_context("bob", 0);
+  EXPECT_TRUE(c.trace_hi != a.trace_hi || c.trace_lo != a.trace_lo);
+  EXPECT_TRUE(d.trace_hi != a.trace_hi || d.trace_lo != a.trace_lo);
+}
+
+TEST(Trace, TraceIdHexRoundTripsAndRejectsMalformedInput) {
+  TraceContext ctx = make_trace_context("tenant-7", 42);
+  std::string hex = trace_id_hex(ctx.trace_hi, ctx.trace_lo);
+  EXPECT_EQ(hex.size(), 32u);
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+  ASSERT_TRUE(parse_trace_id_hex(hex, &hi, &lo));
+  EXPECT_EQ(hi, ctx.trace_hi);
+  EXPECT_EQ(lo, ctx.trace_lo);
+  EXPECT_FALSE(parse_trace_id_hex("abc", &hi, &lo));
+  EXPECT_FALSE(parse_trace_id_hex(std::string(32, 'g'), &hi, &lo));
+  EXPECT_FALSE(parse_trace_id_hex(hex + "0", &hi, &lo));
+}
+
+TEST(Trace, HeadSamplingIsDeterministicAndRespectsRate) {
+  Tracer tracer;
+  // Disabled tracer never samples, whatever the rate.
+  EXPECT_FALSE(tracer.should_sample(1, 2));
+  tracer.enable(true);
+  tracer.set_sampling_per_myriad(10000);
+  EXPECT_TRUE(tracer.should_sample(1, 2));
+  tracer.set_sampling_per_myriad(0);
+  EXPECT_FALSE(tracer.should_sample(1, 2));
+  // 1% sampling: deterministic per id, and roughly 1% of distinct ids.
+  tracer.set_sampling_per_myriad(100);
+  uint64_t sampled = 0;
+  for (uint64_t seq = 0; seq < 10'000; ++seq) {
+    TraceContext ctx = make_trace_context("t", seq);
+    bool first = tracer.should_sample(ctx.trace_hi, ctx.trace_lo);
+    EXPECT_EQ(first, tracer.should_sample(ctx.trace_hi, ctx.trace_lo));
+    if (first) ++sampled;
+  }
+  EXPECT_GT(sampled, 10u);
+  EXPECT_LT(sampled, 500u);
+  tracer.enable(false);
+}
+
+TEST(Trace, SampledOutContextMakesSpansAndEmitInert) {
+  Tracer tracer;
+  tracer.enable(true);
+  TraceContext ctx = make_trace_context("quiet", 3);
+  ctx.sampled = false;
+  {
+    TraceScope scope(ctx);
+    auto span = tracer.span("suppressed");
+    EXPECT_FALSE(span.active());
+    auto t0 = std::chrono::steady_clock::now();
+    tracer.emit("also.suppressed", t0, t0);
+  }
+  EXPECT_TRUE(tracer.snapshot().empty());
+  tracer.enable(false);
+}
+
+TEST(Trace, SampledContextStampsSpansWithTraceIdAndTenant) {
+  Tracer tracer;
+  tracer.enable(true);
+  TraceContext ctx = make_trace_context("loud", 4);
+  ctx.sampled = true;
+  {
+    TraceScope scope(ctx);
+    auto span = tracer.span("request");
+    auto t0 = std::chrono::steady_clock::now();
+    tracer.emit("queue.wait", t0, t0 + std::chrono::microseconds(5));
+  }
+  auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  for (const SpanRecord& s : spans) {
+    EXPECT_EQ(s.trace_hi, ctx.trace_hi);
+    EXPECT_EQ(s.trace_lo, ctx.trace_lo);
+    EXPECT_EQ(s.tenant, "loud");
+  }
+  EXPECT_EQ(spans[0].name, "queue.wait");
+  EXPECT_GE(spans[0].duration_ns, 5'000u);
+  tracer.enable(false);
+}
+
+TEST(Trace, DroppedSpansExportToRegistryCounter) {
+  // The registry series is shared across Tracer instances, so assert on
+  // the delta this tracer causes.
+  Counter& dropped =
+      Registry::global().counter("acctee_trace_dropped_spans_total");
+  const uint64_t before = dropped.value();
+  Tracer tracer(/*capacity=*/4);
+  tracer.enable(true);
+  for (int i = 0; i < 10; ++i) {
+    auto span = tracer.span("s");
+  }
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(dropped.value() - before, 6u);
+}
+
+TEST(Trace, RenderFoldedIsDeterministicAndScrubsHostileFrames) {
+  Tracer tracer;
+  tracer.enable(true);
+  TraceContext ctx = make_trace_context("evil;tenant x", 0);
+  ctx.sampled = true;
+  {
+    TraceScope scope(ctx);
+    auto outer = tracer.span("a;b");
+    auto inner = tracer.span("c d\x01");
+  }
+  tracer.enable(false);
+  std::string folded = tracer.render_folded();
+  // Separators and control bytes in tenant/frame names cannot break the
+  // semicolon-joined grammar or fake stack depth.
+  EXPECT_NE(folded.find("evil_tenant_x;a_b;c_d_ "), std::string::npos)
+      << folded;
+  EXPECT_NE(folded.find("evil_tenant_x;a_b "), std::string::npos) << folded;
+  EXPECT_EQ(folded, tracer.render_folded());  // deterministic
+}
+
+TEST(Trace, RenderersCarryTraceIdOnlyForTracedSpans) {
+  Tracer tracer;
+  tracer.enable(true);
+  {
+    auto untraced = tracer.span("plain");
+  }
+  TraceContext ctx = make_trace_context("t9", 1);
+  ctx.sampled = true;
+  {
+    TraceScope scope(ctx);
+    auto traced = tracer.span("traced");
+  }
+  tracer.enable(false);
+  const std::string hex = trace_id_hex(ctx.trace_hi, ctx.trace_lo);
+  std::string json = tracer.render_json();
+  std::string chrome = tracer.render_chrome_json();
+  EXPECT_NE(json.find("\"trace_id\": \"" + hex + "\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"trace_id\": \"" + hex + "\""), std::string::npos);
+  // The untraced span must not grow a trace_id field.
+  EXPECT_EQ(json.find("\"trace_id\": \"000000"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition conformance (HELP/TYPE, exemplars, scrape parse)
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, HelpLinesRenderEscapedBeforeType) {
+  Registry reg;
+  reg.set_help("widgets_total", "Widgets with a \\ and\na newline");
+  reg.counter("widgets_total").inc();
+  std::string out = reg.prometheus();
+  size_t help = out.find("# HELP widgets_total Widgets with a \\\\ and\\na newline");
+  size_t type = out.find("# TYPE widgets_total counter");
+  ASSERT_NE(help, std::string::npos) << out;
+  ASSERT_NE(type, std::string::npos);
+  EXPECT_LT(help, type);
+  // Series without registered help render no HELP line.
+  Registry bare;
+  bare.counter("quiet_total").inc();
+  EXPECT_EQ(bare.prometheus().find("# HELP"), std::string::npos);
+}
+
+TEST(Metrics, HistogramExemplarRequiresSampledContext) {
+  Histogram h({1.0, 2.0});
+  h.observe(0.5);  // no ambient context → no exemplar
+  EXPECT_FALSE(h.snapshot().exemplars[0].valid);
+
+  TraceContext out_ctx = make_trace_context("t", 0);
+  out_ctx.sampled = false;
+  {
+    TraceScope scope(out_ctx);
+    h.observe(0.6);  // sampled-out → still no exemplar
+  }
+  EXPECT_FALSE(h.snapshot().exemplars[0].valid);
+
+  TraceContext in_ctx = make_trace_context("t", 1);
+  in_ctx.sampled = true;
+  {
+    TraceScope scope(in_ctx);
+    h.observe(0.7);
+    h.observe(1.5);
+  }
+  HistogramSnapshot snap = h.snapshot();
+  ASSERT_TRUE(snap.exemplars[0].valid);
+  EXPECT_DOUBLE_EQ(snap.exemplars[0].value, 0.7);
+  EXPECT_EQ(snap.exemplars[0].trace_hi, in_ctx.trace_hi);
+  EXPECT_EQ(snap.exemplars[0].trace_lo, in_ctx.trace_lo);
+  ASSERT_TRUE(snap.exemplars[1].valid);
+  EXPECT_DOUBLE_EQ(snap.exemplars[1].value, 1.5);
+}
+
+TEST(Metrics, BucketLinesCarryExemplarTraceIds) {
+  Registry reg;
+  TraceContext ctx = make_trace_context("exemplar-tenant", 2);
+  ctx.sampled = true;
+  {
+    TraceScope scope(ctx);
+    reg.histogram("lat_seconds", {0.5, 1.0}).observe(0.25);
+  }
+  std::string out = reg.prometheus();
+  const std::string hex = trace_id_hex(ctx.trace_hi, ctx.trace_lo);
+  EXPECT_NE(out.find("lat_seconds_bucket{le=\"0.5\"} 1 # {trace_id=\"" + hex +
+                     "\"} 0.25"),
+            std::string::npos)
+      << out;
+}
+
+TEST(Metrics, SampleEnumerationFiltersByPrefix) {
+  Registry reg;
+  reg.counter("acctee_ae_executions_total", "enclave=\"7\"").add(3);
+  reg.counter("acctee_billing_logs_total", "tenant=\"a\"").add(2);
+  reg.counter("unrelated_total").inc();
+  reg.gauge("acctee_gateway_queue_depth", "shard=\"0\"").set(5);
+  reg.histogram("acctee_gateway_shard_request_seconds", {0.5}).observe(0.1);
+
+  auto ae = reg.counter_samples("acctee_ae_");
+  ASSERT_EQ(ae.size(), 1u);
+  EXPECT_EQ(ae[0].name, "acctee_ae_executions_total");
+  EXPECT_EQ(ae[0].labels, "enclave=\"7\"");
+  EXPECT_EQ(ae[0].value, 3u);
+  EXPECT_EQ(reg.counter_samples().size(), 3u);
+  ASSERT_EQ(reg.gauge_samples("acctee_gateway_").size(), 1u);
+  ASSERT_EQ(reg.histogram_samples("acctee_gateway_").size(), 1u);
+  EXPECT_EQ(reg.histogram_samples("acctee_gateway_")[0].snapshot.count, 1u);
+}
+
+TEST(Metrics, PrometheusExpositionParsesBackCleanly) {
+  Registry reg;
+  reg.set_help("requests_total", "All requests");
+  reg.counter("requests_total",
+              label_pair("tenant", "we\"ird\\t\nx") + ",shard=\"0\"")
+      .add(11);
+  reg.gauge("depth").set(-4);
+  TraceContext ctx = make_trace_context("p", 0);
+  ctx.sampled = true;
+  {
+    TraceScope scope(ctx);
+    reg.histogram("lat_seconds", {0.5}).observe(0.1);
+  }
+  std::string out = reg.prometheus();
+
+  // Minimal scrape parser: every non-comment line must be
+  //   name[{labels}] value [# {exemplar} value]
+  // with balanced braces, in-label quotes escaped, and a numeric value.
+  size_t series = 0;
+  size_t start = 0;
+  while (start < out.size()) {
+    size_t end = out.find('\n', start);
+    if (end == std::string::npos) end = out.size();
+    std::string line = out.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    ++series;
+    std::string value_part;
+    size_t brace = line.find('{');
+    if (brace == std::string::npos) {
+      size_t space = line.find(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      value_part = line.substr(space + 1);
+    } else {
+      // Find the matching close brace, honouring escapes inside quotes.
+      bool quoted = false;
+      size_t close = std::string::npos;
+      for (size_t i = brace + 1; i < line.size(); ++i) {
+        if (quoted && line[i] == '\\') {
+          ++i;
+        } else if (line[i] == '"') {
+          quoted = !quoted;
+        } else if (!quoted && line[i] == '}') {
+          close = i;
+          break;
+        }
+      }
+      ASSERT_NE(close, std::string::npos) << line;
+      value_part = line.substr(close + 1);
+    }
+    // strtod must consume a number right after the space.
+    ASSERT_FALSE(value_part.empty()) << line;
+    char* parse_end = nullptr;
+    (void)std::strtod(value_part.c_str(), &parse_end);
+    ASSERT_NE(parse_end, value_part.c_str()) << line;
+    // Anything after the value must be an exemplar comment.
+    while (parse_end != nullptr && *parse_end == ' ') ++parse_end;
+    if (parse_end != nullptr && *parse_end != '\0') {
+      EXPECT_EQ(*parse_end, '#') << line;
+    }
+  }
+  EXPECT_GE(series, 6u);  // counter + gauge + 2 buckets + sum + count
+
+  // Escaping round trip: undo escape_label_value and recover the original.
+  const std::string escaped = escape_label_value("we\"ird\\t\nx");
+  ASSERT_NE(out.find("tenant=\"" + escaped + "\""), std::string::npos);
+  std::string unescaped;
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '\\' && i + 1 < escaped.size()) {
+      char next = escaped[++i];
+      unescaped += next == 'n' ? '\n' : next;
+    } else {
+      unescaped += escaped[i];
+    }
+  }
+  EXPECT_EQ(unescaped, "we\"ird\\t\nx");
+}
+
+TEST(Profile, FoldedScrubsControlBytesAndMergesCollidingFrames) {
+  FuncProfiler profiler(1);
+  profiler.on_block(0, 3, 4);
+  profiler.on_block(1, 5, 6);
+  // Control bytes and DEL scrub to '_'; two names that collide after
+  // scrubbing merge into one deterministic row.
+  std::vector<std::string> names = {"bad\x01name\x7f", "bad;name "};
+  EXPECT_EQ(profiler.to_folded(&names), "wasm;bad_name_ 8\n");
+  EXPECT_EQ(profiler.to_folded(&names), profiler.to_folded(&names));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,417 @@
+// Attested request-scoped tracing, end to end (DESIGN.md §17): gateway
+// admission allocates a deterministic 128-bit trace id, spans from
+// queue.wait through ledger.append hang off one request tree, the id is
+// bound into the signed resource log (payload v3) so `acctee audit trace`
+// resolves a billed interval offline, signed telemetry snapshots chain and
+// verify against the ledger, and the whole plane is provably neutral: the
+// serialized ledgers are byte-identical whether tracing is off, sampled
+// out, or fully sampled.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "audit/ledger.hpp"
+#include "audit/telemetry_check.hpp"
+#include "audit/trace_lookup.hpp"
+#include "audit/verifier.hpp"
+#include "core/accounting_enclave.hpp"
+#include "core/instrumentation_enclave.hpp"
+#include "faas/sharded_gateway.hpp"
+#include "instrument/passes.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
+#include "wasm/binary.hpp"
+#include "workloads/faas_functions.hpp"
+
+namespace acctee {
+namespace {
+
+using core::AccountingEnclave;
+using core::InstrumentationEnclave;
+
+/// One deployed sharded billing gateway over faas_echo, on deterministic
+/// platform seeds so repeated rigs produce byte-identical signed artifacts.
+struct BillingRig {
+  std::unique_ptr<InstrumentationEnclave> ie;
+  InstrumentationEnclave::Output instrumented;
+  std::unique_ptr<faas::ShardedGateway> gateway;
+};
+
+BillingRig make_rig(const std::string& seed_tag, uint32_t shards = 1,
+                    uint32_t workers_per_shard = 1) {
+  auto opts = instrument::InstrumentOptions{instrument::PassKind::LoopBased,
+                                            instrument::WeightTable::unit()};
+  static sgx::Platform ie_host{"trace-ie-host", to_bytes("trace-ie-seed")};
+  BillingRig rig;
+  rig.ie = std::make_unique<InstrumentationEnclave>(ie_host, opts);
+  AccountingEnclave::Config ae_config;
+  ae_config.trusted_ie_identity = rig.ie->identity();
+  ae_config.instrumentation = opts;
+  rig.instrumented =
+      rig.ie->instrument_binary(wasm::encode(workloads::faas_echo()));
+
+  faas::ShardedGatewayConfig config;
+  config.base.setup = faas::Setup::WasmSgxHwInstr;
+  config.shards = shards;
+  config.workers_per_shard = workers_per_shard;
+  rig.gateway = std::make_unique<faas::ShardedGateway>(workloads::faas_echo(),
+                                                       "run", config);
+  rig.gateway->deploy_billing("trace-cloud-" + seed_tag,
+                              to_bytes("trace-cloud-seed-" + seed_tag),
+                              ae_config, rig.instrumented.instrumented_binary,
+                              rig.instrumented.evidence,
+                              /*ledger_checkpoint_every=*/8);
+  return rig;
+}
+
+std::vector<faas::Request> make_stream(size_t n, const std::string& prefix) {
+  std::vector<faas::Request> requests;
+  requests.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    requests.push_back(faas::Request{
+        prefix + std::to_string(i % 4), workloads::make_test_image(16, 1)});
+  }
+  return requests;
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end correlation: ledger entry -> trace id -> span tree
+// ---------------------------------------------------------------------------
+
+TEST(TracingEndToEnd, BilledIntervalResolvesToRequestSpanTree) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_sampling_per_myriad(10000);
+  tracer.enable(true);
+  BillingRig rig = make_rig("e2e");
+  std::vector<faas::Request> stream = make_stream(8, "corr-t");
+  rig.gateway->run_scenario(stream);
+  tracer.enable(false);
+  std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  tracer.clear();
+
+  // Every executed request billed under a non-zero trace id.
+  std::vector<const audit::Ledger*> ledgers = rig.gateway->ledgers();
+  auto ids = audit::distinct_trace_ids(ledgers);
+  EXPECT_EQ(ids.size(), 8u);
+
+  // Pick one billed interval and resolve it the way `acctee audit trace`
+  // does: the match must recover the tenant and the exact signed log.
+  const audit::LedgerEntry& wanted = ledgers[0]->entries().front();
+  const uint64_t hi = wanted.signed_log.log.trace_hi;
+  const uint64_t lo = wanted.signed_log.log.trace_lo;
+  ASSERT_TRUE(hi != 0 || lo != 0);
+  std::vector<audit::TraceMatch> matches =
+      audit::find_by_trace(ledgers, hi, lo);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].entry.tenant, wanted.tenant);
+  EXPECT_EQ(matches[0].entry.signed_log.log.sequence,
+            wanted.signed_log.log.sequence);
+  std::string rendered = audit::render_trace_matches(matches);
+  EXPECT_NE(rendered.find(wanted.tenant), std::string::npos);
+
+  // The same trace id selects the request's span tree: admission to signed
+  // ledger append, all stamped with the id and the tenant.
+  std::map<uint64_t, const obs::SpanRecord*> by_id;
+  for (const obs::SpanRecord& s : spans) by_id[s.id] = &s;
+  std::set<std::string> names;
+  uint64_t root_id = 0;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.trace_hi != hi || s.trace_lo != lo) continue;
+    EXPECT_EQ(s.tenant, wanted.tenant);
+    names.insert(s.name);
+    if (s.name == "request") {
+      EXPECT_EQ(s.parent, 0u);
+      root_id = s.id;
+    }
+  }
+  for (const char* stage : {"request", "queue.wait", "ae.prepare",
+                            "interp.run", "ae.sign", "ledger.append"}) {
+    EXPECT_TRUE(names.count(stage)) << "missing span: " << stage;
+  }
+  // Causality: every stage span's parent chain reaches the request root.
+  ASSERT_NE(root_id, 0u);
+  for (const obs::SpanRecord& s : spans) {
+    if (s.trace_hi != hi || s.trace_lo != lo) continue;
+    uint64_t cur = s.id;
+    while (cur != root_id && cur != 0) {
+      auto it = by_id.find(cur);
+      ASSERT_NE(it, by_id.end());
+      cur = it->second->parent;
+    }
+    EXPECT_EQ(cur, root_id) << s.name;
+  }
+
+  // A forged trace id resolves to nothing.
+  EXPECT_TRUE(audit::find_by_trace(ledgers, 0xdead, 0xbeef).empty());
+  EXPECT_TRUE(audit::find_by_trace(ledgers, 0, 0).empty());
+}
+
+TEST(TracingEndToEnd, TraceIdsBindIntoLedgersEvenWithTracingDisabled) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.enable(false);
+  BillingRig rig = make_rig("bind");
+  rig.gateway->run_scenario(make_stream(6, "bind-t"));
+  std::vector<const audit::Ledger*> ledgers = rig.gateway->ledgers();
+  // The id is a pure function of (tenant, admission ordinal); the
+  // observability plane being off does not change what gets signed.
+  EXPECT_EQ(audit::distinct_trace_ids(ledgers).size(), 6u);
+  for (const audit::LedgerEntry& entry : ledgers[0]->entries()) {
+    EXPECT_TRUE(entry.signed_log.log.trace_hi != 0 ||
+                entry.signed_log.log.trace_lo != 0);
+  }
+  // And the ledgers still verify: v3 payloads are what the AE signed.
+  audit::LedgerSetReport report =
+      audit::verify_ledger_set(ledgers, rig.gateway->ae_identities());
+  EXPECT_TRUE(report.ok) << report.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Neutrality: byte-identical signed artifacts across tracing modes
+// ---------------------------------------------------------------------------
+
+TEST(TracingEndToEnd, LedgerBytesIdenticalAcrossTracingModes) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  auto run_mode = [&](bool enabled, uint32_t per_myriad) {
+    tracer.clear();
+    tracer.set_sampling_per_myriad(per_myriad);
+    tracer.enable(enabled);
+    BillingRig rig = make_rig("neutral");  // same seeds every run
+    rig.gateway->run_scenario(make_stream(6, "neutral-t"), /*producers=*/1);
+    tracer.enable(false);
+    std::vector<Bytes> bytes;
+    for (const audit::Ledger* ledger : rig.gateway->ledgers()) {
+      bytes.push_back(ledger->serialize());
+    }
+    return std::make_pair(bytes, rig.gateway->billing_totals());
+  };
+  auto disabled = run_mode(false, 0);
+  auto sampled_out = run_mode(true, 0);
+  auto sampled_in = run_mode(true, 10000);
+  tracer.clear();
+  tracer.set_sampling_per_myriad(10000);
+  EXPECT_EQ(disabled.first, sampled_out.first);
+  EXPECT_EQ(disabled.first, sampled_in.first);
+  EXPECT_EQ(disabled.second, sampled_out.second);
+  EXPECT_EQ(disabled.second, sampled_in.second);
+}
+
+// ---------------------------------------------------------------------------
+// Attested telemetry snapshots
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, SnapshotPayloadRoundTripsAndRejectsCorruption) {
+  core::TelemetrySnapshot snap;
+  snap.sequence = 3;
+  snap.prev_snapshot_hash = crypto::sha256(to_bytes("prev"));
+  snap.samples.push_back({"acctee_ae_executions_total", "enclave=\"1\"", 42});
+  snap.samples.push_back({"acctee_billing_logs_total", "tenant=\"a\"", 7});
+  Bytes payload = snap.payload();
+  core::TelemetrySnapshot back = core::TelemetrySnapshot::parse(payload);
+  EXPECT_EQ(back, snap);
+  Bytes truncated(payload.begin(), payload.end() - 1);
+  EXPECT_THROW(core::TelemetrySnapshot::parse(truncated),
+               std::invalid_argument);
+  Bytes padded = payload;
+  padded.push_back(0);
+  EXPECT_THROW(core::TelemetrySnapshot::parse(padded), std::invalid_argument);
+  Bytes bad_domain = payload;
+  bad_domain[0] ^= 0xff;
+  EXPECT_THROW(core::TelemetrySnapshot::parse(bad_domain),
+               std::invalid_argument);
+}
+
+TEST(Telemetry, ChainsVerifyAndTamperingIsRejected) {
+  obs::Tracer::global().enable(false);
+  BillingRig rig = make_rig("telem");
+  std::vector<std::vector<core::SignedTelemetrySnapshot>> chains;
+  for (int round = 0; round < 3; ++round) {
+    rig.gateway->run_scenario(make_stream(4, "telem-t"));
+    std::vector<core::SignedTelemetrySnapshot> snaps =
+        rig.gateway->sign_telemetry_snapshots();
+    chains.resize(snaps.size());
+    for (size_t i = 0; i < snaps.size(); ++i) {
+      chains[i].push_back(std::move(snaps[i]));
+    }
+  }
+  ASSERT_EQ(chains.size(), 1u);
+  const crypto::Digest identity = rig.gateway->ae_identities()[0];
+
+  audit::TelemetryVerifyReport report =
+      audit::verify_telemetry_chain(chains[0], identity);
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_EQ(report.snapshots_checked, 3u);
+
+  // Tampered counter value: the signature no longer covers the payload.
+  auto tampered = chains[0];
+  ASSERT_FALSE(tampered[1].snapshot.samples.empty());
+  tampered[1].snapshot.samples[0].value += 1;
+  EXPECT_FALSE(audit::verify_telemetry_chain(tampered, identity).ok);
+
+  // Dropped snapshot: the prev-hash chain and sequence numbering break.
+  auto gapped = chains[0];
+  gapped.erase(gapped.begin() + 1);
+  EXPECT_FALSE(audit::verify_telemetry_chain(gapped, identity).ok);
+
+  // Wrong identity: nothing verifies.
+  crypto::Digest wrong = identity;
+  wrong[0] ^= 1;
+  EXPECT_FALSE(audit::verify_telemetry_chain(chains[0], wrong).ok);
+}
+
+TEST(Telemetry, SignedSnapshotsAgreeWithTheLedger) {
+  // The registry's billing counters are process-global and cumulative, so
+  // this cross-plane check is only meaningful when this test runs in a
+  // fresh process (ctest runs each test that way).
+  if (!obs::Registry::global().counter_samples("acctee_billing_").empty()) {
+    GTEST_SKIP() << "billing counters already populated by another test";
+  }
+  obs::Tracer::global().enable(false);
+  BillingRig rig = make_rig("ledger-telem");
+  rig.gateway->run_scenario(make_stream(6, "lt-t"));
+  std::vector<core::SignedTelemetrySnapshot> snaps =
+      rig.gateway->sign_telemetry_snapshots();
+  ASSERT_EQ(snaps.size(), 1u);
+  std::vector<core::SignedTelemetrySnapshot> chain = {snaps[0]};
+  const crypto::Digest identity = rig.gateway->ae_identities()[0];
+
+  audit::TelemetryVerifyReport report =
+      audit::verify_telemetry_against_ledgers(chain, identity,
+                                              rig.gateway->ledgers());
+  EXPECT_TRUE(report.ok) << report.to_string();
+
+  // Withhold the ledger: tenants appear in signed telemetry but were never
+  // billed — the offline check must flag the gap.
+  audit::TelemetryVerifyReport gap = audit::verify_telemetry_against_ledgers(
+      chain, identity, std::vector<const audit::Ledger*>{});
+  EXPECT_FALSE(gap.ok);
+
+  // Tamper with a billing sample: the signature check catches it first.
+  chain[0].snapshot.samples.back().value += 100;
+  EXPECT_FALSE(audit::verify_telemetry_against_ledgers(
+                   chain, identity, rig.gateway->ledgers())
+                   .ok);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog rules
+// ---------------------------------------------------------------------------
+
+obs::WatchdogConfig tight_config() {
+  obs::WatchdogConfig config;
+  config.queue_depth_threshold = 8;
+  config.shed_rate_threshold = 0.05;
+  config.p99_regression_factor = 4.0;
+  config.shed_rate_min_requests = 20;
+  return config;
+}
+
+TEST(Watchdog, QueueSaturationFiresOnDepthNotPeak) {
+  obs::Registry reg;
+  obs::Watchdog dog(reg, tight_config());
+  // The lifetime peak alone must not alert — only live depth.
+  reg.gauge("acctee_gateway_queue_depth_peak", "shard=\"0\"").set(100);
+  reg.gauge("acctee_gateway_queue_depth", "shard=\"0\"").set(7);
+  dog.evaluate_once();
+  EXPECT_TRUE(dog.alerts().empty());
+  reg.gauge("acctee_gateway_queue_depth", "shard=\"0\"").set(8);
+  dog.evaluate_once();
+  ASSERT_EQ(dog.alerts().size(), 1u);
+  EXPECT_EQ(dog.alerts()[0].rule, "queue_saturation");
+  EXPECT_EQ(reg.counter("acctee_watchdog_alerts_total",
+                        "rule=\"queue_saturation\"")
+                .value(),
+            1u);
+}
+
+TEST(Watchdog, ShedRateUsesPerTickDeltasWithMinimumVolume) {
+  obs::Registry reg;
+  obs::Watchdog dog(reg, tight_config());
+  obs::Counter& requests =
+      reg.counter("acctee_gateway_shard_requests_total", "shard=\"0\"");
+  obs::Counter& shed =
+      reg.counter("acctee_gateway_shard_shed_total", "shard=\"0\"");
+  requests.add(100);
+  dog.evaluate_once();  // establishes the baseline totals
+  EXPECT_TRUE(dog.alerts().empty());
+  // 10 sheds out of 10 offered — over the ratio but under min volume.
+  shed.add(10);
+  dog.evaluate_once();
+  EXPECT_TRUE(dog.alerts().empty());
+  // 30 sheds out of 80 offered this tick: alert.
+  requests.add(50);
+  shed.add(30);
+  dog.evaluate_once();
+  ASSERT_EQ(dog.alerts().size(), 1u);
+  EXPECT_EQ(dog.alerts()[0].rule, "shed_rate");
+}
+
+TEST(Watchdog, P99RegressionAgainstFirstSightBaseline) {
+  obs::Registry reg;
+  obs::Watchdog dog(reg, tight_config());
+  obs::Histogram& hist = reg.histogram(
+      "acctee_gateway_shard_request_seconds", {0.001, 0.01, 0.1, 1.0},
+      "shard=\"0\"");
+  for (int i = 0; i < 100; ++i) hist.observe(0.0005);
+  dog.evaluate_once();  // baseline p99 ~1ms
+  EXPECT_TRUE(dog.alerts().empty());
+  for (int i = 0; i < 400; ++i) hist.observe(0.9);
+  dog.evaluate_once();
+  ASSERT_GE(dog.alerts().size(), 1u);
+  EXPECT_EQ(dog.alerts()[0].rule, "p99_regression");
+}
+
+TEST(Watchdog, BillingGapProbeRaisesAlertAndGauge) {
+  obs::Registry reg;
+  int calls = 0;
+  obs::BillingGapProbe probe = [&calls]() {
+    ++calls;
+    obs::BillingGapReport report;
+    report.checked = true;
+    report.consistent = calls < 2;  // gap appears on the second tick
+    report.detail = "tenant a: ledger=5 metrics=7";
+    return report;
+  };
+  obs::Watchdog dog(reg, tight_config(), std::move(probe));
+  dog.evaluate_once();
+  EXPECT_TRUE(dog.alerts().empty());
+  EXPECT_EQ(reg.gauge("acctee_watchdog_billing_gap").value(), 0);
+  dog.evaluate_once();
+  ASSERT_EQ(dog.alerts().size(), 1u);
+  EXPECT_EQ(dog.alerts()[0].rule, "billing_gap");
+  EXPECT_NE(dog.alerts()[0].detail.find("ledger=5"), std::string::npos);
+  EXPECT_EQ(reg.gauge("acctee_watchdog_billing_gap").value(), 1);
+  std::string dashboard = dog.render_dashboard();
+  EXPECT_NE(dashboard.find("billing_gap"), std::string::npos);
+  EXPECT_NE(dashboard.find("billing_gap: DETECTED"), std::string::npos)
+      << dashboard;
+}
+
+TEST(Watchdog, SamplingThreadTicksAndStops) {
+  obs::Registry reg;
+  obs::WatchdogConfig config = tight_config();
+  config.interval = std::chrono::milliseconds(1);
+  obs::Watchdog dog(reg, config);
+  dog.start();
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (dog.ticks() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  dog.stop();
+  EXPECT_GE(dog.ticks(), 3u);
+  const uint64_t after_stop = dog.ticks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(dog.ticks(), after_stop);
+  EXPECT_EQ(reg.counter("acctee_watchdog_ticks_total").value(), after_stop);
+}
+
+}  // namespace
+}  // namespace acctee

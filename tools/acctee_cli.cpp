@@ -49,17 +49,33 @@
 //   acctee audit reconcile <ledger-file>... <metrics.prom> [--tolerance X]
 //       Cross-checks the (merged) per-tenant billing totals of one or more
 //       ledgers against an untrusted Prometheus metrics scrape.
+//
+//   acctee audit trace <ledger-file>... [<trace-id-hex>]
+//       Resolves a 128-bit request trace id (as bound into payload-v3
+//       signed logs by the gateway) to the ledger entries it billed; with
+//       the id omitted, lists every distinct trace id in the set. Exits 1
+//       when a queried id matches nothing — a forged or never-billed id.
+//
+//   acctee top [--ticks N] [--requests N] [--interval MS]
+//       Live observability dashboard: drives request bursts through an
+//       in-process sharded billing gateway and renders the SLO/billing-gap
+//       watchdog's one-screen view (DESIGN.md §17) after every tick,
+//       finishing with a signed-telemetry chain verification.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include <chrono>
 
 #include "analysis/verifier.hpp"
 #include "audit/ledger.hpp"
 #include "audit/reconcile.hpp"
+#include "audit/telemetry_check.hpp"
+#include "audit/trace_lookup.hpp"
 #include "audit/verifier.hpp"
+#include "faas/sharded_gateway.hpp"
 #include "core/accounting_enclave.hpp"
 #include "core/instrumentation_enclave.hpp"
 #include "core/runtime_env.hpp"
@@ -68,6 +84,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "wasm/binary.hpp"
 #include "wasm/validator.hpp"
 #include "wasm/wat_parser.hpp"
@@ -574,7 +591,8 @@ int cmd_audit(int argc, char** argv) {
   const char* usage_line =
       "usage: acctee audit verify <ledger>... [--identity HEX]...\n"
       "       acctee audit reconcile <ledger>... <metrics.prom> "
-      "[--tolerance X]";
+      "[--tolerance X]\n"
+      "       acctee audit trace <ledger>... [<trace-id-hex>]";
   if (argc < 2) throw Error(usage_line);
   std::string verb = argv[0];
   if (verb == "verify") {
@@ -638,7 +656,163 @@ int cmd_audit(int argc, char** argv) {
     std::fputs(report.to_string().c_str(), stdout);
     return report.ok ? 0 : 1;
   }
+  if (verb == "trace") {
+    // One argument may be a 32-hex-digit trace id; everything else is a
+    // ledger path. With no id, list the distinct ids in the set so tooling
+    // (and the CI replay) can pick a real one to resolve.
+    std::vector<std::string> paths;
+    bool have_id = false;
+    uint64_t trace_hi = 0;
+    uint64_t trace_lo = 0;
+    for (int i = 1; i < argc; ++i) {
+      uint64_t hi;
+      uint64_t lo;
+      if (!have_id && obs::parse_trace_id_hex(argv[i], &hi, &lo)) {
+        have_id = true;
+        trace_hi = hi;
+        trace_lo = lo;
+      } else {
+        paths.push_back(argv[i]);
+      }
+    }
+    if (paths.empty()) throw Error(usage_line);
+    std::vector<audit::Ledger> ledgers;
+    ledgers.reserve(paths.size());
+    for (const std::string& path : paths) {
+      ledgers.push_back(audit::Ledger::load(path));
+    }
+    std::vector<const audit::Ledger*> set;
+    for (const audit::Ledger& ledger : ledgers) set.push_back(&ledger);
+    if (!have_id) {
+      auto ids = audit::distinct_trace_ids(set);
+      std::printf("%zu distinct trace id(s) across %zu ledger(s)\n",
+                  ids.size(), set.size());
+      for (const auto& [hi, lo] : ids) {
+        std::printf("  %s\n", obs::trace_id_hex(hi, lo).c_str());
+      }
+      return 0;
+    }
+    std::vector<audit::TraceMatch> matches =
+        audit::find_by_trace(set, trace_hi, trace_lo);
+    if (matches.empty()) {
+      std::printf("trace %s: no ledger entries (forged or never billed)\n",
+                  obs::trace_id_hex(trace_hi, trace_lo).c_str());
+      return 1;
+    }
+    std::fputs(audit::render_trace_matches(matches).c_str(), stdout);
+    return 0;
+  }
   throw Error(usage_line);
+}
+
+/// `acctee top`: in-process demo loop for the SLO/billing-gap watchdog.
+/// Each tick pushes a burst of multi-tenant requests through a sharded
+/// billing gateway (real AEs, real ledgers), evaluates the watchdog rules,
+/// and renders the one-screen dashboard; the run ends by verifying the
+/// attested telemetry chains every tick extended.
+int cmd_top(int argc, char** argv) {
+  const char* usage_line =
+      "usage: acctee top [--ticks N] [--requests N] [--interval MS]";
+  uint32_t ticks = 5;
+  uint32_t requests_per_tick = 32;
+  uint32_t interval_ms = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ticks") == 0 && i + 1 < argc) {
+      ticks = static_cast<uint32_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests_per_tick = static_cast<uint32_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+      interval_ms = static_cast<uint32_t>(std::stoul(argv[++i]));
+    } else {
+      throw Error(usage_line);
+    }
+  }
+  if (ticks == 0) ticks = 1;
+  if (requests_per_tick == 0) requests_per_tick = 1;
+
+  auto opts = instrument::InstrumentOptions{instrument::PassKind::LoopBased,
+                                            instrument::WeightTable::unit()};
+  sgx::Platform ie_host{"top-ie-host", to_bytes("top-ie-seed")};
+  core::InstrumentationEnclave ie(ie_host, opts);
+  core::AccountingEnclave::Config ae_config;
+  ae_config.trusted_ie_identity = ie.identity();
+  ae_config.instrumentation = opts;
+  auto instrumented = ie.instrument_binary(wasm::encode(workloads::faas_echo()));
+
+  faas::ShardedGatewayConfig config;
+  config.base.setup = faas::Setup::WasmSgxHwInstr;
+  config.shards = 2;
+  config.workers_per_shard = 1;
+  faas::ShardedGateway gateway(workloads::faas_echo(), "run", config);
+  gateway.deploy_billing("top-cloud", to_bytes("top-cloud-seed"), ae_config,
+                         instrumented.instrumented_binary,
+                         instrumented.evidence,
+                         /*ledger_checkpoint_every=*/8);
+
+  // Head-sample 1% of requests so latency-histogram exemplars appear in a
+  // scrape of this process without measurably perturbing the hot path.
+  obs::Tracer::global().set_sampling_per_myriad(100);
+  obs::Tracer::global().enable(true);
+
+  // Billing-gap probe: the online analogue of `acctee audit reconcile`,
+  // comparing the registry's billing counters against the gateway's own
+  // signed per-AE ledgers between bursts.
+  obs::BillingGapProbe probe = [&gateway]() {
+    obs::BillingGapReport report;
+    report.checked = true;
+    audit::ReconcileReport rec = audit::reconcile_set(
+        gateway.ledgers(), obs::Registry::global().prometheus(), 0.0);
+    report.consistent = rec.ok;
+    if (!rec.ok) report.detail = rec.to_string();
+    return report;
+  };
+  obs::Watchdog watchdog(obs::Registry::global(), obs::WatchdogConfig{},
+                         std::move(probe));
+
+  std::vector<std::vector<core::SignedTelemetrySnapshot>> chains;
+  for (uint32_t tick = 0; tick < ticks; ++tick) {
+    std::vector<faas::Request> requests;
+    requests.reserve(requests_per_tick);
+    for (uint32_t r = 0; r < requests_per_tick; ++r) {
+      requests.push_back(
+          faas::Request{"tenant-" + std::to_string(r % 8),
+                        workloads::make_test_image(32, tick + r)});
+    }
+    gateway.run_scenario(requests);
+    std::vector<core::SignedTelemetrySnapshot> snapshots =
+        gateway.sign_telemetry_snapshots();
+    chains.resize(snapshots.size());
+    for (size_t i = 0; i < snapshots.size(); ++i) {
+      chains[i].push_back(std::move(snapshots[i]));
+    }
+    watchdog.evaluate_once();
+    std::fputs(watchdog.render_dashboard().c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fflush(stdout);
+    if (interval_ms > 0 && tick + 1 < ticks) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  obs::Tracer::global().enable(false);
+
+  // The per-AE telemetry chains the loop accumulated must verify against
+  // the AE identities and agree with the signed ledgers.
+  std::vector<crypto::Digest> identities = gateway.ae_identities();
+  std::vector<const audit::Ledger*> ledgers = gateway.ledgers();
+  bool telemetry_ok = chains.size() == identities.size();
+  for (size_t i = 0; telemetry_ok && i < chains.size(); ++i) {
+    audit::TelemetryVerifyReport report =
+        audit::verify_telemetry_against_ledgers(chains[i], identities[i],
+                                                ledgers);
+    if (!report.ok) {
+      std::fputs(report.to_string().c_str(), stderr);
+      telemetry_ok = false;
+    }
+  }
+  std::printf("signed telemetry: %zu chain(s) x %u snapshot(s) -> %s\n",
+              chains.size(), ticks,
+              telemetry_ok ? "verified against ledgers" : "BROKEN");
+  return telemetry_ok ? 0 : 1;
 }
 
 int cmd_inspect(int argc, char** argv) {
@@ -707,6 +881,8 @@ void usage() {
       "  acctee verify-instr --builtin [--weights unit|base]\n"
       "  acctee audit verify <ledger>... [--identity HEX]...\n"
       "  acctee audit reconcile <ledger>... <metrics.prom> [--tolerance X]\n"
+      "  acctee audit trace <ledger>... [<trace-id-hex>]\n"
+      "  acctee top [--ticks N] [--requests N] [--interval MS]\n"
       "  acctee inspect <module>\n"
       "  acctee wat <module.wasm>\n",
       stderr);
@@ -727,6 +903,7 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
     if (cmd == "verify-instr") return cmd_verify_instr(argc - 2, argv + 2);
     if (cmd == "audit") return cmd_audit(argc - 2, argv + 2);
+    if (cmd == "top") return cmd_top(argc - 2, argv + 2);
     if (cmd == "inspect") return cmd_inspect(argc - 2, argv + 2);
     if (cmd == "wat") return cmd_wat(argc - 2, argv + 2);
     usage();

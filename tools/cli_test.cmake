@@ -36,6 +36,20 @@ if(NOT rc EQUAL 0 OR NOT out MATCHES "PASS")
   message(FATAL_ERROR "verify-instr failed:\n${out}")
 endif()
 
+# Live dashboard smoke: two watchdog ticks over a real billed workload,
+# ending with the signed telemetry chains verified against the ledgers.
+execute_process(COMMAND ${ACCTEE} top --ticks 2 --requests 8
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "acctee top — tick")
+  message(FATAL_ERROR "top failed:\n${out}")
+endif()
+if(NOT out MATCHES "billing_gap: none")
+  message(FATAL_ERROR "top reported a billing gap on a clean run:\n${out}")
+endif()
+if(NOT out MATCHES "verified against ledgers")
+  message(FATAL_ERROR "top telemetry chains did not verify:\n${out}")
+endif()
+
 # The mutation harness: every corrupted variant must be rejected.
 if(DEFINED ACCTEE_MUTATE)
   execute_process(COMMAND ${ACCTEE_MUTATE} ${OUT} --verify-all

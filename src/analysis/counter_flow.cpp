@@ -81,7 +81,8 @@ FlowResult run_counter_flow(const FlatFunc& func, const Cfg& cfg,
                             const std::vector<uint32_t>& balanced_blocks,
                             const std::vector<EdgeCharge>& edge_charges,
                             const instrument::WeightTable& weights,
-                            const std::string& label) {
+                            const std::string& label,
+                            const instrument::HostChargePolicy& host_charge) {
   const std::vector<FlatOp>& code = func.code;
   const uint32_t n = static_cast<uint32_t>(code.size());
   FlowResult result;
@@ -135,7 +136,10 @@ FlowResult run_counter_flow(const FlatFunc& func, const Cfg& cfg,
     if (!balanced[b]) {
       for (uint32_t pc = bb.begin; pc < bb.end; ++pc) {
         if (cls.op_class[pc] == OpClass::Workload && !code[pc].synthetic) {
-          debt += weights.weight(code[pc].op);  // wrapping, like i64.add
+          // Wrapping, like i64.add. Host-entry ops (FlatOp::a is the callee
+          // of a direct call) carry the agreed surcharge.
+          debt += weights.weight(code[pc].op) +
+                  host_charge.surcharge(code[pc].op, code[pc].a);
         } else if (inc_start[pc]) {
           debt -= inc_amount[pc];
         }

@@ -74,12 +74,14 @@ struct FlowResult {
 /// Runs the debt dataflow. `balanced_blocks` are loop-region bodies whose
 /// net cost the region summary already accounts for (treated as debt-
 /// neutral); `edge_charges` add region costs on specific edges. `label`
-/// names the function in counterexamples.
+/// names the function in counterexamples. `host_charge` prices host-entry
+/// ops at weight + surcharge, mirroring the instrumenter exactly.
 FlowResult run_counter_flow(const interp::FlatFunc& func, const Cfg& cfg,
                             const Classification& cls,
                             const std::vector<uint32_t>& balanced_blocks,
                             const std::vector<EdgeCharge>& edge_charges,
                             const instrument::WeightTable& weights,
-                            const std::string& label);
+                            const std::string& label,
+                            const instrument::HostChargePolicy& host_charge = {});
 
 }  // namespace acctee::analysis

@@ -63,11 +63,10 @@ struct LoopShape {
 /// single-block natural loop over pure workload ops, entered only through a
 /// fallthrough preheader that ends with the `loop` op and immediately
 /// dominates the body.
-std::optional<LoopShape> match_loop_shape(const FlatFunc& func, const Cfg& cfg,
-                                          const std::vector<uint32_t>& idom,
-                                          const Classification& cls,
-                                          const instrument::WeightTable& weights,
-                                          uint32_t b) {
+std::optional<LoopShape> match_loop_shape(
+    const FlatFunc& func, const Cfg& cfg, const std::vector<uint32_t>& idom,
+    const Classification& cls, const instrument::WeightTable& weights,
+    const instrument::HostChargePolicy& host_charge, uint32_t b) {
   const std::vector<FlatOp>& code = func.code;
   const BasicBlock& bb = cfg.blocks[b];
   const FlatOp& last = code[bb.end - 1];
@@ -87,7 +86,11 @@ std::optional<LoopShape> match_loop_shape(const FlatFunc& func, const Cfg& cfg,
     if (cls.op_class[pc] != OpClass::Workload || code[pc].synthetic) {
       return std::nullopt;  // instrumented or synthetic op inside the body
     }
-    shape.body_weight += weights.weight(code[pc].op);
+    // Recomputed with the same host-entry surcharge the instrumenter used,
+    // so a host call inside a counted body keeps the epilogue's claimed
+    // per-iteration weight honest.
+    shape.body_weight += weights.weight(code[pc].op) +
+                         host_charge.surcharge(code[pc].op, code[pc].a);
   }
   return shape;
 }
@@ -245,11 +248,12 @@ std::optional<CountedRegion> match_const_trip(const FlatFunc& func,
 std::vector<CountedRegion> find_counted_regions(
     const FlatFunc& func, const Cfg& cfg, const std::vector<uint32_t>& idom,
     const Classification& cls, uint32_t counter_global,
-    const instrument::WeightTable& weights) {
+    const instrument::WeightTable& weights,
+    const instrument::HostChargePolicy& host_charge) {
   std::vector<CountedRegion> regions;
   for (uint32_t b = 0; b < cfg.blocks.size(); ++b) {
     std::optional<LoopShape> shape =
-        match_loop_shape(func, cfg, idom, cls, weights, b);
+        match_loop_shape(func, cfg, idom, cls, weights, host_charge, b);
     if (!shape) continue;
     if (auto hoisted = match_hoisted(func, cfg, counter_global, *shape)) {
       regions.push_back(std::move(*hoisted));

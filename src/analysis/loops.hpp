@@ -57,7 +57,8 @@ struct CountedRegion {
 std::vector<CountedRegion> find_counted_regions(
     const interp::FlatFunc& func, const Cfg& cfg,
     const std::vector<uint32_t>& idom, const Classification& cls,
-    uint32_t counter_global, const instrument::WeightTable& weights);
+    uint32_t counter_global, const instrument::WeightTable& weights,
+    const instrument::HostChargePolicy& host_charge = {});
 
 /// Marks each hoisted region's save/epilogue ops as Scaffold so the
 /// dataflow costs them at zero and write protection accepts them.

@@ -61,10 +61,10 @@ std::string function_label(const wasm::Module& module, uint32_t defined_index) {
 
 }  // namespace
 
-VerifyResult verify_instrumented_module(const wasm::Module& module,
-                                        const std::vector<FlatFunc>& flat,
-                                        uint32_t counter_global,
-                                        const instrument::WeightTable& weights) {
+VerifyResult verify_instrumented_module(
+    const wasm::Module& module, const std::vector<FlatFunc>& flat,
+    uint32_t counter_global, const instrument::WeightTable& weights,
+    const instrument::HostChargePolicy& host_charge) {
   VerifyResult result;
   if (auto err = check_counter_global(module, counter_global)) {
     result.error = *err;
@@ -78,8 +78,8 @@ VerifyResult verify_instrumented_module(const wasm::Module& module,
     Cfg cfg = build_cfg(func);
     std::vector<uint32_t> idom = immediate_dominators(cfg);
     Classification cls = classify_ops(func, cfg, counter_global);
-    std::vector<CountedRegion> regions =
-        find_counted_regions(func, cfg, idom, cls, counter_global, weights);
+    std::vector<CountedRegion> regions = find_counted_regions(
+        func, cfg, idom, cls, counter_global, weights, host_charge);
     apply_region_scaffolding(cls, regions);
 
     // Write protection: after recognition, nothing classified as workload
@@ -118,7 +118,7 @@ VerifyResult verify_instrumented_module(const wasm::Module& module,
     }
 
     FlowResult flow = run_counter_flow(func, cfg, cls, balanced, charges,
-                                       weights, label);
+                                       weights, label, host_charge);
     if (!flow.ok) {
       result.error = flow.error;
       return result;
@@ -129,7 +129,8 @@ VerifyResult verify_instrumented_module(const wasm::Module& module,
     uint64_t recovered = 0;
     for (uint32_t pc = 0; pc < func.code.size(); ++pc) {
       if (cls.op_class[pc] == OpClass::Workload && !func.code[pc].synthetic) {
-        recovered += weights.weight(func.code[pc].op);
+        recovered += weights.weight(func.code[pc].op) +
+                     host_charge.surcharge(func.code[pc].op, func.code[pc].a);
       }
     }
     report.recovered_cost = recovered;
@@ -142,27 +143,32 @@ VerifyResult verify_instrumented_module(const wasm::Module& module,
   return result;
 }
 
-VerifyResult verify_instrumented_module(const wasm::Module& module,
-                                        uint32_t counter_global,
-                                        const instrument::WeightTable& weights) {
+VerifyResult verify_instrumented_module(
+    const wasm::Module& module, uint32_t counter_global,
+    const instrument::WeightTable& weights,
+    const instrument::HostChargePolicy& host_charge) {
   wasm::validate(module);
   std::vector<FlatFunc> flat;
   flat.reserve(module.functions.size());
   for (const wasm::Function& func : module.functions) {
     flat.push_back(interp::flatten(module, func));
   }
-  return verify_instrumented_module(module, flat, counter_global, weights);
+  return verify_instrumented_module(module, flat, counter_global, weights,
+                                    host_charge);
 }
 
-std::vector<uint64_t> naive_cost_vector(const wasm::Module& module,
-                                        const instrument::WeightTable& weights) {
+std::vector<uint64_t> naive_cost_vector(
+    const wasm::Module& module, const instrument::WeightTable& weights,
+    const instrument::HostChargePolicy& host_charge) {
   std::vector<uint64_t> costs;
   costs.reserve(module.functions.size());
   for (const wasm::Function& func : module.functions) {
     FlatFunc flat = interp::flatten(module, func);
     uint64_t cost = 0;
     for (const FlatOp& op : flat.code) {
-      if (!op.synthetic) cost += weights.weight(op.op);
+      if (!op.synthetic) {
+        cost += weights.weight(op.op) + host_charge.surcharge(op.op, op.a);
+      }
     }
     costs.push_back(cost);
   }

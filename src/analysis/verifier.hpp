@@ -66,23 +66,29 @@ std::optional<std::string> check_counter_global(const wasm::Module& module,
                                                 uint32_t counter_global);
 
 /// Verifies an already-compiled module (AE path: reuses the flattening the
-/// execution pipeline produced).
-VerifyResult verify_instrumented_module(const wasm::Module& module,
-                                        const std::vector<interp::FlatFunc>& flat,
-                                        uint32_t counter_global,
-                                        const instrument::WeightTable& weights);
+/// execution pipeline produced). `host_charge` extends the agreed pricing
+/// with the deterministic per-host-call surcharge (instrument/weights.hpp);
+/// the default zero policy verifies classic weight-only instrumentation.
+/// A module instrumented under one policy never verifies under another —
+/// the surcharge alters the debt the dataflow must see balanced.
+VerifyResult verify_instrumented_module(
+    const wasm::Module& module, const std::vector<interp::FlatFunc>& flat,
+    uint32_t counter_global, const instrument::WeightTable& weights,
+    const instrument::HostChargePolicy& host_charge = {});
 
 /// Convenience overload: validates and flattens `module` first. Throws
 /// ValidationError if the module itself is malformed.
-VerifyResult verify_instrumented_module(const wasm::Module& module,
-                                        uint32_t counter_global,
-                                        const instrument::WeightTable& weights);
+VerifyResult verify_instrumented_module(
+    const wasm::Module& module, uint32_t counter_global,
+    const instrument::WeightTable& weights,
+    const instrument::HostChargePolicy& host_charge = {});
 
 /// Static naive weighted cost per defined function of an *uninstrumented*
 /// module (what the verifier recovers from an instrumented one). The module
 /// must already be validated.
-std::vector<uint64_t> naive_cost_vector(const wasm::Module& module,
-                                        const instrument::WeightTable& weights);
+std::vector<uint64_t> naive_cost_vector(
+    const wasm::Module& module, const instrument::WeightTable& weights,
+    const instrument::HostChargePolicy& host_charge = {});
 
 /// Canonical digest binding a cost vector into instrumentation evidence.
 crypto::Digest cost_vector_digest(const std::vector<uint64_t>& costs);

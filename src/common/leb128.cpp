@@ -1,6 +1,6 @@
 #include "common/leb128.hpp"
 
-#include <stdexcept>
+#include "common/error.hpp"
 
 namespace acctee {
 
@@ -31,20 +31,20 @@ uint64_t read_uleb128(BytesView data, size_t* offset) {
   uint64_t result = 0;
   int shift = 0;
   for (int i = 0; i < 10; ++i) {
-    if (*offset >= data.size()) throw std::out_of_range("read_uleb128: truncated");
+    if (*offset >= data.size()) throw ParseError("read_uleb128: truncated");
     uint8_t byte = data[(*offset)++];
     result |= static_cast<uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) return result;
     shift += 7;
   }
-  throw std::invalid_argument("read_uleb128: over-long encoding");
+  throw ParseError("read_uleb128: over-long encoding");
 }
 
 int64_t read_sleb128(BytesView data, size_t* offset) {
   int64_t result = 0;
   int shift = 0;
   for (int i = 0; i < 10; ++i) {
-    if (*offset >= data.size()) throw std::out_of_range("read_sleb128: truncated");
+    if (*offset >= data.size()) throw ParseError("read_sleb128: truncated");
     uint8_t byte = data[(*offset)++];
     result |= static_cast<int64_t>(byte & 0x7f) << shift;
     shift += 7;
@@ -57,7 +57,7 @@ int64_t read_sleb128(BytesView data, size_t* offset) {
       return result;
     }
   }
-  throw std::invalid_argument("read_sleb128: over-long encoding");
+  throw ParseError("read_sleb128: over-long encoding");
 }
 
 size_t uleb128_size(uint64_t v) {

@@ -112,6 +112,11 @@ AccountingEnclave::prepare(BytesView instrumented_binary,
     if (evidence.weight_table_hash != config_.instrumentation.weights.hash()) {
       throw AttestationError("evidence weight table differs from agreed table");
     }
+    if (evidence.host_call_weight !=
+        config_.instrumentation.host_call_weight) {
+      throw AttestationError(
+          "evidence host-call surcharge differs from agreed policy");
+    }
   }
 
   // --- 2. Load, re-validate and flatten inside the enclave (once). ---
@@ -136,9 +141,14 @@ AccountingEnclave::prepare(BytesView instrumented_binary,
   if (config_.verify_instrumentation) {
     auto verify_span = obs::Tracer::global().span("ae.verify_counters");
     auto started = std::chrono::steady_clock::now();
+    // The AE derives the surcharge policy from its own copy of the module —
+    // import count and table reachability are never taken from the evidence.
+    const instrument::HostChargePolicy host_charge =
+        instrument::HostChargePolicy::for_module(
+            compiled->module(), config_.instrumentation.host_call_weight);
     analysis::VerifyResult verdict = analysis::verify_instrumented_module(
         compiled->module(), compiled->flat(), evidence.counter_global,
-        config_.instrumentation.weights);
+        config_.instrumentation.weights, host_charge);
     verify_seconds_->observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       started)
@@ -273,6 +283,15 @@ AccountingEnclave::Outcome AccountingEnclave::run_prepared(
   executions_->inc();
   Outcome outcome;
 
+  // Optional shadow resource meter: attached before the run, detached after
+  // (including the trap path — detach happens past the catch). Purely an
+  // observer; see the neutrality invariant in interp/shadow_meter.hpp.
+  std::optional<interp::ShadowMeter> meter;
+  if (config_.shadow_meter && interp::Instance::shadow_meter_available()) {
+    meter.emplace(config_.shadow_meter_config);
+    instance.set_shadow_meter(&*meter);
+  }
+
   auto make_signed_log = [&](interp::Instance& inst, bool trapped,
                              bool is_final) {
     const interp::ExecStats& stats = inst.stats();
@@ -337,6 +356,17 @@ AccountingEnclave::Outcome AccountingEnclave::run_prepared(
   sign_span.finish();
   outcome.output = std::move(channel.output);
   outcome.stats = instance.stats();
+  if (meter.has_value()) {
+    instance.set_shadow_meter(nullptr);
+    // What the counter bills per host-entry op: the call weight plus the
+    // agreed host-call surcharge (instrument::HostChargePolicy).
+    const uint64_t billed_host_weight =
+        config_.instrumentation.weights.weight(wasm::Op::Call) +
+        config_.instrumentation.host_call_weight;
+    outcome.gap = interp::compute_gap_profile(
+        *meter, outcome.stats, outcome.signed_log.log.weighted_instructions,
+        billed_host_weight);
+  }
   return outcome;
 }
 

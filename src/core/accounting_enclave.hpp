@@ -20,6 +20,7 @@
 #include "core/telemetry.hpp"
 #include "interp/compiled_module.hpp"
 #include "interp/instance.hpp"
+#include "interp/shadow_meter.hpp"
 #include "obs/metrics.hpp"
 #include "sgx/platform.hpp"
 
@@ -75,6 +76,16 @@ class AccountingEnclave {
     /// tests/block_accounting_test.cpp). The caller owns the profiler and
     /// must not run executions concurrently while it is set.
     obs::FuncProfiler* profiler = nullptr;
+    /// Attach an untrusted shadow resource meter to every execution and
+    /// surface the billed-vs-true cost gap in Outcome::gap (DESIGN.md §18).
+    /// Observability only: the meter never writes billed state, and enabling
+    /// it leaves ExecStats, checkpoints and every signed ledger byte
+    /// bit-identical (the neutrality gate in tests/gap_test.cpp). Requires
+    /// the hooks to be compiled in (interp::Instance::shadow_meter_available);
+    /// otherwise no profile is produced.
+    bool shadow_meter = false;
+    /// Shadow-meter pricing and replay-hierarchy geometry.
+    interp::ShadowMeter::Config shadow_meter_config;
   };
 
   AccountingEnclave(sgx::Platform& platform, Config config);
@@ -94,6 +105,10 @@ class AccountingEnclave {
     std::vector<SignedResourceLog> interim_logs;
     std::string trap_message;     // non-empty iff log.trapped
     interp::ExecStats stats;      // raw runtime statistics (diagnostics)
+    /// Billed-vs-true cost gap profile; present iff Config::shadow_meter is
+    /// set and the meter hooks were compiled in. Diagnostic only — never
+    /// part of the signed log.
+    std::optional<interp::GapProfile> gap;
   };
 
   /// The immutable outcome of the AE's preparation pipeline for one module:

@@ -3,13 +3,20 @@
 namespace acctee::core {
 
 Bytes InstrumentationEvidence::signed_payload() const {
-  Bytes out = to_bytes("acctee-instrumentation-evidence-v2");
+  // v3 extends v2 with the host-call surcharge. Zero-surcharge evidence
+  // keeps the v2 prefix and byte layout exactly, so every signature issued
+  // before the extension still verifies, and a v2 payload can never collide
+  // with a v3 one (the domain prefix differs).
+  Bytes out = to_bytes(host_call_weight == 0
+                           ? "acctee-instrumentation-evidence-v2"
+                           : "acctee-instrumentation-evidence-v3");
   append(out, BytesView(input_hash.data(), input_hash.size()));
   append(out, BytesView(output_hash.data(), output_hash.size()));
   append(out, BytesView(weight_table_hash.data(), weight_table_hash.size()));
   out.push_back(static_cast<uint8_t>(pass));
   append_u32le(out, counter_global);
   append(out, BytesView(cost_vector_digest.data(), cost_vector_digest.size()));
+  if (host_call_weight != 0) append_u64le(out, host_call_weight);
   return out;
 }
 

@@ -21,6 +21,12 @@ struct InstrumentationEvidence {
   /// from the instrumented binary alone and refuses to execute on any
   /// mismatch, so a compromised IE cannot under-state workload cost.
   crypto::Digest cost_vector_digest{};
+  /// Per-host-call surcharge the instrumentation was produced under
+  /// (InstrumentOptions::host_call_weight). Part of the agreed accounting
+  /// policy, so the AE rejects evidence whose surcharge differs from its
+  /// own configuration. Zero keeps the signed payload byte-identical to
+  /// the v2 format (see signed_payload).
+  uint64_t host_call_weight = 0;
   crypto::Signature signature;        // by the instrumentation enclave
 
   /// Canonical bytes covered by the signature.

@@ -43,9 +43,13 @@ InstrumentationEnclave::Output InstrumentationEnclave::instrument_binary(
 
   // The evidence binds the original program's naive cost vector — a claim
   // the AE's static verifier independently recovers from the instrumented
-  // binary and cross-checks (analysis/verifier.hpp).
+  // binary and cross-checks (analysis/verifier.hpp). The vector is priced
+  // under the same host-call surcharge the instrumentation applies.
+  const instrument::HostChargePolicy host_charge =
+      instrument::HostChargePolicy::for_module(module,
+                                               options_.host_call_weight);
   crypto::Digest cost_digest = analysis::cost_vector_digest(
-      analysis::naive_cost_vector(module, options_.weights));
+      analysis::naive_cost_vector(module, options_.weights, host_charge));
 
   instrument::InstrumentResult result = instrument::instrument(module, options_);
 
@@ -58,6 +62,7 @@ InstrumentationEnclave::Output InstrumentationEnclave::instrument_binary(
   out.evidence.pass = options_.pass;
   out.evidence.counter_global = result.counter_global;
   out.evidence.cost_vector_digest = cost_digest;
+  out.evidence.host_call_weight = options_.host_call_weight;
   out.evidence.signature = signer_.sign(out.evidence.signed_payload());
   return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "interp/cost.hpp"
+#include "interp/shadow_meter.hpp"
 
 namespace acctee::core {
 
@@ -42,6 +43,9 @@ interp::ImportMap make_runtime_env(IoChannel* channel,
               ptr, BytesView(channel->input.data() + channel->cursor, n));
           channel->cursor += n;
           ctx.stats->io_bytes_in += n;
+          // Self-report the true host-side copy to the shadow meter only —
+          // never to ctx.stats, which stays billing-authoritative.
+          if (ctx.meter != nullptr) ctx.meter->on_io(n, 0);
         }
         return {TypedValue::make_i32(static_cast<int32_t>(n))};
       });
@@ -57,6 +61,7 @@ interp::ImportMap make_runtime_env(IoChannel* channel,
         Bytes data = ctx.memory->read_bytes(ptr, len);
         append(channel->output, data);
         ctx.stats->io_bytes_out += len;
+        if (ctx.meter != nullptr) ctx.meter->on_io(0, len);
         return {TypedValue::make_i32(static_cast<int32_t>(len))};
       });
 

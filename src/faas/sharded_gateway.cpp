@@ -126,6 +126,9 @@ void ShardedGateway::deploy_billing(const std::string& platform_id,
       worker.slot = core::AccountingEnclave::ExecSlot{};
     }
   }
+  if (ae_config.shadow_meter && gap_metrics_ == nullptr) {
+    gap_metrics_ = std::make_unique<obs::GapMetrics>(obs::Registry::global());
+  }
   billing_deployed_ = true;
 }
 
@@ -228,6 +231,13 @@ ShardedGateway::RequestStats ShardedGateway::execute_billing(
   stats.total_cycles =
       request_cycles(config_.base, stats.execution_cycles, stats.io_bytes);
   if (output != nullptr) *output = std::move(outcome.output);
+  // Shadow-meter observability: when the worker AEs run with the meter
+  // attached (Config::shadow_meter), every request's billed-vs-true profile
+  // feeds the per-tenant acctee_gap_* family. GapMetrics scrubs the
+  // caller-controlled tenant name and caps label cardinality itself.
+  if (outcome.gap.has_value() && gap_metrics_ != nullptr) {
+    interp::record_gap_profile(*gap_metrics_, tenant, *outcome.gap);
+  }
   stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -52,6 +52,8 @@
 #include "faas/setup_cost.hpp"
 #include "interp/compiled_module.hpp"
 #include "interp/instance.hpp"
+#include "interp/shadow_meter.hpp"
+#include "obs/gap_metrics.hpp"
 #include "obs/metrics.hpp"
 
 namespace acctee::faas {
@@ -189,6 +191,9 @@ class ShardedGateway {
   const ShardedGatewayConfig& config() const { return config_; }
   const interp::CompiledModulePtr& compiled() const { return compiled_; }
   bool billing_deployed() const { return billing_deployed_; }
+  /// Per-tenant acctee_gap_* recorder; non-null after deploy_billing with an
+  /// AE config that enables the shadow meter.
+  obs::GapMetrics* gap_metrics() { return gap_metrics_.get(); }
 
  private:
   struct TenantState {
@@ -298,6 +303,7 @@ class ShardedGateway {
   std::vector<std::unique_ptr<Shard>> shards_;
   SequenceAuthority sequences_;
   bool billing_deployed_ = false;
+  std::unique_ptr<obs::GapMetrics> gap_metrics_;
 
   // Gateway-level series (gateway="sN").
   std::string labels_;

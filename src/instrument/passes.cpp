@@ -61,9 +61,11 @@ struct CountedLoop {
 
 class FunctionInstrumenter {
  public:
-  FunctionInstrumenter(const InstrumentOptions& options, uint32_t counter,
+  FunctionInstrumenter(const InstrumentOptions& options,
+                       const HostChargePolicy& host_charge, uint32_t counter,
                        uint32_t first_fresh_local, InstrumentStats* stats)
       : options_(options),
+        host_charge_(host_charge),
         counter_(counter),
         next_local_(first_fresh_local),
         stats_(stats) {}
@@ -85,13 +87,18 @@ class FunctionInstrumenter {
   };
 
   const InstrumentOptions& options_;
+  const HostChargePolicy& host_charge_;
   uint32_t counter_;
   uint32_t next_local_;
   InstrumentStats* stats_;
   std::vector<wasm::ValType>* extra_locals_ = nullptr;
 
   uint64_t w(const Instr& instr) const {
-    return options_.weights.weight(instr.op);
+    // Host-entry ops carry the deterministic host-call surcharge on top of
+    // their table weight (instr.index is the callee for direct calls; the
+    // policy ignores it for call_indirect).
+    return options_.weights.weight(instr.op) +
+           host_charge_.surcharge(instr.op, instr.index);
   }
 
   bool folding() const { return options_.pass != PassKind::Naive; }
@@ -428,12 +435,14 @@ InstrumentResult instrument(const wasm::Module& original,
   m.exports.push_back(wasm::Export{kCounterExport, wasm::ExternKind::Global,
                                    result.counter_global});
 
+  const HostChargePolicy host_charge =
+      HostChargePolicy::for_module(original, options.host_call_weight);
   for (wasm::Function& func : m.functions) {
     const wasm::FuncType& type = m.types.at(func.type_index);
     uint32_t first_fresh =
         static_cast<uint32_t>(type.params.size() + func.locals.size());
-    FunctionInstrumenter fi(options, result.counter_global, first_fresh,
-                            &result.stats);
+    FunctionInstrumenter fi(options, host_charge, result.counter_global,
+                            first_fresh, &result.stats);
     std::vector<wasm::ValType> extra_locals;
     func.body = fi.run(func.body, &extra_locals);
     func.locals.insert(func.locals.end(), extra_locals.begin(),

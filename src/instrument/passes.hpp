@@ -32,6 +32,12 @@ const char* to_string(PassKind pass);
 struct InstrumentOptions {
   PassKind pass = PassKind::LoopBased;
   WeightTable weights = WeightTable::unit();
+  /// Per-host-call surcharge (HostChargePolicy): every op that can enter
+  /// the host (direct calls of imports; call_indirect when the table names
+  /// one) is charged weight(op) + host_call_weight, closing the host-time
+  /// accounting gap. 0 (the default) disables the charge and leaves the
+  /// instrumented bytes exactly as before.
+  uint64_t host_call_weight = 0;
 };
 
 struct InstrumentStats {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "wasm/ast.hpp"
+
 namespace acctee::instrument {
 
 WeightTable WeightTable::unit() {
@@ -59,5 +61,24 @@ WeightTable WeightTable::deserialize(BytesView data) {
 }
 
 crypto::Digest WeightTable::hash() const { return crypto::sha256(serialize()); }
+
+HostChargePolicy HostChargePolicy::for_module(const wasm::Module& module,
+                                              uint64_t weight) {
+  HostChargePolicy policy;
+  policy.weight = weight;
+  policy.num_imports = static_cast<uint32_t>(module.imports.size());
+  if (weight != 0) {
+    for (const wasm::ElemSegment& seg : module.elems) {
+      for (uint32_t func_index : seg.func_indices) {
+        if (func_index < policy.num_imports) {
+          policy.charge_indirect = true;
+          break;
+        }
+      }
+      if (policy.charge_indirect) break;
+    }
+  }
+  return policy;
+}
 
 }  // namespace acctee::instrument

@@ -16,6 +16,10 @@
 #include "crypto/sha256.hpp"
 #include "wasm/opcode.hpp"
 
+namespace acctee::wasm {
+struct Module;
+}  // namespace acctee::wasm
+
 namespace acctee::instrument {
 
 class WeightTable {
@@ -54,6 +58,48 @@ class WeightTable {
 
  private:
   std::array<uint64_t, wasm::kNumOps> weights_{};
+};
+
+/// Deterministic per-host-call surcharge (the gap-closing extension of the
+/// weight table). A host call transfers control out of the instrumented
+/// sandbox: the callee's cycles never reach the weighted instruction
+/// counter, so a `call $import` is billed like any other one-weight opcode
+/// while the provider pays the full ring-transition cost — exactly the
+/// host-function time sink the adversarial gap suite demonstrates. The
+/// policy charges every instruction that *can* enter the host an extra
+/// constant weight:
+///
+///  * a direct `call` whose callee index lies in the import space, and
+///  * every `call_indirect`, iff any table element names an import (the
+///    static over-approximation keeps the charge deterministic: a dynamic
+///    callee cannot be priced per-execution without runtime counter writes,
+///    which the write-protection proof forbids).
+///
+/// The policy is shared verbatim by the instrumenter and the static
+/// counter-equivalence verifier, so the extended accounting stays provable:
+/// the debt dataflow, loop-region summaries and recovered cost vectors all
+/// price host-entry ops at weight + surcharge. `weight == 0` (the default)
+/// disables the charge and leaves every produced byte unchanged.
+struct HostChargePolicy {
+  uint64_t weight = 0;         // extra weight per host-entry op; 0 disables
+  uint32_t num_imports = 0;    // function index space: imports come first
+  bool charge_indirect = false;  // any table element can reach an import
+
+  uint64_t surcharge(wasm::Op op, uint32_t callee) const {
+    if (weight == 0) return 0;
+    if (op == wasm::Op::Call) return callee < num_imports ? weight : 0;
+    if (op == wasm::Op::CallIndirect) return charge_indirect ? weight : 0;
+    return 0;
+  }
+
+  bool enabled() const { return weight != 0; }
+
+  /// Derives the policy for one module: import count from its index space,
+  /// charge_indirect from its element segments. Both the IE and the AE call
+  /// this on their own copy of the module, so neither trusts the other's
+  /// derivation.
+  static HostChargePolicy for_module(const wasm::Module& module,
+                                     uint64_t weight);
 };
 
 }  // namespace acctee::instrument

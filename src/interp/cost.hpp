@@ -88,6 +88,9 @@ struct ExecStats {
     for (uint64_t c : per_op) sum += c;
     return sum == instructions;
   }
+
+  /// Field-wise equality (the neutrality gate compares whole stat blocks).
+  bool operator==(const ExecStats&) const = default;
 };
 
 }  // namespace acctee::interp

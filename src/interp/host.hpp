@@ -17,12 +17,18 @@
 namespace acctee::interp {
 
 struct ExecStats;
+class ShadowMeter;
 
 /// Context passed to host functions: the caller's linear memory plus the
 /// stats block, so I/O wrappers can account transferred bytes.
 struct HostContext {
   LinearMemory* memory = nullptr;  // null if the module has no memory
   ExecStats* stats = nullptr;
+  /// Shadow-meter sink (interp/shadow_meter.hpp), non-null only while an
+  /// attached meter observes the run. Host functions self-report their true
+  /// work (e.g. per-byte I/O cost) here; they must never report billed
+  /// state through it — stats above stays the only accounting channel.
+  ShadowMeter* meter = nullptr;
 };
 
 /// A host function: receives typed arguments, returns typed results.

@@ -7,6 +7,10 @@
 
 #include "obs/profile.hpp"
 
+#if ACCTEE_HAS_SHADOW_METER
+#include "interp/shadow_meter.hpp"
+#endif
+
 namespace acctee::interp {
 
 namespace {
@@ -166,9 +170,19 @@ void Instance::reset() {
   checkpoint_interval_ = 0;
   next_checkpoint_ = UINT64_MAX;
   checkpoint_ = nullptr;
+  meter_ = nullptr;
   if (mod().start) {
     invoke_index(*mod().start, {});
   }
+}
+
+void Instance::set_shadow_meter(ShadowMeter* meter) {
+  meter_ = meter;
+#if ACCTEE_HAS_SHADOW_METER
+  if (meter_ != nullptr && memory_ != nullptr) {
+    meter_->on_memory_size(memory_->size_bytes());
+  }
+#endif
 }
 
 Values Instance::invoke(std::string_view export_name, const Values& args) {
@@ -256,6 +270,12 @@ void Instance::call_host(uint32_t import_index) {
   HostContext ctx{memory_.get(), &stats_};
   ++stats_.host_calls;
   stats_.cycles += cost_.host_call_cycles;
+#if ACCTEE_HAS_SHADOW_METER
+  if (meter_ != nullptr) {
+    ctx.meter = meter_;
+    meter_->on_host_call(cost_.host_call_cycles);
+  }
+#endif
   Values results = entry->func(args, ctx);
   if (results.size() != type.results.size()) {
     throw LinkError("host function returned wrong result count for " +
@@ -283,6 +303,11 @@ void Instance::do_branch(Frame& frame, uint32_t target_pc, uint32_t unwind,
 
 void Instance::charge_memory(uint64_t effective_addr, uint32_t size,
                              bool is_write) {
+#if ACCTEE_HAS_SHADOW_METER
+  // Shadow replay through the meter's private hierarchy — independent of
+  // (and unaffected by) the billed cache model below.
+  if (meter_ != nullptr) meter_->on_memory_access(effective_addr, size, is_write);
+#endif
   stats_.cycles += cost_.bounds_check_cycles;
   if (!options_.cache_model) return;
   cachesim::AccessResult res = cache_.access(effective_addr, size, is_write);
@@ -315,6 +340,11 @@ void Instance::note_memory_growth() {
   stats_.memory_integral += (stats_.instructions - integral_mark_) * size;
   integral_mark_ = stats_.instructions;
   if (size > stats_.peak_memory_bytes) stats_.peak_memory_bytes = size;
+#if ACCTEE_HAS_SHADOW_METER
+  // run_loop.inc calls this on both sides of memory.grow, so size deltas
+  // between consecutive observations are exactly the grow churn.
+  if (meter_ != nullptr) meter_->on_memory_size(size);
+#endif
 }
 
 void Instance::set_checkpoint(uint64_t interval, CheckpointHandler handler) {

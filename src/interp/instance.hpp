@@ -44,11 +44,24 @@
 #define ACCTEE_HAS_BYTECODE 0
 #endif
 
+// The shadow resource meter hooks (interp/shadow_meter.hpp) are compiled
+// when the build enables them (CMake option ACCTEE_SHADOW_METER, ON by
+// default). With the hooks compiled out the interpreter contains no meter
+// code at all — the basis of the billing-neutrality gate (bit-identical
+// ExecStats/ledgers across compiled-out, detached and attached).
+#if defined(ACCTEE_ENABLE_SHADOW_METER)
+#define ACCTEE_HAS_SHADOW_METER 1
+#else
+#define ACCTEE_HAS_SHADOW_METER 0
+#endif
+
 namespace acctee::obs {
 class FuncProfiler;
 }  // namespace acctee::obs
 
 namespace acctee::interp {
+
+class ShadowMeter;
 
 /// Interpreter dispatch backend selection. All backends produce
 /// bit-identical ExecStats, checkpoints and signed logs; this only selects
@@ -105,6 +118,21 @@ class Instance {
   static constexpr bool bytecode_available() {
     return ACCTEE_HAS_BYTECODE != 0;
   }
+
+  /// True iff the shadow-meter hooks were compiled into this binary
+  /// (CMake option ACCTEE_SHADOW_METER). With the hooks compiled out,
+  /// set_shadow_meter() is accepted but the meter observes nothing.
+  static constexpr bool shadow_meter_available() {
+    return ACCTEE_HAS_SHADOW_METER != 0;
+  }
+
+  /// Attaches (or, with nullptr, detaches) an untrusted shadow resource
+  /// meter. The meter is an observer: hooks in the host-call, memory-access
+  /// and memory-growth paths report to it, and it never writes ExecStats,
+  /// the counter global, checkpoints or any other billed state. Attaching
+  /// seeds the meter's grow baseline with the current memory size so the
+  /// instance's initial pages are not counted as churn. reset() detaches.
+  void set_shadow_meter(ShadowMeter* meter);
 
   /// Checkpoint hook: called from inside the execution loop every
   /// `interval` executed instructions (paper §3.3 — the accounting enclave
@@ -252,6 +280,8 @@ class Instance {
   uint64_t checkpoint_interval_ = 0;
   uint64_t next_checkpoint_ = UINT64_MAX;
   CheckpointHandler checkpoint_;
+  // Untrusted observer (never billed state); null = no metering.
+  ShadowMeter* meter_ = nullptr;
 };
 
 }  // namespace acctee::interp

@@ -1,0 +1,45 @@
+#include "interp/shadow_meter.hpp"
+
+namespace acctee::interp {
+
+GapProfile compute_gap_profile(const ShadowMeter& meter, const ExecStats& stats,
+                               uint64_t billed_counter,
+                               uint64_t billed_host_weight) {
+  GapProfile profile;
+
+  profile.host_cycles.billed = stats.host_calls * billed_host_weight;
+  profile.host_cycles.true_cost = meter.true_host_cycles();
+
+  profile.cache_cycles.billed = 0;
+  profile.cache_cycles.true_cost = meter.shadow_cache_cycles();
+
+  profile.mem_grow_bytes.billed = 0;
+  profile.mem_grow_bytes.true_cost = meter.grow_bytes();
+
+  profile.io_bytes.billed = stats.io_bytes_in + stats.io_bytes_out;
+  profile.io_bytes.true_cost = meter.io_bytes_in() + meter.io_bytes_out();
+
+  // Headline: what the provider bills vs. what the machine model says the
+  // request really cost. ExecStats::cycles already folds base costs, billed
+  // cache-miss/MEE/EPC charges and the flat host transition price; the
+  // meter contributes the host work and grow churn nothing else sees.
+  profile.cycles.billed = billed_counter;
+  profile.cycles.true_cost = stats.cycles + meter.host_work_cycles() +
+                             (meter.io_bytes_in() + meter.io_bytes_out()) *
+                                 meter.config().host_work_cycles_per_io_byte +
+                             meter.grow_cycles();
+  return profile;
+}
+
+void record_gap_profile(obs::GapMetrics& metrics, std::string_view tenant,
+                        const GapProfile& profile) {
+  const GapDimension* dims[] = {&profile.cycles, &profile.host_cycles,
+                                &profile.cache_cycles, &profile.mem_grow_bytes,
+                                &profile.io_bytes};
+  for (size_t i = 0; i < std::size(dims); ++i) {
+    metrics.record(tenant, kGapDimensions[i], dims[i]->billed,
+                   dims[i]->true_cost);
+  }
+}
+
+}  // namespace acctee::interp

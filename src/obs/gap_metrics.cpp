@@ -1,0 +1,103 @@
+#include "obs/gap_metrics.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace acctee::obs {
+
+namespace {
+
+bool scrub_ok(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+}
+
+}  // namespace
+
+GapMetrics::GapMetrics(Registry& registry, Options options)
+    : registry_(registry), options_(options) {
+  registry.set_help("acctee_gap_billed_total",
+                    "Billed cost per tenant and gap dimension.");
+  registry.set_help("acctee_gap_true_total",
+                    "Shadow-meter true cost per tenant and gap dimension.");
+  registry.set_help(
+      "acctee_gap_ratio_permille",
+      "1000 x cumulative true/billed cost (billed clamped to 1).");
+}
+
+std::string GapMetrics::scrub(std::string_view tenant, size_t max_length) {
+  std::string out;
+  out.reserve(std::min(tenant.size(), max_length));
+  for (char c : tenant) {
+    if (out.size() >= max_length) break;
+    out.push_back(scrub_ok(c) ? c : '_');
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+void GapMetrics::record(std::string_view tenant, std::string_view dimension,
+                        uint64_t billed, uint64_t true_cost) {
+  std::string name = scrub(tenant, options_.max_name_length);
+  Handles handles;
+  uint64_t billed_total = 0;
+  uint64_t true_total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tenants_.find(name);
+    if (it == tenants_.end()) {
+      it = tenants_.emplace(name, tenants_.size() < options_.max_tenants).first;
+    }
+    if (!it->second) name = kGapOverflowTenant;
+    auto key = std::make_pair(name, std::string(dimension));
+    auto sit = series_.find(key);
+    if (sit == series_.end()) {
+      std::string labels = label_pair("tenant", name) + "," +
+                           label_pair("dimension", dimension);
+      Handles h;
+      h.billed = &registry_.counter("acctee_gap_billed_total", labels);
+      h.true_cost = &registry_.counter("acctee_gap_true_total", labels);
+      h.ratio_permille = &registry_.gauge("acctee_gap_ratio_permille", labels);
+      sit = series_.emplace(std::move(key), h).first;
+    }
+    handles = sit->second;
+    // The cumulative ratio must be computed over totals that include this
+    // observation; reading under the lock keeps concurrent recorders of the
+    // same series from publishing a stale ratio out of order.
+    handles.billed->add(billed);
+    handles.true_cost->add(true_cost);
+    billed_total = handles.billed->value();
+    true_total = handles.true_cost->value();
+    handles.ratio_permille->set(static_cast<int64_t>(
+        true_total * 1000 / (billed_total == 0 ? 1 : billed_total)));
+  }
+}
+
+size_t GapMetrics::tenant_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const auto& [name, own] : tenants_) {
+    (void)name;
+    if (own) ++n;
+  }
+  return n;
+}
+
+std::vector<GapMetrics::Series> GapMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Series> out;
+  out.reserve(series_.size());
+  for (const auto& [key, handles] : series_) {
+    Series s;
+    s.tenant = key.first;
+    s.dimension = key.second;
+    s.billed = handles.billed->value();
+    s.true_cost = handles.true_cost->value();
+    s.ratio = static_cast<double>(s.true_cost) /
+              static_cast<double>(s.billed == 0 ? 1 : s.billed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace acctee::obs

@@ -1,0 +1,90 @@
+// Per-tenant billed-vs-true cost-gap metric family (DESIGN.md §18).
+//
+// The shadow resource meter (interp/shadow_meter.hpp) produces a per-request
+// GapProfile; this class turns a stream of such profiles into scrapeable
+// `acctee_gap_*` series keyed by (tenant, dimension):
+//
+//   acctee_gap_billed_total    counter — what the counters billed,
+//   acctee_gap_true_total      counter — what the meter measured,
+//   acctee_gap_ratio_permille  gauge   — 1000 × cumulative true/billed
+//                                        (billed clamped to 1).
+//
+// Tenant names come from the request path, i.e. from the adversary, so two
+// defences apply before a name ever becomes a label value:
+//   * scrubbing — characters outside [A-Za-z0-9_.-] are replaced with '_'
+//     and the name is truncated, so a hostile name cannot smuggle structure
+//     into the exposition (escape_label_value already guards the syntax;
+//     scrubbing additionally bounds the *content*);
+//   * a cardinality cap — at most `max_tenants` distinct scrubbed names get
+//     their own series; every later tenant folds into tenant="__other__",
+//     so an attacker churning tenant names cannot grow the registry (and
+//     the scrape) without bound.
+//
+// record() is thread-safe: a short lookup lock resolves the series handles,
+// then the writes are the registry's usual lock-free adds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace acctee::obs {
+
+/// Tenant label folding all names beyond the cardinality cap.
+inline constexpr const char* kGapOverflowTenant = "__other__";
+
+class GapMetrics {
+ public:
+  struct Options {
+    /// Distinct tenant labels before folding into kGapOverflowTenant.
+    size_t max_tenants = 64;
+    /// Scrubbed tenant names are truncated to this many characters.
+    size_t max_name_length = 48;
+  };
+
+  explicit GapMetrics(Registry& registry) : GapMetrics(registry, Options{}) {}
+  GapMetrics(Registry& registry, Options options);
+
+  /// Replaces every character outside [A-Za-z0-9_.-] with '_' and truncates
+  /// to `max_length`; an empty result becomes "_".
+  static std::string scrub(std::string_view tenant, size_t max_length = 48);
+
+  /// Accumulates one request's (billed, true) pair for `tenant` under
+  /// `dimension` (a label this process controls, e.g. "host_cycles") and
+  /// refreshes the cumulative ratio gauge.
+  void record(std::string_view tenant, std::string_view dimension,
+              uint64_t billed, uint64_t true_cost);
+
+  /// Number of distinct (non-overflow) tenant labels currently exported.
+  size_t tenant_count() const;
+
+  /// Read-back of every (tenant, dimension) series, deterministic order.
+  struct Series {
+    std::string tenant;
+    std::string dimension;
+    uint64_t billed = 0;
+    uint64_t true_cost = 0;
+    double ratio = 0;  // cumulative true / max(billed, 1)
+  };
+  std::vector<Series> snapshot() const;
+
+ private:
+  struct Handles {
+    Counter* billed = nullptr;
+    Counter* true_cost = nullptr;
+    Gauge* ratio_permille = nullptr;
+  };
+
+  Registry& registry_;
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, bool> tenants_;  // scrubbed name -> has own series
+  std::map<std::pair<std::string, std::string>, Handles> series_;
+};
+
+}  // namespace acctee::obs

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <sstream>
 
 #include "obs/trace.hpp"  // current_trace_context() for exemplars
 
@@ -286,7 +290,84 @@ std::string Registry::prometheus() const {
     out += series(key.name + "_count", key.labels) + " " +
            std::to_string(snap.count) + "\n";
   }
+  // OpenMetrics requires an explicit end-of-exposition marker so a consumer
+  // can tell a complete scrape from a truncated one (e.g. a connection cut
+  // mid-transfer would otherwise parse as a smaller, valid exposition).
+  out += "# EOF\n";
   return out;
+}
+
+std::optional<std::string> check_exposition(const std::string& text) {
+  if (text.empty()) return "empty exposition";
+  std::istringstream in(text);
+  std::string line;
+  std::set<std::string> typed_families;
+  std::string current_family;
+  bool saw_eof = false;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto fail = [&](const std::string& what) {
+      return what + " at line " + std::to_string(line_no) + ": " + line;
+    };
+    if (saw_eof) return fail("content after # EOF");
+    if (line.empty()) continue;
+    if (line == "# EOF") {
+      saw_eof = true;
+      continue;
+    }
+    if (line[0] == '#') {
+      std::istringstream meta(line);
+      std::string hash;
+      std::string keyword;
+      std::string family;
+      meta >> hash >> keyword >> family;
+      if (keyword != "TYPE" && keyword != "HELP") {
+        return fail("unknown comment keyword");
+      }
+      if (family.empty()) return fail("missing family name");
+      if (keyword == "TYPE") {
+        if (!typed_families.insert(family).second) {
+          return fail("duplicate TYPE for family");
+        }
+        current_family = family;
+        std::string kind;
+        meta >> kind;
+        if (kind != "counter" && kind != "gauge" && kind != "histogram") {
+          return fail("unknown metric type");
+        }
+      }
+      continue;
+    }
+    // A sample line: name[{labels}] value [# exemplar].
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) return fail("sample without value");
+    std::string name = line.substr(0, name_end);
+    // Histogram samples append _bucket/_sum/_count to the family name.
+    auto strip = [](const std::string& s, const char* suffix) {
+      size_t n = std::strlen(suffix);
+      return s.size() > n && s.compare(s.size() - n, n, suffix) == 0
+                 ? s.substr(0, s.size() - n)
+                 : s;
+    };
+    std::string family = strip(strip(strip(name, "_bucket"), "_sum"), "_count");
+    if (family != current_family && name != current_family) {
+      return fail("sample outside its TYPE block");
+    }
+    size_t pos = name_end;
+    if (line[pos] == '{') {
+      pos = line.find('}', pos);
+      if (pos == std::string::npos) return fail("unterminated label set");
+      ++pos;
+    }
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    if (pos >= line.size()) return fail("sample without value");
+    char* end = nullptr;
+    std::strtod(line.c_str() + pos, &end);
+    if (end == line.c_str() + pos) return fail("unparseable sample value");
+  }
+  if (!saw_eof) return std::string("missing # EOF terminator");
+  return std::nullopt;
 }
 
 std::string Registry::json() const {

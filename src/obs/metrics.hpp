@@ -29,6 +29,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -146,6 +147,15 @@ std::string escape_label_value(std::string_view value);
 /// Builds one `key="value"` label pair with the value escaped; join pairs
 /// with commas to form a Registry labels fragment.
 std::string label_pair(std::string_view key, std::string_view value);
+
+/// Conformance check for a text exposition as produced by
+/// Registry::prometheus(): every sample sits inside its family's single
+/// `# TYPE` block, every sample line parses, and the exposition ends with
+/// the OpenMetrics `# EOF` terminator (so consumers can distinguish a
+/// complete scrape from a truncated one). Returns nullopt when conformant,
+/// else a description of the first violation. Used by tests and available
+/// to scrape consumers that want to reject torn expositions.
+std::optional<std::string> check_exposition(const std::string& text);
 
 /// One series' merged value at enumeration time (watchdog rule evaluation,
 /// attested telemetry snapshots). Deterministically ordered by (name,

@@ -1,5 +1,6 @@
 #include "obs/watchdog.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace acctee::obs {
@@ -34,13 +35,20 @@ Watchdog::Watchdog(Registry& registry, WatchdogConfig config,
                                    "rule=\"p99_regression\"")),
       gap_alerts_(registry.counter("acctee_watchdog_alerts_total",
                                    "rule=\"billing_gap\"")),
-      billing_gap_gauge_(registry.gauge("acctee_watchdog_billing_gap")) {
+      cost_gap_alerts_(registry.counter("acctee_watchdog_alerts_total",
+                                        "rule=\"cost_gap\"")),
+      billing_gap_gauge_(registry.gauge("acctee_watchdog_billing_gap")),
+      cost_gap_gauge_(
+          registry.gauge("acctee_watchdog_cost_gap_worst_permille")) {
   registry.set_help("acctee_watchdog_ticks_total",
                     "Watchdog rule-evaluation passes.");
   registry.set_help("acctee_watchdog_alerts_total",
                     "SLO/billing-gap alerts raised, by rule.");
   registry.set_help("acctee_watchdog_billing_gap",
                     "1 while the online metrics<->ledger probe disagrees.");
+  registry.set_help(
+      "acctee_watchdog_cost_gap_worst_permille",
+      "Worst cumulative true/billed cost ratio (x1000) seen last tick.");
 }
 
 Watchdog::~Watchdog() { stop(); }
@@ -128,6 +136,45 @@ void Watchdog::rule_billing_gap(uint64_t tick) {
   }
 }
 
+void Watchdog::rule_cost_gap(uint64_t tick) {
+  // Pair the billed/true counters by their exact label fragment. The series
+  // are created together (obs::GapMetrics::record), so an unmatched label
+  // set simply has not been billed anything yet — treated as billed 0.
+  std::map<std::string, uint64_t> billed;
+  for (const CounterSample& c :
+       registry_.counter_samples("acctee_gap_billed_total")) {
+    if (c.name != "acctee_gap_billed_total") continue;
+    billed[c.labels] = c.value;
+  }
+  int64_t worst_permille = 0;
+  for (const CounterSample& c :
+       registry_.counter_samples("acctee_gap_true_total")) {
+    if (c.name != "acctee_gap_true_total") continue;
+    if (c.value < config_.cost_gap_min_true_cost) continue;
+    auto it = billed.find(c.labels);
+    const uint64_t b = it == billed.end() ? 0 : it->second;
+    const double ratio =
+        static_cast<double>(c.value) / static_cast<double>(b == 0 ? 1 : b);
+    worst_permille = std::max(worst_permille, static_cast<int64_t>(ratio * 1000));
+    bool& latched = cost_gap_latched_[c.labels];
+    if (ratio > config_.cost_gap_ratio_threshold) {
+      if (!latched) {
+        latched = true;
+        cost_gap_alerts_.inc();
+        raise("cost_gap",
+              "{" + c.labels + "} true " + std::to_string(c.value) +
+                  " vs billed " + std::to_string(b) + " (ratio " +
+                  format_rate(ratio) + " > " +
+                  format_rate(config_.cost_gap_ratio_threshold) + ")",
+              tick);
+      }
+    } else {
+      latched = false;
+    }
+  }
+  cost_gap_gauge_.set(worst_permille);
+}
+
 void Watchdog::evaluate_once() {
   const uint64_t tick = ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
   ticks_metric_.inc();
@@ -135,6 +182,7 @@ void Watchdog::evaluate_once() {
   rule_shed_rate(tick);
   rule_p99_regression(tick);
   rule_billing_gap(tick);
+  rule_cost_gap(tick);
 }
 
 void Watchdog::start() {
@@ -229,6 +277,9 @@ std::string Watchdog::render_dashboard() const {
 
   const int64_t gap = billing_gap_gauge_.value();
   out += std::string("  billing_gap: ") + (gap != 0 ? "DETECTED" : "none") +
+         "\n";
+  out += "  cost_gap worst true/billed: " +
+         format_rate(static_cast<double>(cost_gap_gauge_.value()) / 1000.0) +
          "\n";
 
   std::vector<WatchdogAlert> alerts = this->alerts();

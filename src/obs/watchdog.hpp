@@ -15,7 +15,14 @@
 //   billing_gap      : the caller-supplied probe reports the online
 //                      metrics view and the signed ledger view of billing
 //                      totals disagreeing (the online analogue of
-//                      `acctee audit reconcile`).
+//                      `acctee audit reconcile`),
+//   cost_gap         : a tenant's cumulative shadow-meter true cost exceeds
+//                      the configured multiple of its billed cost on some
+//                      gap dimension (acctee_gap_* series fed by
+//                      obs::GapMetrics from interp::GapProfile) — the
+//                      billed-vs-true analogue of billing_gap: not "the
+//                      books disagree" but "the books are right and the
+//                      tenant is still costing far more than it pays".
 //
 // The billing-gap check is injected as a std::function rather than
 // implemented here: obs/ sits below audit/ in the layering (obs → common
@@ -66,10 +73,19 @@ struct WatchdogConfig {
   /// Minimum per-tick admissions before the shed-rate rule fires (avoids
   /// alerting on 1-of-2 sheds during warmup).
   uint64_t shed_rate_min_requests = 20;
+  /// cost_gap: alert when a series' cumulative true/billed > this. The
+  /// default tolerates the structural gap of well-behaved workloads (true
+  /// cycles price cache misses and SGX overheads the counter deliberately
+  /// does not) while catching adversarial amplification.
+  double cost_gap_ratio_threshold = 64.0;
+  /// cost_gap: ignore series whose cumulative true cost is below this
+  /// (tiny workloads produce meaningless ratios).
+  uint64_t cost_gap_min_true_cost = 1000000;
 };
 
 struct WatchdogAlert {
-  std::string rule;    // queue_saturation | shed_rate | p99_regression | billing_gap
+  // queue_saturation | shed_rate | p99_regression | billing_gap | cost_gap
+  std::string rule;
   std::string detail;
   uint64_t tick = 0;   // evaluate_once() invocation that raised it
 };
@@ -104,6 +120,7 @@ class Watchdog {
   void rule_shed_rate(uint64_t tick);
   void rule_p99_regression(uint64_t tick);
   void rule_billing_gap(uint64_t tick);
+  void rule_cost_gap(uint64_t tick);
   void raise(const std::string& rule, std::string detail, uint64_t tick);
 
   Registry& registry_;
@@ -116,7 +133,9 @@ class Watchdog {
   Counter& shed_alerts_;
   Counter& p99_alerts_;
   Counter& gap_alerts_;
+  Counter& cost_gap_alerts_;
   Gauge& billing_gap_gauge_;  // 1 while the last probe saw a gap
+  Gauge& cost_gap_gauge_;     // worst true/billed ratio (permille) last tick
 
   std::atomic<uint64_t> ticks_{0};
   mutable std::mutex mutex_;
@@ -126,6 +145,9 @@ class Watchdog {
   uint64_t last_shed_ = 0;
   // p99_regression baselines keyed by series labels, set on first sight.
   std::map<std::string, double> p99_baseline_;
+  // cost_gap latch keyed by series labels: a series alerts once when it
+  // crosses the threshold and re-arms only after dropping back under.
+  std::map<std::string, bool> cost_gap_latched_;
 
   std::thread thread_;
   std::mutex wake_mutex_;

@@ -1,0 +1,138 @@
+#include "workloads/adversarial.hpp"
+
+#include <algorithm>
+
+#include "workloads/builder.hpp"
+
+namespace acctee::workloads {
+
+namespace {
+using wasm::Instr;
+using wasm::Op;
+using wasm::ValType;
+}  // namespace
+
+wasm::Module host_sink(uint32_t calls) {
+  ModuleBuilder mb;
+  mb.memory(1, 1);
+  ModuleBuilder::EnvImports env = mb.import_env();
+  mb.func("run", {}, {ValType::I32}, [&](FuncBuilder& fb) {
+    uint32_t i = fb.local(ValType::I32);
+    uint32_t acc = fb.local(ValType::I32);
+    fb.set(acc, ic(0));
+    fb.for_i32(i, ic(0), ic(static_cast<int32_t>(calls)), 1, [&] {
+      // The call itself is the workload: no sandbox work per iteration.
+      fb.set(acc, fb.get(acc) + fb.call_ex(env.input_size, {}, ValType::I32));
+    });
+    fb.ret(fb.get(acc));
+  });
+  return mb.build();
+}
+
+wasm::Module grow_churn(uint32_t grows, uint32_t pages_per_grow) {
+  ModuleBuilder mb;
+  mb.memory(1, 1 + grows * pages_per_grow);
+  mb.func("run", {}, {ValType::I32}, [&](FuncBuilder& fb) {
+    uint32_t i = fb.local(ValType::I32);
+    fb.for_i32(i, ic(0), ic(static_cast<int32_t>(grows)), 1, [&] {
+      fb.raw(Instr::i32c(static_cast<int32_t>(pages_per_grow)));
+      fb.raw(Instr{.op = Op::MemoryGrow});
+      fb.raw(Instr::simple(Op::Drop));
+    });
+    fb.ret(Ex(ValType::I32, {Instr{.op = Op::MemorySize}}));
+  });
+  return mb.build();
+}
+
+wasm::Module io_amplifier(uint32_t calls, uint32_t chunk_bytes) {
+  ModuleBuilder mb;
+  const uint32_t pages = static_cast<uint32_t>(
+      (uint64_t{chunk_bytes} + wasm::kPageSize - 1) / wasm::kPageSize);
+  mb.memory(std::max(1u, pages), std::max(1u, pages));
+  ModuleBuilder::EnvImports env = mb.import_env();
+  mb.func("run", {}, {ValType::I32}, [&](FuncBuilder& fb) {
+    uint32_t i = fb.local(ValType::I32);
+    uint32_t acc = fb.local(ValType::I32);
+    fb.set(acc, ic(0));
+    fb.for_i32(i, ic(0), ic(static_cast<int32_t>(calls)), 1, [&] {
+      fb.set(acc, fb.get(acc) +
+                      fb.call_ex(env.io_write,
+                                 {ic(0), ic(static_cast<int32_t>(chunk_bytes))},
+                                 ValType::I32));
+    });
+    fb.ret(fb.get(acc));
+  });
+  return mb.build();
+}
+
+wasm::Module cache_thrasher(uint32_t accesses, uint32_t footprint_pages) {
+  ModuleBuilder mb;
+  mb.memory(footprint_pages, footprint_pages);
+  // Line-aligned LCG-random addressing defeats both cache reuse and the
+  // sequential-stream prefetcher.
+  const uint32_t lines = footprint_pages * (wasm::kPageSize / 64);
+  mb.func("run", {}, {ValType::I32}, [&](FuncBuilder& fb) {
+    uint32_t i = fb.local(ValType::I32);
+    uint32_t seed = fb.local(ValType::I32);
+    uint32_t acc = fb.local(ValType::I32);
+    fb.set(seed, ic(12345));
+    fb.set(acc, ic(0));
+    fb.for_i32(i, ic(0), ic(static_cast<int32_t>(accesses)), 1, [&] {
+      fb.set(seed, fb.get(seed) * ic(1103515245) + ic(12345));
+      Ex addr = shl(shr_u(fb.get(seed), ic(8)) &
+                        ic(static_cast<int32_t>(lines - 1)),
+                    ic(6));
+      fb.set(acc, fb.get(acc) ^ load_i32(addr));
+    });
+    fb.ret(fb.get(acc));
+  });
+  return mb.build();
+}
+
+wasm::Module instr_asymmetry(uint32_t reps) {
+  ModuleBuilder mb;
+  mb.memory(1, 1);
+  mb.func("run", {}, {ValType::I32}, [&](FuncBuilder& fb) {
+    uint32_t i = fb.local(ValType::I32);
+    uint32_t f = fb.local(ValType::F64);
+    fb.set(f, fc(1.5));
+    fb.for_i32(i, ic(0), ic(static_cast<int32_t>(reps)), 1, [&] {
+      // sqrt + div + mul + add: weight 4 under the unit table, an order of
+      // magnitude more simulated cycles.
+      fb.set(f, f64_sqrt(fb.get(f) * fb.get(f) + fc(2.0)) / fc(1.25));
+    });
+    fb.ret(to_i32(fb.get(f)));
+  });
+  return mb.build();
+}
+
+wasm::Module gap_baseline(uint32_t iterations) {
+  ModuleBuilder mb;
+  mb.memory(1, 1);
+  mb.func("run", {}, {ValType::I32}, [&](FuncBuilder& fb) {
+    uint32_t i = fb.local(ValType::I32);
+    uint32_t acc = fb.local(ValType::I32);
+    fb.set(acc, ic(0));
+    fb.for_i32(i, ic(0), ic(static_cast<int32_t>(iterations)), 1, [&] {
+      fb.set(acc, fb.get(acc) + fb.get(i));
+    });
+    fb.ret(fb.get(acc));
+  });
+  return mb.build();
+}
+
+std::vector<AdversarialCase> adversarial_suite(uint32_t scale) {
+  const uint32_t s = std::max(1u, scale);
+  std::vector<AdversarialCase> suite;
+  suite.push_back({"baseline", gap_baseline(50000 * s), {}});
+  suite.push_back({"host_sink", host_sink(20000 * s), {}});
+  suite.push_back({"grow_churn", grow_churn(48 * s, 1), {}});
+  suite.push_back({"io_amplifier", io_amplifier(64 * s, 8192), {}});
+  // 16 MiB footprint: beats the meter's default 8 MiB L3 as well as the
+  // benchmark-scaled 1 MiB hierarchy.
+  suite.push_back({"cache_thrasher", cache_thrasher(50000 * s, 256), {}});
+  suite.push_back({"instr_asymmetry", instr_asymmetry(30000 * s), {}});
+  return suite;
+}
+
+}  // namespace acctee::workloads

@@ -1,0 +1,68 @@
+// Adversarial billed-vs-true gap workloads (DESIGN.md §18).
+//
+// Each generator builds a kernel that is *cheap on the weighted instruction
+// counter* but expensive on some real resource the counter does not see —
+// the workloads a rational tenant would run if billed only by AccTEE's
+// counter. They drive the shadow resource meter in bench/gap_adversarial.cpp
+// and the gap regression gate in CI:
+//
+//   host_sink        — tight loop of host calls: each `call $import` bills
+//                      a handful of weight units while the provider pays the
+//                      full ring-transition cost (closable with
+//                      InstrumentOptions::host_call_weight),
+//   grow_churn       — memory.grow in a loop: one weight unit per grow, the
+//                      kernel zeroes 64 KiB per page,
+//   io_amplifier     — repeated io_write of a large chunk: the per-call
+//                      price never covers the per-byte host-side copy,
+//   cache_thrasher   — line-aligned pseudo-random loads over a footprint
+//                      far beyond the LLC: weight 1 per load, DRAM + MEE
+//                      latency per access,
+//   instr_asymmetry  — f64 sqrt/div kernel: weight 1 per op under the unit
+//                      table, many simulated cycles per op.
+//
+// A control workload (`baseline`) with a well-priced integer loop is
+// included so the suite also demonstrates a *small* gap where accounting is
+// sound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "wasm/ast.hpp"
+
+namespace acctee::workloads {
+
+/// Loop of `calls` host calls (env.input_size) doing no sandbox work.
+wasm::Module host_sink(uint32_t calls);
+
+/// `grows` × memory.grow(pages_per_grow); the module declares max pages to
+/// fit. Wasm memory never shrinks, so churn = total grown bytes.
+wasm::Module grow_churn(uint32_t grows, uint32_t pages_per_grow);
+
+/// `calls` × io_write of `chunk_bytes` from the bottom of linear memory.
+wasm::Module io_amplifier(uint32_t calls, uint32_t chunk_bytes);
+
+/// `accesses` line-aligned LCG-random i32 loads over `footprint_pages`
+/// (must be a power of two) of linear memory.
+wasm::Module cache_thrasher(uint32_t accesses, uint32_t footprint_pages);
+
+/// `reps` iterations of an f64 sqrt/div/mul kernel.
+wasm::Module instr_asymmetry(uint32_t reps);
+
+/// Control: a plain integer sum loop with accurate unit-weight accounting.
+wasm::Module gap_baseline(uint32_t iterations);
+
+/// One suite entry, ready to instrument and execute.
+struct AdversarialCase {
+  std::string name;        // workload family name (also the tenant label)
+  wasm::Module module;
+  Bytes input;             // I/O channel input (empty unless the kernel reads)
+};
+
+/// The whole family at a size scaled for benchmarking; `scale` multiplies
+/// every iteration count (1 ≈ a few ms per workload under the interpreter).
+std::vector<AdversarialCase> adversarial_suite(uint32_t scale = 1);
+
+}  // namespace acctee::workloads

@@ -667,6 +667,44 @@ TEST(Metrics, PrometheusExpositionParsesBackCleanly) {
   EXPECT_EQ(unescaped, "we\"ird\\t\nx");
 }
 
+TEST(Metrics, ExpositionConformsAndEndsWithEof) {
+  Registry reg;
+  reg.set_help("requests_total", "All requests");
+  reg.counter("requests_total", label_pair("tenant", "a\"b")).add(2);
+  reg.gauge("depth").set(-1);
+  reg.histogram("lat_seconds", {0.5, 1.0}).observe(0.25);
+  std::string out = reg.prometheus();
+  // A scrape consumer can tell a complete exposition from a truncated one.
+  ASSERT_GE(out.size(), 6u);
+  EXPECT_EQ(out.substr(out.size() - 6), "# EOF\n");
+  EXPECT_EQ(check_exposition(out), std::nullopt);
+  // The global registry (whatever other tests populated it) conforms too.
+  EXPECT_EQ(check_exposition(Registry::global().prometheus()), std::nullopt);
+}
+
+TEST(Metrics, CheckExpositionCatchesMalformedScrapes) {
+  Registry reg;
+  reg.counter("good_total").add(1);
+  std::string out = reg.prometheus();
+
+  // Truncation anywhere before the terminator is detected.
+  EXPECT_TRUE(check_exposition("").has_value());
+  EXPECT_TRUE(check_exposition(out.substr(0, out.size() - 6)).has_value());
+  // Content after # EOF means two scrapes were concatenated.
+  EXPECT_TRUE(check_exposition(out + "late_total 1\n").has_value());
+  // A sample must sit under its family's TYPE line.
+  EXPECT_TRUE(
+      check_exposition("# TYPE a counter\nb 1\n# EOF\n").has_value());
+  // Duplicate TYPE lines, unknown kinds, and garbage values are rejected.
+  EXPECT_TRUE(check_exposition("# TYPE a counter\na 1\n# TYPE a counter\n"
+                               "a 2\n# EOF\n")
+                  .has_value());
+  EXPECT_TRUE(check_exposition("# TYPE a summary\na 1\n# EOF\n").has_value());
+  EXPECT_TRUE(check_exposition("# TYPE a counter\na x\n# EOF\n").has_value());
+  EXPECT_TRUE(check_exposition("# TYPE a counter\na{t=\"1\" 1\n# EOF\n")
+                  .has_value());
+}
+
 TEST(Profile, FoldedScrubsControlBytesAndMergesCollidingFrames) {
   FuncProfiler profiler(1);
   profiler.on_block(0, 3, 4);

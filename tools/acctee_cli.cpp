@@ -56,6 +56,16 @@
 //       the id omitted, lists every distinct trace id in the set. Exits 1
 //       when a queried id matches nothing — a forged or never-billed id.
 //
+//   acctee gap [<module>] [--entry NAME] [--arg T:V ...] [--scale N]
+//              [--host-weight N] [--metrics]
+//       Billed-vs-true cost-gap report (DESIGN.md §18): runs the
+//       adversarial workload suite (or one user module) through the full
+//       IE -> AE pipeline with the shadow resource meter attached and
+//       prints per-workload, per-dimension billed/true/gap-ratio rows.
+//       --host-weight N prices host entries into the counter (evidence v3)
+//       to show the host-call gap closing; --metrics additionally feeds
+//       the acctee_gap_* metric family and prints the scrape.
+//
 //   acctee top [--ticks N] [--requests N] [--interval MS]
 //       Live observability dashboard: drives request bursts through an
 //       in-process sharded billing gateway and renders the SLO/billing-gap
@@ -81,6 +91,8 @@
 #include "core/runtime_env.hpp"
 #include "instrument/passes.hpp"
 #include "interp/instance.hpp"
+#include "interp/shadow_meter.hpp"
+#include "obs/gap_metrics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -89,6 +101,7 @@
 #include "wasm/validator.hpp"
 #include "wasm/wat_parser.hpp"
 #include "wasm/wat_printer.hpp"
+#include "workloads/adversarial.hpp"
 #include "workloads/faas_functions.hpp"
 #include "workloads/polybench.hpp"
 #include "workloads/usecases.hpp"
@@ -705,6 +718,97 @@ int cmd_audit(int argc, char** argv) {
   throw Error(usage_line);
 }
 
+/// `acctee gap`: billed-vs-true cost-gap report (DESIGN.md §18). Runs the
+/// adversarial suite (or one user module) through IE -> AE with the shadow
+/// resource meter attached and prints the per-dimension gap table.
+int cmd_gap(int argc, char** argv) {
+  const char* usage_line =
+      "usage: acctee gap [<module>] [--entry NAME] [--arg T:V ...]\n"
+      "       [--scale N] [--host-weight N] [--metrics]";
+  std::string path;
+  std::string entry = "run";
+  interp::Values args;
+  uint32_t scale = 1;
+  uint64_t host_weight = 0;
+  bool metrics = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--entry") == 0 && i + 1 < argc) {
+      entry = argv[++i];
+    } else if (std::strcmp(argv[i], "--arg") == 0 && i + 1 < argc) {
+      args.push_back(parse_arg(argv[++i]));
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = static_cast<uint32_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--host-weight") == 0 && i + 1 < argc) {
+      host_weight = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (path.empty() && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      throw Error(usage_line);
+    }
+  }
+  if (!interp::Instance::shadow_meter_available()) {
+    std::fprintf(stderr,
+                 "acctee gap: shadow meter compiled out "
+                 "(rebuild with -DACCTEE_SHADOW_METER=ON)\n");
+    return 1;
+  }
+
+  instrument::InstrumentOptions options;
+  options.pass = instrument::PassKind::LoopBased;
+  options.host_call_weight = host_weight;
+
+  sgx::Platform ie_host{"gap-ie-host", to_bytes("gap-ie-seed")};
+  sgx::Platform cloud{"gap-cloud", to_bytes("gap-cloud-seed")};
+  core::InstrumentationEnclave ie(ie_host, options);
+  core::AccountingEnclave::Config config;
+  config.trusted_ie_identity = ie.identity();
+  config.instrumentation = options;
+  config.platform = interp::Platform::WasmSgxSim;
+  config.shadow_meter = true;
+  core::AccountingEnclave ae(cloud, config);
+
+  std::vector<workloads::AdversarialCase> cases;
+  if (path.empty()) {
+    cases = workloads::adversarial_suite(scale);
+  } else {
+    cases.push_back({path, load_module(path), {}});
+  }
+
+  obs::GapMetrics gap_metrics(obs::Registry::global());
+  std::printf("%-18s %-15s %14s %14s %10s\n", "workload", "dimension",
+              "billed", "true", "ratio");
+  for (const workloads::AdversarialCase& c : cases) {
+    Bytes binary = wasm::encode(c.module);
+    auto deployed = ie.instrument_binary(binary);
+    core::AccountingEnclave::Outcome outcome = ae.execute(
+        deployed.instrumented_binary, deployed.evidence, entry, args, c.input);
+    if (!outcome.gap.has_value()) {
+      std::fprintf(stderr, "acctee gap: %s produced no gap profile\n",
+                   c.name.c_str());
+      return 1;
+    }
+    const interp::GapProfile& gap = *outcome.gap;
+    const interp::GapDimension* dims[] = {&gap.cycles, &gap.host_cycles,
+                                          &gap.cache_cycles,
+                                          &gap.mem_grow_bytes, &gap.io_bytes};
+    for (size_t d = 0; d < std::size(dims); ++d) {
+      std::printf("%-18s %-15s %14llu %14llu %10.2f\n", c.name.c_str(),
+                  interp::kGapDimensions[d],
+                  static_cast<unsigned long long>(dims[d]->billed),
+                  static_cast<unsigned long long>(dims[d]->true_cost),
+                  dims[d]->gap_ratio());
+    }
+    if (metrics) interp::record_gap_profile(gap_metrics, c.name, gap);
+  }
+  if (metrics) {
+    std::fputs("\n", stdout);
+    std::fputs(obs::Registry::global().prometheus().c_str(), stdout);
+  }
+  return 0;
+}
+
 /// `acctee top`: in-process demo loop for the SLO/billing-gap watchdog.
 /// Each tick pushes a burst of multi-tenant requests through a sharded
 /// billing gateway (real AEs, real ledgers), evaluates the watchdog rules,
@@ -882,6 +986,8 @@ void usage() {
       "  acctee audit verify <ledger>... [--identity HEX]...\n"
       "  acctee audit reconcile <ledger>... <metrics.prom> [--tolerance X]\n"
       "  acctee audit trace <ledger>... [<trace-id-hex>]\n"
+      "  acctee gap [<module>] [--entry NAME] [--arg TYPE:VALUE ...]\n"
+      "             [--scale N] [--host-weight N] [--metrics]\n"
       "  acctee top [--ticks N] [--requests N] [--interval MS]\n"
       "  acctee inspect <module>\n"
       "  acctee wat <module.wasm>\n",
@@ -903,6 +1009,7 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
     if (cmd == "verify-instr") return cmd_verify_instr(argc - 2, argv + 2);
     if (cmd == "audit") return cmd_audit(argc - 2, argv + 2);
+    if (cmd == "gap") return cmd_gap(argc - 2, argv + 2);
     if (cmd == "top") return cmd_top(argc - 2, argv + 2);
     if (cmd == "inspect") return cmd_inspect(argc - 2, argv + 2);
     if (cmd == "wat") return cmd_wat(argc - 2, argv + 2);

@@ -17,9 +17,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
+#include "analysis/opt/opt.hpp"
 #include "bench_util.hpp"
 #include "interp/compiled_module.hpp"
+#include "workloads/microbench.hpp"
 #include "workloads/polybench.hpp"
 #include "workloads/usecases.hpp"
 
@@ -161,12 +164,173 @@ void dispatch_ablation(bench::JsonReporter& json, bool smoke) {
               std::exp(logsum_gain / count));
 }
 
+// ---- Section 3: verified middle-end ablation (--opt, DESIGN.md §19) -----
+
+/// Best-of-`reps` wall time of one invocation of `compiled`, plus the final
+/// weighted counter (the equality oracle across opt levels).
+double time_compiled(const interp::CompiledModulePtr& compiled,
+                     const interp::Values& args, uint32_t counter_global,
+                     int reps, uint64_t* counter) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    interp::Instance::Options options =
+        bench::scaled_options(interp::Platform::Wasm);
+    auto t0 = std::chrono::steady_clock::now();
+    interp::Instance inst(compiled, {}, options);
+    inst.invoke("run", args);
+    double ns = std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    best = std::min(best, ns);
+    *counter = inst.read_global_index(counter_global).bits;
+  }
+  return best;
+}
+
+/// Flow-instrumented loop-heavy kernels (plus the call-dominated leaf-call
+/// bench) timed at every opt level. Flow-based instrumentation leaves the
+/// per-iteration increments in the loop bodies, which is exactly the hot
+/// cost the fold/coalesce regions fuse into wholesale charges; the counter
+/// must nevertheless come out bit-identical at every level. Emits the
+/// BENCH_fig6_opt trajectory (per-level timings and the per-pass proof
+/// trail); with --check, fails unless the max-level geomean speedup over
+/// level 0 reaches 1.10x.
+int opt_ablation(bench::JsonReporter& json, bool smoke, bool check) {
+  const instrument::WeightTable weights = instrument::WeightTable::unit();
+  const instrument::HostChargePolicy host_charge;
+  const int reps = smoke ? 2 : 3;
+  constexpr uint32_t kMax = analysis::opt::kMaxOptLevel;
+
+  struct Workload {
+    std::string name;
+    wasm::Module module;
+    interp::Values args;
+  };
+  std::vector<Workload> work;
+  const char* const kKernels[] = {"gemm", "atax", "mvt", "jacobi-2d"};
+  for (const auto& kernel : workloads::polybench()) {
+    if (std::find_if(std::begin(kKernels), std::end(kKernels),
+                     [&](const char* k) { return kernel.name == k; }) ==
+        std::end(kKernels)) {
+      continue;
+    }
+    uint32_t n =
+        smoke ? std::min<uint32_t>(kernel.bench_n, 16) : kernel.bench_n;
+    work.push_back({kernel.name, kernel.build(n), {}});
+  }
+  work.push_back({"leaf_call", workloads::leaf_call_bench(),
+                  {interp::TypedValue::make_i32(smoke ? 4 : 32)}});
+
+  std::printf("Verified middle-end ablation: flow-instrumented wall ms per "
+              "opt level, best-of-%d (lower is better)\n\n",
+              reps);
+  std::printf("%-14s", "workload");
+  for (uint32_t level = 0; level <= kMax; ++level) {
+    std::printf("%9s%u", "L", level);
+  }
+  std::printf("%11s\n", "Lmax-gain");
+  std::printf("%s\n", std::string(14 + 10 * (kMax + 1) + 11, '-').c_str());
+
+  double logsum_gain = 0;
+  int count = 0;
+  bool counters_equal = true;
+  for (Workload& w : work) {
+    auto instrumented = instrument::instrument(
+        w.module, InstrumentOptions{PassKind::FlowBased, weights});
+    interp::CompiledModulePtr baseline =
+        interp::compile(instrumented.module);
+    std::printf("%-14s", w.name.c_str());
+    double l0_ns = 0, lmax_ns = 0;
+    uint64_t l0_counter = 0;
+    analysis::opt::OptTrail max_trail;
+    for (uint32_t level = 0; level <= kMax; ++level) {
+      analysis::opt::OptTrail trail;
+      interp::CompiledModulePtr compiled = analysis::opt::optimise_compiled(
+          baseline, instrumented.counter_global, level, weights, host_charge,
+          &trail);
+      uint64_t counter = 0;
+      double ns = time_compiled(compiled, w.args,
+                                instrumented.counter_global, reps, &counter);
+      if (level == 0) {
+        l0_ns = ns;
+        l0_counter = counter;
+      } else if (counter != l0_counter) {
+        // The transforms must never change what the workload pays.
+        std::fprintf(stderr,
+                     "FAIL %s: counter diverged at L%u (%llu vs %llu)\n",
+                     w.name.c_str(), level,
+                     static_cast<unsigned long long>(counter),
+                     static_cast<unsigned long long>(l0_counter));
+        counters_equal = false;
+      }
+      if (level == kMax) {
+        lmax_ns = ns;
+        max_trail = trail;
+      }
+      std::printf("%10.2f", ns / 1e6);
+      json.record(w.name + "/L" + std::to_string(level), reps, ns,
+                  ns > 0 ? static_cast<double>(l0_counter) * 1e9 / ns : 0,
+                  {{"opt_level", static_cast<double>(level)}});
+    }
+    double gain = l0_ns / lmax_ns;
+    std::printf("%10.2fx\n", gain);
+    logsum_gain += std::log(gain);
+    ++count;
+    // The per-pass evidence trail at max level: what each pass did and the
+    // wall cost of its machine-checked counter-equivalence proof.
+    for (const analysis::opt::PassReport& pass : max_trail.passes) {
+      std::printf("  %-16s regions=%-3u elided=%-3u increments %u -> %u  "
+                  "proof %.1f us\n",
+                  pass.name.c_str(), pass.regions_added, pass.ops_elided,
+                  pass.increments_before, pass.increments_after,
+                  static_cast<double>(pass.proof_micros));
+      json.record(
+          w.name + "/pass/" + pass.name, 1,
+          static_cast<double>(pass.proof_micros) * 1e3, 0,
+          {{"regions_added", static_cast<double>(pass.regions_added)},
+           {"ops_elided", static_cast<double>(pass.ops_elided)},
+           {"increments_before", static_cast<double>(pass.increments_before)},
+           {"increments_after", static_cast<double>(pass.increments_after)}});
+    }
+  }
+  const double geomean = std::exp(logsum_gain / count);
+  std::printf("%s\n", std::string(14 + 10 * (kMax + 1) + 11, '-').c_str());
+  std::printf("geomean L%u speedup over L0: %.3fx\n", kMax, geomean);
+  if (!counters_equal) return 1;
+  if (check && geomean < 1.10) {
+    std::fprintf(stderr,
+                 "FAIL --check: geomean L%u speedup %.3fx below the 1.10x "
+                 "band\n",
+                 kMax, geomean);
+    return 1;
+  }
+  return 0;
+}
+
+bool flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
-// Usage: ablation_optimisations [--smoke] [--json <path>]
+// Usage: ablation_optimisations [--smoke] [--json <path>] [--opt [--check]]
 //   --smoke        shrink problem sizes/reps to a CI smoke-test scale
-//   --json <path>  machine-readable dispatch records (BENCH_fig6_dispatch)
+//   --json <path>  machine-readable dispatch records (BENCH_fig6_dispatch,
+//                  or BENCH_fig6_opt when --opt is given)
+//   --opt          run the verified middle-end ablation instead (§19)
+//   --check        with --opt: fail unless the Lmax geomean speedup ≥ 1.10x
 int main(int argc, char** argv) {
+  const bool smoke_early = bench::smoke_requested(argc, argv);
+  if (flag(argc, argv, "--opt")) {
+    bench::JsonReporter opt_json("fig6_opt", argc, argv);
+    int rc =
+        opt_ablation(opt_json, smoke_early, flag(argc, argv, "--check"));
+    if (!opt_json.write()) rc = 1;
+    return rc;
+  }
   bench::JsonReporter json("fig6_dispatch", argc, argv);
   const bool smoke = bench::smoke_requested(argc, argv);
   std::printf("Ablation: dynamic instruction overhead (%% of uninstrumented) "

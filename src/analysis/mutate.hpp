@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "interp/bytecode.hpp"
+#include "interp/flatten.hpp"
 #include "wasm/ast.hpp"
 
 namespace acctee::analysis {
@@ -86,5 +87,48 @@ std::vector<LoweringMutationSite> enumerate_lowering_mutations(
 /// lowered module. Throws Error on a bad index.
 std::vector<interp::BcFunc> apply_lowering_mutation(
     const std::vector<interp::BcFunc>& lowered, size_t index);
+
+// ---- optimised-flat tampering (DESIGN.md §19) ----
+//
+// The third corpus attacks the verified middle-end: each mutant is a
+// *structurally plausible* transformed flat module a buggy or hostile
+// optimiser might emit — a region that under-states its wholesale charge,
+// a loop folded with the wrong trip count (all totals rescaled
+// consistently, so nothing is internally contradictory), an inlined call
+// that miscounts the callee, a live block elided as if it were dead, a
+// fast path that does different work than its slow copy, or a guard
+// retargeted past the slow copy entirely. The only line of defence is
+// analysis::opt::check_optimised_flat (region re-derivation + the
+// collapsed-view §14 proof + the cost-vector digest), whose negative tests
+// assert zero false accepts over this corpus.
+
+enum class OptMutationKind : uint8_t {
+  UnderpayCharge,       // halve a region's wholesale counter amount
+  WrongTripFold,        // halve a fold's trip count, rescaling all totals
+  InlineMiscount,       // drop one callee op from a coalesce region's charge
+  ElideLiveBlock,       // remove a reachable op as if dead-block elision hit it
+  FastBodyOpSwap,       // neutralise a fast-body op the slow copy executes
+  FastBodyCounterWrite, // make the fast body touch the counter global
+  RetargetGuard,        // point the region enter at the join, skipping the loop
+};
+
+const char* to_string(OptMutationKind kind);
+
+struct OptMutationSite {
+  OptMutationKind kind = OptMutationKind::UnderpayCharge;
+  uint32_t function = 0;  // defined-function index
+  uint32_t region = 0;    // region index (unused for ElideLiveBlock)
+  std::string description;
+};
+
+/// Enumerates every applicable mutation site of a transformed flat module
+/// (analysis::opt::run_pipeline output), in deterministic order.
+std::vector<OptMutationSite> enumerate_opt_mutations(
+    const std::vector<interp::FlatFunc>& flat);
+
+/// Applies site `index` of enumerate_opt_mutations() to a copy of the
+/// transformed flat module. Throws Error on a bad index.
+std::vector<interp::FlatFunc> apply_opt_mutation(
+    const std::vector<interp::FlatFunc>& flat, size_t index);
 
 }  // namespace acctee::analysis

@@ -1,0 +1,111 @@
+// Dead-block elision: removes flat code that no path from function entry
+// can reach. The flattener already drops most dead *tree* code, but it
+// conservatively resumes emission after every block end, so code such as a
+// loop body after an unconditional inner `br`, or a trailing arm behind
+// `unreachable`, survives flattening as statically dead flat ops. Those ops
+// inflate the recovered cost vector of every block they share (they can
+// never execute, so the workload never pays for them — but the §14 proof
+// still has to carry their debt). Eliding them shrinks the evidence and the
+// interpreter's block tables; the per-pass proof shows the recovered cost
+// vector drops by exactly the elided weight and nothing reachable moved.
+#include <algorithm>
+
+#include "analysis/opt/internal.hpp"
+
+namespace acctee::analysis::opt::detail {
+
+using interp::FlatFunc;
+using interp::FlatOp;
+using wasm::Op;
+
+namespace {
+
+/// Op-granular reachability over the flat code, region-aware: a region
+/// enter reaches both its fast body and its slow copy.
+std::vector<bool> reachable_ops(const FlatFunc& ff) {
+  const uint32_t n = static_cast<uint32_t>(ff.code.size());
+  std::vector<bool> seen(n, false);
+  std::vector<uint32_t> work;
+  auto visit = [&](uint32_t pc) {
+    if (pc < n && !seen[pc]) {
+      seen[pc] = true;
+      work.push_back(pc);
+    }
+  };
+  visit(0);
+  while (!work.empty()) {
+    const uint32_t pc = work.back();
+    work.pop_back();
+    const FlatOp& op = ff.code[pc];
+    if (interp::is_region_enter(op)) {
+      visit(pc + 1);
+      visit(op.target_pc);
+      continue;
+    }
+    switch (op.op) {
+      case Op::If:
+      case Op::BrIf:
+        visit(pc + 1);
+        visit(op.target_pc);
+        break;
+      case Op::Br:
+        visit(op.target_pc);
+        break;
+      case Op::BrTable:
+        for (const interp::BrTarget& t : ff.br_tables[op.a]) visit(t.pc);
+        break;
+      case Op::Return:
+      case Op::Unreachable:
+        break;
+      default:
+        visit(pc + 1);
+        break;
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+std::vector<FlatFunc> pass_dead_blocks(const wasm::Module& module,
+                                       const std::vector<FlatFunc>& flat,
+                                       uint32_t* ops_elided) {
+  (void)module;
+  std::vector<FlatFunc> out;
+  out.reserve(flat.size());
+  uint32_t elided = 0;
+  for (const FlatFunc& ff : flat) {
+    std::vector<bool> keep = reachable_ops(ff);
+    const uint32_t n = static_cast<uint32_t>(ff.code.size());
+    // The code array must stay terminated by a synthetic return even when
+    // it is unreachable (an infinite loop): block construction and the
+    // flat invariants rely on it. When region slow copies have been
+    // appended, the *body* terminator is the op just before the first slow
+    // copy — keep that one too, so re-running the pass over already-
+    // optimised code is the identity.
+    if (n != 0) keep[n - 1] = true;
+    uint32_t body_end = n;
+    for (const interp::OptRegion& r : ff.regions) {
+      body_end = std::min(body_end, r.slow_begin);
+    }
+    if (body_end != 0) keep[body_end - 1] = true;
+    uint32_t dead = 0;
+    for (uint32_t pc = 0; pc < n; ++pc) {
+      if (!keep[pc]) ++dead;
+    }
+    if (dead == 0) {
+      out.push_back(ff);
+      continue;
+    }
+    FuncEditor ed(ff);
+    for (uint32_t pc = 0; pc < n; ++pc) {
+      if (keep[pc]) ed.copy(pc);
+    }
+    out.push_back(ed.finish());
+    elided += dead;
+  }
+  if (ops_elided != nullptr) *ops_elided = elided;
+  return out;
+}
+
+}  // namespace acctee::analysis::opt::detail

@@ -1,0 +1,559 @@
+// Constant-trip loop folding, generalised beyond the instrumenter's own
+// LoopBased pattern: bottom-tested single-block counted loops under any of
+// lt_s / le_s / gt_s / ge_s / ne, with any non-zero constant step, either
+// `local.tee` or separate-update tails, and (at max level) perfect
+// two-level counted nests folded as one region. Only loops that still carry
+// in-body increments are folded — FlowBased instrumentation leaves one per
+// body block, and each folded region replaces trips × (body + increment)
+// per-op work with a single wholesale charge guarded by the slow copy.
+// Loops the IE already optimised (hoisted / const-trip, which are
+// increment-free by construction) are deliberately not matched: folding
+// them would buy nothing and the §14 loop-region recogniser depends on
+// their exact shape.
+//
+// Every quantity a region charges — trip count, histogram, counter bump —
+// is derived here from the code alone, and verify_optimised_module runs
+// this same matcher against the region's slow copy, so the pass cannot
+// disagree with the proof.
+#include <algorithm>
+#include <limits>
+
+#include "analysis/opt/internal.hpp"
+#include "wasm/opcode.hpp"
+
+namespace acctee::analysis::opt::detail {
+
+using interp::FlatFunc;
+using interp::FlatOp;
+using interp::OptRegion;
+using interp::OptRegionKind;
+using wasm::Op;
+
+namespace {
+
+bool plain(const FlatOp& op, Op want) {
+  return !op.synthetic && op.op == want;
+}
+
+bool writes_local(const FlatOp& op, uint32_t local) {
+  return !op.synthetic &&
+         (op.op == Op::LocalSet || op.op == Op::LocalTee) && op.a == local;
+}
+
+int32_t const_i32(const FlatOp& op) {
+  return static_cast<int32_t>(static_cast<uint32_t>(op.b));
+}
+
+/// `local.get v / i32.const k / i32.add|sub / <write v>` (or the commuted
+/// const-first add) ending at `write_pc`; returns the signed step.
+std::optional<int32_t> match_induction_update(const std::vector<FlatOp>& code,
+                                              uint32_t first_pc,
+                                              uint32_t write_pc,
+                                              uint32_t var) {
+  if (write_pc < first_pc + 3) return std::nullopt;
+  if (!writes_local(code[write_pc], var)) return std::nullopt;
+  const FlatOp& o0 = code[write_pc - 3];
+  const FlatOp& o1 = code[write_pc - 2];
+  const FlatOp& o2 = code[write_pc - 1];
+  if (plain(o0, Op::LocalGet) && o0.a == var && plain(o1, Op::I32Const) &&
+      (plain(o2, Op::I32Add) || plain(o2, Op::I32Sub))) {
+    int32_t k = const_i32(o1);
+    return o2.op == Op::I32Sub ? -k : k;
+  }
+  if (plain(o0, Op::I32Const) && plain(o1, Op::LocalGet) && o1.a == var &&
+      plain(o2, Op::I32Add)) {
+    return const_i32(o0);
+  }
+  return std::nullopt;
+}
+
+/// Exact do-while trip count of `for (v = start; cmp(v, limit); v += step)`
+/// entered unconditionally (body runs at least once, test at the bottom).
+/// Rejected unless the whole induction sequence is provably wrap-free in
+/// i32, so the i64 derivation below equals the module's i32 arithmetic.
+std::optional<uint64_t> dowhile_trips(int32_t start, int32_t limit,
+                                      int32_t step, Op cmp) {
+  const int64_t s = start;
+  const int64_t lim = limit;
+  const int64_t st = step;
+  if (st == 0) return std::nullopt;
+  // ceil/floor of a/b for b > 0, exact for any sign of a.
+  auto cdiv = [](int64_t a, int64_t b) {
+    return a > 0 ? (a + b - 1) / b : -((-a) / b);
+  };
+  auto fdiv = [](int64_t a, int64_t b) {
+    return a >= 0 ? a / b : -((-a + b - 1) / b);
+  };
+  int64_t n = 0;
+  switch (cmp) {
+    case Op::I32LtS:  // continue while v < limit: stop at first v >= limit
+      if (st < 0) return std::nullopt;  // decreasing: never stops before wrap
+      n = cdiv(lim - s, st);
+      break;
+    case Op::I32LeS:  // stop at first v > limit
+      if (st < 0) return std::nullopt;
+      n = fdiv(lim - s, st) + 1;
+      break;
+    case Op::I32GtS:  // stop at first v <= limit
+      if (st > 0) return std::nullopt;
+      n = cdiv(s - lim, -st);
+      break;
+    case Op::I32GeS:  // stop at first v < limit
+      if (st > 0) return std::nullopt;
+      n = fdiv(s - lim, -st) + 1;
+      break;
+    case Op::I32Ne: {  // stop at first v == limit: requires exact division
+      const int64_t d = lim - s;
+      if (d == 0 || d % st != 0) return std::nullopt;
+      n = d / st;
+      if (n < 1) return std::nullopt;
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (n < 1) n = 1;  // bottom-tested: the body always runs once
+  // The induction values are monotone, so wrap-freedom of the endpoints
+  // covers every intermediate value.
+  const int64_t last = s + n * st;
+  if (last > std::numeric_limits<int32_t>::max() ||
+      last < std::numeric_limits<int32_t>::min()) {
+    return std::nullopt;
+  }
+  if (n > (int64_t{1} << 30)) return std::nullopt;
+  return static_cast<uint64_t>(n);
+}
+
+/// The bottom-test tail of a loop scope [s_lo, s_hi): `... <read v> /
+/// i32.const K / cmp / br_if`, with exactly one const-step write to v in
+/// the scope (pcs in [skip_lo, skip_hi) belong to an inner scope and are
+/// excluded). The instrumenter flushes a counter window between the
+/// comparison and the br_if (the taken edge leaves the block), so one
+/// increment window there is skipped. Returns (var, step, limit, cmp).
+struct ScopeTail {
+  uint32_t var = 0;
+  int32_t step = 0;
+  int32_t limit = 0;
+  Op cmp = Op::Nop;
+  uint32_t write_pc = 0;  // the single induction write in the scope
+};
+
+std::optional<ScopeTail> match_scope_tail(const std::vector<FlatOp>& code,
+                                          uint32_t s_lo, uint32_t s_hi,
+                                          uint32_t skip_lo, uint32_t skip_hi,
+                                          uint32_t counter_global) {
+  if (s_hi < s_lo + 4) return std::nullopt;
+  uint32_t t = s_hi - 1;  // the br_if; the comparison triple ends before t
+  if (t >= s_lo + 4 && increment_amount_at(code, t - 4, counter_global)) {
+    t -= 4;
+  }
+  if (t < s_lo + 3) return std::nullopt;
+  const FlatOp& read = code[t - 3];
+  const FlatOp& limc = code[t - 2];
+  const FlatOp& cmp = code[t - 1];
+  if (!plain(limc, Op::I32Const)) return std::nullopt;
+  if (!(plain(cmp, Op::I32LtS) || plain(cmp, Op::I32LeS) ||
+        plain(cmp, Op::I32GtS) || plain(cmp, Op::I32GeS) ||
+        plain(cmp, Op::I32Ne))) {
+    return std::nullopt;
+  }
+  ScopeTail tail;
+  tail.limit = const_i32(limc);
+  tail.cmp = cmp.op;
+  uint32_t write_pc = UINT32_MAX;
+  uint32_t writes = 0;
+  if (plain(read, Op::LocalTee)) {
+    tail.var = read.a;
+    write_pc = t - 3;
+  } else if (plain(read, Op::LocalGet)) {
+    tail.var = read.a;
+  } else {
+    return std::nullopt;
+  }
+  for (uint32_t pc = s_lo; pc < s_hi; ++pc) {
+    if (pc >= skip_lo && pc < skip_hi) continue;
+    if (writes_local(code[pc], tail.var)) {
+      ++writes;
+      if (read.op == Op::LocalGet) write_pc = pc;
+    }
+  }
+  // The inner scope must never touch the outer induction variable.
+  for (uint32_t pc = skip_lo; pc < skip_hi; ++pc) {
+    if (writes_local(code[pc], tail.var)) return std::nullopt;
+  }
+  if (writes != 1 || write_pc == UINT32_MAX) return std::nullopt;
+  if (read.op == Op::LocalGet && write_pc >= t - 3) return std::nullopt;
+  std::optional<int32_t> step =
+      match_induction_update(code, s_lo, write_pc, tail.var);
+  if (!step || *step == 0) return std::nullopt;
+  tail.step = *step;
+  tail.write_pc = write_pc;
+  return tail;
+}
+
+/// The induction init `i32.const START / local.set v` reaching the loop op
+/// at `loop_op_pc` unclobbered. Scans backward for the latest write to v;
+/// rejects if the linear path between init and loop head is interrupted
+/// (an unconditional transfer) or enterable from elsewhere (a branch
+/// target strictly between them).
+std::optional<int32_t> find_init(const FlatFunc& ff, uint32_t var,
+                                 uint32_t loop_op_pc) {
+  const std::vector<FlatOp>& code = ff.code;
+  if (!plain(code[loop_op_pc], Op::Loop)) return std::nullopt;
+  uint32_t init_pc = UINT32_MAX;
+  const uint32_t floor_pc = loop_op_pc > 64 ? loop_op_pc - 64 : 0;
+  for (uint32_t q = loop_op_pc; q-- > floor_pc;) {
+    const FlatOp& op = code[q];
+    if (op.op == Op::Br || op.op == Op::BrTable || op.op == Op::Return ||
+        op.op == Op::Unreachable) {
+      return std::nullopt;  // the head is not reached from here
+    }
+    if (writes_local(op, var)) {
+      if (q == 0 || !plain(op, Op::LocalSet) ||
+          !plain(code[q - 1], Op::I32Const)) {
+        return std::nullopt;
+      }
+      init_pc = q;
+      break;
+    }
+  }
+  if (init_pc == UINT32_MAX) return std::nullopt;
+  // Nothing may branch into (init_pc, loop_op_pc]: every path reaching the
+  // loop head must have executed the init.
+  const uint32_t n = static_cast<uint32_t>(code.size());
+  for (uint32_t p = 0; p < n; ++p) {
+    const FlatOp& op = code[p];
+    if (op.op == Op::If || op.op == Op::Br || op.op == Op::BrIf ||
+        interp::is_region_enter(op)) {
+      if (op.target_pc > init_pc && op.target_pc <= loop_op_pc) {
+        return std::nullopt;
+      }
+    }
+    if (op.op == Op::BrTable) {
+      for (const interp::BrTarget& t : ff.br_tables[op.a]) {
+        if (t.pc > init_pc && t.pc <= loop_op_pc) return std::nullopt;
+      }
+    }
+  }
+  return const_i32(code[init_pc - 1]);
+}
+
+void add_hist(std::vector<interp::BlockOpCount>& hist, Op op,
+              uint64_t count) {
+  for (interp::BlockOpCount& h : hist) {
+    if (h.op == op) {
+      h.count += static_cast<uint32_t>(count);
+      return;
+    }
+  }
+  hist.push_back({op, static_cast<uint32_t>(count)});
+}
+
+}  // namespace
+
+std::optional<FoldFacts> match_counted_loop(const FlatFunc& ff, uint32_t lo,
+                                            uint32_t init_before,
+                                            uint32_t counter_global,
+                                            bool allow_nest) {
+  const std::vector<FlatOp>& code = ff.code;
+  const uint32_t n = static_cast<uint32_t>(code.size());
+  if (lo == 0 || lo >= n || init_before == 0 || init_before > n) {
+    return std::nullopt;
+  }
+  FoldFacts facts;
+  facts.lo = lo;
+  // Walk the body: straight-line real ops, increment windows, and at most
+  // two br_if ops — an optional inner backedge and the final outer one.
+  constexpr uint32_t kMaxBodyOps = 512;
+  uint32_t q = lo;
+  bool have_inner = false;
+  bool closed = false;
+  while (q < n && q - lo < kMaxBodyOps) {
+    if (std::optional<uint64_t> amount =
+            increment_amount_at(code, q, counter_global)) {
+      (void)amount;
+      facts.increment_pcs.push_back(q);
+      q += 4;
+      continue;
+    }
+    const FlatOp& op = code[q];
+    if (op.synthetic) return std::nullopt;
+    if ((op.op == Op::GlobalGet || op.op == Op::GlobalSet) &&
+        op.a == counter_global) {
+      return std::nullopt;  // counter access outside a recognised window
+    }
+    if (op.op == Op::BrIf) {
+      const uint32_t t = op.target_pc;
+      if (t == lo) {
+        facts.hi = q + 1;
+        closed = true;
+        break;
+      }
+      if (allow_nest && !have_inner && t > lo && t <= q) {
+        have_inner = true;
+        facts.nest = true;
+        facts.inner_lo = t;
+        facts.inner_hi = q + 1;
+        ++q;
+        continue;
+      }
+      return std::nullopt;
+    }
+    if (flat_op_ends_block(op)) return std::nullopt;
+    ++q;
+  }
+  if (!closed) return std::nullopt;
+  const uint32_t hi = facts.hi;
+  // Increment windows must not straddle a loop head (a §14-recognisable
+  // window never does: heads are block boundaries).
+  for (uint32_t w : facts.increment_pcs) {
+    for (uint32_t head : {lo, facts.inner_lo}) {
+      if (head > w && head < w + 4) return std::nullopt;
+    }
+  }
+  if (facts.nest && facts.inner_hi > hi - 4) return std::nullopt;
+  // Folding an increment-free loop buys nothing (the IE's LoopBased pass
+  // already hoisted or folded its accounting); skip it.
+  if (facts.increment_pcs.empty()) return std::nullopt;
+  // Nothing outside [lo, hi) may branch into it; the only permitted
+  // external reference is a region enter targeting lo (the verify path,
+  // where lo is the slow copy and init_before the enter marker).
+  const uint32_t exempt = init_before != lo ? init_before : UINT32_MAX;
+  for (uint32_t p = 0; p < n; ++p) {
+    if (p >= lo && p < hi) continue;
+    const FlatOp& op = code[p];
+    uint32_t t = UINT32_MAX;
+    if (op.op == Op::If || op.op == Op::Br || op.op == Op::BrIf ||
+        interp::is_region_enter(op)) {
+      t = op.target_pc;
+    }
+    if (t >= lo && t < hi && p != exempt) return std::nullopt;
+    if (op.op == Op::BrTable) {
+      for (const interp::BrTarget& e : ff.br_tables[op.a]) {
+        if (e.pc >= lo && e.pc < hi) return std::nullopt;
+      }
+    }
+  }
+  // Outer tail, induction and trip count.
+  std::optional<ScopeTail> outer =
+      match_scope_tail(code, lo, hi, facts.inner_lo,
+                       facts.nest ? facts.inner_hi : 0, counter_global);
+  if (!outer) return std::nullopt;
+  // The outer update window must lie wholly outside the inner scope, or
+  // its ops would execute per inner iteration and break the derivation.
+  if (facts.nest && outer->write_pc >= facts.inner_lo &&
+      outer->write_pc - 3 < facts.inner_hi) {
+    return std::nullopt;
+  }
+  std::optional<int32_t> outer_start =
+      find_init(ff, outer->var, init_before - 1);
+  if (!outer_start) return std::nullopt;
+  std::optional<uint64_t> outer_trips =
+      dowhile_trips(*outer_start, outer->limit, outer->step, outer->cmp);
+  if (!outer_trips) return std::nullopt;
+  facts.trips = *outer_trips;
+  uint64_t inner_trips = 0;
+  if (facts.nest) {
+    std::optional<ScopeTail> inner = match_scope_tail(
+        code, facts.inner_lo, facts.inner_hi, 0, 0, counter_global);
+    if (!inner || inner->var == outer->var) return std::nullopt;
+    // The inner induction must be re-initialised inside the outer body —
+    // otherwise its trip count would differ across outer iterations.
+    if (facts.inner_lo < lo + 1) return std::nullopt;
+    std::optional<int32_t> inner_start =
+        find_init(ff, inner->var, facts.inner_lo - 1);
+    if (!inner_start) return std::nullopt;
+    // find_init scanned backward from the inner loop op; the init it found
+    // must itself lie inside the outer body.
+    // (The backward window is 64 ops; inner_lo - lo bounds it anyway.)
+    std::optional<uint64_t> t =
+        dowhile_trips(*inner_start, inner->limit, inner->step, inner->cmp);
+    if (!t) return std::nullopt;
+    inner_trips = *t;
+    // Exactly two writes to the inner var in the whole range: init+update.
+    uint32_t inner_writes = 0;
+    for (uint32_t pc = lo; pc < hi; ++pc) {
+      if (writes_local(code[pc], inner->var)) ++inner_writes;
+    }
+    if (inner_writes != 2) return std::nullopt;
+    facts.inner_trips = inner_trips;
+    facts.trips = *outer_trips * inner_trips;
+    if (facts.trips > (uint64_t{1} << 31)) return std::nullopt;
+  }
+  // Totals: every real op in the range executes per iteration of its
+  // scope — increments included (the slow path and the untransformed
+  // module both pay them).
+  const uint64_t outer_iters = *outer_trips;
+  const uint64_t inner_iters = facts.nest ? *outer_trips * inner_trips : 0;
+  uint64_t per_op_cap = 0;
+  for (uint32_t pc = lo; pc < hi; ++pc) {
+    const bool in_inner =
+        facts.nest && pc >= facts.inner_lo && pc < facts.inner_hi;
+    const uint64_t mult = in_inner ? inner_iters : outer_iters;
+    facts.instr_total += mult;
+    facts.cycles_total += mult * wasm::op_info(code[pc].op).base_cost;
+    add_hist(facts.hist, code[pc].op, mult);
+    if (mult > per_op_cap) per_op_cap = mult;
+  }
+  // Histogram counts are u32; bail out of folding rather than truncate.
+  if (facts.instr_total > std::numeric_limits<uint32_t>::max()) {
+    return std::nullopt;
+  }
+  for (uint32_t w : facts.increment_pcs) {
+    const bool in_inner =
+        facts.nest && w >= facts.inner_lo && w < facts.inner_hi;
+    const uint64_t mult = in_inner ? inner_iters : outer_iters;
+    facts.counter_amount +=
+        mult * *increment_amount_at(code, w, counter_global);
+  }
+  return facts;
+}
+
+std::vector<FlatFunc> pass_fold_loops(const wasm::Module& module,
+                                      const std::vector<FlatFunc>& flat,
+                                      uint32_t counter_global,
+                                      bool allow_nests,
+                                      uint32_t* regions_added) {
+  (void)module;
+  std::vector<FlatFunc> out;
+  out.reserve(flat.size());
+  uint32_t added = 0;
+  for (const FlatFunc& ff : flat) {
+    const uint32_t n = static_cast<uint32_t>(ff.code.size());
+    // Candidate heads: targets of real backward br_if ops, in code order.
+    std::vector<uint32_t> heads;
+    for (uint32_t pc = 0; pc < n; ++pc) {
+      const FlatOp& op = ff.code[pc];
+      if (plain(op, Op::BrIf) && op.target_pc <= pc) {
+        heads.push_back(op.target_pc);
+      }
+    }
+    std::sort(heads.begin(), heads.end());
+    heads.erase(std::unique(heads.begin(), heads.end()), heads.end());
+    auto inside_existing = [&](uint32_t a, uint32_t b) {
+      for (const OptRegion& r : ff.regions) {
+        if (a < r.fast_end && r.enter_pc < b) return true;
+        if (a < r.slow_end && r.slow_begin < b) return true;
+      }
+      return false;
+    };
+    std::vector<FoldFacts> sites;
+    for (uint32_t lo : heads) {
+      std::optional<FoldFacts> facts =
+          match_counted_loop(ff, lo, lo, counter_global, allow_nests);
+      if (!facts) continue;
+      if (inside_existing(lo, facts->hi)) continue;
+      bool overlaps = false;
+      for (const FoldFacts& s : sites) {
+        if (facts->lo < s.hi && s.lo < facts->hi) overlaps = true;
+      }
+      if (!overlaps) sites.push_back(std::move(*facts));
+    }
+    if (sites.empty()) {
+      out.push_back(ff);
+      continue;
+    }
+    FuncEditor ed(ff);
+    struct Placed {
+      const FoldFacts* facts;
+      uint32_t enter_pc;
+      uint32_t fast_begin;
+      uint32_t fast_end;
+      std::vector<uint32_t> fast_pc;  // fast position of each body pc
+    };
+    std::vector<Placed> placed;
+    size_t next_site = 0;
+    for (uint32_t pc = 0; pc < n; ++pc) {
+      if (next_site < sites.size() && pc == sites[next_site].lo) {
+        const FoldFacts& s = sites[next_site];
+        Placed pl;
+        pl.facts = &s;
+        interp::FlatOp enter;
+        enter.op = Op::Nop;
+        enter.synthetic = true;
+        enter.b = interp::kRegionEnterTag;
+        pl.enter_pc = ed.emit(enter);  // target patched to slow_begin below
+        ed.map_old(s.lo, pl.enter_pc);
+        pl.fast_begin = ed.pos();
+        // Fast body: the loop minus its increments, backedges re-targeted
+        // to the first surviving op at or after their head.
+        pl.fast_pc.assign(s.hi - s.lo, UINT32_MAX);
+        size_t next_inc = 0;
+        for (uint32_t q = s.lo; q < s.hi; ++q) {
+          if (next_inc < s.increment_pcs.size() &&
+              q == s.increment_pcs[next_inc]) {
+            q += 3;
+            ++next_inc;
+            continue;
+          }
+          pl.fast_pc[q - s.lo] = ed.pos();
+          const FlatOp& op = ff.code[q];
+          if (op.op == Op::BrIf) {
+            uint32_t head = op.target_pc;
+            while (pl.fast_pc[head - s.lo] == UINT32_MAX) ++head;
+            ed.emit_copy(q, /*synthetic=*/true, pl.fast_pc[head - s.lo]);
+          } else {
+            ed.emit_copy(q, /*synthetic=*/true);
+          }
+        }
+        pl.fast_end = ed.pos();
+        placed.push_back(std::move(pl));
+        ++next_site;
+        pc = s.hi - 1;  // resume copying at the join
+        continue;
+      }
+      ed.copy(pc);
+    }
+    // Slow copies: verbatim baseline loops at the end of the function, each
+    // exiting through a synthetic br to the join.
+    for (Placed& pl : placed) {
+      const FoldFacts& s = *pl.facts;
+      const uint32_t slow_begin = ed.pos();
+      for (uint32_t q = s.lo; q < s.hi; ++q) {
+        const FlatOp& op = ff.code[q];
+        if (op.op == Op::BrIf) {
+          ed.emit_copy(q, /*synthetic=*/false,
+                       slow_begin + (op.target_pc - s.lo));
+        } else {
+          ed.emit_copy(q, /*synthetic=*/false);
+        }
+      }
+      // Loop exit: stack height equals the backedge's unwind height, so a
+      // height-preserving br to the join is a pure jump.
+      interp::FlatOp exit;
+      exit.op = Op::Br;
+      exit.synthetic = true;
+      exit.arity = 0;
+      exit.unwind = ff.code[s.hi - 1].unwind;
+      ed.emit_with_old_target(exit, s.hi);
+      const uint32_t slow_end = ed.pos();
+
+      OptRegion region;
+      region.kind = s.nest ? OptRegionKind::FoldNest : OptRegionKind::FoldLoop;
+      region.enter_pc = pl.enter_pc;
+      region.fast_begin = pl.fast_begin;
+      region.fast_end = pl.fast_end;
+      region.slow_begin = slow_begin;
+      region.slow_end = slow_end;
+      region.trips = s.trips;
+      region.instr_total = s.instr_total;
+      region.cycles_total = s.cycles_total;
+      region.counter_amount = s.counter_amount;
+      region.counter_global = counter_global;
+      ed.add_region(region, s.hist);
+      ++added;
+    }
+    FlatFunc rebuilt = ed.finish();
+    // Patch each marker's slow target (finish() rewrote marker indices, so
+    // locate the freshly added regions through the rebuilt region list).
+    for (const OptRegion& r : rebuilt.regions) {
+      rebuilt.code[r.enter_pc].target_pc = r.slow_begin;
+    }
+    interp::compute_block_costs(rebuilt);
+    out.push_back(std::move(rebuilt));
+  }
+  if (regions_added != nullptr) *regions_added = added;
+  return out;
+}
+
+}  // namespace acctee::analysis::opt::detail

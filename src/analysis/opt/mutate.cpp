@@ -1,0 +1,203 @@
+// Optimised-flat mutation corpus (analysis/mutate.hpp, DESIGN.md §19).
+//
+// Every mutant is a transformed flat module the interpreter would happily
+// execute: region metadata stays self-consistent where the attack needs it
+// to (WrongTripFold rescales trips, totals and histograms together), code
+// edits keep pc geometry intact (ops are swapped or removed through the
+// same editor the passes use, never left dangling). What each mutant
+// breaks is the *equivalence*: the billed wholesale charge no longer
+// matches what the slow copy — and therefore the untransformed module —
+// would pay, or the fast path no longer does the same work as the slow
+// path. check_optimised_flat must reject all of them.
+#include <string>
+
+#include "analysis/mutate.hpp"
+#include "analysis/opt/internal.hpp"
+#include "analysis/opt/opt.hpp"
+#include "common/error.hpp"
+
+namespace acctee::analysis {
+
+using interp::FlatFunc;
+using interp::FlatOp;
+using interp::OptRegion;
+using interp::OptRegionKind;
+using wasm::Op;
+
+const char* to_string(OptMutationKind kind) {
+  switch (kind) {
+    case OptMutationKind::UnderpayCharge: return "underpay-charge";
+    case OptMutationKind::WrongTripFold: return "wrong-trip-fold";
+    case OptMutationKind::InlineMiscount: return "inline-miscount";
+    case OptMutationKind::ElideLiveBlock: return "elide-live-block";
+    case OptMutationKind::FastBodyOpSwap: return "fast-body-op-swap";
+    case OptMutationKind::FastBodyCounterWrite:
+      return "fast-body-counter-write";
+    case OptMutationKind::RetargetGuard: return "retarget-guard";
+  }
+  return "?";
+}
+
+namespace {
+
+bool in_any_region(const FlatFunc& ff, uint32_t pc) {
+  for (const OptRegion& r : ff.regions) {
+    if (pc >= r.enter_pc && pc < r.fast_end) return true;
+    if (pc >= r.slow_begin && pc < r.slow_end) return true;
+  }
+  return false;
+}
+
+/// The op ElideLiveBlock removes: a plain reachable op outside every
+/// region (the pipeline's dead-block pass already ran, so whatever is left
+/// is live). UINT32_MAX if the function offers none.
+uint32_t elide_victim(const FlatFunc& ff) {
+  const uint32_t n = static_cast<uint32_t>(ff.code.size());
+  for (uint32_t pc = 0; pc + 1 < n; ++pc) {
+    const FlatOp& op = ff.code[pc];
+    if (op.synthetic || opt::detail::flat_op_ends_block(op)) continue;
+    if (in_any_region(ff, pc)) continue;
+    return pc;
+  }
+  return UINT32_MAX;
+}
+
+struct Plan {
+  std::vector<OptMutationSite> sites;
+  void add(OptMutationKind kind, uint32_t function, uint32_t region,
+           std::string what) {
+    sites.push_back({kind, function, region,
+                     std::string(analysis::to_string(kind)) + " func#" +
+                         std::to_string(function) + " " + std::move(what)});
+  }
+};
+
+Plan plan_sites(const std::vector<FlatFunc>& flat) {
+  Plan plan;
+  for (uint32_t df = 0; df < flat.size(); ++df) {
+    const FlatFunc& ff = flat[df];
+    for (uint32_t i = 0; i < ff.regions.size(); ++i) {
+      const OptRegion& r = ff.regions[i];
+      const std::string tag = "region#" + std::to_string(i);
+      if (r.counter_amount > 0) {
+        plan.add(OptMutationKind::UnderpayCharge, df, i, tag);
+      }
+      if (r.kind != OptRegionKind::CoalesceCall && r.trips > 1) {
+        plan.add(OptMutationKind::WrongTripFold, df, i, tag);
+      }
+      if (r.kind == OptRegionKind::CoalesceCall && r.instr_total > 1) {
+        plan.add(OptMutationKind::InlineMiscount, df, i, tag);
+      }
+      if (r.fast_end > r.fast_begin &&
+          ff.code[r.fast_begin].op != Op::Nop) {
+        plan.add(OptMutationKind::FastBodyOpSwap, df, i, tag);
+        plan.add(OptMutationKind::FastBodyCounterWrite, df, i, tag);
+      }
+      plan.add(OptMutationKind::RetargetGuard, df, i, tag);
+    }
+    if (uint32_t victim = elide_victim(ff); victim != UINT32_MAX) {
+      plan.add(OptMutationKind::ElideLiveBlock, df, 0,
+               "pc#" + std::to_string(victim));
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::vector<OptMutationSite> enumerate_opt_mutations(
+    const std::vector<FlatFunc>& flat) {
+  return plan_sites(flat).sites;
+}
+
+std::vector<FlatFunc> apply_opt_mutation(const std::vector<FlatFunc>& flat,
+                                         size_t index) {
+  Plan plan = plan_sites(flat);
+  if (index >= plan.sites.size()) {
+    throw Error("opt mutation index out of range (corpus has " +
+                std::to_string(plan.sites.size()) + " sites)");
+  }
+  const OptMutationSite& site = plan.sites[index];
+  std::vector<FlatFunc> out = flat;
+  FlatFunc& ff = out[site.function];
+  switch (site.kind) {
+    case OptMutationKind::UnderpayCharge: {
+      OptRegion& r = ff.regions[site.region];
+      r.counter_amount -= (r.counter_amount + 1) / 2;
+      break;
+    }
+    case OptMutationKind::WrongTripFold: {
+      // Consistent rescale: the region claims half the iterations across
+      // every total it carries, so no field contradicts another — only the
+      // induction code in the slow copy can expose the lie.
+      OptRegion& r = ff.regions[site.region];
+      const uint64_t t = r.trips;
+      const uint64_t half = t / 2;
+      r.trips = half;
+      r.instr_total = r.instr_total / t * half;
+      r.cycles_total = r.cycles_total / t * half;
+      r.counter_amount = r.counter_amount / t * half;
+      for (uint32_t k = r.hist_begin; k < r.hist_end; ++k) {
+        ff.region_hist[k].count = static_cast<uint32_t>(
+            ff.region_hist[k].count / t * half);
+      }
+      break;
+    }
+    case OptMutationKind::InlineMiscount: {
+      // Forget one callee op: the fused charge pays for one instruction
+      // fewer than the real call executes.
+      OptRegion& r = ff.regions[site.region];
+      r.instr_total -= 1;
+      for (uint32_t k = r.hist_end; k > r.hist_begin; --k) {
+        interp::BlockOpCount& h = ff.region_hist[k - 1];
+        if (h.count > 0) {
+          r.cycles_total -= wasm::op_info(h.op).base_cost;
+          h.count -= 1;
+          break;
+        }
+      }
+      break;
+    }
+    case OptMutationKind::ElideLiveBlock: {
+      const uint32_t victim = elide_victim(ff);
+      opt::detail::FuncEditor ed(ff);
+      for (uint32_t pc = 0; pc < ff.code.size(); ++pc) {
+        if (pc != victim) ed.copy(pc);
+      }
+      FlatFunc rebuilt = ed.finish();
+      interp::compute_block_costs(rebuilt);
+      ff = std::move(rebuilt);
+      break;
+    }
+    case OptMutationKind::FastBodyOpSwap: {
+      // The fast path silently skips work the slow copy performs: the op
+      // becomes a no-op while the wholesale charge still bills it.
+      OptRegion& r = ff.regions[site.region];
+      FlatOp& op = ff.code[r.fast_begin];
+      op = FlatOp{};
+      op.op = Op::Nop;
+      op.synthetic = true;
+      break;
+    }
+    case OptMutationKind::FastBodyCounterWrite: {
+      OptRegion& r = ff.regions[site.region];
+      FlatOp& op = ff.code[r.fast_begin];
+      op = FlatOp{};
+      op.op = Op::GlobalGet;
+      op.synthetic = true;
+      op.a = r.counter_global;
+      break;
+    }
+    case OptMutationKind::RetargetGuard: {
+      // The guard jumps to the join instead of the slow copy: a serial or
+      // checkpoint-crossing request skips the loop body entirely (and its
+      // charge), diverging from the untransformed module.
+      OptRegion& r = ff.regions[site.region];
+      ff.code[r.enter_pc].target_pc = r.fast_end;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace acctee::analysis

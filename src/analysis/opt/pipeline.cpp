@@ -1,0 +1,267 @@
+// The pass manager (DESIGN.md §19): fixed deterministic pass order, gated
+// by opt_level, with the verify-after-each-pass discipline — each pass
+// output is immediately re-proved (region semantics + §14 over the
+// collapsed view) and its evidence diff (counts, digests, proof time)
+// recorded in the trail the IE claims and the AE independently re-derives.
+#include <chrono>
+
+#include "analysis/opt/internal.hpp"
+#include "analysis/opt/opt.hpp"
+#include "common/error.hpp"
+
+namespace acctee::analysis::opt {
+
+using interp::FlatFunc;
+using interp::FlatOp;
+using interp::OptRegion;
+using wasm::Op;
+
+crypto::Digest flat_digest(const std::vector<FlatFunc>& flat) {
+  crypto::Sha256 ctx;
+  constexpr std::string_view kDomain = "acctee.optflat.v1";
+  ctx.update(BytesView(reinterpret_cast<const uint8_t*>(kDomain.data()),
+                       kDomain.size()));
+  Bytes buf;
+  auto u8 = [&](uint8_t v) { buf.push_back(v); };
+  auto u32 = [&](uint32_t v) { append_u32le(buf, v); };
+  auto u64 = [&](uint64_t v) { append_u64le(buf, v); };
+  u32(static_cast<uint32_t>(flat.size()));
+  ctx.update(buf);
+  for (const FlatFunc& ff : flat) {
+    buf.clear();
+    u32(ff.type_index);
+    u32(ff.num_params);
+    u32(static_cast<uint32_t>(ff.local_types.size()));
+    for (wasm::ValType t : ff.local_types) u8(static_cast<uint8_t>(t));
+    u32(static_cast<uint32_t>(ff.code.size()));
+    for (const FlatOp& op : ff.code) {
+      u8(static_cast<uint8_t>(op.op));
+      u8(op.synthetic ? 1 : 0);
+      u8(op.arity);
+      u32(op.a);
+      u32(op.target_pc);
+      u32(op.unwind);
+      u64(op.b);
+    }
+    u32(static_cast<uint32_t>(ff.br_tables.size()));
+    for (const auto& table : ff.br_tables) {
+      u32(static_cast<uint32_t>(table.size()));
+      for (const interp::BrTarget& t : table) {
+        u32(t.pc);
+        u32(t.unwind);
+        u8(t.arity);
+      }
+    }
+    u32(static_cast<uint32_t>(ff.regions.size()));
+    for (const OptRegion& r : ff.regions) {
+      u8(static_cast<uint8_t>(r.kind));
+      u32(r.enter_pc);
+      u32(r.fast_begin);
+      u32(r.fast_end);
+      u32(r.slow_begin);
+      u32(r.slow_end);
+      u32(r.callee);
+      u64(r.trips);
+      u64(r.instr_total);
+      u64(r.cycles_total);
+      u64(r.counter_amount);
+      u32(r.counter_global);
+      u32(r.calls_folded);
+      u32(r.frames_needed);
+      u32(r.hist_begin);
+      u32(r.hist_end);
+    }
+    u32(static_cast<uint32_t>(ff.region_hist.size()));
+    for (const interp::BlockOpCount& h : ff.region_hist) {
+      u8(static_cast<uint8_t>(h.op));
+      u32(h.count);
+    }
+    ctx.update(buf);
+  }
+  return ctx.finish();
+}
+
+bool flat_equal(const std::vector<FlatFunc>& a,
+                const std::vector<FlatFunc>& b) {
+  if (a.size() != b.size()) return false;
+  auto op_eq = [](const FlatOp& x, const FlatOp& y) {
+    return x.op == y.op && x.synthetic == y.synthetic && x.arity == y.arity &&
+           x.a == y.a && x.target_pc == y.target_pc && x.unwind == y.unwind &&
+           x.b == y.b;
+  };
+  for (size_t f = 0; f < a.size(); ++f) {
+    const FlatFunc& fa = a[f];
+    const FlatFunc& fb = b[f];
+    if (fa.type_index != fb.type_index || fa.num_params != fb.num_params ||
+        fa.local_types != fb.local_types ||
+        fa.code.size() != fb.code.size() ||
+        fa.br_tables != fb.br_tables || fa.regions != fb.regions ||
+        fa.region_hist != fb.region_hist) {
+      return false;
+    }
+    for (size_t i = 0; i < fa.code.size(); ++i) {
+      if (!op_eq(fa.code[i], fb.code[i])) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<FlatFunc> collapsed_view(const std::vector<FlatFunc>& flat) {
+  std::vector<FlatFunc> out = flat;
+  for (FlatFunc& ff : out) {
+    for (const OptRegion& r : ff.regions) {
+      // Enter becomes an unconditional jump to the slow copy: the only
+      // path the §14 dataflow sees is the verbatim baseline code.
+      FlatOp& enter = ff.code[r.enter_pc];
+      enter = FlatOp{};
+      enter.op = Op::Br;
+      enter.synthetic = true;
+      enter.target_pc = r.slow_begin;
+      // The fast body becomes an unreachable scaffold chain ending in a
+      // trap sink, so it contributes no edges (in particular none into the
+      // join) and the dead-block seeding carries zero debt through it.
+      for (uint32_t pc = r.fast_begin; pc < r.fast_end; ++pc) {
+        FlatOp& op = ff.code[pc];
+        op = FlatOp{};
+        op.op = pc + 1 == r.fast_end ? Op::Unreachable : Op::Nop;
+        op.synthetic = true;
+      }
+    }
+    ff.regions.clear();
+    ff.region_hist.clear();
+    interp::compute_block_costs(ff);
+  }
+  return out;
+}
+
+uint32_t count_hot_increments(const std::vector<FlatFunc>& flat,
+                              uint32_t counter_global) {
+  uint32_t count = 0;
+  for (const FlatFunc& ff : flat) {
+    auto in_slow = [&](uint32_t pc) {
+      for (const OptRegion& r : ff.regions) {
+        if (pc >= r.slow_begin && pc < r.slow_end) return true;
+      }
+      return false;
+    };
+    const uint32_t n = static_cast<uint32_t>(ff.code.size());
+    for (uint32_t pc = 0; pc < n; ++pc) {
+      if (in_slow(pc)) continue;
+      if (detail::increment_amount_at(ff.code, pc, counter_global)) {
+        ++count;
+        pc += 3;
+      }
+    }
+  }
+  return count;
+}
+
+namespace {
+
+uint32_t count_blocks(const std::vector<FlatFunc>& flat) {
+  uint32_t blocks = 0;
+  for (const FlatFunc& ff : flat) {
+    blocks += static_cast<uint32_t>(ff.blocks.size());
+  }
+  return blocks;
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const wasm::Module& module,
+                            const std::vector<FlatFunc>& baseline,
+                            uint32_t counter_global, uint32_t opt_level,
+                            const instrument::WeightTable& weights,
+                            const instrument::HostChargePolicy& host_charge) {
+  PipelineResult result;
+  result.trail.opt_level = opt_level > kMaxOptLevel ? kMaxOptLevel : opt_level;
+  result.flat = baseline;
+  if (result.trail.opt_level == 0) return result;
+
+  struct Pass {
+    const char* name;
+    uint32_t min_level;
+  };
+  constexpr Pass kPasses[] = {
+      {"dead-blocks", 1},
+      {"coalesce-calls", 1},
+      {"fold-loops", 2},
+  };
+  for (const Pass& pass : kPasses) {
+    if (result.trail.opt_level < pass.min_level) continue;
+    PassReport report;
+    report.name = pass.name;
+    report.min_level = pass.min_level;
+    report.blocks_before = count_blocks(result.flat);
+    report.increments_before =
+        count_hot_increments(result.flat, counter_global);
+
+    std::vector<FlatFunc> next;
+    if (report.name == "dead-blocks") {
+      next = detail::pass_dead_blocks(module, result.flat,
+                                      &report.ops_elided);
+    } else if (report.name == "coalesce-calls") {
+      next = detail::pass_coalesce_calls(module, result.flat, counter_global,
+                                         weights, host_charge,
+                                         &report.regions_added);
+    } else {
+      next = detail::pass_fold_loops(module, result.flat, counter_global,
+                                     /*allow_nests=*/result.trail.opt_level >=
+                                         3,
+                                     &report.regions_added);
+    }
+
+    // Verify-after-each-pass: the §14 proof (collapsed view) plus the
+    // per-region semantic re-derivation must accept the output before it
+    // becomes the next pass's input. A failure here is a pass bug; it must
+    // never ship, so fail closed.
+    const auto t0 = std::chrono::steady_clock::now();
+    OptVerifyResult proof = verify_optimised_module(
+        module, next, counter_global, weights, host_charge);
+    const auto t1 = std::chrono::steady_clock::now();
+    report.proof_micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+    if (!proof.ok) {
+      throw Error(std::string("opt pipeline: pass '") + pass.name +
+                  "' failed its counter-equivalence proof: " + proof.error);
+    }
+    report.blocks_after = count_blocks(next);
+    report.increments_after = count_hot_increments(next, counter_global);
+    report.cost_vector_digest = proof.cost_vector_digest;
+    report.flat_digest = flat_digest(next);
+    result.flat = std::move(next);
+    result.trail.passes.push_back(std::move(report));
+  }
+  return result;
+}
+
+interp::CompiledModulePtr optimise_compiled(
+    const interp::CompiledModulePtr& base, uint32_t counter_global,
+    uint32_t opt_level, const instrument::WeightTable& weights,
+    const instrument::HostChargePolicy& host_charge, OptTrail* trail_out) {
+  PipelineResult pr =
+      run_pipeline(base->module(), base->flat(), counter_global, opt_level,
+                   weights, host_charge);
+  if (trail_out != nullptr) *trail_out = pr.trail;
+  if (pr.trail.opt_level == 0) return base;
+  interp::CompiledModule::CompileOptions options;
+  options.validate = false;  // the baseline artifact already validated
+  options.lower = base->lower_options();
+  return std::make_shared<const interp::CompiledModule>(
+      base->module(), std::move(pr.flat), base->flat(), options,
+      base->validated());
+}
+
+bool check_optimised_flat(const wasm::Module& module,
+                          const std::vector<FlatFunc>& flat,
+                          uint32_t counter_global,
+                          const instrument::WeightTable& weights,
+                          const instrument::HostChargePolicy& host_charge,
+                          const crypto::Digest& claimed_cost_digest) {
+  OptVerifyResult res = verify_optimised_module(module, flat, counter_global,
+                                                weights, host_charge);
+  return res.ok && res.cost_vector_digest == claimed_cost_digest;
+}
+
+}  // namespace acctee::analysis::opt

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "analysis/opt/opt.hpp"
 #include "analysis/verifier.hpp"
 #include "common/error.hpp"
 #include "obs/trace.hpp"
@@ -166,10 +167,59 @@ AccountingEnclave::prepare(BytesView instrumented_binary,
           "statically recovered cost vector");
     }
     cost_digest = verdict.cost_vector_digest;
+  }
+
+  // --- 3b. Verified middle-end (DESIGN.md §19). The agreed policy fixes
+  // the optimisation level; the evidence must claim exactly that level, and
+  // the AE re-runs the deterministic pipeline from its own baseline
+  // flattening — each pass re-proved counter-equivalent — and refuses to
+  // execute unless the IE's signed per-pass trail matches its own
+  // derivation digest-for-digest. Execution then binds to the AE-derived
+  // transformed form, never to anything the IE shipped. ---
+  const uint32_t opt_level = std::min(config_.instrumentation.opt_level,
+                                      analysis::opt::kMaxOptLevel);
+  if (evidence.opt_level != opt_level) {
+    throw AttestationError(
+        "evidence optimisation level differs from agreed policy");
+  }
+  if (opt_level != 0) {
+    auto opt_span = obs::Tracer::global().span("ae.optimise");
+    const instrument::HostChargePolicy host_charge =
+        instrument::HostChargePolicy::for_module(
+            compiled->module(), config_.instrumentation.host_call_weight);
+    analysis::opt::PipelineResult pr = analysis::opt::run_pipeline(
+        compiled->module(), compiled->flat(), evidence.counter_global,
+        opt_level, config_.instrumentation.weights, host_charge);
+    if (pr.trail.passes.size() != evidence.opt_passes.size()) {
+      throw AttestationError(
+          "evidence optimisation trail length differs from the re-derived "
+          "pipeline");
+    }
+    for (size_t i = 0; i < pr.trail.passes.size(); ++i) {
+      const analysis::opt::PassReport& report = pr.trail.passes[i];
+      const OptPassClaim& claim = evidence.opt_passes[i];
+      if (claim.name != report.name ||
+          claim.cost_vector_digest != report.cost_vector_digest ||
+          claim.flat_digest != report.flat_digest) {
+        throw AttestationError(
+            "evidence optimisation trail diverges from the re-derived "
+            "pipeline at pass '" + report.name + "'");
+      }
+    }
+    interp::CompiledModule::CompileOptions copts;
+    copts.validate = false;  // the baseline artifact above already validated
+    copts.lower = compiled->lower_options();
+    compiled = std::make_shared<const interp::CompiledModule>(
+        compiled->module(), std::move(pr.flat), compiled->flat(),
+        std::move(copts), compiled->validated());
+  }
+
+  if (config_.verify_instrumentation) {
     // Verify-then-bind (DESIGN.md §15): the proofs above were carried out
     // over the flattened code; the bytecode backend executes the lowered
-    // form. Bind the two by re-deriving the lowering and its digest, so a
-    // tampered lowered stream can never run under a verified identity.
+    // form. Bind the two by re-deriving the lowering and its digest — over
+    // the optimised flat form when the middle-end ran — so a tampered
+    // lowered stream can never run under a verified identity.
     if (auto err = analysis::check_lowering(*compiled)) {
       verify_failures_->inc();
       throw AttestationError("lowering failed verify-then-bind: " + *err);

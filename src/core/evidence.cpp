@@ -3,20 +3,41 @@
 namespace acctee::core {
 
 Bytes InstrumentationEvidence::signed_payload() const {
-  // v3 extends v2 with the host-call surcharge. Zero-surcharge evidence
-  // keeps the v2 prefix and byte layout exactly, so every signature issued
-  // before the extension still verifies, and a v2 payload can never collide
-  // with a v3 one (the domain prefix differs).
-  Bytes out = to_bytes(host_call_weight == 0
-                           ? "acctee-instrumentation-evidence-v2"
-                           : "acctee-instrumentation-evidence-v3");
+  // v3 extends v2 with the host-call surcharge; v4 extends v3 with the
+  // optimisation trail (DESIGN.md §19). Evidence that does not use the
+  // newer feature keeps the older prefix and byte layout exactly, so every
+  // signature issued before each extension still verifies, and payloads of
+  // different versions can never collide (the domain prefix differs).
+  const char* domain = "acctee-instrumentation-evidence-v2";
+  if (opt_level != 0) {
+    domain = "acctee-instrumentation-evidence-v4";
+  } else if (host_call_weight != 0) {
+    domain = "acctee-instrumentation-evidence-v3";
+  }
+  Bytes out = to_bytes(domain);
   append(out, BytesView(input_hash.data(), input_hash.size()));
   append(out, BytesView(output_hash.data(), output_hash.size()));
   append(out, BytesView(weight_table_hash.data(), weight_table_hash.size()));
   out.push_back(static_cast<uint8_t>(pass));
   append_u32le(out, counter_global);
   append(out, BytesView(cost_vector_digest.data(), cost_vector_digest.size()));
-  if (host_call_weight != 0) append_u64le(out, host_call_weight);
+  if (host_call_weight != 0 || opt_level != 0) {
+    append_u64le(out, host_call_weight);
+  }
+  if (opt_level != 0) {
+    append_u32le(out, opt_level);
+    append_u32le(out, static_cast<uint32_t>(opt_passes.size()));
+    for (const OptPassClaim& claim : opt_passes) {
+      append_u32le(out, static_cast<uint32_t>(claim.name.size()));
+      append(out, BytesView(
+                      reinterpret_cast<const uint8_t*>(claim.name.data()),
+                      claim.name.size()));
+      append(out, BytesView(claim.cost_vector_digest.data(),
+                            claim.cost_vector_digest.size()));
+      append(out,
+             BytesView(claim.flat_digest.data(), claim.flat_digest.size()));
+    }
+  }
   return out;
 }
 

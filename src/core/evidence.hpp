@@ -3,11 +3,28 @@
 // given input module, under a given pass level and weight table.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "common/bytes.hpp"
 #include "crypto/signer.hpp"
 #include "instrument/passes.hpp"
 
 namespace acctee::core {
+
+/// One optimisation pass's claim in the evidence trail (payload v4): after
+/// this pass ran, the transformed flat form had `flat_digest` and its
+/// machine-checked counter-equivalence proof recovered a cost vector with
+/// `cost_vector_digest`. The AE re-runs the same deterministic pipeline
+/// from the baseline flattening and refuses to execute unless every claim
+/// matches its own derivation.
+struct OptPassClaim {
+  std::string name;
+  crypto::Digest cost_vector_digest{};
+  crypto::Digest flat_digest{};
+
+  bool operator==(const OptPassClaim&) const = default;
+};
 
 struct InstrumentationEvidence {
   crypto::Digest input_hash{};        // sha256 of the original binary
@@ -27,6 +44,11 @@ struct InstrumentationEvidence {
   /// own configuration. Zero keeps the signed payload byte-identical to
   /// the v2 format (see signed_payload).
   uint64_t host_call_weight = 0;
+  /// Optimisation level the middle-end pipeline ran at (DESIGN.md §19) and
+  /// the per-pass claim trail. Level 0 carries no trail and keeps the
+  /// signed payload byte-identical to the v3 (or v2) format.
+  uint32_t opt_level = 0;
+  std::vector<OptPassClaim> opt_passes;
   crypto::Signature signature;        // by the instrumentation enclave
 
   /// Canonical bytes covered by the signature.

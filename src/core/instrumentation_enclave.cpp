@@ -1,7 +1,9 @@
 #include "core/instrumentation_enclave.hpp"
 
+#include "analysis/opt/opt.hpp"
 #include "analysis/verifier.hpp"
 #include "crypto/hmac.hpp"
+#include "interp/compiled_module.hpp"
 #include "wasm/binary.hpp"
 #include "wasm/validator.hpp"
 
@@ -63,6 +65,30 @@ InstrumentationEnclave::Output InstrumentationEnclave::instrument_binary(
   out.evidence.counter_global = result.counter_global;
   out.evidence.cost_vector_digest = cost_digest;
   out.evidence.host_call_weight = options_.host_call_weight;
+  if (options_.opt_level != 0) {
+    // Verified middle-end (DESIGN.md §19): flatten the instrumented module
+    // and run the optimisation pipeline — each pass is proved
+    // counter-equivalent before its output is accepted — then sign the
+    // per-pass trail. The AE re-derives the same trail deterministically
+    // from the instrumented binary and rejects any divergence, so a
+    // compromised IE cannot smuggle an under-counting transform through
+    // the claims.
+    interp::CompiledModule::CompileOptions copts;
+    copts.validate = false;  // result.module was built from validated input
+    copts.lower.enable = false;
+    interp::CompiledModule compiled(result.module, copts);
+    const instrument::HostChargePolicy instr_charge =
+        instrument::HostChargePolicy::for_module(compiled.module(),
+                                                 options_.host_call_weight);
+    analysis::opt::PipelineResult pr = analysis::opt::run_pipeline(
+        compiled.module(), compiled.flat(), result.counter_global,
+        options_.opt_level, options_.weights, instr_charge);
+    out.evidence.opt_level = pr.trail.opt_level;
+    for (const analysis::opt::PassReport& report : pr.trail.passes) {
+      out.evidence.opt_passes.push_back(
+          {report.name, report.cost_vector_digest, report.flat_digest});
+    }
+  }
   out.evidence.signature = signer_.sign(out.evidence.signed_payload());
   return out;
 }

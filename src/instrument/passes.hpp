@@ -38,6 +38,12 @@ struct InstrumentOptions {
   /// accounting gap. 0 (the default) disables the charge and leaves the
   /// instrumented bytes exactly as before.
   uint64_t host_call_weight = 0;
+  /// Optimisation level for the verified middle-end (analysis/opt,
+  /// DESIGN.md §19): transform passes over the flattened form, each landing
+  /// only with a machine-checked counter-equivalence proof. 0 (the default)
+  /// disables the pipeline and keeps evidence bytes exactly as before.
+  /// Clamped to analysis::opt::kMaxOptLevel.
+  uint32_t opt_level = 0;
 };
 
 struct InstrumentStats {

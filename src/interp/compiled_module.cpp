@@ -22,6 +22,23 @@ CompiledModule::CompiledModule(wasm::Module module, CompileOptions options)
   }
 }
 
+CompiledModule::CompiledModule(wasm::Module module,
+                               std::vector<FlatFunc> optimised_flat,
+                               std::vector<FlatFunc> baseline_flat,
+                               CompileOptions options, bool validated)
+    : module_(std::move(module)),
+      flat_(std::move(optimised_flat)),
+      baseline_flat_(std::move(baseline_flat)),
+      validated_(validated),
+      optimised_(true) {
+  lower_options_ = options.lower;
+  if (options.lower.enable) {
+    lowered_ = lower_module(flat_, options.lower);
+    lowering_digest_ = interp::lowering_digest(flat_, lowered_, options.lower);
+    has_lowering_ = true;
+  }
+}
+
 CompiledModulePtr compile(wasm::Module module,
                           CompiledModule::CompileOptions options) {
   return std::make_shared<const CompiledModule>(std::move(module), options);

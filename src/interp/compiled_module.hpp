@@ -39,6 +39,17 @@ class CompiledModule {
   /// validation is requested and fails. Prefer the free compile() helpers.
   CompiledModule(wasm::Module module, CompileOptions options);
 
+  /// Builds the artifact from an externally transformed flat form — the
+  /// optimisation pipeline (analysis/opt, DESIGN.md §19). `optimised_flat`
+  /// is what lowering and execution use; `baseline_flat` keeps the
+  /// canonical (untransformed) flattening for the §14 counter-equivalence
+  /// proof. The module itself is byte-identical to the untransformed one —
+  /// optimisation happens strictly after decode+validate, so `validated`
+  /// carries the caller's verdict for that module.
+  CompiledModule(wasm::Module module, std::vector<FlatFunc> optimised_flat,
+                 std::vector<FlatFunc> baseline_flat, CompileOptions options,
+                 bool validated);
+
   CompiledModule(const CompiledModule&) = delete;
   CompiledModule& operator=(const CompiledModule&) = delete;
 
@@ -59,6 +70,12 @@ class CompiledModule {
   const BcFunc& lowered_func(uint32_t defined_index) const {
     return lowered_[defined_index];
   }
+  /// True iff this artifact was built through the optimisation pipeline.
+  bool optimised() const { return optimised_; }
+  /// The canonical (untransformed) flattening — the baseline the §14 proof
+  /// runs against. Empty unless optimised().
+  const std::vector<FlatFunc>& baseline_flat() const { return baseline_flat_; }
+
   /// The options the lowering ran with (needed to re-derive it).
   const LowerOptions& lower_options() const { return lower_options_; }
   /// Canonical digest binding the lowered form to the flattened form
@@ -68,11 +85,13 @@ class CompiledModule {
  private:
   wasm::Module module_;
   std::vector<FlatFunc> flat_;
+  std::vector<FlatFunc> baseline_flat_;
   std::vector<BcFunc> lowered_;
   LowerOptions lower_options_;
   crypto::Digest lowering_digest_{};
   bool validated_ = false;
   bool has_lowering_ = false;
+  bool optimised_ = false;
 };
 
 /// Shared ownership handle; every borrower holds one, so the artifact lives

@@ -263,10 +263,13 @@ class Flattener {
 /// True for ops after which execution cannot simply fall through to the
 /// next FlatOp (control transfers) or must not be batched past because they
 /// observe the live instruction counter (`memory.grow` folds the
-/// memory-size integral). Synthetic ops (internal jump/halt) also end
-/// blocks — they always transfer control.
+/// memory-size integral). The flattener's synthetic ops (internal
+/// jump/halt) are Br/Return and end blocks through the switch; synthetic
+/// copies inside optimisation-region fast bodies fall through like their
+/// originals. A region-enter marker ends its block — it either charges and
+/// falls into the fast body or transfers control to the slow copy.
 bool ends_block(const FlatOp& op) {
-  if (op.synthetic) return true;
+  if (is_region_enter(op)) return true;
   switch (op.op) {
     case Op::If:
     case Op::Br:
@@ -283,6 +286,8 @@ bool ends_block(const FlatOp& op) {
   }
 }
 
+}  // namespace
+
 /// Partitions `ff.code` into basic blocks and precomputes each block's
 /// accounting summary. Must run after all branch targets are patched.
 void compute_block_costs(FlatFunc& ff) {
@@ -298,7 +303,8 @@ void compute_block_costs(FlatFunc& ff) {
   head[0] = true;
   for (size_t i = 0; i < n; ++i) {
     const FlatOp& op = ff.code[i];
-    if (op.op == Op::If || op.op == Op::Br || op.op == Op::BrIf) {
+    if (op.op == Op::If || op.op == Op::Br || op.op == Op::BrIf ||
+        is_region_enter(op)) {
       if (op.target_pc < n) head[op.target_pc] = true;
     }
     if (ends_block(op) && i + 1 < n) head[i + 1] = true;
@@ -337,8 +343,6 @@ void compute_block_costs(FlatFunc& ff) {
     start = end;
   }
 }
-
-}  // namespace
 
 FlatFunc flatten(const wasm::Module& module, const wasm::Function& func) {
   Flattener flattener(module, func);

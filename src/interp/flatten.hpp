@@ -43,6 +43,65 @@ struct FlatOp {
 struct BlockOpCount {
   wasm::Op op = wasm::Op::Nop;
   uint32_t count = 0;
+
+  friend bool operator==(const BlockOpCount&, const BlockOpCount&) = default;
+};
+
+/// Marker tag carried in FlatOp::b by the synthetic Op::Nop that heads an
+/// optimisation region (analysis/opt, DESIGN.md §19). Real Nops always carry
+/// b == 0, so the interpreter's Nop handler can detect markers with one
+/// compare and the binary decoder never learns a new opcode.
+inline constexpr uint64_t kRegionEnterTag = 1;
+
+enum class OptRegionKind : uint8_t {
+  FoldLoop = 1,      // const-trip single-block loop folded to one charge
+  FoldNest = 2,      // perfect two-level counted nest folded to one charge
+  CoalesceCall = 3,  // tiny leaf call inlined, one fused increment
+};
+
+/// A guarded fast-path accounting region installed by the optimisation
+/// pipeline (analysis/opt). Layout in FlatFunc::code:
+///
+///   enter_pc:                synthetic Nop, b = kRegionEnterTag,
+///                            a = region index, target_pc = slow_begin
+///   [fast_begin, fast_end):  the fast body — synthetic copies of the
+///                            original ops minus every counter increment;
+///                            they execute but are never accounted
+///   fast_end:                the join (original continuation)
+///   [slow_begin, slow_end):  verbatim copy of the original (baseline) ops,
+///                            non-synthetic, ending in a synthetic Br back
+///                            to the join
+///
+/// The enter marker is a guard-plus-charge: when the region's statically
+/// known accounting span would cross a checkpoint, the instruction limit,
+/// the call-depth limit, or serial accounting is in force, control jumps to
+/// the slow copy, which accounts exactly like the untransformed module. On
+/// the fast path the whole span is charged wholesale (instructions, cycles,
+/// per-op histogram, weighted-counter global) before the body runs, so
+/// every observable cumulative total — ExecStats, checkpoint firings, the
+/// signed ledger — is bit-identical to opt_level=0. A trap inside a fast
+/// body leaves the full region charge standing (a bounded, provider-
+/// favourable over-charge; see DESIGN.md §19).
+struct OptRegion {
+  OptRegionKind kind = OptRegionKind::FoldLoop;
+  uint32_t enter_pc = 0;
+  uint32_t fast_begin = 0;
+  uint32_t fast_end = 0;
+  uint32_t slow_begin = 0;
+  uint32_t slow_end = 0;
+  uint32_t callee = 0;        // CoalesceCall: callee index (full index space)
+  uint64_t trips = 1;         // Fold*: derived constant trip count
+  uint64_t instr_total = 0;   // accounted ops the slow path would execute
+  uint64_t cycles_total = 0;  // summed per-opcode base costs of the span
+  uint64_t counter_amount = 0;     // folded weighted-counter bump
+  uint32_t counter_global = 0;
+  uint32_t calls_folded = 0;   // × CostModel call overhead at charge time
+  uint32_t frames_needed = 0;  // CoalesceCall: guard the call-depth limit
+  // Histogram of the span: [hist_begin, hist_end) into FlatFunc::region_hist.
+  uint32_t hist_begin = 0;
+  uint32_t hist_end = 0;
+
+  friend bool operator==(const OptRegion&, const OptRegion&) = default;
 };
 
 /// Accounting summary of one basic block: a maximal straight-line run of
@@ -81,9 +140,24 @@ struct FlatFunc {
   std::vector<BlockCost> blocks;
   std::vector<uint32_t> block_index;
   std::vector<BlockOpCount> block_hist;
+  // Optimisation regions (analysis/opt, DESIGN.md §19), in enter_pc order.
+  // Empty unless the opt pipeline transformed this function. `region_hist`
+  // is the flattened backing store of all regions' charge histograms.
+  std::vector<OptRegion> regions;
+  std::vector<BlockOpCount> region_hist;
 };
+
+/// True for the synthetic Nop marker heading an optimisation region.
+inline bool is_region_enter(const FlatOp& op) {
+  return op.synthetic && op.op == wasm::Op::Nop && op.b == kRegionEnterTag;
+}
 
 /// Flattens one defined function of a *validated* module.
 FlatFunc flatten(const wasm::Module& module, const wasm::Function& func);
+
+/// Recomputes the basic-block partition and per-block accounting summaries
+/// of `ff` from its code, branch tables and regions. flatten() calls this;
+/// the optimisation pipeline (analysis/opt) re-calls it after editing code.
+void compute_block_costs(FlatFunc& ff);
 
 }  // namespace acctee::interp

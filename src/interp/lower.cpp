@@ -150,11 +150,17 @@ std::optional<BcOp> lkos_i64_for(Op op) {
 // Tries to fuse a superinstruction starting at flat pc `i` (never reaching
 // past the block end `end`); appends it to `out` and returns the number of
 // flat ops consumed, or 0 when nothing matched. Synthetic ops never take
-// part in a fusion. Longest patterns win.
-uint32_t try_fuse(const FlatFunc& ff, uint32_t i, uint32_t end, BcFunc& out) {
+// part in a fusion — except inside an optimisation-region fast body
+// (`fast`), whose synthetic op copies keep their original semantics and are
+// only ever executed fully batched, so the fused forms behave identically.
+// Longest patterns win.
+uint32_t try_fuse(const FlatFunc& ff, uint32_t i, uint32_t end,
+                  const std::vector<bool>& fast, BcFunc& out) {
   const std::vector<FlatOp>& c = ff.code;
   const uint32_t n = end - i;
-  auto real = [&](uint32_t k) { return !c[i + k].synthetic; };
+  auto real = [&](uint32_t k) {
+    return !c[i + k].synthetic || (!fast.empty() && fast[i + k]);
+  };
 
   if (n >= 4 && real(0) && real(1) && real(2) && real(3)) {
     const FlatOp& o0 = c[i];
@@ -292,26 +298,39 @@ BcFunc lower_function(const FlatFunc& ff, const LowerOptions& options) {
   // bc pc of each flat block head (branches land on the EnterBlock).
   std::vector<uint32_t> bc_of_flat(ff.code.size(), UINT32_MAX);
 
+  // Optimisation-region fast-body pcs: those blocks carry no accounting (the
+  // region enter charged the whole span), so no EnterBlock is emitted for
+  // them — branches land directly on the first lowered op.
+  std::vector<bool> fast;
+  if (!ff.regions.empty()) {
+    fast.assign(ff.code.size(), false);
+    for (const OptRegion& r : ff.regions) {
+      for (uint32_t p = r.fast_begin; p < r.fast_end; ++p) fast[p] = true;
+    }
+  }
+
   uint32_t start = 0;
   for (const BlockCost& blk : ff.blocks) {
     bc_of_flat[start] = static_cast<uint32_t>(out.code.size());
-    BcInstr eb;
-    eb.op = BcOp::EnterBlock;
-    eb.a = blk.instructions;
-    eb.b = blk.cycles;
-    eb.c = blk.hist_begin;
-    eb.unwind = blk.hist_end;
-    // Flat end of the block, for the trap un-charge bookkeeping
-    // (charged_end_pc_). Not a branch target — never remapped.
-    eb.target_pc = blk.end_pc;
-    eb.flat_pc = start;  // empty flat range: EnterBlock is pure bookkeeping
-    eb.flat_end = start;
-    out.code.push_back(eb);
+    if (fast.empty() || !fast[start]) {
+      BcInstr eb;
+      eb.op = BcOp::EnterBlock;
+      eb.a = blk.instructions;
+      eb.b = blk.cycles;
+      eb.c = blk.hist_begin;
+      eb.unwind = blk.hist_end;
+      // Flat end of the block, for the trap un-charge bookkeeping
+      // (charged_end_pc_). Not a branch target — never remapped.
+      eb.target_pc = blk.end_pc;
+      eb.flat_pc = start;  // empty flat range: EnterBlock is pure bookkeeping
+      eb.flat_end = start;
+      out.code.push_back(eb);
+    }
 
     uint32_t i = start;
     while (i < blk.end_pc) {
       if (options.fuse) {
-        if (uint32_t consumed = try_fuse(ff, i, blk.end_pc, out)) {
+        if (uint32_t consumed = try_fuse(ff, i, blk.end_pc, fast, out)) {
           i += consumed;
           continue;
         }
@@ -327,6 +346,11 @@ BcFunc lower_function(const FlatFunc& ff, const LowerOptions& options) {
       bi.b = f.b;
       bi.flat_pc = i;
       bi.flat_end = i + 1;
+      if (is_region_enter(f)) {
+        // The marker's flat range is empty: it is pure bookkeeping to the
+        // serial fallback, exactly like EnterBlock.
+        bi.flat_end = i;
+      }
       out.code.push_back(bi);
       ++i;
     }
@@ -335,9 +359,11 @@ BcFunc lower_function(const FlatFunc& ff, const LowerOptions& options) {
 
   // Remap branch targets from flat pcs to bytecode pcs. Every target is a
   // block head by construction (compute_block_costs marks them), so the map
-  // is always populated.
+  // is always populated. Region-enter markers lower to Nop — not a branch
+  // op, but their slow-path target needs the same remap.
   for (BcInstr& bi : out.code) {
-    if (!bc_has_branch_target(bi.op)) continue;
+    const bool region_marker = bi.op == BcOp::Nop && bi.b != 0;
+    if (!bc_has_branch_target(bi.op) && !region_marker) continue;
     uint32_t mapped = bc_of_flat.at(bi.target_pc);
     if (mapped == UINT32_MAX) {
       throw std::logic_error("lower: branch target is not a block head");
@@ -369,7 +395,14 @@ crypto::Digest lowering_digest(const std::vector<FlatFunc>& flat,
                                const std::vector<BcFunc>& lowered,
                                const LowerOptions& options) {
   crypto::Sha256 ctx;
-  static constexpr std::string_view kDomain = "acctee.lowering.v1";
+  // v2 extends v1 with the optimisation-region tables; a module with no
+  // regions keeps the exact v1 bytes so opt_level=0 digests are unchanged.
+  bool any_regions = false;
+  for (const FlatFunc& ff : flat) {
+    if (!ff.regions.empty()) any_regions = true;
+  }
+  const std::string_view kDomain =
+      any_regions ? "acctee.lowering.v2" : "acctee.lowering.v1";
   ctx.update(BytesView(reinterpret_cast<const uint8_t*>(kDomain.data()),
                        kDomain.size()));
   Bytes buf;
@@ -418,6 +451,32 @@ crypto::Digest lowering_digest(const std::vector<FlatFunc>& flat,
     for (const BlockOpCount& h : ff.block_hist) {
       u8(static_cast<uint8_t>(h.op));
       u32(h.count);
+    }
+    if (any_regions) {
+      u32(static_cast<uint32_t>(ff.regions.size()));
+      for (const OptRegion& r : ff.regions) {
+        u8(static_cast<uint8_t>(r.kind));
+        u32(r.enter_pc);
+        u32(r.fast_begin);
+        u32(r.fast_end);
+        u32(r.slow_begin);
+        u32(r.slow_end);
+        u32(r.callee);
+        u64(r.trips);
+        u64(r.instr_total);
+        u64(r.cycles_total);
+        u64(r.counter_amount);
+        u32(r.counter_global);
+        u32(r.calls_folded);
+        u32(r.frames_needed);
+        u32(r.hist_begin);
+        u32(r.hist_end);
+      }
+      u32(static_cast<uint32_t>(ff.region_hist.size()));
+      for (const BlockOpCount& h : ff.region_hist) {
+        u8(static_cast<uint8_t>(h.op));
+        u32(h.count);
+      }
     }
     if (f < lowered.size()) {
       const BcFunc& bf = lowered[f];

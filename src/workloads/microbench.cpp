@@ -148,4 +148,30 @@ wasm::Module memory_access_bench(ValType type, bool is_store,
   return mb.build();
 }
 
+wasm::Module leaf_call_bench() {
+  ModuleBuilder mb;
+  // The leaf: a straight-line integer mixer with an implicit return, so its
+  // flat form is plain ops + one counter window + a synthetic return — the
+  // exact shape match_coalesce_callee admits.
+  const uint32_t leaf =
+      mb.func("", {ValType::I32}, {ValType::I32}, [](FuncBuilder& b) {
+        Ex x = b.get(0);
+        b.emit((x * ic(-1640531527)) ^
+               (shr_u(b.get(0), ic(15)) + ic(0x9e37)));
+      });
+  mb.func("run", {ValType::I32}, {ValType::I64}, [&](FuncBuilder& b) {
+    const uint32_t i = b.local(ValType::I32);
+    const uint32_t sum = b.local(ValType::I64);
+    b.set(sum, lc(0));
+    // Data-dependent bound: the loop never const-trip folds, so the whole
+    // instrumented speedup comes from coalescing the call.
+    b.for_i32(i, ic(0), b.get(0) * ic(256), 1, [&] {
+      b.set(sum, b.get(sum) ^
+                     to_i64_u(b.call_ex(leaf, {b.get(i)}, ValType::I32)));
+    });
+    b.ret(b.get(sum));
+  });
+  return mb.build();
+}
+
 }  // namespace acctee::workloads

@@ -39,4 +39,11 @@ wasm::Module memory_access_bench(wasm::ValType type, bool is_store,
                                  AccessPattern pattern,
                                  uint64_t footprint_bytes, uint32_t accesses);
 
+/// Call-dominated workload for the optimising middle-end (DESIGN.md §19):
+/// `run: [i32 scale] -> [i64]` loops `scale * 256` times calling a tiny
+/// straight-line leaf mixer — the shape the counter-coalescing pass inlines
+/// behind a region guard. The loop bound is data-dependent, so the loop
+/// itself is never const-trip folded; every speedup comes from the call.
+wasm::Module leaf_call_bench();
+
 }  // namespace acctee::workloads

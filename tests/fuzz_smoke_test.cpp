@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "analysis/mutate.hpp"
+#include "analysis/opt/opt.hpp"
 #include "audit/ledger.hpp"
 #include "common/bytes.hpp"
 #include "core/resource_log.hpp"
@@ -213,6 +214,41 @@ TEST(FuzzSmoke, LedgerDeserializeNeverCrashes) {
     parsed.totals_by_tenant();
     parsed.serialize();
   });
+}
+
+/// The optimising middle-end (DESIGN.md §19) sits downstream of the same
+/// attacker-controlled bytes: whatever survives decode + validate gets
+/// instrumented, flattened and fed through the pass pipeline at max level.
+/// The pipeline must be total — accept (with the §14 proof re-passing on
+/// its output) or throw a typed Error, never crash or corrupt memory (the
+/// ASan build makes that claim real).
+TEST(FuzzSmoke, OptPipelineNeverCrashesAtMaxLevel) {
+  Bytes seed_bytes = sample_module_bytes();
+  const instrument::WeightTable weights = instrument::WeightTable::unit();
+  const instrument::HostChargePolicy host_charge;
+  size_t optimised_count = 0;
+  fuzz(seed_bytes, 0xacc7ee05, 600, [&](BytesView data) {
+    wasm::Module module = wasm::decode(data);
+    wasm::validate(module);
+    auto instrumented = instrument::instrument(
+        module, {instrument::PassKind::FlowBased, weights});
+    interp::CompiledModulePtr compiled = interp::compile(instrumented.module);
+    analysis::opt::PipelineResult pr = analysis::opt::run_pipeline(
+        compiled->module(), compiled->flat(), instrumented.counter_global,
+        analysis::opt::kMaxOptLevel, weights, host_charge);
+    // Anything the pipeline shipped must still hold the full proof —
+    // run_pipeline's internal per-pass verification is not taken on faith.
+    analysis::opt::OptVerifyResult proof =
+        analysis::opt::verify_optimised_module(compiled->module(), pr.flat,
+                                               instrumented.counter_global,
+                                               weights, host_charge);
+    EXPECT_TRUE(proof.ok) << proof.error;
+    ++optimised_count;
+  });
+  // The unmutated seed is loop-shaped enough that some mutants make it all
+  // the way through; a corpus where nothing reaches the pipeline would be
+  // vacuous.
+  EXPECT_GT(optimised_count, 0u);
 }
 
 /// The structured (module-level) half of the corpus idiom: every

@@ -1,0 +1,455 @@
+// The verified optimising middle-end (DESIGN.md §19).
+//
+// These tests pin the three contracts the pass pipeline ships under:
+//  * acceptance — every pass output re-proves the §14 counter-equivalence
+//    property, and the lowered form binds to the optimised flat form;
+//  * determinism — same inputs, same bytes, across independent pipeline
+//    runs, re-application to already-optimised code, and independent IE
+//    instances (the evidence v4 trail is reproducible bit-for-bit);
+//  * observational identity — ExecStats, checkpoint firings, the counter
+//    global and every signed ledger byte are bit-identical between
+//    opt_level=0 and opt_level=max, across dispatch backends and
+//    accounting granularities.
+// Plus the fail-closed side: the AE rejects level mismatches and tampered
+// pass trails, and the hostile opt-mutation corpus has zero false accepts.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/mutate.hpp"
+#include "common/error.hpp"
+#include "analysis/opt/opt.hpp"
+#include "analysis/verifier.hpp"
+#include "core/accounting_enclave.hpp"
+#include "core/instrumentation_enclave.hpp"
+#include "instrument/passes.hpp"
+#include "sgx/platform.hpp"
+#include "wasm/binary.hpp"
+#include "workloads/microbench.hpp"
+#include "workloads/polybench.hpp"
+#include "workloads/usecases.hpp"
+
+namespace acctee {
+namespace {
+
+using interp::DispatchMode;
+using interp::ExecStats;
+using interp::Instance;
+using V = interp::TypedValue;
+
+struct Workload {
+  const char* name;
+  wasm::Module module;
+  interp::Values args;
+};
+
+// Loop-heavy kernels (fold regions), a recursive/branchy use case (dead
+// blocks + folds), and the call-dominated leaf-call bench (coalesce).
+std::vector<Workload> workloads() {
+  std::vector<Workload> out;
+  out.push_back({"gemm", workloads::build_polybench("gemm", 8), {}});
+  out.push_back({"atax", workloads::build_polybench("atax", 12), {}});
+  out.push_back(
+      {"subsetsum", workloads::usecase_subsetsum(), {V::make_i32(2)}});
+  out.push_back(
+      {"leaf_call", workloads::leaf_call_bench(), {V::make_i32(2)}});
+  return out;
+}
+
+std::vector<instrument::PassKind> pass_kinds() {
+  return {instrument::PassKind::Naive, instrument::PassKind::FlowBased,
+          instrument::PassKind::LoopBased};
+}
+
+struct Prepared {
+  instrument::InstrumentResult instrumented;
+  interp::CompiledModulePtr baseline;
+};
+
+Prepared prepare(const wasm::Module& module, instrument::PassKind kind) {
+  Prepared p;
+  p.instrumented =
+      instrument::instrument(module, {kind, instrument::WeightTable::unit()});
+  p.baseline = interp::compile(p.instrumented.module);
+  return p;
+}
+
+// Every built workload at every pass kind and every opt level: the pipeline
+// must accept its own output (throwing is a pass bug — fail closed), the
+// full optimised-module proof must hold, and the lowered bytecode must bind
+// to the optimised flat form (verify-then-bind, §15).
+TEST(OptPipeline, AcceptsWorkloadsAtEveryLevel) {
+  const instrument::WeightTable weights = instrument::WeightTable::unit();
+  const instrument::HostChargePolicy host_charge;
+  for (Workload& w : workloads()) {
+    for (instrument::PassKind kind : pass_kinds()) {
+      Prepared p = prepare(w.module, kind);
+      for (uint32_t level = 0; level <= analysis::opt::kMaxOptLevel;
+           ++level) {
+        SCOPED_TRACE(std::string(w.name) + " kind=" +
+                     std::to_string(static_cast<int>(kind)) +
+                     " L" + std::to_string(level));
+        analysis::opt::PipelineResult pr = analysis::opt::run_pipeline(
+            p.baseline->module(), p.baseline->flat(),
+            p.instrumented.counter_global, level, weights, host_charge);
+        analysis::opt::OptVerifyResult proof =
+            analysis::opt::verify_optimised_module(
+                p.baseline->module(), pr.flat, p.instrumented.counter_global,
+                weights, host_charge);
+        EXPECT_TRUE(proof.ok) << proof.error;
+        interp::CompiledModulePtr optimised = analysis::opt::optimise_compiled(
+            p.baseline, p.instrumented.counter_global, level, weights,
+            host_charge);
+        EXPECT_EQ(analysis::check_lowering(*optimised), std::nullopt);
+        if (level == 0) {
+          EXPECT_TRUE(pr.trail.passes.empty());
+          EXPECT_TRUE(
+              analysis::opt::flat_equal(pr.flat, p.baseline->flat()));
+        }
+      }
+    }
+  }
+}
+
+// The passes do transform: at max level the hot-path increment count drops
+// on the loop-heavy kernels (folds) and on the call-dominated bench under
+// flow-based instrumentation (coalescing), and regions exist.
+TEST(OptPipeline, PassesActuallyFireOnTheCorpus) {
+  const instrument::WeightTable weights = instrument::WeightTable::unit();
+  const instrument::HostChargePolicy host_charge;
+  struct Case {
+    const char* name;
+    wasm::Module module;
+    instrument::PassKind kind;
+    // Folds move loop-body increments into regions, so the hot count drops.
+    // Coalescing fuses the *call site's* charge; the callee function body —
+    // and its window — survives for out-of-region callers, so the count
+    // holds steady while a region still appears.
+    bool expect_fewer_increments;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"gemm", workloads::build_polybench("gemm", 8),
+                   instrument::PassKind::Naive, true});
+  cases.push_back({"leaf_call", workloads::leaf_call_bench(),
+                   instrument::PassKind::FlowBased, false});
+  for (Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    Prepared p = prepare(c.module, c.kind);
+    analysis::opt::PipelineResult pr = analysis::opt::run_pipeline(
+        p.baseline->module(), p.baseline->flat(), p.instrumented.counter_global,
+        analysis::opt::kMaxOptLevel, weights, host_charge);
+    uint32_t regions = 0;
+    for (const analysis::opt::PassReport& report : pr.trail.passes) {
+      regions += report.regions_added;
+    }
+    EXPECT_GT(regions, 0u);
+    if (c.expect_fewer_increments) {
+      EXPECT_LT(
+          analysis::opt::count_hot_increments(pr.flat,
+                                              p.instrumented.counter_global),
+          analysis::opt::count_hot_increments(p.baseline->flat(),
+                                              p.instrumented.counter_global));
+    }
+  }
+}
+
+// Determinism: two independent pipeline runs over the same baseline produce
+// byte-identical flat code, identical per-pass trails, and identical
+// digests. Idempotence: re-running the pipeline over its own output changes
+// nothing — every pass skips code already inside a region.
+TEST(OptPipeline, DeterministicAndIdempotent) {
+  const instrument::WeightTable weights = instrument::WeightTable::unit();
+  const instrument::HostChargePolicy host_charge;
+  for (Workload& w : workloads()) {
+    SCOPED_TRACE(w.name);
+    Prepared p = prepare(w.module, instrument::PassKind::FlowBased);
+    auto run = [&](const std::vector<interp::FlatFunc>& base) {
+      return analysis::opt::run_pipeline(
+          p.baseline->module(), base, p.instrumented.counter_global,
+          analysis::opt::kMaxOptLevel, weights, host_charge);
+    };
+    analysis::opt::PipelineResult first = run(p.baseline->flat());
+    analysis::opt::PipelineResult second = run(p.baseline->flat());
+    EXPECT_TRUE(analysis::opt::flat_equal(first.flat, second.flat));
+    EXPECT_EQ(analysis::opt::flat_digest(first.flat),
+              analysis::opt::flat_digest(second.flat));
+    ASSERT_EQ(first.trail.passes.size(), second.trail.passes.size());
+    for (size_t i = 0; i < first.trail.passes.size(); ++i) {
+      EXPECT_EQ(first.trail.passes[i].flat_digest,
+                second.trail.passes[i].flat_digest);
+      EXPECT_EQ(first.trail.passes[i].cost_vector_digest,
+                second.trail.passes[i].cost_vector_digest);
+    }
+    analysis::opt::PipelineResult again = run(first.flat);
+    std::string trail;
+    for (const analysis::opt::PassReport& r : again.trail.passes) {
+      trail += r.name + " regions=" + std::to_string(r.regions_added) +
+               " elided=" + std::to_string(r.ops_elided) + "; ";
+    }
+    EXPECT_TRUE(analysis::opt::flat_equal(again.flat, first.flat)) << trail;
+  }
+}
+
+// Evidence determinism across process-independent IE instances: two IEs
+// (distinct platforms, distinct signing keys) produce byte-identical signed
+// payloads — including the v4 opt trail — for the same binary and options.
+TEST(OptPipeline, EvidencePayloadDeterministicAcrossEnclaves) {
+  instrument::InstrumentOptions opts;
+  opts.pass = instrument::PassKind::FlowBased;
+  opts.opt_level = analysis::opt::kMaxOptLevel;
+  Bytes binary = wasm::encode(workloads::build_polybench("gemm", 8));
+
+  sgx::Platform host_a{"ie-a", to_bytes("ie-seed-a")};
+  sgx::Platform host_b{"ie-b", to_bytes("ie-seed-b")};
+  core::InstrumentationEnclave ie_a(host_a, opts);
+  core::InstrumentationEnclave ie_b(host_b, opts);
+  core::InstrumentationEnclave::Output out_a = ie_a.instrument_binary(binary);
+  core::InstrumentationEnclave::Output out_b = ie_b.instrument_binary(binary);
+
+  EXPECT_EQ(out_a.instrumented_binary, out_b.instrumented_binary);
+  EXPECT_EQ(out_a.evidence.signed_payload(), out_b.evidence.signed_payload());
+  EXPECT_EQ(out_a.evidence.opt_level, analysis::opt::kMaxOptLevel);
+  EXPECT_FALSE(out_a.evidence.opt_passes.empty());
+}
+
+Instance::Options interp_options(DispatchMode dispatch,
+                                 bool per_instruction) {
+  Instance::Options opts;
+  opts.cache_model = false;
+  opts.dispatch = dispatch;
+  opts.per_instruction_accounting = per_instruction;
+  return opts;
+}
+
+void expect_stats_equal(const ExecStats& got, const ExecStats& want,
+                        const std::string& label) {
+  EXPECT_EQ(got.instructions, want.instructions) << label;
+  EXPECT_EQ(got.cycles, want.cycles) << label;
+  EXPECT_EQ(got.mem_loads, want.mem_loads) << label;
+  EXPECT_EQ(got.mem_stores, want.mem_stores) << label;
+  EXPECT_EQ(got.host_calls, want.host_calls) << label;
+  EXPECT_EQ(got.peak_memory_bytes, want.peak_memory_bytes) << label;
+}
+
+struct Observed {
+  ExecStats stats;
+  uint64_t counter = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> snapshots;  // (instrs, counter)
+};
+
+Observed observe(const interp::CompiledModulePtr& compiled,
+                 uint32_t counter_global, const Workload& w,
+                 const Instance::Options& opts) {
+  Instance inst(compiled, {}, opts);
+  Observed obs;
+  // A deliberately odd interval so checkpoints land mid-loop and mid-region:
+  // every firing forces the serial fallback, so a region that wholesale-
+  // charged across a checkpoint would shift a snapshot.
+  inst.set_checkpoint(997, [&](Instance& at) {
+    obs.snapshots.emplace_back(at.stats().instructions,
+                               at.read_global_index(counter_global).bits);
+  });
+  inst.invoke("run", w.args);
+  obs.stats = inst.stats();
+  obs.counter = inst.read_global_index(counter_global).bits;
+  return obs;
+}
+
+// The acceptance bar: ExecStats, the weighted counter, and every checkpoint
+// snapshot are bit-identical between opt_level=0 and opt_level=max, for
+// every workload, across dispatch backends and accounting granularities.
+TEST(OptAccounting, BitIdenticalAcrossOptLevels) {
+  const instrument::WeightTable weights = instrument::WeightTable::unit();
+  const instrument::HostChargePolicy host_charge;
+  struct Combo {
+    const char* name;
+    DispatchMode dispatch;
+    bool per_instruction;
+  };
+  const std::vector<Combo> combos = {
+      {"switch/batched", DispatchMode::Switch, false},
+      {"switch/serial", DispatchMode::Switch, true},
+      {"threaded/batched", DispatchMode::Threaded, false},
+      {"bytecode/batched", DispatchMode::Bytecode, false},
+  };
+  for (Workload& w : workloads()) {
+    for (instrument::PassKind kind : pass_kinds()) {
+      Prepared p = prepare(w.module, kind);
+      interp::CompiledModulePtr optimised = analysis::opt::optimise_compiled(
+          p.baseline, p.instrumented.counter_global,
+          analysis::opt::kMaxOptLevel, weights, host_charge);
+      for (const Combo& combo : combos) {
+        const std::string label = std::string(w.name) + "/" + combo.name +
+                                  "/kind" +
+                                  std::to_string(static_cast<int>(kind));
+        Instance::Options opts =
+            interp_options(combo.dispatch, combo.per_instruction);
+        Observed base =
+            observe(p.baseline, p.instrumented.counter_global, w, opts);
+        Observed opt =
+            observe(optimised, p.instrumented.counter_global, w, opts);
+        expect_stats_equal(opt.stats, base.stats, label);
+        EXPECT_EQ(opt.counter, base.counter) << label;
+        EXPECT_EQ(opt.snapshots, base.snapshots) << label;
+        EXPECT_FALSE(base.snapshots.empty()) << label;
+      }
+    }
+  }
+}
+
+// Same bar at the trust boundary: the instruction-limit trap fires at the
+// same point (same stats, same counter) with and without the middle-end —
+// a region must never wholesale-charge past the limit.
+TEST(OptAccounting, InstructionLimitTrapsIdentically) {
+  const instrument::WeightTable weights = instrument::WeightTable::unit();
+  const instrument::HostChargePolicy host_charge;
+  Workload w{"gemm", workloads::build_polybench("gemm", 8), {}};
+  Prepared p = prepare(w.module, instrument::PassKind::FlowBased);
+  interp::CompiledModulePtr optimised = analysis::opt::optimise_compiled(
+      p.baseline, p.instrumented.counter_global, analysis::opt::kMaxOptLevel,
+      weights, host_charge);
+
+  // Find the full cost, then cap below it so the trap lands mid-execution.
+  Instance::Options opts = interp_options(DispatchMode::Switch, false);
+  Instance full(p.baseline, {}, opts);
+  full.invoke("run", w.args);
+  opts.max_instructions = full.stats().instructions / 2;
+
+  auto run_capped = [&](const interp::CompiledModulePtr& compiled) {
+    Instance inst(compiled, {}, opts);
+    EXPECT_THROW(inst.invoke("run", w.args), TrapError);
+    return std::make_pair(
+        inst.stats().instructions,
+        inst.read_global_index(p.instrumented.counter_global).bits);
+  };
+  EXPECT_EQ(run_capped(p.baseline), run_capped(optimised));
+}
+
+struct EnclaveRun {
+  core::AccountingEnclave::Outcome outcome;
+};
+
+EnclaveRun run_enclaves(const Bytes& binary, const Workload& w,
+                        uint32_t opt_level) {
+  instrument::InstrumentOptions opts;
+  opts.pass = instrument::PassKind::FlowBased;
+  opts.opt_level = opt_level;
+  sgx::Platform ie_host{"ie-host", to_bytes("ie-seed")};
+  sgx::Platform cloud{"cloud", to_bytes("cloud-seed")};
+  core::InstrumentationEnclave ie(ie_host, opts);
+  core::AccountingEnclave::Config config;
+  config.trusted_ie_identity = ie.identity();
+  config.instrumentation = opts;
+  config.checkpoint_interval = 5000;
+  core::AccountingEnclave ae(cloud, config);
+  core::InstrumentationEnclave::Output out = ie.instrument_binary(binary);
+  return {ae.execute(out.instrumented_binary, out.evidence, "run", w.args)};
+}
+
+// End-to-end through the enclaves: the signed ledger — the final log, its
+// signature, and every periodic interim log — is byte-identical whether the
+// AE executed the baseline or the fully optimised form.
+TEST(OptEnclave, SignedLedgerBitIdenticalAcrossOptLevels) {
+  for (Workload& w : workloads()) {
+    SCOPED_TRACE(w.name);
+    Bytes binary = wasm::encode(w.module);
+    EnclaveRun base = run_enclaves(binary, w, 0);
+    EnclaveRun opt = run_enclaves(binary, w, analysis::opt::kMaxOptLevel);
+
+    EXPECT_EQ(opt.outcome.signed_log.log.serialize(),
+              base.outcome.signed_log.log.serialize());
+    EXPECT_EQ(opt.outcome.signed_log.signature.serialize(),
+              base.outcome.signed_log.signature.serialize());
+    ASSERT_EQ(opt.outcome.results.size(), base.outcome.results.size());
+    for (size_t i = 0; i < base.outcome.results.size(); ++i) {
+      EXPECT_EQ(opt.outcome.results[i].bits, base.outcome.results[i].bits);
+    }
+    ASSERT_EQ(opt.outcome.interim_logs.size(),
+              base.outcome.interim_logs.size());
+    for (size_t i = 0; i < base.outcome.interim_logs.size(); ++i) {
+      EXPECT_EQ(opt.outcome.interim_logs[i].log.serialize(),
+                base.outcome.interim_logs[i].log.serialize());
+    }
+    expect_stats_equal(opt.outcome.stats, base.outcome.stats, w.name);
+  }
+}
+
+// Fail-closed at the AE: evidence claiming a different opt level than the
+// agreed policy is rejected before execution, as is a signed trail whose
+// per-pass digests diverge from the AE's own re-derived pipeline.
+TEST(OptEnclave, RejectsLevelMismatchAndTamperedTrail) {
+  Bytes binary = wasm::encode(workloads::build_polybench("gemm", 8));
+  instrument::InstrumentOptions l3;
+  l3.pass = instrument::PassKind::FlowBased;
+  l3.opt_level = analysis::opt::kMaxOptLevel;
+  sgx::Platform ie_host{"ie-host", to_bytes("ie-seed")};
+  core::InstrumentationEnclave ie(ie_host, l3);
+  core::InstrumentationEnclave::Output out = ie.instrument_binary(binary);
+
+  // Level mismatch: the AE agreed on level 0 but the evidence claims max.
+  {
+    sgx::Platform cloud{"cloud", to_bytes("cloud-seed")};
+    core::AccountingEnclave::Config config;
+    config.trusted_ie_identity = ie.identity();
+    config.instrumentation = l3;
+    config.instrumentation.opt_level = 0;
+    core::AccountingEnclave ae(cloud, config);
+    EXPECT_THROW(ae.prepare(out.instrumented_binary, out.evidence),
+                 AttestationError);
+  }
+  // Tampered trail: flipping a bit in a pass claim invalidates the IE
+  // signature over the v4 payload — the AE must refuse.
+  {
+    sgx::Platform cloud{"cloud", to_bytes("cloud-seed")};
+    core::AccountingEnclave::Config config;
+    config.trusted_ie_identity = ie.identity();
+    config.instrumentation = l3;
+    core::AccountingEnclave ae(cloud, config);
+    core::InstrumentationEvidence tampered = out.evidence;
+    ASSERT_FALSE(tampered.opt_passes.empty());
+    tampered.opt_passes.front().cost_vector_digest[0] ^= 0x01;
+    EXPECT_THROW(ae.prepare(out.instrumented_binary, tampered),
+                 AttestationError);
+    // The honest evidence still prepares under the same config.
+    EXPECT_NO_THROW(ae.prepare(out.instrumented_binary, out.evidence));
+  }
+}
+
+// The hostile-optimiser corpus: every structurally plausible mutation of a
+// transformed module (undercharged regions, wrong trip counts, miscounted
+// inlines, elided live blocks, divergent fast bodies, retargeted guards)
+// must fail the acceptance gate. Zero false accepts.
+TEST(OptMutation, ZeroFalseAcceptsOnTransformedWorkloads) {
+  const instrument::WeightTable weights = instrument::WeightTable::unit();
+  const instrument::HostChargePolicy host_charge;
+  size_t sites_total = 0;
+  for (Workload& w : workloads()) {
+    Prepared p = prepare(w.module, instrument::PassKind::FlowBased);
+    analysis::opt::PipelineResult pr = analysis::opt::run_pipeline(
+        p.baseline->module(), p.baseline->flat(), p.instrumented.counter_global,
+        analysis::opt::kMaxOptLevel, weights, host_charge);
+    analysis::opt::OptVerifyResult honest =
+        analysis::opt::verify_optimised_module(
+            p.baseline->module(), pr.flat, p.instrumented.counter_global,
+            weights, host_charge);
+    ASSERT_TRUE(honest.ok) << w.name << ": " << honest.error;
+    std::vector<analysis::OptMutationSite> sites =
+        analysis::enumerate_opt_mutations(pr.flat);
+    sites_total += sites.size();
+    for (size_t i = 0; i < sites.size(); ++i) {
+      std::vector<interp::FlatFunc> mutated =
+          analysis::apply_opt_mutation(pr.flat, i);
+      EXPECT_FALSE(analysis::opt::check_optimised_flat(
+          p.baseline->module(), mutated, p.instrumented.counter_global,
+          weights, host_charge, honest.cost_vector_digest))
+          << w.name << " accepted mutant: " << sites[i].description;
+    }
+  }
+  // The corpus is only meaningful if mutants actually exist on this corpus.
+  EXPECT_GT(sites_total, 0u);
+}
+
+}  // namespace
+}  // namespace acctee

@@ -29,15 +29,21 @@
 //       with wall-clock durations, or exports Chrome trace-event JSON.
 //
 //   acctee verify-instr <module.wat|module.wasm> [--counter N]
-//                       [--weights unit|base]
+//                       [--weights unit|base] [--opt-level N]
 //       Runs the accounting enclave's static counter-equivalence verifier
 //       (DESIGN.md §14) over an instrumented module: proves that along
 //       every control-flow path the counter increments equal the naive
 //       weighted cost and that nothing else touches the counter, then
 //       prints the recovered per-function cost vector and its digest.
 //       Exits 1 with a concrete counterexample path on failure.
+//       --opt-level N additionally runs the verified optimising middle-end
+//       (DESIGN.md §19) over the flattened form and prints the per-pass
+//       report: pass name, blocks and hot increments before -> after,
+//       regions added / ops elided, and the time its machine-checked
+//       counter-equivalence proof took.
 //       With --builtin, sweeps every bundled workload through all three
-//       instrumentation passes instead.
+//       instrumentation passes instead (and, with --opt-level, through the
+//       optimisation pipeline at every level up to N).
 //
 //   acctee audit verify <ledger-file>... [--identity HEX]...
 //       Offline replay of saved audit ledgers: checks every log
@@ -79,6 +85,7 @@
 
 #include <chrono>
 
+#include "analysis/opt/opt.hpp"
 #include "analysis/verifier.hpp"
 #include "audit/ledger.hpp"
 #include "audit/reconcile.hpp"
@@ -103,6 +110,7 @@
 #include "wasm/wat_printer.hpp"
 #include "workloads/adversarial.hpp"
 #include "workloads/faas_functions.hpp"
+#include "workloads/microbench.hpp"
 #include "workloads/polybench.hpp"
 #include "workloads/usecases.hpp"
 
@@ -455,10 +463,54 @@ instrument::WeightTable parse_weights(const std::string& s) {
   throw Error("unknown weight table: " + s + " (expected unit|base)");
 }
 
+/// --opt-level: runs the verified middle-end over an already-verified
+/// compiled module and prints the per-pass report. Returns 0 on PASS.
+int verify_opt_pipeline(const interp::CompiledModulePtr& compiled,
+                        uint32_t counter_global,
+                        const instrument::WeightTable& weights,
+                        uint32_t opt_level) {
+  analysis::opt::PipelineResult pr;
+  try {
+    pr = analysis::opt::run_pipeline(compiled->module(), compiled->flat(),
+                                     counter_global, opt_level, weights, {});
+  } catch (const Error& e) {
+    std::printf("FAIL: optimisation pipeline: %s\n", e.what());
+    return 1;
+  }
+  std::printf("optimisation pipeline (level %u):\n", pr.trail.opt_level);
+  std::printf("  %-16s %14s %16s %8s %7s %10s\n", "pass", "blocks",
+              "increments", "regions", "elided", "proof");
+  for (const analysis::opt::PassReport& p : pr.trail.passes) {
+    std::printf("  %-16s %6u -> %-6u %7u -> %-6u %8u %7u %7.2f ms\n",
+                p.name.c_str(), p.blocks_before, p.blocks_after,
+                p.increments_before, p.increments_after, p.regions_added,
+                p.ops_elided,
+                static_cast<double>(p.proof_micros) / 1000.0);
+  }
+  if (pr.trail.passes.empty()) {
+    std::printf("  (level %u enables no passes)\n", pr.trail.opt_level);
+  } else {
+    std::printf("transformed cost digest: %s\n",
+                crypto::digest_hex(pr.trail.passes.back().cost_vector_digest)
+                    .c_str());
+  }
+  // Bind the lowering of the transformed form too (the bytecode backend
+  // would execute it).
+  interp::CompiledModulePtr optimised = analysis::opt::optimise_compiled(
+      compiled, counter_global, opt_level, weights, {});
+  if (auto err = analysis::check_lowering(*optimised)) {
+    std::printf("FAIL: optimised lowering binding: %s\n", err->c_str());
+    return 1;
+  }
+  std::printf("optimised lowering digest: %s\n",
+              crypto::digest_hex(optimised->lowering_digest()).c_str());
+  return 0;
+}
+
 /// Runs the static verifier over one instrumented module and prints the
 /// report. Returns 0 on PASS, 1 with the counterexample on FAIL.
 int verify_one(const wasm::Module& module, uint32_t counter_global,
-               const instrument::WeightTable& weights) {
+               const instrument::WeightTable& weights, uint32_t opt_level) {
   auto started = std::chrono::steady_clock::now();
   analysis::VerifyResult verdict =
       analysis::verify_instrumented_module(module, counter_global, weights);
@@ -488,14 +540,20 @@ int verify_one(const wasm::Module& module, uint32_t counter_global,
   }
   std::printf("lowering digest:    %s (bytecode bound to verified form)\n",
               crypto::digest_hex(compiled->lowering_digest()).c_str());
+  if (opt_level > 0 &&
+      verify_opt_pipeline(compiled, counter_global, weights, opt_level) != 0) {
+    return 1;
+  }
   std::printf("PASS (%.2f ms): counter increments are equivalent to naive "
               "weighted accounting on every path\n",
               ms);
   return 0;
 }
 
-/// --builtin: every bundled workload through all three passes.
-int verify_builtin_sweep(const instrument::WeightTable& weights) {
+/// --builtin: every bundled workload through all three passes, and through
+/// the verified middle-end at every level up to `max_opt_level`.
+int verify_builtin_sweep(const instrument::WeightTable& weights,
+                         uint32_t max_opt_level) {
   std::vector<std::pair<std::string, wasm::Module>> modules;
   for (const workloads::KernelFactory& kernel : workloads::polybench()) {
     modules.emplace_back(kernel.name, kernel.build(6));
@@ -505,6 +563,7 @@ int verify_builtin_sweep(const instrument::WeightTable& weights) {
   }
   modules.emplace_back("faas_echo", workloads::faas_echo());
   modules.emplace_back("faas_resize", workloads::faas_resize());
+  modules.emplace_back("leaf_call", workloads::leaf_call_bench());
 
   const instrument::PassKind passes[] = {instrument::PassKind::Naive,
                                          instrument::PassKind::FlowBased,
@@ -519,16 +578,54 @@ int verify_builtin_sweep(const instrument::WeightTable& weights) {
       analysis::VerifyResult verdict = analysis::verify_instrumented_module(
           result.module, result.counter_global, weights);
       bool ok = verdict.ok && verdict.cost_vector == expected;
-      std::optional<std::string> bind_err;
+      std::string detail;
       if (ok) {
-        bind_err = analysis::check_lowering(*interp::compile(result.module));
-        if (bind_err) ok = false;
+        if (auto bind_err =
+                analysis::check_lowering(*interp::compile(result.module))) {
+          ok = false;
+          detail = "lowering: " + *bind_err;
+        }
+      } else {
+        detail = verdict.ok ? "recovered cost vector mismatch" : verdict.error;
       }
-      std::printf("  %-14s %-6s %s\n", name.c_str(), to_string(pass),
-                  ok ? "PASS"
-                     : (bind_err ? ("FAIL (lowering: " + *bind_err + ")").c_str()
-                        : verdict.ok ? "FAIL (recovered cost vector mismatch)"
-                                     : verdict.error.c_str()));
+      // The verified middle-end at every level: each pass proves its own
+      // counter equivalence inside run_pipeline (fail-closed), the
+      // transformed module must still verify end-to-end, and its lowering
+      // must bind.
+      std::string opt_summary;
+      for (uint32_t level = 1; ok && level <= max_opt_level; ++level) {
+        try {
+          interp::CompiledModulePtr compiled = interp::compile(result.module);
+          interp::CompiledModulePtr optimised =
+              analysis::opt::optimise_compiled(compiled,
+                                               result.counter_global, level,
+                                               weights, {});
+          analysis::opt::OptVerifyResult v =
+              analysis::opt::verify_optimised_module(
+                  optimised->module(), optimised->flat(),
+                  result.counter_global, weights, {});
+          if (!v.ok) {
+            ok = false;
+            detail = "opt level " + std::to_string(level) + ": " + v.error;
+            break;
+          }
+          if (auto bind_err = analysis::check_lowering(*optimised)) {
+            ok = false;
+            detail = "opt level " + std::to_string(level) +
+                     " lowering: " + *bind_err;
+            break;
+          }
+          opt_summary += " L" + std::to_string(level) + ":" +
+                         std::to_string(v.regions) + "r";
+        } catch (const Error& e) {
+          ok = false;
+          detail = "opt level " + std::to_string(level) + ": " + e.what();
+          break;
+        }
+      }
+      std::printf("  %-14s %-6s %s%s\n", name.c_str(), to_string(pass),
+                  ok ? "PASS" : ("FAIL (" + detail + ")").c_str(),
+                  ok ? opt_summary.c_str() : "");
       if (!ok) ++failures;
     }
   }
@@ -536,18 +633,21 @@ int verify_builtin_sweep(const instrument::WeightTable& weights) {
     std::printf("%d combination(s) FAILED\n", failures);
     return 1;
   }
-  std::printf("all %zu workloads x %zu passes verified\n", modules.size(),
-              std::size(passes));
+  std::printf("all %zu workloads x %zu passes verified (opt levels 0..%u)\n",
+              modules.size(), std::size(passes), max_opt_level);
   return 0;
 }
 
 int cmd_verify_instr(int argc, char** argv) {
   const char* usage_line =
-      "usage: acctee verify-instr <module> [--counter N] [--weights unit|base]\n"
-      "       acctee verify-instr --builtin [--weights unit|base]";
+      "usage: acctee verify-instr <module> [--counter N] [--weights unit|base]"
+      " [--opt-level N]\n"
+      "       acctee verify-instr --builtin [--weights unit|base]"
+      " [--opt-level N]";
   std::string path;
   bool builtin = false;
   std::optional<uint32_t> counter_flag;
+  std::optional<uint32_t> opt_level_flag;
   instrument::WeightTable weights = instrument::WeightTable::unit();
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--builtin") == 0) {
@@ -556,13 +656,21 @@ int cmd_verify_instr(int argc, char** argv) {
       counter_flag = static_cast<uint32_t>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--weights") == 0 && i + 1 < argc) {
       weights = parse_weights(argv[++i]);
+    } else if (std::strcmp(argv[i], "--opt-level") == 0 && i + 1 < argc) {
+      opt_level_flag = static_cast<uint32_t>(std::stoul(argv[++i]));
     } else if (path.empty() && argv[i][0] != '-') {
       path = argv[i];
     } else {
       throw Error(usage_line);
     }
   }
-  if (builtin) return verify_builtin_sweep(weights);
+  if (builtin) {
+    // The builtin sweep exercises every level up to the cap by default —
+    // CI's acceptance gate that every bundled workload verifies at every
+    // optimisation level.
+    return verify_builtin_sweep(
+        weights, opt_level_flag.value_or(analysis::opt::kMaxOptLevel));
+  }
   if (path.empty()) throw Error(usage_line);
   wasm::Module module = load_module(path);
   uint32_t counter_global;
@@ -578,7 +686,8 @@ int cmd_verify_instr(int argc, char** argv) {
     }
     counter_global = *exported;
   }
-  return verify_one(module, counter_global, weights);
+  return verify_one(module, counter_global, weights,
+                    opt_level_flag.value_or(0));
 }
 
 crypto::Digest parse_digest_hex(const std::string& hex) {

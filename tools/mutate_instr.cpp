@@ -21,6 +21,18 @@
 //       runs the AE's verify-then-bind check (DESIGN.md §15) over each
 //       mutant stream: exits 1 if ANY tampered lowering binds.
 //
+//   acctee-mutate <module> --opt-sweep [--opt-level N]
+//   acctee-mutate --builtin --opt-sweep [--opt-level N]
+//       Runs the verified optimising middle-end (DESIGN.md §19) at level N
+//       (default: max), then tampers with the transformed flat form the
+//       way a hostile optimiser would (analysis/mutate.hpp
+//       OptMutationKind: underpaid region charges, wrong trip-count folds,
+//       miscounted inlines, elided live blocks, diverging fast bodies,
+//       retargeted guards) and runs the AE's optimisation proof
+//       (analysis::opt::check_optimised_flat) over each mutant: exits 1 if
+//       ANY mutant is accepted. --builtin sweeps the bundled workload
+//       corpus instead of one file.
+//
 // All modes take [--counter N] to override the counter-global index
 // (default: the module's __acctee_counter export).
 #include <cstdio>
@@ -31,6 +43,7 @@
 #include <string>
 
 #include "analysis/mutate.hpp"
+#include "analysis/opt/opt.hpp"
 #include "analysis/verifier.hpp"
 #include "common/error.hpp"
 #include "instrument/passes.hpp"
@@ -38,6 +51,10 @@
 #include "wasm/binary.hpp"
 #include "wasm/validator.hpp"
 #include "wasm/wat_parser.hpp"
+#include "workloads/faas_functions.hpp"
+#include "workloads/microbench.hpp"
+#include "workloads/polybench.hpp"
+#include "workloads/usecases.hpp"
 
 using namespace acctee;
 
@@ -48,7 +65,9 @@ const char* const kUsage =
     "       acctee-mutate <module> --apply N <out.wasm> [--counter N]\n"
     "       acctee-mutate <module> --verify-all [--counter N] "
     "[--weights unit|base]\n"
-    "       acctee-mutate <module> --lowering-sweep [--counter N]\n";
+    "       acctee-mutate <module> --lowering-sweep [--counter N]\n"
+    "       acctee-mutate <module> --opt-sweep [--opt-level N] [--counter N]\n"
+    "       acctee-mutate --builtin --opt-sweep [--opt-level N]\n";
 
 Bytes read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -138,6 +157,107 @@ int verify_all(const wasm::Module& module, uint32_t counter,
   return 0;
 }
 
+/// One module through the opt-sweep: run the pipeline, then every mutant of
+/// the transformed flat form must be rejected by the AE's optimisation
+/// proof + cost-digest check. Returns the number of false accepts, or -1
+/// when the module offers no regions/sites to attack.
+int opt_sweep_one(const std::string& name, const wasm::Module& module,
+                  uint32_t counter, uint32_t opt_level,
+                  const instrument::WeightTable& weights) {
+  const instrument::HostChargePolicy host_charge;
+  interp::CompiledModulePtr compiled = interp::compile(module);
+  analysis::opt::PipelineResult pr = analysis::opt::run_pipeline(
+      module, compiled->flat(), counter, opt_level, weights, host_charge);
+  analysis::opt::OptVerifyResult genuine = analysis::opt::verify_optimised_module(
+      module, pr.flat, counter, weights, host_charge);
+  if (!genuine.ok) {
+    std::printf("%s: genuine transformed module FAILS its own proof, "
+                "aborting:\n%s\n",
+                name.c_str(), genuine.error.c_str());
+    return -1;
+  }
+  auto sites = analysis::enumerate_opt_mutations(pr.flat);
+  if (sites.empty()) {
+    std::printf("%s: no opt mutation sites (no regions formed)\n",
+                name.c_str());
+    return -1;
+  }
+  int false_accepts = 0;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    auto mutant = analysis::apply_opt_mutation(pr.flat, i);
+    const bool accepted = analysis::opt::check_optimised_flat(
+        module, mutant, counter, weights, host_charge,
+        genuine.cost_vector_digest);
+    std::printf("%4zu  %-10s %s\n", i, accepted ? "ACCEPTED" : "rejected",
+                sites[i].description.c_str());
+    if (accepted) ++false_accepts;
+  }
+  std::printf("%s: %zu site(s), %d false accept(s)\n", name.c_str(),
+              sites.size(), false_accepts);
+  return false_accepts;
+}
+
+int opt_sweep(const wasm::Module& module, uint32_t counter,
+              uint32_t opt_level, const instrument::WeightTable& weights) {
+  int r = opt_sweep_one("module", module, counter, opt_level, weights);
+  if (r != 0) return 1;
+  std::printf("all opt mutants rejected — zero false accepts\n");
+  return 0;
+}
+
+/// --builtin --opt-sweep: the bundled workload corpus, loop-instrumented,
+/// through the pipeline at `opt_level`; every mutant everywhere must be
+/// rejected, and at least one workload must offer sites.
+int opt_sweep_builtin(uint32_t opt_level,
+                      const instrument::WeightTable& weights) {
+  std::vector<std::pair<std::string, wasm::Module>> modules;
+  for (const workloads::KernelFactory& kernel : workloads::polybench()) {
+    modules.emplace_back(kernel.name, kernel.build(6));
+  }
+  for (const workloads::UseCase& usecase : workloads::usecases()) {
+    modules.emplace_back(usecase.name, usecase.build());
+  }
+  modules.emplace_back("faas_echo", workloads::faas_echo());
+  modules.emplace_back("faas_resize", workloads::faas_resize());
+  modules.emplace_back("leaf_call", workloads::leaf_call_bench());
+  int total_false_accepts = 0;
+  size_t swept = 0;
+  for (const auto& [name, original] : modules) {
+    auto result = instrument::instrument(
+        original, {instrument::PassKind::LoopBased, weights});
+    int r = opt_sweep_one(name, result.module, result.counter_global,
+                          opt_level, weights);
+    if (r > 0) total_false_accepts += r;
+    if (r >= 0) ++swept;
+  }
+  {
+    // Under LoopBased the leaf_call loop is hoisted and coalescing stands
+    // down; the flow-instrumented variant is what exercises the coalesce
+    // regions and their inline-miscount mutants.
+    auto result =
+        instrument::instrument(workloads::leaf_call_bench(),
+                               {instrument::PassKind::FlowBased, weights});
+    int r = opt_sweep_one("leaf_call/flow", result.module,
+                          result.counter_global, opt_level, weights);
+    if (r > 0) total_false_accepts += r;
+    if (r >= 0) ++swept;
+  }
+  if (total_false_accepts > 0) {
+    std::printf("%d mutant(s) FALSELY ACCEPTED across the corpus\n",
+                total_false_accepts);
+    return 1;
+  }
+  if (swept == 0) {
+    std::printf("no workload offered any opt mutation sites — sweep proves "
+                "nothing\n");
+    return 1;
+  }
+  std::printf("builtin corpus: all opt mutants rejected across %zu "
+              "workload(s) — zero false accepts\n",
+              swept);
+  return 0;
+}
+
 int lowering_sweep(const wasm::Module& module) {
   interp::CompiledModulePtr compiled = interp::compile(module);
   // The genuine lowering must bind — otherwise rejections below would
@@ -181,6 +301,8 @@ int main(int argc, char** argv) {
     std::string mode;
     std::string out_path;
     size_t apply_index = 0;
+    bool builtin = false;
+    uint32_t opt_level = analysis::opt::kMaxOptLevel;
     std::optional<uint32_t> counter_flag;
     instrument::WeightTable weights = instrument::WeightTable::unit();
     for (int i = 1; i < argc; ++i) {
@@ -194,6 +316,12 @@ int main(int argc, char** argv) {
         mode = "verify-all";
       } else if (std::strcmp(argv[i], "--lowering-sweep") == 0) {
         mode = "lowering-sweep";
+      } else if (std::strcmp(argv[i], "--opt-sweep") == 0) {
+        mode = "opt-sweep";
+      } else if (std::strcmp(argv[i], "--builtin") == 0) {
+        builtin = true;
+      } else if (std::strcmp(argv[i], "--opt-level") == 0 && i + 1 < argc) {
+        opt_level = static_cast<uint32_t>(std::stoul(argv[++i]));
       } else if (std::strcmp(argv[i], "--counter") == 0 && i + 1 < argc) {
         counter_flag = static_cast<uint32_t>(std::stoul(argv[++i]));
       } else if (std::strcmp(argv[i], "--weights") == 0 && i + 1 < argc) {
@@ -211,6 +339,9 @@ int main(int argc, char** argv) {
         std::fputs(kUsage, stderr);
         return 2;
       }
+    }
+    if (mode == "opt-sweep" && builtin) {
+      return opt_sweep_builtin(opt_level, weights);
     }
     if (path.empty() || mode.empty()) {
       std::fputs(kUsage, stderr);
@@ -233,6 +364,9 @@ int main(int argc, char** argv) {
     if (mode == "list") return list_sites(module, counter);
     if (mode == "apply") return apply_site(module, counter, apply_index, out_path);
     if (mode == "lowering-sweep") return lowering_sweep(module);
+    if (mode == "opt-sweep") {
+      return opt_sweep(module, counter, opt_level, weights);
+    }
     return verify_all(module, counter, weights);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "acctee-mutate: %s\n", e.what());
